@@ -1,0 +1,75 @@
+// E4/E5 (tutorial slides 48-55): alternative clustering via space
+// transformations. Section 1 reproduces Davidson & Qi 2008 (learn metric D,
+// invert the stretch: M = H S^-1 A); section 2 reproduces Qi & Davidson
+// 2009 (closed form M = Sigma~^{-1/2}). Both should suppress the given
+// clustering and reveal the planted alternative.
+#include <cstdio>
+
+#include "cluster/kmeans.h"
+#include "data/generators.h"
+#include "metrics/partition_similarity.h"
+#include "orthogonal/alt_transform.h"
+#include "orthogonal/residual_transform.h"
+
+using namespace multiclust;
+
+int main() {
+  std::printf("E4/E5: transformation-based alternative clustering"
+              " (slides 48-55)\n\n");
+  std::printf("%6s %6s | %12s %12s | %12s %12s | %12s %12s\n", "seed", "",
+              "base:given", "base:alt", "DQ08:given", "DQ08:alt",
+              "QD09:given", "QD09:alt");
+
+  double sum_dq = 0, sum_qd = 0, sum_base = 0;
+  const int kRuns = 5;
+  for (uint64_t seed = 1; seed <= kRuns; ++seed) {
+    std::vector<ViewSpec> views(2);
+    views[0] = {2, 2, 12.0, 0.8, "given"};
+    views[1] = {2, 2, 12.0, 0.8, "alt"};
+    auto ds = MakeMultiView(200, views, 0, seed);
+    const auto given = ds->GroundTruth("given").value();
+    const auto alt_truth = ds->GroundTruth("alt").value();
+
+    KMeansOptions km;
+    km.k = 2;
+    km.restarts = 8;
+    km.seed = seed;
+    KMeansClusterer clusterer(km);
+
+    // Baseline: re-running the clusterer in the original space tends to
+    // rediscover the given structure.
+    auto base = RunKMeans(ds->data(), km);
+    const double base_given =
+        NormalizedMutualInformation(base->labels, given).value();
+    const double base_alt =
+        NormalizedMutualInformation(base->labels, alt_truth).value();
+
+    auto dq = RunAltTransform(ds->data(), given, &clusterer);
+    const double dq_given =
+        NormalizedMutualInformation(dq->clustering.labels, given).value();
+    const double dq_alt =
+        NormalizedMutualInformation(dq->clustering.labels, alt_truth)
+            .value();
+
+    auto qd = RunResidualTransform(ds->data(), given, &clusterer);
+    const double qd_given =
+        NormalizedMutualInformation(qd->clustering.labels, given).value();
+    const double qd_alt =
+        NormalizedMutualInformation(qd->clustering.labels, alt_truth)
+            .value();
+
+    std::printf("%6llu %6s | %12.3f %12.3f | %12.3f %12.3f | %12.3f %12.3f\n",
+                static_cast<unsigned long long>(seed), "", base_given,
+                base_alt, dq_given, dq_alt, qd_given, qd_alt);
+    sum_base += base_alt;
+    sum_dq += dq_alt;
+    sum_qd += qd_alt;
+  }
+  std::printf("\nmean NMI(alternative truth): baseline=%.3f"
+              "  Davidson&Qi08=%.3f  Qi&Davidson09=%.3f\n",
+              sum_base / kRuns, sum_dq / kRuns, sum_qd / kRuns);
+  std::printf("expected shape: both transformation methods beat the"
+              " baseline on the\nalternative truth while scoring near zero"
+              " on the given clustering.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E20 (cross-paradigm synthesis; tutorial slides 115-121): every
+// alternative-clustering method in the library solves the same task —
+// "given the dominant clustering, find the planted alternative" — so their
+// behaviour can be compared side by side across paradigms.
+#include <cstdio>
+
+#include "altspace/coala.h"
+#include "altspace/conditional_ensemble.h"
+#include "altspace/min_centropy.h"
+#include "cluster/kmeans.h"
+#include "data/generators.h"
+#include "metrics/partition_similarity.h"
+#include "orthogonal/alt_transform.h"
+#include "orthogonal/residual_transform.h"
+
+using namespace multiclust;
+
+int main() {
+  std::printf("E20: one task, every alternative-clustering paradigm\n");
+  std::printf("task: two planted views (equal strength); the first is"
+              " given, find the second\n\n");
+  std::printf("%-24s %-12s %12s %12s\n", "method", "paradigm", "NMI(given)",
+              "NMI(alt)");
+
+  double sums[5][2] = {};
+  const int kRuns = 4;
+  for (uint64_t seed = 1; seed <= kRuns; ++seed) {
+    std::vector<ViewSpec> views(2);
+    views[0] = {2, 2, 12.0, 0.8, "given"};
+    views[1] = {2, 2, 12.0, 0.8, "alt"};
+    auto ds = MakeMultiView(200, views, 0, seed);
+    const auto given = ds->GroundTruth("given").value();
+    const auto alt = ds->GroundTruth("alt").value();
+
+    auto score = [&](int row, const std::vector<int>& labels) {
+      sums[row][0] +=
+          NormalizedMutualInformation(labels, given).value() / kRuns;
+      sums[row][1] +=
+          NormalizedMutualInformation(labels, alt).value() / kRuns;
+    };
+
+    CoalaOptions co;
+    co.k = 2;
+    co.w = 0.4;
+    auto coala = RunCoala(ds->data(), given, co);
+    if (coala.ok()) score(0, coala->labels);
+
+    MinCEntropyOptions mce;
+    mce.k = 2;
+    mce.lambda = 2.0;
+    mce.seed = seed;
+    auto mc = RunMinCEntropy(ds->data(), {given}, mce);
+    if (mc.ok()) score(1, mc->labels);
+
+    ConditionalEnsembleOptions ce;
+    ce.k = 2;
+    ce.seed = seed;
+    auto cond = RunConditionalEnsemble(ds->data(), given, ce);
+    if (cond.ok()) score(2, cond->clustering.labels);
+
+    KMeansOptions km;
+    km.k = 2;
+    km.restarts = 8;
+    km.seed = seed;
+    KMeansClusterer clusterer(km);
+    auto dq = RunAltTransform(ds->data(), given, &clusterer);
+    if (dq.ok()) score(3, dq->clustering.labels);
+    auto qd = RunResidualTransform(ds->data(), given, &clusterer);
+    if (qd.ok()) score(4, qd->clustering.labels);
+  }
+
+  const char* names[5] = {"COALA", "minCEntropy", "ConditionalEnsemble",
+                          "AltTransform (DQ08)", "ResidualTransform (QD09)"};
+  const char* paradigms[5] = {"original", "original", "original",
+                              "transformed", "transformed"};
+  for (int row = 0; row < 5; ++row) {
+    std::printf("%-24s %-12s %12.3f %12.3f\n", names[row], paradigms[row],
+                sums[row][0], sums[row][1]);
+  }
+  std::printf("\nexpected shape: every method suppresses the given view"
+              " (NMI(given) ~ 0) and\nrecovers the alternative; the"
+              " transformation methods are the most reliable on\nthis"
+              " subspace-separable task, matching the tutorial's paradigm"
+              " discussion.\n");
+  return 0;
+}

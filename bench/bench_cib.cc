@@ -1,0 +1,66 @@
+// E16 (tutorial slides 7, 35-36): novel-topic discovery with the
+// conditional information bottleneck. Given the known topic system of a
+// document collection, CIB maximises I(Y; C | D) and must recover the
+// *other* planted topic system; plain (unconditioned) clustering of the
+// same counts rediscovers the known system instead.
+#include <cstdio>
+
+#include "altspace/cib.h"
+#include "data/discrete.h"
+#include "metrics/partition_similarity.h"
+
+using namespace multiclust;
+
+int main() {
+  std::printf("E16: conditional information bottleneck — novel topics"
+              " (slides 7, 35-36)\n\n");
+  std::printf("%6s | %11s %11s | %12s %12s | %10s\n", "seed", "CIB:known",
+              "CIB:novel", "plain:known", "plain:novel", "I(Y;C|D)");
+  double cib_novel_sum = 0, plain_novel_sum = 0;
+  const int kRuns = 5;
+  for (uint64_t seed = 1; seed <= kRuns; ++seed) {
+    DocumentTermSpec spec;
+    spec.num_documents = 180;
+    spec.seed = seed;
+    auto ds = MakeDocumentTerm(spec);
+    if (!ds.ok()) return 1;
+    const auto known = ds->GroundTruth("topicsA").value();
+    const auto novel = ds->GroundTruth("topicsB").value();
+
+    CibOptions opts;
+    opts.k = 2;
+    opts.seed = seed;
+    auto cib = RunCib(ds->data(), known, opts);
+    if (!cib.ok()) return 1;
+
+    // "Plain" baseline: the same optimiser with no conditioning clustering
+    // (a single conditioning cell) and k matching the known system — the
+    // unconditional information bottleneck.
+    CibOptions plain_opts;
+    plain_opts.k = 3;
+    plain_opts.seed = seed;
+    const std::vector<int> no_knowledge(ds->num_objects(), 0);
+    auto plain = RunCib(ds->data(), no_knowledge, plain_opts);
+    if (!plain.ok()) return 1;
+
+    const double cib_known =
+        NormalizedMutualInformation(cib->clustering.labels, known).value();
+    const double cib_novel =
+        NormalizedMutualInformation(cib->clustering.labels, novel).value();
+    const double plain_known =
+        NormalizedMutualInformation(plain->clustering.labels, known).value();
+    const double plain_novel =
+        NormalizedMutualInformation(plain->clustering.labels, novel).value();
+    std::printf("%6llu | %11.3f %11.3f | %12.3f %12.3f | %10.4f\n",
+                static_cast<unsigned long long>(seed), cib_known, cib_novel,
+                plain_known, plain_novel, cib->conditional_information);
+    cib_novel_sum += cib_novel;
+    plain_novel_sum += plain_novel;
+  }
+  std::printf("\nmean NMI(novel system): CIB=%.3f vs unconditioned IB=%.3f\n",
+              cib_novel_sum / kRuns, plain_novel_sum / kRuns);
+  std::printf("expected shape: conditioning on the known topics flips the"
+              " optimiser from the\ndominant known system to the hidden"
+              " alternative system.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// E11 (tutorial slides 98-104): co-EM multi-view clustering. Claims to
+// reproduce: (a) multi-view bootstrapping recovers the shared structure,
+// (b) single-view EM re-initialised from co-EM's final parameters reaches a
+// log-likelihood at least as high as plain single-view EM (slide 104).
+#include <cstdio>
+
+#include "cluster/gmm.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "metrics/partition_similarity.h"
+#include "multiview/co_em.h"
+
+using namespace multiclust;
+
+namespace {
+
+struct Views {
+  Matrix v1;
+  Matrix v2;
+  std::vector<int> truth;
+};
+
+Views MakeViews(uint64_t seed, size_t n, double noise) {
+  Rng rng(seed);
+  Views v;
+  v.v1 = Matrix(n, 2);
+  v.v2 = Matrix(n, 2);
+  v.truth.resize(n);
+  const double c1[3][2] = {{0, 0}, {7, 0}, {0, 7}};
+  const double c2[3][2] = {{4, 4}, {-4, 4}, {0, -5}};
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = rng.NextIndex(3);
+    v.truth[i] = static_cast<int>(c);
+    for (size_t j = 0; j < 2; ++j) {
+      v.v1.at(i, j) = rng.Gaussian(c1[c][j], noise);
+      v.v2.at(i, j) = rng.Gaussian(c2[c][j], noise);
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E11: co-EM vs single-view EM (slides 98-104)\n\n");
+  std::printf("%6s %8s | %10s %10s | %12s %14s %16s\n", "seed", "noise",
+              "ARI(1view)", "ARI(coEM)", "LL(single)", "LL(coEM-init)",
+              "agreement");
+  int coem_init_wins = 0;
+  const int kRuns = 6;
+  for (int run = 0; run < kRuns; ++run) {
+    const double noise = run < 3 ? 1.2 : 1.5;
+    const Views v = MakeViews(100 + run, 200, noise);
+
+    // Plain single-view EM on view 1.
+    GmmOptions gmm;
+    gmm.k = 3;
+    gmm.seed = 100 + run;
+    gmm.restarts = 1;
+    auto single = FitGmm(v.v1, gmm);
+    const double single_ll = single->log_likelihood;
+    const double single_ari =
+        AdjustedRandIndex(single->HardAssign(v.v1), v.truth).value();
+
+    // co-EM across both views.
+    CoEmOptions coem;
+    coem.k = 3;
+    coem.seed = 100 + run;
+    auto r = RunCoEm(v.v1, v.v2, coem);
+    const double coem_ari =
+        AdjustedRandIndex(r->consensus.labels, v.truth).value();
+
+    // Slide-104 claim: single-view EM *initialised from* co-EM's final
+    // view-1 parameters reaches at least the plain single-view optimum.
+    GmmModel warm = r->model_view1;
+    for (int iter = 0; iter < 200; ++iter) {
+      auto ll = EmStep(v.v1, 1e-6, &warm);
+      if (!ll.ok()) break;
+    }
+    const double warm_ll = warm.TotalLogLikelihood(v.v1);
+    if (warm_ll >= single_ll - 1e-6) ++coem_init_wins;
+
+    std::printf("%6d %8.1f | %10.3f %10.3f | %12.1f %14.1f %16.3f\n",
+                100 + run, noise, single_ari, coem_ari, single_ll, warm_ll,
+                r->agreement);
+  }
+  std::printf("\nco-EM-initialised single-view EM matched or beat plain"
+              " single-view EM in %d/%d runs\n",
+              coem_init_wins, kRuns);
+  std::printf("expected shape: co-EM's consensus ARI >= single-view ARI"
+              " (especially at high\nnoise), and warm-started EM confirms"
+              " the slide-104 likelihood claim.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// E13 (tutorial slides 108-110): random-projection cluster ensembles. The
+// consensus clustering stabilises as the ensemble grows and beats the
+// average individual member — the converse use of multiple clusterings.
+#include <cstdio>
+
+#include "data/generators.h"
+#include "metrics/partition_similarity.h"
+#include "multiview/consensus.h"
+
+using namespace multiclust;
+
+int main() {
+  // High-dimensional single-truth data: 3 clusters in 8 dims + 4 noise
+  // dims; individual 3-D random projections see a distorted picture.
+  std::vector<BlobSpec> blobs(3);
+  for (int c = 0; c < 3; ++c) {
+    blobs[c].center.assign(8, 0.0);
+    blobs[c].center[c] = 6.0;
+    blobs[c].center[c + 3] = -6.0;
+    blobs[c].stddev = 1.0;
+    blobs[c].count = 60;
+  }
+  auto base = MakeBlobs(blobs, 71);
+  auto ds = WithNoiseDims(*base, 4, 72);
+  const auto truth = ds->GroundTruth("labels").value();
+
+  std::printf("E13: random-projection ensemble consensus (slides 108-110)\n");
+  std::printf("data: 180 objects, 12 dims (4 pure noise), 3 planted"
+              " clusters\n\n");
+  std::printf("%10s %16s %16s %10s\n", "ensemble", "mean member ARI",
+              "consensus ARI", "ANMI");
+  for (size_t ensemble : {1, 2, 4, 8, 16, 32}) {
+    ConsensusOptions opts;
+    opts.ensemble_size = ensemble;
+    opts.projection_dims = 3;
+    opts.k_member = 3;
+    opts.k_final = 3;
+    opts.seed = 73;
+    auto r = RunEnsembleConsensus(ds->data(), opts);
+    if (!r.ok()) continue;
+    double member_ari = 0.0;
+    for (const auto& m : r->member_labels) {
+      member_ari += AdjustedRandIndex(m, truth).value();
+    }
+    member_ari /= static_cast<double>(r->member_labels.size());
+    std::printf("%10zu %16.3f %16.3f %10.3f\n", ensemble, member_ari,
+                AdjustedRandIndex(r->consensus.labels, truth).value(),
+                r->anmi);
+  }
+  std::printf("\nexpected shape: individual projected members are mediocre"
+              " and noisy; the\nconsensus ARI rises with ensemble size and"
+              " settles above the member mean.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// E3 (tutorial slides 40-42): Decorrelated k-means. The lambda penalty
+// steers the two representative sets towards orthogonality; the bench
+// sweeps lambda and reports compactness, inter-solution NMI, and recovery
+// of the two planted splits, plus the objective-decrease property.
+#include <cstdio>
+
+#include "altspace/dec_kmeans.h"
+#include "data/generators.h"
+#include "metrics/multi_solution.h"
+#include "metrics/partition_similarity.h"
+
+using namespace multiclust;
+
+int main() {
+  auto ds = MakeFourSquares(40, 10.0, 0.8, 3);
+  const auto horizontal = ds->GroundTruth("horizontal").value();
+  const auto vertical = ds->GroundTruth("vertical").value();
+
+  std::printf("E3: decorrelated k-means lambda sweep (slides 40-42)\n\n");
+  std::printf("%8s %12s %12s %16s %10s\n", "lambda", "SSE(A)", "SSE(B)",
+              "NMI(A,B)", "recovery");
+  for (double lambda : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 64.0}) {
+    DecKMeansOptions opts;
+    opts.ks = {2, 2};
+    opts.lambda = lambda;
+    opts.restarts = 5;
+    opts.seed = 17;
+    auto r = RunDecorrelatedKMeans(ds->data(), opts);
+    if (!r.ok()) continue;
+    const double nmi_ab =
+        NormalizedMutualInformation(r->solutions.at(0).labels,
+                                    r->solutions.at(1).labels)
+            .value();
+    auto match = MatchSolutionsToTruths({horizontal, vertical},
+                                        r->solutions.Labels());
+    std::printf("%8.1f %12.1f %12.1f %16.3f %10.3f\n", lambda,
+                r->solutions.at(0).quality, r->solutions.at(1).quality,
+                nmi_ab, match->mean_recovery);
+  }
+
+  // Objective monotonicity of the alternating minimisation.
+  DecKMeansOptions opts;
+  opts.ks = {2, 2};
+  opts.lambda = 4.0;
+  opts.restarts = 1;
+  opts.seed = 5;
+  auto r = RunDecorrelatedKMeans(ds->data(), opts);
+  std::printf("\nobjective trace (lambda=4): ");
+  for (size_t i = 0; i < r->history.size() && i < 8; ++i) {
+    std::printf("%.0f ", r->history[i]);
+  }
+  std::printf("\nexpected shape: lambda=0 -> duplicate solutions"
+              " (NMI(A,B) ~ 1); moderate lambda ->\northogonal solutions"
+              " (NMI(A,B) ~ 0) recovering both planted splits; the\n"
+              "objective trace is non-increasing.\n");
+  return 0;
+}

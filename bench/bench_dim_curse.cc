@@ -1,0 +1,35 @@
+// E15 (tutorial slide 12): the curse of dimensionality — the relative
+// distance contrast (max - min) / min between a query and a uniform sample
+// collapses towards 0 as the dimensionality grows, which is why relevant
+// subspaces must be identified before distances mean anything.
+#include <cmath>
+#include <cstdio>
+
+#include "data/generators.h"
+#include "linalg/matrix.h"
+
+using namespace multiclust;
+
+int main() {
+  std::printf("E15: curse of dimensionality — relative contrast"
+              " (slide 12)\n\n");
+  std::printf("%8s %16s %16s %16s\n", "dims", "min dist", "max dist",
+              "(max-min)/min");
+  for (size_t d : {1, 2, 5, 10, 20, 50, 100, 200, 500}) {
+    auto ds = MakeUniformCube(500, d, 91);
+    if (!ds.ok()) continue;
+    const std::vector<double> query(d, 0.5);  // cube centre
+    double min_d = 1e300, max_d = 0.0;
+    for (size_t i = 0; i < ds->num_objects(); ++i) {
+      const double dist = EuclideanDistance(ds->Object(i), query);
+      min_d = std::min(min_d, dist);
+      max_d = std::max(max_d, dist);
+    }
+    std::printf("%8zu %16.4f %16.4f %16.4f\n", d, min_d, max_d,
+                (max_d - min_d) / min_d);
+  }
+  std::printf("\nexpected shape: the relative contrast decays towards 0 as"
+              " dimensionality\ngrows — nearest neighbours stop being"
+              " meaningful in the full space.\n");
+  return 0;
+}

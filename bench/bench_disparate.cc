@@ -1,0 +1,56 @@
+// E17 (tutorial slide 44): dual clustering through contingency tables
+// (Hossain et al. 2010). Disparate mode drives the table towards
+// uniformity (independent clusterings); dependent mode towards diagonality
+// (aligned clusterings) — the same framework solving opposite goals.
+#include <cstdio>
+
+#include "altspace/disparate.h"
+#include "data/generators.h"
+#include "metrics/multi_solution.h"
+#include "metrics/partition_similarity.h"
+
+using namespace multiclust;
+
+int main() {
+  auto ds = MakeFourSquares(40, 10.0, 0.8, 17);
+  const auto horizontal = ds->GroundTruth("horizontal").value();
+  const auto vertical = ds->GroundTruth("vertical").value();
+
+  std::printf("E17: contingency-table dual clustering (slide 44)\n\n");
+  std::printf("%12s %8s | %12s %14s | %10s\n", "goal", "lambda",
+              "NMI(C1,C2)", "tbl deviation", "recovery");
+  for (const auto goal :
+       {ContingencyGoal::kDisparate, ContingencyGoal::kDependent}) {
+    for (double lambda : {0.0, 0.5, 1.0, 2.0}) {
+      DisparateOptions opts;
+      opts.k1 = 2;
+      opts.k2 = 2;
+      opts.goal = goal;
+      opts.lambda = lambda;
+      opts.restarts = 4;
+      opts.seed = 17;
+      auto r = RunDisparateClustering(ds->data(), opts);
+      if (!r.ok()) continue;
+      const double nmi =
+          NormalizedMutualInformation(r->solutions.at(0).labels,
+                                      r->solutions.at(1).labels)
+              .value();
+      auto match = MatchSolutionsToTruths({horizontal, vertical},
+                                          r->solutions.Labels());
+      std::printf("%12s %8.1f | %12.3f %14.3f | %10.3f\n",
+                  goal == ContingencyGoal::kDisparate ? "disparate"
+                                                      : "dependent",
+                  lambda, nmi, r->uniformity_deviation,
+                  match->mean_recovery);
+    }
+  }
+  std::printf("\nexpected shape: disparate mode holds NMI(C1,C2) ~ 0 with a"
+              " uniform table and\nfull recovery of both planted splits at"
+              " every lambda (the four-squares toy has\ntwo equal"
+              " compactness optima, so independent starts already diverge;"
+              " the\npenalty keeps them apart). Dependent mode flips the"
+              " regime once lambda is\nlarge enough: NMI(C1,C2) -> 1 and"
+              " the table turns diagonal (deviation\n-> max), halving"
+              " recovery because both solutions collapse onto one split.\n");
+  return 0;
+}

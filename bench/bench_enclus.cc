@@ -1,0 +1,62 @@
+// E10 (tutorial slides 88-90): ENCLUS ranks subspaces by grid entropy;
+// subspaces carrying planted structure must rank above noise subspaces,
+// and the interest measure (correlation gain) must separate them too.
+#include <cstdio>
+#include <string>
+
+#include "data/generators.h"
+#include "stats/hsic.h"
+#include "subspace/enclus.h"
+
+using namespace multiclust;
+
+int main() {
+  std::vector<ViewSpec> views(2);
+  views[0] = {2, 2, 10.0, 0.6, ""};
+  views[1] = {2, 3, 10.0, 0.6, ""};
+  auto ds = MakeMultiView(300, views, 2, 51);
+
+  EnclusOptions opts;
+  opts.xi = 6;
+  opts.omega = 20.0;  // permissive, to obtain a full ranking
+  opts.max_dims = 2;
+  auto ranking = RunEnclus(ds->data(), opts);
+  if (!ranking.ok()) return 1;
+
+  std::printf("E10: ENCLUS subspace ranking by entropy (slides 88-89)\n");
+  std::printf("planted views: dims {0,1} and {2,3}; dims {4,5} are"
+              " uniform noise\n\n");
+  std::printf("%6s %-14s %10s %10s\n", "rank", "subspace", "entropy",
+              "interest");
+  size_t shown = 0;
+  for (size_t i = 0; i < ranking->size(); ++i) {
+    const auto& s = (*ranking)[i];
+    if (s.dims.size() != 2) continue;
+    std::string dims = "{";
+    for (size_t j = 0; j < s.dims.size(); ++j) {
+      if (j) dims += ",";
+      dims += std::to_string(s.dims[j]);
+    }
+    dims += "}";
+    std::printf("%6zu %-14s %10.3f %10.3f\n", i, dims.c_str(), s.entropy,
+                s.interest);
+    if (++shown >= 12) break;
+  }
+
+  // mSC-style check (slide 90): the HSIC dependence between the two
+  // planted views is low, and within a view it is high — the signal that
+  // steers multiple-spectral-clustering towards independent subspaces.
+  const Matrix view0 = ds->data().SelectColumns({0, 1});
+  const Matrix view1 = ds->data().SelectColumns({2, 3});
+  const Matrix half0 = ds->data().SelectColumns({0});
+  const Matrix half1 = ds->data().SelectColumns({1});
+  std::printf("\nHSIC dependence (slide 90, mSC):\n");
+  std::printf("  between planted views {0,1} vs {2,3}:   %.5f\n",
+              Hsic(view0, view1).value());
+  std::printf("  within a view, dim {0} vs dim {1}:      %.5f\n",
+              Hsic(half0, half1).value());
+  std::printf("\nexpected shape: planted 2-D subspaces rank first with high"
+              " interest; noise\npairs rank last; HSIC within a view far"
+              " exceeds HSIC across views.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// A3 (ablation): the uniform grid index behind DBSCAN's range queries.
+// Sweeps n and compares brute-force O(n^2) neighbourhood computation with
+// the indexed version; results are bit-identical, only the cost differs.
+#include <chrono>
+#include <cstdio>
+
+#include "cluster/dbscan.h"
+#include "cluster/grid_index.h"
+#include "data/generators.h"
+
+using namespace multiclust;
+
+namespace {
+
+double Ms(std::chrono::steady_clock::time_point a,
+          std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("A3: grid-index vs brute-force range queries (2-D blobs,"
+              " eps = 0.8)\n\n");
+  std::printf("%8s %14s %14s %10s %10s\n", "n", "brute(ms)", "indexed(ms)",
+              "speedup", "cells");
+  for (size_t n : {250, 500, 1000, 2000, 4000}) {
+    auto ds = MakeBlobs({{{0, 0}, 1.5, n / 2}, {{12, 12}, 1.5, n - n / 2}},
+                        n);
+    if (!ds.ok()) continue;
+    const double eps = 0.8;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto brute = EpsNeighborhoods(ds->data(), eps, {});
+    const auto t1 = std::chrono::steady_clock::now();
+    auto indexed = EpsNeighborhoodsIndexed(ds->data(), eps);
+    const auto t2 = std::chrono::steady_clock::now();
+    if (!indexed.ok()) continue;
+
+    // Verify equivalence on a few objects.
+    size_t checked = 0;
+    for (size_t i = 0; i < brute.size(); i += brute.size() / 7 + 1) {
+      if (brute[i].size() != (*indexed)[i].size()) {
+        std::printf("MISMATCH at object %zu!\n", i);
+        return 1;
+      }
+      ++checked;
+    }
+    (void)checked;
+
+    auto index = GridIndex::Build(ds->data(), eps);
+    std::printf("%8zu %14.1f %14.1f %9.1fx %10zu\n", n, Ms(t0, t1),
+                Ms(t1, t2), Ms(t0, t1) / std::max(Ms(t1, t2), 1e-3),
+                index.ok() ? index->num_cells() : 0);
+  }
+  std::printf("\nexpected shape: the brute-force cost grows quadratically,"
+              " the indexed cost\nnear-linearly; identical neighbourhoods"
+              " either way.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// A1 (ablation): the base k-means substrate. k-means++ seeding vs uniform
+// random seeding, across restart budgets — SSE and accuracy. Justifies the
+// library default (plus_plus_init = true).
+#include <cstdio>
+
+#include "cluster/kmeans.h"
+#include "data/generators.h"
+#include "metrics/partition_similarity.h"
+
+using namespace multiclust;
+
+int main() {
+  // The classic k-means++ showcase: many well-separated clusters, where
+  // uniform seeding routinely drops whole clusters.
+  std::vector<BlobSpec> blobs;
+  for (int x = 0; x < 3; ++x) {
+    for (int y = 0; y < 3; ++y) {
+      blobs.push_back({{x * 12.0, y * 12.0}, 0.7, 40});
+    }
+  }
+  auto ds = MakeBlobs(blobs, 101);
+  const auto truth = ds->GroundTruth("labels").value();
+
+  std::printf("A1: k-means seeding ablation\n\n");
+  std::printf("%10s %10s | %12s %12s\n", "init", "restarts", "mean SSE",
+              "mean ARI");
+  for (const bool plus_plus : {false, true}) {
+    for (size_t restarts : {1, 5, 20}) {
+      double sse = 0.0, ari = 0.0;
+      const int kTrials = 10;
+      for (int t = 0; t < kTrials; ++t) {
+        KMeansOptions opts;
+        opts.k = 9;
+        opts.restarts = restarts;
+        opts.plus_plus_init = plus_plus;
+        opts.seed = 1000 + t;
+        auto c = RunKMeans(ds->data(), opts);
+        sse += c->quality;
+        ari += AdjustedRandIndex(c->labels, truth).value();
+      }
+      std::printf("%10s %10zu | %12.1f %12.3f\n",
+                  plus_plus ? "kmeans++" : "random", restarts,
+                  sse / kTrials, ari / kTrials);
+    }
+  }
+  std::printf("\nexpected shape: kmeans++ dominates random seeding at every"
+              " restart budget;\nextra restarts shrink the gap but never"
+              " invert it.\n");
+  return 0;
+}

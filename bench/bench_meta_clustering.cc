@@ -1,0 +1,54 @@
+// E14 (tutorial slide 29): meta clustering's risk — blind, undirected
+// generation of base clusterings tends to produce highly similar solutions.
+// Diversified generation (random feature weighting) is what buys coverage
+// of genuinely different groupings.
+#include <cstdio>
+
+#include "altspace/meta_clustering.h"
+#include "data/generators.h"
+#include "metrics/multi_solution.h"
+
+using namespace multiclust;
+
+int main() {
+  // A dominant view (wide spread) plus a weak alternative view: blind
+  // k-means restarts all fall into the dominant basin.
+  std::vector<ViewSpec> views(2);
+  views[0] = {2, 2, 26.0, 0.8, "dominant"};
+  views[1] = {2, 2, 5.5, 0.8, "weak"};
+  auto ds = MakeMultiView(160, views, 0, 81);
+  const auto horizontal = ds->GroundTruth("dominant").value();
+  const auto vertical = ds->GroundTruth("weak").value();
+
+  std::printf("E14: meta clustering — blind vs diversified generation"
+              " (slide 29)\n");
+  std::printf("data: a dominant planted view and a weak alternative"
+              " view\n\n");
+  std::printf("%14s | %14s %14s | %10s\n", "generation", "base diversity",
+              "min pair diss", "recovery");
+  for (const bool diversified : {false, true}) {
+    MetaClusteringOptions opts;
+    opts.num_base = 30;
+    opts.k = 2;
+    opts.meta_k = 4;
+    opts.feature_weighting = diversified;
+    opts.weight_spread = 1.5;
+    opts.seed = 81;
+    auto r = RunMetaClustering(ds->data(), opts);
+    if (!r.ok()) continue;
+    std::vector<std::vector<int>> base_labels;
+    for (const auto& c : r->base) base_labels.push_back(c.labels);
+    auto match = MatchSolutionsToTruths({horizontal, vertical},
+                                        r->representatives.Labels());
+    std::printf("%14s | %14.3f %14.3f | %10.3f\n",
+                diversified ? "diversified" : "blind",
+                MeanPairwiseDissimilarity(base_labels).value(),
+                MinPairwiseDissimilarity(base_labels).value(),
+                match->mean_recovery);
+  }
+  std::printf("\nexpected shape: blind restarts generate similar solutions"
+              " (low diversity)\nand can miss one of the two planted"
+              " splits; feature-weighted generation\nraises diversity and"
+              " recovery.\n");
+  return 0;
+}

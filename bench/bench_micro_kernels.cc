@@ -1,0 +1,93 @@
+// Micro-benchmarks (google-benchmark) of the hot kernels underneath the
+// algorithms: pairwise distances, Jacobi eigendecomposition, one-sided
+// Jacobi SVD, a Lloyd iteration, dense-unit mining and kernel matrices.
+#include <benchmark/benchmark.h>
+
+#include "cluster/hierarchical.h"
+#include "cluster/kmeans.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "linalg/decomposition.h"
+#include "stats/grid.h"
+#include "stats/hsic.h"
+
+using namespace multiclust;
+
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) m.at(i, j) = rng.Gaussian(0, 1);
+  }
+  return m;
+}
+
+void BM_PairwiseDistances(benchmark::State& state) {
+  const Matrix data = RandomMatrix(state.range(0), 8, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PairwiseDistances(data));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PairwiseDistances)->Range(64, 512)->Complexity();
+
+void BM_EigenSymmetric(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Matrix a = RandomMatrix(n + 4, n, 2);
+  Matrix spd = a.Transpose() * a;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EigenSymmetric(spd));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_EigenSymmetric)->Range(8, 128)->Complexity();
+
+void BM_Svd(benchmark::State& state) {
+  const Matrix a = RandomMatrix(state.range(0), state.range(0) / 2, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSvd(a));
+  }
+}
+BENCHMARK(BM_Svd)->Range(16, 128);
+
+void BM_KMeans(benchmark::State& state) {
+  auto ds = MakeBlobs({{{0, 0, 0, 0}, 1.0, 200},
+                       {{8, 0, 8, 0}, 1.0, 200},
+                       {{0, 8, 0, 8}, 1.0, 200}},
+                      4);
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.restarts = 1;
+  opts.seed = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunKMeans(ds->data(), opts));
+  }
+}
+BENCHMARK(BM_KMeans);
+
+void BM_MineDenseUnits(benchmark::State& state) {
+  std::vector<ViewSpec> views(2);
+  views[0] = {2, 2, 10.0, 0.6, ""};
+  views[1] = {2, 3, 10.0, 0.6, ""};
+  auto ds = MakeMultiView(300, views, state.range(0), 5);
+  auto grid = Grid::Build(ds->data(), 8);
+  const std::vector<size_t> thresholds(ds->num_dims() + 1, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MineDenseUnits(*grid, thresholds, 3));
+  }
+}
+BENCHMARK(BM_MineDenseUnits)->Arg(0)->Arg(2)->Arg(4);
+
+void BM_GaussianKernelMatrix(benchmark::State& state) {
+  const Matrix data = RandomMatrix(state.range(0), 6, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GaussianKernelMatrix(data, 0.5));
+  }
+}
+BENCHMARK(BM_GaussianKernelMatrix)->Range(64, 512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

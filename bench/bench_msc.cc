@@ -1,0 +1,80 @@
+// E19 (tutorial slide 90): multiple spectral clustering views (mSC,
+// axis-aligned variant). HSIC partitions the dimensions into statistically
+// independent blocks; spectral clustering inside each block recovers one
+// planted view per block — including non-convex (ring) structure that
+// centroid methods cannot represent.
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "metrics/multi_solution.h"
+#include "metrics/partition_similarity.h"
+#include "subspace/msc.h"
+
+using namespace multiclust;
+
+int main() {
+  // View 1 (dims 0-1): two concentric rings. View 2 (dims 2-3): two blobs.
+  // Assignments are independent.
+  Rng rng(41);
+  const size_t n = 200;
+  Matrix data(n, 4);
+  std::vector<int> rings(n), blobs(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool outer = rng.NextDouble() < 0.5;
+    rings[i] = outer ? 1 : 0;
+    const double r = (outer ? 6.0 : 2.0) + rng.Gaussian(0, 0.15);
+    const double theta = rng.Uniform(0, 2 * M_PI);
+    data.at(i, 0) = r * std::cos(theta);
+    data.at(i, 1) = r * std::sin(theta);
+    const bool right = rng.NextDouble() < 0.5;
+    blobs[i] = right ? 1 : 0;
+    data.at(i, 2) = rng.Gaussian(right ? 5.0 : -5.0, 0.8);
+    data.at(i, 3) = rng.Gaussian(right ? 3.0 : -3.0, 0.8);
+  }
+
+  std::printf("E19: multiple spectral views via HSIC (slide 90)\n");
+  std::printf("planted: rings in dims {0,1}; blobs in dims {2,3};"
+              " independent assignments\n\n");
+
+  MscOptions opts;
+  opts.num_views = 2;
+  opts.k = 2;
+  // Local affinity scale suited to the ring thickness (the median
+  // heuristic over-smooths concentric rings).
+  opts.gamma = 1.0;
+  opts.seed = 41;
+  auto r = RunMultipleSpectralViews(data, opts);
+  if (!r.ok()) {
+    std::fprintf(stderr, "mSC failed: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  for (const auto& view : r->views) {
+    std::string dims;
+    for (size_t d : view.dims) dims += std::to_string(d) + " ";
+    std::printf("view over dims { %s}: NMI(rings)=%.3f NMI(blobs)=%.3f\n",
+                dims.c_str(),
+                NormalizedMutualInformation(view.clustering.labels, rings)
+                    .value(),
+                NormalizedMutualInformation(view.clustering.labels, blobs)
+                    .value());
+  }
+  auto match = MatchSolutionsToTruths({rings, blobs}, r->solutions.Labels());
+  std::printf("\nrecovery of both planted views: %.3f\n",
+              match->mean_recovery);
+  std::printf("pairwise dim dependence (HSIC):\n");
+  for (size_t a = 0; a < 4; ++a) {
+    std::printf("  ");
+    for (size_t b = 0; b < 4; ++b) {
+      std::printf("%8.4f", r->dim_dependence.at(a, b));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nexpected shape: the dimension blocks {0,1} and {2,3} are"
+              " recovered from the\nHSIC matrix (high within-view, ~0"
+              " across), and the ring view is clustered\ncorrectly —"
+              " something k-means-based multi-clusterers cannot do.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// E12 (tutorial slides 105-107): union vs intersection multi-view DBSCAN.
+// The union combination wins on *sparse* views (each view alone leaves many
+// objects unconnected); the intersection combination wins on *unreliable*
+// views (one view's neighbourhoods are corrupted) — a crossover.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "metrics/clustering_quality.h"
+#include "metrics/partition_similarity.h"
+#include "multiview/mv_dbscan.h"
+#include "multiview/mv_spectral.h"
+
+using namespace multiclust;
+
+namespace {
+
+struct Scenario {
+  Matrix v1;
+  Matrix v2;
+  std::vector<int> truth;
+};
+
+// Sparse scenario: with a tight eps, each *single* view's neighbourhoods
+// stay below the core threshold, but the union across views reaches it —
+// the situation the union rule was designed for (slide 106).
+Scenario MakeSparse(uint64_t seed) {
+  Rng rng(seed);
+  const size_t n = 240;
+  Scenario s;
+  s.v1 = Matrix(n, 2);
+  s.v2 = Matrix(n, 2);
+  s.truth.resize(n);
+  const double c1[3][2] = {{0, 0}, {6, 0}, {0, 6}};
+  const double c2[3][2] = {{3, 3}, {-3, 3}, {0, -4}};
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = rng.NextIndex(3);
+    s.truth[i] = static_cast<int>(c);
+    for (size_t j = 0; j < 2; ++j) {
+      s.v1.at(i, j) = rng.Gaussian(c1[c][j], 0.5);
+      s.v2.at(i, j) = rng.Gaussian(c2[c][j], 0.5);
+    }
+  }
+  return s;
+}
+
+// Unreliable scenario: both views are crisp, but a third of the objects
+// report garbage in one random view.
+Scenario MakeUnreliable(uint64_t seed) {
+  Rng rng(seed);
+  const size_t n = 240;
+  Scenario s;
+  s.v1 = Matrix(n, 2);
+  s.v2 = Matrix(n, 2);
+  s.truth.resize(n);
+  const double c1[3][2] = {{0, 0}, {6, 0}, {0, 6}};
+  const double c2[3][2] = {{3, 3}, {-3, 3}, {0, -4}};
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = rng.NextIndex(3);
+    s.truth[i] = static_cast<int>(c);
+    for (size_t j = 0; j < 2; ++j) {
+      s.v1.at(i, j) = rng.Gaussian(c1[c][j], 0.5);
+      s.v2.at(i, j) = rng.Gaussian(c2[c][j], 0.5);
+    }
+    if (rng.NextDouble() < 0.33) {
+      // Corrupt one view: the object teleports into a *wrong* cluster's
+      // neighbourhood, creating misleading links.
+      const size_t wrong = (c + 1 + rng.NextIndex(2)) % 3;
+      const bool corrupt_v1 = rng.NextDouble() < 0.5;
+      for (size_t j = 0; j < 2; ++j) {
+        if (corrupt_v1) {
+          s.v1.at(i, j) = rng.Gaussian(c1[wrong][j], 0.5);
+        } else {
+          s.v2.at(i, j) = rng.Gaussian(c2[wrong][j], 0.5);
+        }
+      }
+    }
+  }
+  return s;
+}
+
+void Run(const char* name, const Scenario& s, double eps, size_t min_pts) {
+  for (const auto combo :
+       {ViewCombination::kUnion, ViewCombination::kIntersection}) {
+    MvDbscanOptions opts;
+    opts.eps = {eps, eps};
+    opts.min_pts = min_pts;
+    opts.combination = combo;
+    auto c = RunMvDbscan({s.v1, s.v2}, opts);
+    if (!c.ok()) return;
+    std::printf("%-12s %-14s clusters=%2zu noise=%.2f ARI=%.3f\n", name,
+                combo == ViewCombination::kUnion ? "union" : "intersection",
+                c->NumClusters(), NoiseFraction(c->labels),
+                AdjustedRandIndex(c->labels, s.truth).value());
+  }
+  // Multi-view spectral reference (slide 100): fuses the affinities
+  // instead of the neighbourhood sets.
+  MvSpectralOptions spec;
+  spec.k = 3;
+  spec.seed = 1;
+  auto sc = RunMvSpectral({s.v1, s.v2}, spec);
+  if (sc.ok()) {
+    std::printf("%-12s %-14s clusters=%2zu noise=%.2f ARI=%.3f\n", name,
+                "mv-spectral", sc->NumClusters(),
+                NoiseFraction(sc->labels),
+                AdjustedRandIndex(sc->labels, s.truth).value());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E12: union vs intersection multi-view DBSCAN"
+              " (slides 105-107)\n\n");
+  // Sparse: tight eps (0.25) — single views are below the core threshold.
+  Run("sparse", MakeSparse(61), 0.25, 6);
+  Run("sparse", MakeSparse(62), 0.25, 6);
+  std::printf("\n");
+  // Unreliable: generous eps, but a third of objects lie in a wrong
+  // cluster's neighbourhood in one view.
+  Run("unreliable", MakeUnreliable(63), 1.1, 5);
+  Run("unreliable", MakeUnreliable(64), 1.1, 5);
+  std::printf("\nexpected shape: union wins the sparse scenario (low noise,"
+              " perfect ARI) while\nintersection labels everything noise;"
+              " intersection wins the unreliable scenario\n(corrupted links"
+              " filtered) while union collapses into one merged cluster —\n"
+              "the combination rule must match the data pathology.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// E6 (tutorial slides 57-60): the orthogonal-projection iteration of Cui et
+// al. 2007 extracts one view per round and stops when the residual space is
+// exhausted — determining the number of clusterings automatically.
+#include <cstdio>
+
+#include "cluster/kmeans.h"
+#include "data/generators.h"
+#include "metrics/multi_solution.h"
+#include "metrics/partition_similarity.h"
+#include "orthogonal/ortho_projection.h"
+
+using namespace multiclust;
+
+int main() {
+  // Three independent planted views in 6 dimensions, with staggered
+  // strengths: each clustering round locks onto the strongest remaining
+  // factor, which the projection then removes (slide 57).
+  std::vector<ViewSpec> views(3);
+  views[0] = {2, 2, 26.0, 0.7, "v0"};
+  views[1] = {2, 2, 16.0, 0.7, "v1"};
+  views[2] = {2, 2, 9.0, 0.7, "v2"};
+  auto ds = MakeMultiView(240, views, 0, 9);
+  std::vector<std::vector<int>> truths = {ds->GroundTruth("v0").value(),
+                                          ds->GroundTruth("v1").value(),
+                                          ds->GroundTruth("v2").value()};
+
+  std::printf("E6: orthogonal projection iteration (slides 57-60)\n");
+  std::printf("data: 6 dims, 3 planted views (strong, medium, weak)\n\n");
+
+  KMeansOptions km;
+  km.k = 2;
+  km.restarts = 8;
+  km.seed = 9;
+  KMeansClusterer clusterer(km);
+  OrthoProjectionOptions opts;
+  opts.max_views = 5;
+  opts.min_residual_variance = 0.05;
+  auto r = RunOrthoProjection(ds->data(), &clusterer, opts);
+  if (!r.ok()) return 1;
+
+  std::printf("%6s %18s %18s %18s %12s\n", "iter", "NMI(v0)", "NMI(v1)",
+              "NMI(v2)", "residualVar");
+  for (size_t i = 0; i < r->views.size(); ++i) {
+    const auto& labels = r->views[i].clustering.labels;
+    std::printf("%6zu %18.3f %18.3f %18.3f %12.4f\n", i,
+                NormalizedMutualInformation(labels, truths[0]).value(),
+                NormalizedMutualInformation(labels, truths[1]).value(),
+                NormalizedMutualInformation(labels, truths[2]).value(),
+                r->views[i].residual_variance);
+  }
+  auto match = MatchSolutionsToTruths(truths, r->solutions.Labels());
+  std::printf("\nviews extracted: %zu; matched recovery of the 3 planted"
+              " views: %.3f\n",
+              r->views.size(), match->mean_recovery);
+  std::printf("expected shape: each iteration aligns with a different"
+              " planted view, the\nresidual variance drops monotonically,"
+              " and iteration stops on its own.\n");
+  return 0;
+}

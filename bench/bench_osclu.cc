@@ -1,0 +1,83 @@
+// E9 (tutorial slides 80-87): OSCLU's orthogonal-concept selection under
+// its beta (subspace coverage) and alpha (object novelty) parameters, and
+// ASCLU's alternative mining given one known view.
+#include <cstdio>
+
+#include "data/generators.h"
+#include "subspace/asclu.h"
+#include "subspace/clique.h"
+#include "subspace/osclu.h"
+
+using namespace multiclust;
+
+int main() {
+  std::vector<ViewSpec> views(2);
+  views[0] = {2, 2, 10.0, 0.6, ""};
+  views[1] = {2, 3, 10.0, 0.6, ""};
+  auto ds = MakeMultiView(300, views, 1, 41);
+  const auto v0 = ds->GroundTruth("view0").value();
+  const auto v1 = ds->GroundTruth("view1").value();
+
+  CliqueOptions clique;
+  clique.xi = 8;
+  clique.tau = 0.04;
+  clique.max_dims = 2;
+  auto all = RunClique(ds->data(), clique);
+  if (!all.ok()) return 1;
+  std::printf("E9: OSCLU / ASCLU orthogonal concepts (slides 80-87)\n");
+  std::printf("candidates from CLIQUE: %zu clusters in %zu subspaces\n\n",
+              all->clusters.size(), all->NumSubspaces());
+
+  std::printf("OSCLU parameter sweep:\n%8s %8s | %9s %11s %10s %10s\n",
+              "beta", "alpha", "#selected", "#subspaces", "F1(view0)",
+              "F1(view1)");
+  for (double beta : {0.1, 0.5, 1.0}) {
+    for (double alpha : {0.2, 0.6, 0.95}) {
+      OscluOptions opts;
+      opts.beta = beta;
+      opts.alpha = alpha;
+      auto sel = RunOsclu(*all, opts);
+      if (!sel.ok()) continue;
+      std::printf("%8.1f %8.2f | %9zu %11zu %10.3f %10.3f\n", beta, alpha,
+                  sel->clusters.size(), sel->NumSubspaces(),
+                  SubspacePairF1(*sel, v0).value(),
+                  SubspacePairF1(*sel, v1).value());
+    }
+  }
+
+  // ASCLU: given the clusters of view 0's subspace, mine alternatives.
+  SubspaceClustering known;
+  for (const auto& c : all->clusters) {
+    if (c.dims == std::vector<size_t>{0, 1}) known.clusters.push_back(c);
+  }
+  AscluOptions asclu;
+  asclu.osclu.beta = 0.5;
+  asclu.osclu.alpha = 0.4;
+  asclu.alpha_known = 0.5;
+  auto alt = RunAsclu(*all, known, asclu);
+  if (!alt.ok()) return 1;
+
+  size_t mass_v0 = 0, mass_v1 = 0;
+  for (const auto& c : alt->clusters) {
+    bool in_v0 = false, in_v1 = false;
+    for (size_t d : c.dims) {
+      in_v0 |= (d <= 1);
+      in_v1 |= (d == 2 || d == 3);
+    }
+    if (in_v0) mass_v0 += c.support();
+    if (in_v1) mass_v1 += c.support();
+  }
+  std::printf("\nASCLU given the %zu known view-0 clusters: %zu alternative"
+              " clusters\n  support mass touching view-0 dims: %zu;"
+              " view-1 dims: %zu\n",
+              known.clusters.size(), alt->clusters.size(), mass_v0, mass_v1);
+  std::printf("\nexpected shape: the selection is a small orthogonal subset"
+              " of the candidates\nwith both planted views represented."
+              " On *cleanly* planted data the selection is\ninsensitive to"
+              " alpha/beta because object freshness is bimodal (clusters are"
+              "\neither disjoint or near-duplicates) — the parameters bite"
+              " on overlapping\nstructures, which the osclu property tests"
+              " cover. ASCLU's alternatives must\nconcentrate their support"
+              " on the not-yet-known view.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// E18 (tutorial slide 66): projected-clustering substrate comparison.
+// PROCLUS (axis-parallel, iterative medoids), DOC (Monte-Carlo boxes) and
+// ORCLUS (arbitrarily oriented subspaces) on (a) axis-parallel planted
+// clusters and (b) diagonally oriented clusters that axis-parallel methods
+// cannot represent.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "metrics/partition_similarity.h"
+#include "subspace/doc.h"
+#include "subspace/orclus.h"
+#include "subspace/proclus.h"
+
+using namespace multiclust;
+
+namespace {
+
+struct Workload {
+  Matrix data;
+  std::vector<int> truth;
+};
+
+// Three axis-parallel clusters in dims {0,1,2} with 2 noise dims.
+Workload MakeAxisParallel(uint64_t seed) {
+  std::vector<ViewSpec> views(1);
+  views[0] = {3, 3, 12.0, 0.5, ""};
+  auto ds = MakeMultiView(240, views, 2, seed);
+  return {ds->data(), ds->GroundTruth("view0").value()};
+}
+
+// Two elongated diagonal clusters plus an irrelevant dimension.
+Workload MakeOriented(uint64_t seed) {
+  Rng rng(seed);
+  const size_t per = 90;
+  Workload w;
+  w.data = Matrix(2 * per, 3);
+  w.truth.resize(2 * per);
+  for (size_t i = 0; i < 2 * per; ++i) {
+    const bool second = i >= per;
+    const double t = rng.Gaussian(0, 4.0);
+    const double s = rng.Gaussian(0, 0.3);
+    w.data.at(i, 0) = t + (second ? 2.5 : -2.5);
+    w.data.at(i, 1) = t + s + (second ? -2.5 : 2.5);
+    w.data.at(i, 2) = rng.Gaussian(0, 2.0);
+    w.truth[i] = second ? 1 : 0;
+  }
+  return w;
+}
+
+void Evaluate(const char* workload, const Workload& w, size_t k,
+              size_t dims, size_t orclus_l) {
+  ProclusOptions po;
+  po.k = k;
+  po.avg_dims = dims;
+  po.seed = 5;
+  auto proclus = RunProclus(w.data, po);
+
+  DocOptions doco;
+  doco.k = k;
+  doco.w = 2.0;
+  doco.seed = 5;
+  doco.outer_trials = 40;
+  auto doc = RunDoc(w.data, doco);
+  // DOC yields subspace clusters; flatten to a labeling for comparison.
+  std::vector<int> doc_labels(w.data.rows(), -1);
+  if (doc.ok()) {
+    int next = 0;
+    for (const auto& c : doc->clusters) {
+      for (int obj : c.objects) doc_labels[obj] = next;
+      ++next;
+    }
+  }
+
+  OrclusOptions oo;
+  oo.k = k;
+  oo.l = orclus_l;
+  oo.restarts = 8;
+  oo.seed = 5;
+  auto orclus = RunOrclus(w.data, oo);
+
+  std::printf("%-14s | PROCLUS ARI=%.3f | DOC ARI=%.3f | ORCLUS ARI=%.3f\n",
+              workload,
+              proclus.ok()
+                  ? AdjustedRandIndex(proclus->clustering.labels, w.truth)
+                        .value()
+                  : -1.0,
+              doc.ok() ? AdjustedRandIndex(doc_labels, w.truth).value()
+                       : -1.0,
+              orclus.ok()
+                  ? AdjustedRandIndex(orclus->clustering.labels, w.truth)
+                        .value()
+                  : -1.0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E18: projected clustering — axis-parallel vs oriented"
+              " (slide 66)\n\n");
+  // ORCLUS's l is set to the planted intrinsic dimensionality in each
+  // case (3 for the axis-parallel blobs, 1 for the diagonal strips) — the
+  // parameter the original paper also assumes is user-provided.
+  Evaluate("axis-parallel", MakeAxisParallel(31), 3, 3, 3);
+  Evaluate("axis-parallel", MakeAxisParallel(32), 3, 3, 3);
+  Evaluate("oriented", MakeOriented(33), 2, 2, 1);
+  Evaluate("oriented", MakeOriented(34), 2, 2, 1);
+  std::printf("\nexpected shape: all three methods handle axis-parallel"
+              " structure; on oriented\nclusters only ORCLUS's eigen-derived"
+              " subspaces separate the strips — the\ngeneralisation the"
+              " tutorial credits to Aggarwal & Yu 2000.\n");
+  return 0;
+}

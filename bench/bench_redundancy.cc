@@ -1,0 +1,65 @@
+// E8 (tutorial slides 76-77, after Müller et al. 2009b): redundancy in raw
+// subspace clustering is the cause of low quality and high runtime. Sweep
+// the number of irrelevant dimensions; compare raw CLIQUE output against
+// OSCLU- and RESCU-selected results on size, runtime and accuracy.
+#include <chrono>
+#include <cstdio>
+
+#include "data/generators.h"
+#include "subspace/clique.h"
+#include "subspace/osclu.h"
+#include "subspace/rescu.h"
+#include "subspace/subspace_cluster.h"
+
+using namespace multiclust;
+
+namespace {
+
+double Ms(std::chrono::steady_clock::time_point a,
+          std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E8: redundancy causes low quality and high runtime"
+              " (slides 76-77)\n\n");
+  std::printf("%6s | %9s %9s %8s | %7s %8s | %7s %8s\n", "dims",
+              "CLIQUE#", "time(ms)", "F1", "OSCLU#", "F1", "RESCU#", "F1");
+
+  for (size_t noise_dims : {0, 2, 4, 6}) {
+    std::vector<ViewSpec> views(2);
+    views[0] = {2, 2, 10.0, 0.6, ""};
+    views[1] = {2, 3, 10.0, 0.6, ""};
+    auto ds = MakeMultiView(300, views, noise_dims, 31 + noise_dims);
+    const auto v0 = ds->GroundTruth("view0").value();
+
+    CliqueOptions clique;
+    clique.xi = 8;
+    clique.tau = 0.04;
+    clique.max_dims = 3;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto all = RunClique(ds->data(), clique);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!all.ok()) continue;
+
+    OscluOptions osclu;
+    osclu.beta = 0.5;
+    osclu.alpha = 0.4;
+    auto o = RunOsclu(*all, osclu);
+    RescuOptions rescu;
+    auto r = RunRescu(*all, rescu);
+
+    std::printf("%6zu | %9zu %9.1f %8.3f | %7zu %8.3f | %7zu %8.3f\n",
+                4 + noise_dims, all->clusters.size(), Ms(t0, t1),
+                SubspacePairF1(*all, v0).value(), o->clusters.size(),
+                SubspacePairF1(*o, v0).value(), r->clusters.size(),
+                SubspacePairF1(*r, v0).value());
+  }
+  std::printf("\nexpected shape: the raw result and its runtime blow up with"
+              " added irrelevant\ndimensions while the selected results stay"
+              " small with comparable (or better)\naccuracy — redundancy"
+              " elimination is what keeps subspace clustering usable.\n");
+  return 0;
+}

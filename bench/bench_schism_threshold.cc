@@ -1,0 +1,65 @@
+// E7 (tutorial slides 69-73): the slide-73 curve — SCHISM's Chernoff-
+// Hoeffding support threshold tau(s) decreases with subspace
+// dimensionality, unlike CLIQUE's fixed tau — and its effect on dense-unit
+// mining on planted high-dimensional data.
+#include <cstdio>
+
+#include "data/generators.h"
+#include "stats/tails.h"
+#include "subspace/clique.h"
+#include "subspace/schism.h"
+
+using namespace multiclust;
+
+int main() {
+  std::printf("E7: SCHISM adaptive threshold tau(s) (slide 73)\n\n");
+  std::printf("threshold fraction per subspace dimensionality s"
+              " (n = 1000, xi = 10):\n");
+  std::printf("%4s", "s");
+  for (size_t s = 1; s <= 10; ++s) std::printf(" %8zu", s);
+  std::printf("\n%4s", "tau");
+  for (size_t s = 1; s <= 10; ++s) {
+    std::printf(" %8.4f", SchismThresholdFraction(s, 10, 1000, 0.05));
+  }
+  std::printf("\nfixed CLIQUE threshold for comparison:        "
+              " 0.1000 at every s\n\n");
+
+  // Effect on mining: planted clusters in 2-D and 3-D subspaces.
+  std::vector<ViewSpec> views(2);
+  views[0] = {2, 2, 10.0, 0.6, ""};
+  views[1] = {3, 3, 10.0, 0.6, ""};
+  auto ds = MakeMultiView(400, views, 1, 21);
+
+  auto count_by_dim = [](const SubspaceClustering& sc, size_t max_d) {
+    std::vector<size_t> counts(max_d + 1, 0);
+    for (const auto& c : sc.clusters) {
+      if (c.dims.size() <= max_d) ++counts[c.dims.size()];
+    }
+    return counts;
+  };
+
+  CliqueOptions clique;
+  clique.xi = 12;
+  clique.tau = 0.12;  // calibrated for 1-D cell densities
+  clique.max_dims = 3;
+  auto rc = RunClique(ds->data(), clique);
+  SchismOptions schism;
+  schism.xi = 12;
+  schism.tau = 0.01;
+  schism.max_dims = 3;
+  auto rs = RunSchism(ds->data(), schism);
+
+  const auto cc = count_by_dim(*rc, 3);
+  const auto cs = count_by_dim(*rs, 3);
+  std::printf("clusters found by subspace dimensionality (planted: 2-D and"
+              " 3-D structure):\n");
+  std::printf("%18s %8s %8s %8s\n", "", "1-D", "2-D", "3-D");
+  std::printf("%18s %8zu %8zu %8zu\n", "CLIQUE (fixed)", cc[1], cc[2],
+              cc[3]);
+  std::printf("%18s %8zu %8zu %8zu\n", "SCHISM (adaptive)", cs[1], cs[2],
+              cs[3]);
+  std::printf("\nexpected shape: tau(s) decreases in s; the fixed CLIQUE"
+              " threshold misses the\nhigher-dimensional planted clusters"
+              " that SCHISM keeps.\n");
+  return 0;
+}

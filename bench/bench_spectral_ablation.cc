@@ -1,0 +1,81 @@
+// A2 (ablation): the in-house Jacobi eigensolver behind spectral
+// clustering. Sweeps the convergence tolerance and measures wall time and
+// clustering quality on the two-rings benchmark — documenting that the
+// library default (1e-12) buys accuracy at modest cost.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "cluster/kmeans.h"
+#include "data/generators.h"
+#include "linalg/decomposition.h"
+#include "metrics/partition_similarity.h"
+#include "stats/hsic.h"
+
+using namespace multiclust;
+
+namespace {
+
+// Spectral clustering with an explicit eigensolver tolerance (mirrors
+// RunSpectral but exposes the knob under ablation).
+Result<Clustering> SpectralWithTol(const Matrix& data, size_t k, double gamma,
+                                   double tol, uint64_t seed) {
+  const size_t n = data.rows();
+  Matrix w = GaussianKernelMatrix(data, gamma);
+  for (size_t i = 0; i < n; ++i) w.at(i, i) = 0.0;
+  std::vector<double> inv_sqrt_deg(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double deg = 0.0;
+    for (size_t j = 0; j < n; ++j) deg += w.at(i, j);
+    inv_sqrt_deg[i] = deg > 1e-12 ? 1.0 / std::sqrt(deg) : 0.0;
+  }
+  Matrix norm(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      norm.at(i, j) = inv_sqrt_deg[i] * w.at(i, j) * inv_sqrt_deg[j];
+    }
+  }
+  MC_ASSIGN_OR_RETURN(SymmetricEigen eig, EigenSymmetric(norm, tol));
+  Matrix embed(n, k);
+  for (size_t i = 0; i < n; ++i) {
+    double norm_sq = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      embed.at(i, c) = eig.vectors.at(i, c);
+      norm_sq += embed.at(i, c) * embed.at(i, c);
+    }
+    if (norm_sq > 1e-24) {
+      const double inv = 1.0 / std::sqrt(norm_sq);
+      for (size_t c = 0; c < k; ++c) embed.at(i, c) *= inv;
+    }
+  }
+  KMeansOptions km;
+  km.k = k;
+  km.restarts = 5;
+  km.seed = seed;
+  return RunKMeans(embed, km);
+}
+
+}  // namespace
+
+int main() {
+  auto ds = MakeTwoRings(100, 1.5, 6.0, 0.08, 111);
+  const auto truth = ds->GroundTruth("rings").value();
+
+  std::printf("A2: Jacobi eigensolver tolerance vs spectral quality\n\n");
+  std::printf("%10s %12s %10s\n", "tol", "time(ms)", "ARI");
+  for (double tol : {0.5, 1e-1, 1e-2, 1e-4, 1e-6, 1e-9, 1e-12}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto c = SpectralWithTol(ds->data(), 2, 2.0, tol, 111);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!c.ok()) continue;
+    std::printf("%10.0e %12.1f %10.3f\n", tol,
+                std::chrono::duration<double, std::milli>(t1 - t0).count(),
+                AdjustedRandIndex(c->labels, truth).value());
+  }
+  std::printf("\nexpected shape: extremely loose tolerances terminate the"
+              " Jacobi sweeps before\nthe embedding separates the rings;"
+              " once the sweeps run (<= ~1e-2 here) the\nresult is exact"
+              " and tightening further only adds modest cost — the 1e-12\n"
+              "library default buys determinism at little expense.\n");
+  return 0;
+}

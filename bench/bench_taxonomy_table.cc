@@ -1,0 +1,12 @@
+// T1 (tutorial slide 116): the taxonomy comparison table, generated from
+// the AlgorithmTraits registry so code and documentation cannot drift.
+#include <cstdio>
+
+#include "core/taxonomy.h"
+
+int main() {
+  std::printf("T1: taxonomy of multiple-clustering approaches "
+              "(tutorial slide 116)\n\n%s",
+              multiclust::RenderTaxonomyTable().c_str());
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Text analysis (tutorial slide 7): documents embed into a topic space in
+// which some topics are already known (DB / DM / ML); the analyst wants the
+// *novel* topics. We synthesise document embeddings with a known 3-topic
+// structure in one subspace and a hidden 2-topic structure in another, then
+// use minCEntropy and the residual transformation to surface the novelty.
+//
+// Build & run:  ./build/examples/document_topics
+#include <cstdio>
+
+#include "altspace/min_centropy.h"
+#include "cluster/kmeans.h"
+#include "data/generators.h"
+#include "metrics/partition_similarity.h"
+#include "orthogonal/residual_transform.h"
+
+using namespace multiclust;
+
+int main() {
+  // Documents: dims {0,1,2} encode the known taxonomy (3 topics),
+  // dims {3,4} a hidden alternative theme (2 topics).
+  // The known taxonomy dominates the embedding (wider spread), as a well
+  // established taxonomy would; the novel theme is a weaker signal.
+  std::vector<ViewSpec> views(2);
+  views[0] = {3, 3, 18.0, 0.9, "known_topics"};
+  views[1] = {2, 2, 8.0, 0.9, "novel_theme"};
+  auto ds = MakeMultiView(/*num_objects=*/260, views, /*noise_dims=*/1,
+                          /*seed=*/5);
+  if (!ds.ok()) return 1;
+  const auto known = ds->GroundTruth("known_topics").value();
+  const auto novel = ds->GroundTruth("novel_theme").value();
+  std::printf("documents: %zu, embedding dims: %zu\n", ds->num_objects(),
+              ds->num_dims());
+  std::printf("known taxonomy: 3 topics; hidden alternative: 2 themes\n\n");
+
+  // Baseline: plain k-means at the known taxonomy's k rediscovers it.
+  KMeansOptions km3;
+  km3.k = 3;
+  km3.restarts = 8;
+  km3.seed = 5;
+  auto baseline = RunKMeans(ds->data(), km3);
+  KMeansOptions km;
+  km.k = 2;
+  km.restarts = 8;
+  km.seed = 5;
+  std::printf("baseline k-means(3):        NMI(known)=%.3f NMI(novel)=%.3f\n",
+              NormalizedMutualInformation(baseline->labels, known).value(),
+              NormalizedMutualInformation(baseline->labels, novel).value());
+
+  // minCEntropy: penalise information shared with the known taxonomy.
+  MinCEntropyOptions mce;
+  mce.k = 2;
+  mce.lambda = 2.5;
+  mce.seed = 5;
+  auto alternative = RunMinCEntropy(ds->data(), {known}, mce);
+  if (!alternative.ok()) return 1;
+  std::printf("minCEntropy alternative:    NMI(known)=%.3f NMI(novel)=%.3f\n",
+              NormalizedMutualInformation(alternative->labels, known).value(),
+              NormalizedMutualInformation(alternative->labels, novel)
+                  .value());
+
+  // Residual transformation (Qi & Davidson 2009): closed-form map away
+  // from the known topic means, then recluster.
+  KMeansClusterer clusterer(km);
+  auto residual = RunResidualTransform(ds->data(), known, &clusterer);
+  if (!residual.ok()) return 1;
+  std::printf("residual transform + kmeans: NMI(known)=%.3f NMI(novel)=%.3f\n",
+              NormalizedMutualInformation(residual->clustering.labels, known)
+                  .value(),
+              NormalizedMutualInformation(residual->clustering.labels, novel)
+                  .value());
+
+  std::printf(
+      "\nBoth alternative-clustering routes suppress the known taxonomy."
+      " The original-\nspace method (minCEntropy) finds *an* alternative but"
+      " the dominant known-topic\naxes obfuscate the weak hidden theme —"
+      " exactly the limitation the tutorial\nascribes to original-space"
+      " methods (slide 46). The space transformation\n(Qi & Davidson)"
+      " removes the dominant factors first and recovers the hidden\ntheme"
+      " cleanly.\n");
+  return 0;
+}

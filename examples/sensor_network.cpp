@@ -1,0 +1,80 @@
+// Sensor surveillance (tutorial slide 6): sensor nodes carry two physical
+// views (temperature, humidity) with independent groupings, and some nodes
+// report unreliable values. Multi-view DBSCAN combines the views by union
+// (good for sparse views) or intersection (good for unreliable views), and
+// co-EM fits a consensus mixture across views.
+//
+// Build & run:  ./build/examples/sensor_network
+#include <cstdio>
+
+#include "data/generators.h"
+#include "metrics/clustering_quality.h"
+#include "metrics/partition_similarity.h"
+#include "multiview/co_em.h"
+#include "multiview/mv_dbscan.h"
+
+using namespace multiclust;
+
+int main() {
+  auto ds = MakeSensorScenario(/*num_sensors=*/240, /*unreliable_frac=*/0.15,
+                               /*seed=*/3);
+  if (!ds.ok()) return 1;
+  const Matrix temperature_view = ds->data().SelectColumns({0, 1});
+  const Matrix humidity_view = ds->data().SelectColumns({2, 3});
+  const auto temp_truth = ds->GroundTruth("temperature").value();
+  const auto hum_truth = ds->GroundTruth("humidity").value();
+  std::printf("sensors: %zu (15%% with one unreliable view)\n\n",
+              ds->num_objects());
+
+  // Multi-view DBSCAN, both combination rules.
+  for (const auto combo :
+       {ViewCombination::kUnion, ViewCombination::kIntersection}) {
+    MvDbscanOptions opts;
+    opts.eps = {1.4, 1.4};
+    opts.min_pts = 5;
+    opts.combination = combo;
+    auto c = RunMvDbscan({temperature_view, humidity_view}, opts);
+    if (!c.ok()) return 1;
+    std::printf("%-24s clusters=%zu noise=%.2f"
+                "  NMI(temp)=%.3f  NMI(humidity)=%.3f\n",
+                c->algorithm.c_str(), c->NumClusters(),
+                NoiseFraction(c->labels),
+                NormalizedMutualInformation(c->labels, temp_truth).value(),
+                NormalizedMutualInformation(c->labels, hum_truth).value());
+  }
+
+  // Per-view DBSCAN baselines (single representation only).
+  for (int view = 0; view < 2; ++view) {
+    MvDbscanOptions opts;
+    opts.eps = {1.4};
+    opts.min_pts = 5;
+    auto c = RunMvDbscan({view == 0 ? temperature_view : humidity_view},
+                         opts);
+    if (!c.ok()) return 1;
+    std::printf("single-view %-12s clusters=%zu noise=%.2f  NMI(own)=%.3f\n",
+                view == 0 ? "temperature" : "humidity", c->NumClusters(),
+                NoiseFraction(c->labels),
+                NormalizedMutualInformation(
+                    c->labels, view == 0 ? temp_truth : hum_truth)
+                    .value());
+  }
+
+  // co-EM consensus across the views (treats them as two representations
+  // of one grouping; agreement measures how compatible the views are).
+  CoEmOptions coem;
+  coem.k = 3;
+  coem.seed = 3;
+  auto r = RunCoEm(temperature_view, humidity_view, coem);
+  if (!r.ok()) return 1;
+  std::printf("\nco-EM: %zu iterations, inter-view agreement %.3f\n",
+              r->iterations, r->agreement);
+  std::printf("  consensus NMI(temp)=%.3f NMI(humidity)=%.3f\n",
+              NormalizedMutualInformation(r->consensus.labels, temp_truth)
+                  .value(),
+              NormalizedMutualInformation(r->consensus.labels, hum_truth)
+                  .value());
+  std::printf("\n(The views carry independent groupings, so a low agreement"
+              " is the expected\n signal that a single consensus clustering"
+              " cannot explain this network.)\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+#include "altspace/cami.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace multiclust {
+
+namespace {
+
+double MeanVariance(const GmmComponent& c) {
+  double s = 0.0;
+  for (double v : c.variances) s += v;
+  return s / static_cast<double>(c.variances.size());
+}
+
+// Adds the gradient of the overlap penalty w.r.t. the means of `target`,
+// scaled by -mu * step (i.e. moves means to *decrease* overlap with
+// `other`).
+void RepelMeans(const GmmModel& other, double mu, double step,
+                GmmModel* target) {
+  for (GmmComponent& tc : target->components) {
+    const double st = MeanVariance(tc);
+    std::vector<double> grad(tc.mean.size(), 0.0);
+    for (const GmmComponent& oc : other.components) {
+      const double so = MeanVariance(oc);
+      const double denom = 2.0 * (st + so);
+      double dist2 = 0.0;
+      for (size_t j = 0; j < tc.mean.size(); ++j) {
+        const double d = tc.mean[j] - oc.mean[j];
+        dist2 += d * d;
+      }
+      const double overlap = tc.weight * oc.weight *
+                             std::exp(-dist2 / denom);
+      // d overlap / d mean = overlap * (-(mu_t - mu_o) / (st + so))
+      for (size_t j = 0; j < tc.mean.size(); ++j) {
+        grad[j] += overlap * (-(tc.mean[j] - oc.mean[j]) / (st + so));
+      }
+    }
+    // Gradient *descent* on the penalised objective -mu * overlap: move
+    // against the overlap gradient.
+    for (size_t j = 0; j < tc.mean.size(); ++j) {
+      tc.mean[j] -= mu * step * grad[j];
+    }
+  }
+}
+
+}  // namespace
+
+double CamiOverlap(const GmmModel& m1, const GmmModel& m2) {
+  double total = 0.0;
+  for (const GmmComponent& a : m1.components) {
+    const double sa = MeanVariance(a);
+    for (const GmmComponent& b : m2.components) {
+      const double sb = MeanVariance(b);
+      double dist2 = 0.0;
+      for (size_t j = 0; j < a.mean.size() && j < b.mean.size(); ++j) {
+        const double d = a.mean[j] - b.mean[j];
+        dist2 += d * d;
+      }
+      total += a.weight * b.weight *
+               std::exp(-dist2 / (2.0 * (sa + sb)));
+    }
+  }
+  return total;
+}
+
+Result<CamiResult> RunCami(const Matrix& data, const CamiOptions& options) {
+  if (data.rows() == 0) return Status::InvalidArgument("CAMI: empty data");
+  Rng rng(options.seed);
+
+  CamiResult best;
+  double best_objective = -std::numeric_limits<double>::infinity();
+  bool have_best = false;
+
+  const size_t restarts = options.restarts == 0 ? 1 : options.restarts;
+  for (size_t restart = 0; restart < restarts; ++restart) {
+    MC_ASSIGN_OR_RETURN(GmmModel m1,
+                        InitGmm(data, options.k1, CovarianceType::kDiagonal,
+                                rng.NextU64()));
+    MC_ASSIGN_OR_RETURN(GmmModel m2,
+                        InitGmm(data, options.k2, CovarianceType::kDiagonal,
+                                rng.NextU64()));
+
+    double prev = -std::numeric_limits<double>::infinity();
+    for (size_t iter = 0; iter < options.max_iters; ++iter) {
+      MC_RETURN_IF_ERROR(
+          EmStep(data, options.variance_floor, &m1).status());
+      MC_RETURN_IF_ERROR(
+          EmStep(data, options.variance_floor, &m2).status());
+      // Penalty step: mixtures repel each other's means. The step size is
+      // scaled by the data size so mu is roughly comparable to the
+      // log-likelihood scale.
+      const double step = 1.0;
+      RepelMeans(m2, options.mu, step, &m1);
+      RepelMeans(m1, options.mu, step, &m2);
+
+      const double objective = m1.TotalLogLikelihood(data) +
+                               m2.TotalLogLikelihood(data) -
+                               options.mu * CamiOverlap(m1, m2);
+      if (std::isfinite(prev) &&
+          std::fabs(objective - prev) <=
+              options.tol * (std::fabs(prev) + 1.0)) {
+        break;
+      }
+      prev = objective;
+    }
+
+    const double overlap = CamiOverlap(m1, m2);
+    const double objective = m1.TotalLogLikelihood(data) +
+                             m2.TotalLogLikelihood(data) -
+                             options.mu * overlap;
+    if (!have_best || objective > best_objective) {
+      best_objective = objective;
+      best.model1 = m1;
+      best.model2 = m2;
+      best.objective = objective;
+      best.overlap = overlap;
+      have_best = true;
+    }
+  }
+
+  Clustering c1;
+  c1.labels = best.model1.HardAssign(data);
+  c1.quality = best.model1.TotalLogLikelihood(data);
+  c1.algorithm = "cami";
+  Clustering c2;
+  c2.labels = best.model2.HardAssign(data);
+  c2.quality = best.model2.TotalLogLikelihood(data);
+  c2.algorithm = "cami";
+  MC_RETURN_IF_ERROR(best.solutions.Add(std::move(c1)));
+  MC_RETURN_IF_ERROR(best.solutions.Add(std::move(c2)));
+  return best;
+}
+
+}  // namespace multiclust

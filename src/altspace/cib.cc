@@ -1,0 +1,288 @@
+#include "altspace/cib.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "metrics/partition_similarity.h"
+#include "stats/contingency.h"
+
+namespace multiclust {
+
+namespace {
+
+// Mutual information (nats) of a weighted joint table t[c][y] (any
+// non-negative weights; normalised internally).
+double MiFromTable(const std::vector<std::vector<double>>& t) {
+  const size_t rows = t.size();
+  if (rows == 0) return 0.0;
+  const size_t cols = t[0].size();
+  std::vector<double> row(rows, 0.0), col(cols, 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      row[i] += t[i][j];
+      col[j] += t[i][j];
+      total += t[i][j];
+    }
+  }
+  if (total <= 0) return 0.0;
+  double mi = 0.0;
+  for (size_t i = 0; i < rows; ++i) {
+    if (row[i] <= 0) continue;
+    for (size_t j = 0; j < cols; ++j) {
+      if (t[i][j] <= 0 || col[j] <= 0) continue;
+      mi += t[i][j] / total *
+            std::log(t[i][j] * total / (row[i] * col[j]));
+    }
+  }
+  return mi < 0 ? 0 : mi;
+}
+
+// Per-conditioning-cell cluster-feature tables.
+struct CibState {
+  // tables[d][c][y]: summed counts of features y over objects with known
+  // label d assigned to cluster c.
+  std::vector<std::vector<std::vector<double>>> tables;
+  std::vector<double> cell_mass;  // total count mass per conditioning cell
+  double total_mass = 0.0;
+
+  double ConditionalInformation() const {
+    double ci = 0.0;
+    for (size_t d = 0; d < tables.size(); ++d) {
+      if (cell_mass[d] <= 0) continue;
+      ci += cell_mass[d] / total_mass * MiFromTable(tables[d]);
+    }
+    return ci;
+  }
+};
+
+}  // namespace
+
+Result<double> FeatureInformation(const Matrix& counts,
+                                  const std::vector<int>& labels) {
+  if (counts.rows() != labels.size()) {
+    return Status::InvalidArgument("FeatureInformation: size mismatch");
+  }
+  std::vector<int> dense;
+  const size_t k = DenseRelabel(labels, &dense);
+  std::vector<std::vector<double>> table(
+      k, std::vector<double>(counts.cols(), 0.0));
+  for (size_t i = 0; i < counts.rows(); ++i) {
+    if (dense[i] < 0) continue;
+    for (size_t j = 0; j < counts.cols(); ++j) {
+      table[dense[i]][j] += counts.at(i, j);
+    }
+  }
+  return MiFromTable(table);
+}
+
+Result<double> ConditionalFeatureInformation(const Matrix& counts,
+                                             const std::vector<int>& labels,
+                                             const std::vector<int>& known) {
+  if (counts.rows() != labels.size() || counts.rows() != known.size()) {
+    return Status::InvalidArgument(
+        "ConditionalFeatureInformation: size mismatch");
+  }
+  std::vector<int> dense_c, dense_d;
+  const size_t k = DenseRelabel(labels, &dense_c);
+  std::vector<int> known_shifted = known;
+  // Noise objects of the known clustering form their own cell.
+  for (int& l : known_shifted) {
+    if (l < 0) l = 1 << 20;
+  }
+  const size_t num_d = DenseRelabel(known_shifted, &dense_d);
+
+  CibState state;
+  state.tables.assign(
+      num_d, std::vector<std::vector<double>>(
+                 k, std::vector<double>(counts.cols(), 0.0)));
+  state.cell_mass.assign(num_d, 0.0);
+  for (size_t i = 0; i < counts.rows(); ++i) {
+    if (dense_c[i] < 0) continue;
+    for (size_t j = 0; j < counts.cols(); ++j) {
+      const double v = counts.at(i, j);
+      state.tables[dense_d[i]][dense_c[i]][j] += v;
+      state.cell_mass[dense_d[i]] += v;
+      state.total_mass += v;
+    }
+  }
+  if (state.total_mass <= 0) return 0.0;
+  return state.ConditionalInformation();
+}
+
+Result<CibResult> RunCib(const Matrix& counts, const std::vector<int>& known,
+                         const CibOptions& options) {
+  const size_t n = counts.rows();
+  if (n == 0) return Status::InvalidArgument("CIB: empty data");
+  if (known.size() != n) {
+    return Status::InvalidArgument("CIB: known clustering size mismatch");
+  }
+  if (options.k == 0 || options.k > n) {
+    return Status::InvalidArgument("CIB: invalid k");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < counts.cols(); ++j) {
+      if (counts.at(i, j) < 0) {
+        return Status::InvalidArgument("CIB: negative count");
+      }
+    }
+  }
+
+  std::vector<int> dense_d;
+  std::vector<int> known_shifted = known;
+  for (int& l : known_shifted) {
+    if (l < 0) l = 1 << 20;
+  }
+  const size_t num_d = DenseRelabel(known_shifted, &dense_d);
+  const size_t k = options.k;
+  const size_t y = counts.cols();
+
+  Rng master(options.seed);
+  std::vector<int> best_labels;
+  double best_objective = -1.0;
+  const size_t restarts = options.restarts == 0 ? 1 : options.restarts;
+  for (size_t restart = 0; restart < restarts; ++restart) {
+    Rng rng = master.Split();
+    std::vector<int> labels(n);
+    for (size_t i = 0; i < n; ++i) {
+      labels[i] = static_cast<int>(rng.NextIndex(k));
+    }
+
+    CibState state;
+    state.tables.assign(num_d,
+                        std::vector<std::vector<double>>(
+                            k, std::vector<double>(y, 0.0)));
+    state.cell_mass.assign(num_d, 0.0);
+    state.total_mass = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < y; ++j) {
+        const double v = counts.at(i, j);
+        state.tables[dense_d[i]][labels[i]][j] += v;
+        state.cell_mass[dense_d[i]] += v;
+        state.total_mass += v;
+      }
+    }
+    if (state.total_mass <= 0) {
+      return Status::InvalidArgument("CIB: zero total count mass");
+    }
+
+    // Sequential optimisation: draw each object, try all clusters, keep
+    // the assignment with the highest I(Y; C | D).
+    std::vector<size_t> cluster_size(k, 0);
+    for (size_t i = 0; i < n; ++i) ++cluster_size[labels[i]];
+
+    double current = state.ConditionalInformation();
+    for (size_t pass = 0; pass < options.max_passes; ++pass) {
+      bool moved = false;
+      const std::vector<size_t> order = rng.Permutation(n);
+      for (size_t idx : order) {
+        const int from = labels[idx];
+        if (cluster_size[from] <= 1) continue;
+        const size_t d = dense_d[idx];
+        int best_to = from;
+        double best_obj = current;
+        for (size_t to = 0; to < k; ++to) {
+          if (static_cast<int>(to) == from) continue;
+          for (size_t j = 0; j < y; ++j) {
+            const double v = counts.at(idx, j);
+            state.tables[d][from][j] -= v;
+            state.tables[d][to][j] += v;
+          }
+          const double obj = state.ConditionalInformation();
+          for (size_t j = 0; j < y; ++j) {
+            const double v = counts.at(idx, j);
+            state.tables[d][from][j] += v;
+            state.tables[d][to][j] -= v;
+          }
+          if (obj > best_obj + 1e-12) {
+            best_obj = obj;
+            best_to = static_cast<int>(to);
+          }
+        }
+        if (best_to != from) {
+          for (size_t j = 0; j < y; ++j) {
+            const double v = counts.at(idx, j);
+            state.tables[d][from][j] -= v;
+            state.tables[d][best_to][j] += v;
+          }
+          --cluster_size[from];
+          ++cluster_size[best_to];
+          labels[idx] = best_to;
+          current = best_obj;
+          moved = true;
+        }
+      }
+      if (!moved) break;
+    }
+
+    if (current > best_objective) {
+      best_objective = current;
+      best_labels = std::move(labels);
+    }
+  }
+
+  // I(Y; C | D) is invariant to permuting C's labels *within* each
+  // conditioning cell, so the greedy optimum can assign incoherent cluster
+  // ids across cells. Align them: take the heaviest cell as reference and
+  // match every other cell's per-cluster feature distributions to it
+  // (Hungarian on total-variation distance).
+  {
+    std::vector<std::vector<std::vector<double>>> cell_tables(
+        num_d, std::vector<std::vector<double>>(
+                   k, std::vector<double>(y, 0.0)));
+    std::vector<double> mass(num_d, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < y; ++j) {
+        const double v = counts.at(i, j);
+        cell_tables[dense_d[i]][best_labels[i]][j] += v;
+        mass[dense_d[i]] += v;
+      }
+    }
+    auto normalize = [y](std::vector<double>* row) {
+      double s = 0.0;
+      for (double v : *row) s += v;
+      if (s <= 0) return;
+      for (size_t j = 0; j < y; ++j) (*row)[j] /= s;
+    };
+    size_t ref = 0;
+    for (size_t d2 = 1; d2 < num_d; ++d2) {
+      if (mass[d2] > mass[ref]) ref = d2;
+    }
+    std::vector<std::vector<double>> ref_dist = cell_tables[ref];
+    for (auto& row : ref_dist) normalize(&row);
+    for (size_t d2 = 0; d2 < num_d; ++d2) {
+      if (d2 == ref) continue;
+      std::vector<std::vector<double>> dist = cell_tables[d2];
+      for (auto& row : dist) normalize(&row);
+      // cost[c_local][c_ref] = TV distance between feature distributions.
+      std::vector<std::vector<double>> cost(k, std::vector<double>(k, 0.0));
+      for (size_t a = 0; a < k; ++a) {
+        for (size_t b = 0; b < k; ++b) {
+          double tv = 0.0;
+          for (size_t j = 0; j < y; ++j) {
+            tv += std::fabs(dist[a][j] - ref_dist[b][j]);
+          }
+          cost[a][b] = tv;
+        }
+      }
+      const std::vector<int> perm = HungarianAssign(cost);
+      for (size_t i = 0; i < n; ++i) {
+        if (dense_d[i] == static_cast<int>(d2) && best_labels[i] >= 0 &&
+            perm[best_labels[i]] >= 0) {
+          best_labels[i] = perm[best_labels[i]];
+        }
+      }
+    }
+  }
+
+  CibResult result;
+  result.clustering.labels = std::move(best_labels);
+  result.clustering.algorithm = "cib";
+  result.clustering.quality = best_objective;
+  result.conditional_information = best_objective;
+  MC_ASSIGN_OR_RETURN(result.information,
+                      FeatureInformation(counts, result.clustering.labels));
+  return result;
+}
+
+}  // namespace multiclust

@@ -1,0 +1,114 @@
+#include "altspace/coala.h"
+
+#include <limits>
+
+#include "cluster/hierarchical.h"
+
+namespace multiclust {
+
+Result<Clustering> RunCoala(const Matrix& data, const std::vector<int>& given,
+                            const CoalaOptions& options, CoalaStats* stats) {
+  const size_t n = data.rows();
+  if (n == 0) return Status::InvalidArgument("COALA: empty data");
+  if (given.size() != n) {
+    return Status::InvalidArgument("COALA: given clustering size mismatch");
+  }
+  if (options.k == 0 || options.k > n) {
+    return Status::InvalidArgument("COALA: invalid k");
+  }
+  if (options.w <= 0) {
+    return Status::InvalidArgument("COALA: w must be positive");
+  }
+
+  // Average-link distances between current groups, maintained with the
+  // Lance-Williams update. violations(i, j) counts cannot-link pairs between
+  // groups i and j; a "dissimilarity merge" requires violations == 0.
+  Matrix dist = PairwiseDistances(data);
+  Matrix violations(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (given[i] >= 0 && given[i] == given[j]) {
+        violations.at(i, j) = 1.0;
+        violations.at(j, i) = 1.0;
+      }
+    }
+  }
+
+  std::vector<char> active(n, 1);
+  std::vector<size_t> sizes(n, 1);
+  std::vector<std::vector<int>> members(n);
+  for (size_t i = 0; i < n; ++i) members[i] = {static_cast<int>(i)};
+
+  CoalaStats local_stats;
+  size_t remaining = n;
+  while (remaining > options.k) {
+    const double inf = std::numeric_limits<double>::infinity();
+    double d_qual = inf, d_diss = inf;
+    size_t qi = 0, qj = 0, di = 0, dj = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      for (size_t j = i + 1; j < n; ++j) {
+        if (!active[j]) continue;
+        const double d = dist.at(i, j);
+        if (d < d_qual) {
+          d_qual = d;
+          qi = i;
+          qj = j;
+        }
+        if (violations.at(i, j) == 0.0 && d < d_diss) {
+          d_diss = d;
+          di = i;
+          dj = j;
+        }
+      }
+    }
+
+    size_t mi, mj;
+    // Quality merge when it is much better than the best constraint-
+    // respecting merge (d_qual < w * d_diss), or when no dissimilarity
+    // merge exists at all.
+    if (d_diss == inf || d_qual < options.w * d_diss) {
+      mi = qi;
+      mj = qj;
+      ++local_stats.quality_merges;
+    } else {
+      mi = di;
+      mj = dj;
+      ++local_stats.dissimilarity_merges;
+    }
+
+    // Merge mj into mi.
+    const double ni = static_cast<double>(sizes[mi]);
+    const double nj = static_cast<double>(sizes[mj]);
+    for (size_t h = 0; h < n; ++h) {
+      if (!active[h] || h == mi || h == mj) continue;
+      const double v =
+          (ni * dist.at(mi, h) + nj * dist.at(mj, h)) / (ni + nj);
+      dist.at(mi, h) = v;
+      dist.at(h, mi) = v;
+      const double viol = violations.at(mi, h) + violations.at(mj, h);
+      violations.at(mi, h) = viol;
+      violations.at(h, mi) = viol;
+    }
+    sizes[mi] += sizes[mj];
+    active[mj] = 0;
+    members[mi].insert(members[mi].end(), members[mj].begin(),
+                       members[mj].end());
+    members[mj].clear();
+    --remaining;
+  }
+
+  Clustering out;
+  out.labels.assign(n, -1);
+  out.algorithm = "coala";
+  int label = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!active[i]) continue;
+    for (int obj : members[i]) out.labels[obj] = label;
+    ++label;
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return out;
+}
+
+}  // namespace multiclust

@@ -1,0 +1,42 @@
+#ifndef MULTICLUST_ALTSPACE_COALA_H_
+#define MULTICLUST_ALTSPACE_COALA_H_
+
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "common/result.h"
+
+namespace multiclust {
+
+/// Options for COALA (Bae & Bailey 2006; tutorial slides 31-33).
+struct CoalaOptions {
+  /// Number of clusters in the alternative clustering.
+  size_t k = 2;
+  /// Quality/dissimilarity trade-off: a *quality* merge is taken when
+  /// d_qual < w * d_diss. Large w prefers quality, small w prefers
+  /// dissimilarity from the given clustering.
+  double w = 0.5;
+};
+
+/// Per-run diagnostics.
+struct CoalaStats {
+  size_t quality_merges = 0;
+  size_t dissimilarity_merges = 0;
+};
+
+/// COALA: average-link agglomerative clustering that avoids regrouping
+/// objects that the *given* clustering already put together. Every pair
+/// inside a given cluster becomes a cannot-link constraint; at each step the
+/// algorithm chooses between the best unconstrained merge (quality) and the
+/// best constraint-respecting merge (dissimilarity) using the trade-off
+/// parameter `w`.
+///
+/// `given` is the known clustering (labels; -1 entries impose no
+/// constraints). Returns the alternative clustering with `k` clusters.
+Result<Clustering> RunCoala(const Matrix& data, const std::vector<int>& given,
+                            const CoalaOptions& options,
+                            CoalaStats* stats = nullptr);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_ALTSPACE_COALA_H_

@@ -1,0 +1,90 @@
+#include "altspace/conditional_ensemble.h"
+
+#include <cmath>
+
+#include "cluster/hierarchical.h"
+#include "cluster/kmeans.h"
+#include "common/rng.h"
+#include "metrics/partition_similarity.h"
+
+namespace multiclust {
+
+Result<ConditionalEnsembleResult> RunConditionalEnsemble(
+    const Matrix& data, const std::vector<int>& given,
+    const ConditionalEnsembleOptions& options) {
+  const size_t n = data.rows();
+  if (n == 0) {
+    return Status::InvalidArgument("conditional ensemble: empty data");
+  }
+  if (given.size() != n) {
+    return Status::InvalidArgument(
+        "conditional ensemble: given clustering size mismatch");
+  }
+  if (options.k == 0 || options.k > n) {
+    return Status::InvalidArgument("conditional ensemble: invalid k");
+  }
+  if (options.ensemble_size == 0) {
+    return Status::InvalidArgument(
+        "conditional ensemble: ensemble_size must be > 0");
+  }
+
+  Rng rng(options.seed);
+  ConditionalEnsembleResult result;
+  Matrix coassoc(n, n);
+  double total_weight = 0.0;
+
+  for (size_t e = 0; e < options.ensemble_size; ++e) {
+    // Diversified base clustering (random per-feature weights).
+    Matrix view = data;
+    for (size_t j = 0; j < view.cols(); ++j) {
+      const double w = std::pow(
+          10.0, rng.Uniform(-options.weight_spread, options.weight_spread));
+      for (size_t i = 0; i < n; ++i) view.at(i, j) *= w;
+    }
+    KMeansOptions km;
+    km.k = options.k;
+    km.restarts = 1;
+    km.seed = rng.NextU64();
+    MC_ASSIGN_OR_RETURN(Clustering member, RunKMeans(view, km));
+
+    // Conditioning: weight by novelty w.r.t. the given clustering.
+    MC_ASSIGN_OR_RETURN(double redundancy,
+                        NormalizedMutualInformation(member.labels, given));
+    const double weight = std::exp(-options.novelty_bias * redundancy);
+    result.member_redundancy.push_back(redundancy);
+    result.member_weight.push_back(weight);
+    total_weight += weight;
+
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        if (member.labels[i] == member.labels[j]) {
+          coassoc.at(i, j) += weight;
+          coassoc.at(j, i) += weight;
+        }
+      }
+    }
+  }
+  if (total_weight <= 0) {
+    return Status::ComputationError(
+        "conditional ensemble: all members fully redundant");
+  }
+
+  // Recluster the weighted co-association (average link on 1 - P).
+  Matrix dist(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      dist.at(i, j) =
+          i == j ? 0.0 : 1.0 - coassoc.at(i, j) / total_weight;
+    }
+  }
+  AgglomerativeOptions agg;
+  agg.k = options.k;
+  agg.linkage = Linkage::kAverage;
+  MC_ASSIGN_OR_RETURN(AgglomerativeResult reclustered,
+                      AgglomerateFromDistances(dist, agg));
+  result.clustering = reclustered.flat;
+  result.clustering.algorithm = "conditional-ensemble";
+  return result;
+}
+
+}  // namespace multiclust

@@ -1,0 +1,48 @@
+#ifndef MULTICLUST_ALTSPACE_CONDITIONAL_ENSEMBLE_H_
+#define MULTICLUST_ALTSPACE_CONDITIONAL_ENSEMBLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "common/result.h"
+
+namespace multiclust {
+
+/// Options for non-redundant clustering with conditional ensembles
+/// (Gondek & Hofmann 2005; tutorial slide 34).
+struct ConditionalEnsembleOptions {
+  size_t k = 2;
+  /// Base clusterings generated (k-means on randomly re-weighted features).
+  size_t ensemble_size = 30;
+  /// Novelty weighting temperature: member weight = exp(-novelty_bias *
+  /// NMI(member, given)). Larger = more aggressive down-weighting of
+  /// members that resemble the given clustering.
+  double novelty_bias = 6.0;
+  /// Random feature-weight spread (log10 scale), as in meta clustering.
+  double weight_spread = 1.0;
+  uint64_t seed = 1;
+};
+
+/// Result of a conditional-ensemble run.
+struct ConditionalEnsembleResult {
+  Clustering clustering;
+  /// NMI of each ensemble member with the given clustering.
+  std::vector<double> member_redundancy;
+  /// Weight given to each member in the consensus.
+  std::vector<double> member_weight;
+};
+
+/// Conditional ensembles: generate a diverse ensemble of base clusterings,
+/// *condition* the combination on the given clustering by down-weighting
+/// members that are informative about it, and recluster the weighted
+/// co-association matrix. The ensemble smooths out the base clusterer's
+/// variance while the conditioning steers the consensus towards structure
+/// that is new relative to the given knowledge.
+Result<ConditionalEnsembleResult> RunConditionalEnsemble(
+    const Matrix& data, const std::vector<int>& given,
+    const ConditionalEnsembleOptions& options);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_ALTSPACE_CONDITIONAL_ENSEMBLE_H_

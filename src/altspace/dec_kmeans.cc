@@ -1,0 +1,220 @@
+#include "altspace/dec_kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "cluster/clustering.h"
+#include "cluster/kmeans.h"
+#include "common/rng.h"
+#include "linalg/decomposition.h"
+
+namespace multiclust {
+
+namespace {
+
+struct State {
+  // Per clustering t: representatives (k_t x d), labels, means (k_t x d).
+  std::vector<Matrix> reps;
+  std::vector<std::vector<int>> labels;
+  std::vector<Matrix> means;
+};
+
+// Cluster means from current labels (empty clusters keep their rep as mean).
+Matrix MeansFromLabels(const Matrix& data, const std::vector<int>& labels,
+                       const Matrix& fallback_reps, size_t k) {
+  Matrix means(k, data.cols());
+  std::vector<size_t> counts(k, 0);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    const int c = labels[i];
+    if (c < 0) continue;
+    ++counts[c];
+    const double* row = data.row_data(i);
+    double* m = means.row_data(c);
+    for (size_t j = 0; j < data.cols(); ++j) m[j] += row[j];
+  }
+  for (size_t c = 0; c < k; ++c) {
+    if (counts[c] == 0) {
+      means.SetRow(c, fallback_reps.Row(c));
+      continue;
+    }
+    double* m = means.row_data(c);
+    for (size_t j = 0; j < data.cols(); ++j) {
+      m[j] /= static_cast<double>(counts[c]);
+    }
+  }
+  return means;
+}
+
+double Objective(const Matrix& data, const State& s, double lambda) {
+  double g = 0.0;
+  // Compactness.
+  for (size_t t = 0; t < s.reps.size(); ++t) {
+    for (size_t i = 0; i < data.rows(); ++i) {
+      const int c = s.labels[t][i];
+      if (c < 0) continue;
+      const double* row = data.row_data(i);
+      const double* rep = s.reps[t].row_data(c);
+      for (size_t j = 0; j < data.cols(); ++j) {
+        const double d = row[j] - rep[j];
+        g += d * d;
+      }
+    }
+  }
+  // Decorrelation penalty between every ordered pair of clusterings.
+  for (size_t t = 0; t < s.reps.size(); ++t) {
+    for (size_t u = 0; u < s.reps.size(); ++u) {
+      if (t == u) continue;
+      for (size_t i = 0; i < s.reps[t].rows(); ++i) {
+        for (size_t j = 0; j < s.means[u].rows(); ++j) {
+          double dot = 0.0;
+          for (size_t c = 0; c < data.cols(); ++c) {
+            dot += s.means[u].at(j, c) * s.reps[t].at(i, c);
+          }
+          g += lambda * dot * dot;
+        }
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+Result<DecKMeansResult> RunDecorrelatedKMeans(
+    const Matrix& data, const DecKMeansOptions& options) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  const size_t num_clusterings = options.ks.size();
+  if (num_clusterings < 2) {
+    return Status::InvalidArgument(
+        "dec-kmeans: need at least two clusterings (ks.size() >= 2)");
+  }
+  for (size_t k : options.ks) {
+    if (k == 0 || k > n) {
+      return Status::InvalidArgument("dec-kmeans: invalid k");
+    }
+  }
+  if (options.lambda < 0) {
+    return Status::InvalidArgument("dec-kmeans: lambda must be >= 0");
+  }
+
+  Rng rng(options.seed);
+  double best_objective = std::numeric_limits<double>::infinity();
+  State best_state;
+  std::vector<double> best_history;
+
+  const size_t restarts = options.restarts == 0 ? 1 : options.restarts;
+  for (size_t restart = 0; restart < restarts; ++restart) {
+    State s;
+    s.reps.resize(num_clusterings);
+    s.labels.resize(num_clusterings);
+    s.means.resize(num_clusterings);
+    // Initialise each clustering's representatives from an independent
+    // k-means run with its own seed (diverse starting points).
+    for (size_t t = 0; t < num_clusterings; ++t) {
+      KMeansOptions km;
+      km.k = options.ks[t];
+      km.max_iters = 3;
+      km.seed = rng.NextU64();
+      MC_ASSIGN_OR_RETURN(Clustering init, RunKMeans(data, km));
+      s.reps[t] = init.centroids;
+      s.labels[t] = init.labels;
+      s.means[t] = MeansFromLabels(data, s.labels[t], s.reps[t],
+                                   options.ks[t]);
+    }
+
+    std::vector<double> history;
+    double prev = Objective(data, s, options.lambda);
+    history.push_back(prev);
+
+    for (size_t iter = 0; iter < options.max_iters; ++iter) {
+      for (size_t t = 0; t < num_clusterings; ++t) {
+        // 1. Assignment to nearest representative.
+        s.labels[t] = AssignToNearest(data, s.reps[t]);
+        // 2. Means from assignment.
+        s.means[t] =
+            MeansFromLabels(data, s.labels[t], s.reps[t], options.ks[t]);
+        // 3. Closed-form representative update: minimising
+        //    sum_{x in C_i} ||x - r||^2 + lambda * sum_{u != t, j}
+        //    (beta^u_j^T r)^2 gives
+        //    (|C_i| I + lambda * B) r = sum_{x in C_i} x,
+        //    with B = sum_{u != t} sum_j beta^u_j beta^u_j^T.
+        Matrix b(d, d);
+        for (size_t u = 0; u < num_clusterings; ++u) {
+          if (u == t) continue;
+          for (size_t j = 0; j < s.means[u].rows(); ++j) {
+            const double* m = s.means[u].row_data(j);
+            for (size_t a = 0; a < d; ++a) {
+              for (size_t c = 0; c < d; ++c) {
+                b.at(a, c) += options.lambda * m[a] * m[c];
+              }
+            }
+          }
+        }
+        std::vector<size_t> counts(options.ks[t], 0);
+        Matrix sums(options.ks[t], d);
+        for (size_t i = 0; i < n; ++i) {
+          const int c = s.labels[t][i];
+          if (c < 0) continue;
+          ++counts[c];
+          const double* row = data.row_data(i);
+          double* acc = sums.row_data(c);
+          for (size_t j = 0; j < d; ++j) acc[j] += row[j];
+        }
+        for (size_t c = 0; c < options.ks[t]; ++c) {
+          if (counts[c] == 0) {
+            // Re-seed an empty cluster at a random object.
+            s.reps[t].SetRow(c, data.Row(rng.NextIndex(n)));
+            continue;
+          }
+          Matrix a = b;
+          for (size_t j = 0; j < d; ++j) {
+            a.at(j, j) += static_cast<double>(counts[c]) + 1e-9;
+          }
+          MC_ASSIGN_OR_RETURN(std::vector<double> r,
+                              SolveSpd(a, sums.Row(c)));
+          s.reps[t].SetRow(c, r);
+        }
+      }
+      const double cur = Objective(data, s, options.lambda);
+      history.push_back(cur);
+      if (std::fabs(prev - cur) <= options.tol * (std::fabs(prev) + 1.0)) {
+        break;
+      }
+      prev = cur;
+    }
+
+    const double final_obj = history.back();
+    if (final_obj < best_objective) {
+      best_objective = final_obj;
+      best_state = std::move(s);
+      best_history = std::move(history);
+    }
+  }
+
+  DecKMeansResult result;
+  result.objective = best_objective;
+  result.history = std::move(best_history);
+  for (size_t t = 0; t < num_clusterings; ++t) {
+    Clustering c;
+    c.labels = best_state.labels[t];
+    c.centroids = best_state.reps[t];
+    c.algorithm = "dec-kmeans";
+    double sse = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const int cl = c.labels[i];
+      if (cl < 0) continue;
+      const double* row = data.row_data(i);
+      const double* rep = best_state.reps[t].row_data(cl);
+      for (size_t j = 0; j < d; ++j) {
+        const double diff = row[j] - rep[j];
+        sse += diff * diff;
+      }
+    }
+    c.quality = sse;
+    MC_RETURN_IF_ERROR(result.solutions.Add(std::move(c)));
+  }
+  return result;
+}
+
+}  // namespace multiclust

@@ -1,0 +1,52 @@
+#ifndef MULTICLUST_ALTSPACE_DEC_KMEANS_H_
+#define MULTICLUST_ALTSPACE_DEC_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/solution_set.h"
+#include "linalg/matrix.h"
+
+namespace multiclust {
+
+/// Options for Decorrelated k-means (Jain, Meka & Dhillon 2008; tutorial
+/// slides 40-42).
+struct DecKMeansOptions {
+  /// Cluster counts, one per simultaneous solution (usually all equal).
+  /// The tutorial's presentation uses two clusterings; any T >= 2 works.
+  std::vector<size_t> ks = {2, 2};
+  /// Weight of the decorrelation penalty  lambda * sum (beta_j^T r_i)^2.
+  double lambda = 1.0;
+  size_t max_iters = 100;
+  size_t restarts = 3;
+  double tol = 1e-7;  ///< relative objective change for convergence
+  uint64_t seed = 1;
+};
+
+/// Full output of a run.
+struct DecKMeansResult {
+  /// One solution per requested clustering; `quality` holds the
+  /// compactness term of that clustering.
+  SolutionSet solutions;
+  /// Final value of the combined objective G (lower is better).
+  double objective = 0.0;
+  /// Objective after each outer iteration of the best restart (for the
+  /// monotonicity property test).
+  std::vector<double> history;
+};
+
+/// Simultaneously finds T decorrelated clusterings by alternating
+/// minimisation of
+///   G = sum_t sum_{x in C^t_i} ||x - r^t_i||^2
+///       + lambda * sum_{t != u} sum_{i, j} (mean(C^u_j)^T r^t_i)^2,
+/// i.e. each clustering must be compact while its representatives are as
+/// orthogonal as possible to the *mean vectors* of every other clustering.
+/// Objects are assigned to the nearest representative; representatives are
+/// solved in closed form from the regularised normal equations.
+Result<DecKMeansResult> RunDecorrelatedKMeans(const Matrix& data,
+                                              const DecKMeansOptions& options);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_ALTSPACE_DEC_KMEANS_H_

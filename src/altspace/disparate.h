@@ -1,0 +1,58 @@
+#ifndef MULTICLUST_ALTSPACE_DISPARATE_H_
+#define MULTICLUST_ALTSPACE_DISPARATE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/solution_set.h"
+#include "linalg/matrix.h"
+
+namespace multiclust {
+
+/// Relationship to enforce between the two clusterings
+/// (Hossain et al. 2010; tutorial slide 44).
+enum class ContingencyGoal {
+  /// Maximally *uniform* contingency table: the clusterings are as
+  /// independent (disparate/alternative) as possible.
+  kDisparate,
+  /// Maximally *diagonal* contingency table: the clusterings agree
+  /// (dependent clustering), useful for cross-view correspondence.
+  kDependent,
+};
+
+/// Options for the contingency-table dual-clustering optimiser.
+struct DisparateOptions {
+  size_t k1 = 2;
+  size_t k2 = 2;
+  ContingencyGoal goal = ContingencyGoal::kDisparate;
+  /// Weight of the contingency objective against prototype compactness.
+  /// The contingency penalty is scaled to the data's SSE magnitude
+  /// internally, so values around 1 balance the two terms.
+  double lambda = 1.0;
+  size_t max_iters = 40;
+  size_t restarts = 3;
+  uint64_t seed = 1;
+};
+
+/// Full result.
+struct DisparateResult {
+  SolutionSet solutions;  ///< two clusterings (prototype-based)
+  /// Final contingency uniformity deviation in [0, 1] (0 = perfectly
+  /// uniform table).
+  double uniformity_deviation = 0.0;
+  /// Final combined objective (lower is better).
+  double objective = 0.0;
+};
+
+/// Two simultaneous prototype-based clusterings whose contingency table is
+/// driven towards uniformity (disparate) or diagonality (dependent), while
+/// each clustering stays compact — clusters are represented by prototypes,
+/// which is what keeps arbitrary "uniform but meaningless" partitions out
+/// (the Hossain et al. argument on slide 44). Optimised by alternating
+/// greedy reassignment and prototype updates.
+Result<DisparateResult> RunDisparateClustering(const Matrix& data,
+                                               const DisparateOptions& options);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_ALTSPACE_DISPARATE_H_

@@ -1,0 +1,95 @@
+#include "altspace/meta_clustering.h"
+
+#include <cmath>
+
+#include "cluster/hierarchical.h"
+#include "cluster/kmeans.h"
+#include "common/rng.h"
+#include "metrics/partition_similarity.h"
+
+namespace multiclust {
+
+Result<MetaClusteringResult> RunMetaClustering(
+    const Matrix& data, const MetaClusteringOptions& options) {
+  if (options.num_base < 2) {
+    return Status::InvalidArgument("meta clustering: need >= 2 base runs");
+  }
+  if (options.meta_k == 0 || options.meta_k > options.num_base) {
+    return Status::InvalidArgument("meta clustering: invalid meta_k");
+  }
+
+  Rng rng(options.seed);
+  MetaClusteringResult result;
+  result.base.reserve(options.num_base);
+
+  // 1. Blind/diversified generation of base clusterings.
+  for (size_t b = 0; b < options.num_base; ++b) {
+    Matrix view = data;
+    if (options.feature_weighting) {
+      for (size_t j = 0; j < view.cols(); ++j) {
+        const double w = std::pow(
+            10.0, rng.Uniform(-options.weight_spread, options.weight_spread));
+        for (size_t i = 0; i < view.rows(); ++i) view.at(i, j) *= w;
+      }
+    }
+    KMeansOptions km;
+    km.k = options.k;
+    km.restarts = 1;
+    km.plus_plus_init = false;  // deliberate: keep generation undirected
+    km.seed = rng.NextU64();
+    MC_ASSIGN_OR_RETURN(Clustering c, RunKMeans(view, km));
+    c.algorithm = "meta-base-kmeans";
+    result.base.push_back(std::move(c));
+  }
+
+  // 2. Pairwise dissimilarity between base clusterings (1 - Rand).
+  const size_t m = result.base.size();
+  result.dissimilarity = Matrix(m, m);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      MC_ASSIGN_OR_RETURN(
+          double rand_ij,
+          RandIndex(result.base[i].labels, result.base[j].labels));
+      const double d = 1.0 - rand_ij;
+      result.dissimilarity.at(i, j) = d;
+      result.dissimilarity.at(j, i) = d;
+    }
+  }
+
+  // 3. Meta-level grouping: average-link agglomerative on the
+  //    clustering-dissimilarity matrix.
+  AgglomerativeOptions agg;
+  agg.k = options.meta_k;
+  agg.linkage = Linkage::kAverage;
+  MC_ASSIGN_OR_RETURN(AgglomerativeResult meta,
+                      AgglomerateFromDistances(result.dissimilarity, agg));
+  result.group_of_base = meta.flat.labels;
+
+  // 4. Medoid representative per meta group.
+  const size_t groups = meta.flat.NumClusters();
+  for (size_t g = 0; g < groups; ++g) {
+    double best_cost = 0.0;
+    int best = -1;
+    for (size_t i = 0; i < m; ++i) {
+      if (result.group_of_base[i] != static_cast<int>(g)) continue;
+      double cost = 0.0;
+      for (size_t j = 0; j < m; ++j) {
+        if (result.group_of_base[j] == static_cast<int>(g)) {
+          cost += result.dissimilarity.at(i, j);
+        }
+      }
+      if (best < 0 || cost < best_cost) {
+        best_cost = cost;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best >= 0) {
+      Clustering rep = result.base[best];
+      rep.algorithm = "meta-representative";
+      MC_RETURN_IF_ERROR(result.representatives.Add(std::move(rep)));
+    }
+  }
+  return result;
+}
+
+}  // namespace multiclust

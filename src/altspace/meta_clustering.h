@@ -1,0 +1,51 @@
+#ifndef MULTICLUST_ALTSPACE_META_CLUSTERING_H_
+#define MULTICLUST_ALTSPACE_META_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "common/result.h"
+#include "core/solution_set.h"
+
+namespace multiclust {
+
+/// Options for meta clustering (Caruana et al. 2006; tutorial slide 29).
+struct MetaClusteringOptions {
+  /// Number of base clusterings to generate.
+  size_t num_base = 30;
+  /// Clusters per base clustering.
+  size_t k = 3;
+  /// Number of meta-level groups (distinct solution families) to extract.
+  size_t meta_k = 4;
+  /// Diversify base generation with random per-feature weights (the paper's
+  /// Zipf-weighting idea); with false, only the k-means restart
+  /// non-determinism differentiates runs — the "blind generation" risk the
+  /// tutorial warns about.
+  bool feature_weighting = true;
+  /// Exponent range for feature weights w ~ 10^U(-spread, +spread).
+  double weight_spread = 1.0;
+  uint64_t seed = 1;
+};
+
+/// Full output of a meta-clustering run.
+struct MetaClusteringResult {
+  /// All generated base clusterings.
+  std::vector<Clustering> base;
+  /// Pairwise dissimilarity (1 - Rand) between base clusterings.
+  Matrix dissimilarity;
+  /// Meta-level group of each base clustering.
+  std::vector<int> group_of_base;
+  /// One representative (medoid) clustering per meta group.
+  SolutionSet representatives;
+};
+
+/// Generates many clusterings, groups them at the meta level by clustering
+/// the clusterings (average-link on 1 - Rand), and returns one medoid per
+/// group. The archetypal "independent generation" approach of the taxonomy.
+Result<MetaClusteringResult> RunMetaClustering(
+    const Matrix& data, const MetaClusteringOptions& options);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_ALTSPACE_META_CLUSTERING_H_

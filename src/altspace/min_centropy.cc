@@ -1,0 +1,189 @@
+#include "altspace/min_centropy.h"
+
+#include <cmath>
+
+#include "cluster/kmeans.h"
+#include "common/rng.h"
+#include "stats/contingency.h"
+#include "stats/hsic.h"
+
+namespace multiclust {
+
+namespace {
+
+// Mutual information from a dense count table.
+double MiFromCounts(const std::vector<std::vector<double>>& counts,
+                    double n) {
+  if (n <= 0) return 0.0;
+  const size_t r = counts.size();
+  if (r == 0) return 0.0;
+  const size_t c = counts[0].size();
+  std::vector<double> row(r, 0.0), col(c, 0.0);
+  for (size_t i = 0; i < r; ++i) {
+    for (size_t j = 0; j < c; ++j) {
+      row[i] += counts[i][j];
+      col[j] += counts[i][j];
+    }
+  }
+  double mi = 0.0;
+  for (size_t i = 0; i < r; ++i) {
+    for (size_t j = 0; j < c; ++j) {
+      if (counts[i][j] <= 0) continue;
+      const double pij = counts[i][j] / n;
+      mi += pij * std::log(counts[i][j] * n / (row[i] * col[j]));
+    }
+  }
+  return mi < 0 ? 0 : mi;
+}
+
+}  // namespace
+
+Result<Clustering> RunMinCEntropy(const Matrix& data,
+                                  const std::vector<std::vector<int>>& given,
+                                  const MinCEntropyOptions& options) {
+  const size_t n = data.rows();
+  if (n == 0) return Status::InvalidArgument("minCEntropy: empty data");
+  if (options.k == 0 || options.k > n) {
+    return Status::InvalidArgument("minCEntropy: invalid k");
+  }
+  for (const auto& g : given) {
+    if (g.size() != n) {
+      return Status::InvalidArgument(
+          "minCEntropy: given clustering size mismatch");
+    }
+  }
+
+  const Matrix kernel = GaussianKernelMatrix(data, options.gamma);
+  const size_t k = options.k;
+
+  // Densify the given clusterings.
+  std::vector<std::vector<int>> dense_given(given.size());
+  std::vector<size_t> given_k(given.size());
+  for (size_t g = 0; g < given.size(); ++g) {
+    given_k[g] = DenseRelabel(given[g], &dense_given[g]);
+  }
+
+  // Start from k-means.
+  KMeansOptions km;
+  km.k = k;
+  km.restarts = 2;
+  km.seed = options.seed;
+  MC_ASSIGN_OR_RETURN(Clustering start, RunKMeans(data, km));
+  std::vector<int> labels = start.labels;
+
+  // contrib[i][c] = sum_{j in cluster c} K(i, j); sizes and within-sums.
+  std::vector<std::vector<double>> contrib(n, std::vector<double>(k, 0.0));
+  std::vector<double> cluster_sum(k, 0.0);  // sum_{x,y in c} K(x,y)
+  std::vector<double> cluster_size(k, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    cluster_size[labels[i]] += 1.0;
+    for (size_t j = 0; j < n; ++j) {
+      contrib[i][labels[j]] += kernel.at(i, j);
+    }
+  }
+  // cluster_sum[c] = full double sum over members incl. the diagonal.
+  for (size_t i = 0; i < n; ++i) {
+    cluster_sum[labels[i]] += contrib[i][labels[i]];
+  }
+
+  // Contingency counts between current labels and each given clustering.
+  std::vector<std::vector<std::vector<double>>> tables(given.size());
+  for (size_t g = 0; g < given.size(); ++g) {
+    tables[g].assign(k, std::vector<double>(given_k[g], 0.0));
+    for (size_t i = 0; i < n; ++i) {
+      if (dense_given[g][i] >= 0) {
+        tables[g][labels[i]][dense_given[g][i]] += 1.0;
+      }
+    }
+  }
+
+  const double log_k = std::log(static_cast<double>(k < 2 ? 2 : k));
+  auto objective = [&]() {
+    double q = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      if (cluster_size[c] > 0) q += cluster_sum[c] / cluster_size[c];
+    }
+    double penalty = 0.0;
+    for (size_t g = 0; g < given.size(); ++g) {
+      penalty += MiFromCounts(tables[g], static_cast<double>(n));
+    }
+    return q / static_cast<double>(n) -
+           options.lambda * penalty / log_k;
+  };
+
+  Rng rng(options.seed ^ 0xABCDEFULL);
+  double current = objective();
+  for (size_t pass = 0; pass < options.max_passes; ++pass) {
+    bool moved = false;
+    const std::vector<size_t> order = rng.Permutation(n);
+    for (size_t idx : order) {
+      const int from = labels[idx];
+      if (cluster_size[from] <= 1.0) continue;  // never empty a cluster
+      int best_to = from;
+      double best_obj = current;
+      for (size_t to = 0; to < k; ++to) {
+        if (static_cast<int>(to) == from) continue;
+        // Apply the move tentatively.
+        cluster_sum[from] -= 2.0 * contrib[idx][from] - kernel.at(idx, idx);
+        cluster_sum[to] += 2.0 * contrib[idx][to] + kernel.at(idx, idx);
+        cluster_size[from] -= 1.0;
+        cluster_size[to] += 1.0;
+        for (size_t g = 0; g < given.size(); ++g) {
+          if (dense_given[g][idx] >= 0) {
+            tables[g][from][dense_given[g][idx]] -= 1.0;
+            tables[g][to][dense_given[g][idx]] += 1.0;
+          }
+        }
+        labels[idx] = static_cast<int>(to);
+        const double obj = objective();
+        // Revert.
+        labels[idx] = from;
+        for (size_t g = 0; g < given.size(); ++g) {
+          if (dense_given[g][idx] >= 0) {
+            tables[g][from][dense_given[g][idx]] += 1.0;
+            tables[g][to][dense_given[g][idx]] -= 1.0;
+          }
+        }
+        cluster_size[from] += 1.0;
+        cluster_size[to] -= 1.0;
+        cluster_sum[from] += 2.0 * contrib[idx][from] - kernel.at(idx, idx);
+        cluster_sum[to] -= 2.0 * contrib[idx][to] + kernel.at(idx, idx);
+        if (obj > best_obj + 1e-12) {
+          best_obj = obj;
+          best_to = static_cast<int>(to);
+        }
+      }
+      if (best_to != from) {
+        // Commit the best move.
+        cluster_sum[from] -= 2.0 * contrib[idx][from] - kernel.at(idx, idx);
+        cluster_sum[best_to] +=
+            2.0 * contrib[idx][best_to] + kernel.at(idx, idx);
+        cluster_size[from] -= 1.0;
+        cluster_size[best_to] += 1.0;
+        for (size_t g = 0; g < given.size(); ++g) {
+          if (dense_given[g][idx] >= 0) {
+            tables[g][from][dense_given[g][idx]] -= 1.0;
+            tables[g][best_to][dense_given[g][idx]] += 1.0;
+          }
+        }
+        labels[idx] = best_to;
+        for (size_t j = 0; j < n; ++j) {
+          contrib[j][from] -= kernel.at(j, idx);
+          contrib[j][best_to] += kernel.at(j, idx);
+        }
+        current = best_obj;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+
+  Clustering out;
+  out.labels = std::move(labels);
+  out.quality = current;
+  out.algorithm = "min-centropy";
+  out.Canonicalize();
+  return out;
+}
+
+}  // namespace multiclust

@@ -1,0 +1,39 @@
+#ifndef MULTICLUST_ALTSPACE_MIN_CENTROPY_H_
+#define MULTICLUST_ALTSPACE_MIN_CENTROPY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "common/result.h"
+
+namespace multiclust {
+
+/// Options for minCEntropy-style alternative clustering (Vinh & Epps 2010;
+/// tutorial slide 34: conditional-entropy based, accepts a *set* of given
+/// clusterings).
+struct MinCEntropyOptions {
+  size_t k = 2;
+  /// Weight of the information penalty against the given clusterings.
+  double lambda = 1.0;
+  /// RBF kernel parameter for the quality term; <= 0 = median heuristic.
+  double gamma = 0.0;
+  /// Maximum local-search passes over all objects.
+  size_t max_passes = 30;
+  uint64_t seed = 1;
+};
+
+/// Maximises the kernel-quality / novelty trade-off
+///   Q(C) - lambda * sum_g I(C; D_g) / log(max(k, 2))
+/// where Q(C) = sum_c (1/|c|) * sum_{x,y in c} K(x, y) is the mean
+/// within-cluster kernel similarity and D_g are the given clusterings.
+/// Optimisation is greedy single-object reassignment (hill climbing) from a
+/// k-means-style start — the sequential scheme of the minCEntropy family.
+/// With an empty `given`, this is a plain kernel clustering.
+Result<Clustering> RunMinCEntropy(const Matrix& data,
+                                  const std::vector<std::vector<int>>& given,
+                                  const MinCEntropyOptions& options);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_ALTSPACE_MIN_CENTROPY_H_

@@ -1,0 +1,54 @@
+#include "cluster/clustering.h"
+
+#include <limits>
+
+#include "stats/contingency.h"
+
+namespace multiclust {
+
+size_t Clustering::NumClusters() const {
+  std::vector<int> dense;
+  return DenseRelabel(labels, &dense);
+}
+
+std::vector<std::vector<int>> Clustering::ClusterMembers() const {
+  std::vector<int> dense;
+  const size_t k = DenseRelabel(labels, &dense);
+  std::vector<std::vector<int>> members(k);
+  for (size_t i = 0; i < dense.size(); ++i) {
+    if (dense[i] >= 0) members[dense[i]].push_back(static_cast<int>(i));
+  }
+  return members;
+}
+
+void Clustering::Canonicalize() {
+  std::vector<int> dense;
+  DenseRelabel(labels, &dense);
+  labels = std::move(dense);
+}
+
+std::vector<int> AssignToNearest(const Matrix& data, const Matrix& centers) {
+  std::vector<int> labels(data.rows(), -1);
+  if (centers.rows() == 0) return labels;
+  for (size_t i = 0; i < data.rows(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    int best_c = 0;
+    const double* row = data.row_data(i);
+    for (size_t c = 0; c < centers.rows(); ++c) {
+      const double* ctr = centers.row_data(c);
+      double s = 0.0;
+      for (size_t j = 0; j < data.cols(); ++j) {
+        const double d = row[j] - ctr[j];
+        s += d * d;
+      }
+      if (s < best) {
+        best = s;
+        best_c = static_cast<int>(c);
+      }
+    }
+    labels[i] = best_c;
+  }
+  return labels;
+}
+
+}  // namespace multiclust

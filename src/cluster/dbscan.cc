@@ -1,0 +1,91 @@
+#include "cluster/dbscan.h"
+
+#include <deque>
+
+#include "cluster/grid_index.h"
+
+namespace multiclust {
+
+std::vector<std::vector<int>> EpsNeighborhoods(
+    const Matrix& data, double eps, const std::vector<size_t>& dims) {
+  const size_t n = data.rows();
+  const double eps2 = eps * eps;
+  std::vector<std::vector<int>> neighbors(n);
+  std::vector<size_t> use_dims = dims;
+  if (use_dims.empty()) {
+    use_dims.resize(data.cols());
+    for (size_t j = 0; j < data.cols(); ++j) use_dims[j] = j;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    neighbors[i].push_back(static_cast<int>(i));
+    for (size_t j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      const double* a = data.row_data(i);
+      const double* b = data.row_data(j);
+      for (size_t d : use_dims) {
+        const double diff = a[d] - b[d];
+        s += diff * diff;
+        if (s > eps2) break;
+      }
+      if (s <= eps2) {
+        neighbors[i].push_back(static_cast<int>(j));
+        neighbors[j].push_back(static_cast<int>(i));
+      }
+    }
+  }
+  return neighbors;
+}
+
+Clustering DbscanFromNeighbors(const std::vector<std::vector<int>>& neighbors,
+                               size_t min_pts) {
+  const size_t n = neighbors.size();
+  Clustering result;
+  result.labels.assign(n, -1);
+  result.algorithm = "dbscan";
+  std::vector<char> visited(n, 0);
+  int next_cluster = 0;
+
+  for (size_t i = 0; i < n; ++i) {
+    if (visited[i]) continue;
+    visited[i] = 1;
+    if (neighbors[i].size() < min_pts) continue;  // not core (maybe border)
+    // Expand a new cluster from core point i.
+    const int cid = next_cluster++;
+    result.labels[i] = cid;
+    std::deque<int> frontier(neighbors[i].begin(), neighbors[i].end());
+    while (!frontier.empty()) {
+      const int p = frontier.front();
+      frontier.pop_front();
+      if (result.labels[p] < 0) result.labels[p] = cid;  // border or core
+      if (visited[p]) continue;
+      visited[p] = 1;
+      if (neighbors[p].size() >= min_pts) {
+        for (int q : neighbors[p]) {
+          if (!visited[q] || result.labels[q] < 0) frontier.push_back(q);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Result<Clustering> RunDbscan(const Matrix& data,
+                             const DbscanOptions& options) {
+  if (options.eps <= 0) {
+    return Status::InvalidArgument("DBSCAN: eps must be positive");
+  }
+  if (options.min_pts == 0) {
+    return Status::InvalidArgument("DBSCAN: min_pts must be positive");
+  }
+  if (options.use_index && data.cols() <= GridIndex::kMaxIndexDims &&
+      data.rows() > 0) {
+    MC_ASSIGN_OR_RETURN(std::vector<std::vector<int>> neighbors,
+                        EpsNeighborhoodsIndexed(data, options.eps));
+    return DbscanFromNeighbors(neighbors, options.min_pts);
+  }
+  const std::vector<std::vector<int>> neighbors =
+      EpsNeighborhoods(data, options.eps, {});
+  return DbscanFromNeighbors(neighbors, options.min_pts);
+}
+
+}  // namespace multiclust

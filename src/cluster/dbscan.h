@@ -1,0 +1,58 @@
+#ifndef MULTICLUST_CLUSTER_DBSCAN_H_
+#define MULTICLUST_CLUSTER_DBSCAN_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "common/result.h"
+
+namespace multiclust {
+
+/// Options for DBSCAN (Ester et al. 1996).
+struct DbscanOptions {
+  double eps = 0.5;
+  /// Minimum neighbourhood size (including the point itself) for a core
+  /// object.
+  size_t min_pts = 5;
+  /// Accelerate the eps-range queries with the uniform grid index when the
+  /// dimensionality permits (<= GridIndex::kMaxIndexDims); results are
+  /// identical to the brute-force scan.
+  bool use_index = true;
+};
+
+/// Runs DBSCAN with Euclidean distance on the rows of `data`.
+/// Noise objects get label -1.
+Result<Clustering> RunDbscan(const Matrix& data, const DbscanOptions& options);
+
+/// Generic density-connected expansion: given precomputed neighbour lists
+/// (neighbors[i] contains i's eps-neighbourhood including i when desired)
+/// and the core predicate |N(i)| >= min_pts, produces the DBSCAN labeling.
+/// This is the shared engine behind SUBCLU (per-subspace DBSCAN) and the
+/// multi-view DBSCAN union/intersection variants (tutorial slides 105-107).
+Clustering DbscanFromNeighbors(const std::vector<std::vector<int>>& neighbors,
+                               size_t min_pts);
+
+/// Brute-force eps-neighbourhoods (including the point itself) restricted
+/// to `dims` (empty = all dimensions).
+std::vector<std::vector<int>> EpsNeighborhoods(const Matrix& data, double eps,
+                                               const std::vector<size_t>& dims);
+
+/// `Clusterer` adapter.
+class DbscanClusterer : public Clusterer {
+ public:
+  explicit DbscanClusterer(DbscanOptions options) : options_(options) {}
+
+  Result<Clustering> Cluster(const Matrix& data) override {
+    return RunDbscan(data, options_);
+  }
+  std::string name() const override { return "dbscan"; }
+
+ private:
+  DbscanOptions options_;
+};
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_CLUSTER_DBSCAN_H_

@@ -1,0 +1,252 @@
+#include "cluster/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "cluster/kmeans.h"
+
+namespace multiclust {
+
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093454836;
+
+double LogSumExp(const std::vector<double>& xs) {
+  double m = -std::numeric_limits<double>::infinity();
+  for (double x : xs) m = std::max(m, x);
+  if (!std::isfinite(m)) return m;
+  double s = 0.0;
+  for (double x : xs) s += std::exp(x - m);
+  return m + std::log(s);
+}
+
+}  // namespace
+
+double GmmComponent::LogDensity(const std::vector<double>& x) const {
+  const size_t d = mean.size();
+  double logdet = 0.0;
+  double quad = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    const double var = variances.size() == 1 ? variances[0] : variances[j];
+    logdet += std::log(var);
+    const double diff = x[j] - mean[j];
+    quad += diff * diff / var;
+  }
+  return -0.5 * (static_cast<double>(d) * kLog2Pi + logdet + quad);
+}
+
+std::vector<double> GmmModel::Responsibilities(
+    const std::vector<double>& x) const {
+  std::vector<double> logp(components.size());
+  for (size_t c = 0; c < components.size(); ++c) {
+    logp[c] = std::log(std::max(components[c].weight, 1e-300)) +
+              components[c].LogDensity(x);
+  }
+  const double lse = LogSumExp(logp);
+  std::vector<double> r(components.size());
+  for (size_t c = 0; c < components.size(); ++c) {
+    r[c] = std::exp(logp[c] - lse);
+  }
+  return r;
+}
+
+double GmmModel::LogDensity(const std::vector<double>& x) const {
+  std::vector<double> logp(components.size());
+  for (size_t c = 0; c < components.size(); ++c) {
+    logp[c] = std::log(std::max(components[c].weight, 1e-300)) +
+              components[c].LogDensity(x);
+  }
+  return LogSumExp(logp);
+}
+
+std::vector<int> GmmModel::HardAssign(const Matrix& data) const {
+  std::vector<int> labels(data.rows(), -1);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    const std::vector<double> r = Responsibilities(data.Row(i));
+    labels[i] = static_cast<int>(
+        std::max_element(r.begin(), r.end()) - r.begin());
+  }
+  return labels;
+}
+
+double GmmModel::TotalLogLikelihood(const Matrix& data) const {
+  double s = 0.0;
+  for (size_t i = 0; i < data.rows(); ++i) s += LogDensity(data.Row(i));
+  return s;
+}
+
+Result<GmmModel> InitGmm(const Matrix& data, size_t k, CovarianceType cov,
+                         uint64_t seed) {
+  if (k == 0) return Status::InvalidArgument("InitGmm: k must be > 0");
+  if (data.rows() < k) {
+    return Status::InvalidArgument("InitGmm: fewer objects than components");
+  }
+  KMeansOptions km;
+  km.k = k;
+  km.max_iters = 5;
+  km.seed = seed;
+  MC_ASSIGN_OR_RETURN(Clustering seed_clust, RunKMeans(data, km));
+
+  const size_t d = data.cols();
+  // Global per-dimension variance as the starting spread.
+  const std::vector<double> mean = RowMean(data);
+  std::vector<double> var(d, 0.0);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      const double diff = data.at(i, j) - mean[j];
+      var[j] += diff * diff;
+    }
+  }
+  for (double& v : var) {
+    v /= std::max<size_t>(1, data.rows() - 1);
+    v = std::max(v, 1e-6);
+  }
+
+  GmmModel model;
+  model.components.resize(k);
+  for (size_t c = 0; c < k; ++c) {
+    GmmComponent& comp = model.components[c];
+    comp.weight = 1.0 / static_cast<double>(k);
+    comp.mean = seed_clust.centroids.Row(c);
+    if (cov == CovarianceType::kSpherical) {
+      double avg = 0.0;
+      for (double v : var) avg += v;
+      comp.variances = {avg / static_cast<double>(d)};
+    } else {
+      comp.variances = var;
+    }
+  }
+  return model;
+}
+
+Status MStepFromResponsibilities(const Matrix& data,
+                                 const Matrix& responsibilities,
+                                 double variance_floor, GmmModel* model) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  const size_t k = model->k();
+  if (responsibilities.rows() != n || responsibilities.cols() != k) {
+    return Status::InvalidArgument("MStep: responsibility shape mismatch");
+  }
+  for (size_t c = 0; c < k; ++c) {
+    GmmComponent& comp = model->components[c];
+    double nc = 0.0;
+    std::vector<double> mean(d, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const double r = responsibilities.at(i, c);
+      nc += r;
+      const double* row = data.row_data(i);
+      for (size_t j = 0; j < d; ++j) mean[j] += r * row[j];
+    }
+    if (nc < 1e-10) {
+      // Dead component: keep parameters, zero weight.
+      comp.weight = 1e-10;
+      continue;
+    }
+    for (double& m : mean) m /= nc;
+    const bool spherical = comp.variances.size() == 1;
+    std::vector<double> var(spherical ? 1 : d, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const double r = responsibilities.at(i, c);
+      const double* row = data.row_data(i);
+      if (spherical) {
+        double s = 0.0;
+        for (size_t j = 0; j < d; ++j) {
+          const double diff = row[j] - mean[j];
+          s += diff * diff;
+        }
+        var[0] += r * s / static_cast<double>(d);
+      } else {
+        for (size_t j = 0; j < d; ++j) {
+          const double diff = row[j] - mean[j];
+          var[j] += r * diff * diff;
+        }
+      }
+    }
+    for (double& v : var) v = std::max(v / nc, variance_floor);
+    comp.weight = nc / static_cast<double>(n);
+    comp.mean = std::move(mean);
+    comp.variances = std::move(var);
+  }
+  // Renormalise weights.
+  double total = 0.0;
+  for (const GmmComponent& c : model->components) total += c.weight;
+  if (total > 0) {
+    for (GmmComponent& c : model->components) c.weight /= total;
+  }
+  return Status::OK();
+}
+
+Result<double> EmStep(const Matrix& data, double variance_floor,
+                      GmmModel* model) {
+  const size_t n = data.rows();
+  const size_t k = model->k();
+  Matrix resp(n, k);
+  double ll = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<double> x = data.Row(i);
+    std::vector<double> logp(k);
+    for (size_t c = 0; c < k; ++c) {
+      logp[c] = std::log(std::max(model->components[c].weight, 1e-300)) +
+                model->components[c].LogDensity(x);
+    }
+    const double lse = LogSumExp(logp);
+    ll += lse;
+    for (size_t c = 0; c < k; ++c) {
+      resp.at(i, c) = std::exp(logp[c] - lse);
+    }
+  }
+  MC_RETURN_IF_ERROR(
+      MStepFromResponsibilities(data, resp, variance_floor, model));
+  return ll;
+}
+
+Result<GmmModel> FitGmm(const Matrix& data, const GmmOptions& options) {
+  if (data.rows() == 0 || data.cols() == 0) {
+    return Status::InvalidArgument("FitGmm: empty data");
+  }
+  Rng rng(options.seed);
+  GmmModel best;
+  double best_ll = -std::numeric_limits<double>::infinity();
+  const size_t restarts = options.restarts == 0 ? 1 : options.restarts;
+  for (size_t r = 0; r < restarts; ++r) {
+    MC_ASSIGN_OR_RETURN(
+        GmmModel model,
+        InitGmm(data, options.k, options.covariance, rng.NextU64()));
+    double prev_ll = -std::numeric_limits<double>::infinity();
+    for (size_t iter = 0; iter < options.max_iters; ++iter) {
+      MC_ASSIGN_OR_RETURN(double ll,
+                          EmStep(data, options.variance_floor, &model));
+      if (std::isfinite(prev_ll) &&
+          std::fabs(ll - prev_ll) <=
+              options.tol * (std::fabs(prev_ll) + 1.0)) {
+        break;
+      }
+      prev_ll = ll;
+    }
+    model.log_likelihood = model.TotalLogLikelihood(data);
+    if (model.log_likelihood > best_ll) {
+      best_ll = model.log_likelihood;
+      best = std::move(model);
+    }
+  }
+  return best;
+}
+
+Result<Clustering> RunGmm(const Matrix& data, const GmmOptions& options) {
+  MC_ASSIGN_OR_RETURN(GmmModel model, FitGmm(data, options));
+  Clustering c;
+  c.labels = model.HardAssign(data);
+  c.quality = model.log_likelihood;
+  c.algorithm = "gmm-em";
+  Matrix centroids(model.k(), data.cols());
+  for (size_t i = 0; i < model.k(); ++i) {
+    centroids.SetRow(i, model.components[i].mean);
+  }
+  c.centroids = std::move(centroids);
+  return c;
+}
+
+}  // namespace multiclust

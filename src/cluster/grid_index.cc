@@ -1,0 +1,95 @@
+#include "cluster/grid_index.h"
+
+#include <cmath>
+
+namespace multiclust {
+
+std::vector<int32_t> GridIndex::CellCoords(size_t i) const {
+  const size_t d = data_->cols();
+  std::vector<int32_t> coords(d);
+  const double* row = data_->row_data(i);
+  for (size_t j = 0; j < d; ++j) {
+    coords[j] = static_cast<int32_t>(
+        std::floor((row[j] - origin_[j]) / cell_size_));
+  }
+  return coords;
+}
+
+Result<GridIndex> GridIndex::Build(const Matrix& data, double cell_size) {
+  if (data.rows() == 0 || data.cols() == 0) {
+    return Status::InvalidArgument("GridIndex: empty data");
+  }
+  if (cell_size <= 0) {
+    return Status::InvalidArgument("GridIndex: cell_size must be positive");
+  }
+  GridIndex index;
+  index.data_ = &data;
+  index.cell_size_ = cell_size;
+  index.origin_.resize(data.cols());
+  for (size_t j = 0; j < data.cols(); ++j) {
+    double mn = data.at(0, j);
+    for (size_t i = 1; i < data.rows(); ++i) {
+      mn = std::min(mn, data.at(i, j));
+    }
+    index.origin_[j] = mn;
+  }
+  index.cell_of_.resize(data.rows());
+  for (size_t i = 0; i < data.rows(); ++i) {
+    index.cell_of_[i] = index.CellCoords(i);
+    index.cells_[index.cell_of_[i]].push_back(static_cast<int>(i));
+  }
+  return index;
+}
+
+std::vector<int> GridIndex::RangeQuery(size_t i, double eps) const {
+  const size_t d = data_->cols();
+  const double eps2 = eps * eps;
+  const std::vector<int32_t>& centre = cell_of_[i];
+  std::vector<int> out;
+
+  // Enumerate the 3^d neighbouring cells with an odometer.
+  std::vector<int32_t> offset(d, -1);
+  while (true) {
+    std::vector<int32_t> cell(d);
+    for (size_t j = 0; j < d; ++j) cell[j] = centre[j] + offset[j];
+    auto it = cells_.find(cell);
+    if (it != cells_.end()) {
+      const double* a = data_->row_data(i);
+      for (int cand : it->second) {
+        const double* b = data_->row_data(cand);
+        double s = 0.0;
+        for (size_t j = 0; j < d; ++j) {
+          const double diff = a[j] - b[j];
+          s += diff * diff;
+          if (s > eps2) break;
+        }
+        if (s <= eps2) out.push_back(cand);
+      }
+    }
+    // Advance the odometer.
+    size_t pos = 0;
+    while (pos < d && offset[pos] == 1) {
+      offset[pos] = -1;
+      ++pos;
+    }
+    if (pos == d) break;
+    ++offset[pos];
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<int>>> EpsNeighborhoodsIndexed(
+    const Matrix& data, double eps) {
+  if (eps <= 0) {
+    return Status::InvalidArgument(
+        "EpsNeighborhoodsIndexed: eps must be positive");
+  }
+  MC_ASSIGN_OR_RETURN(GridIndex index, GridIndex::Build(data, eps));
+  std::vector<std::vector<int>> neighbors(data.rows());
+  for (size_t i = 0; i < data.rows(); ++i) {
+    neighbors[i] = index.RangeQuery(i, eps);
+  }
+  return neighbors;
+}
+
+}  // namespace multiclust

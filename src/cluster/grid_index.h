@@ -1,0 +1,56 @@
+#ifndef MULTICLUST_CLUSTER_GRID_INDEX_H_
+#define MULTICLUST_CLUSTER_GRID_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace multiclust {
+
+/// Uniform-grid spatial index for range queries: points are bucketed into
+/// cells of edge length `cell_size`; an eps-range query with eps <=
+/// cell_size only needs the 3^d neighbouring cells. The classic DBSCAN
+/// acceleration structure; effective in low dimensions (the cell fan-out
+/// is 3^d, so the index degrades gracefully and `RunDbscan` falls back to
+/// the brute-force scan beyond `kMaxIndexDims`).
+class GridIndex {
+ public:
+  /// Dimensionality ceiling for which the index pays off.
+  static constexpr size_t kMaxIndexDims = 6;
+
+  /// Builds the index over the rows of `data` (kept by reference — the
+  /// matrix must outlive the index).
+  static Result<GridIndex> Build(const Matrix& data, double cell_size);
+
+  /// All points within `eps` (Euclidean) of point `i`, including `i`.
+  /// Requires eps <= cell_size (enforced at Build time by the caller
+  /// choosing cell_size = eps).
+  std::vector<int> RangeQuery(size_t i, double eps) const;
+
+  /// Number of non-empty cells (diagnostics).
+  size_t num_cells() const { return cells_.size(); }
+
+ private:
+  const Matrix* data_ = nullptr;
+  double cell_size_ = 1.0;
+  std::vector<double> origin_;
+  // Cell coordinates -> object ids.
+  std::map<std::vector<int32_t>, std::vector<int>> cells_;
+  std::vector<std::vector<int32_t>> cell_of_;  // per object
+
+  std::vector<int32_t> CellCoords(size_t i) const;
+};
+
+/// Eps-neighbourhood lists for all points via the grid index (exact: the
+/// candidate set from adjacent cells is filtered by true distance).
+/// Equivalent to `EpsNeighborhoods(data, eps, {})` but O(n * candidates)
+/// instead of O(n^2) on low-dimensional, well-spread data.
+Result<std::vector<std::vector<int>>> EpsNeighborhoodsIndexed(
+    const Matrix& data, double eps);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_CLUSTER_GRID_INDEX_H_

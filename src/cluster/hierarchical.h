@@ -1,0 +1,67 @@
+#ifndef MULTICLUST_CLUSTER_HIERARCHICAL_H_
+#define MULTICLUST_CLUSTER_HIERARCHICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "common/result.h"
+
+namespace multiclust {
+
+/// Linkage criteria for agglomerative clustering.
+enum class Linkage {
+  kSingle,
+  kComplete,
+  kAverage,
+};
+
+/// Options for agglomerative hierarchical clustering.
+struct AgglomerativeOptions {
+  size_t k = 2;  ///< number of clusters to cut the dendrogram at
+  Linkage linkage = Linkage::kAverage;
+};
+
+/// One merge step of the dendrogram (cluster ids follow scipy convention:
+/// leaves are 0..n-1, the merge at step t creates cluster n+t).
+struct MergeStep {
+  int left = 0;
+  int right = 0;
+  double distance = 0.0;
+};
+
+/// Full dendrogram plus the flat cut.
+struct AgglomerativeResult {
+  std::vector<MergeStep> merges;
+  Clustering flat;
+};
+
+/// Agglomerative clustering via the Lance-Williams update on a full
+/// pairwise distance matrix (O(n^3); intended for n up to a few thousand).
+Result<AgglomerativeResult> RunAgglomerative(
+    const Matrix& data, const AgglomerativeOptions& options);
+
+/// Pairwise Euclidean distance matrix of the rows of `data`.
+Matrix PairwiseDistances(const Matrix& data);
+
+/// Agglomerative clustering on a precomputed symmetric distance matrix
+/// (e.g. a clustering-dissimilarity matrix at the meta level).
+Result<AgglomerativeResult> AgglomerateFromDistances(
+    const Matrix& distances, const AgglomerativeOptions& options);
+
+/// `Clusterer` adapter.
+class AgglomerativeClusterer : public Clusterer {
+ public:
+  explicit AgglomerativeClusterer(AgglomerativeOptions options)
+      : options_(options) {}
+
+  Result<Clustering> Cluster(const Matrix& data) override;
+  std::string name() const override { return "agglomerative"; }
+
+ private:
+  AgglomerativeOptions options_;
+};
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_CLUSTER_HIERARCHICAL_H_

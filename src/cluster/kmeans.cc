@@ -1,0 +1,130 @@
+#include "cluster/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace multiclust {
+
+namespace {
+
+// Squared distance from row i of data to row c of centers.
+double RowCenterDist2(const Matrix& data, size_t i, const Matrix& centers,
+                      size_t c) {
+  const double* row = data.row_data(i);
+  const double* ctr = centers.row_data(c);
+  double s = 0.0;
+  for (size_t j = 0; j < data.cols(); ++j) {
+    const double d = row[j] - ctr[j];
+    s += d * d;
+  }
+  return s;
+}
+
+Matrix InitCenters(const Matrix& data, size_t k, bool plus_plus, Rng* rng) {
+  const size_t n = data.rows();
+  Matrix centers(k, data.cols());
+  if (!plus_plus) {
+    const std::vector<size_t> picks = rng->SampleWithoutReplacement(n, k);
+    for (size_t c = 0; c < k; ++c) centers.SetRow(c, data.Row(picks[c]));
+    return centers;
+  }
+  // k-means++: first centre uniform, then proportional to D^2.
+  centers.SetRow(0, data.Row(rng->NextIndex(n)));
+  std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+  for (size_t c = 1; c < k; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      d2[i] = std::min(d2[i], RowCenterDist2(data, i, centers, c - 1));
+    }
+    const size_t pick = rng->Categorical(d2);
+    centers.SetRow(c, data.Row(pick));
+  }
+  return centers;
+}
+
+struct LloydResult {
+  std::vector<int> labels;
+  Matrix centers;
+  double sse = 0.0;
+};
+
+LloydResult RunLloyd(const Matrix& data, size_t k, size_t max_iters,
+                     double tol, bool plus_plus, Rng* rng) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  LloydResult r;
+  r.centers = InitCenters(data, k, plus_plus, rng);
+  r.labels.assign(n, 0);
+
+  for (size_t iter = 0; iter < max_iters; ++iter) {
+    // Assignment step.
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        const double dist = RowCenterDist2(data, i, r.centers, c);
+        if (dist < best) {
+          best = dist;
+          best_c = static_cast<int>(c);
+        }
+      }
+      r.labels[i] = best_c;
+    }
+    // Update step.
+    Matrix next(k, d);
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      ++counts[r.labels[i]];
+      const double* row = data.row_data(i);
+      double* ctr = next.row_data(r.labels[i]);
+      for (size_t j = 0; j < d; ++j) ctr[j] += row[j];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random object.
+        next.SetRow(c, data.Row(rng->NextIndex(n)));
+        continue;
+      }
+      double* ctr = next.row_data(c);
+      for (size_t j = 0; j < d; ++j) ctr[j] /= static_cast<double>(counts[c]);
+    }
+    const double shift = next.MaxAbsDiff(r.centers);
+    r.centers = std::move(next);
+    if (shift <= tol) break;
+  }
+
+  r.sse = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    r.sse += RowCenterDist2(data, i, r.centers, r.labels[i]);
+  }
+  return r;
+}
+
+}  // namespace
+
+Result<Clustering> RunKMeans(const Matrix& data,
+                             const KMeansOptions& options) {
+  if (options.k == 0) return Status::InvalidArgument("k-means: k must be > 0");
+  if (data.rows() < options.k) {
+    return Status::InvalidArgument("k-means: fewer objects than clusters");
+  }
+  Rng rng(options.seed);
+  LloydResult best;
+  best.sse = std::numeric_limits<double>::infinity();
+  const size_t restarts = options.restarts == 0 ? 1 : options.restarts;
+  for (size_t r = 0; r < restarts; ++r) {
+    Rng child = rng.Split();
+    LloydResult run = RunLloyd(data, options.k, options.max_iters,
+                               options.tol, options.plus_plus_init, &child);
+    if (run.sse < best.sse) best = std::move(run);
+  }
+  Clustering c;
+  c.labels = std::move(best.labels);
+  c.centroids = std::move(best.centers);
+  c.quality = best.sse;
+  c.algorithm = "kmeans";
+  return c;
+}
+
+}  // namespace multiclust

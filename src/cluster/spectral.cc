@@ -1,0 +1,64 @@
+#include "cluster/spectral.h"
+
+#include <cmath>
+
+#include "cluster/kmeans.h"
+#include "linalg/decomposition.h"
+#include "stats/hsic.h"
+
+namespace multiclust {
+
+Result<Clustering> RunSpectral(const Matrix& data,
+                               const SpectralOptions& options) {
+  const size_t n = data.rows();
+  if (options.k == 0 || n < options.k) {
+    return Status::InvalidArgument("spectral: invalid k for data size");
+  }
+
+  // Affinity with zero diagonal (standard NJW).
+  Matrix w = GaussianKernelMatrix(data, options.gamma);
+  for (size_t i = 0; i < n; ++i) w.at(i, i) = 0.0;
+
+  // Normalised affinity D^{-1/2} W D^{-1/2}; its top-k eigenvectors equal
+  // the bottom-k of the normalised Laplacian.
+  std::vector<double> inv_sqrt_deg(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double deg = 0.0;
+    for (size_t j = 0; j < n; ++j) deg += w.at(i, j);
+    inv_sqrt_deg[i] = deg > 1e-12 ? 1.0 / std::sqrt(deg) : 0.0;
+  }
+  Matrix norm(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      norm.at(i, j) = inv_sqrt_deg[i] * w.at(i, j) * inv_sqrt_deg[j];
+    }
+  }
+
+  MC_ASSIGN_OR_RETURN(SymmetricEigen eig, EigenSymmetric(norm));
+
+  // Embed into the top-k eigenvectors, row-normalised.
+  Matrix embed(n, options.k);
+  for (size_t i = 0; i < n; ++i) {
+    double norm_sq = 0.0;
+    for (size_t c = 0; c < options.k; ++c) {
+      const double v = eig.vectors.at(i, c);
+      embed.at(i, c) = v;
+      norm_sq += v * v;
+    }
+    if (norm_sq > 1e-24) {
+      const double inv = 1.0 / std::sqrt(norm_sq);
+      for (size_t c = 0; c < options.k; ++c) embed.at(i, c) *= inv;
+    }
+  }
+
+  KMeansOptions km;
+  km.k = options.k;
+  km.restarts = options.kmeans_restarts;
+  km.seed = options.seed;
+  MC_ASSIGN_OR_RETURN(Clustering c, RunKMeans(embed, km));
+  c.algorithm = "spectral";
+  c.centroids = Matrix();  // centroids live in embedding space; drop them
+  return c;
+}
+
+}  // namespace multiclust

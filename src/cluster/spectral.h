@@ -1,0 +1,46 @@
+#ifndef MULTICLUST_CLUSTER_SPECTRAL_H_
+#define MULTICLUST_CLUSTER_SPECTRAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/clustering.h"
+#include "common/result.h"
+
+namespace multiclust {
+
+/// Options for Ng-Jordan-Weiss spectral clustering.
+struct SpectralOptions {
+  size_t k = 2;
+  /// RBF affinity parameter; <= 0 selects the median heuristic.
+  double gamma = 0.0;
+  /// k-means settings for the embedded space.
+  size_t kmeans_restarts = 5;
+  uint64_t seed = 1;
+};
+
+/// Spectral clustering (Ng, Jordan & Weiss 2001): Gaussian affinity,
+/// normalised Laplacian, top-k eigenvector embedding (via the in-house
+/// Jacobi eigensolver), row normalisation, k-means. The base method of the
+/// mSC multiple-views approach referenced by the tutorial (slide 90).
+/// O(n^3); intended for n up to a few hundred.
+Result<Clustering> RunSpectral(const Matrix& data,
+                               const SpectralOptions& options);
+
+/// `Clusterer` adapter.
+class SpectralClusterer : public Clusterer {
+ public:
+  explicit SpectralClusterer(SpectralOptions options) : options_(options) {}
+
+  Result<Clustering> Cluster(const Matrix& data) override {
+    return RunSpectral(data, options_);
+  }
+  std::string name() const override { return "spectral"; }
+
+ private:
+  SpectralOptions options_;
+};
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_CLUSTER_SPECTRAL_H_

@@ -1,0 +1,71 @@
+#ifndef MULTICLUST_COMMON_RESULT_H_
+#define MULTICLUST_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace multiclust {
+
+/// A value-or-error holder: either an OK status together with a `T`, or a
+/// non-OK `Status`. Mirrors `arrow::Result`.
+///
+/// Typical use:
+/// ```
+///   Result<Clustering> r = KMeans(opts).Run(data);
+///   if (!r.ok()) return r.status();
+///   Clustering c = std::move(r).value();
+/// ```
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (OK).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs from an error status. Aborts if `status.ok()`: an OK
+  /// Result must carry a value.
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) std::abort();
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Accesses the value; must only be called when `ok()`.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Returns the value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates the error of a `Result` expression or binds its value.
+/// `MC_ASSIGN_OR_RETURN(auto x, Foo());`
+#define MC_ASSIGN_OR_RETURN_IMPL(tmp, decl, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  decl = std::move(tmp).value()
+
+#define MC_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define MC_ASSIGN_OR_RETURN_NAME(a, b) MC_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define MC_ASSIGN_OR_RETURN(decl, expr)                                     \
+  MC_ASSIGN_OR_RETURN_IMPL(MC_ASSIGN_OR_RETURN_NAME(_mc_result_, __LINE__), \
+                           decl, expr)
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_COMMON_RESULT_H_

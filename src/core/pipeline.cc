@@ -1,0 +1,115 @@
+#include "core/pipeline.h"
+
+#include "altspace/dec_kmeans.h"
+#include "altspace/meta_clustering.h"
+#include "cluster/kmeans.h"
+#include "metrics/clustering_quality.h"
+#include "orthogonal/ortho_projection.h"
+#include "subspace/msc.h"
+
+namespace multiclust {
+
+Result<size_t> SelectKBySilhouette(const Matrix& data, size_t max_k,
+                                   uint64_t seed) {
+  if (max_k < 2) {
+    return Status::InvalidArgument("SelectKBySilhouette: max_k must be >= 2");
+  }
+  size_t best_k = 2;
+  double best_score = -2.0;
+  for (size_t k = 2; k <= max_k && k < data.rows(); ++k) {
+    KMeansOptions opts;
+    opts.k = k;
+    opts.restarts = 5;
+    opts.seed = seed + k;
+    MC_ASSIGN_OR_RETURN(Clustering c, RunKMeans(data, opts));
+    auto sil = Silhouette(data, c.labels);
+    if (!sil.ok()) continue;
+    if (*sil > best_score) {
+      best_score = *sil;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+Result<DiscoveryReport> DiscoverMultipleClusterings(
+    const Matrix& data, const DiscoveryOptions& options) {
+  if (data.rows() == 0 || data.cols() == 0) {
+    return Status::InvalidArgument("Discover: empty data");
+  }
+  if (options.num_solutions < 2) {
+    return Status::InvalidArgument(
+        "Discover: num_solutions must be >= 2 (use a plain clusterer for 1)");
+  }
+
+  DiscoveryReport report;
+  size_t k = options.k;
+  if (k == 0) {
+    MC_ASSIGN_OR_RETURN(k,
+                        SelectKBySilhouette(data, options.max_k,
+                                            options.seed));
+  }
+  report.chosen_k = k;
+
+  switch (options.strategy) {
+    case DiscoveryStrategy::kDecorrelatedKMeans: {
+      report.strategy_name = "dec-kmeans";
+      DecKMeansOptions dk;
+      dk.ks.assign(options.num_solutions, k);
+      dk.lambda = 4.0;
+      dk.restarts = 5;
+      dk.seed = options.seed;
+      MC_ASSIGN_OR_RETURN(DecKMeansResult r,
+                          RunDecorrelatedKMeans(data, dk));
+      report.solutions = std::move(r.solutions);
+      break;
+    }
+    case DiscoveryStrategy::kOrthogonalProjections: {
+      report.strategy_name = "ortho-projection";
+      KMeansOptions km;
+      km.k = k;
+      km.restarts = 5;
+      km.seed = options.seed;
+      KMeansClusterer clusterer(km);
+      OrthoProjectionOptions op;
+      op.max_views = options.num_solutions;
+      MC_ASSIGN_OR_RETURN(OrthoProjectionResult r,
+                          RunOrthoProjection(data, &clusterer, op));
+      report.solutions = std::move(r.solutions);
+      break;
+    }
+    case DiscoveryStrategy::kSpectralViews: {
+      report.strategy_name = "spectral-views";
+      MscOptions msc;
+      msc.num_views = options.num_solutions;
+      msc.k = k;
+      msc.seed = options.seed;
+      MC_ASSIGN_OR_RETURN(MscResult r,
+                          RunMultipleSpectralViews(data, msc));
+      report.solutions = std::move(r.solutions);
+      break;
+    }
+    case DiscoveryStrategy::kMetaClustering: {
+      report.strategy_name = "meta-clustering";
+      MetaClusteringOptions mc;
+      mc.num_base = 10 * options.num_solutions;
+      mc.k = k;
+      mc.meta_k = options.num_solutions;
+      mc.seed = options.seed;
+      MC_ASSIGN_OR_RETURN(MetaClusteringResult r,
+                          RunMetaClustering(data, mc));
+      report.solutions = std::move(r.representatives);
+      break;
+    }
+  }
+
+  MC_RETURN_IF_ERROR(
+      report.solutions.Deduplicate(options.min_dissimilarity).status());
+  MC_ASSIGN_OR_RETURN(report.objective,
+                      EvaluateObjective(data, report.solutions,
+                                        SilhouetteQuality(),
+                                        NmiDissimilarity(), 1.0));
+  return report;
+}
+
+}  // namespace multiclust

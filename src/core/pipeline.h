@@ -1,0 +1,64 @@
+#ifndef MULTICLUST_CORE_PIPELINE_H_
+#define MULTICLUST_CORE_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/objectives.h"
+#include "core/solution_set.h"
+#include "linalg/matrix.h"
+
+namespace multiclust {
+
+/// Which discovery strategy the convenience pipeline uses.
+enum class DiscoveryStrategy {
+  /// Decorrelated k-means: simultaneous, original space. Fast default.
+  kDecorrelatedKMeans,
+  /// Orthogonal projection iteration with a k-means base clusterer.
+  kOrthogonalProjections,
+  /// HSIC-partitioned spectral views (axis-aligned mSC).
+  kSpectralViews,
+  /// Meta clustering with diversified generation.
+  kMetaClustering,
+};
+
+/// Configuration of the one-call discovery pipeline.
+struct DiscoveryOptions {
+  DiscoveryStrategy strategy = DiscoveryStrategy::kDecorrelatedKMeans;
+  /// Number of alternative clusterings to look for.
+  size_t num_solutions = 2;
+  /// Clusters per solution; 0 = select k in [2, max_k] by silhouette.
+  size_t k = 0;
+  size_t max_k = 6;
+  /// Post-filter: drop solutions whose pairwise dissimilarity to an
+  /// earlier solution falls below this threshold.
+  double min_dissimilarity = 0.2;
+  uint64_t seed = 1;
+};
+
+/// Outcome of a discovery run: the solutions plus their evaluation under
+/// the abstract objective (slide 27).
+struct DiscoveryReport {
+  SolutionSet solutions;
+  ObjectiveReport objective;
+  /// The k actually used.
+  size_t chosen_k = 0;
+  std::string strategy_name;
+};
+
+/// One-call entry point: "find me several genuinely different clusterings
+/// of this data". Selects k if requested, runs the chosen strategy,
+/// deduplicates near-identical solutions, and scores the set with
+/// Q = silhouette and Diss = 1 - NMI.
+Result<DiscoveryReport> DiscoverMultipleClusterings(
+    const Matrix& data, const DiscoveryOptions& options);
+
+/// Silhouette-based selection of k over [2, max_k] using k-means.
+Result<size_t> SelectKBySilhouette(const Matrix& data, size_t max_k,
+                                   uint64_t seed);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_CORE_PIPELINE_H_

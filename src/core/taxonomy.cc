@@ -1,0 +1,162 @@
+#include "core/taxonomy.h"
+
+#include <sstream>
+
+namespace multiclust {
+
+const char* ToString(SearchSpace s) {
+  switch (s) {
+    case SearchSpace::kOriginalSpace:
+      return "original";
+    case SearchSpace::kTransformedSpace:
+      return "transformed";
+    case SearchSpace::kSubspaceProjections:
+      return "subspaces";
+    case SearchSpace::kMultiSource:
+      return "multi-source";
+  }
+  return "?";
+}
+
+const char* ToString(ProcessingMode p) {
+  switch (p) {
+    case ProcessingMode::kIndependent:
+      return "independent";
+    case ProcessingMode::kIterative:
+      return "iterative";
+    case ProcessingMode::kSimultaneous:
+      return "simultaneous";
+  }
+  return "?";
+}
+
+const char* ToString(SolutionCount c) {
+  switch (c) {
+    case SolutionCount::kOne:
+      return "m == 1";
+    case SolutionCount::kTwo:
+      return "m == 2";
+    case SolutionCount::kTwoOrMore:
+      return "m >= 2";
+  }
+  return "?";
+}
+
+const std::vector<AlgorithmTraits>& AlgorithmRegistry() {
+  static const auto* kRegistry = new std::vector<AlgorithmTraits>{
+      // Section 2: original data space.
+      {"MetaClustering", "Caruana et al. 2006", SearchSpace::kOriginalSpace,
+       ProcessingMode::kIndependent, false, SolutionCount::kTwoOrMore, false,
+       true},
+      {"COALA", "Bae & Bailey 2006", SearchSpace::kOriginalSpace,
+       ProcessingMode::kIterative, true, SolutionCount::kTwo, false, false},
+      {"DecorrelatedKMeans", "Jain et al. 2008", SearchSpace::kOriginalSpace,
+       ProcessingMode::kSimultaneous, false, SolutionCount::kTwoOrMore, false,
+       false},
+      {"CAMI", "Dang & Bailey 2010a", SearchSpace::kOriginalSpace,
+       ProcessingMode::kSimultaneous, false, SolutionCount::kTwoOrMore, false,
+       false},
+      {"CIB", "Gondek & Hofmann 2004", SearchSpace::kOriginalSpace,
+       ProcessingMode::kIterative, true, SolutionCount::kTwo, false, false},
+      {"ConditionalEnsemble", "Gondek & Hofmann 2005",
+       SearchSpace::kOriginalSpace, ProcessingMode::kIterative, true,
+       SolutionCount::kTwo, false, true},
+      {"DisparateClustering", "Hossain et al. 2010",
+       SearchSpace::kOriginalSpace, ProcessingMode::kSimultaneous, false,
+       SolutionCount::kTwo, false, false},
+      {"MinCEntropy", "Vinh & Epps 2010", SearchSpace::kOriginalSpace,
+       ProcessingMode::kIterative, true, SolutionCount::kTwoOrMore, false,
+       false},
+      // Section 3: orthogonal space transformations.
+      {"AltTransform", "Davidson & Qi 2008", SearchSpace::kTransformedSpace,
+       ProcessingMode::kIterative, true, SolutionCount::kTwo, true, true},
+      {"ResidualTransform", "Qi & Davidson 2009",
+       SearchSpace::kTransformedSpace, ProcessingMode::kIterative, true,
+       SolutionCount::kTwo, true, true},
+      {"OrthoProjection", "Cui et al. 2007", SearchSpace::kTransformedSpace,
+       ProcessingMode::kIterative, true, SolutionCount::kTwoOrMore, true,
+       true},
+      // Section 4: subspace projections.
+      {"CLIQUE", "Agrawal et al. 1998", SearchSpace::kSubspaceProjections,
+       ProcessingMode::kSimultaneous, false, SolutionCount::kTwoOrMore, false,
+       false},
+      {"SCHISM", "Sequeira & Zaki 2004", SearchSpace::kSubspaceProjections,
+       ProcessingMode::kSimultaneous, false, SolutionCount::kTwoOrMore, false,
+       false},
+      {"SUBCLU", "Kailing et al. 2004b", SearchSpace::kSubspaceProjections,
+       ProcessingMode::kSimultaneous, false, SolutionCount::kTwoOrMore, false,
+       false},
+      {"PROCLUS", "Aggarwal et al. 1999", SearchSpace::kSubspaceProjections,
+       ProcessingMode::kIterative, false, SolutionCount::kOne, false, false},
+      {"ORCLUS", "Aggarwal & Yu 2000", SearchSpace::kSubspaceProjections,
+       ProcessingMode::kIterative, false, SolutionCount::kOne, false, false},
+      {"PreDeCon", "Boehm et al. 2004a", SearchSpace::kSubspaceProjections,
+       ProcessingMode::kIterative, false, SolutionCount::kOne, false, false},
+      {"DOC", "Procopiuc et al. 2002", SearchSpace::kSubspaceProjections,
+       ProcessingMode::kIterative, false, SolutionCount::kTwoOrMore, false,
+       false},
+      {"mSC", "Niu & Dy 2010", SearchSpace::kSubspaceProjections,
+       ProcessingMode::kSimultaneous, false, SolutionCount::kTwoOrMore, true,
+       true},
+      {"ENCLUS", "Cheng et al. 1999", SearchSpace::kSubspaceProjections,
+       ProcessingMode::kSimultaneous, false, SolutionCount::kTwoOrMore, false,
+       true},
+      {"RIS", "Kailing et al. 2003", SearchSpace::kSubspaceProjections,
+       ProcessingMode::kSimultaneous, false, SolutionCount::kTwoOrMore, false,
+       true},
+      {"P3C", "Moise et al. 2006", SearchSpace::kSubspaceProjections,
+       ProcessingMode::kSimultaneous, false, SolutionCount::kTwoOrMore, false,
+       false},
+      {"STATPC", "Moise & Sander 2008", SearchSpace::kSubspaceProjections,
+       ProcessingMode::kSimultaneous, false, SolutionCount::kTwoOrMore, false,
+       false},
+      {"RESCU", "Mueller et al. 2009c", SearchSpace::kSubspaceProjections,
+       ProcessingMode::kSimultaneous, false, SolutionCount::kTwoOrMore, false,
+       false},
+      {"OSCLU", "Guennemann et al. 2009", SearchSpace::kSubspaceProjections,
+       ProcessingMode::kSimultaneous, false, SolutionCount::kTwoOrMore, true,
+       false},
+      {"ASCLU", "Guennemann et al. 2010", SearchSpace::kSubspaceProjections,
+       ProcessingMode::kSimultaneous, true, SolutionCount::kTwoOrMore, true,
+       false},
+      // Section 5: multiple given views/sources.
+      {"CoEM", "Bickel & Scheffer 2004", SearchSpace::kMultiSource,
+       ProcessingMode::kSimultaneous, false, SolutionCount::kOne, true,
+       false},
+      {"MultiViewDbscan", "Kailing et al. 2004a", SearchSpace::kMultiSource,
+       ProcessingMode::kSimultaneous, false, SolutionCount::kOne, true,
+       false},
+      {"EnsembleConsensus", "Fern & Brodley 2003", SearchSpace::kMultiSource,
+       ProcessingMode::kIndependent, false, SolutionCount::kOne, false,
+       true},
+      {"MvSpectral", "de Sa 05; Zhou-Burges 07",
+       SearchSpace::kMultiSource, ProcessingMode::kSimultaneous, false,
+       SolutionCount::kOne, true, false},
+  };
+  return *kRegistry;
+}
+
+std::string RenderTaxonomyTable() {
+  std::ostringstream out;
+  auto pad = [](std::string s, size_t w) {
+    if (s.size() < w) s.append(w - s.size(), ' ');
+    return s;
+  };
+  out << pad("algorithm", 20) << pad("reference", 26) << pad("space", 14)
+      << pad("processing", 14) << pad("knowledge", 11) << pad("#clusterings", 14)
+      << pad("view-diss", 11) << "flexibility\n";
+  out << std::string(118, '-') << "\n";
+  for (const AlgorithmTraits& t : AlgorithmRegistry()) {
+    out << pad(t.name, 20) << pad(t.reference, 26)
+        << pad(ToString(t.search_space), 14)
+        << pad(ToString(t.processing), 14)
+        << pad(t.uses_given_knowledge ? "given k." : "no", 11)
+        << pad(ToString(t.solutions), 14)
+        << pad(t.models_view_dissimilarity ? "yes" : "no", 11)
+        << (t.exchangeable_definition ? "exchangeable def." : "specialized")
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace multiclust

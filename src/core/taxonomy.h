@@ -1,0 +1,64 @@
+#ifndef MULTICLUST_CORE_TAXONOMY_H_
+#define MULTICLUST_CORE_TAXONOMY_H_
+
+#include <string>
+#include <vector>
+
+namespace multiclust {
+
+/// The taxonomy axes of the tutorial (slides 20-22, 115-121). Every
+/// algorithm in the library registers its traits so the comparison table of
+/// slide 116 can be regenerated from code (see `bench_taxonomy_table`).
+
+/// Primary axis: the search space the method operates in.
+enum class SearchSpace {
+  kOriginalSpace,      ///< Section 2: same data space
+  kTransformedSpace,   ///< Section 3: orthogonal space transformations
+  kSubspaceProjections,///< Section 4: axis-parallel subspace projections
+  kMultiSource,        ///< Section 5: multiple given views/sources
+};
+
+/// Whether solutions are found one after another or jointly.
+enum class ProcessingMode {
+  kIndependent,   ///< blind generation, no coupling (meta clustering)
+  kIterative,     ///< alternatives computed one at a time from knowledge
+  kSimultaneous,  ///< all solutions optimised together
+};
+
+/// How many solutions a method produces.
+enum class SolutionCount {
+  kOne,        ///< consensus-style: a single (stabilised) clustering
+  kTwo,        ///< one alternative to a given clustering
+  kTwoOrMore,  ///< any number of solutions
+};
+
+/// Trait record for one algorithm.
+struct AlgorithmTraits {
+  std::string name;
+  std::string reference;  ///< primary citation, e.g. "Bae & Bailey 2006"
+  SearchSpace search_space = SearchSpace::kOriginalSpace;
+  ProcessingMode processing = ProcessingMode::kIterative;
+  bool uses_given_knowledge = false;
+  SolutionCount solutions = SolutionCount::kTwo;
+  /// Whether the method models dissimilarity between views/subspaces.
+  bool models_view_dissimilarity = false;
+  /// Whether the underlying cluster definition is exchangeable
+  /// ("flexible model") as opposed to specialised.
+  bool exchangeable_definition = false;
+};
+
+const char* ToString(SearchSpace s);
+const char* ToString(ProcessingMode p);
+const char* ToString(SolutionCount c);
+
+/// All algorithms shipped in this library, in tutorial order. This is the
+/// machine-readable version of the slide-116 table.
+const std::vector<AlgorithmTraits>& AlgorithmRegistry();
+
+/// Renders the registry as an aligned text table (the slide-116
+/// reproduction).
+std::string RenderTaxonomyTable();
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_CORE_TAXONOMY_H_

@@ -1,0 +1,126 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace multiclust {
+
+Result<Dataset> ReadCsv(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+
+  std::string line;
+  std::vector<std::string> names;
+  size_t line_no = 0;
+
+  if (options.has_header) {
+    if (!std::getline(in, line)) {
+      return Status::IoError("'" + path + "' is empty");
+    }
+    ++line_no;
+    for (const std::string& f : SplitString(TrimString(line),
+                                            options.separator)) {
+      names.push_back(TrimString(f));
+    }
+  }
+
+  int label_col = -1;
+  if (!options.label_column.empty()) {
+    for (size_t j = 0; j < names.size(); ++j) {
+      if (names[j] == options.label_column) label_col = static_cast<int>(j);
+    }
+    if (label_col < 0) {
+      return Status::NotFound("label column '" + options.label_column +
+                              "' not in header");
+    }
+  }
+
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = TrimString(line);
+    if (trimmed.empty()) continue;
+    const std::vector<std::string> fields =
+        SplitString(trimmed, options.separator);
+    if (!names.empty() && fields.size() != names.size()) {
+      return Status::IoError("line " + std::to_string(line_no) + " has " +
+                             std::to_string(fields.size()) + " fields, " +
+                             "expected " + std::to_string(names.size()));
+    }
+    std::vector<double> row;
+    row.reserve(fields.size());
+    for (size_t j = 0; j < fields.size(); ++j) {
+      if (static_cast<int>(j) == label_col) {
+        double v = 0;
+        if (!ParseDouble(fields[j], &v)) {
+          return Status::IoError("line " + std::to_string(line_no) +
+                                 ": bad label '" + fields[j] + "'");
+        }
+        labels.push_back(static_cast<int>(v));
+        continue;
+      }
+      double v = 0;
+      if (!ParseDouble(fields[j], &v)) {
+        return Status::IoError("line " + std::to_string(line_no) +
+                               ": bad number '" + fields[j] + "'");
+      }
+      row.push_back(v);
+    }
+    if (!rows.empty() && row.size() != rows[0].size()) {
+      return Status::IoError("line " + std::to_string(line_no) +
+                             ": inconsistent field count");
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::vector<std::string> data_names;
+  for (size_t j = 0; j < names.size(); ++j) {
+    if (static_cast<int>(j) != label_col) data_names.push_back(names[j]);
+  }
+
+  Dataset ds(Matrix::FromRows(rows), std::move(data_names));
+  if (label_col >= 0) {
+    MC_RETURN_IF_ERROR(ds.AddGroundTruth(options.label_column,
+                                         std::move(labels)));
+  }
+  return ds;
+}
+
+Status WriteCsv(const Dataset& dataset, const std::string& path,
+                char separator) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot write '" + path + "'");
+
+  const std::vector<std::string> truth_names = dataset.GroundTruthNames();
+  // Header.
+  for (size_t j = 0; j < dataset.num_dims(); ++j) {
+    if (j > 0) out << separator;
+    out << dataset.column_names()[j];
+  }
+  for (const std::string& t : truth_names) out << separator << "gt:" << t;
+  out << "\n";
+
+  std::vector<std::vector<int>> truths;
+  for (const std::string& t : truth_names) {
+    truths.push_back(dataset.GroundTruth(t).value());
+  }
+
+  std::ostringstream buf;
+  buf.precision(12);
+  for (size_t i = 0; i < dataset.num_objects(); ++i) {
+    for (size_t j = 0; j < dataset.num_dims(); ++j) {
+      if (j > 0) buf << separator;
+      buf << dataset.data().at(i, j);
+    }
+    for (const auto& t : truths) buf << separator << t[i];
+    buf << "\n";
+  }
+  out << buf.str();
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace multiclust

@@ -1,0 +1,31 @@
+#ifndef MULTICLUST_DATA_CSV_H_
+#define MULTICLUST_DATA_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace multiclust {
+
+/// Options for CSV parsing.
+struct CsvOptions {
+  char separator = ',';
+  bool has_header = true;
+  /// Name of an integer label column to lift into a ground truth (optional;
+  /// empty = none). The column is removed from the numeric data.
+  std::string label_column;
+};
+
+/// Reads a numeric CSV file into a Dataset. All non-label fields must parse
+/// as doubles; malformed rows produce an IoError naming the line.
+Result<Dataset> ReadCsv(const std::string& path, const CsvOptions& options);
+
+/// Writes `dataset` (header + numeric rows) to `path`. Ground truths are
+/// appended as integer columns named gt:<name>.
+Status WriteCsv(const Dataset& dataset, const std::string& path,
+                char separator = ',');
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_DATA_CSV_H_

@@ -1,0 +1,77 @@
+#include "data/dataset.h"
+
+#include <string>
+
+namespace multiclust {
+
+Dataset::Dataset(Matrix data) : data_(std::move(data)) {
+  column_names_.reserve(data_.cols());
+  for (size_t j = 0; j < data_.cols(); ++j) {
+    column_names_.push_back("c" + std::to_string(j));
+  }
+}
+
+Dataset::Dataset(Matrix data, std::vector<std::string> column_names)
+    : data_(std::move(data)), column_names_(std::move(column_names)) {
+  while (column_names_.size() < data_.cols()) {
+    column_names_.push_back("c" + std::to_string(column_names_.size()));
+  }
+}
+
+Result<size_t> Dataset::ColumnIndex(const std::string& name) const {
+  for (size_t j = 0; j < column_names_.size(); ++j) {
+    if (column_names_[j] == name) return j;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+Status Dataset::AddGroundTruth(const std::string& name,
+                               std::vector<int> labels) {
+  if (labels.size() != num_objects()) {
+    return Status::InvalidArgument(
+        "ground truth '" + name + "' has " + std::to_string(labels.size()) +
+        " labels for " + std::to_string(num_objects()) + " objects");
+  }
+  if (ground_truths_.find(name) == ground_truths_.end()) {
+    truth_order_.push_back(name);
+  }
+  ground_truths_[name] = std::move(labels);
+  return Status::OK();
+}
+
+Result<std::vector<int>> Dataset::GroundTruth(const std::string& name) const {
+  auto it = ground_truths_.find(name);
+  if (it == ground_truths_.end()) {
+    return Status::NotFound("no ground truth named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Dataset::GroundTruthNames() const {
+  return truth_order_;
+}
+
+double Dataset::SubspaceSquaredDistance(
+    size_t i, size_t j, const std::vector<size_t>& dims) const {
+  const double* a = data_.row_data(i);
+  const double* b = data_.row_data(j);
+  double s = 0.0;
+  for (size_t d : dims) {
+    const double diff = a[d] - b[d];
+    s += diff * diff;
+  }
+  return s;
+}
+
+double Dataset::SquaredDistance(size_t i, size_t j) const {
+  const double* a = data_.row_data(i);
+  const double* b = data_.row_data(j);
+  double s = 0.0;
+  for (size_t d = 0; d < data_.cols(); ++d) {
+    const double diff = a[d] - b[d];
+    s += diff * diff;
+  }
+  return s;
+}
+
+}  // namespace multiclust

@@ -1,0 +1,77 @@
+#ifndef MULTICLUST_DATA_DATASET_H_
+#define MULTICLUST_DATA_DATASET_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace multiclust {
+
+/// A numeric table of objects (rows) by attributes (columns), optionally
+/// carrying one or more *ground-truth labelings*. Multiple labelings are
+/// first-class because the whole point of this library is data that admits
+/// several valid clusterings (one per view).
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Takes ownership of the data matrix; columns get names "c0", "c1", ...
+  explicit Dataset(Matrix data);
+
+  /// Takes ownership of data and column names (names.size() == data.cols()).
+  Dataset(Matrix data, std::vector<std::string> column_names);
+
+  size_t num_objects() const { return data_.rows(); }
+  size_t num_dims() const { return data_.cols(); }
+
+  const Matrix& data() const { return data_; }
+  Matrix& mutable_data() { return data_; }
+
+  const std::vector<std::string>& column_names() const {
+    return column_names_;
+  }
+
+  /// Index of the column with the given name, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Returns object row `i` as a vector.
+  std::vector<double> Object(size_t i) const { return data_.Row(i); }
+
+  /// Projection of the data onto the listed dimensions (a subspace view).
+  Matrix Project(const std::vector<size_t>& dims) const {
+    return data_.SelectColumns(dims);
+  }
+
+  /// Registers a ground-truth labeling under `name`. Labels use -1 for
+  /// noise/unassigned; labels.size() must equal num_objects().
+  Status AddGroundTruth(const std::string& name, std::vector<int> labels);
+
+  /// Fetches a ground-truth labeling, or NotFound.
+  Result<std::vector<int>> GroundTruth(const std::string& name) const;
+
+  /// Names of all registered ground truths, in insertion order.
+  std::vector<std::string> GroundTruthNames() const;
+
+  size_t num_ground_truths() const { return truth_order_.size(); }
+
+  /// Squared Euclidean distance between objects i and j restricted to
+  /// `dims` (the subspace distance of the tutorial, slide 67).
+  double SubspaceSquaredDistance(size_t i, size_t j,
+                                 const std::vector<size_t>& dims) const;
+
+  /// Full-space squared Euclidean distance between objects i and j.
+  double SquaredDistance(size_t i, size_t j) const;
+
+ private:
+  Matrix data_;
+  std::vector<std::string> column_names_;
+  std::map<std::string, std::vector<int>> ground_truths_;
+  std::vector<std::string> truth_order_;
+};
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_DATA_DATASET_H_

@@ -1,0 +1,132 @@
+#include "data/discrete.h"
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace multiclust {
+
+Result<Dataset> MakeDocumentTerm(const DocumentTermSpec& spec) {
+  if (spec.topics_a == 0 || spec.topics_b == 0) {
+    return Status::InvalidArgument("MakeDocumentTerm: topics must be > 0");
+  }
+  if (spec.vocab_a < spec.topics_a || spec.vocab_b < spec.topics_b) {
+    return Status::InvalidArgument(
+        "MakeDocumentTerm: vocabulary smaller than topic count");
+  }
+  if (spec.topic_sharpness <= 0.0 || spec.topic_sharpness >= 1.0) {
+    return Status::InvalidArgument(
+        "MakeDocumentTerm: topic_sharpness must be in (0, 1)");
+  }
+  Rng rng(spec.seed);
+  const size_t vocab = spec.vocab_a + spec.vocab_b + spec.vocab_common;
+  Matrix counts(spec.num_documents, vocab);
+  std::vector<int> topics_a(spec.num_documents);
+  std::vector<int> topics_b(spec.num_documents);
+
+  // Each topic of system A owns a contiguous share of block A's words;
+  // likewise for B. A document mixes: half its words from block A
+  // (sharpness mass on its A-topic's words), half from block B, with the
+  // common block taking a fixed small share.
+  const double common_share =
+      spec.vocab_common > 0 ? 0.15 : 0.0;
+  const double block_share = (1.0 - common_share) / 2.0;
+
+  for (size_t d = 0; d < spec.num_documents; ++d) {
+    const size_t ta = rng.NextIndex(spec.topics_a);
+    const size_t tb = rng.NextIndex(spec.topics_b);
+    topics_a[d] = static_cast<int>(ta);
+    topics_b[d] = static_cast<int>(tb);
+
+    // Per-word sampling weights for this document.
+    std::vector<double> weights(vocab, 0.0);
+    // A word's owning topic: contiguous shares, last topic absorbs the
+    // remainder.
+    auto owner = [](size_t w, size_t vocab, size_t topics) {
+      const size_t per_topic = vocab / topics;
+      const size_t t = w / per_topic;
+      return t < topics ? t : topics - 1;
+    };
+    auto owned_words = [](size_t t, size_t vocab, size_t topics) {
+      const size_t per_topic = vocab / topics;
+      return t == topics - 1 ? vocab - per_topic * (topics - 1) : per_topic;
+    };
+    // Block A: sharpness mass on the document's A-topic words.
+    for (size_t w = 0; w < spec.vocab_a; ++w) {
+      const double base = (1.0 - spec.topic_sharpness) /
+                          static_cast<double>(spec.vocab_a);
+      const double extra =
+          owner(w, spec.vocab_a, spec.topics_a) == ta
+              ? spec.topic_sharpness /
+                    static_cast<double>(
+                        owned_words(ta, spec.vocab_a, spec.topics_a))
+              : 0.0;
+      weights[w] = block_share * (base + extra);
+    }
+    // Block B.
+    for (size_t w = 0; w < spec.vocab_b; ++w) {
+      const double base = (1.0 - spec.topic_sharpness) /
+                          static_cast<double>(spec.vocab_b);
+      const double extra =
+          owner(w, spec.vocab_b, spec.topics_b) == tb
+              ? spec.topic_sharpness /
+                    static_cast<double>(
+                        owned_words(tb, spec.vocab_b, spec.topics_b))
+              : 0.0;
+      weights[spec.vocab_a + w] = block_share * (base + extra);
+    }
+    // Common block: uniform.
+    for (size_t w = 0; w < spec.vocab_common; ++w) {
+      weights[spec.vocab_a + spec.vocab_b + w] =
+          common_share / static_cast<double>(spec.vocab_common);
+    }
+
+    for (size_t t = 0; t < spec.doc_length; ++t) {
+      counts.at(d, rng.Categorical(weights)) += 1.0;
+    }
+  }
+
+  std::vector<std::string> names;
+  names.reserve(vocab);
+  for (size_t w = 0; w < spec.vocab_a; ++w) {
+    names.push_back("wa" + std::to_string(w));
+  }
+  for (size_t w = 0; w < spec.vocab_b; ++w) {
+    names.push_back("wb" + std::to_string(w));
+  }
+  for (size_t w = 0; w < spec.vocab_common; ++w) {
+    names.push_back("wc" + std::to_string(w));
+  }
+
+  Dataset ds(std::move(counts), std::move(names));
+  MC_RETURN_IF_ERROR(ds.AddGroundTruth("topicsA", std::move(topics_a)));
+  MC_RETURN_IF_ERROR(ds.AddGroundTruth("topicsB", std::move(topics_b)));
+  return ds;
+}
+
+Result<Matrix> JointDistributionFromCounts(const Matrix& counts) {
+  double total = 0.0;
+  for (size_t i = 0; i < counts.rows(); ++i) {
+    for (size_t j = 0; j < counts.cols(); ++j) {
+      const double v = counts.at(i, j);
+      if (v < 0) {
+        return Status::InvalidArgument(
+            "JointDistributionFromCounts: negative count");
+      }
+      total += v;
+    }
+  }
+  if (total <= 0) {
+    return Status::InvalidArgument(
+        "JointDistributionFromCounts: zero total count");
+  }
+  Matrix joint(counts.rows(), counts.cols());
+  for (size_t i = 0; i < counts.rows(); ++i) {
+    for (size_t j = 0; j < counts.cols(); ++j) {
+      joint.at(i, j) = counts.at(i, j) / total;
+    }
+  }
+  return joint;
+}
+
+}  // namespace multiclust

@@ -1,0 +1,44 @@
+#ifndef MULTICLUST_DATA_DISCRETE_H_
+#define MULTICLUST_DATA_DISCRETE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace multiclust {
+
+/// Synthetic document-term data for the information-bottleneck family of
+/// alternative-clustering methods (tutorial slides 34-36): objects are
+/// documents, features are term counts, and *two independent topic systems*
+/// are planted — each topic system controls a disjoint block of the
+/// vocabulary. The returned Dataset holds the count matrix and ground
+/// truths "topicsA" (the "known" system) and "topicsB" (the novel one).
+struct DocumentTermSpec {
+  size_t num_documents = 200;
+  /// Words governed by topic system A / B, plus shared background words.
+  size_t vocab_a = 12;
+  size_t vocab_b = 12;
+  size_t vocab_common = 6;
+  size_t topics_a = 3;
+  size_t topics_b = 2;
+  /// Words drawn per document (multinomial length).
+  size_t doc_length = 120;
+  /// Probability mass concentrated on a topic's preferred words (the rest
+  /// spreads uniformly over the block). Higher = crisper topics.
+  double topic_sharpness = 0.8;
+  uint64_t seed = 1;
+};
+
+/// Generates the document-term Dataset described by `spec`.
+Result<Dataset> MakeDocumentTerm(const DocumentTermSpec& spec);
+
+/// Normalises a non-negative count matrix into a joint distribution
+/// p(x, y) with sum 1 (documents x, features y). Fails if the total count
+/// is not positive.
+Result<Matrix> JointDistributionFromCounts(const Matrix& counts);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_DATA_DISCRETE_H_

@@ -1,0 +1,300 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace multiclust {
+
+Result<Dataset> MakeBlobs(const std::vector<BlobSpec>& blobs, uint64_t seed) {
+  if (blobs.empty()) return Status::InvalidArgument("MakeBlobs: no blobs");
+  const size_t d = blobs[0].center.size();
+  for (const BlobSpec& b : blobs) {
+    if (b.center.size() != d) {
+      return Status::InvalidArgument("MakeBlobs: inconsistent center dims");
+    }
+  }
+  size_t n = 0;
+  for (const BlobSpec& b : blobs) n += b.count;
+
+  Rng rng(seed);
+  Matrix data(n, d);
+  std::vector<int> labels(n);
+  size_t row = 0;
+  for (size_t c = 0; c < blobs.size(); ++c) {
+    for (size_t i = 0; i < blobs[c].count; ++i, ++row) {
+      for (size_t j = 0; j < d; ++j) {
+        data.at(row, j) = rng.Gaussian(blobs[c].center[j], blobs[c].stddev);
+      }
+      labels[row] = static_cast<int>(c);
+    }
+  }
+  Dataset ds(std::move(data));
+  MC_RETURN_IF_ERROR(ds.AddGroundTruth("labels", std::move(labels)));
+  return ds;
+}
+
+Result<Dataset> MakeFourSquares(size_t points_per_corner, double separation,
+                                double stddev, uint64_t seed) {
+  const double h = separation / 2.0;
+  std::vector<BlobSpec> blobs = {
+      {{-h, -h}, stddev, points_per_corner},  // 0: bottom-left
+      {{h, -h}, stddev, points_per_corner},   // 1: bottom-right
+      {{-h, h}, stddev, points_per_corner},   // 2: top-left
+      {{h, h}, stddev, points_per_corner},    // 3: top-right
+  };
+  MC_ASSIGN_OR_RETURN(Dataset ds, MakeBlobs(blobs, seed));
+  MC_ASSIGN_OR_RETURN(std::vector<int> corners, ds.GroundTruth("labels"));
+  std::vector<int> horizontal(corners.size());  // split by y: bottom vs top
+  std::vector<int> vertical(corners.size());    // split by x: left vs right
+  for (size_t i = 0; i < corners.size(); ++i) {
+    horizontal[i] = corners[i] >= 2 ? 1 : 0;
+    vertical[i] = (corners[i] == 1 || corners[i] == 3) ? 1 : 0;
+  }
+  MC_RETURN_IF_ERROR(ds.AddGroundTruth("corners", corners));
+  MC_RETURN_IF_ERROR(ds.AddGroundTruth("horizontal", std::move(horizontal)));
+  MC_RETURN_IF_ERROR(ds.AddGroundTruth("vertical", std::move(vertical)));
+  return ds;
+}
+
+std::vector<size_t> ViewDimensions(const std::vector<ViewSpec>& views,
+                                   size_t view_index) {
+  std::vector<size_t> dims;
+  size_t offset = 0;
+  for (size_t v = 0; v < views.size() && v < view_index; ++v) {
+    offset += views[v].num_dims;
+  }
+  if (view_index < views.size()) {
+    for (size_t j = 0; j < views[view_index].num_dims; ++j) {
+      dims.push_back(offset + j);
+    }
+  }
+  return dims;
+}
+
+Result<Dataset> MakeMultiView(size_t num_objects,
+                              const std::vector<ViewSpec>& views,
+                              size_t noise_dims, uint64_t seed) {
+  if (views.empty()) return Status::InvalidArgument("MakeMultiView: no views");
+  size_t total_dims = noise_dims;
+  for (const ViewSpec& v : views) {
+    if (v.num_dims == 0 || v.num_clusters == 0) {
+      return Status::InvalidArgument(
+          "MakeMultiView: view needs dims > 0 and clusters > 0");
+    }
+    total_dims += v.num_dims;
+  }
+
+  Rng rng(seed);
+  Matrix data(num_objects, total_dims);
+  std::vector<std::vector<int>> assignments(views.size());
+
+  size_t offset = 0;
+  for (size_t v = 0; v < views.size(); ++v) {
+    const ViewSpec& spec = views[v];
+    // Cluster centers for this view, spaced to be separable: draw and keep
+    // centers at pairwise distance >= 2.5 * stddev * sqrt(dims) when
+    // possible (best effort over a bounded number of draws).
+    const double min_sep = 2.5 * spec.stddev * std::sqrt(
+        static_cast<double>(spec.num_dims));
+    std::vector<std::vector<double>> centers;
+    for (size_t c = 0; c < spec.num_clusters; ++c) {
+      std::vector<double> best;
+      double best_min_dist = -1.0;
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        std::vector<double> cand(spec.num_dims);
+        for (double& x : cand) {
+          x = rng.Uniform(-spec.center_spread / 2, spec.center_spread / 2);
+        }
+        double min_dist = 1e300;
+        for (const auto& other : centers) {
+          min_dist = std::min(min_dist, EuclideanDistance(cand, other));
+        }
+        if (min_dist > best_min_dist) {
+          best_min_dist = min_dist;
+          best = std::move(cand);
+        }
+        if (best_min_dist >= min_sep) break;
+      }
+      centers.push_back(std::move(best));
+    }
+    // Independent assignment per object.
+    assignments[v].resize(num_objects);
+    for (size_t i = 0; i < num_objects; ++i) {
+      const size_t c = rng.NextIndex(spec.num_clusters);
+      assignments[v][i] = static_cast<int>(c);
+      for (size_t j = 0; j < spec.num_dims; ++j) {
+        data.at(i, offset + j) = rng.Gaussian(centers[c][j], spec.stddev);
+      }
+    }
+    offset += spec.num_dims;
+  }
+  // Noise columns.
+  for (size_t j = 0; j < noise_dims; ++j) {
+    for (size_t i = 0; i < num_objects; ++i) {
+      data.at(i, offset + j) = rng.Uniform(-views[0].center_spread / 2,
+                                           views[0].center_spread / 2);
+    }
+  }
+
+  Dataset ds(std::move(data));
+  for (size_t v = 0; v < views.size(); ++v) {
+    std::string name = views[v].name.empty()
+                           ? "view" + std::to_string(v)
+                           : views[v].name;
+    MC_RETURN_IF_ERROR(ds.AddGroundTruth(name, std::move(assignments[v])));
+  }
+  return ds;
+}
+
+Result<Dataset> MakeUniformCube(size_t num_objects, size_t dims,
+                                uint64_t seed) {
+  if (dims == 0) return Status::InvalidArgument("MakeUniformCube: dims == 0");
+  Rng rng(seed);
+  Matrix data(num_objects, dims);
+  for (size_t i = 0; i < num_objects; ++i) {
+    for (size_t j = 0; j < dims; ++j) data.at(i, j) = rng.NextDouble();
+  }
+  return Dataset(std::move(data));
+}
+
+Result<Dataset> MakeTwoRings(size_t points_per_ring, double r_inner,
+                             double r_outer, double noise, uint64_t seed) {
+  if (r_inner <= 0 || r_outer <= r_inner) {
+    return Status::InvalidArgument("MakeTwoRings: need 0 < r_inner < r_outer");
+  }
+  Rng rng(seed);
+  const size_t n = 2 * points_per_ring;
+  Matrix data(n, 2);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool outer = i >= points_per_ring;
+    const double r = (outer ? r_outer : r_inner) + rng.Gaussian(0.0, noise);
+    const double theta = rng.Uniform(0.0, 2.0 * M_PI);
+    data.at(i, 0) = r * std::cos(theta);
+    data.at(i, 1) = r * std::sin(theta);
+    labels[i] = outer ? 1 : 0;
+  }
+  Dataset ds(std::move(data));
+  MC_RETURN_IF_ERROR(ds.AddGroundTruth("rings", std::move(labels)));
+  return ds;
+}
+
+Result<Dataset> MakeCustomerScenario(size_t num_customers, uint64_t seed) {
+  std::vector<ViewSpec> views(2);
+  views[0] = {3, 3, 10.0, 1.0, "professional"};
+  views[1] = {3, 3, 10.0, 1.0, "leisure"};
+  MC_ASSIGN_OR_RETURN(Dataset raw,
+                      MakeMultiView(num_customers, views, 0, seed));
+  std::vector<std::string> names = {"working_hours", "income",  "education",
+                                    "sport_activity", "cinema_visits",
+                                    "musicality"};
+  Dataset ds(raw.data(), std::move(names));
+  for (const std::string& t : raw.GroundTruthNames()) {
+    MC_RETURN_IF_ERROR(ds.AddGroundTruth(t, raw.GroundTruth(t).value()));
+  }
+  return ds;
+}
+
+Result<Dataset> MakeGeneExpression(size_t num_genes, size_t num_conditions,
+                                   size_t num_groups, double shift,
+                                   double noise, uint64_t seed) {
+  if (num_conditions < 2) {
+    return Status::InvalidArgument("MakeGeneExpression: need >= 2 conditions");
+  }
+  Rng rng(seed);
+  Matrix data(num_genes, num_conditions);
+  for (size_t i = 0; i < num_genes; ++i) {
+    for (size_t j = 0; j < num_conditions; ++j) {
+      data.at(i, j) = rng.Gaussian(0.0, noise);
+    }
+  }
+  Dataset ds(std::move(data));
+  for (size_t g = 0; g < num_groups; ++g) {
+    // Each functional group: a random subset of conditions and members.
+    const size_t group_dims =
+        2 + rng.NextIndex(std::max<size_t>(1, num_conditions / 2 - 1));
+    const std::vector<size_t> dims =
+        rng.SampleWithoutReplacement(num_conditions, group_dims);
+    const size_t member_count =
+        num_genes / 4 + rng.NextIndex(std::max<size_t>(1, num_genes / 4));
+    const std::vector<size_t> members =
+        rng.SampleWithoutReplacement(num_genes, member_count);
+    const double direction = rng.NextDouble() < 0.5 ? -1.0 : 1.0;
+    std::vector<int> membership(num_genes, 0);
+    for (size_t m : members) {
+      membership[m] = 1;
+      for (size_t d : dims) {
+        ds.mutable_data().at(m, d) += direction * shift;
+      }
+    }
+    MC_RETURN_IF_ERROR(
+        ds.AddGroundTruth("group" + std::to_string(g), std::move(membership)));
+  }
+  return ds;
+}
+
+Result<Dataset> MakeSensorScenario(size_t num_sensors, double unreliable_frac,
+                                   uint64_t seed) {
+  std::vector<ViewSpec> views(2);
+  views[0] = {2, 3, 12.0, 1.0, "temperature"};
+  views[1] = {2, 3, 12.0, 1.0, "humidity"};
+  MC_ASSIGN_OR_RETURN(Dataset raw, MakeMultiView(num_sensors, views, 0, seed));
+  // Corrupt a fraction of sensors in exactly one view (unreliable readings).
+  Rng rng(seed ^ 0xC0FFEEULL);
+  Matrix& data = raw.mutable_data();
+  const size_t num_bad =
+      static_cast<size_t>(unreliable_frac * static_cast<double>(num_sensors));
+  const std::vector<size_t> bad =
+      rng.SampleWithoutReplacement(num_sensors, num_bad);
+  for (size_t i : bad) {
+    const size_t view = rng.NextIndex(2);
+    for (size_t j = 0; j < 2; ++j) {
+      data.at(i, view * 2 + j) += rng.Gaussian(0.0, 8.0);
+    }
+  }
+  std::vector<std::string> names = {"temp_day", "temp_night", "hum_day",
+                                    "hum_night"};
+  Dataset ds(raw.data(), std::move(names));
+  for (const std::string& t : raw.GroundTruthNames()) {
+    MC_RETURN_IF_ERROR(ds.AddGroundTruth(t, raw.GroundTruth(t).value()));
+  }
+  return ds;
+}
+
+Result<Dataset> WithNoiseDims(const Dataset& dataset, size_t extra,
+                              uint64_t seed) {
+  const size_t n = dataset.num_objects();
+  const size_t d = dataset.num_dims();
+  // Derive the noise range from the observed data spread.
+  double lo = 0.0, hi = 1.0;
+  if (n > 0 && d > 0) {
+    lo = hi = dataset.data().at(0, 0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < d; ++j) {
+        lo = std::min(lo, dataset.data().at(i, j));
+        hi = std::max(hi, dataset.data().at(i, j));
+      }
+    }
+  }
+  Rng rng(seed);
+  Matrix data(n, d + extra);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) data.at(i, j) = dataset.data().at(i, j);
+    for (size_t j = 0; j < extra; ++j) {
+      data.at(i, d + j) = rng.Uniform(lo, hi);
+    }
+  }
+  std::vector<std::string> names = dataset.column_names();
+  for (size_t j = 0; j < extra; ++j) {
+    names.push_back("noise" + std::to_string(j));
+  }
+  Dataset out(std::move(data), std::move(names));
+  for (const std::string& t : dataset.GroundTruthNames()) {
+    MC_RETURN_IF_ERROR(out.AddGroundTruth(t, dataset.GroundTruth(t).value()));
+  }
+  return out;
+}
+
+}  // namespace multiclust

@@ -1,0 +1,95 @@
+#ifndef MULTICLUST_DATA_GENERATORS_H_
+#define MULTICLUST_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace multiclust {
+
+/// Specification of one Gaussian blob (cluster) in some dimensionality.
+struct BlobSpec {
+  std::vector<double> center;
+  double stddev = 1.0;
+  size_t count = 100;
+};
+
+/// Generates isotropic Gaussian blobs; ground truth "labels" is the blob id.
+Result<Dataset> MakeBlobs(const std::vector<BlobSpec>& blobs, uint64_t seed);
+
+/// The tutorial's slide-26 toy: four blobs on the corners of a square.
+/// Two equally valid 2-partitions exist; the dataset carries ground truths
+/// "horizontal" (split by y) and "vertical" (split by x), plus "corners"
+/// (the 4-way truth).
+Result<Dataset> MakeFourSquares(size_t points_per_corner, double separation,
+                                double stddev, uint64_t seed);
+
+/// One view of a multi-view generator: a clustering that lives in a block of
+/// dedicated dimensions.
+struct ViewSpec {
+  size_t num_dims = 2;        ///< dimensions owned by this view
+  size_t num_clusters = 3;    ///< clusters planted in the view
+  double center_spread = 8.0; ///< cluster centers ~ Uniform(±spread/2)^dims
+  double stddev = 1.0;        ///< within-cluster noise
+  std::string name;           ///< ground truth name; default "view<i>"
+};
+
+/// Generates `num_objects` points whose column blocks carry *independent*
+/// clusterings: block i follows a random Gaussian mixture over
+/// `views[i].num_clusters` components, with the per-object component drawn
+/// independently per view. Each view's assignment is registered as a ground
+/// truth, and the view's dimension ranges are recoverable via
+/// `ViewDimensions`. Optionally appends `noise_dims` U(0, spread) columns.
+Result<Dataset> MakeMultiView(size_t num_objects,
+                              const std::vector<ViewSpec>& views,
+                              size_t noise_dims, uint64_t seed);
+
+/// Dimension indices occupied by view `view_index` under MakeMultiView's
+/// layout (consecutive blocks, noise columns last).
+std::vector<size_t> ViewDimensions(const std::vector<ViewSpec>& views,
+                                   size_t view_index);
+
+/// Uniform points in the unit cube [0,1]^dims (no cluster structure); used
+/// for curse-of-dimensionality and significance-baseline experiments.
+Result<Dataset> MakeUniformCube(size_t num_objects, size_t dims,
+                                uint64_t seed);
+
+/// Two concentric 2-D rings with Gaussian radial noise; ground truth
+/// "rings". Standard non-convex benchmark for spectral clustering/DBSCAN.
+Result<Dataset> MakeTwoRings(size_t points_per_ring, double r_inner,
+                             double r_outer, double noise, uint64_t seed);
+
+/// The tutorial's customer scenario (slides 14-18): named attributes with a
+/// "professional" view over {working_hours, income, education} and a
+/// "leisure" view over {sport_activity, cinema_visits, musicality};
+/// ground truths "professional" and "leisure".
+Result<Dataset> MakeCustomerScenario(size_t num_customers, uint64_t seed);
+
+/// Gene-expression-like scenario (slide 5): objects participate in multiple
+/// overlapping functional groups. Each of `num_groups` groups selects a
+/// random subset of conditions (dims) where its member genes are co-expressed
+/// (shifted mean); a gene can belong to several groups. Membership of group g
+/// is registered as ground truth "group<g>" with labels {1 = member,
+/// 0 = non-member}.
+Result<Dataset> MakeGeneExpression(size_t num_genes, size_t num_conditions,
+                                   size_t num_groups, double shift,
+                                   double noise, uint64_t seed);
+
+/// Sensor-network scenario (slide 6): two physical views (temperature dims,
+/// humidity dims) with independent spatial groupings; some sensors are
+/// unreliable (heavy noise in one view). Ground truths "temperature" and
+/// "humidity".
+Result<Dataset> MakeSensorScenario(size_t num_sensors, double unreliable_frac,
+                                   uint64_t seed);
+
+/// Appends `extra` uniform-noise dimensions (range derived from the data
+/// spread) to a dataset, preserving ground truths.
+Result<Dataset> WithNoiseDims(const Dataset& dataset, size_t extra,
+                              uint64_t seed);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_DATA_GENERATORS_H_

@@ -1,0 +1,76 @@
+#include "data/standardize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace multiclust {
+
+Matrix ColumnScaler::Apply(const Matrix& data) const {
+  Matrix out(data.rows(), data.cols());
+  for (size_t i = 0; i < data.rows(); ++i) {
+    for (size_t j = 0; j < data.cols(); ++j) {
+      const double off = j < offset.size() ? offset[j] : 0.0;
+      const double sc = j < scale.size() ? scale[j] : 1.0;
+      out.at(i, j) = (data.at(i, j) - off) / sc;
+    }
+  }
+  return out;
+}
+
+Matrix ColumnScaler::Invert(const Matrix& data) const {
+  Matrix out(data.rows(), data.cols());
+  for (size_t i = 0; i < data.rows(); ++i) {
+    for (size_t j = 0; j < data.cols(); ++j) {
+      const double off = j < offset.size() ? offset[j] : 0.0;
+      const double sc = j < scale.size() ? scale[j] : 1.0;
+      out.at(i, j) = data.at(i, j) * sc + off;
+    }
+  }
+  return out;
+}
+
+Result<ColumnScaler> FitZScore(const Matrix& data) {
+  if (data.rows() == 0 || data.cols() == 0) {
+    return Status::InvalidArgument("FitZScore: empty data");
+  }
+  ColumnScaler scaler;
+  scaler.offset = RowMean(data);
+  scaler.scale.assign(data.cols(), 1.0);
+  for (size_t j = 0; j < data.cols(); ++j) {
+    double var = 0.0;
+    for (size_t i = 0; i < data.rows(); ++i) {
+      const double d = data.at(i, j) - scaler.offset[j];
+      var += d * d;
+    }
+    var /= std::max<size_t>(1, data.rows() - 1);
+    const double sd = std::sqrt(var);
+    scaler.scale[j] = sd > 1e-12 ? sd : 1.0;
+  }
+  return scaler;
+}
+
+Result<ColumnScaler> FitMinMax(const Matrix& data) {
+  if (data.rows() == 0 || data.cols() == 0) {
+    return Status::InvalidArgument("FitMinMax: empty data");
+  }
+  ColumnScaler scaler;
+  scaler.offset.resize(data.cols());
+  scaler.scale.assign(data.cols(), 1.0);
+  for (size_t j = 0; j < data.cols(); ++j) {
+    double mn = data.at(0, j), mx = data.at(0, j);
+    for (size_t i = 1; i < data.rows(); ++i) {
+      mn = std::min(mn, data.at(i, j));
+      mx = std::max(mx, data.at(i, j));
+    }
+    scaler.offset[j] = mn;
+    scaler.scale[j] = mx - mn > 1e-12 ? mx - mn : 1.0;
+  }
+  return scaler;
+}
+
+Result<Matrix> ZScore(const Matrix& data) {
+  MC_ASSIGN_OR_RETURN(ColumnScaler scaler, FitZScore(data));
+  return scaler.Apply(data);
+}
+
+}  // namespace multiclust

@@ -1,0 +1,36 @@
+#ifndef MULTICLUST_DATA_STANDARDIZE_H_
+#define MULTICLUST_DATA_STANDARDIZE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace multiclust {
+
+/// Column-wise standardisation parameters, so the same transform fits on
+/// one dataset and applies to another (train/apply separation).
+struct ColumnScaler {
+  std::vector<double> offset;  ///< subtracted per column
+  std::vector<double> scale;   ///< divided per column (>= tiny epsilon)
+
+  /// Applies the transform: out(i, j) = (in(i, j) - offset[j]) / scale[j].
+  Matrix Apply(const Matrix& data) const;
+
+  /// Inverts the transform.
+  Matrix Invert(const Matrix& data) const;
+};
+
+/// Z-score scaler: offset = column mean, scale = column stddev.
+/// Constant columns get scale 1 (values map to 0).
+Result<ColumnScaler> FitZScore(const Matrix& data);
+
+/// Min-max scaler onto [0, 1]: offset = column min, scale = range.
+Result<ColumnScaler> FitMinMax(const Matrix& data);
+
+/// Convenience: z-scores the data in one call.
+Result<Matrix> ZScore(const Matrix& data);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_DATA_STANDARDIZE_H_

@@ -1,0 +1,366 @@
+#include "linalg/decomposition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace multiclust {
+
+Result<SymmetricEigen> EigenSymmetric(const Matrix& a, double tol,
+                                      int max_sweeps) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("EigenSymmetric: matrix must be square");
+  }
+  const size_t n = a.rows();
+  Matrix m = a;
+  Matrix v = Matrix::Identity(n);
+
+  auto off_diag_norm = [&]() {
+    double s = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) s += m.at(i, j) * m.at(i, j);
+    }
+    return std::sqrt(2.0 * s);
+  };
+
+  const double scale = std::max(1.0, m.FrobeniusNorm());
+  bool converged = n <= 1;
+  for (int sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
+    if (off_diag_norm() <= tol * scale) {
+      converged = true;
+      break;
+    }
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = m.at(p, q);
+        if (std::fabs(apq) <= 1e-300) continue;
+        const double app = m.at(p, p);
+        const double aqq = m.at(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply rotation J(p, q, theta) on both sides.
+        for (size_t k = 0; k < n; ++k) {
+          const double mkp = m.at(k, p);
+          const double mkq = m.at(k, q);
+          m.at(k, p) = c * mkp - s * mkq;
+          m.at(k, q) = s * mkp + c * mkq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double mpk = m.at(p, k);
+          const double mqk = m.at(q, k);
+          m.at(p, k) = c * mpk - s * mqk;
+          m.at(q, k) = s * mpk + c * mqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v.at(k, p);
+          const double vkq = v.at(k, q);
+          v.at(k, p) = c * vkp - s * vkq;
+          v.at(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (!converged && off_diag_norm() > tol * scale * 100) {
+    return Status::ComputationError("EigenSymmetric: Jacobi did not converge");
+  }
+
+  SymmetricEigen out;
+  out.values.resize(n);
+  for (size_t i = 0; i < n; ++i) out.values[i] = m.at(i, i);
+  // Sort descending by eigenvalue, permuting eigenvector columns.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return out.values[x] > out.values[y];
+  });
+  std::vector<double> sorted_values(n);
+  Matrix sorted_vectors(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    sorted_values[j] = out.values[order[j]];
+    for (size_t i = 0; i < n; ++i) {
+      sorted_vectors.at(i, j) = v.at(i, order[j]);
+    }
+  }
+  out.values = std::move(sorted_values);
+  out.vectors = std::move(sorted_vectors);
+  return out;
+}
+
+Result<Svd> ComputeSvd(const Matrix& a, double tol, int max_sweeps) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("ComputeSvd: empty matrix");
+  }
+  // Work with a tall matrix (m >= n); if wide, decompose the transpose and
+  // swap U and V at the end.
+  const bool transposed = a.rows() < a.cols();
+  Matrix w = transposed ? a.Transpose() : a;
+  const size_t m = w.rows();
+  const size_t n = w.cols();
+
+  Matrix v = Matrix::Identity(n);
+  const double scale = std::max(1.0, w.FrobeniusNorm());
+
+  // One-sided Jacobi: orthogonalise pairs of columns of w.
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double max_cos = 0.0;
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        double alpha = 0.0, beta = 0.0, gamma = 0.0;
+        for (size_t i = 0; i < m; ++i) {
+          const double wp = w.at(i, p);
+          const double wq = w.at(i, q);
+          alpha += wp * wp;
+          beta += wq * wq;
+          gamma += wp * wq;
+        }
+        const double denom = std::sqrt(alpha * beta);
+        const double cosine = denom > 1e-300 ? std::fabs(gamma) / denom : 0.0;
+        if (cosine > max_cos) max_cos = cosine;
+        if (cosine <= tol) continue;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = (zeta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (size_t i = 0; i < m; ++i) {
+          const double wp = w.at(i, p);
+          const double wq = w.at(i, q);
+          w.at(i, p) = c * wp - s * wq;
+          w.at(i, q) = s * wp + c * wq;
+        }
+        for (size_t i = 0; i < n; ++i) {
+          const double vp = v.at(i, p);
+          const double vq = v.at(i, q);
+          v.at(i, p) = c * vp - s * vq;
+          v.at(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (max_cos <= tol) break;
+    if (sweep == max_sweeps - 1 && max_cos > 1e-6 && scale > 0) {
+      return Status::ComputationError("ComputeSvd: Jacobi did not converge");
+    }
+  }
+
+  // Column norms are the singular values; normalised columns form U.
+  std::vector<double> sigma(n);
+  Matrix u(m, n);
+  for (size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (size_t i = 0; i < m; ++i) norm += w.at(i, j) * w.at(i, j);
+    norm = std::sqrt(norm);
+    sigma[j] = norm;
+    if (norm > 1e-300) {
+      for (size_t i = 0; i < m; ++i) u.at(i, j) = w.at(i, j) / norm;
+    }
+  }
+
+  // Sort descending.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return sigma[x] > sigma[y]; });
+  Svd out;
+  out.sigma.resize(n);
+  out.u = Matrix(m, n);
+  out.v = Matrix(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    out.sigma[j] = sigma[order[j]];
+    for (size_t i = 0; i < m; ++i) out.u.at(i, j) = u.at(i, order[j]);
+    for (size_t i = 0; i < n; ++i) out.v.at(i, j) = v.at(i, order[j]);
+  }
+  if (transposed) std::swap(out.u, out.v);
+  return out;
+}
+
+Result<Matrix> Cholesky(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky: matrix must be square");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double s = a.at(i, j);
+      for (size_t k = 0; k < j; ++k) s -= l.at(i, k) * l.at(j, k);
+      if (i == j) {
+        if (s <= 0.0) {
+          return Status::ComputationError(
+              "Cholesky: matrix not positive definite");
+        }
+        l.at(i, j) = std::sqrt(s);
+      } else {
+        l.at(i, j) = s / l.at(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+Result<std::vector<double>> SolveSpd(const Matrix& a,
+                                     const std::vector<double>& b) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("SolveSpd: dimension mismatch");
+  }
+  MC_ASSIGN_OR_RETURN(Matrix l, Cholesky(a));
+  const size_t n = b.size();
+  // Forward solve L y = b.
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t k = 0; k < i; ++k) s -= l.at(i, k) * y[k];
+    y[i] = s / l.at(i, i);
+  }
+  // Backward solve L^T x = y.
+  std::vector<double> x(n);
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double s = y[i];
+    for (size_t k = i + 1; k < n; ++k) s -= l.at(k, i) * x[k];
+    x[i] = s / l.at(i, i);
+  }
+  return x;
+}
+
+Result<Matrix> Inverse(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Inverse: matrix must be square");
+  }
+  const size_t n = a.rows();
+  Matrix m = a;
+  Matrix inv = Matrix::Identity(n);
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    size_t pivot = col;
+    double best = std::fabs(m.at(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(m.at(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) {
+      return Status::ComputationError("Inverse: singular matrix");
+    }
+    if (pivot != col) {
+      for (size_t j = 0; j < n; ++j) {
+        std::swap(m.at(pivot, j), m.at(col, j));
+        std::swap(inv.at(pivot, j), inv.at(col, j));
+      }
+    }
+    const double d = m.at(col, col);
+    for (size_t j = 0; j < n; ++j) {
+      m.at(col, j) /= d;
+      inv.at(col, j) /= d;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = m.at(r, col);
+      if (f == 0.0) continue;
+      for (size_t j = 0; j < n; ++j) {
+        m.at(r, j) -= f * m.at(col, j);
+        inv.at(r, j) -= f * inv.at(col, j);
+      }
+    }
+  }
+  return inv;
+}
+
+namespace {
+
+Result<Matrix> PowSymmetric(const Matrix& a, double power, double eps) {
+  MC_ASSIGN_OR_RETURN(SymmetricEigen eig, EigenSymmetric(a));
+  const size_t n = a.rows();
+  std::vector<double> powered(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double lambda = std::max(eig.values[i], eps);
+    powered[i] = std::pow(lambda, power);
+  }
+  // V * diag(powered) * V^T
+  Matrix scaled = eig.vectors;
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t i = 0; i < n; ++i) scaled.at(i, j) *= powered[j];
+  }
+  return scaled * eig.vectors.Transpose();
+}
+
+}  // namespace
+
+Result<Matrix> SqrtSymmetric(const Matrix& a, double eps) {
+  return PowSymmetric(a, 0.5, eps);
+}
+
+Result<Matrix> InverseSqrtSymmetric(const Matrix& a, double eps) {
+  return PowSymmetric(a, -0.5, eps);
+}
+
+Result<Qr> ComputeQr(const Matrix& a) {
+  if (a.rows() < a.cols()) {
+    return Status::InvalidArgument("ComputeQr: requires rows >= cols");
+  }
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  Matrix r = a;
+  // Accumulate Q implicitly by applying the Householder reflectors to an
+  // m x n slice of the identity at the end.
+  std::vector<std::vector<double>> reflectors;
+  reflectors.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    // Build Householder vector for column k, rows k..m-1.
+    std::vector<double> v(m, 0.0);
+    double norm = 0.0;
+    for (size_t i = k; i < m; ++i) {
+      v[i] = r.at(i, k);
+      norm += v[i] * v[i];
+    }
+    norm = std::sqrt(norm);
+    if (norm < 1e-300) {
+      reflectors.push_back(std::vector<double>(m, 0.0));
+      continue;
+    }
+    const double alpha = (v[k] >= 0 ? -norm : norm);
+    v[k] -= alpha;
+    double vnorm = 0.0;
+    for (size_t i = k; i < m; ++i) vnorm += v[i] * v[i];
+    vnorm = std::sqrt(vnorm);
+    if (vnorm < 1e-300) {
+      reflectors.push_back(std::vector<double>(m, 0.0));
+      continue;
+    }
+    for (size_t i = k; i < m; ++i) v[i] /= vnorm;
+    // Apply H = I - 2 v v^T to R (columns k..n-1).
+    for (size_t j = k; j < n; ++j) {
+      double dot = 0.0;
+      for (size_t i = k; i < m; ++i) dot += v[i] * r.at(i, j);
+      for (size_t i = k; i < m; ++i) r.at(i, j) -= 2.0 * dot * v[i];
+    }
+    reflectors.push_back(std::move(v));
+  }
+  // Build thin Q by applying reflectors in reverse to identity columns.
+  Matrix q(m, n);
+  for (size_t j = 0; j < n; ++j) q.at(j, j) = 1.0;
+  for (size_t kk = reflectors.size(); kk > 0; --kk) {
+    const std::vector<double>& v = reflectors[kk - 1];
+    double vn = 0.0;
+    for (double x : v) vn += x * x;
+    if (vn < 1e-300) continue;
+    for (size_t j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (size_t i = 0; i < m; ++i) dot += v[i] * q.at(i, j);
+      for (size_t i = 0; i < m; ++i) q.at(i, j) -= 2.0 * dot * v[i];
+    }
+  }
+  Qr out;
+  out.q = std::move(q);
+  out.r = Matrix(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) out.r.at(i, j) = r.at(i, j);
+  }
+  return out;
+}
+
+}  // namespace multiclust

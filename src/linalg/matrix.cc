@@ -1,0 +1,241 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+namespace multiclust {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = 0; j < m.cols_ && j < rows[i].size(); ++j) {
+      m.at(i, j) = rows[i][j];
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Diagonal(const std::vector<double>& diag) {
+  Matrix m(diag.size(), diag.size());
+  for (size_t i = 0; i < diag.size(); ++i) m.at(i, i) = diag[i];
+  return m;
+}
+
+std::vector<double> Matrix::Row(size_t i) const {
+  return std::vector<double>(row_data(i), row_data(i) + cols_);
+}
+
+std::vector<double> Matrix::Col(size_t j) const {
+  std::vector<double> out(rows_);
+  for (size_t i = 0; i < rows_; ++i) out[i] = at(i, j);
+  return out;
+}
+
+void Matrix::SetRow(size_t i, const std::vector<double>& values) {
+  for (size_t j = 0; j < cols_ && j < values.size(); ++j) at(i, j) = values[j];
+}
+
+void Matrix::SetCol(size_t j, const std::vector<double>& values) {
+  for (size_t i = 0; i < rows_ && i < values.size(); ++i) at(i, j) = values[i];
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) t.at(j, i) = at(i, j);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  if (cols_ != other.rows_) return Matrix();
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = at(i, k);
+      if (a == 0.0) continue;
+      const double* brow = other.row_data(k);
+      double* orow = out.row_data(i);
+      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = data_[i] + other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = data_[i] - other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(double scalar) const {
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] = data_[i] * scalar;
+  return out;
+}
+
+Result<Matrix> Matrix::Multiply(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument("matrix product dimension mismatch");
+  }
+  return a * b;
+}
+
+std::vector<double> Matrix::Apply(const std::vector<double>& v) const {
+  std::vector<double> out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* r = row_data(i);
+    double s = 0.0;
+    for (size_t j = 0; j < cols_ && j < v.size(); ++j) s += r[j] * v[j];
+    out[i] = s;
+  }
+  return out;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  double m = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    const double d = std::fabs(data_[i] - other.data_[i]);
+    if (d > m) m = d;
+  }
+  return m;
+}
+
+Matrix Matrix::SelectColumns(const std::vector<size_t>& cols) const {
+  Matrix out(rows_, cols.size());
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols.size(); ++j) out.at(i, j) = at(i, cols[j]);
+  }
+  return out;
+}
+
+Matrix Matrix::SelectRows(const std::vector<size_t>& rows) const {
+  Matrix out(rows.size(), cols_);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = 0; j < cols_; ++j) out.at(i, j) = at(rows[i], j);
+  }
+  return out;
+}
+
+double VectorNorm(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double s = 0.0;
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+std::vector<double> Add(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+std::vector<double> Subtract(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  std::vector<double> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+std::vector<double> Scale(const std::vector<double>& v, double s) {
+  std::vector<double> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = v[i] * s;
+  return out;
+}
+
+std::vector<double> Normalized(const std::vector<double>& v) {
+  const double n = VectorNorm(v);
+  if (n < 1e-300) return v;
+  return Scale(v, 1.0 / n);
+}
+
+std::vector<double> RowMean(const Matrix& m) {
+  std::vector<double> mean(m.cols(), 0.0);
+  if (m.rows() == 0) return mean;
+  for (size_t i = 0; i < m.rows(); ++i) {
+    const double* r = m.row_data(i);
+    for (size_t j = 0; j < m.cols(); ++j) mean[j] += r[j];
+  }
+  for (double& x : mean) x /= static_cast<double>(m.rows());
+  return mean;
+}
+
+Matrix Covariance(const Matrix& m) {
+  const size_t n = m.rows();
+  const size_t d = m.cols();
+  Matrix cov(d, d);
+  if (n == 0) return cov;
+  const std::vector<double> mean = RowMean(m);
+  for (size_t i = 0; i < n; ++i) {
+    const double* r = m.row_data(i);
+    for (size_t a = 0; a < d; ++a) {
+      const double da = r[a] - mean[a];
+      for (size_t b = a; b < d; ++b) {
+        cov.at(a, b) += da * (r[b] - mean[b]);
+      }
+    }
+  }
+  const double denom = n >= 2 ? static_cast<double>(n - 1)
+                              : static_cast<double>(n);
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = a; b < d; ++b) {
+      cov.at(a, b) /= denom;
+      cov.at(b, a) = cov.at(a, b);
+    }
+  }
+  return cov;
+}
+
+Matrix OuterProduct(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  Matrix out(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) out.at(i, j) = a[i] * b[j];
+  }
+  return out;
+}
+
+}  // namespace multiclust

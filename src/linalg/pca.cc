@@ -1,0 +1,55 @@
+#include "linalg/pca.h"
+
+#include "linalg/decomposition.h"
+
+namespace multiclust {
+
+std::vector<double> PcaModel::Project(const std::vector<double>& x,
+                                      size_t p) const {
+  if (p > components.cols()) p = components.cols();
+  std::vector<double> centred(x.size());
+  for (size_t i = 0; i < x.size() && i < mean.size(); ++i)
+    centred[i] = x[i] - mean[i];
+  std::vector<double> out(p, 0.0);
+  for (size_t j = 0; j < p; ++j) {
+    double s = 0.0;
+    for (size_t i = 0; i < centred.size(); ++i)
+      s += components.at(i, j) * centred[i];
+    out[j] = s;
+  }
+  return out;
+}
+
+Matrix PcaModel::LeadingComponents(size_t p) const {
+  if (p > components.cols()) p = components.cols();
+  std::vector<size_t> cols(p);
+  for (size_t j = 0; j < p; ++j) cols[j] = j;
+  return components.SelectColumns(cols);
+}
+
+size_t PcaModel::ComponentsForVariance(double fraction) const {
+  double total = 0.0;
+  for (double v : eigenvalues) total += (v > 0 ? v : 0);
+  if (total <= 0.0) return 0;
+  double acc = 0.0;
+  for (size_t i = 0; i < eigenvalues.size(); ++i) {
+    acc += (eigenvalues[i] > 0 ? eigenvalues[i] : 0);
+    if (acc / total >= fraction) return i + 1;
+  }
+  return eigenvalues.size();
+}
+
+Result<PcaModel> FitPca(const Matrix& data) {
+  if (data.rows() == 0 || data.cols() == 0) {
+    return Status::InvalidArgument("FitPca: empty data");
+  }
+  PcaModel model;
+  model.mean = RowMean(data);
+  const Matrix cov = Covariance(data);
+  MC_ASSIGN_OR_RETURN(SymmetricEigen eig, EigenSymmetric(cov));
+  model.eigenvalues = std::move(eig.values);
+  model.components = std::move(eig.vectors);
+  return model;
+}
+
+}  // namespace multiclust

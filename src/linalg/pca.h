@@ -1,0 +1,32 @@
+#ifndef MULTICLUST_LINALG_PCA_H_
+#define MULTICLUST_LINALG_PCA_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace multiclust {
+
+/// Principal component analysis of a data matrix (rows = objects).
+struct PcaModel {
+  std::vector<double> mean;         ///< column means of the training data
+  std::vector<double> eigenvalues;  ///< descending variances per component
+  Matrix components;                ///< d x d; column j = j-th principal axis
+
+  /// Projects `x` (length d) onto the first `p` components (centred).
+  std::vector<double> Project(const std::vector<double>& x, size_t p) const;
+
+  /// Returns the d x p matrix of the leading `p` component columns.
+  Matrix LeadingComponents(size_t p) const;
+
+  /// Smallest p whose components explain at least `fraction` of variance.
+  size_t ComponentsForVariance(double fraction) const;
+};
+
+/// Fits PCA on the rows of `data` via eigendecomposition of the covariance.
+Result<PcaModel> FitPca(const Matrix& data);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_LINALG_PCA_H_

@@ -1,0 +1,107 @@
+#include "metrics/adco.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metrics/partition_similarity.h"
+#include "stats/contingency.h"
+
+namespace multiclust {
+
+Result<Matrix> ClusterDensityProfiles(const Matrix& data,
+                                      const std::vector<int>& labels,
+                                      size_t bins) {
+  if (data.rows() != labels.size()) {
+    return Status::InvalidArgument("ClusterDensityProfiles: size mismatch");
+  }
+  if (bins == 0) {
+    return Status::InvalidArgument("ClusterDensityProfiles: bins == 0");
+  }
+  std::vector<int> dense;
+  const size_t k = DenseRelabel(labels, &dense);
+  const size_t d = data.cols();
+  if (k == 0) return Matrix(0, d * bins);
+
+  // Attribute ranges.
+  std::vector<double> lo(d), width(d);
+  for (size_t j = 0; j < d; ++j) {
+    double mn = data.at(0, j), mx = data.at(0, j);
+    for (size_t i = 1; i < data.rows(); ++i) {
+      mn = std::min(mn, data.at(i, j));
+      mx = std::max(mx, data.at(i, j));
+    }
+    lo[j] = mn;
+    width[j] = (mx - mn > 1e-12 ? mx - mn : 1.0) /
+               static_cast<double>(bins);
+  }
+
+  Matrix profiles(k, d * bins);
+  std::vector<double> totals(k, 0.0);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    if (dense[i] < 0) continue;
+    totals[dense[i]] += 1.0;
+    for (size_t j = 0; j < d; ++j) {
+      int b = static_cast<int>((data.at(i, j) - lo[j]) / width[j]);
+      if (b < 0) b = 0;
+      if (b >= static_cast<int>(bins)) b = static_cast<int>(bins) - 1;
+      profiles.at(dense[i], j * bins + b) += 1.0;
+    }
+  }
+  // Normalise each cluster's profile per attribute block.
+  for (size_t c = 0; c < k; ++c) {
+    if (totals[c] <= 0) continue;
+    for (size_t j = 0; j < d * bins; ++j) {
+      profiles.at(c, j) /= totals[c];
+    }
+  }
+  return profiles;
+}
+
+Result<double> AdcoSimilarity(const Matrix& data,
+                              const std::vector<int>& labels_a,
+                              const std::vector<int>& labels_b,
+                              size_t bins) {
+  MC_ASSIGN_OR_RETURN(Matrix pa, ClusterDensityProfiles(data, labels_a, bins));
+  MC_ASSIGN_OR_RETURN(Matrix pb, ClusterDensityProfiles(data, labels_b, bins));
+  if (pa.rows() == 0 || pb.rows() == 0) return 0.0;
+
+  // Cosine similarity between every profile pair.
+  const size_t ka = pa.rows(), kb = pb.rows();
+  std::vector<std::vector<double>> sim(ka, std::vector<double>(kb, 0.0));
+  for (size_t a = 0; a < ka; ++a) {
+    for (size_t b = 0; b < kb; ++b) {
+      double dot = 0.0, na = 0.0, nb = 0.0;
+      for (size_t j = 0; j < pa.cols(); ++j) {
+        dot += pa.at(a, j) * pb.at(b, j);
+        na += pa.at(a, j) * pa.at(a, j);
+        nb += pb.at(b, j) * pb.at(b, j);
+      }
+      sim[a][b] = (na > 0 && nb > 0) ? dot / std::sqrt(na * nb) : 0.0;
+    }
+  }
+  // Best matching (Hungarian on negative similarity), averaged over the
+  // larger clustering so unmatched clusters count as zero.
+  std::vector<std::vector<double>> cost(ka, std::vector<double>(kb, 0.0));
+  for (size_t a = 0; a < ka; ++a) {
+    for (size_t b = 0; b < kb; ++b) cost[a][b] = -sim[a][b];
+  }
+  const std::vector<int> assign = HungarianAssign(cost);
+  double total = 0.0;
+  for (size_t a = 0; a < ka; ++a) {
+    if (assign[a] >= 0 && static_cast<size_t>(assign[a]) < kb) {
+      total += sim[a][assign[a]];
+    }
+  }
+  return total / static_cast<double>(std::max(ka, kb));
+}
+
+Result<double> AdcoDissimilarity(const Matrix& data,
+                                 const std::vector<int>& labels_a,
+                                 const std::vector<int>& labels_b,
+                                 size_t bins) {
+  MC_ASSIGN_OR_RETURN(double sim,
+                      AdcoSimilarity(data, labels_a, labels_b, bins));
+  return std::clamp(1.0 - sim, 0.0, 1.0);
+}
+
+}  // namespace multiclust

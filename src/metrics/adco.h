@@ -1,0 +1,43 @@
+#ifndef MULTICLUST_METRICS_ADCO_H_
+#define MULTICLUST_METRICS_ADCO_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace multiclust {
+
+/// ADCO-style density-profile comparison between two clusterings
+/// (Bae, Bailey & Dong 2010; tutorial slide 34: "alternative should realize
+/// a different density profile"). Unlike pair-counting measures, ADCO
+/// compares *where in attribute space* the clusters sit: each cluster is
+/// summarised by its per-attribute histogram over `bins` equal-width
+/// intervals, and two clusterings are similar when their clusters can be
+/// matched with similar profiles.
+
+/// Similarity in [0, 1]: maximum over cluster matchings (Hungarian) of the
+/// normalised dot product of matched density profiles. 1 = identical
+/// spatial profiles; values near the chance level indicate the clusterings
+/// carve the space differently.
+Result<double> AdcoSimilarity(const Matrix& data,
+                              const std::vector<int>& labels_a,
+                              const std::vector<int>& labels_b,
+                              size_t bins = 5);
+
+/// Dissimilarity = 1 - AdcoSimilarity; usable as a `Diss` functional.
+Result<double> AdcoDissimilarity(const Matrix& data,
+                                 const std::vector<int>& labels_a,
+                                 const std::vector<int>& labels_b,
+                                 size_t bins = 5);
+
+/// The raw profile of one clustering: rows = dense-relabeled clusters,
+/// cols = attributes * bins, each attribute block normalised to sum 1 for
+/// the cluster. Exposed for diagnostics and tests.
+Result<Matrix> ClusterDensityProfiles(const Matrix& data,
+                                      const std::vector<int>& labels,
+                                      size_t bins);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_METRICS_ADCO_H_

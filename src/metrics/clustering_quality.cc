@@ -1,0 +1,158 @@
+#include "metrics/clustering_quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/contingency.h"
+
+namespace multiclust {
+
+Result<double> SumSquaredError(const Matrix& data,
+                               const std::vector<int>& labels) {
+  if (data.rows() != labels.size()) {
+    return Status::InvalidArgument("SumSquaredError: size mismatch");
+  }
+  MC_ASSIGN_OR_RETURN(Matrix means, ClusterMeans(data, labels));
+  std::vector<int> dense;
+  DenseRelabel(labels, &dense);
+  double sse = 0.0;
+  for (size_t i = 0; i < data.rows(); ++i) {
+    if (dense[i] < 0) continue;
+    const double* row = data.row_data(i);
+    const double* mean = means.row_data(dense[i]);
+    for (size_t j = 0; j < data.cols(); ++j) {
+      const double d = row[j] - mean[j];
+      sse += d * d;
+    }
+  }
+  return sse;
+}
+
+Result<double> Silhouette(const Matrix& data,
+                          const std::vector<int>& labels) {
+  if (data.rows() != labels.size()) {
+    return Status::InvalidArgument("Silhouette: size mismatch");
+  }
+  std::vector<int> dense;
+  const size_t k = DenseRelabel(labels, &dense);
+  if (k < 2) {
+    return Status::FailedPrecondition("Silhouette: needs >= 2 clusters");
+  }
+  const size_t n = data.rows();
+  std::vector<size_t> sizes(k, 0);
+  for (int l : dense) {
+    if (l >= 0) ++sizes[l];
+  }
+
+  double total = 0.0;
+  size_t counted = 0;
+  std::vector<double> dist_sum(k);
+  for (size_t i = 0; i < n; ++i) {
+    if (dense[i] < 0) continue;
+    std::fill(dist_sum.begin(), dist_sum.end(), 0.0);
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i || dense[j] < 0) continue;
+      double s = 0.0;
+      for (size_t c = 0; c < data.cols(); ++c) {
+        const double d = data.at(i, c) - data.at(j, c);
+        s += d * d;
+      }
+      dist_sum[dense[j]] += std::sqrt(s);
+    }
+    const size_t own = dense[i];
+    if (sizes[own] <= 1) continue;  // silhouette undefined; skip
+    const double a = dist_sum[own] / static_cast<double>(sizes[own] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < k; ++c) {
+      if (c == own || sizes[c] == 0) continue;
+      b = std::min(b, dist_sum[c] / static_cast<double>(sizes[c]));
+    }
+    if (!std::isfinite(b)) continue;
+    const double denom = std::max(a, b);
+    if (denom > 0) {
+      total += (b - a) / denom;
+      ++counted;
+    }
+  }
+  if (counted == 0) {
+    return Status::FailedPrecondition("Silhouette: no scorable objects");
+  }
+  return total / static_cast<double>(counted);
+}
+
+Result<double> DunnIndex(const Matrix& data, const std::vector<int>& labels) {
+  if (data.rows() != labels.size()) {
+    return Status::InvalidArgument("DunnIndex: size mismatch");
+  }
+  std::vector<int> dense;
+  const size_t k = DenseRelabel(labels, &dense);
+  if (k < 2) {
+    return Status::FailedPrecondition("DunnIndex: needs >= 2 clusters");
+  }
+  const size_t n = data.rows();
+  double min_inter = std::numeric_limits<double>::infinity();
+  double max_diam = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (dense[i] < 0) continue;
+    for (size_t j = i + 1; j < n; ++j) {
+      if (dense[j] < 0) continue;
+      double s = 0.0;
+      for (size_t c = 0; c < data.cols(); ++c) {
+        const double d = data.at(i, c) - data.at(j, c);
+        s += d * d;
+      }
+      const double dist = std::sqrt(s);
+      if (dense[i] == dense[j]) {
+        max_diam = std::max(max_diam, dist);
+      } else {
+        min_inter = std::min(min_inter, dist);
+      }
+    }
+  }
+  if (max_diam <= 0.0) {
+    return Status::FailedPrecondition("DunnIndex: zero intra-cluster spread");
+  }
+  return min_inter / max_diam;
+}
+
+Result<Matrix> ClusterMeans(const Matrix& data,
+                            const std::vector<int>& labels) {
+  if (data.rows() != labels.size()) {
+    return Status::InvalidArgument("ClusterMeans: size mismatch");
+  }
+  std::vector<int> dense;
+  const size_t k = DenseRelabel(labels, &dense);
+  Matrix means(k, data.cols());
+  std::vector<size_t> counts(k, 0);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    if (dense[i] < 0) continue;
+    ++counts[dense[i]];
+    for (size_t j = 0; j < data.cols(); ++j) {
+      means.at(dense[i], j) += data.at(i, j);
+    }
+  }
+  for (size_t c = 0; c < k; ++c) {
+    if (counts[c] == 0) continue;
+    for (size_t j = 0; j < data.cols(); ++j) {
+      means.at(c, j) /= static_cast<double>(counts[c]);
+    }
+  }
+  return means;
+}
+
+double NoiseFraction(const std::vector<int>& labels) {
+  if (labels.empty()) return 0.0;
+  size_t noise = 0;
+  for (int l : labels) {
+    if (l < 0) ++noise;
+  }
+  return static_cast<double>(noise) / static_cast<double>(labels.size());
+}
+
+size_t NumClusters(const std::vector<int>& labels) {
+  std::vector<int> dense;
+  return DenseRelabel(labels, &dense);
+}
+
+}  // namespace multiclust

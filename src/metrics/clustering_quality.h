@@ -1,0 +1,39 @@
+#ifndef MULTICLUST_METRICS_CLUSTERING_QUALITY_H_
+#define MULTICLUST_METRICS_CLUSTERING_QUALITY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace multiclust {
+
+/// Internal quality measures: the `Q` of the tutorial's abstract problem
+/// definition (slide 27). All operate on a labeling of the rows of a data
+/// matrix; noise labels (-1) are skipped.
+
+/// Sum of squared distances from each object to its cluster mean (k-means
+/// compactness; lower is better).
+Result<double> SumSquaredError(const Matrix& data,
+                               const std::vector<int>& labels);
+
+/// Mean silhouette coefficient in [-1, 1] (higher is better). O(n^2).
+Result<double> Silhouette(const Matrix& data, const std::vector<int>& labels);
+
+/// Dunn index: min inter-cluster distance / max intra-cluster diameter
+/// (higher is better). O(n^2).
+Result<double> DunnIndex(const Matrix& data, const std::vector<int>& labels);
+
+/// Cluster means for a labeling (rows = dense-relabeled clusters).
+Result<Matrix> ClusterMeans(const Matrix& data,
+                            const std::vector<int>& labels);
+
+/// Fraction of objects labeled as noise (-1).
+double NoiseFraction(const std::vector<int>& labels);
+
+/// Number of distinct non-noise clusters.
+size_t NumClusters(const std::vector<int>& labels);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_METRICS_CLUSTERING_QUALITY_H_

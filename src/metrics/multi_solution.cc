@@ -1,0 +1,94 @@
+#include "metrics/multi_solution.h"
+
+#include <algorithm>
+
+#include "metrics/partition_similarity.h"
+
+namespace multiclust {
+
+Result<double> MeanPairwiseDissimilarity(
+    const std::vector<std::vector<int>>& solutions) {
+  if (solutions.size() < 2) return 0.0;
+  double total = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < solutions.size(); ++i) {
+    for (size_t j = i + 1; j < solutions.size(); ++j) {
+      MC_ASSIGN_OR_RETURN(double d,
+                          ClusteringDissimilarity(solutions[i], solutions[j]));
+      total += d;
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+Result<double> MinPairwiseDissimilarity(
+    const std::vector<std::vector<int>>& solutions) {
+  if (solutions.size() < 2) return 0.0;
+  double min_d = 1.0;
+  for (size_t i = 0; i < solutions.size(); ++i) {
+    for (size_t j = i + 1; j < solutions.size(); ++j) {
+      MC_ASSIGN_OR_RETURN(double d,
+                          ClusteringDissimilarity(solutions[i], solutions[j]));
+      min_d = std::min(min_d, d);
+    }
+  }
+  return min_d;
+}
+
+Result<SolutionMatch> MatchSolutionsToTruths(
+    const std::vector<std::vector<int>>& truths,
+    const std::vector<std::vector<int>>& solutions) {
+  SolutionMatch match;
+  match.assignment.assign(truths.size(), -1);
+  match.nmi.assign(truths.size(), 0.0);
+  if (truths.empty()) return match;
+  if (solutions.empty()) return match;
+
+  // Cost matrix: negative NMI so the Hungarian minimiser maximises NMI.
+  std::vector<std::vector<double>> cost(
+      truths.size(), std::vector<double>(solutions.size(), 0.0));
+  std::vector<std::vector<double>> nmi_matrix(
+      truths.size(), std::vector<double>(solutions.size(), 0.0));
+  for (size_t t = 0; t < truths.size(); ++t) {
+    for (size_t s = 0; s < solutions.size(); ++s) {
+      MC_ASSIGN_OR_RETURN(
+          double nmi, NormalizedMutualInformation(truths[t], solutions[s]));
+      nmi_matrix[t][s] = nmi;
+      cost[t][s] = -nmi;
+    }
+  }
+  const std::vector<int> assign = HungarianAssign(cost);
+  double total = 0.0;
+  for (size_t t = 0; t < truths.size(); ++t) {
+    const int s = t < assign.size() ? assign[t] : -1;
+    if (s >= 0 && static_cast<size_t>(s) < solutions.size()) {
+      match.assignment[t] = s;
+      match.nmi[t] = nmi_matrix[t][s];
+    }
+    total += match.nmi[t];
+  }
+  match.mean_recovery = total / static_cast<double>(truths.size());
+  return match;
+}
+
+Result<double> CombinedObjective(
+    const std::vector<std::vector<int>>& solutions,
+    const std::vector<double>& qualities, double lambda) {
+  if (solutions.size() != qualities.size()) {
+    return Status::InvalidArgument("CombinedObjective: size mismatch");
+  }
+  double q = 0.0;
+  for (double x : qualities) q += x;
+  double diss = 0.0;
+  for (size_t i = 0; i < solutions.size(); ++i) {
+    for (size_t j = i + 1; j < solutions.size(); ++j) {
+      MC_ASSIGN_OR_RETURN(double d,
+                          ClusteringDissimilarity(solutions[i], solutions[j]));
+      diss += d;
+    }
+  }
+  return q + lambda * diss;
+}
+
+}  // namespace multiclust

@@ -1,0 +1,52 @@
+#ifndef MULTICLUST_METRICS_MULTI_SOLUTION_H_
+#define MULTICLUST_METRICS_MULTI_SOLUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace multiclust {
+
+/// Measures over *sets* of clusterings — the evaluation layer for multiple
+/// clustering solutions that the tutorial calls for as an open challenge
+/// (slide 123: "common quality assessment for multiple clusterings").
+
+/// Mean pairwise dissimilarity (1 - NMI_sqrt) among the given labelings.
+/// Returns 0 for fewer than two solutions.
+Result<double> MeanPairwiseDissimilarity(
+    const std::vector<std::vector<int>>& solutions);
+
+/// Minimum pairwise dissimilarity — the redundancy bottleneck of a solution
+/// set (low = at least two solutions are near-duplicates).
+Result<double> MinPairwiseDissimilarity(
+    const std::vector<std::vector<int>>& solutions);
+
+/// Result of matching discovered solutions to planted ground truths.
+struct SolutionMatch {
+  /// For each truth t: index of the discovered solution assigned to it
+  /// (-1 when there are fewer solutions than truths).
+  std::vector<int> assignment;
+  /// NMI of each truth with its assigned solution (0 when unassigned).
+  std::vector<double> nmi;
+  /// Mean of `nmi` — the headline recovery score in [0, 1].
+  double mean_recovery = 0.0;
+};
+
+/// Optimally assigns discovered solutions to ground-truth clusterings
+/// (Hungarian on the pairwise NMI matrix, maximising total NMI). This is how
+/// the library scores "did we find *all* the planted views?".
+Result<SolutionMatch> MatchSolutionsToTruths(
+    const std::vector<std::vector<int>>& truths,
+    const std::vector<std::vector<int>>& solutions);
+
+/// Combined objective of the tutorial's abstract problem (slide 39):
+/// sum of per-solution qualities plus `lambda` times the sum of pairwise
+/// dissimilarities. `qualities[i]` must correspond to `solutions[i]`.
+Result<double> CombinedObjective(
+    const std::vector<std::vector<int>>& solutions,
+    const std::vector<double>& qualities, double lambda);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_METRICS_MULTI_SOLUTION_H_

@@ -1,0 +1,221 @@
+#include "metrics/partition_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/contingency.h"
+#include "stats/entropy.h"
+
+namespace multiclust {
+
+namespace {
+
+Result<ContingencyTable::PairCounts> Pairs(const std::vector<int>& a,
+                                           const std::vector<int>& b) {
+  MC_ASSIGN_OR_RETURN(ContingencyTable t, ContingencyTable::Build(a, b));
+  return t.pair_counts();
+}
+
+}  // namespace
+
+Result<double> RandIndex(const std::vector<int>& a,
+                         const std::vector<int>& b) {
+  MC_ASSIGN_OR_RETURN(ContingencyTable::PairCounts pc, Pairs(a, b));
+  const double total =
+      pc.same_both + pc.same_a_only + pc.same_b_only + pc.same_neither;
+  if (total <= 0) return 1.0;
+  return (pc.same_both + pc.same_neither) / total;
+}
+
+Result<double> AdjustedRandIndex(const std::vector<int>& a,
+                                 const std::vector<int>& b) {
+  MC_ASSIGN_OR_RETURN(ContingencyTable t, ContingencyTable::Build(a, b));
+  auto choose2 = [](double n) { return n * (n - 1.0) / 2.0; };
+  double sum_cells = 0.0;
+  for (size_t i = 0; i < t.rows(); ++i) {
+    for (size_t j = 0; j < t.cols(); ++j) {
+      sum_cells += choose2(static_cast<double>(t.at(i, j)));
+    }
+  }
+  double sum_rows = 0.0;
+  for (size_t r : t.row_totals()) sum_rows += choose2(static_cast<double>(r));
+  double sum_cols = 0.0;
+  for (size_t c : t.col_totals()) sum_cols += choose2(static_cast<double>(c));
+  const double total_pairs = choose2(static_cast<double>(t.total()));
+  if (total_pairs <= 0) return 1.0;
+  const double expected = sum_rows * sum_cols / total_pairs;
+  const double max_index = 0.5 * (sum_rows + sum_cols);
+  const double denom = max_index - expected;
+  if (std::fabs(denom) < 1e-12) return 1.0;  // both trivial partitions
+  return (sum_cells - expected) / denom;
+}
+
+Result<double> JaccardIndex(const std::vector<int>& a,
+                            const std::vector<int>& b) {
+  MC_ASSIGN_OR_RETURN(ContingencyTable::PairCounts pc, Pairs(a, b));
+  const double denom = pc.same_both + pc.same_a_only + pc.same_b_only;
+  if (denom <= 0) return 1.0;
+  return pc.same_both / denom;
+}
+
+Result<double> FowlkesMallows(const std::vector<int>& a,
+                              const std::vector<int>& b) {
+  MC_ASSIGN_OR_RETURN(ContingencyTable::PairCounts pc, Pairs(a, b));
+  const double pa = pc.same_both + pc.same_a_only;
+  const double pb = pc.same_both + pc.same_b_only;
+  if (pa <= 0 || pb <= 0) return 0.0;
+  return pc.same_both / std::sqrt(pa * pb);
+}
+
+Result<double> PairF1(const std::vector<int>& a, const std::vector<int>& b) {
+  MC_ASSIGN_OR_RETURN(ContingencyTable::PairCounts pc, Pairs(a, b));
+  const double precision_denom = pc.same_both + pc.same_b_only;
+  const double recall_denom = pc.same_both + pc.same_a_only;
+  if (precision_denom <= 0 || recall_denom <= 0) return 0.0;
+  const double precision = pc.same_both / precision_denom;
+  const double recall = pc.same_both / recall_denom;
+  if (precision + recall <= 0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+Result<double> NormalizedMutualInformation(const std::vector<int>& a,
+                                           const std::vector<int>& b,
+                                           NmiNorm norm) {
+  MC_ASSIGN_OR_RETURN(double mi, MutualInformation(a, b));
+  const double ha = LabelEntropy(a);
+  const double hb = LabelEntropy(b);
+  double denom = 0.0;
+  switch (norm) {
+    case NmiNorm::kMax:
+      denom = std::max(ha, hb);
+      break;
+    case NmiNorm::kMin:
+      denom = std::min(ha, hb);
+      break;
+    case NmiNorm::kSqrt:
+      denom = std::sqrt(ha * hb);
+      break;
+    case NmiNorm::kSum:
+      denom = 0.5 * (ha + hb);
+      break;
+    case NmiNorm::kJoint: {
+      MC_ASSIGN_OR_RETURN(double hj, JointEntropy(a, b));
+      denom = hj;
+      break;
+    }
+  }
+  if (denom <= 1e-12) {
+    // Both partitions trivial: identical by convention.
+    return (ha <= 1e-12 && hb <= 1e-12) ? 1.0 : 0.0;
+  }
+  double nmi = mi / denom;
+  if (nmi > 1.0) nmi = 1.0;
+  if (nmi < 0.0) nmi = 0.0;
+  return nmi;
+}
+
+Result<double> VariationOfInformation(const std::vector<int>& a,
+                                      const std::vector<int>& b) {
+  MC_ASSIGN_OR_RETURN(double hab, ConditionalEntropy(a, b));
+  MC_ASSIGN_OR_RETURN(double hba, ConditionalEntropy(b, a));
+  return hab + hba;
+}
+
+Result<double> ClusteringDissimilarity(const std::vector<int>& a,
+                                       const std::vector<int>& b) {
+  MC_ASSIGN_OR_RETURN(double nmi,
+                      NormalizedMutualInformation(a, b, NmiNorm::kSqrt));
+  return 1.0 - nmi;
+}
+
+std::vector<int> HungarianAssign(
+    const std::vector<std::vector<double>>& cost) {
+  // Kuhn-Munkres (Jonker-style O(n^3) shortest augmenting path variant) on a
+  // square padded matrix.
+  const size_t rows = cost.size();
+  size_t cols = 0;
+  for (const auto& r : cost) cols = std::max(cols, r.size());
+  const size_t n = std::max(rows, cols);
+  const double kInf = std::numeric_limits<double>::infinity();
+
+  auto c = [&](size_t i, size_t j) -> double {
+    if (i < rows && j < cost[i].size()) return cost[i][j];
+    return 0.0;  // padding
+  };
+
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<int> p(n + 1, 0), way(n + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = static_cast<int>(i);
+    size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const size_t i0 = p[j0];
+      double delta = kInf;
+      size_t j1 = 0;
+      for (size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = c(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = static_cast<int>(j0);
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> assignment(rows, -1);
+  for (size_t j = 1; j <= n; ++j) {
+    if (p[j] > 0 && static_cast<size_t>(p[j]) <= rows &&
+        j <= cols) {
+      assignment[p[j] - 1] = static_cast<int>(j - 1);
+    }
+  }
+  return assignment;
+}
+
+Result<double> BestMatchAccuracy(const std::vector<int>& truth,
+                                 const std::vector<int>& predicted) {
+  MC_ASSIGN_OR_RETURN(ContingencyTable t,
+                      ContingencyTable::Build(predicted, truth));
+  if (t.total() == 0) return 0.0;
+  // Maximise matched counts == minimise negated counts.
+  std::vector<std::vector<double>> cost(t.rows(),
+                                        std::vector<double>(t.cols()));
+  for (size_t i = 0; i < t.rows(); ++i) {
+    for (size_t j = 0; j < t.cols(); ++j) {
+      cost[i][j] = -static_cast<double>(t.at(i, j));
+    }
+  }
+  const std::vector<int> assign = HungarianAssign(cost);
+  double matched = 0.0;
+  for (size_t i = 0; i < assign.size(); ++i) {
+    if (assign[i] >= 0 && static_cast<size_t>(assign[i]) < t.cols()) {
+      matched += static_cast<double>(t.at(i, assign[i]));
+    }
+  }
+  return matched / static_cast<double>(t.total());
+}
+
+}  // namespace multiclust

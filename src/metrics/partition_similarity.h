@@ -1,0 +1,74 @@
+#ifndef MULTICLUST_METRICS_PARTITION_SIMILARITY_H_
+#define MULTICLUST_METRICS_PARTITION_SIMILARITY_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace multiclust {
+
+/// Pair-counting and information-theoretic measures comparing two labelings
+/// of the same objects. Noise labels (-1) are excluded everywhere. These are
+/// the `Diss`/similarity functions of the tutorial's abstract problem
+/// definition (slide 27): multiple clustering solutions are judged by how
+/// *dissimilar* they are under these measures.
+
+/// Rand index in [0, 1]; 1 = identical partitions.
+Result<double> RandIndex(const std::vector<int>& a, const std::vector<int>& b);
+
+/// Adjusted Rand index; 1 = identical, ~0 for independent partitions, can
+/// be negative.
+Result<double> AdjustedRandIndex(const std::vector<int>& a,
+                                 const std::vector<int>& b);
+
+/// Jaccard coefficient over object pairs, in [0, 1].
+Result<double> JaccardIndex(const std::vector<int>& a,
+                            const std::vector<int>& b);
+
+/// Fowlkes-Mallows index (geometric mean of pair precision/recall).
+Result<double> FowlkesMallows(const std::vector<int>& a,
+                              const std::vector<int>& b);
+
+/// Pair-counting F1 (harmonic mean of pair precision and recall).
+Result<double> PairF1(const std::vector<int>& a, const std::vector<int>& b);
+
+/// Normalised mutual information variants.
+enum class NmiNorm {
+  kMax,   ///< I / max(Ha, Hb)
+  kMin,   ///< I / min(Ha, Hb)
+  kSqrt,  ///< I / sqrt(Ha * Hb)
+  kSum,   ///< 2 I / (Ha + Hb)
+  kJoint, ///< I / H(a, b)
+};
+
+/// NMI in [0, 1] under the chosen normalisation; 0 when either labeling has
+/// zero entropy and the labelings are independent; 1 for identical
+/// partitions (for kMax/kSqrt/kSum/kMin).
+Result<double> NormalizedMutualInformation(const std::vector<int>& a,
+                                           const std::vector<int>& b,
+                                           NmiNorm norm = NmiNorm::kSqrt);
+
+/// Variation of information VI = H(A|B) + H(B|A) (nats); 0 = identical,
+/// larger = more different. A proper metric on partitions.
+Result<double> VariationOfInformation(const std::vector<int>& a,
+                                      const std::vector<int>& b);
+
+/// Dissimilarity in [0, 1] used as the library's default `Diss`:
+/// 1 - NMI_sqrt. Symmetric, 0 for identical partitions.
+Result<double> ClusteringDissimilarity(const std::vector<int>& a,
+                                       const std::vector<int>& b);
+
+/// Clustering "accuracy" against a ground truth: maximum achievable fraction
+/// of correctly labeled objects under an optimal cluster->class assignment
+/// (computed exactly via the Hungarian algorithm on the contingency table).
+Result<double> BestMatchAccuracy(const std::vector<int>& truth,
+                                 const std::vector<int>& predicted);
+
+/// Solves the assignment problem: given a cost matrix (rows <= cols is not
+/// required; the matrix is padded internally), returns for each row the
+/// assigned column minimising total cost. Exposed for reuse/testing.
+std::vector<int> HungarianAssign(const std::vector<std::vector<double>>& cost);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_METRICS_PARTITION_SIMILARITY_H_

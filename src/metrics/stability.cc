@@ -1,0 +1,103 @@
+#include "metrics/stability.h"
+
+#include <algorithm>
+
+#include "cluster/kmeans.h"
+#include "common/rng.h"
+#include "metrics/partition_similarity.h"
+
+namespace multiclust {
+
+Result<StabilityReport> EvaluateStability(const Matrix& data,
+                                          const ClusterFn& cluster,
+                                          const StabilityOptions& options) {
+  const size_t n = data.rows();
+  if (n < 4) {
+    return Status::InvalidArgument("EvaluateStability: too few objects");
+  }
+  if (options.fraction <= 0.0 || options.fraction > 1.0) {
+    return Status::InvalidArgument(
+        "EvaluateStability: fraction must be in (0, 1]");
+  }
+  if (options.rounds == 0) {
+    return Status::InvalidArgument("EvaluateStability: rounds must be > 0");
+  }
+  if (!cluster) {
+    return Status::InvalidArgument("EvaluateStability: null cluster fn");
+  }
+
+  Rng rng(options.seed);
+  const size_t m = std::max<size_t>(
+      2, static_cast<size_t>(options.fraction * static_cast<double>(n)));
+
+  StabilityReport report;
+  report.min_ari = 1.0;
+  for (size_t round = 0; round < options.rounds; ++round) {
+    const std::vector<size_t> sub_a = rng.SampleWithoutReplacement(n, m);
+    const std::vector<size_t> sub_b = rng.SampleWithoutReplacement(n, m);
+    const Matrix data_a = data.SelectRows(sub_a);
+    const Matrix data_b = data.SelectRows(sub_b);
+    MC_ASSIGN_OR_RETURN(std::vector<int> labels_a,
+                        cluster(data_a, rng.NextU64()));
+    MC_ASSIGN_OR_RETURN(std::vector<int> labels_b,
+                        cluster(data_b, rng.NextU64()));
+    if (labels_a.size() != sub_a.size() || labels_b.size() != sub_b.size()) {
+      return Status::InvalidArgument(
+          "EvaluateStability: cluster fn returned wrong label count");
+    }
+
+    // Compare on the shared objects.
+    std::vector<int> pos_in_b(n, -1);
+    for (size_t idx = 0; idx < sub_b.size(); ++idx) {
+      pos_in_b[sub_b[idx]] = static_cast<int>(idx);
+    }
+    std::vector<int> shared_a, shared_b;
+    for (size_t idx = 0; idx < sub_a.size(); ++idx) {
+      const int other = pos_in_b[sub_a[idx]];
+      if (other >= 0) {
+        shared_a.push_back(labels_a[idx]);
+        shared_b.push_back(labels_b[other]);
+      }
+    }
+    if (shared_a.size() < 2) continue;  // no overlap this round
+    MC_ASSIGN_OR_RETURN(double ari, AdjustedRandIndex(shared_a, shared_b));
+    report.round_ari.push_back(ari);
+    report.min_ari = std::min(report.min_ari, ari);
+  }
+  if (report.round_ari.empty()) {
+    return Status::ComputationError(
+        "EvaluateStability: no overlapping subsamples");
+  }
+  for (double a : report.round_ari) report.mean_ari += a;
+  report.mean_ari /= static_cast<double>(report.round_ari.size());
+  return report;
+}
+
+Result<size_t> SelectKByStability(const Matrix& data, size_t max_k,
+                                  const StabilityOptions& options) {
+  if (max_k < 2) {
+    return Status::InvalidArgument("SelectKByStability: max_k must be >= 2");
+  }
+  size_t best_k = 2;
+  double best = -2.0;
+  for (size_t k = 2; k <= max_k && k < data.rows() / 2; ++k) {
+    ClusterFn fn = [k](const Matrix& sub,
+                       uint64_t seed) -> Result<std::vector<int>> {
+      KMeansOptions opts;
+      opts.k = k;
+      opts.restarts = 3;
+      opts.seed = seed;
+      MC_ASSIGN_OR_RETURN(Clustering c, RunKMeans(sub, opts));
+      return c.labels;
+    };
+    MC_ASSIGN_OR_RETURN(StabilityReport report,
+                        EvaluateStability(data, fn, options));
+    if (report.mean_ari > best + 1e-9) {
+      best = report.mean_ari;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+}  // namespace multiclust

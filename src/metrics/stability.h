@@ -1,0 +1,54 @@
+#ifndef MULTICLUST_METRICS_STABILITY_H_
+#define MULTICLUST_METRICS_STABILITY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace multiclust {
+
+/// A clustering procedure under stability evaluation: must label the rows
+/// of the given matrix (one call per subsample).
+using ClusterFn =
+    std::function<Result<std::vector<int>>(const Matrix& data,
+                                           uint64_t seed)>;
+
+/// Options for subsampling-based stability analysis (the standard protocol
+/// behind "is this clustering real or an artefact?" — the question
+/// consensus methods answer constructively, tutorial slide 108ff).
+struct StabilityOptions {
+  /// Subsample fraction per round.
+  double fraction = 0.8;
+  /// Number of subsample pairs.
+  size_t rounds = 10;
+  uint64_t seed = 1;
+};
+
+/// Result of a stability run.
+struct StabilityReport {
+  /// Mean pairwise ARI between clusterings of overlapping subsamples,
+  /// compared on the shared objects. 1 = perfectly stable.
+  double mean_ari = 0.0;
+  double min_ari = 0.0;
+  std::vector<double> round_ari;
+};
+
+/// Estimates the stability of a clustering procedure: draws pairs of
+/// random subsamples, clusters each, and compares the two labelings on the
+/// objects both subsamples contain. Stable procedures (right k, real
+/// structure) score near 1; overfitted ones decay.
+Result<StabilityReport> EvaluateStability(const Matrix& data,
+                                          const ClusterFn& cluster,
+                                          const StabilityOptions& options);
+
+/// Stability-based k selection for k-means over [2, max_k]: returns the k
+/// with the highest mean stability (ties: smaller k).
+Result<size_t> SelectKByStability(const Matrix& data, size_t max_k,
+                                  const StabilityOptions& options);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_METRICS_STABILITY_H_

@@ -1,0 +1,86 @@
+#ifndef MULTICLUST_MULTICLUST_H_
+#define MULTICLUST_MULTICLUST_H_
+
+/// Umbrella header: includes the full public API of the multiclust
+/// library. Fine-grained includes (e.g. "altspace/coala.h") keep compile
+/// times lower; this header exists for quick experiments and the examples.
+
+#include "common/result.h"   // IWYU pragma: export
+#include "common/rng.h"      // IWYU pragma: export
+#include "common/status.h"   // IWYU pragma: export
+#include "common/strings.h"  // IWYU pragma: export
+
+#include "linalg/decomposition.h"  // IWYU pragma: export
+#include "linalg/matrix.h"         // IWYU pragma: export
+#include "linalg/pca.h"            // IWYU pragma: export
+
+#include "data/csv.h"          // IWYU pragma: export
+#include "data/dataset.h"      // IWYU pragma: export
+#include "data/discrete.h"     // IWYU pragma: export
+#include "data/generators.h"   // IWYU pragma: export
+#include "data/standardize.h"  // IWYU pragma: export
+
+#include "stats/contingency.h"  // IWYU pragma: export
+#include "stats/entropy.h"      // IWYU pragma: export
+#include "stats/grid.h"         // IWYU pragma: export
+#include "stats/hsic.h"         // IWYU pragma: export
+#include "stats/kde.h"          // IWYU pragma: export
+#include "stats/tails.h"        // IWYU pragma: export
+
+#include "metrics/adco.h"                  // IWYU pragma: export
+#include "metrics/clustering_quality.h"    // IWYU pragma: export
+#include "metrics/multi_solution.h"        // IWYU pragma: export
+#include "metrics/partition_similarity.h"  // IWYU pragma: export
+#include "metrics/stability.h"             // IWYU pragma: export
+
+#include "cluster/clustering.h"    // IWYU pragma: export
+#include "cluster/dbscan.h"        // IWYU pragma: export
+#include "cluster/gmm.h"           // IWYU pragma: export
+#include "cluster/grid_index.h"    // IWYU pragma: export
+#include "cluster/hierarchical.h"  // IWYU pragma: export
+#include "cluster/kmeans.h"        // IWYU pragma: export
+#include "cluster/spectral.h"      // IWYU pragma: export
+
+#include "core/objectives.h"    // IWYU pragma: export
+#include "core/pipeline.h"      // IWYU pragma: export
+#include "core/solution_set.h"  // IWYU pragma: export
+#include "core/taxonomy.h"      // IWYU pragma: export
+
+#include "altspace/cami.h"                  // IWYU pragma: export
+#include "altspace/cib.h"                   // IWYU pragma: export
+#include "altspace/coala.h"                 // IWYU pragma: export
+#include "altspace/conditional_ensemble.h"  // IWYU pragma: export
+#include "altspace/dec_kmeans.h"            // IWYU pragma: export
+#include "altspace/disparate.h"             // IWYU pragma: export
+#include "altspace/meta_clustering.h"       // IWYU pragma: export
+#include "altspace/min_centropy.h"          // IWYU pragma: export
+
+#include "orthogonal/alt_transform.h"       // IWYU pragma: export
+#include "orthogonal/metric_learning.h"     // IWYU pragma: export
+#include "orthogonal/ortho_projection.h"    // IWYU pragma: export
+#include "orthogonal/residual_transform.h"  // IWYU pragma: export
+
+#include "subspace/asclu.h"             // IWYU pragma: export
+#include "subspace/clique.h"            // IWYU pragma: export
+#include "subspace/doc.h"               // IWYU pragma: export
+#include "subspace/enclus.h"            // IWYU pragma: export
+#include "subspace/msc.h"               // IWYU pragma: export
+#include "subspace/orclus.h"            // IWYU pragma: export
+#include "subspace/osclu.h"             // IWYU pragma: export
+#include "subspace/p3c.h"               // IWYU pragma: export
+#include "subspace/predecon.h"          // IWYU pragma: export
+#include "subspace/proclus.h"           // IWYU pragma: export
+#include "subspace/rescu.h"             // IWYU pragma: export
+#include "subspace/ris.h"               // IWYU pragma: export
+#include "subspace/schism.h"            // IWYU pragma: export
+#include "subspace/statpc.h"            // IWYU pragma: export
+#include "subspace/subclu.h"            // IWYU pragma: export
+#include "subspace/subspace_cluster.h"  // IWYU pragma: export
+
+#include "multiview/co_em.h"              // IWYU pragma: export
+#include "multiview/consensus.h"          // IWYU pragma: export
+#include "multiview/mv_dbscan.h"          // IWYU pragma: export
+#include "multiview/mv_spectral.h"        // IWYU pragma: export
+#include "multiview/random_projection.h"  // IWYU pragma: export
+
+#endif  // MULTICLUST_MULTICLUST_H_

@@ -1,0 +1,110 @@
+#include "multiview/co_em.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "metrics/partition_similarity.h"
+
+namespace multiclust {
+
+Result<double> LabelAgreement(const std::vector<int>& a,
+                              const std::vector<int>& b) {
+  return BestMatchAccuracy(a, b);
+}
+
+namespace {
+
+// E-step only: responsibilities of `model` on `data`.
+Matrix ComputeResponsibilities(const GmmModel& model, const Matrix& data) {
+  const size_t n = data.rows();
+  Matrix resp(n, model.k());
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<double> r = model.Responsibilities(data.Row(i));
+    for (size_t c = 0; c < model.k(); ++c) resp.at(i, c) = r[c];
+  }
+  return resp;
+}
+
+}  // namespace
+
+Result<CoEmResult> RunCoEm(const Matrix& view1, const Matrix& view2,
+                           const CoEmOptions& options) {
+  if (view1.rows() != view2.rows()) {
+    return Status::InvalidArgument("co-EM: views must have paired rows");
+  }
+  if (view1.rows() == 0) return Status::InvalidArgument("co-EM: empty data");
+  const size_t n = view1.rows();
+
+  CoEmResult result;
+  MC_ASSIGN_OR_RETURN(
+      GmmModel m1,
+      InitGmm(view1, options.k, CovarianceType::kDiagonal, options.seed));
+  MC_ASSIGN_OR_RETURN(
+      GmmModel m2,
+      InitGmm(view2, options.k, CovarianceType::kDiagonal,
+              options.seed ^ 0x9E3779B9ULL));
+
+  // Prime: one E-step in view 1 to produce the first responsibilities.
+  Matrix resp1 = ComputeResponsibilities(m1, view1);
+
+  // Termination: co-EM need not converge (slide 104), so run a minimum
+  // number of rounds and then stop once the joint log-likelihood has been
+  // flat for `patience` rounds.
+  const size_t kMinIters = 10;
+  double best_ll = -std::numeric_limits<double>::infinity();
+  size_t stale = 0;
+  for (size_t iter = 0; iter < options.max_iters; ++iter) {
+    // View 2: M-step from view-1 responsibilities, then E-step.
+    MC_RETURN_IF_ERROR(MStepFromResponsibilities(view2, resp1,
+                                                 options.variance_floor, &m2));
+    Matrix resp2 = ComputeResponsibilities(m2, view2);
+    // View 1: M-step from view-2 responsibilities, then E-step.
+    MC_RETURN_IF_ERROR(MStepFromResponsibilities(view1, resp2,
+                                                 options.variance_floor, &m1));
+    resp1 = ComputeResponsibilities(m1, view1);
+    result.iterations = iter + 1;
+
+    const double ll =
+        m1.TotalLogLikelihood(view1) + m2.TotalLogLikelihood(view2);
+    if (ll > best_ll + 1e-6 * (std::fabs(best_ll) + 1.0)) {
+      best_ll = ll;
+      stale = 0;
+    } else {
+      ++stale;
+      if (iter + 1 >= kMinIters && stale >= options.patience) break;
+    }
+  }
+
+  result.model_view1 = m1;
+  result.model_view2 = m2;
+  result.labels_view1 = m1.HardAssign(view1);
+  result.labels_view2 = m2.HardAssign(view2);
+  result.log_likelihood_view1 = m1.TotalLogLikelihood(view1);
+  result.log_likelihood_view2 = m2.TotalLogLikelihood(view2);
+  MC_ASSIGN_OR_RETURN(result.agreement,
+                      LabelAgreement(result.labels_view1,
+                                     result.labels_view2));
+
+  // Consensus: average the per-view responsibilities.
+  const Matrix resp2 = ComputeResponsibilities(m2, view2);
+  Clustering consensus;
+  consensus.labels.assign(n, -1);
+  consensus.algorithm = "co-em";
+  for (size_t i = 0; i < n; ++i) {
+    double best = -1.0;
+    for (size_t c = 0; c < options.k; ++c) {
+      const double p = 0.5 * (resp1.at(i, c) + resp2.at(i, c));
+      if (p > best) {
+        best = p;
+        consensus.labels[i] = static_cast<int>(c);
+      }
+    }
+  }
+  consensus.quality =
+      result.log_likelihood_view1 + result.log_likelihood_view2;
+  result.consensus = std::move(consensus);
+  return result;
+}
+
+}  // namespace multiclust

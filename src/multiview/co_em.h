@@ -1,0 +1,59 @@
+#ifndef MULTICLUST_MULTIVIEW_CO_EM_H_
+#define MULTICLUST_MULTIVIEW_CO_EM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "cluster/gmm.h"
+#include "common/result.h"
+
+namespace multiclust {
+
+/// Options for co-EM multi-view clustering (Bickel & Scheffer 2004;
+/// tutorial slides 101-104).
+struct CoEmOptions {
+  size_t k = 2;
+  size_t max_iters = 50;
+  double variance_floor = 1e-6;
+  /// Stop when the inter-view agreement (fraction of objects with equal
+  /// hard assignment in both views) stops improving for this many rounds.
+  /// co-EM need not converge (slide 104), so this extra criterion is
+  /// required.
+  size_t patience = 5;
+  uint64_t seed = 1;
+};
+
+/// Full output of a co-EM run.
+struct CoEmResult {
+  GmmModel model_view1;
+  GmmModel model_view2;
+  /// Consensus clustering from the combined (averaged) responsibilities.
+  Clustering consensus;
+  /// Hard assignments per view.
+  std::vector<int> labels_view1;
+  std::vector<int> labels_view2;
+  /// Log-likelihood of each view's model on its view.
+  double log_likelihood_view1 = 0.0;
+  double log_likelihood_view2 = 0.0;
+  /// Final inter-view agreement in [0, 1].
+  double agreement = 0.0;
+  size_t iterations = 0;
+};
+
+/// co-EM: interleaved EM across two conditionally independent views. Each
+/// view's M-step consumes the posterior responsibilities computed in the
+/// *other* view (the bootstrapping of the co-training principle), driving
+/// both hypotheses towards agreement. Rows of the two views must be paired.
+Result<CoEmResult> RunCoEm(const Matrix& view1, const Matrix& view2,
+                           const CoEmOptions& options);
+
+/// Fraction of objects whose hard labels agree between two labelings under
+/// the best cluster matching (Hungarian). Used as co-EM's termination
+/// signal and reported as the disagreement bound of slide 99.
+Result<double> LabelAgreement(const std::vector<int>& a,
+                              const std::vector<int>& b);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_MULTIVIEW_CO_EM_H_

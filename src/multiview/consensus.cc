@@ -1,0 +1,95 @@
+#include "multiview/consensus.h"
+
+#include <algorithm>
+
+#include "cluster/gmm.h"
+#include "cluster/hierarchical.h"
+#include "common/rng.h"
+#include "metrics/partition_similarity.h"
+#include "multiview/random_projection.h"
+
+namespace multiclust {
+
+Result<double> AverageNmi(const std::vector<int>& labels,
+                          const std::vector<std::vector<int>>& members) {
+  if (members.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& m : members) {
+    MC_ASSIGN_OR_RETURN(double nmi, NormalizedMutualInformation(labels, m));
+    total += nmi;
+  }
+  return total / static_cast<double>(members.size());
+}
+
+Result<ConsensusResult> RunEnsembleConsensus(const Matrix& data,
+                                             const ConsensusOptions& options) {
+  const size_t n = data.rows();
+  if (n == 0) return Status::InvalidArgument("consensus: empty data");
+  if (options.ensemble_size == 0) {
+    return Status::InvalidArgument("consensus: ensemble_size must be > 0");
+  }
+  if (options.k_final == 0 || options.k_final > n) {
+    return Status::InvalidArgument("consensus: invalid k_final");
+  }
+  const size_t proj_dims =
+      std::max<size_t>(1, std::min(options.projection_dims, data.cols()));
+
+  Rng rng(options.seed);
+  ConsensusResult result;
+  result.coassociation = Matrix(n, n);
+
+  for (size_t e = 0; e < options.ensemble_size; ++e) {
+    MC_ASSIGN_OR_RETURN(Matrix projected,
+                        RandomProject(data, proj_dims, rng.NextU64()));
+    GmmOptions gmm;
+    gmm.k = options.k_member;
+    gmm.seed = rng.NextU64();
+    gmm.max_iters = 50;
+    gmm.restarts = options.member_restarts;
+    MC_ASSIGN_OR_RETURN(GmmModel model, FitGmm(projected, gmm));
+    result.member_labels.push_back(model.HardAssign(projected));
+
+    // Soft co-association increment: P_e(i ~ j) = sum_l P(l|i) P(l|j).
+    Matrix resp(n, options.k_member);
+    for (size_t i = 0; i < n; ++i) {
+      const std::vector<double> r = model.Responsibilities(projected.Row(i));
+      for (size_t c = 0; c < options.k_member; ++c) resp.at(i, c) = r[c];
+    }
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i; j < n; ++j) {
+        double p = 0.0;
+        for (size_t c = 0; c < options.k_member; ++c) {
+          p += resp.at(i, c) * resp.at(j, c);
+        }
+        result.coassociation.at(i, j) += p;
+        if (j != i) result.coassociation.at(j, i) += p;
+      }
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(options.ensemble_size);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) result.coassociation.at(i, j) *= inv;
+  }
+
+  // Re-cluster by average-link agglomeration on 1 - coassociation.
+  Matrix dist(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      dist.at(i, j) = i == j ? 0.0
+                             : std::max(0.0, 1.0 - result.coassociation.at(i, j));
+    }
+  }
+  AgglomerativeOptions agg;
+  agg.k = options.k_final;
+  agg.linkage = Linkage::kAverage;
+  MC_ASSIGN_OR_RETURN(AgglomerativeResult reclustered,
+                      AgglomerateFromDistances(dist, agg));
+  result.consensus = reclustered.flat;
+  result.consensus.algorithm = "ensemble-consensus";
+  MC_ASSIGN_OR_RETURN(result.anmi, AverageNmi(result.consensus.labels,
+                                              result.member_labels));
+  result.consensus.quality = result.anmi;
+  return result;
+}
+
+}  // namespace multiclust

@@ -1,0 +1,59 @@
+#ifndef MULTICLUST_MULTIVIEW_CONSENSUS_H_
+#define MULTICLUST_MULTIVIEW_CONSENSUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "common/result.h"
+
+namespace multiclust {
+
+/// Options for the random-projection cluster ensemble with co-association
+/// consensus (Fern & Brodley 2003; consensus objective of Strehl & Ghosh
+/// 2002; tutorial slides 108-110).
+struct ConsensusOptions {
+  /// Number of ensemble members (random projections + EM runs).
+  size_t ensemble_size = 10;
+  /// Target dimensionality of each random projection.
+  size_t projection_dims = 2;
+  /// Mixture components per ensemble member.
+  size_t k_member = 3;
+  /// EM restarts per ensemble member (cheap insurance against degenerate
+  /// members).
+  size_t member_restarts = 2;
+  /// Final number of consensus clusters.
+  size_t k_final = 3;
+  uint64_t seed = 1;
+};
+
+/// Full output.
+struct ConsensusResult {
+  /// The consensus clustering.
+  Clustering consensus;
+  /// Soft co-association matrix: P_ij = mean_e sum_l P_e(l|i) P_e(l|j)
+  /// (probability i and j share a cluster under ensemble member e).
+  Matrix coassociation;
+  /// Hard labels of each ensemble member.
+  std::vector<std::vector<int>> member_labels;
+  /// Average NMI between the consensus and the ensemble members — the
+  /// shared-mutual-information objective of Strehl & Ghosh.
+  double anmi = 0.0;
+};
+
+/// Ensemble consensus: cluster many random low-dimensional projections with
+/// EM, aggregate the soft co-association probabilities, and re-cluster the
+/// objects by average-link agglomeration on 1 - P. Stabilises a *single*
+/// solution out of many views — the converse use of multiple clusterings
+/// (tutorial slide 108: "stabilize one clustering solution").
+Result<ConsensusResult> RunEnsembleConsensus(const Matrix& data,
+                                             const ConsensusOptions& options);
+
+/// Average NMI of `labels` against each labeling in `members` (the ANMI
+/// objective).
+Result<double> AverageNmi(const std::vector<int>& labels,
+                          const std::vector<std::vector<int>>& members);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_MULTIVIEW_CONSENSUS_H_

@@ -1,0 +1,64 @@
+#include "multiview/mv_dbscan.h"
+
+#include <algorithm>
+
+#include "cluster/dbscan.h"
+
+namespace multiclust {
+
+Result<Clustering> RunMvDbscan(const std::vector<Matrix>& views,
+                               const MvDbscanOptions& options) {
+  if (views.empty()) {
+    return Status::InvalidArgument("mv-dbscan: no views given");
+  }
+  if (options.eps.size() != views.size()) {
+    return Status::InvalidArgument(
+        "mv-dbscan: need one eps per view");
+  }
+  const size_t n = views[0].rows();
+  for (const Matrix& v : views) {
+    if (v.rows() != n) {
+      return Status::InvalidArgument("mv-dbscan: views must have paired rows");
+    }
+  }
+  if (options.min_pts == 0) {
+    return Status::InvalidArgument("mv-dbscan: min_pts must be positive");
+  }
+
+  // Per-view sorted neighbourhoods.
+  std::vector<std::vector<std::vector<int>>> per_view(views.size());
+  for (size_t v = 0; v < views.size(); ++v) {
+    if (options.eps[v] <= 0) {
+      return Status::InvalidArgument("mv-dbscan: eps must be positive");
+    }
+    per_view[v] = EpsNeighborhoods(views[v], options.eps[v], {});
+    for (auto& nb : per_view[v]) std::sort(nb.begin(), nb.end());
+  }
+
+  // Combine per object.
+  std::vector<std::vector<int>> combined(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<int> acc = per_view[0][i];
+    for (size_t v = 1; v < views.size(); ++v) {
+      std::vector<int> merged;
+      if (options.combination == ViewCombination::kUnion) {
+        std::set_union(acc.begin(), acc.end(), per_view[v][i].begin(),
+                       per_view[v][i].end(), std::back_inserter(merged));
+      } else {
+        std::set_intersection(acc.begin(), acc.end(), per_view[v][i].begin(),
+                              per_view[v][i].end(),
+                              std::back_inserter(merged));
+      }
+      acc = std::move(merged);
+    }
+    combined[i] = std::move(acc);
+  }
+
+  Clustering c = DbscanFromNeighbors(combined, options.min_pts);
+  c.algorithm = options.combination == ViewCombination::kUnion
+                    ? "mv-dbscan-union"
+                    : "mv-dbscan-intersection";
+  return c;
+}
+
+}  // namespace multiclust

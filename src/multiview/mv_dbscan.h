@@ -1,0 +1,40 @@
+#ifndef MULTICLUST_MULTIVIEW_MV_DBSCAN_H_
+#define MULTICLUST_MULTIVIEW_MV_DBSCAN_H_
+
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "common/result.h"
+
+namespace multiclust {
+
+/// How per-view neighbourhoods are combined (Kailing et al. 2004a;
+/// tutorial slides 105-107).
+enum class ViewCombination {
+  /// Same cluster when similar in *at least one* view — suited to sparse
+  /// views with many small clusters and much noise.
+  kUnion,
+  /// Same cluster only when similar in *all* views — suited to unreliable
+  /// views; yields purer clusters.
+  kIntersection,
+};
+
+/// Options for multi-view DBSCAN.
+struct MvDbscanOptions {
+  /// Per-view epsilon (size must match the number of views).
+  std::vector<double> eps;
+  /// Core-object threshold k on the combined neighbourhood size.
+  size_t min_pts = 5;
+  ViewCombination combination = ViewCombination::kUnion;
+};
+
+/// Multi-view DBSCAN over multi-represented objects: `views[v]` holds the
+/// v-th representation (paired rows across views). Local eps-neighbourhoods
+/// are computed per view and combined by union or intersection before the
+/// density-connected expansion.
+Result<Clustering> RunMvDbscan(const std::vector<Matrix>& views,
+                               const MvDbscanOptions& options);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_MULTIVIEW_MV_DBSCAN_H_

@@ -1,0 +1,80 @@
+#include "multiview/mv_spectral.h"
+
+#include <cmath>
+
+#include "cluster/kmeans.h"
+#include "linalg/decomposition.h"
+#include "stats/hsic.h"
+
+namespace multiclust {
+
+Result<Clustering> RunMvSpectral(const std::vector<Matrix>& views,
+                                 const MvSpectralOptions& options) {
+  if (views.empty()) {
+    return Status::InvalidArgument("mv-spectral: no views");
+  }
+  const size_t n = views[0].rows();
+  for (const Matrix& v : views) {
+    if (v.rows() != n) {
+      return Status::InvalidArgument("mv-spectral: unpaired view rows");
+    }
+  }
+  if (options.k == 0 || options.k > n) {
+    return Status::InvalidArgument("mv-spectral: invalid k");
+  }
+
+  // Fused affinity.
+  Matrix w(n, n, options.fusion == AffinityFusion::kProduct ? 1.0 : 0.0);
+  for (const Matrix& view : views) {
+    const Matrix kern = GaussianKernelMatrix(view, options.gamma);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (options.fusion == AffinityFusion::kProduct) {
+          w.at(i, j) *= kern.at(i, j);
+        } else {
+          w.at(i, j) += kern.at(i, j) / static_cast<double>(views.size());
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) w.at(i, i) = 0.0;
+
+  // Normalised spectral embedding (as in RunSpectral).
+  std::vector<double> inv_sqrt_deg(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double deg = 0.0;
+    for (size_t j = 0; j < n; ++j) deg += w.at(i, j);
+    inv_sqrt_deg[i] = deg > 1e-12 ? 1.0 / std::sqrt(deg) : 0.0;
+  }
+  Matrix norm(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      norm.at(i, j) = inv_sqrt_deg[i] * w.at(i, j) * inv_sqrt_deg[j];
+    }
+  }
+  MC_ASSIGN_OR_RETURN(SymmetricEigen eig, EigenSymmetric(norm));
+  Matrix embed(n, options.k);
+  for (size_t i = 0; i < n; ++i) {
+    double norm_sq = 0.0;
+    for (size_t c = 0; c < options.k; ++c) {
+      embed.at(i, c) = eig.vectors.at(i, c);
+      norm_sq += embed.at(i, c) * embed.at(i, c);
+    }
+    if (norm_sq > 1e-24) {
+      const double inv = 1.0 / std::sqrt(norm_sq);
+      for (size_t c = 0; c < options.k; ++c) embed.at(i, c) *= inv;
+    }
+  }
+  KMeansOptions km;
+  km.k = options.k;
+  km.restarts = 5;
+  km.seed = options.seed;
+  MC_ASSIGN_OR_RETURN(Clustering c, RunKMeans(embed, km));
+  c.algorithm = options.fusion == AffinityFusion::kProduct
+                    ? "mv-spectral-product"
+                    : "mv-spectral-average";
+  c.centroids = Matrix();
+  return c;
+}
+
+}  // namespace multiclust

@@ -1,0 +1,32 @@
+#include "multiview/random_projection.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace multiclust {
+
+Result<Matrix> RandomProjectionMatrix(size_t source_dims, size_t target_dims,
+                                      uint64_t seed) {
+  if (source_dims == 0 || target_dims == 0) {
+    return Status::InvalidArgument("RandomProjectionMatrix: zero dims");
+  }
+  Rng rng(seed);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(target_dims));
+  Matrix p(target_dims, source_dims);
+  for (size_t i = 0; i < target_dims; ++i) {
+    for (size_t j = 0; j < source_dims; ++j) {
+      p.at(i, j) = rng.NextGaussian() * scale;
+    }
+  }
+  return p;
+}
+
+Result<Matrix> RandomProject(const Matrix& data, size_t target_dims,
+                             uint64_t seed) {
+  MC_ASSIGN_OR_RETURN(Matrix p,
+                      RandomProjectionMatrix(data.cols(), target_dims, seed));
+  return data * p.Transpose();
+}
+
+}  // namespace multiclust

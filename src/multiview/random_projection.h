@@ -1,0 +1,25 @@
+#ifndef MULTICLUST_MULTIVIEW_RANDOM_PROJECTION_H_
+#define MULTICLUST_MULTIVIEW_RANDOM_PROJECTION_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace multiclust {
+
+/// A random Gaussian projection matrix (target_dims x source_dims) with
+/// entries N(0, 1/target_dims): approximately distance-preserving
+/// (Johnson-Lindenstrauss) while randomising the view. Used to create the
+/// diverse low-dimensional views of the Fern & Brodley 2003 ensemble
+/// (tutorial slides 108-110).
+Result<Matrix> RandomProjectionMatrix(size_t source_dims, size_t target_dims,
+                                      uint64_t seed);
+
+/// Projects the rows of `data` through a fresh random projection.
+Result<Matrix> RandomProject(const Matrix& data, size_t target_dims,
+                             uint64_t seed);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_MULTIVIEW_RANDOM_PROJECTION_H_

@@ -1,0 +1,45 @@
+#include "orthogonal/alt_transform.h"
+
+#include <algorithm>
+
+#include "linalg/decomposition.h"
+#include "orthogonal/metric_learning.h"
+
+namespace multiclust {
+
+Result<Matrix> InvertStretch(const Matrix& d, double eps) {
+  if (d.rows() != d.cols()) {
+    return Status::InvalidArgument("InvertStretch: matrix must be square");
+  }
+  MC_ASSIGN_OR_RETURN(Svd svd, ComputeSvd(d));
+  // D = U diag(sigma) V^T; the alternative inverts the stretch:
+  // M = U diag(1/sigma) V^T.
+  std::vector<double> inv(svd.sigma.size());
+  for (size_t i = 0; i < svd.sigma.size(); ++i) {
+    inv[i] = 1.0 / std::max(svd.sigma[i], eps);
+  }
+  Matrix scaled = svd.u;  // n x r
+  for (size_t j = 0; j < inv.size(); ++j) {
+    for (size_t i = 0; i < scaled.rows(); ++i) scaled.at(i, j) *= inv[j];
+  }
+  return scaled * svd.v.Transpose();
+}
+
+Result<AltTransformResult> RunAltTransform(const Matrix& data,
+                                           const std::vector<int>& given,
+                                           Clusterer* clusterer, double eps) {
+  if (clusterer == nullptr) {
+    return Status::InvalidArgument("RunAltTransform: null clusterer");
+  }
+  AltTransformResult result;
+  MC_ASSIGN_OR_RETURN(result.learned,
+                      LearnWhiteningTransform(data, given, eps));
+  MC_ASSIGN_OR_RETURN(result.alternative, InvertStretch(result.learned, eps));
+  result.transformed = TransformRows(data, result.alternative);
+  MC_ASSIGN_OR_RETURN(result.clustering,
+                      clusterer->Cluster(result.transformed));
+  result.clustering.algorithm = "alt-transform+" + clusterer->name();
+  return result;
+}
+
+}  // namespace multiclust

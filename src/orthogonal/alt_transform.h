@@ -1,0 +1,37 @@
+#ifndef MULTICLUST_ORTHOGONAL_ALT_TRANSFORM_H_
+#define MULTICLUST_ORTHOGONAL_ALT_TRANSFORM_H_
+
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "common/result.h"
+
+namespace multiclust {
+
+/// Inverts the stretch of a learned metric transformation (Davidson & Qi
+/// 2008; tutorial slides 50-52): decompose D = H * S * A via SVD and return
+/// the "alternative" transformation M = H * S^{-1} * A. Directions that D
+/// stretched (because they discriminate the known clusters) get shrunk and
+/// vice versa, so clustering the transformed data reveals an alternative
+/// grouping. Singular values below `eps` are clamped before inversion.
+Result<Matrix> InvertStretch(const Matrix& d, double eps = 1e-6);
+
+/// Full output of the alternative-transformation pipeline.
+struct AltTransformResult {
+  Matrix learned;      ///< D: metric learned from the given clustering
+  Matrix alternative;  ///< M = H S^{-1} A
+  Matrix transformed;  ///< data mapped through M
+  Clustering clustering;  ///< re-clustering of the transformed data
+};
+
+/// End-to-end Davidson & Qi 2008: learn D from `given` (whitening metric
+/// learner), invert its stretch, transform the data, re-cluster with
+/// `clusterer` (any algorithm — the method is clusterer-agnostic).
+Result<AltTransformResult> RunAltTransform(const Matrix& data,
+                                           const std::vector<int>& given,
+                                           Clusterer* clusterer,
+                                           double eps = 1e-6);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_ORTHOGONAL_ALT_TRANSFORM_H_

@@ -1,0 +1,95 @@
+#include "orthogonal/metric_learning.h"
+
+#include "linalg/decomposition.h"
+#include "metrics/clustering_quality.h"
+#include "stats/contingency.h"
+
+namespace multiclust {
+
+Result<Matrix> WithinClusterScatter(const Matrix& data,
+                                    const std::vector<int>& labels) {
+  if (data.rows() != labels.size()) {
+    return Status::InvalidArgument("WithinClusterScatter: size mismatch");
+  }
+  MC_ASSIGN_OR_RETURN(Matrix means, ClusterMeans(data, labels));
+  std::vector<int> dense;
+  DenseRelabel(labels, &dense);
+  const size_t d = data.cols();
+  Matrix sw(d, d);
+  size_t counted = 0;
+  for (size_t i = 0; i < data.rows(); ++i) {
+    if (dense[i] < 0) continue;
+    ++counted;
+    const double* row = data.row_data(i);
+    const double* mean = means.row_data(dense[i]);
+    for (size_t a = 0; a < d; ++a) {
+      const double da = row[a] - mean[a];
+      for (size_t b = a; b < d; ++b) {
+        sw.at(a, b) += da * (row[b] - mean[b]);
+      }
+    }
+  }
+  if (counted == 0) {
+    return Status::FailedPrecondition("WithinClusterScatter: all noise");
+  }
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = a; b < d; ++b) {
+      sw.at(a, b) /= static_cast<double>(counted);
+      sw.at(b, a) = sw.at(a, b);
+    }
+  }
+  return sw;
+}
+
+Result<Matrix> BetweenClusterScatter(const Matrix& data,
+                                     const std::vector<int>& labels) {
+  if (data.rows() != labels.size()) {
+    return Status::InvalidArgument("BetweenClusterScatter: size mismatch");
+  }
+  MC_ASSIGN_OR_RETURN(Matrix means, ClusterMeans(data, labels));
+  std::vector<int> dense;
+  const size_t k = DenseRelabel(labels, &dense);
+  std::vector<size_t> counts(k, 0);
+  size_t counted = 0;
+  for (int l : dense) {
+    if (l >= 0) {
+      ++counts[l];
+      ++counted;
+    }
+  }
+  if (counted == 0) {
+    return Status::FailedPrecondition("BetweenClusterScatter: all noise");
+  }
+  const std::vector<double> global = RowMean(data);
+  const size_t d = data.cols();
+  Matrix sb(d, d);
+  for (size_t c = 0; c < k; ++c) {
+    const double w = static_cast<double>(counts[c]) /
+                     static_cast<double>(counted);
+    const double* mean = means.row_data(c);
+    for (size_t a = 0; a < d; ++a) {
+      const double da = mean[a] - global[a];
+      for (size_t b = a; b < d; ++b) {
+        sb.at(a, b) += w * da * (mean[b] - global[b]);
+      }
+    }
+  }
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = a; b < d; ++b) sb.at(b, a) = sb.at(a, b);
+  }
+  return sb;
+}
+
+Result<Matrix> LearnWhiteningTransform(const Matrix& data,
+                                       const std::vector<int>& labels,
+                                       double eps) {
+  MC_ASSIGN_OR_RETURN(Matrix sw, WithinClusterScatter(data, labels));
+  return InverseSqrtSymmetric(sw, eps);
+}
+
+Matrix TransformRows(const Matrix& data, const Matrix& m) {
+  // row_out = M * x  <=>  Out = X * M^T.
+  return data * m.Transpose();
+}
+
+}  // namespace multiclust

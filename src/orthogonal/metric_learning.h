@@ -1,0 +1,35 @@
+#ifndef MULTICLUST_ORTHOGONAL_METRIC_LEARNING_H_
+#define MULTICLUST_ORTHOGONAL_METRIC_LEARNING_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace multiclust {
+
+/// Within-cluster scatter matrix S_w = sum_c sum_{x in c} (x - m_c)(x - m_c)^T
+/// / n over non-noise objects.
+Result<Matrix> WithinClusterScatter(const Matrix& data,
+                                    const std::vector<int>& labels);
+
+/// Between-cluster scatter S_b = sum_c (n_c / n) (m_c - m)(m_c - m)^T.
+Result<Matrix> BetweenClusterScatter(const Matrix& data,
+                                     const std::vector<int>& labels);
+
+/// A stand-in for "any metric learning algorithm" (Davidson & Qi 2008,
+/// tutorial slide 50): learns the linear transformation D = S_w^{-1/2}
+/// under which the *given* clustering is easily observable — must-linked
+/// objects (same given cluster) are pulled together because within-cluster
+/// directions are whitened, so between-cluster separation dominates.
+/// `eps` regularises small eigenvalues of S_w.
+Result<Matrix> LearnWhiteningTransform(const Matrix& data,
+                                       const std::vector<int>& labels,
+                                       double eps = 1e-6);
+
+/// Applies a linear map to every object: row i of the result is M * x_i.
+Matrix TransformRows(const Matrix& data, const Matrix& m);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_ORTHOGONAL_METRIC_LEARNING_H_

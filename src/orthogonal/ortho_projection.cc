@@ -1,0 +1,88 @@
+#include "orthogonal/ortho_projection.h"
+
+#include <algorithm>
+
+#include "linalg/decomposition.h"
+#include "linalg/pca.h"
+#include "metrics/clustering_quality.h"
+#include "orthogonal/metric_learning.h"
+
+namespace multiclust {
+
+namespace {
+
+// Total variance of the rows of `data` around their mean.
+double TotalVariance(const Matrix& data) {
+  const std::vector<double> mean = RowMean(data);
+  double s = 0.0;
+  for (size_t i = 0; i < data.rows(); ++i) {
+    const double* row = data.row_data(i);
+    for (size_t j = 0; j < data.cols(); ++j) {
+      const double d = row[j] - mean[j];
+      s += d * d;
+    }
+  }
+  return s / std::max<size_t>(1, data.rows());
+}
+
+}  // namespace
+
+Result<Matrix> OrthogonalProjector(const Matrix& a) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("OrthogonalProjector: empty basis");
+  }
+  const Matrix at = a.Transpose();
+  MC_ASSIGN_OR_RETURN(Matrix gram_inv, Inverse(at * a));
+  const Matrix hat = a * gram_inv * at;  // A (A^T A)^{-1} A^T
+  Matrix m = Matrix::Identity(a.rows()) - hat;
+  return m;
+}
+
+Result<OrthoProjectionResult> RunOrthoProjection(
+    const Matrix& data, Clusterer* clusterer,
+    const OrthoProjectionOptions& options) {
+  if (clusterer == nullptr) {
+    return Status::InvalidArgument("RunOrthoProjection: null clusterer");
+  }
+  if (data.rows() == 0 || data.cols() == 0) {
+    return Status::InvalidArgument("RunOrthoProjection: empty data");
+  }
+
+  OrthoProjectionResult result;
+  Matrix current = data;
+  const double original_variance = std::max(TotalVariance(data), 1e-300);
+  const size_t max_views =
+      options.max_views == 0 ? data.cols() : options.max_views;
+
+  for (size_t view = 0; view < max_views; ++view) {
+    MC_ASSIGN_OR_RETURN(Clustering clustering, clusterer->Cluster(current));
+    clustering.algorithm = "ortho-projection+" + clusterer->name();
+    const size_t k = clustering.NumClusters();
+    if (k < 2) break;  // no structure left
+
+    // Explanatory subspace: principal components of the cluster means.
+    MC_ASSIGN_OR_RETURN(Matrix means, ClusterMeans(current, clustering.labels));
+    MC_ASSIGN_OR_RETURN(PcaModel pca, FitPca(means));
+    size_t p = pca.ComponentsForVariance(options.mean_variance_fraction);
+    p = std::clamp<size_t>(p, 1, std::min(k - 1, data.cols()));
+    const Matrix basis = pca.LeadingComponents(p);
+
+    MC_ASSIGN_OR_RETURN(Matrix projector, OrthogonalProjector(basis));
+    Matrix next = TransformRows(current, projector);
+    const double residual = TotalVariance(next) / original_variance;
+
+    OrthoView v;
+    v.clustering = clustering;
+    v.explanatory_basis = basis;
+    v.projector = std::move(projector);
+    v.residual_variance = residual;
+    result.views.push_back(v);
+    MC_RETURN_IF_ERROR(result.solutions.Add(std::move(clustering)));
+
+    if (residual < options.min_residual_variance) break;
+    current = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace multiclust

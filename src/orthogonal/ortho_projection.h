@@ -1,0 +1,58 @@
+#ifndef MULTICLUST_ORTHOGONAL_ORTHO_PROJECTION_H_
+#define MULTICLUST_ORTHOGONAL_ORTHO_PROJECTION_H_
+
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "common/result.h"
+#include "core/solution_set.h"
+
+namespace multiclust {
+
+/// Options for the orthogonal-projection iteration (Cui, Fern & Dy 2007;
+/// tutorial slides 57-60).
+struct OrthoProjectionOptions {
+  /// Maximum number of views (clusterings) to extract; 0 = until the
+  /// residual space is exhausted.
+  size_t max_views = 0;
+  /// Variance fraction of the *cluster means* that the explanatory subspace
+  /// must capture (selects p, the number of principal components removed
+  /// per iteration; always at least 1, at most k-1).
+  double mean_variance_fraction = 0.9;
+  /// Stop when the residual data variance falls below this fraction of the
+  /// original variance.
+  double min_residual_variance = 1e-3;
+};
+
+/// One extracted view.
+struct OrthoView {
+  Clustering clustering;    ///< clustering found in the current space
+  Matrix explanatory_basis; ///< d x p orthonormal basis A of the view
+  Matrix projector;         ///< M = I - A A^T applied after clustering
+  double residual_variance = 0.0;  ///< data variance remaining after M
+};
+
+/// Full output of the iteration.
+struct OrthoProjectionResult {
+  std::vector<OrthoView> views;
+  SolutionSet solutions;
+};
+
+/// Iteratively: (1) cluster the current data with `clusterer`; (2) find the
+/// subspace A spanned by the principal components of the cluster means (the
+/// "explanatory" subspace that captures the discovered structure); (3)
+/// project the data onto the orthogonal complement M = I - A (A^T A)^{-1}
+/// A^T and repeat. Each round reveals structure that the previous
+/// clusterings cannot explain; the number of clusterings is determined
+/// automatically by the residual variance (tutorial slide 60).
+Result<OrthoProjectionResult> RunOrthoProjection(
+    const Matrix& data, Clusterer* clusterer,
+    const OrthoProjectionOptions& options);
+
+/// The orthogonal projector M = I - A (A^T A)^{-1} A^T for a (not
+/// necessarily orthonormal) basis A (d x p, p >= 1).
+Result<Matrix> OrthogonalProjector(const Matrix& a);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_ORTHOGONAL_ORTHO_PROJECTION_H_

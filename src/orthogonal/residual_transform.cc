@@ -1,0 +1,61 @@
+#include "orthogonal/residual_transform.h"
+
+#include "linalg/decomposition.h"
+#include "metrics/clustering_quality.h"
+#include "orthogonal/metric_learning.h"
+#include "stats/contingency.h"
+
+namespace multiclust {
+
+Result<Matrix> ResidualTransform(const Matrix& data,
+                                 const std::vector<int>& given, double eps) {
+  if (data.rows() != given.size()) {
+    return Status::InvalidArgument("ResidualTransform: size mismatch");
+  }
+  MC_ASSIGN_OR_RETURN(Matrix means, ClusterMeans(data, given));
+  std::vector<int> dense;
+  const size_t k = DenseRelabel(given, &dense);
+  if (k == 0) {
+    return Status::FailedPrecondition("ResidualTransform: no clusters given");
+  }
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  Matrix sigma(d, d);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = data.row_data(i);
+    for (size_t j = 0; j < k; ++j) {
+      if (dense[i] == static_cast<int>(j)) continue;  // x_i in C_j: skip
+      const double* m = means.row_data(j);
+      for (size_t a = 0; a < d; ++a) {
+        const double da = row[a] - m[a];
+        for (size_t b = a; b < d; ++b) {
+          sigma.at(a, b) += da * (row[b] - m[b]);
+        }
+      }
+    }
+  }
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = a; b < d; ++b) {
+      sigma.at(a, b) /= static_cast<double>(n);
+      sigma.at(b, a) = sigma.at(a, b);
+    }
+  }
+  return InverseSqrtSymmetric(sigma, eps);
+}
+
+Result<ResidualTransformResult> RunResidualTransform(
+    const Matrix& data, const std::vector<int>& given, Clusterer* clusterer,
+    double eps) {
+  if (clusterer == nullptr) {
+    return Status::InvalidArgument("RunResidualTransform: null clusterer");
+  }
+  ResidualTransformResult result;
+  MC_ASSIGN_OR_RETURN(result.transform, ResidualTransform(data, given, eps));
+  result.transformed = TransformRows(data, result.transform);
+  MC_ASSIGN_OR_RETURN(result.clustering,
+                      clusterer->Cluster(result.transformed));
+  result.clustering.algorithm = "residual-transform+" + clusterer->name();
+  return result;
+}
+
+}  // namespace multiclust

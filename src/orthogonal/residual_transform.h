@@ -1,0 +1,36 @@
+#ifndef MULTICLUST_ORTHOGONAL_RESIDUAL_TRANSFORM_H_
+#define MULTICLUST_ORTHOGONAL_RESIDUAL_TRANSFORM_H_
+
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "common/result.h"
+
+namespace multiclust {
+
+/// Closed-form alternative-clustering transformation of Qi & Davidson 2009
+/// (tutorial slides 54-55): with cluster means m_1..m_k of the given
+/// clustering, build
+///   Sigma~ = (1/n) sum_i sum_{j : x_i not in C_j} (x_i - m_j)(x_i - m_j)^T
+/// and return M = Sigma~^{-1/2}, the minimiser of the KL-preservation
+/// objective subject to the "stay away from old means" constraint.
+Result<Matrix> ResidualTransform(const Matrix& data,
+                                 const std::vector<int>& given,
+                                 double eps = 1e-8);
+
+/// Full pipeline output.
+struct ResidualTransformResult {
+  Matrix transform;       ///< M = Sigma~^{-1/2}
+  Matrix transformed;     ///< data mapped through M
+  Clustering clustering;  ///< re-clustering of the transformed data
+};
+
+/// End-to-end Qi & Davidson 2009: closed-form transform, then re-cluster
+/// with any `clusterer`.
+Result<ResidualTransformResult> RunResidualTransform(
+    const Matrix& data, const std::vector<int>& given, Clusterer* clusterer,
+    double eps = 1e-8);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_ORTHOGONAL_RESIDUAL_TRANSFORM_H_

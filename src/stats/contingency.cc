@@ -1,0 +1,84 @@
+#include "stats/contingency.h"
+
+#include <cmath>
+#include <map>
+
+namespace multiclust {
+
+size_t DenseRelabel(const std::vector<int>& labels, std::vector<int>* out) {
+  std::map<int, int> remap;
+  out->resize(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0) {
+      (*out)[i] = -1;
+      continue;
+    }
+    auto it = remap.find(labels[i]);
+    if (it == remap.end()) {
+      it = remap.emplace(labels[i], static_cast<int>(remap.size())).first;
+    }
+    (*out)[i] = it->second;
+  }
+  return remap.size();
+}
+
+Result<ContingencyTable> ContingencyTable::Build(const std::vector<int>& a,
+                                                 const std::vector<int>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("ContingencyTable: size mismatch");
+  }
+  std::vector<int> da, db;
+  const size_t ka = DenseRelabel(a, &da);
+  const size_t kb = DenseRelabel(b, &db);
+
+  ContingencyTable t;
+  t.counts_.assign(ka, std::vector<size_t>(kb, 0));
+  t.row_totals_.assign(ka, 0);
+  t.col_totals_.assign(kb, 0);
+  for (size_t i = 0; i < da.size(); ++i) {
+    if (da[i] < 0 || db[i] < 0) continue;
+    ++t.counts_[da[i]][db[i]];
+    ++t.row_totals_[da[i]];
+    ++t.col_totals_[db[i]];
+    ++t.total_;
+  }
+  return t;
+}
+
+ContingencyTable::PairCounts ContingencyTable::pair_counts() const {
+  auto choose2 = [](double n) { return n * (n - 1.0) / 2.0; };
+  double sum_cells = 0.0;
+  for (const auto& row : counts_) {
+    for (size_t c : row) sum_cells += choose2(static_cast<double>(c));
+  }
+  double sum_rows = 0.0;
+  for (size_t r : row_totals_) sum_rows += choose2(static_cast<double>(r));
+  double sum_cols = 0.0;
+  for (size_t c : col_totals_) sum_cols += choose2(static_cast<double>(c));
+  const double total_pairs = choose2(static_cast<double>(total_));
+
+  PairCounts pc;
+  pc.same_both = sum_cells;
+  pc.same_a_only = sum_rows - sum_cells;
+  pc.same_b_only = sum_cols - sum_cells;
+  pc.same_neither = total_pairs - sum_rows - sum_cols + sum_cells;
+  return pc;
+}
+
+double ContingencyTable::UniformityDeviation() const {
+  const size_t cells = rows() * cols();
+  if (cells == 0 || total_ == 0) return 0.0;
+  const double uniform = static_cast<double>(total_) /
+                         static_cast<double>(cells);
+  double tv = 0.0;
+  for (const auto& row : counts_) {
+    for (size_t c : row) tv += std::fabs(static_cast<double>(c) - uniform);
+  }
+  // Maximum total variation: all mass in one cell.
+  const double max_tv =
+      2.0 * (static_cast<double>(total_) - uniform);
+  if (max_tv <= 0.0) return 0.0;
+  return tv / max_tv;
+}
+
+}  // namespace multiclust

@@ -1,0 +1,66 @@
+#ifndef MULTICLUST_STATS_CONTINGENCY_H_
+#define MULTICLUST_STATS_CONTINGENCY_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace multiclust {
+
+/// Contingency table between two labelings of the same objects.
+///
+/// Labels may be arbitrary non-negative integers; -1 marks noise/unassigned
+/// objects, which are excluded from the table (the convention used by all
+/// comparison measures in this library). Used both by partition-similarity
+/// measures and by the Hossain et al. style dissimilarity-via-uniformity
+/// arguments of the tutorial (slide 44).
+class ContingencyTable {
+ public:
+  /// Builds the table; labelings must have equal length.
+  static Result<ContingencyTable> Build(const std::vector<int>& a,
+                                        const std::vector<int>& b);
+
+  size_t rows() const { return counts_.size(); }
+  size_t cols() const { return rows() == 0 ? 0 : counts_[0].size(); }
+
+  /// Count of objects with a-label i and b-label j (dense re-indexed ids).
+  size_t at(size_t i, size_t j) const { return counts_[i][j]; }
+
+  /// Row marginals (objects per a-cluster).
+  const std::vector<size_t>& row_totals() const { return row_totals_; }
+  /// Column marginals (objects per b-cluster).
+  const std::vector<size_t>& col_totals() const { return col_totals_; }
+  /// Total objects counted (excludes noise in either labeling).
+  size_t total() const { return total_; }
+
+  /// Pair-counting statistics over the table:
+  /// pairs in the same cluster in both labelings (a11), in a only (a10),
+  /// in b only (a01), in neither (a00).
+  struct PairCounts {
+    double same_both = 0;    ///< a11
+    double same_a_only = 0;  ///< a10
+    double same_b_only = 0;  ///< a01
+    double same_neither = 0; ///< a00
+  };
+  PairCounts pair_counts() const;
+
+  /// Deviation from a uniform joint distribution, in [0, 1]:
+  /// 0 = perfectly uniform table (maximally dissimilar clusterings under the
+  /// Hossain et al. argument), 1 = all mass in one cell. Computed as the
+  /// normalised total-variation distance to the uniform table.
+  double UniformityDeviation() const;
+
+ private:
+  std::vector<std::vector<size_t>> counts_;
+  std::vector<size_t> row_totals_;
+  std::vector<size_t> col_totals_;
+  size_t total_ = 0;
+};
+
+/// Re-indexes labels to a dense 0..k-1 range, preserving -1 as noise.
+/// Returns the number of distinct non-noise labels.
+size_t DenseRelabel(const std::vector<int>& labels, std::vector<int>* out);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_STATS_CONTINGENCY_H_

@@ -1,0 +1,108 @@
+#include "stats/entropy.h"
+
+#include <cmath>
+
+#include "stats/contingency.h"
+
+namespace multiclust {
+
+double EntropyFromCounts(const std::vector<size_t>& counts) {
+  double total = 0.0;
+  for (size_t c : counts) total += static_cast<double>(c);
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / total;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+double EntropyFromProbs(const std::vector<double>& probs) {
+  double h = 0.0;
+  for (double p : probs) {
+    if (p <= 0.0) continue;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+double LabelEntropy(const std::vector<int>& labels) {
+  std::vector<int> dense;
+  const size_t k = DenseRelabel(labels, &dense);
+  std::vector<size_t> counts(k, 0);
+  for (int l : dense) {
+    if (l >= 0) ++counts[l];
+  }
+  return EntropyFromCounts(counts);
+}
+
+Result<double> MutualInformation(const std::vector<int>& a,
+                                 const std::vector<int>& b) {
+  MC_ASSIGN_OR_RETURN(ContingencyTable t, ContingencyTable::Build(a, b));
+  const double n = static_cast<double>(t.total());
+  if (n <= 0.0) return 0.0;
+  double mi = 0.0;
+  for (size_t i = 0; i < t.rows(); ++i) {
+    for (size_t j = 0; j < t.cols(); ++j) {
+      const size_t nij = t.at(i, j);
+      if (nij == 0) continue;
+      const double pij = static_cast<double>(nij) / n;
+      const double pi = static_cast<double>(t.row_totals()[i]) / n;
+      const double pj = static_cast<double>(t.col_totals()[j]) / n;
+      mi += pij * std::log(pij / (pi * pj));
+    }
+  }
+  return mi < 0.0 ? 0.0 : mi;
+}
+
+Result<double> ConditionalEntropy(const std::vector<int>& a,
+                                  const std::vector<int>& b) {
+  MC_ASSIGN_OR_RETURN(ContingencyTable t, ContingencyTable::Build(a, b));
+  const double n = static_cast<double>(t.total());
+  if (n <= 0.0) return 0.0;
+  double h = 0.0;
+  for (size_t j = 0; j < t.cols(); ++j) {
+    const double nj = static_cast<double>(t.col_totals()[j]);
+    if (nj <= 0.0) continue;
+    for (size_t i = 0; i < t.rows(); ++i) {
+      const size_t nij = t.at(i, j);
+      if (nij == 0) continue;
+      const double pij = static_cast<double>(nij) / n;
+      h -= pij * std::log(static_cast<double>(nij) / nj);
+    }
+  }
+  return h < 0.0 ? 0.0 : h;
+}
+
+Result<double> JointEntropy(const std::vector<int>& a,
+                            const std::vector<int>& b) {
+  MC_ASSIGN_OR_RETURN(ContingencyTable t, ContingencyTable::Build(a, b));
+  const double n = static_cast<double>(t.total());
+  if (n <= 0.0) return 0.0;
+  double h = 0.0;
+  for (size_t i = 0; i < t.rows(); ++i) {
+    for (size_t j = 0; j < t.cols(); ++j) {
+      const size_t nij = t.at(i, j);
+      if (nij == 0) continue;
+      const double p = static_cast<double>(nij) / n;
+      h -= p * std::log(p);
+    }
+  }
+  return h;
+}
+
+double KlDivergence(const std::vector<double>& p, const std::vector<double>& q,
+                    double eps) {
+  double kl = 0.0;
+  const size_t n = p.size() < q.size() ? p.size() : q.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (p[i] <= 0.0) continue;
+    const double qi = q[i] > eps ? q[i] : eps;
+    kl += p[i] * std::log(p[i] / qi);
+  }
+  return kl;
+}
+
+}  // namespace multiclust

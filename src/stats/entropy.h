@@ -1,0 +1,39 @@
+#ifndef MULTICLUST_STATS_ENTROPY_H_
+#define MULTICLUST_STATS_ENTROPY_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace multiclust {
+
+/// Shannon entropy (nats) of a discrete distribution given as counts.
+double EntropyFromCounts(const std::vector<size_t>& counts);
+
+/// Shannon entropy (nats) of a discrete distribution given as probabilities;
+/// non-positive entries are skipped.
+double EntropyFromProbs(const std::vector<double>& probs);
+
+/// Entropy H(A) of a labeling (noise labels -1 excluded).
+double LabelEntropy(const std::vector<int>& labels);
+
+/// Mutual information I(A; B) between two labelings (nats).
+Result<double> MutualInformation(const std::vector<int>& a,
+                                 const std::vector<int>& b);
+
+/// Conditional entropy H(A | B) (nats).
+Result<double> ConditionalEntropy(const std::vector<int>& a,
+                                  const std::vector<int>& b);
+
+/// Joint entropy H(A, B) (nats).
+Result<double> JointEntropy(const std::vector<int>& a,
+                            const std::vector<int>& b);
+
+/// Kullback-Leibler divergence KL(p || q) for discrete distributions;
+/// q entries are floored at `eps` to keep the value finite.
+double KlDivergence(const std::vector<double>& p, const std::vector<double>& q,
+                    double eps = 1e-12);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_STATS_ENTROPY_H_

@@ -1,0 +1,170 @@
+#include "stats/grid.h"
+
+#include <algorithm>
+#include <map>
+
+#include "stats/entropy.h"
+
+namespace multiclust {
+
+Result<Grid> Grid::Build(const Matrix& data, size_t xi) {
+  if (xi == 0) return Status::InvalidArgument("Grid: xi must be >= 1");
+  if (data.rows() == 0 || data.cols() == 0) {
+    return Status::InvalidArgument("Grid: empty data");
+  }
+  Grid g;
+  g.xi_ = xi;
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  g.mins_.resize(d);
+  g.widths_.resize(d);
+  for (size_t j = 0; j < d; ++j) {
+    double lo = data.at(0, j), hi = data.at(0, j);
+    for (size_t i = 1; i < n; ++i) {
+      lo = std::min(lo, data.at(i, j));
+      hi = std::max(hi, data.at(i, j));
+    }
+    g.mins_[j] = lo;
+    const double span = hi - lo;
+    g.widths_[j] = (span > 1e-12 ? span : 1.0) / static_cast<double>(xi);
+  }
+  g.cells_.assign(n, std::vector<int>(d));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      g.cells_[i][j] = g.Interval(j, data.at(i, j));
+    }
+  }
+  return g;
+}
+
+int Grid::Interval(size_t dim, double value) const {
+  int idx = static_cast<int>((value - mins_[dim]) / widths_[dim]);
+  if (idx < 0) idx = 0;
+  if (idx >= static_cast<int>(xi_)) idx = static_cast<int>(xi_) - 1;
+  return idx;
+}
+
+double Grid::IntervalLower(size_t dim, int interval) const {
+  return mins_[dim] + widths_[dim] * interval;
+}
+
+double Grid::IntervalUpper(size_t dim, int interval) const {
+  return mins_[dim] + widths_[dim] * (interval + 1);
+}
+
+double Grid::SubspaceEntropy(const std::vector<size_t>& dims) const {
+  std::map<std::vector<int>, size_t> counts;
+  std::vector<int> key(dims.size());
+  for (const auto& row : cells_) {
+    for (size_t j = 0; j < dims.size(); ++j) key[j] = row[dims[j]];
+    ++counts[key];
+  }
+  std::vector<size_t> values;
+  values.reserve(counts.size());
+  for (const auto& [k, c] : counts) values.push_back(c);
+  return EntropyFromCounts(values);
+}
+
+size_t Grid::NonEmptyCells(const std::vector<size_t>& dims) const {
+  std::map<std::vector<int>, size_t> counts;
+  std::vector<int> key(dims.size());
+  for (const auto& row : cells_) {
+    for (size_t j = 0; j < dims.size(); ++j) key[j] = row[dims[j]];
+    ++counts[key];
+  }
+  return counts.size();
+}
+
+std::vector<size_t> GridUnit::Dims() const {
+  std::vector<size_t> dims;
+  dims.reserve(constraints.size());
+  for (const auto& [d, iv] : constraints) dims.push_back(d);
+  return dims;
+}
+
+bool GridUnit::SameSubspace(const GridUnit& other) const {
+  if (constraints.size() != other.constraints.size()) return false;
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    if (constraints[i].first != other.constraints[i].first) return false;
+  }
+  return true;
+}
+
+std::vector<GridUnit> MineDenseUnits(
+    const Grid& grid, const std::vector<size_t>& support_threshold_by_dim,
+    size_t max_dims) {
+  std::vector<GridUnit> result;
+  const size_t n = grid.num_objects();
+  const size_t d = grid.num_dims();
+  if (max_dims == 0 || max_dims > d) max_dims = d;
+
+  auto threshold_for = [&](size_t dims) -> size_t {
+    if (support_threshold_by_dim.empty()) return 1;
+    const size_t idx = std::min(dims, support_threshold_by_dim.size() - 1);
+    return support_threshold_by_dim[idx];
+  };
+
+  // Level 1: one unit per non-empty (dim, interval) with enough support.
+  std::vector<GridUnit> level;
+  for (size_t dim = 0; dim < d; ++dim) {
+    std::map<int, std::vector<int>> buckets;
+    for (size_t i = 0; i < n; ++i) {
+      buckets[grid.CellOf(i, dim)].push_back(static_cast<int>(i));
+    }
+    for (auto& [interval, objs] : buckets) {
+      if (objs.size() < threshold_for(1)) continue;
+      GridUnit u;
+      u.constraints = {{dim, interval}};
+      u.objects = std::move(objs);
+      level.push_back(std::move(u));
+    }
+  }
+  for (const GridUnit& u : level) result.push_back(u);
+
+  // Levels 2..max_dims: apriori join of units sharing all but the last
+  // constraint, intersecting their object lists.
+  for (size_t depth = 2; depth <= max_dims && level.size() >= 2; ++depth) {
+    std::vector<GridUnit> next;
+    // Units are kept sorted by constraint vector, so joinable pairs are
+    // adjacent in prefix blocks.
+    std::sort(level.begin(), level.end(),
+              [](const GridUnit& a, const GridUnit& b) {
+                return a.constraints < b.constraints;
+              });
+    for (size_t i = 0; i < level.size(); ++i) {
+      for (size_t j = i + 1; j < level.size(); ++j) {
+        const auto& ca = level[i].constraints;
+        const auto& cb = level[j].constraints;
+        // Join requires identical (k-2)-prefix.
+        bool prefix_equal = true;
+        for (size_t p = 0; p + 1 < ca.size(); ++p) {
+          if (ca[p] != cb[p]) {
+            prefix_equal = false;
+            break;
+          }
+        }
+        if (!prefix_equal) break;  // sorted: later j cannot match either
+        // Last constraints must be on distinct dimensions.
+        if (ca.back().first >= cb.back().first) continue;
+        GridUnit cand;
+        cand.constraints = ca;
+        cand.constraints.push_back(cb.back());
+        // Support by intersection of sorted object lists.
+        cand.objects.reserve(
+            std::min(level[i].objects.size(), level[j].objects.size()));
+        std::set_intersection(level[i].objects.begin(),
+                              level[i].objects.end(),
+                              level[j].objects.begin(),
+                              level[j].objects.end(),
+                              std::back_inserter(cand.objects));
+        if (cand.objects.size() < threshold_for(depth)) continue;
+        next.push_back(std::move(cand));
+      }
+    }
+    for (const GridUnit& u : next) result.push_back(u);
+    level = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace multiclust

@@ -1,0 +1,75 @@
+#ifndef MULTICLUST_STATS_GRID_H_
+#define MULTICLUST_STATS_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace multiclust {
+
+/// Axis-aligned equal-width grid over a data matrix, the shared substrate of
+/// the grid-based subspace algorithms (CLIQUE, ENCLUS, SCHISM; tutorial
+/// slide 69): each dimension is split into `xi` equal-length intervals
+/// between the observed min and max.
+class Grid {
+ public:
+  /// Builds the grid; requires xi >= 1 and a non-empty matrix.
+  static Result<Grid> Build(const Matrix& data, size_t xi);
+
+  size_t xi() const { return xi_; }
+  size_t num_dims() const { return mins_.size(); }
+  size_t num_objects() const { return cells_.size(); }
+
+  /// Interval index of `value` in dimension `dim`, clamped to [0, xi).
+  int Interval(size_t dim, double value) const;
+
+  /// Precomputed interval index of object `i` in dimension `dim`.
+  int CellOf(size_t i, size_t dim) const { return cells_[i][dim]; }
+
+  /// Lower/upper bound of interval `interval` in dimension `dim`.
+  double IntervalLower(size_t dim, int interval) const;
+  double IntervalUpper(size_t dim, int interval) const;
+
+  /// Entropy (nats) of the cell-occupancy distribution over the grid
+  /// restricted to subspace `dims` (ENCLUS's H(X), slide 89). Cells are the
+  /// cross product of per-dimension intervals; empty cells contribute 0.
+  double SubspaceEntropy(const std::vector<size_t>& dims) const;
+
+  /// Number of distinct non-empty cells in subspace `dims` (the coverage of
+  /// a CLIQUE-style clustering of that subspace).
+  size_t NonEmptyCells(const std::vector<size_t>& dims) const;
+
+ private:
+  size_t xi_ = 0;
+  std::vector<double> mins_;
+  std::vector<double> widths_;  // interval width per dim (>= tiny epsilon)
+  std::vector<std::vector<int>> cells_;  // [object][dim] -> interval
+};
+
+/// A grid *unit*: a conjunction of (dimension, interval) constraints over
+/// distinct dimensions, kept sorted by dimension. The elementary dense
+/// region of CLIQUE/SCHISM.
+struct GridUnit {
+  std::vector<std::pair<size_t, int>> constraints;
+  /// Objects falling into the unit (ascending ids).
+  std::vector<int> objects;
+
+  /// Dimensions of the unit's subspace.
+  std::vector<size_t> Dims() const;
+  bool SameSubspace(const GridUnit& other) const;
+};
+
+/// Mines all units whose support satisfies `min_support(|dims|)` using the
+/// apriori bottom-up search with the monotonicity property (slide 71):
+/// a unit can only be dense if all its (k-1)-dim projections are dense.
+/// `min_support` maps subspace dimensionality to the minimum object count.
+/// `max_dims` caps the search depth (0 = unlimited).
+std::vector<GridUnit> MineDenseUnits(
+    const Grid& grid, const std::vector<size_t>& support_threshold_by_dim,
+    size_t max_dims);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_STATS_GRID_H_

@@ -1,0 +1,95 @@
+#include "stats/hsic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace multiclust {
+
+namespace {
+
+double MedianSquaredDistance(const Matrix& data) {
+  const size_t n = data.rows();
+  std::vector<double> dists;
+  dists.reserve(n * (n - 1) / 2);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      for (size_t k = 0; k < data.cols(); ++k) {
+        const double d = data.at(i, k) - data.at(j, k);
+        s += d * d;
+      }
+      dists.push_back(s);
+    }
+  }
+  if (dists.empty()) return 1.0;
+  std::nth_element(dists.begin(), dists.begin() + dists.size() / 2,
+                   dists.end());
+  const double med = dists[dists.size() / 2];
+  return med > 1e-12 ? med : 1.0;
+}
+
+}  // namespace
+
+Matrix GaussianKernelMatrix(const Matrix& data, double gamma) {
+  const size_t n = data.rows();
+  if (gamma <= 0.0) gamma = 1.0 / MedianSquaredDistance(data);
+  Matrix k(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    k.at(i, i) = 1.0;
+    for (size_t j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      for (size_t c = 0; c < data.cols(); ++c) {
+        const double d = data.at(i, c) - data.at(j, c);
+        s += d * d;
+      }
+      const double v = std::exp(-gamma * s);
+      k.at(i, j) = v;
+      k.at(j, i) = v;
+    }
+  }
+  return k;
+}
+
+Result<double> Hsic(const Matrix& x, const Matrix& y, double gamma_x,
+                    double gamma_y) {
+  if (x.rows() != y.rows()) {
+    return Status::InvalidArgument("Hsic: samples must be paired (same rows)");
+  }
+  const size_t n = x.rows();
+  if (n < 2) return Status::InvalidArgument("Hsic: need at least 2 rows");
+
+  const Matrix k = GaussianKernelMatrix(x, gamma_x);
+  const Matrix l = GaussianKernelMatrix(y, gamma_y);
+
+  // Centre both kernel matrices: Kc = H K H with H = I - 11^T / n, then
+  // HSIC = tr(Kc * Lc) / (n-1)^2 = sum_ij Kc_ij * Lc_ij / (n-1)^2.
+  auto centre = [n](const Matrix& m) {
+    std::vector<double> row_mean(n, 0.0);
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) row_mean[i] += m.at(i, j);
+      total += row_mean[i];
+      row_mean[i] /= static_cast<double>(n);
+    }
+    total /= static_cast<double>(n) * static_cast<double>(n);
+    Matrix c(n, n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        c.at(i, j) = m.at(i, j) - row_mean[i] - row_mean[j] + total;
+      }
+    }
+    return c;
+  };
+
+  const Matrix kc = centre(k);
+  const Matrix lc = centre(l);
+  double trace = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) trace += kc.at(i, j) * lc.at(j, i);
+  }
+  const double denom = static_cast<double>(n - 1) * static_cast<double>(n - 1);
+  return trace / denom;
+}
+
+}  // namespace multiclust

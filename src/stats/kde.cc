@@ -1,0 +1,104 @@
+#include "stats/kde.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/contingency.h"
+
+namespace multiclust {
+
+Result<KernelDensity> KernelDensity::Fit(const Matrix& data,
+                                         double bandwidth) {
+  if (data.rows() == 0 || data.cols() == 0) {
+    return Status::InvalidArgument("KernelDensity: empty data");
+  }
+  KernelDensity kde;
+  kde.data_ = data;
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  kde.bandwidths_.assign(d, bandwidth);
+  if (bandwidth <= 0.0) {
+    // Silverman's rule of thumb per dimension.
+    const std::vector<double> mean = RowMean(data);
+    for (size_t j = 0; j < d; ++j) {
+      double var = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const double diff = data.at(i, j) - mean[j];
+        var += diff * diff;
+      }
+      var /= std::max<size_t>(1, n - 1);
+      const double sigma = std::sqrt(std::max(var, 1e-12));
+      kde.bandwidths_[j] =
+          sigma * std::pow(4.0 / ((d + 2.0) * n), 1.0 / (d + 4.0));
+      kde.bandwidths_[j] = std::max(kde.bandwidths_[j], 1e-6);
+    }
+  }
+  double log_norm = -0.5 * static_cast<double>(d) * std::log(2.0 * M_PI);
+  for (double h : kde.bandwidths_) log_norm -= std::log(h);
+  kde.log_norm_ = log_norm;
+  return kde;
+}
+
+double KernelDensity::Density(const std::vector<double>& x) const {
+  const size_t n = data_.rows();
+  const size_t d = data_.cols();
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = data_.row_data(i);
+    double q = 0.0;
+    for (size_t j = 0; j < d && j < x.size(); ++j) {
+      const double z = (x[j] - row[j]) / bandwidths_[j];
+      q += z * z;
+    }
+    sum += std::exp(-0.5 * q);
+  }
+  return std::exp(log_norm_) * sum / static_cast<double>(n);
+}
+
+double KernelDensity::MeanLogDensity(const Matrix& points) const {
+  if (points.rows() == 0) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < points.rows(); ++i) {
+    const double dens = Density(points.Row(i));
+    s += std::log(std::max(dens, 1e-300));
+  }
+  return s / static_cast<double>(points.rows());
+}
+
+Result<Matrix> DensityProfile(const std::vector<double>& values,
+                              const std::vector<int>& labels, size_t bins) {
+  if (values.size() != labels.size()) {
+    return Status::InvalidArgument("DensityProfile: size mismatch");
+  }
+  if (bins == 0) return Status::InvalidArgument("DensityProfile: bins == 0");
+  std::vector<int> dense;
+  const size_t k = DenseRelabel(labels, &dense);
+  if (k == 0) return Matrix(0, bins);
+
+  double lo = values.empty() ? 0.0 : values[0];
+  double hi = lo;
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double width = (hi - lo > 1e-12 ? hi - lo : 1.0) /
+                       static_cast<double>(bins);
+
+  Matrix profile(k, bins);
+  std::vector<double> totals(k, 0.0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (dense[i] < 0) continue;
+    int b = static_cast<int>((values[i] - lo) / width);
+    if (b < 0) b = 0;
+    if (b >= static_cast<int>(bins)) b = static_cast<int>(bins) - 1;
+    profile.at(dense[i], b) += 1.0;
+    totals[dense[i]] += 1.0;
+  }
+  for (size_t c = 0; c < k; ++c) {
+    if (totals[c] <= 0) continue;
+    for (size_t b = 0; b < bins; ++b) profile.at(c, b) /= totals[c];
+  }
+  return profile;
+}
+
+}  // namespace multiclust

@@ -1,0 +1,45 @@
+#ifndef MULTICLUST_STATS_KDE_H_
+#define MULTICLUST_STATS_KDE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace multiclust {
+
+/// Gaussian kernel density estimator with a diagonal (per-dimension)
+/// bandwidth. Used for density-profile comparisons between clusterings
+/// (Bae et al. 2010 style, tutorial slide 34) and for non-parametric quality
+/// scores.
+class KernelDensity {
+ public:
+  /// Fits on the rows of `data`. `bandwidth <= 0` selects Silverman's rule
+  /// per dimension.
+  static Result<KernelDensity> Fit(const Matrix& data, double bandwidth = 0.0);
+
+  /// Density estimate at point `x` (length = data dims).
+  double Density(const std::vector<double>& x) const;
+
+  /// Average log-density of the rows of `points` under this estimate.
+  double MeanLogDensity(const Matrix& points) const;
+
+  /// Per-dimension bandwidths in use.
+  const std::vector<double>& bandwidths() const { return bandwidths_; }
+
+ private:
+  Matrix data_;
+  std::vector<double> bandwidths_;
+  double log_norm_ = 0.0;  // log of the kernel normalisation constant
+};
+
+/// Histogram density profile of a labeling along one attribute: for each
+/// cluster, the normalised histogram of member values over `bins` equal
+/// intervals. Two clusterings are "density dissimilar" when their profiles
+/// differ (Bae et al. 2010). Rows = clusters (dense relabeled), cols = bins.
+Result<Matrix> DensityProfile(const std::vector<double>& values,
+                              const std::vector<int>& labels, size_t bins);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_STATS_KDE_H_

@@ -1,0 +1,54 @@
+#include "stats/tails.h"
+
+#include <cmath>
+
+namespace multiclust {
+
+double HoeffdingUpperTail(size_t n, double /*p*/, double t) {
+  if (t < 0.0) return 1.0;
+  return std::exp(-2.0 * static_cast<double>(n) * t * t);
+}
+
+double SchismThresholdFraction(size_t s, size_t xi, size_t n, double tau) {
+  const double expected =
+      std::pow(1.0 / static_cast<double>(xi), static_cast<double>(s));
+  const double slack =
+      std::sqrt(std::log(1.0 / tau) / (2.0 * static_cast<double>(n)));
+  double frac = expected + slack;
+  if (frac > 1.0) frac = 1.0;
+  return frac;
+}
+
+double LogChoose(size_t n, size_t k) {
+  if (k > n) return -INFINITY;
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double BinomialUpperTail(size_t n, size_t k, double p) {
+  if (k == 0) return 1.0;
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  const double logp = std::log(p);
+  const double log1mp = std::log1p(-p);
+  // Sum P[X = i] for i in [k, n] in log space with running max subtraction.
+  double max_log = -INFINITY;
+  for (size_t i = k; i <= n; ++i) {
+    const double lg = LogChoose(n, i) + static_cast<double>(i) * logp +
+                      static_cast<double>(n - i) * log1mp;
+    if (lg > max_log) max_log = lg;
+  }
+  if (!std::isfinite(max_log)) return 0.0;
+  double sum = 0.0;
+  for (size_t i = k; i <= n; ++i) {
+    const double lg = LogChoose(n, i) + static_cast<double>(i) * logp +
+                      static_cast<double>(n - i) * log1mp;
+    sum += std::exp(lg - max_log);
+  }
+  double tail = std::exp(max_log) * sum;
+  if (tail > 1.0) tail = 1.0;
+  return tail;
+}
+
+}  // namespace multiclust

@@ -1,0 +1,29 @@
+#ifndef MULTICLUST_STATS_TAILS_H_
+#define MULTICLUST_STATS_TAILS_H_
+
+#include <cstddef>
+
+namespace multiclust {
+
+/// Hoeffding upper bound on P[X >= n(p + t)] for X ~ Binomial(n, p):
+/// exp(-2 n t^2). Valid for t >= 0 (returns 1 for t < 0).
+double HoeffdingUpperTail(size_t n, double p, double t);
+
+/// SCHISM's dimensionality-adaptive support threshold (tutorial slide 73):
+///   tau(s) = (1/xi)^s + sqrt(ln(1/tau) / (2 n))
+/// expressed as a *fraction* of the n objects that an s-dimensional grid
+/// cell must contain to be interesting. `xi` is the number of intervals per
+/// dimension and `tau` the significance level in (0, 1).
+double SchismThresholdFraction(size_t s, size_t xi, size_t n, double tau);
+
+/// Exact upper tail P[X >= k] for X ~ Binomial(n, p), computed by stable
+/// summation of log-pmf terms. Suitable for the n used in this library
+/// (up to ~10^5). Used by STATPC-style significance tests.
+double BinomialUpperTail(size_t n, size_t k, double p);
+
+/// log(n choose k) via lgamma.
+double LogChoose(size_t n, size_t k);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_STATS_TAILS_H_

@@ -1,0 +1,48 @@
+#include "subspace/asclu.h"
+
+#include <set>
+
+namespace multiclust {
+
+bool IsValidAlternative(const SubspaceCluster& c,
+                        const SubspaceClustering& known, double beta,
+                        double alpha) {
+  if (c.objects.empty()) return false;
+  std::set<int> already;
+  for (const SubspaceCluster& k : known.clusters) {
+    if (!CoversSubspace(c.dims, k.dims, beta) &&
+        !CoversSubspace(k.dims, c.dims, beta)) {
+      continue;  // different concept: no constraint
+    }
+    for (int obj : k.objects) already.insert(obj);
+  }
+  size_t fresh = 0;
+  for (int obj : c.objects) {
+    if (already.find(obj) == already.end()) ++fresh;
+  }
+  return static_cast<double>(fresh) >=
+         alpha * static_cast<double>(c.objects.size());
+}
+
+Result<SubspaceClustering> RunAsclu(const SubspaceClustering& candidates,
+                                    const SubspaceClustering& known,
+                                    const AscluOptions& options) {
+  if (options.alpha_known <= 0.0 || options.alpha_known > 1.0) {
+    return Status::InvalidArgument("ASCLU: alpha_known must be in (0, 1]");
+  }
+  SubspaceClustering valid;
+  for (const SubspaceCluster& c : candidates.clusters) {
+    if (IsValidAlternative(c, known, options.osclu.beta,
+                           options.alpha_known)) {
+      valid.clusters.push_back(c);
+    }
+  }
+  MC_ASSIGN_OR_RETURN(SubspaceClustering selected,
+                      RunOsclu(valid, options.osclu));
+  for (SubspaceCluster& c : selected.clusters) {
+    c.source = "asclu";
+  }
+  return selected;
+}
+
+}  // namespace multiclust

@@ -1,0 +1,38 @@
+#ifndef MULTICLUST_SUBSPACE_ASCLU_H_
+#define MULTICLUST_SUBSPACE_ASCLU_H_
+
+#include "common/result.h"
+#include "subspace/osclu.h"
+#include "subspace/subspace_cluster.h"
+
+namespace multiclust {
+
+/// Options for ASCLU (Günnemann et al. 2010; tutorial slides 86-87).
+struct AscluOptions {
+  /// OSCLU parameters used for the internal orthogonal selection.
+  OscluOptions osclu;
+  /// Alternative-validity threshold: a candidate is a valid alternative to
+  /// `known` when at least this fraction of its objects is not already
+  /// clustered by concept-group members of the known clustering.
+  double alpha_known = 0.5;
+};
+
+/// Whether `c` is a valid alternative cluster w.r.t. the known clusters
+/// (slide 87): |O \ AlreadyClustered(Known, C)| / |O| >= alpha, where
+/// AlreadyClustered collects the objects of known clusters in C's concept
+/// group (subspace coverage at level beta).
+bool IsValidAlternative(const SubspaceCluster& c,
+                        const SubspaceClustering& known, double beta,
+                        double alpha);
+
+/// ASCLU: alternative subspace clustering. Filters the candidate clusters
+/// to valid alternatives of `known`, then runs the OSCLU orthogonal
+/// selection on the survivors — yielding a result set that is orthogonal
+/// *and* genuinely new relative to the given knowledge.
+Result<SubspaceClustering> RunAsclu(const SubspaceClustering& candidates,
+                                    const SubspaceClustering& known,
+                                    const AscluOptions& options);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_SUBSPACE_ASCLU_H_

@@ -1,0 +1,26 @@
+#include "subspace/clique.h"
+
+#include <cmath>
+
+namespace multiclust {
+
+Result<SubspaceClustering> RunClique(const Matrix& data,
+                                     const CliqueOptions& options) {
+  if (options.tau <= 0.0 || options.tau > 1.0) {
+    return Status::InvalidArgument("CLIQUE: tau must be in (0, 1]");
+  }
+  MC_ASSIGN_OR_RETURN(Grid grid, Grid::Build(data, options.xi));
+  const size_t min_support = static_cast<size_t>(
+      std::ceil(options.tau * static_cast<double>(data.rows())));
+  // A constant threshold per dimensionality (CLIQUE's fixed tau; contrast
+  // with SCHISM's adaptive threshold).
+  std::vector<size_t> thresholds(data.cols() + 1,
+                                 std::max<size_t>(1, min_support));
+  const std::vector<GridUnit> units =
+      MineDenseUnits(grid, thresholds, options.max_dims);
+  SubspaceClustering result;
+  result.clusters = UnitsToClusters(units, "clique");
+  return result;
+}
+
+}  // namespace multiclust

@@ -1,0 +1,30 @@
+#ifndef MULTICLUST_SUBSPACE_CLIQUE_H_
+#define MULTICLUST_SUBSPACE_CLIQUE_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "subspace/subspace_cluster.h"
+
+namespace multiclust {
+
+/// Options for CLIQUE (Agrawal et al. 1998; tutorial slides 69-71).
+struct CliqueOptions {
+  /// Intervals per dimension.
+  size_t xi = 10;
+  /// Density threshold as a fraction of all objects a cell must contain.
+  double tau = 0.02;
+  /// Maximum subspace dimensionality to mine (0 = unbounded).
+  size_t max_dims = 0;
+};
+
+/// Runs CLIQUE: bottom-up apriori mining of dense grid cells over all
+/// subspaces (monotonicity pruning), then merging adjacent dense cells of
+/// each subspace into clusters. Every object can appear in many clusters in
+/// many subspaces — the archetypal "all multiple clusterings, no
+/// redundancy control" method (M = ALL).
+Result<SubspaceClustering> RunClique(const Matrix& data,
+                                     const CliqueOptions& options);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_SUBSPACE_CLIQUE_H_

@@ -1,0 +1,106 @@
+#include "subspace/doc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace multiclust {
+
+double DocQuality(size_t support, size_t dims, double beta) {
+  return static_cast<double>(support) *
+         std::pow(1.0 / beta, static_cast<double>(dims));
+}
+
+Result<SubspaceClustering> RunDoc(const Matrix& data,
+                                  const DocOptions& options) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  if (n == 0 || d == 0) return Status::InvalidArgument("DOC: empty data");
+  if (options.w <= 0) return Status::InvalidArgument("DOC: w must be > 0");
+  if (options.beta <= 0 || options.beta > 0.5) {
+    return Status::InvalidArgument("DOC: beta must be in (0, 0.5]");
+  }
+  if (options.discriminating_set == 0) {
+    return Status::InvalidArgument("DOC: discriminating set must be > 0");
+  }
+
+  Rng rng(options.seed);
+  std::vector<char> removed(n, 0);
+  size_t remaining = n;
+  SubspaceClustering result;
+
+  for (size_t round = 0; round < options.k && remaining > options.min_support;
+       ++round) {
+    double best_quality = 0.0;
+    std::vector<size_t> best_dims;
+    std::vector<int> best_objects;
+
+    // Active object ids.
+    std::vector<int> active;
+    active.reserve(remaining);
+    for (size_t i = 0; i < n; ++i) {
+      if (!removed[i]) active.push_back(static_cast<int>(i));
+    }
+
+    for (size_t outer = 0; outer < options.outer_trials; ++outer) {
+      const int medoid = active[rng.NextIndex(active.size())];
+      for (size_t inner = 0; inner < options.inner_trials; ++inner) {
+        // Random discriminating set (excluding the medoid is not
+        // essential; keep it simple and allow it).
+        std::vector<size_t> dims;
+        {
+          const std::vector<size_t> picks = rng.SampleWithoutReplacement(
+              active.size(), std::min(options.discriminating_set,
+                                      active.size()));
+          // D = dims where every sampled point is within w of the medoid.
+          for (size_t j = 0; j < d; ++j) {
+            bool all_close = true;
+            for (size_t p : picks) {
+              if (std::fabs(data.at(active[p], j) - data.at(medoid, j)) >
+                  options.w) {
+                all_close = false;
+                break;
+              }
+            }
+            if (all_close) dims.push_back(j);
+          }
+        }
+        if (dims.empty()) continue;
+        // C = active objects within w of the medoid on all dims of D.
+        std::vector<int> objects;
+        for (int obj : active) {
+          bool inside = true;
+          for (size_t j : dims) {
+            if (std::fabs(data.at(obj, j) - data.at(medoid, j)) >
+                options.w) {
+              inside = false;
+              break;
+            }
+          }
+          if (inside) objects.push_back(obj);
+        }
+        if (objects.size() < options.min_support) continue;
+        const double q = DocQuality(objects.size(), dims.size(),
+                                    options.beta);
+        if (q > best_quality) {
+          best_quality = q;
+          best_dims = std::move(dims);
+          best_objects = std::move(objects);
+        }
+      }
+    }
+
+    if (best_objects.empty()) break;
+    for (int obj : best_objects) {
+      removed[obj] = 1;
+    }
+    remaining -= best_objects.size();
+    std::sort(best_objects.begin(), best_objects.end());
+    result.clusters.push_back(
+        {std::move(best_dims), std::move(best_objects), "doc"});
+  }
+  return result;
+}
+
+}  // namespace multiclust

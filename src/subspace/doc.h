@@ -1,0 +1,47 @@
+#ifndef MULTICLUST_SUBSPACE_DOC_H_
+#define MULTICLUST_SUBSPACE_DOC_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "subspace/subspace_cluster.h"
+
+namespace multiclust {
+
+/// Options for DOC / FastDOC (Procopiuc et al. 2002; tutorial slide 66,72):
+/// Monte-Carlo mining of axis-parallel projected clusters.
+struct DocOptions {
+  /// Number of clusters to extract (objects of found clusters are removed
+  /// before the next round).
+  size_t k = 3;
+  /// Half-width of a cluster's bounding box per relevant dimension.
+  double w = 1.0;
+  /// Quality trade-off between support and dimensionality:
+  /// mu(C, D) = |C| * (1/beta)^|D| with beta in (0, 0.5].
+  double beta = 0.25;
+  /// Outer Monte-Carlo trials (random medoids) per cluster.
+  size_t outer_trials = 30;
+  /// Inner trials (random discriminating sets) per medoid.
+  size_t inner_trials = 20;
+  /// Size of the discriminating set.
+  size_t discriminating_set = 4;
+  /// Minimum support for a reported cluster.
+  size_t min_support = 8;
+  uint64_t seed = 1;
+};
+
+/// DOC: repeatedly samples a medoid p and small discriminating sets X; the
+/// relevant dimensions are those where all of X lies within w of p, and the
+/// cluster is every remaining object within w of p on those dimensions.
+/// The best (p, D) by the quality mu(|C|, |D|) wins each round.
+Result<SubspaceClustering> RunDoc(const Matrix& data,
+                                  const DocOptions& options);
+
+/// DOC's projective quality function mu(support, dims) = support *
+/// (1/beta)^dims.
+double DocQuality(size_t support, size_t dims, double beta);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_SUBSPACE_DOC_H_

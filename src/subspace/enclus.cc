@@ -1,0 +1,93 @@
+#include "subspace/enclus.h"
+
+#include <algorithm>
+#include <set>
+
+#include "stats/grid.h"
+
+namespace multiclust {
+
+Result<std::vector<ScoredSubspace>> RunEnclus(const Matrix& data,
+                                              const EnclusOptions& options) {
+  if (options.omega <= 0) {
+    return Status::InvalidArgument("ENCLUS: omega must be positive");
+  }
+  MC_ASSIGN_OR_RETURN(Grid grid, Grid::Build(data, options.xi));
+  const size_t d = data.cols();
+  const size_t max_dims =
+      options.max_dims == 0 ? d : std::min(options.max_dims, d);
+
+  std::vector<double> dim_entropy(d);
+  for (size_t j = 0; j < d; ++j) {
+    dim_entropy[j] = grid.SubspaceEntropy({j});
+  }
+
+  std::vector<ScoredSubspace> result;
+  // Level 1: all single dimensions below the entropy ceiling.
+  std::vector<std::vector<size_t>> level;
+  for (size_t j = 0; j < d; ++j) {
+    if (dim_entropy[j] < options.omega) {
+      ScoredSubspace s;
+      s.dims = {j};
+      s.entropy = dim_entropy[j];
+      s.interest = 0.0;  // single dimension has no correlation gain
+      if (s.interest >= options.epsilon) result.push_back(s);
+      level.push_back({j});
+    }
+  }
+
+  // Bottom-up: entropy is monotone non-decreasing in dims, so any subspace
+  // with a pruned projection is pruned too (downward closure, slide 71).
+  for (size_t depth = 2; depth <= max_dims && level.size() >= 2; ++depth) {
+    std::set<std::vector<size_t>> candidates;
+    for (size_t i = 0; i < level.size(); ++i) {
+      for (size_t j = i + 1; j < level.size(); ++j) {
+        bool ok = true;
+        for (size_t p = 0; p + 1 < level[i].size(); ++p) {
+          if (level[i][p] != level[j][p]) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok || level[i].back() >= level[j].back()) continue;
+        std::vector<size_t> cand = level[i];
+        cand.push_back(level[j].back());
+        // All (k-1)-projections must have survived.
+        bool all_present = true;
+        for (size_t skip = 0; skip < cand.size() && all_present; ++skip) {
+          std::vector<size_t> proj;
+          for (size_t p = 0; p < cand.size(); ++p) {
+            if (p != skip) proj.push_back(cand[p]);
+          }
+          if (std::find(level.begin(), level.end(), proj) == level.end()) {
+            all_present = false;
+          }
+        }
+        if (all_present) candidates.insert(std::move(cand));
+      }
+    }
+    std::vector<std::vector<size_t>> next;
+    for (const std::vector<size_t>& cand : candidates) {
+      const double h = grid.SubspaceEntropy(cand);
+      if (h >= options.omega) continue;
+      double sum_h = 0.0;
+      for (size_t dim : cand) sum_h += dim_entropy[dim];
+      ScoredSubspace s;
+      s.dims = cand;
+      s.entropy = h;
+      s.interest = sum_h - h;
+      if (s.interest >= options.epsilon) result.push_back(s);
+      next.push_back(cand);
+    }
+    level = std::move(next);
+  }
+
+  std::sort(result.begin(), result.end(),
+            [](const ScoredSubspace& a, const ScoredSubspace& b) {
+              if (a.entropy != b.entropy) return a.entropy < b.entropy;
+              return a.dims < b.dims;
+            });
+  return result;
+}
+
+}  // namespace multiclust

@@ -1,0 +1,40 @@
+#ifndef MULTICLUST_SUBSPACE_ENCLUS_H_
+#define MULTICLUST_SUBSPACE_ENCLUS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace multiclust {
+
+/// Options for ENCLUS (Cheng, Fu & Zhang 1999; tutorial slides 88-89).
+struct EnclusOptions {
+  /// Intervals per dimension for the occupancy grid.
+  size_t xi = 10;
+  /// Entropy ceiling (nats): a subspace is interesting when H(S) < omega.
+  double omega = 6.0;
+  /// Interest floor: interest(S) = sum_d H({d}) - H(S) must exceed epsilon
+  /// (high interdimensional correlation).
+  double epsilon = 0.0;
+  /// Maximum subspace dimensionality (0 = unbounded).
+  size_t max_dims = 3;
+};
+
+/// A scored subspace.
+struct ScoredSubspace {
+  std::vector<size_t> dims;
+  double entropy = 0.0;   ///< H(S), lower = clusters+coverage better
+  double interest = 0.0;  ///< sum H({d}) - H(S), higher = more correlated
+};
+
+/// ENCLUS: ranks subspaces by grid-cell entropy, decoupling subspace search
+/// from cluster detection. Uses the downward closure of entropy (adding a
+/// dimension never decreases H) to prune bottom-up. Results are sorted by
+/// ascending entropy (most interesting first).
+Result<std::vector<ScoredSubspace>> RunEnclus(const Matrix& data,
+                                              const EnclusOptions& options);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_SUBSPACE_ENCLUS_H_

@@ -1,0 +1,74 @@
+#include "subspace/msc.h"
+
+#include <algorithm>
+
+#include "cluster/hierarchical.h"
+#include "cluster/spectral.h"
+#include "stats/hsic.h"
+
+namespace multiclust {
+
+Result<MscResult> RunMultipleSpectralViews(const Matrix& data,
+                                           const MscOptions& options) {
+  const size_t d = data.cols();
+  if (options.num_views == 0 || options.num_views > d) {
+    return Status::InvalidArgument("mSC: invalid number of views");
+  }
+  if (options.k == 0 || options.k > data.rows()) {
+    return Status::InvalidArgument("mSC: invalid k");
+  }
+
+  MscResult result;
+  // Pairwise dependence between single dimensions.
+  result.dim_dependence = Matrix(d, d);
+  double max_dep = 0.0;
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = a + 1; b < d; ++b) {
+      const Matrix xa = data.SelectColumns({a});
+      const Matrix xb = data.SelectColumns({b});
+      MC_ASSIGN_OR_RETURN(double dep, Hsic(xa, xb, options.gamma,
+                                           options.gamma));
+      dep = std::max(dep, 0.0);
+      result.dim_dependence.at(a, b) = dep;
+      result.dim_dependence.at(b, a) = dep;
+      max_dep = std::max(max_dep, dep);
+    }
+  }
+
+  // Group dependent dimensions: distance = max_dep - HSIC, average link.
+  Matrix dist(d, d);
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = 0; b < d; ++b) {
+      dist.at(a, b) = a == b ? 0.0
+                             : max_dep - result.dim_dependence.at(a, b);
+    }
+  }
+  AgglomerativeOptions agg;
+  agg.k = options.num_views;
+  agg.linkage = Linkage::kAverage;
+  MC_ASSIGN_OR_RETURN(AgglomerativeResult blocks,
+                      AgglomerateFromDistances(dist, agg));
+
+  // Spectral clustering inside each dimension block.
+  for (size_t v = 0; v < options.num_views; ++v) {
+    MscView view;
+    for (size_t j = 0; j < d; ++j) {
+      if (blocks.flat.labels[j] == static_cast<int>(v)) {
+        view.dims.push_back(j);
+      }
+    }
+    if (view.dims.empty()) continue;
+    const Matrix projected = data.SelectColumns(view.dims);
+    SpectralOptions spec;
+    spec.k = options.k;
+    spec.gamma = options.gamma;
+    spec.seed = options.seed + v;
+    MC_ASSIGN_OR_RETURN(view.clustering, RunSpectral(projected, spec));
+    view.clustering.algorithm = "msc-spectral";
+    MC_RETURN_IF_ERROR(result.solutions.Add(view.clustering));
+    result.views.push_back(std::move(view));
+  }
+  return result;
+}
+
+}  // namespace multiclust

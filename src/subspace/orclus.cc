@@ -1,0 +1,279 @@
+#include "subspace/orclus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "linalg/decomposition.h"
+
+namespace multiclust {
+
+double ProjectedSquaredDistance(const std::vector<double>& x,
+                                const std::vector<double>& centroid,
+                                const Matrix& basis) {
+  double total = 0.0;
+  for (size_t c = 0; c < basis.cols(); ++c) {
+    double dot = 0.0;
+    for (size_t j = 0; j < basis.rows() && j < x.size(); ++j) {
+      dot += basis.at(j, c) * (x[j] - centroid[j]);
+    }
+    total += dot * dot;
+  }
+  return total;
+}
+
+namespace {
+
+struct Group {
+  std::vector<double> centroid;
+  Matrix basis;  // d x q least-spread eigenvectors
+  std::vector<int> members;
+};
+
+// Least-spread orthonormal basis (q smallest-eigenvalue eigenvectors of the
+// member covariance). Falls back to the last q identity axes for tiny
+// groups.
+Result<Matrix> LeastSpreadBasis(const Matrix& data,
+                                const std::vector<int>& members, size_t q) {
+  const size_t d = data.cols();
+  q = std::min(q, d);
+  if (members.size() < 2) {
+    Matrix basis(d, q);
+    for (size_t c = 0; c < q; ++c) basis.at(d - 1 - c, c) = 1.0;
+    return basis;
+  }
+  std::vector<size_t> rows(members.begin(), members.end());
+  const Matrix sub = data.SelectRows(rows);
+  const Matrix cov = Covariance(sub);
+  MC_ASSIGN_OR_RETURN(SymmetricEigen eig, EigenSymmetric(cov));
+  // Eigenvalues are sorted descending; take the trailing q columns.
+  Matrix basis(d, q);
+  for (size_t c = 0; c < q; ++c) {
+    for (size_t j = 0; j < d; ++j) {
+      basis.at(j, c) = eig.vectors.at(j, d - q + c);
+    }
+  }
+  return basis;
+}
+
+std::vector<double> CentroidOf(const Matrix& data,
+                               const std::vector<int>& members) {
+  std::vector<double> c(data.cols(), 0.0);
+  if (members.empty()) return c;
+  for (int m : members) {
+    const double* row = data.row_data(m);
+    for (size_t j = 0; j < data.cols(); ++j) c[j] += row[j];
+  }
+  for (double& x : c) x /= static_cast<double>(members.size());
+  return c;
+}
+
+// Mean projected energy of a hypothetical merge of groups a and b in the
+// merged group's own least-spread q-dim subspace (ORCLUS's merge cost).
+Result<double> MergeCost(const Matrix& data, const Group& a, const Group& b,
+                         size_t q) {
+  std::vector<int> merged = a.members;
+  merged.insert(merged.end(), b.members.begin(), b.members.end());
+  if (merged.empty()) return 0.0;
+  MC_ASSIGN_OR_RETURN(Matrix basis, LeastSpreadBasis(data, merged, q));
+  const std::vector<double> centroid = CentroidOf(data, merged);
+  double energy = 0.0;
+  for (int m : merged) {
+    energy += ProjectedSquaredDistance(data.Row(m), centroid, basis);
+  }
+  return energy / static_cast<double>(merged.size());
+}
+
+}  // namespace
+
+namespace {
+
+Result<OrclusResult> RunOrclusOnce(const Matrix& data,
+                                   const OrclusOptions& options,
+                                   uint64_t seed) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  Rng rng(seed);
+
+  // Seeds: k0 = a_factor * k random objects, working dimensionality starts
+  // at d and decays towards l as clusters merge towards k.
+  size_t kc = std::min(n, std::max(options.k, options.a_factor * options.k));
+  std::vector<Group> groups(kc);
+  {
+    const std::vector<size_t> picks = rng.SampleWithoutReplacement(n, kc);
+    for (size_t g = 0; g < kc; ++g) {
+      groups[g].centroid = data.Row(picks[g]);
+      groups[g].basis = Matrix::Identity(d);
+    }
+  }
+  double qc = static_cast<double>(d);
+
+  // Decay factors so that kc -> k and qc -> l over max_iters rounds.
+  const double alpha =
+      std::pow(static_cast<double>(options.k) / static_cast<double>(kc),
+               1.0 / static_cast<double>(options.max_iters));
+  const double beta =
+      std::pow(static_cast<double>(options.l) / qc,
+               1.0 / static_cast<double>(options.max_iters));
+
+  for (size_t iter = 0; iter < options.max_iters || kc > options.k; ++iter) {
+    // --- Assign: nearest centroid by projected distance. ---
+    for (Group& g : groups) g.members.clear();
+    for (size_t i = 0; i < n; ++i) {
+      const std::vector<double> x = data.Row(i);
+      double best = std::numeric_limits<double>::infinity();
+      size_t best_g = 0;
+      for (size_t g = 0; g < groups.size(); ++g) {
+        const double dist =
+            ProjectedSquaredDistance(x, groups[g].centroid, groups[g].basis);
+        if (dist < best) {
+          best = dist;
+          best_g = g;
+        }
+      }
+      groups[best_g].members.push_back(static_cast<int>(i));
+    }
+    // Drop empty groups.
+    groups.erase(std::remove_if(groups.begin(), groups.end(),
+                                [](const Group& g) {
+                                  return g.members.empty();
+                                }),
+                 groups.end());
+    kc = groups.size();
+
+    // --- Update subspaces at the current working dimensionality. ---
+    const size_t q = std::max(options.l, static_cast<size_t>(
+                                             std::lround(qc)));
+    for (Group& g : groups) {
+      g.centroid = CentroidOf(data, g.members);
+      MC_ASSIGN_OR_RETURN(g.basis, LeastSpreadBasis(data, g.members, q));
+    }
+
+    // --- Merge down towards the schedule's cluster count (always at
+    //     least one merge per round while above k, so the schedule cannot
+    //     stall on rounding). ---
+    size_t target = std::max(
+        options.k,
+        static_cast<size_t>(std::floor(static_cast<double>(kc) * alpha)));
+    if (kc > options.k && target >= kc) target = kc - 1;
+    while (groups.size() > target) {
+      double best_cost = std::numeric_limits<double>::infinity();
+      size_t ba = 0, bb = 1;
+      // Merge quality is judged at the *target* dimensionality l: the
+      // final clusters must be thin in an l-dimensional oriented subspace,
+      // and evaluating at the (larger) working dimensionality would reduce
+      // to total variance and favour spatially co-located but differently
+      // oriented fragments.
+      for (size_t a = 0; a < groups.size(); ++a) {
+        for (size_t b = a + 1; b < groups.size(); ++b) {
+          MC_ASSIGN_OR_RETURN(double cost,
+                              MergeCost(data, groups[a], groups[b],
+                                        options.l));
+          if (cost < best_cost) {
+            best_cost = cost;
+            ba = a;
+            bb = b;
+          }
+        }
+      }
+      groups[ba].members.insert(groups[ba].members.end(),
+                                groups[bb].members.begin(),
+                                groups[bb].members.end());
+      groups[ba].centroid = CentroidOf(data, groups[ba].members);
+      MC_ASSIGN_OR_RETURN(groups[ba].basis,
+                          LeastSpreadBasis(data, groups[ba].members, q));
+      groups.erase(groups.begin() + bb);
+    }
+    kc = groups.size();
+    qc = std::max(static_cast<double>(options.l), qc * beta);
+    if (kc <= options.k &&
+        static_cast<size_t>(std::lround(qc)) <= options.l &&
+        iter + 1 >= options.max_iters) {
+      break;
+    }
+    if (iter > options.max_iters + 8) break;  // safety
+  }
+
+  // Final refinement at (k, l): iterate projected assignment and subspace
+  // updates until the labeling stabilises (projected k-means in each
+  // cluster's own oriented subspace).
+  std::vector<int> labels(n, -1);
+  for (size_t round = 0; round < 20; ++round) {
+    for (Group& g : groups) {
+      g.centroid = CentroidOf(data, g.members);
+      MC_ASSIGN_OR_RETURN(g.basis,
+                          LeastSpreadBasis(data, g.members, options.l));
+    }
+    for (Group& g : groups) g.members.clear();
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      const std::vector<double> x = data.Row(i);
+      double best = std::numeric_limits<double>::infinity();
+      size_t best_g = 0;
+      for (size_t g = 0; g < groups.size(); ++g) {
+        const double dist =
+            ProjectedSquaredDistance(x, groups[g].centroid, groups[g].basis);
+        if (dist < best) {
+          best = dist;
+          best_g = g;
+        }
+      }
+      if (labels[i] != static_cast<int>(best_g)) changed = true;
+      labels[i] = static_cast<int>(best_g);
+      groups[best_g].members.push_back(static_cast<int>(i));
+    }
+    // Re-seed emptied groups at the object farthest from its centroid.
+    for (Group& g : groups) {
+      if (!g.members.empty()) continue;
+      g.members.push_back(static_cast<int>(rng.NextIndex(n)));
+      changed = true;
+    }
+    if (!changed) break;
+  }
+
+  OrclusResult result;
+  double energy = 0.0;
+  for (const Group& g : groups) {
+    for (int m : g.members) {
+      energy += ProjectedSquaredDistance(data.Row(m), g.centroid, g.basis);
+    }
+  }
+  result.projected_energy = energy / static_cast<double>(n);
+  result.clustering.labels = std::move(labels);
+  result.clustering.algorithm = "orclus";
+  result.clustering.Canonicalize();
+  for (const Group& g : groups) {
+    result.subspaces.push_back({g.basis});
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<OrclusResult> RunOrclus(const Matrix& data,
+                               const OrclusOptions& options) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  if (options.k == 0 || options.k > n) {
+    return Status::InvalidArgument("ORCLUS: invalid k");
+  }
+  if (options.l == 0 || options.l > d) {
+    return Status::InvalidArgument("ORCLUS: invalid l");
+  }
+  Rng rng(options.seed);
+  OrclusResult best;
+  bool have_best = false;
+  const size_t restarts = options.restarts == 0 ? 1 : options.restarts;
+  for (size_t r = 0; r < restarts; ++r) {
+    MC_ASSIGN_OR_RETURN(OrclusResult run,
+                        RunOrclusOnce(data, options, rng.NextU64()));
+    if (!have_best || run.projected_energy < best.projected_energy) {
+      best = std::move(run);
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace multiclust

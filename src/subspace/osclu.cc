@@ -1,0 +1,110 @@
+#include "subspace/osclu.h"
+
+#include <algorithm>
+#include <set>
+
+namespace multiclust {
+
+LocalInterestFn DefaultLocalInterest() {
+  return [](const SubspaceCluster& c) {
+    return static_cast<double>(c.support()) *
+           static_cast<double>(c.dimensionality());
+  };
+}
+
+bool CoversSubspace(const std::vector<size_t>& s, const std::vector<size_t>& t,
+                    double beta) {
+  if (t.empty()) return true;
+  size_t overlap = 0;
+  size_t i = 0, j = 0;
+  while (i < s.size() && j < t.size()) {
+    if (s[i] == t[j]) {
+      ++overlap;
+      ++i;
+      ++j;
+    } else if (s[i] < t[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return static_cast<double>(overlap) >=
+         beta * static_cast<double>(t.size());
+}
+
+double GlobalInterest(const SubspaceCluster& c,
+                      const std::vector<SubspaceCluster>& m, double beta) {
+  if (c.objects.empty()) return 0.0;
+  // Objects of c already clustered by concept-group members in m.
+  std::set<int> covered;
+  for (const SubspaceCluster& other : m) {
+    // `other` belongs to c's concept group when the subspaces cover each
+    // other at level beta (similar concepts share a high fraction of
+    // dimensions).
+    if (!CoversSubspace(c.dims, other.dims, beta) &&
+        !CoversSubspace(other.dims, c.dims, beta)) {
+      continue;
+    }
+    for (int obj : other.objects) covered.insert(obj);
+  }
+  size_t fresh = 0;
+  for (int obj : c.objects) {
+    if (covered.find(obj) == covered.end()) ++fresh;
+  }
+  return static_cast<double>(fresh) / static_cast<double>(c.objects.size());
+}
+
+Result<SubspaceClustering> RunOsclu(const SubspaceClustering& candidates,
+                                    const OscluOptions& options) {
+  if (options.beta <= 0.0 || options.beta > 1.0) {
+    return Status::InvalidArgument("OSCLU: beta must be in (0, 1]");
+  }
+  if (options.alpha <= 0.0 || options.alpha > 1.0) {
+    return Status::InvalidArgument("OSCLU: alpha must be in (0, 1]");
+  }
+  const LocalInterestFn interest =
+      options.local_interest ? options.local_interest : DefaultLocalInterest();
+
+  // Greedy: consider candidates by descending local interestingness; accept
+  // a candidate when it stays orthogonal (alpha-fresh) against the current
+  // selection *and* does not break the constraint for already-selected
+  // clusters.
+  std::vector<size_t> order(candidates.clusters.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return interest(candidates.clusters[a]) > interest(candidates.clusters[b]);
+  });
+
+  SubspaceClustering selected;
+  for (size_t idx : order) {
+    const SubspaceCluster& cand = candidates.clusters[idx];
+    if (GlobalInterest(cand, selected.clusters, options.beta) <
+        options.alpha) {
+      continue;
+    }
+    // Re-check the constraint for current members with the candidate added.
+    bool breaks_existing = false;
+    std::vector<SubspaceCluster> tentative = selected.clusters;
+    tentative.push_back(cand);
+    for (size_t i = 0; i < selected.clusters.size() && !breaks_existing;
+         ++i) {
+      std::vector<SubspaceCluster> others;
+      others.reserve(tentative.size() - 1);
+      for (size_t j = 0; j < tentative.size(); ++j) {
+        if (j != i) others.push_back(tentative[j]);
+      }
+      if (GlobalInterest(selected.clusters[i], others, options.beta) <
+          options.alpha) {
+        breaks_existing = true;
+      }
+    }
+    if (!breaks_existing) {
+      SubspaceCluster kept = cand;
+      kept.source = "osclu(" + cand.source + ")";
+      selected.clusters.push_back(std::move(kept));
+    }
+  }
+  return selected;
+}
+
+}  // namespace multiclust

@@ -1,0 +1,51 @@
+#ifndef MULTICLUST_SUBSPACE_OSCLU_H_
+#define MULTICLUST_SUBSPACE_OSCLU_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "subspace/subspace_cluster.h"
+
+namespace multiclust {
+
+/// Local interestingness of a candidate cluster (OSCLU's exchangeable
+/// I_local; default = support * dimensionality).
+using LocalInterestFn = std::function<double(const SubspaceCluster&)>;
+
+/// Default I_local(C) = |O| * |S|.
+LocalInterestFn DefaultLocalInterest();
+
+/// Options for OSCLU (Günnemann et al. 2009; tutorial slides 80-85).
+struct OscluOptions {
+  /// Subspace-coverage parameter: T is covered by S iff |T ∩ S| >= beta |T|
+  /// (beta -> 0: only disjoint subspaces are distinct concepts; beta = 1:
+  /// only sub-projections are covered).
+  double beta = 0.5;
+  /// Orthogonality parameter: a cluster must contribute at least an alpha
+  /// fraction of new objects within its concept group.
+  double alpha = 0.3;
+  LocalInterestFn local_interest;  ///< empty = DefaultLocalInterest()
+};
+
+/// Tests OSCLU's covered-subspace relation: whether subspace `t` is covered
+/// by subspace `s` at level beta (slide 82).
+bool CoversSubspace(const std::vector<size_t>& s, const std::vector<size_t>& t,
+                    double beta);
+
+/// Global interestingness I_global(C, M): the fraction of C's objects not
+/// already clustered by members of C's concept group within M (slide 83).
+double GlobalInterest(const SubspaceCluster& c,
+                      const std::vector<SubspaceCluster>& m, double beta);
+
+/// OSCLU result-selection: from all candidate clusters, greedily builds an
+/// *orthogonal clustering* — every selected cluster keeps
+/// I_global >= alpha against the rest of the selection — maximising the sum
+/// of local interestingness. (Computing the exact optimum is NP-hard by
+/// reduction from SetPacking, slide 85; this is the greedy approximation.)
+Result<SubspaceClustering> RunOsclu(const SubspaceClustering& candidates,
+                                    const OscluOptions& options);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_SUBSPACE_OSCLU_H_

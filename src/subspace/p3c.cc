@@ -1,0 +1,163 @@
+#include "subspace/p3c.h"
+
+#include <algorithm>
+#include <map>
+
+#include "stats/grid.h"
+#include "stats/tails.h"
+
+namespace multiclust {
+
+namespace {
+
+// A signature: sorted (dim -> interval index into `relevant`) constraints,
+// with its supporting objects.
+struct Signature {
+  std::vector<size_t> interval_ids;  // indices into the relevant-interval list
+  std::vector<int> objects;          // ascending
+  std::vector<size_t> dims;          // ascending, parallel to interval_ids
+};
+
+}  // namespace
+
+Result<SubspaceClustering> RunP3c(const Matrix& data,
+                                  const P3cOptions& options,
+                                  std::vector<RelevantInterval>* intervals) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  if (n == 0 || d == 0) return Status::InvalidArgument("P3C: empty data");
+  if (options.alpha <= 0 || options.alpha >= 1) {
+    return Status::InvalidArgument("P3C: alpha must be in (0, 1)");
+  }
+  MC_ASSIGN_OR_RETURN(Grid grid, Grid::Build(data, options.xi));
+
+  // --- 1. Relevant intervals per dimension. ---
+  // Bin is relevant when P[Binomial(n, 1/xi) >= support] <= alpha / bins.
+  const double bin_alpha =
+      options.alpha / static_cast<double>(d * options.xi);
+  const double uniform_p = 1.0 / static_cast<double>(options.xi);
+  std::vector<RelevantInterval> found;
+  // Per interval: the member objects.
+  std::vector<std::vector<int>> interval_objects;
+  for (size_t dim = 0; dim < d; ++dim) {
+    std::vector<std::vector<int>> bins(options.xi);
+    for (size_t i = 0; i < n; ++i) {
+      bins[grid.CellOf(i, dim)].push_back(static_cast<int>(i));
+    }
+    std::vector<char> relevant(options.xi, 0);
+    for (size_t b = 0; b < options.xi; ++b) {
+      if (BinomialUpperTail(n, bins[b].size(), uniform_p) <= bin_alpha) {
+        relevant[b] = 1;
+      }
+    }
+    // Merge adjacent relevant bins.
+    size_t b = 0;
+    while (b < options.xi) {
+      if (!relevant[b]) {
+        ++b;
+        continue;
+      }
+      size_t hi = b;
+      while (hi + 1 < options.xi && relevant[hi + 1]) ++hi;
+      RelevantInterval iv;
+      iv.dim = dim;
+      iv.bin_lo = static_cast<int>(b);
+      iv.bin_hi = static_cast<int>(hi);
+      std::vector<int> objs;
+      for (size_t bb = b; bb <= hi; ++bb) {
+        objs.insert(objs.end(), bins[bb].begin(), bins[bb].end());
+      }
+      std::sort(objs.begin(), objs.end());
+      iv.support = objs.size();
+      found.push_back(iv);
+      interval_objects.push_back(std::move(objs));
+      b = hi + 1;
+    }
+  }
+  if (intervals != nullptr) *intervals = found;
+
+  // Fraction of the dimension's range each interval spans (for expected
+  // projections under independence).
+  std::vector<double> width_frac(found.size());
+  for (size_t i = 0; i < found.size(); ++i) {
+    width_frac[i] =
+        static_cast<double>(found[i].bin_hi - found[i].bin_lo + 1) /
+        static_cast<double>(options.xi);
+  }
+
+  const size_t max_dims =
+      options.max_dims == 0 ? d : std::min(options.max_dims, d);
+  const double sig_alpha =
+      options.alpha / std::max<double>(1.0, static_cast<double>(
+                                                found.size() * found.size()));
+
+  // --- 2. Apriori combination into p-signatures. ---
+  std::vector<Signature> level;
+  for (size_t i = 0; i < found.size(); ++i) {
+    if (interval_objects[i].size() < options.min_support) continue;
+    Signature s;
+    s.interval_ids = {i};
+    s.objects = interval_objects[i];
+    s.dims = {found[i].dim};
+    level.push_back(std::move(s));
+  }
+
+  // Track which signatures get extended (non-maximal ones are dropped).
+  std::vector<Signature> maximal;
+  for (size_t depth = 2; depth <= max_dims + 1; ++depth) {
+    std::vector<char> extended(level.size(), 0);
+    std::vector<Signature> next;
+    if (depth <= max_dims) {
+      for (size_t a = 0; a < level.size(); ++a) {
+        for (size_t iv = 0; iv < found.size(); ++iv) {
+          // Extend signature `a` by interval `iv` on a new dimension
+          // greater than all its current dims (canonical order).
+          if (found[iv].dim <= level[a].dims.back()) continue;
+          std::vector<int> inter;
+          std::set_intersection(level[a].objects.begin(),
+                                level[a].objects.end(),
+                                interval_objects[iv].begin(),
+                                interval_objects[iv].end(),
+                                std::back_inserter(inter));
+          if (inter.size() < options.min_support) continue;
+          // Significance: observed joint support vs the expectation that
+          // the parent's objects fall into iv's width by chance.
+          const double expected_frac = width_frac[iv];
+          const double p = BinomialUpperTail(level[a].objects.size(),
+                                             inter.size(), expected_frac);
+          if (p > sig_alpha) continue;
+          Signature s;
+          s.interval_ids = level[a].interval_ids;
+          s.interval_ids.push_back(iv);
+          s.objects = std::move(inter);
+          s.dims = level[a].dims;
+          s.dims.push_back(found[iv].dim);
+          next.push_back(std::move(s));
+          extended[a] = 1;
+        }
+      }
+    }
+    for (size_t a = 0; a < level.size(); ++a) {
+      if (!extended[a]) maximal.push_back(std::move(level[a]));
+    }
+    level = std::move(next);
+    if (level.empty()) break;
+  }
+  for (Signature& s : level) maximal.push_back(std::move(s));
+
+  // --- 3. Report maximal signatures as cluster cores (deduplicated by
+  //         object set within a subspace). ---
+  SubspaceClustering result;
+  std::map<std::pair<std::vector<size_t>, std::vector<int>>, char> seen;
+  for (Signature& s : maximal) {
+    if (s.objects.size() < options.min_support) continue;
+    auto key = std::make_pair(s.dims, s.objects);
+    if (seen.count(key)) continue;
+    seen[key] = 1;
+    result.clusters.push_back(
+        {std::move(s.dims), std::move(s.objects), "p3c"});
+  }
+  return result;
+}
+
+}  // namespace multiclust

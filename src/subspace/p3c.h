@@ -1,0 +1,50 @@
+#ifndef MULTICLUST_SUBSPACE_P3C_H_
+#define MULTICLUST_SUBSPACE_P3C_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "subspace/subspace_cluster.h"
+
+namespace multiclust {
+
+/// Options for P3C-style projected clustering (Moise, Sander & Ester 2006;
+/// tutorial slides 72, 78 — the cluster definition STATPC builds on).
+struct P3cOptions {
+  /// Bins per dimension for the relevance test.
+  size_t xi = 10;
+  /// Significance level of the per-bin and per-signature binomial tests
+  /// (Bonferroni-corrected internally).
+  double alpha = 1e-3;
+  /// Maximum signature dimensionality (0 = unbounded).
+  size_t max_dims = 3;
+  /// Minimum objects for a reported cluster core.
+  size_t min_support = 8;
+};
+
+/// A relevant interval found in one dimension (diagnostics).
+struct RelevantInterval {
+  size_t dim = 0;
+  int bin_lo = 0;  ///< first bin of the merged interval
+  int bin_hi = 0;  ///< last bin (inclusive)
+  size_t support = 0;
+};
+
+/// P3C (statistical core detection): (1) per dimension, find bins whose
+/// occupancy is significantly above the uniform expectation and merge
+/// adjacent ones into relevant intervals; (2) combine intervals across
+/// dimensions apriori-style into *p-signatures*, keeping a signature only
+/// when its support is significantly larger than what its parent signature
+/// would project into the added interval by chance; (3) report maximal
+/// signatures as projected cluster cores. (The full paper's EM refinement
+/// and outlier post-processing are out of scope; cores are returned
+/// directly, which is what the selection algorithms here consume.)
+Result<SubspaceClustering> RunP3c(const Matrix& data,
+                                  const P3cOptions& options,
+                                  std::vector<RelevantInterval>* intervals =
+                                      nullptr);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_SUBSPACE_P3C_H_

@@ -1,0 +1,101 @@
+#include "subspace/predecon.h"
+
+#include <cmath>
+
+#include "cluster/dbscan.h"
+
+namespace multiclust {
+
+Result<Clustering> RunPredecon(const Matrix& data,
+                               const PredeconOptions& options,
+                               PredeconInfo* info) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("PreDeCon: empty data");
+  }
+  if (options.eps <= 0 || options.delta < 0 || options.kappa < 1 ||
+      options.min_pts == 0) {
+    return Status::InvalidArgument("PreDeCon: invalid parameters");
+  }
+
+  // 1. Full-space eps-neighbourhoods for preference estimation.
+  const std::vector<std::vector<int>> base =
+      EpsNeighborhoods(data, options.eps, {});
+
+  // 2. Per-point preference weights from neighbourhood attribute variance.
+  Matrix weights(n, d, 1.0);
+  std::vector<size_t> pref_dims(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<int>& nb = base[i];
+    if (nb.size() < 2) continue;
+    for (size_t j = 0; j < d; ++j) {
+      double mean = 0.0;
+      for (int q : nb) mean += data.at(q, j);
+      mean /= static_cast<double>(nb.size());
+      double var = 0.0;
+      for (int q : nb) {
+        const double diff = data.at(q, j) - mean;
+        var += diff * diff;
+      }
+      var /= static_cast<double>(nb.size());
+      if (var <= options.delta) {
+        weights.at(i, j) = options.kappa;
+        ++pref_dims[i];
+      }
+    }
+  }
+
+  // 3. Preference-weighted symmetric neighbourhoods: q is in p's weighted
+  // neighbourhood when the *general* preference distance
+  // max(dist_p(p, q), dist_q(q, p)) <= eps.
+  const double eps2 = options.eps * options.eps;
+  auto directed_dist2 = [&](size_t p, size_t q) {
+    const double* a = data.row_data(p);
+    const double* b = data.row_data(q);
+    double s = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      const double diff = a[j] - b[j];
+      s += weights.at(p, j) * diff * diff;
+    }
+    return s;
+  };
+  std::vector<std::vector<int>> weighted(n);
+  for (size_t i = 0; i < n; ++i) weighted[i].push_back(static_cast<int>(i));
+  for (size_t i = 0; i < n; ++i) {
+    // Candidates only from the unweighted neighbourhood (weights >= 1, so
+    // the weighted distance can only grow).
+    for (int q : base[i]) {
+      if (q <= static_cast<int>(i)) continue;
+      const double dist2 =
+          std::max(directed_dist2(i, q), directed_dist2(q, i));
+      if (dist2 <= eps2) {
+        weighted[i].push_back(q);
+        weighted[q].push_back(static_cast<int>(i));
+      }
+    }
+  }
+
+  // 4. Core predicate: weighted neighbourhood size plus the preference
+  // dimensionality cap; non-cores keep their (possibly large) lists but
+  // cannot seed clusters, which DbscanFromNeighbors expresses through the
+  // min_pts threshold — enforce the lambda cap by truncating the lists of
+  // over-preferring points below the core threshold.
+  if (options.max_pref_dims > 0) {
+    for (size_t i = 0; i < n; ++i) {
+      if (pref_dims[i] > options.max_pref_dims &&
+          weighted[i].size() >= options.min_pts) {
+        weighted[i].resize(options.min_pts - 1);
+      }
+    }
+  }
+
+  Clustering result = DbscanFromNeighbors(weighted, options.min_pts);
+  result.algorithm = "predecon";
+  if (info != nullptr) {
+    info->preference_dims = std::move(pref_dims);
+  }
+  return result;
+}
+
+}  // namespace multiclust

@@ -1,0 +1,48 @@
+#ifndef MULTICLUST_SUBSPACE_PREDECON_H_
+#define MULTICLUST_SUBSPACE_PREDECON_H_
+
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "common/result.h"
+
+namespace multiclust {
+
+/// Options for PreDeCon (Böhm et al. 2004a; tutorial slide 66):
+/// density-connected clustering with *local subspace preferences* — each
+/// point prefers the attributes along which its neighbourhood has low
+/// variance, and distances are re-weighted accordingly.
+struct PredeconOptions {
+  /// Neighbourhood radius, both for preference estimation and clustering.
+  double eps = 1.0;
+  /// Variance threshold: attribute j is a preference dimension of p when
+  /// the variance of j over p's eps-neighbourhood is <= delta.
+  double delta = 0.25;
+  /// Weight applied to preference dimensions in the weighted distance
+  /// (kappa >> 1 makes deviations along preferred attributes expensive).
+  double kappa = 100.0;
+  /// Core threshold on the preference-weighted neighbourhood size.
+  size_t min_pts = 5;
+  /// Maximum preference dimensionality of a core point (lambda); points
+  /// preferring more dimensions than this cannot be cores. 0 = no limit.
+  size_t max_pref_dims = 0;
+};
+
+/// Per-run diagnostics.
+struct PredeconInfo {
+  /// Preference dimensionality of each point.
+  std::vector<size_t> preference_dims;
+};
+
+/// PreDeCon: computes each point's subspace preference vector from the
+/// variance structure of its eps-neighbourhood, then runs the DBSCAN
+/// expansion under the preference-weighted (general/symmetric) distance.
+/// Finds axis-parallel subspace clusters with noise labelling, where plain
+/// DBSCAN drowns in irrelevant dimensions.
+Result<Clustering> RunPredecon(const Matrix& data,
+                               const PredeconOptions& options,
+                               PredeconInfo* info = nullptr);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_SUBSPACE_PREDECON_H_

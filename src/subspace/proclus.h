@@ -1,0 +1,47 @@
+#ifndef MULTICLUST_SUBSPACE_PROCLUS_H_
+#define MULTICLUST_SUBSPACE_PROCLUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "common/result.h"
+#include "subspace/subspace_cluster.h"
+
+namespace multiclust {
+
+/// Options for PROCLUS (Aggarwal et al. 1999; tutorial slide 66).
+struct ProclusOptions {
+  size_t k = 3;
+  /// Average number of relevant dimensions per cluster (the paper's l);
+  /// k * l dimensions are distributed over the clusters, at least 2 each.
+  size_t avg_dims = 2;
+  /// Medoid candidate pool size factor (pool = a_factor * k).
+  size_t a_factor = 5;
+  size_t max_iters = 20;
+  uint64_t seed = 1;
+};
+
+/// Full PROCLUS output: a *partitioning* (each object in exactly one
+/// cluster or noise) plus the selected dimensions per cluster. PROCLUS is
+/// the projected-clustering baseline of the tutorial: fast, but by design
+/// it yields only a single clustering solution — objects cannot belong to
+/// clusters in several views.
+struct ProclusResult {
+  Clustering clustering;
+  /// dims[c] = relevant dimensions of cluster c.
+  std::vector<std::vector<size_t>> dims;
+
+  /// View as subspace clusters (for comparison with CLIQUE-family output).
+  SubspaceClustering AsSubspaceClustering() const;
+};
+
+/// Runs PROCLUS: greedy well-separated medoid selection, iterative medoid
+/// refinement with per-medoid locality-based dimension selection, and
+/// Manhattan segmental distance assignment.
+Result<ProclusResult> RunProclus(const Matrix& data,
+                                 const ProclusOptions& options);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_SUBSPACE_PROCLUS_H_

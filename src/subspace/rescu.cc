@@ -1,0 +1,56 @@
+#include "subspace/rescu.h"
+
+#include <algorithm>
+#include <set>
+
+namespace multiclust {
+
+Result<SubspaceClustering> RunRescu(const SubspaceClustering& candidates,
+                                    const RescuOptions& options) {
+  if (options.max_redundancy < 0.0 || options.max_redundancy >= 1.0) {
+    return Status::InvalidArgument("RESCU: max_redundancy must be in [0, 1)");
+  }
+  const LocalInterestFn interest =
+      options.interestingness ? options.interestingness
+                              : DefaultLocalInterest();
+
+  std::vector<char> used(candidates.clusters.size(), 0);
+  std::set<int> covered;
+  SubspaceClustering selected;
+
+  while (true) {
+    // Most interesting candidate that is not redundant w.r.t. coverage.
+    double best_score = 0.0;
+    int best = -1;
+    size_t best_new = 0;
+    for (size_t i = 0; i < candidates.clusters.size(); ++i) {
+      if (used[i]) continue;
+      const SubspaceCluster& c = candidates.clusters[i];
+      if (c.objects.empty()) continue;
+      size_t new_objects = 0;
+      for (int obj : c.objects) {
+        if (covered.find(obj) == covered.end()) ++new_objects;
+      }
+      const double redundancy =
+          1.0 - static_cast<double>(new_objects) /
+                    static_cast<double>(c.objects.size());
+      if (redundancy > options.max_redundancy) continue;
+      if (new_objects < options.min_new_objects) continue;
+      const double score = interest(c);
+      if (best < 0 || score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+        best_new = new_objects;
+      }
+    }
+    if (best < 0 || best_new == 0) break;
+    used[best] = 1;
+    SubspaceCluster kept = candidates.clusters[best];
+    kept.source = "rescu(" + kept.source + ")";
+    for (int obj : kept.objects) covered.insert(obj);
+    selected.clusters.push_back(std::move(kept));
+  }
+  return selected;
+}
+
+}  // namespace multiclust

@@ -1,0 +1,32 @@
+#ifndef MULTICLUST_SUBSPACE_RESCU_H_
+#define MULTICLUST_SUBSPACE_RESCU_H_
+
+#include "common/result.h"
+#include "subspace/osclu.h"
+#include "subspace/subspace_cluster.h"
+
+namespace multiclust {
+
+/// Options for RESCU-style relevance selection (Müller et al. 2009c;
+/// tutorial slide 79).
+struct RescuOptions {
+  /// A candidate is redundant when more than this fraction of its objects
+  /// is already covered by the selected result (in any subspace).
+  double max_redundancy = 0.5;
+  /// Stop when the best remaining candidate adds fewer than this many new
+  /// objects.
+  size_t min_new_objects = 2;
+  LocalInterestFn interestingness;  ///< empty = |O| * |S|
+};
+
+/// RESCU's abstract relevance model: iteratively admit the most interesting
+/// non-redundant cluster — interestingness rewards large, high-dimensional
+/// clusters; redundancy measures object overlap with the running result.
+/// The outcome is a compact relevant clustering M ⊆ ALL that still covers
+/// the data (greedy weighted set cover).
+Result<SubspaceClustering> RunRescu(const SubspaceClustering& candidates,
+                                    const RescuOptions& options);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_SUBSPACE_RESCU_H_

@@ -1,0 +1,46 @@
+#ifndef MULTICLUST_SUBSPACE_RIS_H_
+#define MULTICLUST_SUBSPACE_RIS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace multiclust {
+
+/// Options for RIS — Ranking Interesting Subspaces (Kailing et al. 2003;
+/// tutorial slide 88): density-based subspace *search*, decoupled from the
+/// clustering step.
+struct RisOptions {
+  /// Epsilon of the density predicate (applied in every subspace).
+  double eps = 0.5;
+  /// Core threshold: an object is a core object in subspace S when its
+  /// eps-neighbourhood in S holds at least min_pts objects (incl. itself).
+  size_t min_pts = 5;
+  /// Maximum subspace dimensionality explored (0 = unbounded).
+  size_t max_dims = 3;
+  /// Keep only subspaces with quality above this floor.
+  double min_quality = 0.0;
+};
+
+/// A density-ranked subspace.
+struct RankedSubspace {
+  std::vector<size_t> dims;
+  /// Fraction of objects that are core objects in this subspace.
+  double core_fraction = 0.0;
+  /// Quality: core fraction normalised by the value expected under a
+  /// dimensionality-matched uniform baseline (so higher-dimensional
+  /// subspaces are not penalised for naturally sparser neighbourhoods).
+  double quality = 0.0;
+};
+
+/// RIS: evaluates subspaces bottom-up (monotonicity: a core object in S is
+/// a core object in every subset of S, enabling apriori pruning) and ranks
+/// them by normalised density quality, most interesting first. Any
+/// clusterer can then be run on the top-ranked subspaces.
+Result<std::vector<RankedSubspace>> RunRis(const Matrix& data,
+                                           const RisOptions& options);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_SUBSPACE_RIS_H_

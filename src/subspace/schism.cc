@@ -1,0 +1,36 @@
+#include "subspace/schism.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/tails.h"
+
+namespace multiclust {
+
+std::vector<size_t> SchismSupportThresholds(size_t n, size_t dims, size_t xi,
+                                            double tau) {
+  std::vector<size_t> thresholds(dims + 1, 1);
+  for (size_t s = 1; s <= dims; ++s) {
+    const double frac = SchismThresholdFraction(s, xi, n, tau);
+    thresholds[s] = std::max<size_t>(
+        2, static_cast<size_t>(std::ceil(frac * static_cast<double>(n))));
+  }
+  return thresholds;
+}
+
+Result<SubspaceClustering> RunSchism(const Matrix& data,
+                                     const SchismOptions& options) {
+  if (options.tau <= 0.0 || options.tau >= 1.0) {
+    return Status::InvalidArgument("SCHISM: tau must be in (0, 1)");
+  }
+  MC_ASSIGN_OR_RETURN(Grid grid, Grid::Build(data, options.xi));
+  const std::vector<size_t> thresholds = SchismSupportThresholds(
+      data.rows(), data.cols(), options.xi, options.tau);
+  const std::vector<GridUnit> units =
+      MineDenseUnits(grid, thresholds, options.max_dims);
+  SubspaceClustering result;
+  result.clusters = UnitsToClusters(units, "schism");
+  return result;
+}
+
+}  // namespace multiclust

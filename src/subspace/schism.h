@@ -1,0 +1,37 @@
+#ifndef MULTICLUST_SUBSPACE_SCHISM_H_
+#define MULTICLUST_SUBSPACE_SCHISM_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "subspace/subspace_cluster.h"
+
+namespace multiclust {
+
+/// Options for SCHISM (Sequeira & Zaki 2004; tutorial slides 72-73).
+struct SchismOptions {
+  /// Intervals per dimension.
+  size_t xi = 10;
+  /// Significance level of the Chernoff-Hoeffding bound (smaller = stricter
+  /// threshold).
+  double tau = 0.05;
+  /// Maximum subspace dimensionality to mine (0 = unbounded).
+  size_t max_dims = 0;
+};
+
+/// SCHISM: like CLIQUE but with the dimensionality-adaptive support
+/// threshold tau(s) = (1/xi)^s + sqrt(ln(1/tau) / 2n), which *decreases*
+/// with subspace dimensionality — fixing CLIQUE's blindness to the fact
+/// that density naturally shrinks as dimensions are added.
+Result<SubspaceClustering> RunSchism(const Matrix& data,
+                                     const SchismOptions& options);
+
+/// The per-dimensionality minimum support counts SCHISM uses for `n`
+/// objects (index s = subspace dimensionality; entry 0 unused).
+std::vector<size_t> SchismSupportThresholds(size_t n, size_t dims, size_t xi,
+                                            double tau);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_SUBSPACE_SCHISM_H_

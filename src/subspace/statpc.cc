@@ -1,0 +1,96 @@
+#include "subspace/statpc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "stats/tails.h"
+
+namespace multiclust {
+
+Result<SubspaceClustering> RunStatpc(const Matrix& data,
+                                     const SubspaceClustering& candidates,
+                                     const StatpcOptions& options,
+                                     std::vector<StatpcScore>* scores) {
+  if (options.alpha0 <= 0 || options.alpha0 >= 1) {
+    return Status::InvalidArgument("STATPC: alpha0 must be in (0, 1)");
+  }
+  const size_t n = data.rows();
+  if (n == 0) return Status::InvalidArgument("STATPC: empty data");
+
+  // Per-dimension data ranges for volume fractions.
+  const size_t d = data.cols();
+  std::vector<double> lo(d), hi(d);
+  for (size_t j = 0; j < d; ++j) {
+    lo[j] = hi[j] = data.at(0, j);
+    for (size_t i = 1; i < n; ++i) {
+      lo[j] = std::min(lo[j], data.at(i, j));
+      hi[j] = std::max(hi[j], data.at(i, j));
+    }
+  }
+
+  // Score every candidate: p-value of observing >= support objects in the
+  // candidate's bounding box under a uniform null.
+  const double bonferroni =
+      std::max<double>(1.0, static_cast<double>(candidates.clusters.size()));
+  std::vector<StatpcScore> local_scores;
+  local_scores.reserve(candidates.clusters.size());
+  for (size_t idx = 0; idx < candidates.clusters.size(); ++idx) {
+    const SubspaceCluster& c = candidates.clusters[idx];
+    StatpcScore score;
+    score.candidate_index = idx;
+    if (c.objects.empty() || c.dims.empty()) {
+      local_scores.push_back(score);
+      continue;
+    }
+    // Volume fraction of the cluster's bounding box within its subspace.
+    double vol = 1.0;
+    for (size_t dim : c.dims) {
+      double cl = data.at(c.objects[0], dim);
+      double ch = cl;
+      for (int obj : c.objects) {
+        cl = std::min(cl, data.at(obj, dim));
+        ch = std::max(ch, data.at(obj, dim));
+      }
+      const double range = hi[dim] - lo[dim];
+      double frac = range > 1e-12 ? (ch - cl) / range : 1.0;
+      // A degenerate box still occupies one grid cell's width.
+      frac = std::max(frac, 1.0 / static_cast<double>(options.xi));
+      frac = std::min(frac, 1.0);
+      vol *= frac;
+    }
+    score.p_value = BinomialUpperTail(n, c.objects.size(), vol);
+    score.significant = score.p_value <= options.alpha0 / bonferroni;
+    local_scores.push_back(score);
+  }
+
+  // Greedy selection by ascending p-value; skip explained candidates.
+  std::vector<size_t> order;
+  for (const StatpcScore& s : local_scores) {
+    if (s.significant) order.push_back(s.candidate_index);
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return local_scores[a].p_value < local_scores[b].p_value;
+  });
+
+  SubspaceClustering selected;
+  std::set<int> covered;
+  for (size_t idx : order) {
+    const SubspaceCluster& c = candidates.clusters[idx];
+    size_t already = 0;
+    for (int obj : c.objects) {
+      if (covered.count(obj)) ++already;
+    }
+    const double explained = static_cast<double>(already) /
+                             static_cast<double>(c.objects.size());
+    if (explained >= options.explain_fraction) continue;
+    SubspaceCluster kept = c;
+    kept.source = "statpc(" + c.source + ")";
+    for (int obj : kept.objects) covered.insert(obj);
+    selected.clusters.push_back(std::move(kept));
+  }
+  if (scores != nullptr) *scores = std::move(local_scores);
+  return selected;
+}
+
+}  // namespace multiclust

@@ -1,0 +1,47 @@
+#ifndef MULTICLUST_SUBSPACE_STATPC_H_
+#define MULTICLUST_SUBSPACE_STATPC_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "subspace/subspace_cluster.h"
+
+namespace multiclust {
+
+/// Options for STATPC-style selection (Moise & Sander 2008; tutorial
+/// slide 78).
+struct StatpcOptions {
+  /// Significance level for the per-cluster binomial test (applied with a
+  /// Bonferroni correction over the candidate count).
+  double alpha0 = 1e-3;
+  /// A candidate is "explained" by the current result when at least this
+  /// fraction of its objects is already covered by selected clusters.
+  double explain_fraction = 0.75;
+  /// Grid resolution used to estimate the volume fraction of a cluster's
+  /// bounding box inside its subspace.
+  size_t xi = 10;
+};
+
+/// Per-candidate significance diagnostics.
+struct StatpcScore {
+  size_t candidate_index = 0;
+  double p_value = 1.0;
+  bool significant = false;
+};
+
+/// STATPC-style result selection: (1) keep candidates whose support is
+/// statistically significantly larger than the uniform-data expectation
+/// under a binomial tail test (the expected occupancy of the candidate's
+/// bounding volume in its subspace), Bonferroni-corrected; (2) greedily
+/// select the most significant clusters, skipping any candidate already
+/// *explained* by the selection. The result is a small set of significant,
+/// mutually explanatory-irredundant clusters.
+///
+/// `data` is needed to compute each candidate's bounding volume.
+Result<SubspaceClustering> RunStatpc(const Matrix& data,
+                                     const SubspaceClustering& candidates,
+                                     const StatpcOptions& options,
+                                     std::vector<StatpcScore>* scores = nullptr);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_SUBSPACE_STATPC_H_

@@ -1,0 +1,30 @@
+#ifndef MULTICLUST_SUBSPACE_SUBCLU_H_
+#define MULTICLUST_SUBSPACE_SUBCLU_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "subspace/subspace_cluster.h"
+
+namespace multiclust {
+
+/// Options for SUBCLU (Kailing, Kriegel & Kröger 2004b; tutorial slide 74).
+struct SubcluOptions {
+  double eps = 0.5;
+  size_t min_pts = 5;
+  /// Maximum subspace dimensionality (0 = unbounded).
+  size_t max_dims = 0;
+};
+
+/// SUBCLU: density-connected subspace clustering. Runs DBSCAN in every
+/// 1-dimensional subspace, then generates higher-dimensional candidate
+/// subspaces apriori-style (a k-dim subspace can only contain clusters if
+/// all its (k-1)-dim projections do) and re-runs DBSCAN restricted to the
+/// objects of the best lower-dimensional clustering. Density-based: finds
+/// arbitrarily shaped clusters and labels noise, at higher cost than the
+/// grid methods.
+Result<SubspaceClustering> RunSubclu(const Matrix& data,
+                                     const SubcluOptions& options);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_SUBSPACE_SUBCLU_H_

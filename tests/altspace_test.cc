@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "altspace/cami.h"
+#include "altspace/coala.h"
+#include "altspace/dec_kmeans.h"
+#include "altspace/meta_clustering.h"
+#include "altspace/min_centropy.h"
+#include "data/generators.h"
+#include "metrics/multi_solution.h"
+#include "metrics/partition_similarity.h"
+
+namespace multiclust {
+namespace {
+
+// The slide-26 toy: four blobs on a square, two valid 2-partitions.
+struct Toy {
+  Matrix data;
+  std::vector<int> horizontal;
+  std::vector<int> vertical;
+};
+
+Toy MakeToy(uint64_t seed, size_t per_corner = 30) {
+  auto ds = MakeFourSquares(per_corner, 10.0, 0.8, seed);
+  Toy t;
+  t.data = ds->data();
+  t.horizontal = ds->GroundTruth("horizontal").value();
+  t.vertical = ds->GroundTruth("vertical").value();
+  return t;
+}
+
+TEST(MetaClusteringTest, ProducesRequestedGroups) {
+  const Toy toy = MakeToy(1);
+  MetaClusteringOptions opts;
+  opts.num_base = 20;
+  opts.k = 2;
+  opts.meta_k = 3;
+  opts.seed = 1;
+  auto r = RunMetaClustering(toy.data, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->base.size(), 20u);
+  EXPECT_EQ(r->representatives.size(), 3u);
+  EXPECT_EQ(r->group_of_base.size(), 20u);
+  EXPECT_EQ(r->dissimilarity.rows(), 20u);
+}
+
+TEST(MetaClusteringTest, FindsBothSquareSplits) {
+  const Toy toy = MakeToy(2);
+  MetaClusteringOptions opts;
+  opts.num_base = 40;
+  opts.k = 2;
+  opts.meta_k = 4;
+  opts.feature_weighting = true;
+  opts.seed = 2;
+  auto r = RunMetaClustering(toy.data, opts);
+  ASSERT_TRUE(r.ok());
+  auto match = MatchSolutionsToTruths({toy.horizontal, toy.vertical},
+                                      r->representatives.Labels());
+  ASSERT_TRUE(match.ok());
+  // Diversified generation should surface both alternative partitions.
+  EXPECT_GT(match->mean_recovery, 0.7);
+}
+
+TEST(MetaClusteringTest, RepresentativesMoreDiverseThanBase) {
+  const Toy toy = MakeToy(3);
+  MetaClusteringOptions opts;
+  opts.num_base = 30;
+  opts.k = 2;
+  opts.meta_k = 3;
+  opts.seed = 3;
+  auto r = RunMetaClustering(toy.data, opts);
+  ASSERT_TRUE(r.ok());
+  const double rep_diversity = r->representatives.Diversity().value();
+  std::vector<std::vector<int>> base_labels;
+  for (const auto& c : r->base) base_labels.push_back(c.labels);
+  const double base_diversity =
+      MeanPairwiseDissimilarity(base_labels).value();
+  EXPECT_GE(rep_diversity, base_diversity - 0.05);
+}
+
+TEST(MetaClusteringTest, InvalidOptions) {
+  MetaClusteringOptions opts;
+  opts.num_base = 1;
+  EXPECT_FALSE(RunMetaClustering(Matrix(10, 2), opts).ok());
+  opts.num_base = 10;
+  opts.meta_k = 20;
+  EXPECT_FALSE(RunMetaClustering(Matrix(10, 2), opts).ok());
+}
+
+TEST(CoalaTest, AlternativeDiffersFromGiven) {
+  const Toy toy = MakeToy(4);
+  CoalaOptions opts;
+  opts.k = 2;
+  opts.w = 0.4;
+  CoalaStats stats;
+  auto alt = RunCoala(toy.data, toy.horizontal, opts, &stats);
+  ASSERT_TRUE(alt.ok());
+  EXPECT_EQ(alt->NumClusters(), 2u);
+  // The alternative should be the vertical split (or close to it).
+  EXPECT_GT(AdjustedRandIndex(alt->labels, toy.vertical).value(), 0.8);
+  EXPECT_LT(AdjustedRandIndex(alt->labels, toy.horizontal).value(), 0.2);
+  EXPECT_GT(stats.dissimilarity_merges, 0u);
+}
+
+TEST(CoalaTest, LargeWIgnoresConstraints) {
+  const Toy toy = MakeToy(5);
+  CoalaOptions opts;
+  opts.k = 2;
+  opts.w = 1e6;  // quality merge always wins
+  CoalaStats stats;
+  auto alt = RunCoala(toy.data, toy.horizontal, opts, &stats);
+  ASSERT_TRUE(alt.ok());
+  EXPECT_EQ(stats.dissimilarity_merges, 0u);
+}
+
+TEST(CoalaTest, NoConstraintsBehavesLikeAverageLink) {
+  const Toy toy = MakeToy(6);
+  const std::vector<int> no_constraints(toy.data.rows(), -1);
+  CoalaOptions opts;
+  opts.k = 2;
+  opts.w = 0.5;
+  auto c = RunCoala(toy.data, no_constraints, opts);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->NumClusters(), 2u);
+}
+
+TEST(CoalaTest, InvalidArguments) {
+  CoalaOptions opts;
+  opts.k = 0;
+  EXPECT_FALSE(RunCoala(Matrix(4, 2), {0, 0, 1, 1}, opts).ok());
+  opts.k = 2;
+  EXPECT_FALSE(RunCoala(Matrix(4, 2), {0, 0, 1}, opts).ok());
+  opts.w = 0.0;
+  EXPECT_FALSE(RunCoala(Matrix(4, 2), {0, 0, 1, 1}, opts).ok());
+}
+
+TEST(DecKMeansTest, RecoversBothSquareSplits) {
+  const Toy toy = MakeToy(7, 40);
+  DecKMeansOptions opts;
+  opts.ks = {2, 2};
+  opts.lambda = 4.0;
+  opts.restarts = 5;
+  opts.seed = 7;
+  auto r = RunDecorrelatedKMeans(toy.data, opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->solutions.size(), 2u);
+  auto match = MatchSolutionsToTruths({toy.horizontal, toy.vertical},
+                                      r->solutions.Labels());
+  ASSERT_TRUE(match.ok());
+  EXPECT_GT(match->mean_recovery, 0.8);
+  // The two solutions are strongly dissimilar.
+  EXPECT_GT(r->solutions.Diversity().value(), 0.7);
+}
+
+TEST(DecKMeansTest, ObjectiveNonIncreasing) {
+  const Toy toy = MakeToy(8);
+  DecKMeansOptions opts;
+  opts.ks = {2, 2};
+  opts.lambda = 2.0;
+  opts.restarts = 1;
+  opts.seed = 8;
+  auto r = RunDecorrelatedKMeans(toy.data, opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_GE(r->history.size(), 2u);
+  for (size_t i = 1; i < r->history.size(); ++i) {
+    EXPECT_LE(r->history[i], r->history[i - 1] * 1.001 + 1e-6)
+        << "iteration " << i;
+  }
+}
+
+TEST(DecKMeansTest, SupportsThreeClusterings) {
+  std::vector<ViewSpec> views(3);
+  for (auto& v : views) v = {2, 2, 10.0, 0.8, ""};
+  auto ds = MakeMultiView(150, views, 0, 9);
+  ASSERT_TRUE(ds.ok());
+  DecKMeansOptions opts;
+  opts.ks = {2, 2, 2};
+  opts.lambda = 2.0;
+  opts.restarts = 3;
+  opts.seed = 9;
+  auto r = RunDecorrelatedKMeans(ds->data(), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->solutions.size(), 3u);
+}
+
+TEST(DecKMeansTest, LambdaZeroDegeneratesToKMeansPair) {
+  const Toy toy = MakeToy(10);
+  DecKMeansOptions opts;
+  opts.ks = {2, 2};
+  opts.lambda = 0.0;
+  opts.restarts = 3;
+  opts.seed = 10;
+  auto r = RunDecorrelatedKMeans(toy.data, opts);
+  ASSERT_TRUE(r.ok());
+  // Without the penalty both solutions converge to (near-)duplicates of
+  // the best k-means solution.
+  EXPECT_LT(r->solutions.Diversity().value(), 0.3);
+}
+
+TEST(DecKMeansTest, InvalidOptions) {
+  DecKMeansOptions opts;
+  opts.ks = {2};
+  EXPECT_FALSE(RunDecorrelatedKMeans(Matrix(10, 2), opts).ok());
+  opts.ks = {2, 0};
+  EXPECT_FALSE(RunDecorrelatedKMeans(Matrix(10, 2), opts).ok());
+  opts.ks = {2, 2};
+  opts.lambda = -1;
+  EXPECT_FALSE(RunDecorrelatedKMeans(Matrix(10, 2), opts).ok());
+}
+
+TEST(CamiTest, TwoDissimilarMixtures) {
+  const Toy toy = MakeToy(11, 40);
+  CamiOptions opts;
+  opts.k1 = 2;
+  opts.k2 = 2;
+  opts.mu = 200.0;
+  opts.restarts = 6;
+  opts.seed = 11;
+  auto r = RunCami(toy.data, opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->solutions.size(), 2u);
+  EXPECT_GT(r->solutions.Diversity().value(), 0.5);
+  auto match = MatchSolutionsToTruths({toy.horizontal, toy.vertical},
+                                      r->solutions.Labels());
+  ASSERT_TRUE(match.ok());
+  EXPECT_GT(match->mean_recovery, 0.6);
+}
+
+TEST(CamiTest, OverlapSymmetricAndBounded) {
+  const Toy toy = MakeToy(12);
+  CamiOptions opts;
+  opts.seed = 12;
+  auto r = RunCami(toy.data, opts);
+  ASSERT_TRUE(r.ok());
+  const double o12 = CamiOverlap(r->model1, r->model2);
+  const double o21 = CamiOverlap(r->model2, r->model1);
+  EXPECT_NEAR(o12, o21, 1e-9);
+  EXPECT_GE(o12, 0.0);
+  EXPECT_LE(o12, 1.0 + 1e-9);
+}
+
+TEST(CamiTest, HigherMuLowersOverlap) {
+  const Toy toy = MakeToy(13, 40);
+  CamiOptions weak;
+  weak.mu = 0.0;
+  weak.restarts = 2;
+  weak.seed = 13;
+  CamiOptions strong = weak;
+  strong.mu = 200.0;
+  auto r_weak = RunCami(toy.data, weak);
+  auto r_strong = RunCami(toy.data, strong);
+  ASSERT_TRUE(r_weak.ok() && r_strong.ok());
+  EXPECT_LE(r_strong->overlap, r_weak->overlap + 0.05);
+}
+
+TEST(MinCEntropyTest, AlternativeAvoidsGiven) {
+  const Toy toy = MakeToy(14, 40);
+  MinCEntropyOptions opts;
+  opts.k = 2;
+  opts.lambda = 2.0;
+  opts.seed = 14;
+  auto alt = RunMinCEntropy(toy.data, {toy.horizontal}, opts);
+  ASSERT_TRUE(alt.ok());
+  EXPECT_EQ(alt->NumClusters(), 2u);
+  const double to_given =
+      NormalizedMutualInformation(alt->labels, toy.horizontal).value();
+  const double to_alt =
+      NormalizedMutualInformation(alt->labels, toy.vertical).value();
+  EXPECT_GT(to_alt, to_given);
+  EXPECT_GT(to_alt, 0.6);
+}
+
+TEST(MinCEntropyTest, NoGivenActsAsKernelClustering) {
+  const Toy toy = MakeToy(15);
+  MinCEntropyOptions opts;
+  opts.k = 4;
+  opts.lambda = 1.0;
+  opts.seed = 15;
+  auto c = RunMinCEntropy(toy.data, {}, opts);
+  ASSERT_TRUE(c.ok());
+  EXPECT_GE(c->NumClusters(), 3u);
+}
+
+TEST(MinCEntropyTest, SupportsMultipleGivenClusterings) {
+  const Toy toy = MakeToy(16, 40);
+  MinCEntropyOptions opts;
+  opts.k = 2;
+  opts.lambda = 3.0;
+  opts.seed = 16;
+  auto alt = RunMinCEntropy(toy.data, {toy.horizontal, toy.vertical}, opts);
+  ASSERT_TRUE(alt.ok());
+  // Penalised against both axis splits, the result should align with
+  // neither strongly.
+  EXPECT_LT(
+      NormalizedMutualInformation(alt->labels, toy.horizontal).value(), 0.7);
+  EXPECT_LT(
+      NormalizedMutualInformation(alt->labels, toy.vertical).value(), 0.7);
+}
+
+TEST(MinCEntropyTest, InvalidArguments) {
+  MinCEntropyOptions opts;
+  opts.k = 0;
+  EXPECT_FALSE(RunMinCEntropy(Matrix(4, 2), {}, opts).ok());
+  opts.k = 2;
+  EXPECT_FALSE(RunMinCEntropy(Matrix(4, 2), {{0, 1}}, opts).ok());
+}
+
+}  // namespace
+}  // namespace multiclust

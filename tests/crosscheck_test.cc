@@ -1,0 +1,222 @@
+// Cross-validation suite: quantities that the library computes through two
+// independent code paths must agree. These tests pin the numerical
+// semantics of the measures against each other and against hand
+// enumerations on random inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "altspace/cib.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "linalg/decomposition.h"
+#include "linalg/pca.h"
+#include "metrics/partition_similarity.h"
+#include "stats/contingency.h"
+#include "stats/entropy.h"
+#include "stats/grid.h"
+#include "subspace/rescu.h"
+
+namespace multiclust {
+namespace {
+
+std::vector<int> RandomLabels(size_t n, size_t k, Rng* rng) {
+  std::vector<int> labels(n);
+  for (auto& l : labels) l = static_cast<int>(rng->NextIndex(k));
+  return labels;
+}
+
+// ---------------------------------------------------------------------
+// Pair counts vs. hand enumeration.
+class PairCountCrosscheck : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PairCountCrosscheck, TableMatchesDirectEnumeration) {
+  Rng rng(GetParam());
+  const size_t n = 40;
+  const std::vector<int> a = RandomLabels(n, 3, &rng);
+  const std::vector<int> b = RandomLabels(n, 4, &rng);
+  auto t = ContingencyTable::Build(a, b);
+  ASSERT_TRUE(t.ok());
+  const auto pc = t->pair_counts();
+  double same_both = 0, same_a = 0, same_b = 0, neither = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const bool sa = a[i] == a[j];
+      const bool sb = b[i] == b[j];
+      same_both += sa && sb;
+      same_a += sa && !sb;
+      same_b += !sa && sb;
+      neither += !sa && !sb;
+    }
+  }
+  EXPECT_DOUBLE_EQ(pc.same_both, same_both);
+  EXPECT_DOUBLE_EQ(pc.same_a_only, same_a);
+  EXPECT_DOUBLE_EQ(pc.same_b_only, same_b);
+  EXPECT_DOUBLE_EQ(pc.same_neither, neither);
+  // Rand index from the pair counts equals the library's value.
+  const double rand = (same_both + neither) /
+                      (same_both + same_a + same_b + neither);
+  EXPECT_NEAR(RandIndex(a, b).value(), rand, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PairCountCrosscheck,
+                         ::testing::Range<uint64_t>(1, 7));
+
+// ---------------------------------------------------------------------
+// Label MI vs. count-matrix MI: encoding a labeling as one-hot counts and
+// running the CIB feature-information path must reproduce MutualInformation.
+class MiCrosscheck : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MiCrosscheck, OneHotCountsReproduceLabelMi) {
+  Rng rng(GetParam() * 13);
+  const size_t n = 60;
+  const std::vector<int> a = RandomLabels(n, 3, &rng);
+  const std::vector<int> b = RandomLabels(n, 4, &rng);
+  // counts(i, y) = 1 iff b[i] == y: then I(Y; A) over the count matrix is
+  // exactly the label mutual information I(B; A).
+  Matrix counts(n, 4);
+  for (size_t i = 0; i < n; ++i) counts.at(i, b[i]) = 1.0;
+  EXPECT_NEAR(FeatureInformation(counts, a).value(),
+              MutualInformation(b, a).value(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MiCrosscheck,
+                         ::testing::Range<uint64_t>(1, 7));
+
+// ---------------------------------------------------------------------
+// Grid subspace entropy vs. direct cell counting.
+TEST(GridCrosscheck, SubspaceEntropyMatchesManualCounts) {
+  auto ds = MakeFourSquares(40, 8.0, 0.7, 3);
+  auto grid = Grid::Build(ds->data(), 5);
+  ASSERT_TRUE(grid.ok());
+  // Manual: count (cell0, cell1) pairs.
+  std::map<std::pair<int, int>, size_t> cells;
+  for (size_t i = 0; i < ds->num_objects(); ++i) {
+    ++cells[{grid->CellOf(i, 0), grid->CellOf(i, 1)}];
+  }
+  std::vector<size_t> counts;
+  for (const auto& [key, c] : cells) counts.push_back(c);
+  EXPECT_NEAR(grid->SubspaceEntropy({0, 1}), EntropyFromCounts(counts),
+              1e-12);
+  EXPECT_EQ(grid->NonEmptyCells({0, 1}), cells.size());
+}
+
+// ---------------------------------------------------------------------
+// PCA vs. SVD: principal axes of centred data equal the right singular
+// vectors; eigenvalues equal sigma^2 / (n - 1).
+TEST(PcaSvdCrosscheck, EigenvaluesMatchSingularValues) {
+  Rng rng(7);
+  const size_t n = 50, d = 4;
+  Matrix data(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      data.at(i, j) = rng.Gaussian(0, 1.0 + static_cast<double>(j));
+    }
+  }
+  auto pca = FitPca(data);
+  ASSERT_TRUE(pca.ok());
+  // Centre and decompose.
+  Matrix centred = data;
+  const std::vector<double> mean = RowMean(data);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) centred.at(i, j) -= mean[j];
+  }
+  auto svd = ComputeSvd(centred);
+  ASSERT_TRUE(svd.ok());
+  for (size_t j = 0; j < d; ++j) {
+    EXPECT_NEAR(pca->eigenvalues[j],
+                svd->sigma[j] * svd->sigma[j] / static_cast<double>(n - 1),
+                1e-8);
+    // Axes agree up to sign.
+    double dot = 0;
+    for (size_t i = 0; i < d; ++i) {
+      dot += pca->components.at(i, j) * svd->v.at(i, j);
+    }
+    EXPECT_NEAR(std::fabs(dot), 1.0, 1e-6);
+  }
+}
+
+// ---------------------------------------------------------------------
+// NMI normalisations: consistent ordering min >= sqrt >= sum... actually
+// I/min >= I/sqrt >= I/max and I/sqrt >= I/sum (AM-GM).
+class NmiOrderCrosscheck : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NmiOrderCrosscheck, NormalisationsOrdered) {
+  Rng rng(GetParam() * 29);
+  const size_t n = 50;
+  const std::vector<int> a = RandomLabels(n, 3, &rng);
+  const std::vector<int> b = RandomLabels(n, 5, &rng);
+  const double nmi_min =
+      NormalizedMutualInformation(a, b, NmiNorm::kMin).value();
+  const double nmi_sqrt =
+      NormalizedMutualInformation(a, b, NmiNorm::kSqrt).value();
+  const double nmi_sum =
+      NormalizedMutualInformation(a, b, NmiNorm::kSum).value();
+  const double nmi_max =
+      NormalizedMutualInformation(a, b, NmiNorm::kMax).value();
+  const double nmi_joint =
+      NormalizedMutualInformation(a, b, NmiNorm::kJoint).value();
+  EXPECT_GE(nmi_min, nmi_sqrt - 1e-12);
+  EXPECT_GE(nmi_sqrt, nmi_sum - 1e-12);   // GM >= HM-style ordering
+  EXPECT_GE(nmi_sum, nmi_max - 1e-12);    // AM >= max^-1 ordering
+  EXPECT_GE(nmi_max, nmi_joint - 1e-12);  // H(a,b) >= max(Ha, Hb)
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NmiOrderCrosscheck,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------
+// RESCU coverage is monotone in the redundancy allowance.
+class RescuMonotoneCrosscheck : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RescuMonotoneCrosscheck, LooserRedundancyCoversMore) {
+  Rng rng(GetParam() * 31);
+  // Random overlapping candidate clusters.
+  SubspaceClustering cands;
+  for (int c = 0; c < 12; ++c) {
+    SubspaceCluster sc;
+    sc.dims = {rng.NextIndex(3)};
+    const std::vector<size_t> objs = rng.SampleWithoutReplacement(
+        60, 8 + rng.NextIndex(20));
+    for (size_t o : objs) sc.objects.push_back(static_cast<int>(o));
+    std::sort(sc.objects.begin(), sc.objects.end());
+    sc.source = "synthetic";
+    cands.clusters.push_back(std::move(sc));
+  }
+  size_t prev_selected = 0;
+  for (double redundancy : {0.0, 0.3, 0.6, 0.9}) {
+    RescuOptions opts;
+    opts.max_redundancy = redundancy;
+    opts.min_new_objects = 1;
+    auto r = RunRescu(cands, opts);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GE(r->clusters.size(), prev_selected);
+    prev_selected = r->clusters.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RescuMonotoneCrosscheck,
+                         ::testing::Range<uint64_t>(1, 6));
+
+// ---------------------------------------------------------------------
+// VI equals 2*H(a,b) - H(a) - H(b) (identity via the chain rule).
+class ViIdentityCrosscheck : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ViIdentityCrosscheck, ViFromJointEntropy) {
+  Rng rng(GetParam() * 37);
+  const size_t n = 45;
+  const std::vector<int> a = RandomLabels(n, 4, &rng);
+  const std::vector<int> b = RandomLabels(n, 3, &rng);
+  const double vi = VariationOfInformation(a, b).value();
+  const double hj = JointEntropy(a, b).value();
+  EXPECT_NEAR(vi, 2 * hj - LabelEntropy(a) - LabelEntropy(b), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ViIdentityCrosscheck,
+                         ::testing::Range<uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace multiclust

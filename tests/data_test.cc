@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "data/generators.h"
+
+namespace multiclust {
+namespace {
+
+TEST(DatasetTest, ConstructionAndNames) {
+  Dataset ds(Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}}));
+  EXPECT_EQ(ds.num_objects(), 3u);
+  EXPECT_EQ(ds.num_dims(), 2u);
+  EXPECT_EQ(ds.column_names()[0], "c0");
+  EXPECT_EQ(ds.column_names()[1], "c1");
+}
+
+TEST(DatasetTest, NamedColumns) {
+  Dataset ds(Matrix::FromRows({{1, 2}}), {"x", "y"});
+  EXPECT_EQ(ds.ColumnIndex("y").value(), 1u);
+  EXPECT_FALSE(ds.ColumnIndex("z").ok());
+}
+
+TEST(DatasetTest, GroundTruthRoundTrip) {
+  Dataset ds(Matrix::FromRows({{1}, {2}, {3}}));
+  ASSERT_TRUE(ds.AddGroundTruth("t", {0, 1, 0}).ok());
+  EXPECT_EQ(ds.GroundTruth("t").value(), (std::vector<int>{0, 1, 0}));
+  EXPECT_FALSE(ds.GroundTruth("missing").ok());
+  EXPECT_EQ(ds.GroundTruthNames(), (std::vector<std::string>{"t"}));
+}
+
+TEST(DatasetTest, GroundTruthSizeMismatchRejected) {
+  Dataset ds(Matrix::FromRows({{1}, {2}}));
+  EXPECT_FALSE(ds.AddGroundTruth("bad", {0}).ok());
+}
+
+TEST(DatasetTest, SubspaceDistance) {
+  Dataset ds(Matrix::FromRows({{0, 0, 5}, {3, 4, 5}}));
+  EXPECT_DOUBLE_EQ(ds.SquaredDistance(0, 1), 25.0);
+  EXPECT_DOUBLE_EQ(ds.SubspaceSquaredDistance(0, 1, {0}), 9.0);
+  EXPECT_DOUBLE_EQ(ds.SubspaceSquaredDistance(0, 1, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(ds.SubspaceSquaredDistance(0, 1, {0, 1}), 25.0);
+}
+
+TEST(GeneratorsTest, BlobsShapeAndLabels) {
+  auto ds = MakeBlobs({{{0, 0}, 1.0, 50}, {{10, 10}, 1.0, 30}}, 1);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_objects(), 80u);
+  EXPECT_EQ(ds->num_dims(), 2u);
+  const auto labels = ds->GroundTruth("labels").value();
+  int count1 = 0;
+  for (int l : labels) count1 += (l == 1);
+  EXPECT_EQ(count1, 30);
+}
+
+TEST(GeneratorsTest, BlobsAreSeparated) {
+  auto ds = MakeBlobs({{{0, 0}, 0.5, 40}, {{20, 0}, 0.5, 40}}, 2);
+  ASSERT_TRUE(ds.ok());
+  const auto labels = ds->GroundTruth("labels").value();
+  for (size_t i = 0; i < ds->num_objects(); ++i) {
+    const double x = ds->data().at(i, 0);
+    EXPECT_EQ(labels[i], x > 10 ? 1 : 0) << "object " << i;
+  }
+}
+
+TEST(GeneratorsTest, BlobsRejectInconsistentDims) {
+  EXPECT_FALSE(MakeBlobs({{{0, 0}, 1.0, 5}, {{1}, 1.0, 5}}, 1).ok());
+  EXPECT_FALSE(MakeBlobs({}, 1).ok());
+}
+
+TEST(GeneratorsTest, FourSquaresTruths) {
+  auto ds = MakeFourSquares(25, 10.0, 0.5, 3);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_objects(), 100u);
+  const auto corners = ds->GroundTruth("corners").value();
+  const auto horizontal = ds->GroundTruth("horizontal").value();
+  const auto vertical = ds->GroundTruth("vertical").value();
+  for (size_t i = 0; i < 100; ++i) {
+    // horizontal groups by y sign, vertical by x sign.
+    EXPECT_EQ(horizontal[i], ds->data().at(i, 1) > 0 ? 1 : 0);
+    EXPECT_EQ(vertical[i], ds->data().at(i, 0) > 0 ? 1 : 0);
+    // corner is consistent with both splits.
+    EXPECT_EQ(corners[i] >= 2, horizontal[i] == 1);
+    EXPECT_EQ(corners[i] % 2 == 1, vertical[i] == 1);
+  }
+}
+
+TEST(GeneratorsTest, MultiViewLayout) {
+  std::vector<ViewSpec> views(2);
+  views[0] = {2, 3, 8.0, 0.7, ""};
+  views[1] = {3, 2, 8.0, 0.7, "second"};
+  auto ds = MakeMultiView(120, views, 2, 4);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_objects(), 120u);
+  EXPECT_EQ(ds->num_dims(), 7u);  // 2 + 3 + 2 noise
+  EXPECT_TRUE(ds->GroundTruth("view0").ok());
+  EXPECT_TRUE(ds->GroundTruth("second").ok());
+  EXPECT_EQ(ViewDimensions(views, 0), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(ViewDimensions(views, 1), (std::vector<size_t>{2, 3, 4}));
+}
+
+TEST(GeneratorsTest, MultiViewAssignmentsAreIndependent) {
+  std::vector<ViewSpec> views(2);
+  views[0] = {2, 2, 8.0, 0.7, ""};
+  views[1] = {2, 2, 8.0, 0.7, ""};
+  auto ds = MakeMultiView(400, views, 0, 5);
+  ASSERT_TRUE(ds.ok());
+  const auto a = ds->GroundTruth("view0").value();
+  const auto b = ds->GroundTruth("view1").value();
+  // Count the 2x2 contingency; all four combinations should appear often.
+  int table[2][2] = {{0, 0}, {0, 0}};
+  for (size_t i = 0; i < 400; ++i) ++table[a[i]][b[i]];
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) EXPECT_GT(table[i][j], 40);
+  }
+}
+
+TEST(GeneratorsTest, MultiViewRejectsBadSpecs) {
+  EXPECT_FALSE(MakeMultiView(10, {}, 0, 1).ok());
+  std::vector<ViewSpec> bad(1);
+  bad[0] = {0, 2, 8.0, 1.0, ""};
+  EXPECT_FALSE(MakeMultiView(10, bad, 0, 1).ok());
+}
+
+TEST(GeneratorsTest, UniformCubeInRange) {
+  auto ds = MakeUniformCube(200, 5, 6);
+  ASSERT_TRUE(ds.ok());
+  for (size_t i = 0; i < ds->num_objects(); ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_GE(ds->data().at(i, j), 0.0);
+      EXPECT_LT(ds->data().at(i, j), 1.0);
+    }
+  }
+}
+
+TEST(GeneratorsTest, TwoRingsRadii) {
+  auto ds = MakeTwoRings(100, 1.0, 5.0, 0.05, 7);
+  ASSERT_TRUE(ds.ok());
+  const auto labels = ds->GroundTruth("rings").value();
+  for (size_t i = 0; i < ds->num_objects(); ++i) {
+    const double r = std::sqrt(ds->data().at(i, 0) * ds->data().at(i, 0) +
+                               ds->data().at(i, 1) * ds->data().at(i, 1));
+    if (labels[i] == 0) {
+      EXPECT_LT(r, 3.0);
+    } else {
+      EXPECT_GT(r, 3.0);
+    }
+  }
+}
+
+TEST(GeneratorsTest, TwoRingsRejectsBadRadii) {
+  EXPECT_FALSE(MakeTwoRings(10, 2.0, 1.0, 0.1, 1).ok());
+}
+
+TEST(GeneratorsTest, CustomerScenarioSchema) {
+  auto ds = MakeCustomerScenario(50, 8);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_dims(), 6u);
+  EXPECT_TRUE(ds->ColumnIndex("income").ok());
+  EXPECT_TRUE(ds->ColumnIndex("musicality").ok());
+  EXPECT_TRUE(ds->GroundTruth("professional").ok());
+  EXPECT_TRUE(ds->GroundTruth("leisure").ok());
+}
+
+TEST(GeneratorsTest, GeneExpressionGroupsOverlap) {
+  auto ds = MakeGeneExpression(100, 12, 3, 4.0, 1.0, 9);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_ground_truths(), 3u);
+  // Some gene should belong to at least two groups (multiple roles).
+  const auto g0 = ds->GroundTruth("group0").value();
+  const auto g1 = ds->GroundTruth("group1").value();
+  const auto g2 = ds->GroundTruth("group2").value();
+  bool overlap = false;
+  for (size_t i = 0; i < 100; ++i) {
+    if (g0[i] + g1[i] + g2[i] >= 2) overlap = true;
+  }
+  EXPECT_TRUE(overlap);
+}
+
+TEST(GeneratorsTest, SensorScenarioSchema) {
+  auto ds = MakeSensorScenario(80, 0.2, 10);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_dims(), 4u);
+  EXPECT_TRUE(ds->GroundTruth("temperature").ok());
+  EXPECT_TRUE(ds->GroundTruth("humidity").ok());
+}
+
+TEST(GeneratorsTest, WithNoiseDimsPreservesTruths) {
+  auto base = MakeFourSquares(10, 8.0, 0.5, 11);
+  ASSERT_TRUE(base.ok());
+  auto noisy = WithNoiseDims(*base, 3, 12);
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_EQ(noisy->num_dims(), 5u);
+  EXPECT_EQ(noisy->GroundTruth("corners").value(),
+            base->GroundTruth("corners").value());
+  EXPECT_EQ(noisy->column_names()[4], "noise2");
+}
+
+TEST(GeneratorsTest, DeterministicForSameSeed) {
+  auto a = MakeFourSquares(20, 6.0, 0.5, 99);
+  auto b = MakeFourSquares(20, 6.0, 0.5, 99);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->data().MaxAbsDiff(b->data()), 0.0);
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  auto ds = MakeFourSquares(10, 6.0, 0.5, 13);
+  ASSERT_TRUE(ds.ok());
+  const std::string path = ::testing::TempDir() + "/multiclust_csv_test.csv";
+  ASSERT_TRUE(WriteCsv(*ds, path).ok());
+
+  CsvOptions opts;
+  opts.label_column = "gt:corners";
+  auto back = ReadCsv(path, opts);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_objects(), ds->num_objects());
+  // The labels column was lifted out; the two other gt columns remain as
+  // numeric data.
+  EXPECT_EQ(back->num_dims(), 2u + 3u);
+  EXPECT_EQ(back->GroundTruth("gt:corners").value(),
+            ds->GroundTruth("corners").value());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileError) {
+  CsvOptions opts;
+  auto r = ReadCsv("/nonexistent/nope.csv", opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvTest, MalformedNumberError) {
+  const std::string path = ::testing::TempDir() + "/multiclust_bad.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("a,b\n1,2\n3,oops\n", f);
+  fclose(f);
+  CsvOptions opts;
+  auto r = ReadCsv(path, opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("oops"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, FieldCountMismatchError) {
+  const std::string path = ::testing::TempDir() + "/multiclust_badcount.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("a,b\n1,2\n3\n", f);
+  fclose(f);
+  CsvOptions opts;
+  EXPECT_FALSE(ReadCsv(path, opts).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, LabelColumnNotFound) {
+  const std::string path = ::testing::TempDir() + "/multiclust_nolabel.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("a,b\n1,2\n", f);
+  fclose(f);
+  CsvOptions opts;
+  opts.label_column = "missing";
+  auto r = ReadCsv(path, opts);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace multiclust

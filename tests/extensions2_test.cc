@@ -1,0 +1,317 @@
+// Tests for the second extension wave: ADCO density-profile comparison,
+// conditional ensembles, multi-view spectral clustering, RIS subspace
+// ranking, and the grid spatial index.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "altspace/conditional_ensemble.h"
+#include "cluster/dbscan.h"
+#include "cluster/grid_index.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "metrics/adco.h"
+#include "metrics/partition_similarity.h"
+#include "multiview/mv_spectral.h"
+#include "subspace/ris.h"
+
+namespace multiclust {
+namespace {
+
+// ---------------------------------------------------------------------
+// ADCO.
+TEST(AdcoTest, ProfilesNormalisedPerAttribute) {
+  auto ds = MakeFourSquares(30, 8.0, 0.6, 1);
+  const auto labels = ds->GroundTruth("corners").value();
+  auto profiles = ClusterDensityProfiles(ds->data(), labels, 4);
+  ASSERT_TRUE(profiles.ok());
+  ASSERT_EQ(profiles->rows(), 4u);
+  ASSERT_EQ(profiles->cols(), 2u * 4u);
+  for (size_t c = 0; c < 4; ++c) {
+    for (size_t attr = 0; attr < 2; ++attr) {
+      double sum = 0;
+      for (size_t b = 0; b < 4; ++b) {
+        sum += profiles->at(c, attr * 4 + b);
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(AdcoTest, IdenticalClusteringsScoreOne) {
+  auto ds = MakeFourSquares(30, 8.0, 0.6, 2);
+  const auto labels = ds->GroundTruth("horizontal").value();
+  EXPECT_NEAR(AdcoSimilarity(ds->data(), labels, labels).value(), 1.0,
+              1e-9);
+  EXPECT_NEAR(AdcoDissimilarity(ds->data(), labels, labels).value(), 0.0,
+              1e-9);
+}
+
+TEST(AdcoTest, OrthogonalSplitsAreDissimilar) {
+  auto ds = MakeFourSquares(40, 10.0, 0.6, 3);
+  const auto h = ds->GroundTruth("horizontal").value();
+  const auto v = ds->GroundTruth("vertical").value();
+  const double cross = AdcoSimilarity(ds->data(), h, v).value();
+  EXPECT_LT(cross, 0.8);
+  EXPECT_GT(AdcoDissimilarity(ds->data(), h, v).value(), 0.2);
+}
+
+TEST(AdcoTest, SpatialSensitivityBeyondLabels) {
+  // Two labelings that are *identical as partitions* must have ADCO 1
+  // regardless of label names — and a labeling with the same sizes but
+  // spatially shuffled members must score lower.
+  auto ds = MakeFourSquares(40, 10.0, 0.6, 4);
+  const auto h = ds->GroundTruth("horizontal").value();
+  std::vector<int> renamed(h.size());
+  for (size_t i = 0; i < h.size(); ++i) renamed[i] = 1 - h[i];
+  EXPECT_NEAR(AdcoSimilarity(ds->data(), h, renamed).value(), 1.0, 1e-9);
+
+  Rng rng(4);
+  std::vector<int> shuffled(h.size());
+  for (size_t i = 0; i < h.size(); ++i) {
+    shuffled[i] = static_cast<int>(rng.NextIndex(2));
+  }
+  EXPECT_LT(AdcoSimilarity(ds->data(), h, shuffled).value(),
+            AdcoSimilarity(ds->data(), h, renamed).value());
+}
+
+TEST(AdcoTest, SymmetricWithEqualK) {
+  auto ds = MakeFourSquares(30, 8.0, 0.6, 5);
+  const auto h = ds->GroundTruth("horizontal").value();
+  const auto v = ds->GroundTruth("vertical").value();
+  EXPECT_NEAR(AdcoSimilarity(ds->data(), h, v).value(),
+              AdcoSimilarity(ds->data(), v, h).value(), 1e-9);
+}
+
+TEST(AdcoTest, InvalidInputs) {
+  EXPECT_FALSE(AdcoSimilarity(Matrix(3, 2), {0, 1}, {0, 1, 1}).ok());
+  EXPECT_FALSE(
+      ClusterDensityProfiles(Matrix(2, 2), {0, 1}, 0).ok());
+}
+
+// ---------------------------------------------------------------------
+// Conditional ensembles.
+TEST(ConditionalEnsembleTest, AvoidsGivenFindsAlternative) {
+  auto ds = MakeFourSquares(40, 10.0, 0.8, 6);
+  const auto h = ds->GroundTruth("horizontal").value();
+  const auto v = ds->GroundTruth("vertical").value();
+  ConditionalEnsembleOptions opts;
+  opts.k = 2;
+  opts.ensemble_size = 30;
+  opts.seed = 6;
+  auto r = RunConditionalEnsemble(ds->data(), h, opts);
+  ASSERT_TRUE(r.ok());
+  const double to_given =
+      NormalizedMutualInformation(r->clustering.labels, h).value();
+  const double to_alt =
+      NormalizedMutualInformation(r->clustering.labels, v).value();
+  EXPECT_GT(to_alt, to_given);
+  EXPECT_GT(to_alt, 0.6);
+}
+
+TEST(ConditionalEnsembleTest, WeightsAntiCorrelateWithRedundancy) {
+  auto ds = MakeFourSquares(30, 10.0, 0.8, 7);
+  const auto h = ds->GroundTruth("horizontal").value();
+  ConditionalEnsembleOptions opts;
+  opts.k = 2;
+  opts.ensemble_size = 20;
+  opts.seed = 7;
+  auto r = RunConditionalEnsemble(ds->data(), h, opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->member_redundancy.size(), 20u);
+  for (size_t e = 0; e < 20; ++e) {
+    for (size_t f = 0; f < 20; ++f) {
+      if (r->member_redundancy[e] < r->member_redundancy[f] - 1e-9) {
+        EXPECT_GT(r->member_weight[e], r->member_weight[f] - 1e-12);
+      }
+    }
+  }
+}
+
+TEST(ConditionalEnsembleTest, InvalidInputs) {
+  ConditionalEnsembleOptions opts;
+  EXPECT_FALSE(RunConditionalEnsemble(Matrix(), {}, opts).ok());
+  EXPECT_FALSE(
+      RunConditionalEnsemble(Matrix(4, 2), {0, 0, 1}, opts).ok());
+  opts.ensemble_size = 0;
+  EXPECT_FALSE(
+      RunConditionalEnsemble(Matrix(4, 2), {0, 0, 1, 1}, opts).ok());
+}
+
+// ---------------------------------------------------------------------
+// Multi-view spectral.
+TEST(MvSpectralTest, FusedViewsRecoverSharedStructure) {
+  // Rings in view 1, blobs in view 2, same assignment: either view alone
+  // suffices, the fusion must too.
+  Rng rng(8);
+  const size_t n = 150;
+  Matrix rings(n, 2), blobs(n, 2);
+  std::vector<int> truth(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool outer = rng.NextDouble() < 0.5;
+    truth[i] = outer ? 1 : 0;
+    const double r = (outer ? 6.0 : 2.0) + rng.Gaussian(0, 0.15);
+    const double theta = rng.Uniform(0, 2 * M_PI);
+    rings.at(i, 0) = r * std::cos(theta);
+    rings.at(i, 1) = r * std::sin(theta);
+    blobs.at(i, 0) = rng.Gaussian(outer ? 4.0 : -4.0, 0.8);
+    blobs.at(i, 1) = rng.Gaussian(0, 0.8);
+  }
+  for (const auto fusion : {AffinityFusion::kAverage,
+                            AffinityFusion::kProduct}) {
+    MvSpectralOptions opts;
+    opts.k = 2;
+    opts.gamma = 1.0;
+    opts.fusion = fusion;
+    opts.seed = 8;
+    auto c = RunMvSpectral({rings, blobs}, opts);
+    ASSERT_TRUE(c.ok());
+    EXPECT_GT(AdjustedRandIndex(c->labels, truth).value(), 0.9)
+        << "fusion mode "
+        << (fusion == AffinityFusion::kAverage ? "average" : "product");
+  }
+}
+
+TEST(MvSpectralTest, SingleViewMatchesSpectral) {
+  auto ds = MakeTwoRings(100, 1.5, 6.0, 0.08, 9);
+  MvSpectralOptions opts;
+  opts.k = 2;
+  opts.gamma = 2.0;
+  opts.seed = 9;
+  auto c = RunMvSpectral({ds->data()}, opts);
+  ASSERT_TRUE(c.ok());
+  EXPECT_GT(AdjustedRandIndex(c->labels, ds->GroundTruth("rings").value())
+                .value(),
+            0.9);
+}
+
+TEST(MvSpectralTest, InvalidInputs) {
+  MvSpectralOptions opts;
+  EXPECT_FALSE(RunMvSpectral({}, opts).ok());
+  EXPECT_FALSE(RunMvSpectral({Matrix(3, 1), Matrix(4, 1)}, opts).ok());
+  opts.k = 0;
+  EXPECT_FALSE(RunMvSpectral({Matrix(3, 1)}, opts).ok());
+}
+
+// ---------------------------------------------------------------------
+// RIS.
+TEST(RisTest, RanksStructuredSubspacesFirst) {
+  std::vector<ViewSpec> views(1);
+  views[0] = {2, 3, 10.0, 0.5, ""};
+  auto ds = MakeMultiView(200, views, 2, 10);
+  RisOptions opts;
+  opts.eps = 1.0;
+  opts.min_pts = 5;
+  opts.max_dims = 2;
+  auto r = RunRis(ds->data(), opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_GT(r->size(), 0u);
+  // The top-ranked 2-D subspace should be the planted {0, 1}.
+  for (const RankedSubspace& rs : *r) {
+    if (rs.dims.size() == 2) {
+      EXPECT_EQ(rs.dims, (std::vector<size_t>{0, 1}));
+      break;
+    }
+  }
+}
+
+TEST(RisTest, MonotonicityCoreFractionShrinks) {
+  std::vector<ViewSpec> views(1);
+  views[0] = {3, 2, 10.0, 0.5, ""};
+  auto ds = MakeMultiView(150, views, 0, 11);
+  RisOptions opts;
+  opts.eps = 1.2;
+  opts.min_pts = 5;
+  opts.max_dims = 3;
+  auto r = RunRis(ds->data(), opts);
+  ASSERT_TRUE(r.ok());
+  // For nested subspaces, core fraction can only shrink with more dims.
+  for (const RankedSubspace& a : *r) {
+    for (const RankedSubspace& b : *r) {
+      if (a.dims.size() >= b.dims.size()) continue;
+      if (std::includes(b.dims.begin(), b.dims.end(), a.dims.begin(),
+                        a.dims.end())) {
+        EXPECT_GE(a.core_fraction, b.core_fraction - 1e-12);
+      }
+    }
+  }
+}
+
+TEST(RisTest, InvalidInputs) {
+  RisOptions opts;
+  opts.eps = 0;
+  EXPECT_FALSE(RunRis(Matrix(5, 2), opts).ok());
+  opts.eps = 1;
+  EXPECT_FALSE(RunRis(Matrix(), opts).ok());
+}
+
+// ---------------------------------------------------------------------
+// Grid index.
+TEST(GridIndexTest, MatchesBruteForceNeighborhoods) {
+  auto ds = MakeBlobs({{{0, 0}, 1.0, 100}, {{6, 6}, 1.0, 100}}, 12);
+  const double eps = 0.9;
+  auto indexed = EpsNeighborhoodsIndexed(ds->data(), eps);
+  ASSERT_TRUE(indexed.ok());
+  auto brute = EpsNeighborhoods(ds->data(), eps, {});
+  ASSERT_EQ(indexed->size(), brute.size());
+  for (size_t i = 0; i < brute.size(); ++i) {
+    std::vector<int> a = (*indexed)[i];
+    std::vector<int> b = brute[i];
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "object " << i;
+  }
+}
+
+TEST(GridIndexTest, DbscanIdenticalWithAndWithoutIndex) {
+  auto ds = MakeTwoRings(200, 2.0, 6.0, 0.1, 13);
+  DbscanOptions with_index;
+  with_index.eps = 1.2;
+  with_index.min_pts = 4;
+  with_index.use_index = true;
+  DbscanOptions without = with_index;
+  without.use_index = false;
+  auto a = RunDbscan(ds->data(), with_index);
+  auto b = RunDbscan(ds->data(), without);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NEAR(AdjustedRandIndex(a->labels, b->labels).value(), 1.0, 1e-12);
+  EXPECT_EQ(a->NumClusters(), b->NumClusters());
+}
+
+TEST(GridIndexTest, QueryIncludesSelf) {
+  const Matrix data = Matrix::FromRows({{0, 0}, {10, 10}});
+  auto index = GridIndex::Build(data, 1.0);
+  ASSERT_TRUE(index.ok());
+  const auto nb = index->RangeQuery(0, 1.0);
+  ASSERT_EQ(nb.size(), 1u);
+  EXPECT_EQ(nb[0], 0);
+}
+
+TEST(GridIndexTest, InvalidBuilds) {
+  EXPECT_FALSE(GridIndex::Build(Matrix(), 1.0).ok());
+  EXPECT_FALSE(GridIndex::Build(Matrix(3, 2), 0.0).ok());
+}
+
+class GridIndexProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(GridIndexProperty, ExactForAnyEps) {
+  auto ds = MakeUniformCube(150, 3, 14);
+  const double eps = GetParam();
+  auto indexed = EpsNeighborhoodsIndexed(ds->data(), eps);
+  ASSERT_TRUE(indexed.ok());
+  const auto brute = EpsNeighborhoods(ds->data(), eps, {});
+  for (size_t i = 0; i < brute.size(); ++i) {
+    std::vector<int> a = (*indexed)[i];
+    std::vector<int> b = brute[i];
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    ASSERT_EQ(a, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, GridIndexProperty,
+                         ::testing::Values(0.05, 0.1, 0.25, 0.5));
+
+}  // namespace
+}  // namespace multiclust

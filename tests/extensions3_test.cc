@@ -1,0 +1,303 @@
+// Tests for the third extension wave: standardisation, stability
+// estimation, and PreDeCon.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/dbscan.h"
+#include "cluster/kmeans.h"
+#include "data/generators.h"
+#include "data/standardize.h"
+#include "metrics/partition_similarity.h"
+#include "metrics/stability.h"
+#include "subspace/p3c.h"
+#include "subspace/predecon.h"
+#include "subspace/statpc.h"
+
+namespace multiclust {
+namespace {
+
+// ---------------------------------------------------------------------
+// Standardisation.
+TEST(StandardizeTest, ZScoreMomentsAndRoundTrip) {
+  auto ds = MakeBlobs({{{5, -3}, 2.0, 100}}, 1);
+  auto scaler = FitZScore(ds->data());
+  ASSERT_TRUE(scaler.ok());
+  const Matrix z = scaler->Apply(ds->data());
+  const std::vector<double> mean = RowMean(z);
+  EXPECT_NEAR(mean[0], 0.0, 1e-9);
+  EXPECT_NEAR(mean[1], 0.0, 1e-9);
+  const Matrix cov = Covariance(z);
+  EXPECT_NEAR(cov.at(0, 0), 1.0, 1e-9);
+  EXPECT_NEAR(cov.at(1, 1), 1.0, 1e-9);
+  // Round trip.
+  EXPECT_LT(scaler->Invert(z).MaxAbsDiff(ds->data()), 1e-9);
+}
+
+TEST(StandardizeTest, MinMaxRange) {
+  auto ds = MakeBlobs({{{10, 100}, 3.0, 80}}, 2);
+  auto scaler = FitMinMax(ds->data());
+  ASSERT_TRUE(scaler.ok());
+  const Matrix s = scaler->Apply(ds->data());
+  for (size_t i = 0; i < s.rows(); ++i) {
+    for (size_t j = 0; j < s.cols(); ++j) {
+      EXPECT_GE(s.at(i, j), -1e-12);
+      EXPECT_LE(s.at(i, j), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(StandardizeTest, ConstantColumnHandled) {
+  Matrix data = Matrix::FromRows({{1, 7}, {2, 7}, {3, 7}});
+  auto z = ZScore(data);
+  ASSERT_TRUE(z.ok());
+  // Constant column maps to 0, not NaN.
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(z->at(i, 1), 0.0);
+    EXPECT_TRUE(std::isfinite(z->at(i, 0)));
+  }
+}
+
+TEST(StandardizeTest, EmptyRejected) {
+  EXPECT_FALSE(FitZScore(Matrix()).ok());
+  EXPECT_FALSE(FitMinMax(Matrix()).ok());
+}
+
+TEST(StandardizeTest, ScalingEqualisesDominantView) {
+  // The practical point: z-scoring removes the artificial dominance of a
+  // high-variance view, letting k-means see the weak one.
+  std::vector<ViewSpec> views(2);
+  views[0] = {2, 2, 40.0, 1.0, "dom"};
+  views[1] = {2, 2, 4.0, 0.3, "weak"};
+  auto ds = MakeMultiView(200, views, 0, 3);
+  const auto weak = ds->GroundTruth("weak").value();
+  KMeansOptions km;
+  km.k = 2;
+  km.restarts = 8;
+  km.seed = 3;
+  auto raw = RunKMeans(ds->data(), km);
+  auto scaled_data = ZScore(ds->data());
+  ASSERT_TRUE(scaled_data.ok());
+  auto scaled = RunKMeans(*scaled_data, km);
+  const double raw_weak =
+      NormalizedMutualInformation(raw->labels, weak).value();
+  const double scaled_weak =
+      NormalizedMutualInformation(scaled->labels, weak).value();
+  // After scaling, the weak-but-crisp view (higher relative separation)
+  // becomes visible to the clusterer.
+  EXPECT_GT(scaled_weak, raw_weak);
+}
+
+// ---------------------------------------------------------------------
+// Stability.
+TEST(StabilityTest, RightKIsStabler) {
+  auto ds = MakeBlobs({{{0, 0}, 0.5, 60},
+                       {{8, 0}, 0.5, 60},
+                       {{0, 8}, 0.5, 60}},
+                      4);
+  StabilityOptions opts;
+  opts.rounds = 8;
+  opts.seed = 4;
+  auto k_fn = [](size_t k) {
+    return [k](const Matrix& sub, uint64_t seed) -> Result<std::vector<int>> {
+      KMeansOptions km;
+      km.k = k;
+      km.restarts = 3;
+      km.seed = seed;
+      MC_ASSIGN_OR_RETURN(Clustering c, RunKMeans(sub, km));
+      return c.labels;
+    };
+  };
+  auto right = EvaluateStability(ds->data(), k_fn(3), opts);
+  auto wrong = EvaluateStability(ds->data(), k_fn(5), opts);
+  ASSERT_TRUE(right.ok() && wrong.ok());
+  EXPECT_GT(right->mean_ari, 0.95);
+  EXPECT_GT(right->mean_ari, wrong->mean_ari);
+}
+
+TEST(StabilityTest, SelectKByStabilityFindsPlantedK) {
+  auto ds = MakeBlobs({{{0, 0}, 0.5, 50},
+                       {{9, 0}, 0.5, 50},
+                       {{0, 9}, 0.5, 50}},
+                      5);
+  StabilityOptions opts;
+  opts.rounds = 6;
+  opts.seed = 5;
+  auto k = SelectKByStability(ds->data(), 6, opts);
+  ASSERT_TRUE(k.ok());
+  EXPECT_EQ(*k, 3u);
+}
+
+TEST(StabilityTest, InvalidInputs) {
+  StabilityOptions opts;
+  ClusterFn fn = [](const Matrix& m, uint64_t) -> Result<std::vector<int>> {
+    return std::vector<int>(m.rows(), 0);
+  };
+  EXPECT_FALSE(EvaluateStability(Matrix(2, 1), fn, opts).ok());
+  opts.fraction = 0.0;
+  EXPECT_FALSE(EvaluateStability(Matrix(20, 2), fn, opts).ok());
+  opts.fraction = 0.8;
+  EXPECT_FALSE(EvaluateStability(Matrix(20, 2), nullptr, opts).ok());
+}
+
+TEST(StabilityTest, WrongLabelCountRejected) {
+  StabilityOptions opts;
+  opts.seed = 6;
+  ClusterFn bad = [](const Matrix&, uint64_t) -> Result<std::vector<int>> {
+    return std::vector<int>{0, 1};  // always 2 labels, regardless of rows
+  };
+  auto ds = MakeUniformCube(40, 2, 6);
+  EXPECT_FALSE(EvaluateStability(ds->data(), bad, opts).ok());
+}
+
+// ---------------------------------------------------------------------
+// PreDeCon.
+TEST(PredeconTest, FindsSubspaceClustersUnderNoiseDims) {
+  // Two clusters crisp in dims {0,1}; dims {2,3} are wide uniform noise.
+  std::vector<ViewSpec> views(1);
+  views[0] = {2, 2, 10.0, 0.4, ""};
+  auto ds = MakeMultiView(200, views, 2, 7);
+  const auto truth = ds->GroundTruth("view0").value();
+
+  PredeconOptions opts;
+  opts.eps = 4.0;
+  opts.delta = 1.0;
+  opts.kappa = 25.0;
+  opts.min_pts = 5;
+  PredeconInfo info;
+  auto c = RunPredecon(ds->data(), opts, &info);
+  ASSERT_TRUE(c.ok());
+  ASSERT_GE(c->NumClusters(), 2u);
+  EXPECT_GT(BestMatchAccuracy(truth, c->labels).value(), 0.8);
+  // Points should prefer the two structured dimensions.
+  size_t with_prefs = 0;
+  for (size_t p : info.preference_dims) with_prefs += (p >= 2);
+  EXPECT_GT(with_prefs, ds->num_objects() / 2);
+}
+
+TEST(PredeconTest, BeatsPlainDbscanOnNoisyDims) {
+  std::vector<ViewSpec> views(1);
+  views[0] = {2, 2, 10.0, 0.4, ""};
+  auto ds = MakeMultiView(200, views, 2, 8);
+  const auto truth = ds->GroundTruth("view0").value();
+
+  PredeconOptions po;
+  po.eps = 4.0;
+  po.delta = 1.0;
+  po.kappa = 25.0;
+  po.min_pts = 5;
+  auto pre = RunPredecon(ds->data(), po);
+  ASSERT_TRUE(pre.ok());
+
+  DbscanOptions dbo;
+  dbo.eps = 4.0;
+  dbo.min_pts = 5;
+  auto plain = RunDbscan(ds->data(), dbo);
+  ASSERT_TRUE(plain.ok());
+
+  const double pre_acc = BestMatchAccuracy(truth, pre->labels).value();
+  const double plain_acc = BestMatchAccuracy(truth, plain->labels).value();
+  EXPECT_GT(pre_acc, plain_acc);
+}
+
+TEST(PredeconTest, WeightedNeighborhoodsAreSubsets) {
+  auto ds = MakeUniformCube(80, 3, 9);
+  PredeconOptions opts;
+  opts.eps = 0.3;
+  opts.delta = 0.002;
+  opts.kappa = 50.0;
+  opts.min_pts = 3;
+  auto c = RunPredecon(ds->data(), opts);
+  ASSERT_TRUE(c.ok());
+  // Sanity only: the run completes and labels are well-formed.
+  for (int l : c->labels) EXPECT_GE(l, -1);
+}
+
+TEST(PredeconTest, InvalidParameters) {
+  PredeconOptions opts;
+  opts.eps = 0;
+  EXPECT_FALSE(RunPredecon(Matrix(5, 2), opts).ok());
+  opts.eps = 1;
+  opts.kappa = 0.5;
+  EXPECT_FALSE(RunPredecon(Matrix(5, 2), opts).ok());
+  EXPECT_FALSE(RunPredecon(Matrix(), PredeconOptions()).ok());
+}
+
+// ---------------------------------------------------------------------
+// P3C.
+TEST(P3cTest, FindsRelevantIntervalsOnPlantedData) {
+  std::vector<ViewSpec> views(1);
+  views[0] = {2, 2, 10.0, 0.5, ""};
+  auto ds = MakeMultiView(300, views, 2, 10);
+  P3cOptions opts;
+  opts.xi = 8;
+  opts.max_dims = 2;
+  std::vector<RelevantInterval> intervals;
+  auto r = RunP3c(ds->data(), opts, &intervals);
+  ASSERT_TRUE(r.ok());
+  // Relevant intervals exist in the structured dims {0, 1} and none (or
+  // far fewer) in the uniform noise dims {2, 3}.
+  size_t structured = 0, noisy = 0;
+  for (const auto& iv : intervals) {
+    if (iv.dim < 2) {
+      ++structured;
+    } else {
+      ++noisy;
+    }
+  }
+  EXPECT_GE(structured, 2u);
+  EXPECT_GT(structured, noisy);
+}
+
+TEST(P3cTest, SignaturesMatchPlantedClusters) {
+  std::vector<ViewSpec> views(1);
+  views[0] = {2, 3, 10.0, 0.5, ""};
+  auto ds = MakeMultiView(300, views, 1, 12);
+  P3cOptions opts;
+  opts.xi = 8;
+  opts.max_dims = 2;
+  auto r = RunP3c(ds->data(), opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_GT(r->clusters.size(), 0u);
+  EXPECT_GT(SubspacePairF1(*r, ds->GroundTruth("view0").value()).value(),
+            0.4);
+}
+
+TEST(P3cTest, UniformDataYieldsNothing) {
+  auto ds = MakeUniformCube(300, 3, 12);
+  P3cOptions opts;
+  opts.xi = 6;
+  auto r = RunP3c(ds->data(), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->clusters.size(), 0u);
+}
+
+TEST(P3cTest, CoresFeedStatpcSelection) {
+  // The tutorial's note (slide 78): STATPC builds on the P3C cluster
+  // definition. Feed P3C cores into the STATPC selection end to end.
+  std::vector<ViewSpec> views(2);
+  views[0] = {2, 2, 10.0, 0.5, ""};
+  views[1] = {2, 2, 10.0, 0.5, ""};
+  auto ds = MakeMultiView(300, views, 1, 13);
+  P3cOptions p3c;
+  p3c.xi = 8;
+  p3c.max_dims = 2;
+  auto cores = RunP3c(ds->data(), p3c);
+  ASSERT_TRUE(cores.ok());
+  ASSERT_GT(cores->clusters.size(), 0u);
+  StatpcOptions statpc;
+  auto selected = RunStatpc(ds->data(), *cores, statpc);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_LE(selected->clusters.size(), cores->clusters.size());
+  EXPECT_GT(selected->clusters.size(), 0u);
+}
+
+TEST(P3cTest, InvalidOptions) {
+  P3cOptions opts;
+  opts.alpha = 0.0;
+  EXPECT_FALSE(RunP3c(Matrix(5, 2), opts).ok());
+  EXPECT_FALSE(RunP3c(Matrix(), P3cOptions()).ok());
+}
+
+}  // namespace
+}  // namespace multiclust

@@ -1,0 +1,184 @@
+// End-to-end scenarios exercising generator -> algorithm -> metric
+// pipelines across modules, mirroring the tutorial's application stories.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "altspace/coala.h"
+#include "altspace/dec_kmeans.h"
+#include "cluster/kmeans.h"
+#include "core/objectives.h"
+#include "data/csv.h"
+#include "data/generators.h"
+#include "metrics/multi_solution.h"
+#include "metrics/partition_similarity.h"
+#include "multiview/co_em.h"
+#include "multiview/mv_dbscan.h"
+#include "orthogonal/ortho_projection.h"
+#include "subspace/clique.h"
+#include "subspace/osclu.h"
+
+namespace multiclust {
+namespace {
+
+TEST(IntegrationTest, CustomerScenarioSubspacePipeline) {
+  // The tutorial's slide 14-18 story: customers cluster differently by
+  // professional vs leisure attributes. CLIQUE mines all projections,
+  // OSCLU selects the orthogonal concepts; both planted views must appear.
+  auto ds = MakeCustomerScenario(250, 1);
+  ASSERT_TRUE(ds.ok());
+  CliqueOptions clique;
+  clique.xi = 8;
+  clique.tau = 0.04;
+  clique.max_dims = 3;
+  auto all = RunClique(ds->data(), clique);
+  ASSERT_TRUE(all.ok());
+  OscluOptions osclu;
+  osclu.beta = 0.5;
+  osclu.alpha = 0.4;
+  auto selected = RunOsclu(*all, osclu);
+  ASSERT_TRUE(selected.ok());
+  ASSERT_GT(selected->clusters.size(), 0u);
+  EXPECT_LT(selected->clusters.size(), all->clusters.size());
+
+  const auto professional = ds->GroundTruth("professional").value();
+  const auto leisure = ds->GroundTruth("leisure").value();
+  EXPECT_GT(SubspacePairF1(*selected, professional).value(), 0.2);
+  EXPECT_GT(SubspacePairF1(*selected, leisure).value(), 0.2);
+}
+
+TEST(IntegrationTest, FourSquaresSimultaneousAndIterative) {
+  // Both paradigms recover the two alternative splits of the toy example:
+  // Dec-kMeans simultaneously, COALA iteratively from given knowledge.
+  auto ds = MakeFourSquares(40, 10.0, 0.8, 2);
+  ASSERT_TRUE(ds.ok());
+  const auto horizontal = ds->GroundTruth("horizontal").value();
+  const auto vertical = ds->GroundTruth("vertical").value();
+
+  DecKMeansOptions dk;
+  dk.ks = {2, 2};
+  dk.lambda = 4.0;
+  dk.restarts = 5;
+  dk.seed = 2;
+  auto sim = RunDecorrelatedKMeans(ds->data(), dk);
+  ASSERT_TRUE(sim.ok());
+  auto match = MatchSolutionsToTruths({horizontal, vertical},
+                                      sim->solutions.Labels());
+  EXPECT_GT(match->mean_recovery, 0.8);
+
+  CoalaOptions co;
+  co.k = 2;
+  co.w = 0.4;
+  auto alt = RunCoala(ds->data(), horizontal, co);
+  ASSERT_TRUE(alt.ok());
+  EXPECT_GT(NormalizedMutualInformation(alt->labels, vertical).value(), 0.6);
+}
+
+TEST(IntegrationTest, OrthoProjectionThenObjectiveEvaluation) {
+  // Section-3 pipeline evaluated under the abstract slide-27 objective:
+  // multiple solutions with high Q and high pairwise Diss.
+  std::vector<ViewSpec> views(2);
+  views[0] = {2, 2, 12.0, 0.8, ""};
+  views[1] = {2, 2, 12.0, 0.8, ""};
+  auto ds = MakeMultiView(180, views, 0, 3);
+  ASSERT_TRUE(ds.ok());
+  KMeansOptions km;
+  km.k = 2;
+  km.restarts = 5;
+  km.seed = 3;
+  KMeansClusterer clusterer(km);
+  OrthoProjectionOptions opts;
+  opts.max_views = 2;
+  auto r = RunOrthoProjection(ds->data(), &clusterer, opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->solutions.size(), 2u);
+  auto report = EvaluateObjective(ds->data(), r->solutions,
+                                  NegativeSseQuality(), NmiDissimilarity(),
+                                  1.0);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->mean_dissimilarity, 0.5);
+}
+
+TEST(IntegrationTest, SensorScenarioMultiView) {
+  // Slide-6 story: sensors with temperature and humidity views; co-EM on a
+  // consistent sub-problem and mv-DBSCAN both run end to end.
+  auto ds = MakeSensorScenario(150, 0.1, 4);
+  ASSERT_TRUE(ds.ok());
+  const Matrix temp_view = ds->data().SelectColumns({0, 1});
+  const Matrix hum_view = ds->data().SelectColumns({2, 3});
+
+  MvDbscanOptions mv;
+  mv.eps = {1.5, 1.5};
+  mv.min_pts = 4;
+  mv.combination = ViewCombination::kIntersection;
+  auto joint = RunMvDbscan({temp_view, hum_view}, mv);
+  ASSERT_TRUE(joint.ok());
+
+  // The intersection clustering respects *both* planted groupings: within
+  // a joint cluster, temperature labels and humidity labels are constant,
+  // so NMI against each view is substantial.
+  const auto temperature = ds->GroundTruth("temperature").value();
+  if (joint->NumClusters() >= 2) {
+    EXPECT_GT(
+        NormalizedMutualInformation(joint->labels, temperature).value(),
+        0.3);
+  }
+}
+
+TEST(IntegrationTest, CsvPersistedDatasetReproducesResults) {
+  // Persist a generated dataset, read it back, and verify an algorithm
+  // produces the identical clustering on both copies.
+  auto ds = MakeFourSquares(25, 9.0, 0.6, 5);
+  ASSERT_TRUE(ds.ok());
+  const std::string path =
+      ::testing::TempDir() + "/multiclust_integration.csv";
+  ASSERT_TRUE(WriteCsv(*ds, path).ok());
+  CsvOptions opts;
+  auto back = ReadCsv(path, opts);
+  ASSERT_TRUE(back.ok());
+  const Matrix original = ds->data();
+  const Matrix reread = back->data().SelectColumns({0, 1});
+  EXPECT_LT(original.MaxAbsDiff(reread), 1e-9);
+
+  KMeansOptions km;
+  km.k = 4;
+  km.restarts = 3;
+  km.seed = 5;
+  auto c1 = RunKMeans(original, km);
+  auto c2 = RunKMeans(reread, km);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  EXPECT_EQ(c1->labels, c2->labels);
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, GeneScenarioOverlappingMembership) {
+  // Slide-5 story: genes with multiple functional roles. Subspace mining
+  // must place some gene in clusters of *different* subspaces.
+  auto ds = MakeGeneExpression(150, 10, 3, 5.0, 0.8, 6);
+  ASSERT_TRUE(ds.ok());
+  CliqueOptions clique;
+  clique.xi = 5;
+  clique.tau = 0.1;
+  clique.max_dims = 2;
+  auto r = RunClique(ds->data(), clique);
+  ASSERT_TRUE(r.ok());
+  ASSERT_GT(r->clusters.size(), 1u);
+  // Find a gene clustered under at least two distinct subspaces.
+  bool multi_role = false;
+  for (size_t g = 0; g < 150 && !multi_role; ++g) {
+    std::set<std::vector<size_t>> subspaces;
+    for (const auto& c : r->clusters) {
+      if (std::binary_search(c.objects.begin(), c.objects.end(),
+                             static_cast<int>(g))) {
+        subspaces.insert(c.dims);
+      }
+    }
+    multi_role = subspaces.size() >= 2;
+  }
+  EXPECT_TRUE(multi_role);
+}
+
+}  // namespace
+}  // namespace multiclust

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "cluster/gmm.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "metrics/clustering_quality.h"
+#include "metrics/partition_similarity.h"
+#include "multiview/co_em.h"
+#include "multiview/consensus.h"
+#include "multiview/mv_dbscan.h"
+#include "multiview/random_projection.h"
+
+namespace multiclust {
+namespace {
+
+// Two views agreeing on ONE underlying clustering (the co-training
+// assumption): both views are generated from the same assignment.
+struct ConsistentViews {
+  Matrix view1;
+  Matrix view2;
+  std::vector<int> truth;
+};
+
+ConsistentViews MakeConsistentViews(uint64_t seed, size_t n = 150) {
+  Rng rng(seed);
+  ConsistentViews v;
+  v.view1 = Matrix(n, 2);
+  v.view2 = Matrix(n, 2);
+  v.truth.resize(n);
+  const double centers1[3][2] = {{0, 0}, {8, 0}, {0, 8}};
+  const double centers2[3][2] = {{5, 5}, {-5, 5}, {0, -6}};
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = rng.NextIndex(3);
+    v.truth[i] = static_cast<int>(c);
+    for (size_t j = 0; j < 2; ++j) {
+      v.view1.at(i, j) = rng.Gaussian(centers1[c][j], 0.8);
+      v.view2.at(i, j) = rng.Gaussian(centers2[c][j], 0.8);
+    }
+  }
+  return v;
+}
+
+TEST(LabelAgreementTest, PermutedLabelsAgreeFully) {
+  EXPECT_DOUBLE_EQ(LabelAgreement({0, 0, 1, 1}, {1, 1, 0, 0}).value(), 1.0);
+  EXPECT_NEAR(LabelAgreement({0, 0, 1, 1}, {0, 1, 1, 1}).value(), 0.75,
+              1e-12);
+}
+
+TEST(CoEmTest, RecoversSharedClustering) {
+  const ConsistentViews v = MakeConsistentViews(1);
+  CoEmOptions opts;
+  opts.k = 3;
+  opts.seed = 1;
+  auto r = RunCoEm(v.view1, v.view2, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(AdjustedRandIndex(r->consensus.labels, v.truth).value(), 0.9);
+  EXPECT_GT(r->agreement, 0.9);
+}
+
+TEST(CoEmTest, ViewsConvergeToAgreement) {
+  const ConsistentViews v = MakeConsistentViews(2);
+  CoEmOptions opts;
+  opts.k = 3;
+  opts.seed = 2;
+  auto r = RunCoEm(v.view1, v.view2, opts);
+  ASSERT_TRUE(r.ok());
+  // Per-view hard labelings agree (up to matching).
+  EXPECT_GT(LabelAgreement(r->labels_view1, r->labels_view2).value(), 0.85);
+}
+
+TEST(CoEmTest, TerminatesOnInconsistentViews) {
+  // Independent views: co-EM may oscillate (slide 104); the patience
+  // criterion must still terminate it.
+  std::vector<ViewSpec> views(2);
+  views[0] = {2, 2, 10.0, 0.8, ""};
+  views[1] = {2, 2, 10.0, 0.8, ""};
+  auto ds = MakeMultiView(120, views, 0, 3);
+  ASSERT_TRUE(ds.ok());
+  const Matrix v1 = ds->data().SelectColumns({0, 1});
+  const Matrix v2 = ds->data().SelectColumns({2, 3});
+  CoEmOptions opts;
+  opts.k = 2;
+  opts.max_iters = 40;
+  opts.seed = 3;
+  auto r = RunCoEm(v1, v2, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->iterations, 40u);
+}
+
+TEST(CoEmTest, RejectsUnpairedViews) {
+  CoEmOptions opts;
+  EXPECT_FALSE(RunCoEm(Matrix(3, 2), Matrix(4, 2), opts).ok());
+}
+
+TEST(MvDbscanTest, UnionHelpsSparseViews) {
+  // Each view only sees half of the cluster structure clearly; the union
+  // connects them.
+  const ConsistentViews v = MakeConsistentViews(4, 120);
+  MvDbscanOptions opts;
+  opts.eps = {1.6, 1.6};
+  opts.min_pts = 4;
+  opts.combination = ViewCombination::kUnion;
+  auto r = RunMvDbscan({v.view1, v.view2}, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(AdjustedRandIndex(r->labels, v.truth).value(), 0.8);
+}
+
+TEST(MvDbscanTest, IntersectionIsStricter) {
+  const ConsistentViews v = MakeConsistentViews(5, 120);
+  MvDbscanOptions base;
+  base.eps = {2.0, 2.0};
+  base.min_pts = 4;
+  base.combination = ViewCombination::kUnion;
+  MvDbscanOptions strict = base;
+  strict.combination = ViewCombination::kIntersection;
+  auto r_union = RunMvDbscan({v.view1, v.view2}, base);
+  auto r_inter = RunMvDbscan({v.view1, v.view2}, strict);
+  ASSERT_TRUE(r_union.ok() && r_inter.ok());
+  // Intersection can only shrink neighbourhoods: noise never decreases.
+  EXPECT_GE(NoiseFraction(r_inter->labels),
+            NoiseFraction(r_union->labels) - 1e-12);
+}
+
+TEST(MvDbscanTest, IntersectionPurifiesUnreliableViews) {
+  // Corrupt view2 for some objects; intersection rejects pairs that only
+  // look close in one view.
+  ConsistentViews v = MakeConsistentViews(6, 120);
+  Rng rng(6);
+  for (size_t i = 0; i < 30; ++i) {
+    const size_t idx = rng.NextIndex(120);
+    v.view2.at(idx, 0) += rng.Gaussian(0, 10);
+    v.view2.at(idx, 1) += rng.Gaussian(0, 10);
+  }
+  MvDbscanOptions opts;
+  opts.eps = {1.6, 1.6};
+  opts.min_pts = 4;
+  opts.combination = ViewCombination::kIntersection;
+  auto r = RunMvDbscan({v.view1, v.view2}, opts);
+  ASSERT_TRUE(r.ok());
+  // Clusters found must be pure w.r.t. truth.
+  double purity = BestMatchAccuracy(v.truth, r->labels).value();
+  EXPECT_GT(purity, 0.6);
+}
+
+TEST(MvDbscanTest, SingleViewEqualsPlainDbscan) {
+  const ConsistentViews v = MakeConsistentViews(7, 80);
+  MvDbscanOptions opts;
+  opts.eps = {1.5};
+  opts.min_pts = 4;
+  auto r = RunMvDbscan({v.view1}, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(AdjustedRandIndex(r->labels, v.truth).value(), 0.8);
+}
+
+TEST(MvDbscanTest, InvalidInputs) {
+  MvDbscanOptions opts;
+  EXPECT_FALSE(RunMvDbscan({}, opts).ok());
+  opts.eps = {1.0};
+  EXPECT_FALSE(RunMvDbscan({Matrix(3, 1), Matrix(3, 1)}, opts).ok());
+  opts.eps = {1.0, 1.0};
+  EXPECT_FALSE(RunMvDbscan({Matrix(3, 1), Matrix(4, 1)}, opts).ok());
+}
+
+TEST(RandomProjectionTest, ShapeAndDeterminism) {
+  auto p1 = RandomProjectionMatrix(10, 3, 42);
+  auto p2 = RandomProjectionMatrix(10, 3, 42);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_EQ(p1->rows(), 3u);
+  EXPECT_EQ(p1->cols(), 10u);
+  EXPECT_DOUBLE_EQ(p1->MaxAbsDiff(*p2), 0.0);
+  EXPECT_FALSE(RandomProjectionMatrix(0, 3, 1).ok());
+}
+
+TEST(RandomProjectionTest, ApproximatelyPreservesDistances) {
+  auto ds = MakeUniformCube(50, 40, 8);
+  ASSERT_TRUE(ds.ok());
+  auto proj = RandomProject(ds->data(), 25, 8);
+  ASSERT_TRUE(proj.ok());
+  // Average distortion of pairwise squared distances is bounded.
+  double ratio_sum = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < 20; ++i) {
+    for (size_t j = i + 1; j < 20; ++j) {
+      const double orig = SquaredDistance(ds->data().Row(i),
+                                          ds->data().Row(j));
+      const double red = SquaredDistance(proj->Row(i), proj->Row(j));
+      if (orig > 1e-12) {
+        ratio_sum += red / orig;
+        ++pairs;
+      }
+    }
+  }
+  EXPECT_NEAR(ratio_sum / pairs, 1.0, 0.35);
+}
+
+TEST(ConsensusTest, StabilisesSingleSolution) {
+  auto ds = MakeBlobs({{{0, 0, 0, 0}, 0.7, 50},
+                       {{8, 8, 0, 0}, 0.7, 50},
+                       {{0, 8, 8, 0}, 0.7, 50}},
+                      9);
+  ASSERT_TRUE(ds.ok());
+  ConsensusOptions opts;
+  opts.ensemble_size = 8;
+  opts.projection_dims = 2;
+  opts.k_member = 3;
+  opts.k_final = 3;
+  opts.seed = 9;
+  auto r = RunEnsembleConsensus(ds->data(), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->member_labels.size(), 8u);
+  EXPECT_GT(
+      AdjustedRandIndex(r->consensus.labels, ds->GroundTruth("labels").value())
+          .value(),
+      0.8);
+  EXPECT_GT(r->anmi, 0.3);
+}
+
+TEST(ConsensusTest, CoassociationIsProbability) {
+  auto ds = MakeBlobs({{{0, 0}, 0.5, 30}, {{8, 8}, 0.5, 30}}, 10);
+  ConsensusOptions opts;
+  opts.ensemble_size = 4;
+  opts.projection_dims = 2;
+  opts.k_member = 2;
+  opts.k_final = 2;
+  opts.seed = 10;
+  auto r = RunEnsembleConsensus(ds->data(), opts);
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 0; i < r->coassociation.rows(); ++i) {
+    for (size_t j = 0; j < r->coassociation.cols(); ++j) {
+      EXPECT_GE(r->coassociation.at(i, j), -1e-9);
+      EXPECT_LE(r->coassociation.at(i, j), 1.0 + 1e-9);
+      EXPECT_NEAR(r->coassociation.at(i, j), r->coassociation.at(j, i),
+                  1e-9);
+    }
+  }
+}
+
+TEST(ConsensusTest, AverageNmiHelper) {
+  const std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_NEAR(AverageNmi(labels, {{0, 0, 1, 1}, {1, 1, 0, 0}}).value(), 1.0,
+              1e-9);
+  EXPECT_DOUBLE_EQ(AverageNmi(labels, {}).value(), 0.0);
+}
+
+TEST(ConsensusTest, InvalidOptions) {
+  ConsensusOptions opts;
+  opts.ensemble_size = 0;
+  EXPECT_FALSE(RunEnsembleConsensus(Matrix(10, 3), opts).ok());
+  opts.ensemble_size = 2;
+  opts.k_final = 0;
+  EXPECT_FALSE(RunEnsembleConsensus(Matrix(10, 3), opts).ok());
+}
+
+}  // namespace
+}  // namespace multiclust

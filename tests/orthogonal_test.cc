@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/kmeans.h"
+#include "data/generators.h"
+#include "linalg/decomposition.h"
+#include "metrics/multi_solution.h"
+#include "metrics/partition_similarity.h"
+#include "orthogonal/alt_transform.h"
+#include "orthogonal/metric_learning.h"
+#include "orthogonal/ortho_projection.h"
+#include "orthogonal/residual_transform.h"
+
+namespace multiclust {
+namespace {
+
+// Two-view data: dims {0,1} carry view A (2 clusters), dims {2,3} carry
+// view B (2 clusters), independently assigned.
+struct TwoViewData {
+  Matrix data;
+  std::vector<int> view_a;
+  std::vector<int> view_b;
+};
+
+TwoViewData MakeTwoView(uint64_t seed, size_t n = 160) {
+  std::vector<ViewSpec> views(2);
+  views[0] = {2, 2, 12.0, 0.8, "a"};
+  views[1] = {2, 2, 12.0, 0.8, "b"};
+  auto ds = MakeMultiView(n, views, 0, seed);
+  TwoViewData t;
+  t.data = ds->data();
+  t.view_a = ds->GroundTruth("a").value();
+  t.view_b = ds->GroundTruth("b").value();
+  return t;
+}
+
+TEST(MetricLearningTest, ScatterMatricesDecompose) {
+  auto ds = MakeBlobs({{{0, 0}, 0.5, 50}, {{8, 0}, 0.5, 50}}, 1);
+  ASSERT_TRUE(ds.ok());
+  const auto truth = ds->GroundTruth("labels").value();
+  auto sw = WithinClusterScatter(ds->data(), truth);
+  auto sb = BetweenClusterScatter(ds->data(), truth);
+  ASSERT_TRUE(sw.ok() && sb.ok());
+  // Total scatter = within + between (biased covariance).
+  Matrix total = Covariance(ds->data()) *
+                 (static_cast<double>(ds->num_objects() - 1) /
+                  static_cast<double>(ds->num_objects()));
+  EXPECT_LT((sw.value() + sb.value()).MaxAbsDiff(total), 1e-8);
+  // Separation lives along x: between-scatter dominated by (0, 0) entry.
+  EXPECT_GT(sb->at(0, 0), 10.0);
+  EXPECT_LT(sb->at(1, 1), 1.0);
+}
+
+TEST(MetricLearningTest, WhiteningCollapsesWithinScatter) {
+  auto ds = MakeBlobs({{{0, 0}, 1.0, 60}, {{10, 0}, 1.0, 60}}, 2);
+  const auto truth = ds->GroundTruth("labels").value();
+  auto d = LearnWhiteningTransform(ds->data(), truth);
+  ASSERT_TRUE(d.ok());
+  const Matrix transformed = TransformRows(ds->data(), *d);
+  auto sw = WithinClusterScatter(transformed, truth);
+  ASSERT_TRUE(sw.ok());
+  // Whitened within-scatter ~ identity.
+  EXPECT_LT(sw->MaxAbsDiff(Matrix::Identity(2)), 0.3);
+}
+
+TEST(MetricLearningTest, AllNoiseRejected) {
+  EXPECT_FALSE(
+      WithinClusterScatter(Matrix(3, 2), {-1, -1, -1}).ok());
+}
+
+TEST(InvertStretchTest, TutorialSlide51Example) {
+  // D = [[1.5, -1], [-1, 1]]; the tutorial gives M ≈ [[2, 2], [2, 3]]
+  // (scaled): inverting the singular values swaps stretched and shrunk
+  // directions.
+  const Matrix d = Matrix::FromRows({{1.5, -1.0}, {-1.0, 1.0}});
+  auto m = InvertStretch(d);
+  ASSERT_TRUE(m.ok());
+  // Verify via SVD structure: M must have reciprocal singular values.
+  auto svd_d = ComputeSvd(d);
+  auto svd_m = ComputeSvd(*m);
+  ASSERT_TRUE(svd_d.ok() && svd_m.ok());
+  EXPECT_NEAR(svd_m->sigma[0], 1.0 / svd_d->sigma[1], 1e-9);
+  EXPECT_NEAR(svd_m->sigma[1], 1.0 / svd_d->sigma[0], 1e-9);
+}
+
+TEST(InvertStretchTest, IdentityIsFixedPoint) {
+  auto m = InvertStretch(Matrix::Identity(3));
+  ASSERT_TRUE(m.ok());
+  EXPECT_LT(m->MaxAbsDiff(Matrix::Identity(3)), 1e-9);
+}
+
+TEST(InvertStretchTest, RejectsNonSquare) {
+  EXPECT_FALSE(InvertStretch(Matrix(2, 3)).ok());
+}
+
+TEST(AltTransformTest, FindsAlternativeView) {
+  const TwoViewData t = MakeTwoView(3);
+  KMeansOptions km;
+  km.k = 2;
+  km.restarts = 5;
+  km.seed = 3;
+  KMeansClusterer clusterer(km);
+  auto r = RunAltTransform(t.data, t.view_a, &clusterer);
+  ASSERT_TRUE(r.ok());
+  const double to_given =
+      NormalizedMutualInformation(r->clustering.labels, t.view_a).value();
+  const double to_alternative =
+      NormalizedMutualInformation(r->clustering.labels, t.view_b).value();
+  EXPECT_GT(to_alternative, to_given);
+  EXPECT_GT(to_alternative, 0.6);
+}
+
+TEST(AltTransformTest, NullClustererRejected) {
+  EXPECT_FALSE(RunAltTransform(Matrix(4, 2), {0, 0, 1, 1}, nullptr).ok());
+}
+
+TEST(ResidualTransformTest, ClosedFormFindsAlternative) {
+  const TwoViewData t = MakeTwoView(4);
+  KMeansOptions km;
+  km.k = 2;
+  km.restarts = 5;
+  km.seed = 4;
+  KMeansClusterer clusterer(km);
+  auto r = RunResidualTransform(t.data, t.view_a, &clusterer);
+  ASSERT_TRUE(r.ok());
+  const double to_given =
+      NormalizedMutualInformation(r->clustering.labels, t.view_a).value();
+  const double to_alternative =
+      NormalizedMutualInformation(r->clustering.labels, t.view_b).value();
+  EXPECT_GT(to_alternative, to_given);
+}
+
+TEST(ResidualTransformTest, TransformIsSymmetric) {
+  const TwoViewData t = MakeTwoView(5);
+  auto m = ResidualTransform(t.data, t.view_a);
+  ASSERT_TRUE(m.ok());
+  EXPECT_LT(m->MaxAbsDiff(m->Transpose()), 1e-9);
+}
+
+TEST(ResidualTransformTest, RequiresClusters) {
+  EXPECT_FALSE(
+      ResidualTransform(Matrix(3, 2), {-1, -1, -1}).ok());
+  EXPECT_FALSE(ResidualTransform(Matrix(3, 2), {0, 0}).ok());
+}
+
+TEST(OrthogonalProjectorTest, ProjectorProperties) {
+  // Basis = first two axes of R^4.
+  Matrix a(4, 2);
+  a.at(0, 0) = 1;
+  a.at(1, 1) = 1;
+  auto m = OrthogonalProjector(a);
+  ASSERT_TRUE(m.ok());
+  // Idempotent: M^2 = M.
+  EXPECT_LT((m.value() * m.value()).MaxAbsDiff(*m), 1e-9);
+  // Annihilates the basis: M * A = 0.
+  const Matrix ma = *m * a;
+  EXPECT_LT(ma.FrobeniusNorm(), 1e-9);
+  // Keeps the complement.
+  std::vector<double> e3 = {0, 0, 1, 0};
+  const std::vector<double> kept = m->Apply(e3);
+  EXPECT_NEAR(kept[2], 1.0, 1e-9);
+}
+
+TEST(OrthogonalProjectorTest, RejectsEmptyBasis) {
+  EXPECT_FALSE(OrthogonalProjector(Matrix()).ok());
+}
+
+TEST(OrthoProjectionTest, RecoversBothViews) {
+  const TwoViewData t = MakeTwoView(6, 200);
+  KMeansOptions km;
+  km.k = 2;
+  km.restarts = 5;
+  km.seed = 6;
+  KMeansClusterer clusterer(km);
+  OrthoProjectionOptions opts;
+  opts.max_views = 2;
+  auto r = RunOrthoProjection(t.data, &clusterer, opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->views.size(), 2u);
+  auto match = MatchSolutionsToTruths({t.view_a, t.view_b},
+                                      r->solutions.Labels());
+  ASSERT_TRUE(match.ok());
+  EXPECT_GT(match->mean_recovery, 0.8);
+  // Residual variance decreases across iterations.
+  EXPECT_LT(r->views[1].residual_variance,
+            r->views[0].residual_variance + 1e-9);
+}
+
+TEST(OrthoProjectionTest, StopsWhenVarianceExhausted) {
+  // Effectively 1-D structured data: after removing the first view's
+  // subspace nothing remains.
+  auto ds = MakeBlobs({{{0.0, 0.0}, 0.05, 60}, {{10.0, 0.0}, 0.05, 60}}, 7);
+  KMeansOptions km;
+  km.k = 2;
+  km.seed = 7;
+  KMeansClusterer clusterer(km);
+  OrthoProjectionOptions opts;
+  opts.max_views = 5;
+  opts.min_residual_variance = 0.05;
+  auto r = RunOrthoProjection(ds->data(), &clusterer, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->views.size(), 5u);
+}
+
+TEST(OrthoProjectionTest, NullClustererRejected) {
+  OrthoProjectionOptions opts;
+  EXPECT_FALSE(RunOrthoProjection(Matrix(4, 2), nullptr, opts).ok());
+}
+
+}  // namespace
+}  // namespace multiclust

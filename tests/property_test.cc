@@ -1,0 +1,267 @@
+// Cross-module property tests: parameterised sweeps asserting the
+// invariants the algorithms are built on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/dbscan.h"
+#include "cluster/kmeans.h"
+#include "common/rng.h"
+#include "core/solution_set.h"
+#include "data/generators.h"
+#include "linalg/decomposition.h"
+#include "metrics/partition_similarity.h"
+#include "stats/entropy.h"
+#include "stats/grid.h"
+#include "subspace/clique.h"
+#include "subspace/osclu.h"
+
+namespace multiclust {
+namespace {
+
+// ---------------------------------------------------------------------
+// Information-theoretic identities on random labelings.
+class InfoTheoryProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InfoTheoryProperty, EntropyIdentities) {
+  Rng rng(GetParam());
+  const size_t n = 80;
+  std::vector<int> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<int>(rng.NextIndex(4));
+    b[i] = static_cast<int>(rng.NextIndex(3));
+  }
+  const double ha = LabelEntropy(a);
+  const double hb = LabelEntropy(b);
+  const double mi = MutualInformation(a, b).value();
+  const double hab = JointEntropy(a, b).value();
+  const double ha_given_b = ConditionalEntropy(a, b).value();
+  // 0 <= I <= min(H).
+  EXPECT_GE(mi, -1e-12);
+  EXPECT_LE(mi, std::min(ha, hb) + 1e-9);
+  // H(A,B) = H(A) + H(B) - I(A;B).
+  EXPECT_NEAR(hab, ha + hb - mi, 1e-9);
+  // H(A|B) = H(A) - I(A;B).
+  EXPECT_NEAR(ha_given_b, ha - mi, 1e-9);
+  // H(A,B) <= H(A) + H(B).
+  EXPECT_LE(hab, ha + hb + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InfoTheoryProperty,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------
+// Pair-counting measures: consistency relations on random labelings.
+class PairCountingProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PairCountingProperty, MeasureRelations) {
+  Rng rng(GetParam() * 31);
+  const size_t n = 50;
+  std::vector<int> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<int>(rng.NextIndex(3));
+    b[i] = static_cast<int>(rng.NextIndex(5));
+  }
+  const double jac = JaccardIndex(a, b).value();
+  const double fm = FowlkesMallows(a, b).value();
+  const double f1 = PairF1(a, b).value();
+  // Jaccard <= F1 (harmonic of P/R over the same pair counts).
+  EXPECT_LE(jac, f1 + 1e-12);
+  // F1 <= Fowlkes-Mallows (harmonic <= geometric mean).
+  EXPECT_LE(f1, fm + 1e-12);
+  // Symmetry of all three.
+  EXPECT_NEAR(jac, JaccardIndex(b, a).value(), 1e-12);
+  EXPECT_NEAR(fm, FowlkesMallows(b, a).value(), 1e-12);
+  EXPECT_NEAR(f1, PairF1(b, a).value(), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PairCountingProperty,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------
+// SVD-based transforms behave as exact inverses on random SPD matrices.
+class TransformProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TransformProperty, InverseSqrtWhitens) {
+  Rng rng(GetParam() * 7);
+  const size_t d = 3 + GetParam() % 4;
+  Matrix a(d + 3, d);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < d; ++j) a.at(i, j) = rng.Gaussian(0, 1);
+  }
+  Matrix spd = a.Transpose() * a;
+  for (size_t i = 0; i < d; ++i) spd.at(i, i) += 0.3;
+  auto w = InverseSqrtSymmetric(spd);
+  ASSERT_TRUE(w.ok());
+  EXPECT_LT((*w * spd * *w).MaxAbsDiff(Matrix::Identity(d)), 1e-6);
+  auto s = SqrtSymmetric(spd);
+  ASSERT_TRUE(s.ok());
+  EXPECT_LT((*s * *s).MaxAbsDiff(spd), 1e-6 * (1 + spd.FrobeniusNorm()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformProperty,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------
+// Grid entropy is monotone non-decreasing as dimensions are added, for any
+// data distribution (the downward-closure ENCLUS relies on).
+class GridEntropyProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GridEntropyProperty, MonotoneInDims) {
+  const uint64_t seed = GetParam();
+  auto ds = seed % 2 == 0
+                ? MakeUniformCube(150, 4, seed)
+                : MakeBlobs({{{0, 0, 0, 0}, 1.0, 75},
+                             {{5, 5, 5, 5}, 1.0, 75}},
+                            seed);
+  ASSERT_TRUE(ds.ok());
+  auto grid = Grid::Build(ds->data(), 5);
+  ASSERT_TRUE(grid.ok());
+  double prev = 0.0;
+  std::vector<size_t> dims;
+  for (size_t j = 0; j < 4; ++j) {
+    dims.push_back(j);
+    const double h = grid->SubspaceEntropy(dims);
+    EXPECT_GE(h, prev - 1e-9) << "dims up to " << j;
+    prev = h;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridEntropyProperty,
+                         ::testing::Range<uint64_t>(1, 7));
+
+// ---------------------------------------------------------------------
+// CLIQUE support threshold: raising tau can only shrink the result.
+class CliqueMonotonicityProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(CliqueMonotonicityProperty, StricterTauSmallerResult) {
+  auto ds = MakeFourSquares(40, 8.0, 0.8, 77);
+  ASSERT_TRUE(ds.ok());
+  CliqueOptions loose;
+  loose.xi = 6;
+  loose.tau = GetParam();
+  CliqueOptions strict = loose;
+  strict.tau = GetParam() * 2.0;
+  auto r_loose = RunClique(ds->data(), loose);
+  auto r_strict = RunClique(ds->data(), strict);
+  ASSERT_TRUE(r_loose.ok() && r_strict.ok());
+  EXPECT_LE(r_strict->clusters.size(), r_loose->clusters.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, CliqueMonotonicityProperty,
+                         ::testing::Values(0.01, 0.02, 0.05, 0.1));
+
+// ---------------------------------------------------------------------
+// k-means: optimal SSE is non-increasing in k (checked via restarts).
+class KMeansSseProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KMeansSseProperty, SseNonIncreasingInK) {
+  auto ds = MakeBlobs({{{0, 0}, 1.0, 40},
+                       {{6, 0}, 1.0, 40},
+                       {{0, 6}, 1.0, 40}},
+                      GetParam());
+  ASSERT_TRUE(ds.ok());
+  double prev = 1e300;
+  for (size_t k = 1; k <= 6; ++k) {
+    KMeansOptions opts;
+    opts.k = k;
+    opts.restarts = 8;
+    opts.seed = GetParam();
+    const double sse = RunKMeans(ds->data(), opts)->quality;
+    EXPECT_LE(sse, prev * 1.02 + 1e-9) << "k=" << k;
+    prev = sse;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KMeansSseProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+// ---------------------------------------------------------------------
+// DBSCAN labels are a valid clustering: labels in [-1, k), every non-noise
+// cluster has at least one core point neighbourhood behind it.
+class DbscanValidityProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(DbscanValidityProperty, LabelsWellFormed) {
+  auto ds = MakeFourSquares(30, 8.0, 0.7, 13);
+  ASSERT_TRUE(ds.ok());
+  DbscanOptions opts;
+  opts.eps = GetParam();
+  opts.min_pts = 4;
+  auto c = RunDbscan(ds->data(), opts);
+  ASSERT_TRUE(c.ok());
+  const size_t k = c->NumClusters();
+  std::vector<size_t> sizes(k, 0);
+  for (int l : c->labels) {
+    EXPECT_GE(l, -1);
+    EXPECT_LT(l, static_cast<int>(k));
+    if (l >= 0) ++sizes[l];
+  }
+  // Every cluster contains at least min_pts objects (it holds a core point
+  // whose eps-neighbourhood is fully absorbed).
+  for (size_t s : sizes) EXPECT_GE(s, opts.min_pts);
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, DbscanValidityProperty,
+                         ::testing::Values(0.3, 0.6, 1.0, 2.0, 5.0));
+
+// ---------------------------------------------------------------------
+// OSCLU selection invariant: the selected set is orthogonal — every member
+// keeps alpha-fresh objects against the rest.
+class OscluInvariantProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(OscluInvariantProperty, SelectionIsOrthogonal) {
+  std::vector<ViewSpec> views(2);
+  views[0] = {2, 2, 10.0, 0.6, ""};
+  views[1] = {2, 2, 10.0, 0.6, ""};
+  auto ds = MakeMultiView(150, views, 1, 21);
+  ASSERT_TRUE(ds.ok());
+  CliqueOptions clique;
+  clique.xi = 6;
+  clique.tau = 0.04;
+  clique.max_dims = 2;
+  auto all = RunClique(ds->data(), clique);
+  ASSERT_TRUE(all.ok());
+  OscluOptions opts;
+  opts.beta = 0.5;
+  opts.alpha = GetParam();
+  auto selected = RunOsclu(*all, opts);
+  ASSERT_TRUE(selected.ok());
+  for (size_t i = 0; i < selected->clusters.size(); ++i) {
+    std::vector<SubspaceCluster> others;
+    for (size_t j = 0; j < selected->clusters.size(); ++j) {
+      if (j != i) others.push_back(selected->clusters[j]);
+    }
+    EXPECT_GE(GlobalInterest(selected->clusters[i], others, opts.beta),
+              opts.alpha - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, OscluInvariantProperty,
+                         ::testing::Values(0.2, 0.4, 0.6, 0.8));
+
+// ---------------------------------------------------------------------
+// SolutionSet deduplication is idempotent and order-stable.
+class DedupProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DedupProperty, Idempotent) {
+  Rng rng(GetParam());
+  SolutionSet set;
+  for (int s = 0; s < 6; ++s) {
+    Clustering c;
+    c.labels.resize(40);
+    for (auto& l : c.labels) l = static_cast<int>(rng.NextIndex(3));
+    ASSERT_TRUE(set.Add(std::move(c)).ok());
+  }
+  const size_t removed_first = set.Deduplicate(0.3).value();
+  const size_t removed_second = set.Deduplicate(0.3).value();
+  EXPECT_EQ(removed_second, 0u);
+  EXPECT_LE(removed_first, 6u);
+  // All surviving pairs are at least 0.3 apart.
+  EXPECT_TRUE(set.size() < 2 || set.MinDiversity().value() >= 0.3 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DedupProperty,
+                         ::testing::Values(3, 5, 8, 13));
+
+}  // namespace
+}  // namespace multiclust
