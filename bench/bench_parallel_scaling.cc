@@ -1,0 +1,132 @@
+// P1: thread-pool scaling of the hot kernels (see DESIGN.md "Threading
+// model"). For each kernel, reports wall time and speedup at 1/2/4/8
+// threads plus a bit-identity check against the 1-thread result — the
+// determinism guarantee is half the point of the pool design.
+//
+// Expected shape on multicore hardware: near-linear scaling for the
+// k-means assignment and matmul kernels (>= 2.5x at 4 threads), somewhat
+// less for the affinity matrix (upper-triangle imbalance) and the
+// brute-force neighbourhood scan (the parallel path gives up the symmetry
+// halving). On a single-core host every speedup is ~1.0 and only the
+// "identical" column is informative.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "cluster/dbscan.h"
+#include "cluster/kmeans.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "linalg/matrix.h"
+#include "stats/hsic.h"
+
+using namespace multiclust;
+
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) m.at(i, j) = rng.Gaussian(0, 1);
+  }
+  return m;
+}
+
+double Checksum(const Matrix& m) {
+  double s = 0.0;
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < m.cols(); ++j) s += m.at(i, j) * (1.0 + j % 7);
+  }
+  return s;
+}
+
+struct Kernel {
+  const char* name;
+  // Runs the kernel once and returns a checksum of its result.
+  double (*run)();
+};
+
+// n = 20k points, d = 16, k = 8: dominated by the parallel assignment step.
+double KMeansKernel() {
+  static const Matrix data = RandomMatrix(20000, 16, 11);
+  KMeansOptions opts;
+  opts.k = 8;
+  opts.restarts = 1;
+  opts.max_iters = 12;
+  opts.seed = 3;
+  const Clustering c = RunKMeans(data, opts).value();
+  double s = c.quality;
+  for (size_t i = 0; i < c.labels.size(); ++i) s += c.labels[i] * 1e-6;
+  return s;
+}
+
+// (20000 x 48) * (48 x 48): the parallel Matrix::operator* row loop.
+double MatmulKernel() {
+  static const Matrix a = RandomMatrix(20000, 48, 12);
+  static const Matrix b = RandomMatrix(48, 48, 13);
+  return Checksum(a * b);
+}
+
+// 3000 x 3000 Gaussian affinity matrix (spectral/HSIC substrate).
+double AffinityKernel() {
+  static const Matrix data = RandomMatrix(3000, 8, 14);
+  return Checksum(GaussianKernelMatrix(data, 0.5));
+}
+
+// Brute-force eps-neighbourhoods over 6000 points.
+double NeighborhoodKernel() {
+  static const Matrix data = RandomMatrix(6000, 8, 15);
+  const auto neighbors = EpsNeighborhoods(data, 2.5, {});
+  double s = 0.0;
+  for (const auto& list : neighbors) s += static_cast<double>(list.size());
+  return s;
+}
+
+double TimeIt(double (*fn)(), double* checksum) {
+  using clock = std::chrono::steady_clock;
+  *checksum = fn();  // warm-up run also produces the checksum
+  const auto start = clock::now();
+  const int reps = 3;
+  for (int r = 0; r < reps; ++r) fn();
+  const std::chrono::duration<double, std::milli> elapsed =
+      clock::now() - start;
+  return elapsed.count() / reps;
+}
+
+}  // namespace
+
+int main() {
+  const Kernel kernels[] = {
+      {"kmeans-assign(n=20k,d=16,k=8)", KMeansKernel},
+      {"matmul(20k x 48 * 48 x 48)", MatmulKernel},
+      {"affinity(n=3000)", AffinityKernel},
+      {"eps-neighbors(n=6000)", NeighborhoodKernel},
+  };
+  const size_t thread_counts[] = {1, 2, 4, 8};
+
+  std::printf("P1: parallel scaling (host reports %zu hardware threads)\n\n",
+              HardwareConcurrency());
+  std::printf("%-32s %8s %10s %9s %10s\n", "kernel", "threads", "ms/iter",
+              "speedup", "identical");
+  for (const Kernel& kernel : kernels) {
+    double base_ms = 0.0, base_sum = 0.0;
+    for (const size_t threads : thread_counts) {
+      SetThreadCount(threads);
+      double sum = 0.0;
+      const double ms = TimeIt(kernel.run, &sum);
+      if (threads == 1) {
+        base_ms = ms;
+        base_sum = sum;
+      }
+      std::printf("%-32s %8zu %10.2f %8.2fx %10s\n", kernel.name, threads,
+                  ms, base_ms / ms, sum == base_sum ? "yes" : "NO");
+    }
+    std::printf("\n");
+  }
+  SetThreadCount(0);
+  std::printf("expected shape: kmeans/matmul >= 2.5x at 4 threads on >= 4\n"
+              "cores; all kernels bit-identical at every thread count.\n");
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "cluster/grid_index.h"
+#include "common/parallel.h"
 
 namespace multiclust {
 
@@ -15,6 +16,31 @@ std::vector<std::vector<int>> EpsNeighborhoods(
   if (use_dims.empty()) {
     use_dims.resize(data.cols());
     for (size_t j = 0; j < data.cols(); ++j) use_dims[j] = j;
+  }
+  if (ThreadCount() > 2) {
+    // Parallel path: each row scans all n candidates independently (the
+    // serial path halves the arithmetic via symmetry, which a parallel
+    // version cannot exploit without write races) — roughly 2x the
+    // arithmetic for n-way parallelism, so it only pays off beyond 2
+    // threads. Both paths emit each neighbour list in ascending id order,
+    // and (a-b)^2 == (b-a)^2 exactly in IEEE arithmetic, so the lists are
+    // bit-identical across paths and thread counts.
+    ParallelFor(0, n, 64, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        const double* a = data.row_data(i);
+        for (size_t j = 0; j < n; ++j) {
+          double s = 0.0;
+          const double* b = data.row_data(j);
+          for (size_t d : use_dims) {
+            const double diff = a[d] - b[d];
+            s += diff * diff;
+            if (s > eps2) break;
+          }
+          if (s <= eps2) neighbors[i].push_back(static_cast<int>(j));
+        }
+      }
+    });
+    return neighbors;
   }
   for (size_t i = 0; i < n; ++i) {
     neighbors[i].push_back(static_cast<int>(i));

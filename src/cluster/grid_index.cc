@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace multiclust {
 
 std::vector<int32_t> GridIndex::CellCoords(size_t i) const {
@@ -86,9 +88,13 @@ Result<std::vector<std::vector<int>>> EpsNeighborhoodsIndexed(
   }
   MC_ASSIGN_OR_RETURN(GridIndex index, GridIndex::Build(data, eps));
   std::vector<std::vector<int>> neighbors(data.rows());
-  for (size_t i = 0; i < data.rows(); ++i) {
-    neighbors[i] = index.RangeQuery(i, eps);
-  }
+  // Range queries only read the index, and each point's list is written by
+  // exactly one chunk, so the result matches the serial scan exactly.
+  ParallelFor(0, data.rows(), 32, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      neighbors[i] = index.RangeQuery(i, eps);
+    }
+  });
   return neighbors;
 }
 

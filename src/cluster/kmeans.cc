@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace multiclust {
@@ -22,23 +23,40 @@ double RowCenterDist2(const Matrix& data, size_t i, const Matrix& centers,
   return s;
 }
 
+// Per-row squared norms ||x_i||^2 (for the norm-form assignment step).
+std::vector<double> RowSquaredNorms(const Matrix& m) {
+  std::vector<double> norms(m.rows());
+  ParallelFor(0, m.rows(), 1024, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const double* row = m.row_data(i);
+      double s = 0.0;
+      for (size_t j = 0; j < m.cols(); ++j) s += row[j] * row[j];
+      norms[i] = s;
+    }
+  });
+  return norms;
+}
+
 Matrix InitCenters(const Matrix& data, size_t k, bool plus_plus, Rng* rng) {
   const size_t n = data.rows();
   Matrix centers(k, data.cols());
   if (!plus_plus) {
     const std::vector<size_t> picks = rng->SampleWithoutReplacement(n, k);
-    for (size_t c = 0; c < k; ++c) centers.SetRow(c, data.Row(picks[c]));
+    for (size_t c = 0; c < k; ++c) centers.CopyRowFrom(data, picks[c], c);
     return centers;
   }
-  // k-means++: first centre uniform, then proportional to D^2.
-  centers.SetRow(0, data.Row(rng->NextIndex(n)));
+  // k-means++: first centre uniform, then proportional to D^2. The D^2
+  // updates against the latest centre are independent per point, so they
+  // parallelize without affecting the sampled sequence.
+  centers.CopyRowFrom(data, rng->NextIndex(n), 0);
   std::vector<double> d2(n, std::numeric_limits<double>::infinity());
   for (size_t c = 1; c < k; ++c) {
-    for (size_t i = 0; i < n; ++i) {
-      d2[i] = std::min(d2[i], RowCenterDist2(data, i, centers, c - 1));
-    }
-    const size_t pick = rng->Categorical(d2);
-    centers.SetRow(c, data.Row(pick));
+    ParallelFor(0, n, 512, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        d2[i] = std::min(d2[i], RowCenterDist2(data, i, centers, c - 1));
+      }
+    });
+    centers.CopyRowFrom(data, rng->Categorical(d2), c);
   }
   return centers;
 }
@@ -56,21 +74,31 @@ LloydResult RunLloyd(const Matrix& data, size_t k, size_t max_iters,
   LloydResult r;
   r.centers = InitCenters(data, k, plus_plus, rng);
   r.labels.assign(n, 0);
+  const std::vector<double> x_norms = RowSquaredNorms(data);
 
   for (size_t iter = 0; iter < max_iters; ++iter) {
-    // Assignment step.
-    for (size_t i = 0; i < n; ++i) {
-      double best = std::numeric_limits<double>::infinity();
-      int best_c = 0;
-      for (size_t c = 0; c < k; ++c) {
-        const double dist = RowCenterDist2(data, i, r.centers, c);
-        if (dist < best) {
-          best = dist;
-          best_c = static_cast<int>(c);
+    // Assignment step in the norm form ||x||^2 - 2 x.c + ||c||^2: the
+    // inner loop is a plain dot product. Labels are written per point, so
+    // the step is bit-identical for any thread count.
+    const std::vector<double> c_norms = RowSquaredNorms(r.centers);
+    ParallelFor(0, n, 256, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        const double* row = data.row_data(i);
+        double best = std::numeric_limits<double>::infinity();
+        int best_c = 0;
+        for (size_t c = 0; c < k; ++c) {
+          const double* ctr = r.centers.row_data(c);
+          double dot = 0.0;
+          for (size_t j = 0; j < d; ++j) dot += row[j] * ctr[j];
+          const double dist = x_norms[i] - 2.0 * dot + c_norms[c];
+          if (dist < best) {
+            best = dist;
+            best_c = static_cast<int>(c);
+          }
         }
+        r.labels[i] = best_c;
       }
-      r.labels[i] = best_c;
-    }
+    });
     // Update step.
     Matrix next(k, d);
     std::vector<size_t> counts(k, 0);
@@ -83,7 +111,7 @@ LloydResult RunLloyd(const Matrix& data, size_t k, size_t max_iters,
     for (size_t c = 0; c < k; ++c) {
       if (counts[c] == 0) {
         // Re-seed an empty cluster at a random object.
-        next.SetRow(c, data.Row(rng->NextIndex(n)));
+        next.CopyRowFrom(data, rng->NextIndex(n), c);
         continue;
       }
       double* ctr = next.row_data(c);
@@ -94,10 +122,18 @@ LloydResult RunLloyd(const Matrix& data, size_t k, size_t max_iters,
     if (shift <= tol) break;
   }
 
-  r.sse = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    r.sse += RowCenterDist2(data, i, r.centers, r.labels[i]);
-  }
+  // Exact-form SSE via deterministic chunked reduction (fixed grain), so
+  // the objective is bit-identical for any thread count.
+  r.sse = ParallelReduce(
+      0, n, 1024, 0.0,
+      [&](size_t lo, size_t hi) {
+        double s = 0.0;
+        for (size_t i = lo; i < hi; ++i) {
+          s += RowCenterDist2(data, i, r.centers, r.labels[i]);
+        }
+        return s;
+      },
+      [](double a, double b) { return a + b; });
   return r;
 }
 

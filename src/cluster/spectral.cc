@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "cluster/kmeans.h"
+#include "common/parallel.h"
 #include "linalg/decomposition.h"
 #include "stats/hsic.h"
 
@@ -22,17 +23,21 @@ Result<Clustering> RunSpectral(const Matrix& data,
   // Normalised affinity D^{-1/2} W D^{-1/2}; its top-k eigenvectors equal
   // the bottom-k of the normalised Laplacian.
   std::vector<double> inv_sqrt_deg(n, 0.0);
-  for (size_t i = 0; i < n; ++i) {
-    double deg = 0.0;
-    for (size_t j = 0; j < n; ++j) deg += w.at(i, j);
-    inv_sqrt_deg[i] = deg > 1e-12 ? 1.0 / std::sqrt(deg) : 0.0;
-  }
-  Matrix norm(n, n);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < n; ++j) {
-      norm.at(i, j) = inv_sqrt_deg[i] * w.at(i, j) * inv_sqrt_deg[j];
+  ParallelFor(0, n, 128, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      double deg = 0.0;
+      for (size_t j = 0; j < n; ++j) deg += w.at(i, j);
+      inv_sqrt_deg[i] = deg > 1e-12 ? 1.0 / std::sqrt(deg) : 0.0;
     }
-  }
+  });
+  Matrix norm(n, n);
+  ParallelFor(0, n, 128, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        norm.at(i, j) = inv_sqrt_deg[i] * w.at(i, j) * inv_sqrt_deg[j];
+      }
+    }
+  });
 
   MC_ASSIGN_OR_RETURN(SymmetricEigen eig, EigenSymmetric(norm));
 

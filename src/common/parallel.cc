@@ -1,0 +1,229 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace multiclust {
+
+namespace {
+
+// Set while a thread executes chunks, so nested parallel calls run inline
+// instead of deadlocking on the single in-flight job slot.
+thread_local bool tls_in_parallel_region = false;
+
+// MULTICLUST_THREADS; 0 when unset or malformed.
+size_t EnvThreadCount() {
+  const char* env = std::getenv("MULTICLUST_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < 1) return 0;
+  return static_cast<size_t>(v);
+}
+
+// Lazily started worker pool. One job runs at a time (`run_mu_`); workers
+// and the caller pull chunk indices from a shared atomic counter, so load
+// balances dynamically while chunk *boundaries* stay fixed. The job is
+// heap-allocated and shared, so a worker that observes it late (after the
+// caller already returned) only touches the counters, never freed memory.
+class Pool {
+ public:
+  static Pool& Instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  size_t Resolved() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ResolvedLocked();
+  }
+
+  void SetExplicit(size_t count) {
+    std::lock_guard<std::mutex> run_lock(run_mu_);
+    StopWorkers();  // respawned lazily at the next parallel call
+    std::lock_guard<std::mutex> lock(mu_);
+    explicit_count_ = count;
+  }
+
+  void Run(size_t num_chunks, const std::function<void(size_t)>& fn) {
+    if (num_chunks == 0) return;
+    if (tls_in_parallel_region) {
+      for (size_t c = 0; c < num_chunks; ++c) fn(c);
+      return;
+    }
+    const size_t threads = Resolved();
+    if (threads <= 1 || num_chunks <= 1) {
+      tls_in_parallel_region = true;
+      try {
+        for (size_t c = 0; c < num_chunks; ++c) fn(c);
+      } catch (...) {
+        tls_in_parallel_region = false;
+        throw;
+      }
+      tls_in_parallel_region = false;
+      return;
+    }
+
+    std::lock_guard<std::mutex> run_lock(run_mu_);
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->total = num_chunks;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      EnsureWorkersLocked(threads - 1);
+      job_ = job;
+      ++job_epoch_;
+    }
+    cv_.notify_all();
+    WorkOn(*job);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [&] { return job->completed.load() == job->total; });
+      job_.reset();
+    }
+    if (job->error) std::rethrow_exception(job->error);
+  }
+
+  ~Pool() {
+    std::lock_guard<std::mutex> run_lock(run_mu_);
+    StopWorkers();
+  }
+
+ private:
+  struct Job {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t total = 0;
+    std::atomic<size_t> claimed{0};
+    std::atomic<size_t> completed{0};
+    std::mutex err_mu;
+    std::exception_ptr error;
+  };
+
+  size_t ResolvedLocked() {
+    if (!env_checked_) {
+      env_count_ = EnvThreadCount();
+      env_checked_ = true;
+    }
+    size_t count = explicit_count_ != 0 ? explicit_count_ : env_count_;
+    if (count == 0) count = HardwareConcurrency();
+    return count == 0 ? 1 : count;
+  }
+
+  void EnsureWorkersLocked(size_t desired) {
+    while (workers_.size() < desired) {
+      workers_.emplace_back([this, epoch = job_epoch_] { WorkerLoop(epoch); });
+    }
+  }
+
+  void StopWorkers() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+    workers_.clear();
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = false;
+  }
+
+  void WorkerLoop(uint64_t seen_epoch) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_.wait(lock, [&] { return stop_ || job_epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = job_epoch_;
+      std::shared_ptr<Job> job = job_;
+      if (!job) continue;
+      lock.unlock();
+      WorkOn(*job);
+      lock.lock();
+    }
+  }
+
+  void WorkOn(Job& job) {
+    tls_in_parallel_region = true;
+    for (;;) {
+      const size_t c = job.claimed.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job.total) break;
+      try {
+        (*job.fn)(c);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job.err_mu);
+        if (!job.error) job.error = std::current_exception();
+      }
+      const size_t done =
+          job.completed.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (done == job.total) {
+        std::lock_guard<std::mutex> lock(mu_);
+        done_cv_.notify_all();
+      }
+    }
+    tls_in_parallel_region = false;
+  }
+
+  std::mutex run_mu_;  // serializes jobs and pool reconfiguration
+  std::mutex mu_;      // guards everything below
+  std::condition_variable cv_;       // workers: new job / stop
+  std::condition_variable done_cv_;  // caller: job complete
+  std::vector<std::thread> workers_;
+  std::shared_ptr<Job> job_;
+  uint64_t job_epoch_ = 0;
+  bool stop_ = false;
+  size_t explicit_count_ = 0;
+  size_t env_count_ = 0;
+  bool env_checked_ = false;
+};
+
+}  // namespace
+
+size_t HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+void SetThreadCount(size_t count) { Pool::Instance().SetExplicit(count); }
+
+size_t ThreadCount() { return Pool::Instance().Resolved(); }
+
+namespace internal {
+
+void RunChunks(size_t num_chunks,
+               const std::function<void(size_t)>& chunk_fn) {
+  Pool::Instance().Run(num_chunks, chunk_fn);
+}
+
+size_t ResolveGrain(size_t begin, size_t end, size_t grain) {
+  if (grain > 0) return grain;
+  const size_t range = end > begin ? end - begin : 0;
+  const size_t width = (range + 63) / 64;
+  return width == 0 ? 1 : width;
+}
+
+}  // namespace internal
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body) {
+  if (end <= begin) return;
+  if (ThreadCount() <= 1 || tls_in_parallel_region) {
+    body(begin, end);
+    return;
+  }
+  const size_t width = internal::ResolveGrain(begin, end, grain);
+  const size_t num_chunks = (end - begin + width - 1) / width;
+  if (num_chunks <= 1) {
+    body(begin, end);
+    return;
+  }
+  internal::RunChunks(num_chunks, [&](size_t c) {
+    const size_t lo = begin + c * width;
+    const size_t hi = lo + width < end ? lo + width : end;
+    body(lo, hi);
+  });
+}
+
+}  // namespace multiclust

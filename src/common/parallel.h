@@ -1,0 +1,76 @@
+#ifndef MULTICLUST_COMMON_PARALLEL_H_
+#define MULTICLUST_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace multiclust {
+
+/// Logical cores reported by the OS (always >= 1).
+size_t HardwareConcurrency();
+
+/// Sets the worker count used by ParallelFor/ParallelReduce. `count == 0`
+/// restores the default: the MULTICLUST_THREADS environment variable when
+/// set to a positive integer, otherwise HardwareConcurrency(). `count == 1`
+/// disables the pool entirely — every parallel call then runs inline on the
+/// calling thread with zero pool overhead. Not thread-safe against
+/// concurrent parallel calls; intended for startup / test configuration.
+void SetThreadCount(size_t count);
+
+/// The thread count currently in effect (>= 1).
+size_t ThreadCount();
+
+namespace internal {
+
+/// Runs chunk_fn(0) .. chunk_fn(num_chunks - 1) to completion across the
+/// pool; the calling thread participates. Blocks until every chunk has
+/// finished and rethrows the first exception any chunk threw. Chunks may
+/// execute in any order on any thread. Nested calls (from inside a chunk)
+/// degrade to inline execution, so kernels may compose freely.
+void RunChunks(size_t num_chunks, const std::function<void(size_t)>& chunk_fn);
+
+/// Fixed chunk width for [begin, end): the explicit `grain`, or the range
+/// split into at most 64 chunks when grain == 0. Never depends on the
+/// thread count — this is what makes chunked reductions bit-identical
+/// across pool sizes.
+size_t ResolveGrain(size_t begin, size_t end, size_t grain);
+
+}  // namespace internal
+
+/// Applies body(chunk_begin, chunk_end) over disjoint chunks covering
+/// [begin, end). The body must write only to locations indexed by its own
+/// range (no shared accumulators) so the result is independent of chunk
+/// boundaries; use ParallelReduce for accumulations. With one thread the
+/// body is invoked once over the whole range.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body);
+
+/// Deterministic chunked reduction over [begin, end): `map(lo, hi)` produces
+/// one partial per fixed-width chunk, and partials are combined with
+/// `combine(acc, partial)` in ascending chunk order on the calling thread.
+/// Because the chunk boundaries are fixed by `grain` (never the pool size),
+/// floating-point results are bit-identical for every thread count.
+template <typename T, typename Map, typename Combine>
+T ParallelReduce(size_t begin, size_t end, size_t grain, T init,
+                 const Map& map, const Combine& combine) {
+  if (end <= begin) return init;
+  const size_t width = internal::ResolveGrain(begin, end, grain);
+  const size_t num_chunks = (end - begin + width - 1) / width;
+  std::vector<T> partial(num_chunks);
+  internal::RunChunks(num_chunks, [&](size_t c) {
+    const size_t lo = begin + c * width;
+    const size_t hi = lo + width < end ? lo + width : end;
+    partial[c] = map(lo, hi);
+  });
+  T acc = std::move(init);
+  for (size_t c = 0; c < num_chunks; ++c) {
+    acc = combine(std::move(acc), std::move(partial[c]));
+  }
+  return acc;
+}
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_COMMON_PARALLEL_H_

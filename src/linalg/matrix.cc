@@ -1,6 +1,9 @@
 #include "linalg/matrix.h"
 
 #include <cmath>
+#include <cstring>
+
+#include "common/parallel.h"
 
 namespace multiclust {
 
@@ -41,6 +44,13 @@ void Matrix::SetRow(size_t i, const std::vector<double>& values) {
   for (size_t j = 0; j < cols_ && j < values.size(); ++j) at(i, j) = values[j];
 }
 
+void Matrix::CopyRowFrom(const Matrix& src, size_t src_row, size_t dst_row) {
+  const size_t count = cols_ < src.cols_ ? cols_ : src.cols_;
+  if (count == 0) return;
+  std::memcpy(row_data(dst_row), src.row_data(src_row),
+              count * sizeof(double));
+}
+
 void Matrix::SetCol(size_t j, const std::vector<double>& values) {
   for (size_t i = 0; i < rows_ && i < values.size(); ++i) at(i, j) = values[i];
 }
@@ -56,15 +66,22 @@ Matrix Matrix::Transpose() const {
 Matrix Matrix::operator*(const Matrix& other) const {
   if (cols_ != other.rows_) return Matrix();
   Matrix out(rows_, other.cols_);
-  for (size_t i = 0; i < rows_; ++i) {
-    for (size_t k = 0; k < cols_; ++k) {
-      const double a = at(i, k);
-      if (a == 0.0) continue;
-      const double* brow = other.row_data(k);
-      double* orow = out.row_data(i);
-      for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+  // Each output row is produced by exactly one chunk, and its accumulation
+  // order is the serial one, so the product is bit-identical for any
+  // thread count. Grain targets ~32k flops per chunk.
+  const size_t row_work = cols_ * other.cols_;
+  const size_t grain = row_work == 0 ? rows_ : 32768 / row_work + 1;
+  ParallelFor(0, rows_, grain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      for (size_t k = 0; k < cols_; ++k) {
+        const double a = at(i, k);
+        if (a == 0.0) continue;
+        const double* brow = other.row_data(k);
+        double* orow = out.row_data(i);
+        for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -192,13 +209,30 @@ std::vector<double> Normalized(const std::vector<double>& v) {
   return Scale(v, 1.0 / n);
 }
 
+namespace {
+
+// Elementwise vector sum used as the combine step of chunked reductions.
+std::vector<double> AddInto(std::vector<double> acc, std::vector<double> b) {
+  for (size_t i = 0; i < acc.size(); ++i) acc[i] += b[i];
+  return acc;
+}
+
+}  // namespace
+
 std::vector<double> RowMean(const Matrix& m) {
   std::vector<double> mean(m.cols(), 0.0);
   if (m.rows() == 0) return mean;
-  for (size_t i = 0; i < m.rows(); ++i) {
-    const double* r = m.row_data(i);
-    for (size_t j = 0; j < m.cols(); ++j) mean[j] += r[j];
-  }
+  mean = ParallelReduce(
+      0, m.rows(), 1024, std::move(mean),
+      [&](size_t lo, size_t hi) {
+        std::vector<double> sum(m.cols(), 0.0);
+        for (size_t i = lo; i < hi; ++i) {
+          const double* r = m.row_data(i);
+          for (size_t j = 0; j < m.cols(); ++j) sum[j] += r[j];
+        }
+        return sum;
+      },
+      AddInto);
   for (double& x : mean) x /= static_cast<double>(m.rows());
   return mean;
 }
@@ -209,13 +243,29 @@ Matrix Covariance(const Matrix& m) {
   Matrix cov(d, d);
   if (n == 0) return cov;
   const std::vector<double> mean = RowMean(m);
-  for (size_t i = 0; i < n; ++i) {
-    const double* r = m.row_data(i);
+  // Upper triangle, packed row-major; partial sums per fixed 256-row chunk
+  // combined in chunk order — deterministic for any thread count.
+  const std::vector<double> upper = ParallelReduce(
+      0, n, 256, std::vector<double>(d * (d + 1) / 2, 0.0),
+      [&](size_t lo, size_t hi) {
+        std::vector<double> sum(d * (d + 1) / 2, 0.0);
+        for (size_t i = lo; i < hi; ++i) {
+          const double* r = m.row_data(i);
+          size_t idx = 0;
+          for (size_t a = 0; a < d; ++a) {
+            const double da = r[a] - mean[a];
+            for (size_t b = a; b < d; ++b) {
+              sum[idx++] += da * (r[b] - mean[b]);
+            }
+          }
+        }
+        return sum;
+      },
+      AddInto);
+  {
+    size_t idx = 0;
     for (size_t a = 0; a < d; ++a) {
-      const double da = r[a] - mean[a];
-      for (size_t b = a; b < d; ++b) {
-        cov.at(a, b) += da * (r[b] - mean[b]);
-      }
+      for (size_t b = a; b < d; ++b) cov.at(a, b) = upper[idx++];
     }
   }
   const double denom = n >= 2 ? static_cast<double>(n - 1)

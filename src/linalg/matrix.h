@@ -53,6 +53,10 @@ class Matrix {
   std::vector<double> Col(size_t j) const;
   /// Overwrites row i with `values` (must have size cols()).
   void SetRow(size_t i, const std::vector<double>& values);
+  /// Copies row `src_row` of `src` into row `dst_row` of this matrix
+  /// directly (no intermediate vector); copies min(cols(), src.cols())
+  /// values.
+  void CopyRowFrom(const Matrix& src, size_t src_row, size_t dst_row);
   /// Overwrites column j with `values` (must have size rows()).
   void SetCol(size_t j, const std::vector<double>& values);
 

@@ -1,5 +1,6 @@
 #include "linalg/pca.h"
 
+#include "common/parallel.h"
 #include "linalg/decomposition.h"
 
 namespace multiclust {
@@ -17,6 +18,27 @@ std::vector<double> PcaModel::Project(const std::vector<double>& x,
       s += components.at(i, j) * centred[i];
     out[j] = s;
   }
+  return out;
+}
+
+Matrix PcaModel::ProjectRows(const Matrix& data, size_t p) const {
+  if (p > components.cols()) p = components.cols();
+  const size_t d = data.cols() < mean.size() ? data.cols() : mean.size();
+  Matrix out(data.rows(), p);
+  const size_t row_work = d * (p == 0 ? 1 : p);
+  ParallelFor(0, data.rows(), 16384 / (row_work + 1) + 1,
+              [&](size_t lo, size_t hi) {
+    std::vector<double> centred(d);
+    for (size_t i = lo; i < hi; ++i) {
+      const double* row = data.row_data(i);
+      for (size_t c = 0; c < d; ++c) centred[c] = row[c] - mean[c];
+      for (size_t j = 0; j < p; ++j) {
+        double s = 0.0;
+        for (size_t c = 0; c < d; ++c) s += components.at(c, j) * centred[c];
+        out.at(i, j) = s;
+      }
+    }
+  });
   return out;
 }
 

@@ -17,6 +17,11 @@ struct PcaModel {
   /// Projects `x` (length d) onto the first `p` components (centred).
   std::vector<double> Project(const std::vector<double>& x, size_t p) const;
 
+  /// Projects every row of `data` onto the first `p` components; returns
+  /// an n x p matrix. Rows are processed in parallel; each output row
+  /// matches `Project` on that row exactly.
+  Matrix ProjectRows(const Matrix& data, size_t p) const;
+
   /// Returns the d x p matrix of the leading `p` component columns.
   Matrix LeadingComponents(size_t p) const;
 

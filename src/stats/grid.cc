@@ -1,8 +1,10 @@
 #include "stats/grid.h"
 
 #include <algorithm>
+#include <iterator>
 #include <map>
 
+#include "common/parallel.h"
 #include "stats/entropy.h"
 
 namespace multiclust {
@@ -104,63 +106,87 @@ std::vector<GridUnit> MineDenseUnits(
     return support_threshold_by_dim[idx];
   };
 
+  // Concatenation in ascending chunk order reproduces the serial append
+  // order exactly, so the parallel scans below stay deterministic.
+  const auto concat = [](std::vector<GridUnit> acc, std::vector<GridUnit> b) {
+    acc.insert(acc.end(), std::make_move_iterator(b.begin()),
+               std::make_move_iterator(b.end()));
+    return acc;
+  };
+
   // Level 1: one unit per non-empty (dim, interval) with enough support.
-  std::vector<GridUnit> level;
-  for (size_t dim = 0; dim < d; ++dim) {
-    std::map<int, std::vector<int>> buckets;
-    for (size_t i = 0; i < n; ++i) {
-      buckets[grid.CellOf(i, dim)].push_back(static_cast<int>(i));
-    }
-    for (auto& [interval, objs] : buckets) {
-      if (objs.size() < threshold_for(1)) continue;
-      GridUnit u;
-      u.constraints = {{dim, interval}};
-      u.objects = std::move(objs);
-      level.push_back(std::move(u));
-    }
-  }
+  // Dimensions are scanned in parallel (one chunk per dimension).
+  std::vector<GridUnit> level = ParallelReduce(
+      0, d, 1, std::vector<GridUnit>{},
+      [&](size_t lo, size_t hi) {
+        std::vector<GridUnit> local;
+        for (size_t dim = lo; dim < hi; ++dim) {
+          std::map<int, std::vector<int>> buckets;
+          for (size_t i = 0; i < n; ++i) {
+            buckets[grid.CellOf(i, dim)].push_back(static_cast<int>(i));
+          }
+          for (auto& [interval, objs] : buckets) {
+            if (objs.size() < threshold_for(1)) continue;
+            GridUnit u;
+            u.constraints = {{dim, interval}};
+            u.objects = std::move(objs);
+            local.push_back(std::move(u));
+          }
+        }
+        return local;
+      },
+      concat);
   for (const GridUnit& u : level) result.push_back(u);
 
   // Levels 2..max_dims: apriori join of units sharing all but the last
   // constraint, intersecting their object lists.
   for (size_t depth = 2; depth <= max_dims && level.size() >= 2; ++depth) {
-    std::vector<GridUnit> next;
     // Units are kept sorted by constraint vector, so joinable pairs are
     // adjacent in prefix blocks.
     std::sort(level.begin(), level.end(),
               [](const GridUnit& a, const GridUnit& b) {
                 return a.constraints < b.constraints;
               });
-    for (size_t i = 0; i < level.size(); ++i) {
-      for (size_t j = i + 1; j < level.size(); ++j) {
-        const auto& ca = level[i].constraints;
-        const auto& cb = level[j].constraints;
-        // Join requires identical (k-2)-prefix.
-        bool prefix_equal = true;
-        for (size_t p = 0; p + 1 < ca.size(); ++p) {
-          if (ca[p] != cb[p]) {
-            prefix_equal = false;
-            break;
+    // Each left unit i joins only units after it in its prefix block, so
+    // the i-scan parallelizes over read-only `level`; per-chunk outputs
+    // concatenated in chunk order equal the serial append order.
+    std::vector<GridUnit> next = ParallelReduce(
+        0, level.size(), 8, std::vector<GridUnit>{},
+        [&](size_t lo, size_t hi) {
+          std::vector<GridUnit> local;
+          for (size_t i = lo; i < hi; ++i) {
+            for (size_t j = i + 1; j < level.size(); ++j) {
+              const auto& ca = level[i].constraints;
+              const auto& cb = level[j].constraints;
+              // Join requires identical (k-2)-prefix.
+              bool prefix_equal = true;
+              for (size_t p = 0; p + 1 < ca.size(); ++p) {
+                if (ca[p] != cb[p]) {
+                  prefix_equal = false;
+                  break;
+                }
+              }
+              if (!prefix_equal) break;  // sorted: later j cannot match
+              // Last constraints must be on distinct dimensions.
+              if (ca.back().first >= cb.back().first) continue;
+              GridUnit cand;
+              cand.constraints = ca;
+              cand.constraints.push_back(cb.back());
+              // Support by intersection of sorted object lists.
+              cand.objects.reserve(
+                  std::min(level[i].objects.size(), level[j].objects.size()));
+              std::set_intersection(level[i].objects.begin(),
+                                    level[i].objects.end(),
+                                    level[j].objects.begin(),
+                                    level[j].objects.end(),
+                                    std::back_inserter(cand.objects));
+              if (cand.objects.size() < threshold_for(depth)) continue;
+              local.push_back(std::move(cand));
+            }
           }
-        }
-        if (!prefix_equal) break;  // sorted: later j cannot match either
-        // Last constraints must be on distinct dimensions.
-        if (ca.back().first >= cb.back().first) continue;
-        GridUnit cand;
-        cand.constraints = ca;
-        cand.constraints.push_back(cb.back());
-        // Support by intersection of sorted object lists.
-        cand.objects.reserve(
-            std::min(level[i].objects.size(), level[j].objects.size()));
-        std::set_intersection(level[i].objects.begin(),
-                              level[i].objects.end(),
-                              level[j].objects.begin(),
-                              level[j].objects.end(),
-                              std::back_inserter(cand.objects));
-        if (cand.objects.size() < threshold_for(depth)) continue;
-        next.push_back(std::move(cand));
-      }
-    }
+          return local;
+        },
+        concat);
     for (const GridUnit& u : next) result.push_back(u);
     level = std::move(next);
   }

@@ -4,24 +4,31 @@
 #include <cmath>
 #include <vector>
 
+#include "common/parallel.h"
+
 namespace multiclust {
 
 namespace {
 
 double MedianSquaredDistance(const Matrix& data) {
   const size_t n = data.rows();
-  std::vector<double> dists;
-  dists.reserve(n * (n - 1) / 2);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      double s = 0.0;
-      for (size_t k = 0; k < data.cols(); ++k) {
-        const double d = data.at(i, k) - data.at(j, k);
-        s += d * d;
+  if (n < 2) return 1.0;
+  std::vector<double> dists(n * (n - 1) / 2);
+  // Pair (i, j), j > i, lands at a closed-form offset, so rows fill
+  // disjoint slices in parallel and the vector matches the serial fill.
+  ParallelFor(0, n, 16, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      size_t idx = i * (n - 1) - i * (i - 1) / 2;
+      for (size_t j = i + 1; j < n; ++j) {
+        double s = 0.0;
+        for (size_t k = 0; k < data.cols(); ++k) {
+          const double d = data.at(i, k) - data.at(j, k);
+          s += d * d;
+        }
+        dists[idx++] = s;
       }
-      dists.push_back(s);
     }
-  }
+  });
   if (dists.empty()) return 1.0;
   std::nth_element(dists.begin(), dists.begin() + dists.size() / 2,
                    dists.end());
@@ -35,19 +42,28 @@ Matrix GaussianKernelMatrix(const Matrix& data, double gamma) {
   const size_t n = data.rows();
   if (gamma <= 0.0) gamma = 1.0 / MedianSquaredDistance(data);
   Matrix k(n, n);
-  for (size_t i = 0; i < n; ++i) {
-    k.at(i, i) = 1.0;
-    for (size_t j = i + 1; j < n; ++j) {
-      double s = 0.0;
-      for (size_t c = 0; c < data.cols(); ++c) {
-        const double d = data.at(i, c) - data.at(j, c);
-        s += d * d;
+  // Upper triangle in parallel (each row owned by one chunk), then a
+  // mirror pass for the lower triangle. Every entry is computed by the
+  // same expression as the serial loop, so the matrix is bit-identical
+  // for any thread count.
+  ParallelFor(0, n, 16, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      k.at(i, i) = 1.0;
+      for (size_t j = i + 1; j < n; ++j) {
+        double s = 0.0;
+        for (size_t c = 0; c < data.cols(); ++c) {
+          const double d = data.at(i, c) - data.at(j, c);
+          s += d * d;
+        }
+        k.at(i, j) = std::exp(-gamma * s);
       }
-      const double v = std::exp(-gamma * s);
-      k.at(i, j) = v;
-      k.at(j, i) = v;
     }
-  }
+  });
+  ParallelFor(0, n, 64, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      for (size_t j = 0; j < i; ++j) k.at(i, j) = k.at(j, i);
+    }
+  });
   return k;
 }
 
@@ -66,28 +82,39 @@ Result<double> Hsic(const Matrix& x, const Matrix& y, double gamma_x,
   // HSIC = tr(Kc * Lc) / (n-1)^2 = sum_ij Kc_ij * Lc_ij / (n-1)^2.
   auto centre = [n](const Matrix& m) {
     std::vector<double> row_mean(n, 0.0);
-    double total = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t j = 0; j < n; ++j) row_mean[i] += m.at(i, j);
-      total += row_mean[i];
-      row_mean[i] /= static_cast<double>(n);
-    }
-    total /= static_cast<double>(n) * static_cast<double>(n);
-    Matrix c(n, n);
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t j = 0; j < n; ++j) {
-        c.at(i, j) = m.at(i, j) - row_mean[i] - row_mean[j] + total;
+    ParallelFor(0, n, 128, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        double s = 0.0;
+        for (size_t j = 0; j < n; ++j) s += m.at(i, j);
+        row_mean[i] = s / static_cast<double>(n);
       }
-    }
+    });
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) total += row_mean[i];
+    total /= static_cast<double>(n);
+    Matrix c(n, n);
+    ParallelFor(0, n, 128, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+          c.at(i, j) = m.at(i, j) - row_mean[i] - row_mean[j] + total;
+        }
+      }
+    });
     return c;
   };
 
   const Matrix kc = centre(k);
   const Matrix lc = centre(l);
-  double trace = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = 0; j < n; ++j) trace += kc.at(i, j) * lc.at(j, i);
-  }
+  const double trace = ParallelReduce(
+      0, n, 256, 0.0,
+      [&](size_t lo, size_t hi) {
+        double s = 0.0;
+        for (size_t i = lo; i < hi; ++i) {
+          for (size_t j = 0; j < n; ++j) s += kc.at(i, j) * lc.at(j, i);
+        }
+        return s;
+      },
+      [](double a, double b) { return a + b; });
   const double denom = static_cast<double>(n - 1) * static_cast<double>(n - 1);
   return trace / denom;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "common/parallel.h"
 #include "stats/grid.h"
 
 namespace multiclust {
@@ -18,9 +19,11 @@ Result<std::vector<ScoredSubspace>> RunEnclus(const Matrix& data,
       options.max_dims == 0 ? d : std::min(options.max_dims, d);
 
   std::vector<double> dim_entropy(d);
-  for (size_t j = 0; j < d; ++j) {
-    dim_entropy[j] = grid.SubspaceEntropy({j});
-  }
+  ParallelFor(0, d, 1, [&](size_t lo, size_t hi) {
+    for (size_t j = lo; j < hi; ++j) {
+      dim_entropy[j] = grid.SubspaceEntropy({j});
+    }
+  });
 
   std::vector<ScoredSubspace> result;
   // Level 1: all single dimensions below the entropy ceiling.
@@ -66,9 +69,21 @@ Result<std::vector<ScoredSubspace>> RunEnclus(const Matrix& data,
         if (all_present) candidates.insert(std::move(cand));
       }
     }
+    // The entropy scan per candidate subspace is the expensive part of a
+    // level; precompute all of them in parallel, then filter serially so
+    // the result order matches the serial algorithm.
+    const std::vector<std::vector<size_t>> cands(candidates.begin(),
+                                                 candidates.end());
+    std::vector<double> cand_entropy(cands.size());
+    ParallelFor(0, cands.size(), 1, [&](size_t lo, size_t hi) {
+      for (size_t c = lo; c < hi; ++c) {
+        cand_entropy[c] = grid.SubspaceEntropy(cands[c]);
+      }
+    });
     std::vector<std::vector<size_t>> next;
-    for (const std::vector<size_t>& cand : candidates) {
-      const double h = grid.SubspaceEntropy(cand);
+    for (size_t c = 0; c < cands.size(); ++c) {
+      const std::vector<size_t>& cand = cands[c];
+      const double h = cand_entropy[c];
       if (h >= options.omega) continue;
       double sum_h = 0.0;
       for (size_t dim : cand) sum_h += dim_entropy[dim];

@@ -6,6 +6,12 @@
 
 #include "altspace/cami.h"
 #include "altspace/cib.h"
+#include "cluster/dbscan.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "linalg/matrix.h"
+#include "stats/hsic.h"
+#include "subspace/enclus.h"
 #include "altspace/conditional_ensemble.h"
 #include "altspace/dec_kmeans.h"
 #include "altspace/disparate.h"
@@ -237,6 +243,123 @@ TEST(DeterminismTest, Pipeline) {
   ASSERT_EQ(a->solutions.size(), b->solutions.size());
   for (size_t i = 0; i < a->solutions.size(); ++i) {
     EXPECT_EQ(a->solutions.at(i).labels, b->solutions.at(i).labels);
+  }
+}
+
+// Runs `fn` with an explicit pool size, restoring the default afterwards.
+template <typename Fn>
+auto WithThreads(size_t threads, Fn fn) {
+  SetThreadCount(threads);
+  auto result = fn();
+  SetThreadCount(0);
+  return result;
+}
+
+// The parallelized kernels promise bit-identical output for every thread
+// count (deterministic chunked reduction, fixed chunk boundaries). These
+// tests pin that guarantee with exact comparisons — EXPECT_EQ on doubles
+// is intentional.
+
+TEST(ThreadInvarianceTest, KMeansLabelsAndObjective) {
+  // Large enough that assignment, D^2 updates and the SSE reduction all
+  // span multiple chunks.
+  std::vector<ViewSpec> views(2);
+  views[0] = {3, 4, 10.0, 1.0, ""};
+  views[1] = {3, 4, 10.0, 1.0, ""};
+  const Matrix data = MakeMultiView(3000, views, 0, 21)->data();
+  KMeansOptions opts;
+  opts.k = 4;
+  opts.restarts = 2;
+  opts.seed = 7;
+  const auto run = [&] { return RunKMeans(data, opts).value(); };
+  const Clustering serial = WithThreads(1, run);
+  for (const size_t threads : {2u, 4u}) {
+    const Clustering parallel = WithThreads(threads, run);
+    EXPECT_EQ(serial.labels, parallel.labels) << "threads=" << threads;
+    EXPECT_EQ(serial.quality, parallel.quality) << "threads=" << threads;
+    EXPECT_EQ(serial.centroids.MaxAbsDiff(parallel.centroids), 0.0);
+  }
+}
+
+TEST(ThreadInvarianceTest, DbscanBruteForceAndIndexed) {
+  std::vector<ViewSpec> views(1);
+  views[0] = {3, 3, 6.0, 0.9, ""};
+  const Matrix data = MakeMultiView(900, views, 0, 22)->data();
+  for (const bool use_index : {false, true}) {
+    DbscanOptions opts;
+    opts.eps = 1.5;
+    opts.min_pts = 4;
+    opts.use_index = use_index;
+    const auto run = [&] { return RunDbscan(data, opts).value(); };
+    const Clustering serial = WithThreads(1, run);
+    for (const size_t threads : {2u, 4u}) {
+      EXPECT_EQ(serial.labels, WithThreads(threads, run).labels)
+          << "use_index=" << use_index << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ThreadInvarianceTest, SpectralLabels) {
+  const Matrix data = TestData(31);
+  SpectralOptions opts;
+  opts.k = 2;
+  opts.seed = 7;
+  const auto run = [&] { return RunSpectral(data, opts).value(); };
+  const Clustering serial = WithThreads(1, run);
+  for (const size_t threads : {2u, 4u}) {
+    const Clustering parallel = WithThreads(threads, run);
+    EXPECT_EQ(serial.labels, parallel.labels) << "threads=" << threads;
+    EXPECT_EQ(serial.quality, parallel.quality) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadInvarianceTest, MatmulCovarianceKernel) {
+  Rng rng(5);
+  Matrix a(700, 9);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) a.at(i, j) = rng.Gaussian(0, 3);
+  }
+  const Matrix b = a.Transpose();
+  const auto product = [&] { return b * a; };
+  const auto covariance = [&] { return Covariance(a); };
+  const Matrix prod1 = WithThreads(1, product);
+  const Matrix cov1 = WithThreads(1, covariance);
+  for (const size_t threads : {2u, 4u}) {
+    EXPECT_EQ(prod1.MaxAbsDiff(WithThreads(threads, product)), 0.0);
+    EXPECT_EQ(cov1.MaxAbsDiff(WithThreads(threads, covariance)), 0.0);
+  }
+}
+
+TEST(ThreadInvarianceTest, AffinityAndHsic) {
+  const Matrix data = TestData(32);
+  const Matrix x = data.SelectColumns({0, 1});
+  const Matrix y = data.SelectColumns({2, 3});
+  const auto kernel = [&] { return GaussianKernelMatrix(data, 0.0); };
+  const auto hsic = [&] { return Hsic(x, y).value(); };
+  const Matrix k1 = WithThreads(1, kernel);
+  const double h1 = WithThreads(1, hsic);
+  for (const size_t threads : {2u, 4u}) {
+    EXPECT_EQ(k1.MaxAbsDiff(WithThreads(threads, kernel)), 0.0);
+    EXPECT_EQ(h1, WithThreads(threads, hsic));
+  }
+}
+
+TEST(ThreadInvarianceTest, EnclusSubspaces) {
+  const Matrix data = TestData(33);
+  EnclusOptions opts;
+  opts.xi = 6;
+  opts.omega = 6.0;
+  opts.max_dims = 3;
+  const auto run = [&] { return RunEnclus(data, opts).value(); };
+  const std::vector<ScoredSubspace> serial = WithThreads(1, run);
+  for (const size_t threads : {2u, 4u}) {
+    const std::vector<ScoredSubspace> parallel = WithThreads(threads, run);
+    ASSERT_EQ(serial.size(), parallel.size()) << "threads=" << threads;
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].dims, parallel[i].dims);
+      EXPECT_EQ(serial[i].entropy, parallel[i].entropy);
+      EXPECT_EQ(serial[i].interest, parallel[i].interest);
+    }
   }
 }
 

@@ -1,0 +1,182 @@
+// Tests for the parallel-execution subsystem: pool lifecycle, thread-count
+// resolution, grain edge cases, exception propagation, and the deterministic
+// chunked-reduction guarantee (bit-identical floating-point results for any
+// thread count).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+
+namespace multiclust {
+namespace {
+
+// Every test restores the default (env/hardware) thread count on exit so
+// the configuration does not leak into other suites.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetThreadCount(0); }
+};
+
+TEST_F(ParallelTest, ThreadCountDefaultsPositive) {
+  EXPECT_GE(ThreadCount(), 1u);
+  EXPECT_GE(HardwareConcurrency(), 1u);
+}
+
+TEST_F(ParallelTest, SetThreadCountRoundTrip) {
+  SetThreadCount(3);
+  EXPECT_EQ(ThreadCount(), 3u);
+  SetThreadCount(1);
+  EXPECT_EQ(ThreadCount(), 1u);
+  SetThreadCount(0);
+  EXPECT_GE(ThreadCount(), 1u);
+}
+
+TEST_F(ParallelTest, ParallelForCoversRangeExactlyOnce) {
+  for (const size_t threads : {1u, 2u, 4u}) {
+    SetThreadCount(threads);
+    for (const size_t grain : {0u, 1u, 3u, 7u, 1000u}) {
+      std::vector<int> hits(101, 0);
+      ParallelFor(0, hits.size(), grain, [&](size_t lo, size_t hi) {
+        ASSERT_LE(lo, hi);
+        for (size_t i = lo; i < hi; ++i) ++hits[i];
+      });
+      for (size_t i = 0; i < hits.size(); ++i) {
+        EXPECT_EQ(hits[i], 1) << "threads=" << threads << " grain=" << grain
+                              << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_F(ParallelTest, ParallelForEmptyAndReversedRange) {
+  SetThreadCount(4);
+  bool called = false;
+  ParallelFor(5, 5, 1, [&](size_t, size_t) { called = true; });
+  ParallelFor(7, 3, 1, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST_F(ParallelTest, ParallelForPropagatesExceptions) {
+  for (const size_t threads : {1u, 4u}) {
+    SetThreadCount(threads);
+    EXPECT_THROW(
+        ParallelFor(0, 64, 1,
+                    [](size_t lo, size_t hi) {
+                      if (lo <= 32 && 32 < hi) {
+                        throw std::runtime_error("chunk failure");
+                      }
+                    }),
+        std::runtime_error);
+    // The pool must stay usable after a failed job.
+    std::vector<int> hits(16, 0);
+    ParallelFor(0, hits.size(), 1, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) ++hits[i];
+    });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 16);
+  }
+}
+
+TEST_F(ParallelTest, ParallelReduceSumsIntegers) {
+  const size_t n = 1000;
+  for (const size_t threads : {1u, 2u, 4u}) {
+    SetThreadCount(threads);
+    const long sum = ParallelReduce(
+        0, n, 17, 0L,
+        [](size_t lo, size_t hi) {
+          long s = 0;
+          for (size_t i = lo; i < hi; ++i) s += static_cast<long>(i);
+          return s;
+        },
+        [](long a, long b) { return a + b; });
+    EXPECT_EQ(sum, static_cast<long>(n * (n - 1) / 2));
+  }
+}
+
+TEST_F(ParallelTest, ParallelReduceBitIdenticalAcrossThreadCounts) {
+  // Values spanning many magnitudes make the sum order-sensitive, so this
+  // actually exercises the fixed-chunk-boundary guarantee.
+  Rng rng(42);
+  std::vector<double> values(10000);
+  for (double& v : values) {
+    v = rng.Gaussian(0, 1) * std::pow(10.0, rng.Uniform(-8, 8));
+  }
+  const auto sum_with = [&](size_t threads) {
+    SetThreadCount(threads);
+    return ParallelReduce(
+        0, values.size(), 64, 0.0,
+        [&](size_t lo, size_t hi) {
+          double s = 0.0;
+          for (size_t i = lo; i < hi; ++i) s += values[i];
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  const double serial = sum_with(1);
+  EXPECT_EQ(serial, sum_with(2));
+  EXPECT_EQ(serial, sum_with(4));
+  EXPECT_EQ(serial, sum_with(8));
+}
+
+TEST_F(ParallelTest, ParallelReduceOrderedConcatenation) {
+  // Chunk partials must be combined in ascending chunk order.
+  SetThreadCount(4);
+  const std::vector<size_t> seen = ParallelReduce(
+      0, 100, 9, std::vector<size_t>{},
+      [](size_t lo, size_t hi) {
+        std::vector<size_t> local;
+        for (size_t i = lo; i < hi; ++i) local.push_back(i);
+        return local;
+      },
+      [](std::vector<size_t> a, std::vector<size_t> b) {
+        a.insert(a.end(), b.begin(), b.end());
+        return a;
+      });
+  ASSERT_EQ(seen.size(), 100u);
+  for (size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST_F(ParallelTest, NestedParallelForRunsInline) {
+  SetThreadCount(4);
+  std::vector<int> hits(64, 0);
+  ParallelFor(0, 8, 1, [&](size_t lo, size_t hi) {
+    for (size_t outer = lo; outer < hi; ++outer) {
+      ParallelFor(0, 8, 1, [&](size_t ilo, size_t ihi) {
+        for (size_t inner = ilo; inner < ihi; ++inner) {
+          ++hits[outer * 8 + inner];
+        }
+      });
+    }
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST_F(ParallelTest, PoolSurvivesRepeatedResizing) {
+  for (int round = 0; round < 10; ++round) {
+    SetThreadCount(static_cast<size_t>(round % 5));
+    std::vector<int> hits(32, 0);
+    ParallelFor(0, hits.size(), 4, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) ++hits[i];
+    });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 32);
+  }
+}
+
+TEST_F(ParallelTest, ManySmallJobs) {
+  SetThreadCount(4);
+  long total = 0;
+  for (int round = 0; round < 500; ++round) {
+    total += ParallelReduce(
+        0, 32, 4, 0L,
+        [](size_t lo, size_t hi) { return static_cast<long>(hi - lo); },
+        [](long a, long b) { return a + b; });
+  }
+  EXPECT_EQ(total, 500L * 32L);
+}
+
+}  // namespace
+}  // namespace multiclust
