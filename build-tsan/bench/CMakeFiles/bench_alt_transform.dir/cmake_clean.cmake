@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alt_transform.dir/bench_alt_transform.cc.o"
+  "CMakeFiles/bench_alt_transform.dir/bench_alt_transform.cc.o.d"
+  "bench_alt_transform"
+  "bench_alt_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alt_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alternatives_suite.dir/bench_alternatives_suite.cc.o"
+  "CMakeFiles/bench_alternatives_suite.dir/bench_alternatives_suite.cc.o.d"
+  "bench_alternatives_suite"
+  "bench_alternatives_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alternatives_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cib.dir/bench_cib.cc.o"
+  "CMakeFiles/bench_cib.dir/bench_cib.cc.o.d"
+  "bench_cib"
+  "bench_cib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coala_tradeoff.dir/bench_coala_tradeoff.cc.o"
+  "CMakeFiles/bench_coala_tradeoff.dir/bench_coala_tradeoff.cc.o.d"
+  "bench_coala_tradeoff"
+  "bench_coala_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coala_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coem.dir/bench_coem.cc.o"
+  "CMakeFiles/bench_coem.dir/bench_coem.cc.o.d"
+  "bench_coem"
+  "bench_coem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_consensus.dir/bench_consensus.cc.o"
+  "CMakeFiles/bench_consensus.dir/bench_consensus.cc.o.d"
+  "bench_consensus"
+  "bench_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deckm_lambda.dir/bench_deckm_lambda.cc.o"
+  "CMakeFiles/bench_deckm_lambda.dir/bench_deckm_lambda.cc.o.d"
+  "bench_deckm_lambda"
+  "bench_deckm_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deckm_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

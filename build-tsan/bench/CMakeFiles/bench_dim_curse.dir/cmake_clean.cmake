@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dim_curse.dir/bench_dim_curse.cc.o"
+  "CMakeFiles/bench_dim_curse.dir/bench_dim_curse.cc.o.d"
+  "bench_dim_curse"
+  "bench_dim_curse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dim_curse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

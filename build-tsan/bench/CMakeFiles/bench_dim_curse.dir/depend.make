@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_dim_curse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disparate.dir/bench_disparate.cc.o"
+  "CMakeFiles/bench_disparate.dir/bench_disparate.cc.o.d"
+  "bench_disparate"
+  "bench_disparate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disparate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_enclus.dir/bench_enclus.cc.o"
+  "CMakeFiles/bench_enclus.dir/bench_enclus.cc.o.d"
+  "bench_enclus"
+  "bench_enclus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_enclus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

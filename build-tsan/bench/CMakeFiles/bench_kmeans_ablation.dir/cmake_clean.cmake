@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kmeans_ablation.dir/bench_kmeans_ablation.cc.o"
+  "CMakeFiles/bench_kmeans_ablation.dir/bench_kmeans_ablation.cc.o.d"
+  "bench_kmeans_ablation"
+  "bench_kmeans_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kmeans_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

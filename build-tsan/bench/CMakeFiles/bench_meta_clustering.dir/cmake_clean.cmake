@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_meta_clustering.dir/bench_meta_clustering.cc.o"
+  "CMakeFiles/bench_meta_clustering.dir/bench_meta_clustering.cc.o.d"
+  "bench_meta_clustering"
+  "bench_meta_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_meta_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

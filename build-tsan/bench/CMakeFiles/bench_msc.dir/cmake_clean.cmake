@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_msc.dir/bench_msc.cc.o"
+  "CMakeFiles/bench_msc.dir/bench_msc.cc.o.d"
+  "bench_msc"
+  "bench_msc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_msc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mv_dbscan.dir/bench_mv_dbscan.cc.o"
+  "CMakeFiles/bench_mv_dbscan.dir/bench_mv_dbscan.cc.o.d"
+  "bench_mv_dbscan"
+  "bench_mv_dbscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mv_dbscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

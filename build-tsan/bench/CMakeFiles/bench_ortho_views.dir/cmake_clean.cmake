@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ortho_views.dir/bench_ortho_views.cc.o"
+  "CMakeFiles/bench_ortho_views.dir/bench_ortho_views.cc.o.d"
+  "bench_ortho_views"
+  "bench_ortho_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ortho_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_osclu.dir/bench_osclu.cc.o"
+  "CMakeFiles/bench_osclu.dir/bench_osclu.cc.o.d"
+  "bench_osclu"
+  "bench_osclu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_osclu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

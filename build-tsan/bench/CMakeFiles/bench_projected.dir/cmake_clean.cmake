@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_projected.dir/bench_projected.cc.o"
+  "CMakeFiles/bench_projected.dir/bench_projected.cc.o.d"
+  "bench_projected"
+  "bench_projected.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_projected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_schism_threshold.dir/bench_schism_threshold.cc.o"
+  "CMakeFiles/bench_schism_threshold.dir/bench_schism_threshold.cc.o.d"
+  "bench_schism_threshold"
+  "bench_schism_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_schism_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spectral_ablation.dir/bench_spectral_ablation.cc.o"
+  "CMakeFiles/bench_spectral_ablation.dir/bench_spectral_ablation.cc.o.d"
+  "bench_spectral_ablation"
+  "bench_spectral_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spectral_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

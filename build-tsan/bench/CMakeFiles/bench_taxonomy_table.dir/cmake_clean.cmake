@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_taxonomy_table.dir/bench_taxonomy_table.cc.o"
+  "CMakeFiles/bench_taxonomy_table.dir/bench_taxonomy_table.cc.o.d"
+  "bench_taxonomy_table"
+  "bench_taxonomy_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_taxonomy_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

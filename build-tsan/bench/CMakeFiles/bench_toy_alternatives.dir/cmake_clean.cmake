@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_toy_alternatives.dir/bench_toy_alternatives.cc.o"
+  "CMakeFiles/bench_toy_alternatives.dir/bench_toy_alternatives.cc.o.d"
+  "bench_toy_alternatives"
+  "bench_toy_alternatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_toy_alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

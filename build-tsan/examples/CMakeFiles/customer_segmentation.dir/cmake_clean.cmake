@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/customer_segmentation.dir/customer_segmentation.cpp.o"
+  "CMakeFiles/customer_segmentation.dir/customer_segmentation.cpp.o.d"
+  "customer_segmentation"
+  "customer_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/customer_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

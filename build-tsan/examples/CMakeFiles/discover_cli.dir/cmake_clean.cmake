@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discover_cli.dir/discover_cli.cpp.o"
+  "CMakeFiles/discover_cli.dir/discover_cli.cpp.o.d"
+  "discover_cli"
+  "discover_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discover_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/document_topics.dir/document_topics.cpp.o"
+  "CMakeFiles/document_topics.dir/document_topics.cpp.o.d"
+  "document_topics"
+  "document_topics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/document_topics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,85 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/altspace/cami.cc" "src/CMakeFiles/multiclust.dir/altspace/cami.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/altspace/cami.cc.o.d"
+  "/root/repo/src/altspace/cib.cc" "src/CMakeFiles/multiclust.dir/altspace/cib.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/altspace/cib.cc.o.d"
+  "/root/repo/src/altspace/coala.cc" "src/CMakeFiles/multiclust.dir/altspace/coala.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/altspace/coala.cc.o.d"
+  "/root/repo/src/altspace/conditional_ensemble.cc" "src/CMakeFiles/multiclust.dir/altspace/conditional_ensemble.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/altspace/conditional_ensemble.cc.o.d"
+  "/root/repo/src/altspace/dec_kmeans.cc" "src/CMakeFiles/multiclust.dir/altspace/dec_kmeans.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/altspace/dec_kmeans.cc.o.d"
+  "/root/repo/src/altspace/disparate.cc" "src/CMakeFiles/multiclust.dir/altspace/disparate.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/altspace/disparate.cc.o.d"
+  "/root/repo/src/altspace/meta_clustering.cc" "src/CMakeFiles/multiclust.dir/altspace/meta_clustering.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/altspace/meta_clustering.cc.o.d"
+  "/root/repo/src/altspace/min_centropy.cc" "src/CMakeFiles/multiclust.dir/altspace/min_centropy.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/altspace/min_centropy.cc.o.d"
+  "/root/repo/src/cluster/clustering.cc" "src/CMakeFiles/multiclust.dir/cluster/clustering.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/cluster/clustering.cc.o.d"
+  "/root/repo/src/cluster/dbscan.cc" "src/CMakeFiles/multiclust.dir/cluster/dbscan.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/cluster/dbscan.cc.o.d"
+  "/root/repo/src/cluster/gmm.cc" "src/CMakeFiles/multiclust.dir/cluster/gmm.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/cluster/gmm.cc.o.d"
+  "/root/repo/src/cluster/grid_index.cc" "src/CMakeFiles/multiclust.dir/cluster/grid_index.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/cluster/grid_index.cc.o.d"
+  "/root/repo/src/cluster/hierarchical.cc" "src/CMakeFiles/multiclust.dir/cluster/hierarchical.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/cluster/hierarchical.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/CMakeFiles/multiclust.dir/cluster/kmeans.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/cluster/kmeans.cc.o.d"
+  "/root/repo/src/cluster/spectral.cc" "src/CMakeFiles/multiclust.dir/cluster/spectral.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/cluster/spectral.cc.o.d"
+  "/root/repo/src/common/parallel.cc" "src/CMakeFiles/multiclust.dir/common/parallel.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/common/parallel.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/multiclust.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/multiclust.dir/common/status.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/multiclust.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/common/strings.cc.o.d"
+  "/root/repo/src/core/objectives.cc" "src/CMakeFiles/multiclust.dir/core/objectives.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/core/objectives.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/multiclust.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/solution_set.cc" "src/CMakeFiles/multiclust.dir/core/solution_set.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/core/solution_set.cc.o.d"
+  "/root/repo/src/core/taxonomy.cc" "src/CMakeFiles/multiclust.dir/core/taxonomy.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/core/taxonomy.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/multiclust.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/multiclust.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/discrete.cc" "src/CMakeFiles/multiclust.dir/data/discrete.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/data/discrete.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/CMakeFiles/multiclust.dir/data/generators.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/data/generators.cc.o.d"
+  "/root/repo/src/data/standardize.cc" "src/CMakeFiles/multiclust.dir/data/standardize.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/data/standardize.cc.o.d"
+  "/root/repo/src/linalg/decomposition.cc" "src/CMakeFiles/multiclust.dir/linalg/decomposition.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/linalg/decomposition.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/multiclust.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/pca.cc" "src/CMakeFiles/multiclust.dir/linalg/pca.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/linalg/pca.cc.o.d"
+  "/root/repo/src/metrics/adco.cc" "src/CMakeFiles/multiclust.dir/metrics/adco.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/metrics/adco.cc.o.d"
+  "/root/repo/src/metrics/clustering_quality.cc" "src/CMakeFiles/multiclust.dir/metrics/clustering_quality.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/metrics/clustering_quality.cc.o.d"
+  "/root/repo/src/metrics/multi_solution.cc" "src/CMakeFiles/multiclust.dir/metrics/multi_solution.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/metrics/multi_solution.cc.o.d"
+  "/root/repo/src/metrics/partition_similarity.cc" "src/CMakeFiles/multiclust.dir/metrics/partition_similarity.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/metrics/partition_similarity.cc.o.d"
+  "/root/repo/src/metrics/stability.cc" "src/CMakeFiles/multiclust.dir/metrics/stability.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/metrics/stability.cc.o.d"
+  "/root/repo/src/multiview/co_em.cc" "src/CMakeFiles/multiclust.dir/multiview/co_em.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/multiview/co_em.cc.o.d"
+  "/root/repo/src/multiview/consensus.cc" "src/CMakeFiles/multiclust.dir/multiview/consensus.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/multiview/consensus.cc.o.d"
+  "/root/repo/src/multiview/mv_dbscan.cc" "src/CMakeFiles/multiclust.dir/multiview/mv_dbscan.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/multiview/mv_dbscan.cc.o.d"
+  "/root/repo/src/multiview/mv_spectral.cc" "src/CMakeFiles/multiclust.dir/multiview/mv_spectral.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/multiview/mv_spectral.cc.o.d"
+  "/root/repo/src/multiview/random_projection.cc" "src/CMakeFiles/multiclust.dir/multiview/random_projection.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/multiview/random_projection.cc.o.d"
+  "/root/repo/src/orthogonal/alt_transform.cc" "src/CMakeFiles/multiclust.dir/orthogonal/alt_transform.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/orthogonal/alt_transform.cc.o.d"
+  "/root/repo/src/orthogonal/metric_learning.cc" "src/CMakeFiles/multiclust.dir/orthogonal/metric_learning.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/orthogonal/metric_learning.cc.o.d"
+  "/root/repo/src/orthogonal/ortho_projection.cc" "src/CMakeFiles/multiclust.dir/orthogonal/ortho_projection.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/orthogonal/ortho_projection.cc.o.d"
+  "/root/repo/src/orthogonal/residual_transform.cc" "src/CMakeFiles/multiclust.dir/orthogonal/residual_transform.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/orthogonal/residual_transform.cc.o.d"
+  "/root/repo/src/stats/contingency.cc" "src/CMakeFiles/multiclust.dir/stats/contingency.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/stats/contingency.cc.o.d"
+  "/root/repo/src/stats/entropy.cc" "src/CMakeFiles/multiclust.dir/stats/entropy.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/stats/entropy.cc.o.d"
+  "/root/repo/src/stats/grid.cc" "src/CMakeFiles/multiclust.dir/stats/grid.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/stats/grid.cc.o.d"
+  "/root/repo/src/stats/hsic.cc" "src/CMakeFiles/multiclust.dir/stats/hsic.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/stats/hsic.cc.o.d"
+  "/root/repo/src/stats/kde.cc" "src/CMakeFiles/multiclust.dir/stats/kde.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/stats/kde.cc.o.d"
+  "/root/repo/src/stats/tails.cc" "src/CMakeFiles/multiclust.dir/stats/tails.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/stats/tails.cc.o.d"
+  "/root/repo/src/subspace/asclu.cc" "src/CMakeFiles/multiclust.dir/subspace/asclu.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/subspace/asclu.cc.o.d"
+  "/root/repo/src/subspace/clique.cc" "src/CMakeFiles/multiclust.dir/subspace/clique.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/subspace/clique.cc.o.d"
+  "/root/repo/src/subspace/doc.cc" "src/CMakeFiles/multiclust.dir/subspace/doc.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/subspace/doc.cc.o.d"
+  "/root/repo/src/subspace/enclus.cc" "src/CMakeFiles/multiclust.dir/subspace/enclus.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/subspace/enclus.cc.o.d"
+  "/root/repo/src/subspace/msc.cc" "src/CMakeFiles/multiclust.dir/subspace/msc.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/subspace/msc.cc.o.d"
+  "/root/repo/src/subspace/orclus.cc" "src/CMakeFiles/multiclust.dir/subspace/orclus.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/subspace/orclus.cc.o.d"
+  "/root/repo/src/subspace/osclu.cc" "src/CMakeFiles/multiclust.dir/subspace/osclu.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/subspace/osclu.cc.o.d"
+  "/root/repo/src/subspace/p3c.cc" "src/CMakeFiles/multiclust.dir/subspace/p3c.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/subspace/p3c.cc.o.d"
+  "/root/repo/src/subspace/predecon.cc" "src/CMakeFiles/multiclust.dir/subspace/predecon.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/subspace/predecon.cc.o.d"
+  "/root/repo/src/subspace/proclus.cc" "src/CMakeFiles/multiclust.dir/subspace/proclus.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/subspace/proclus.cc.o.d"
+  "/root/repo/src/subspace/rescu.cc" "src/CMakeFiles/multiclust.dir/subspace/rescu.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/subspace/rescu.cc.o.d"
+  "/root/repo/src/subspace/ris.cc" "src/CMakeFiles/multiclust.dir/subspace/ris.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/subspace/ris.cc.o.d"
+  "/root/repo/src/subspace/schism.cc" "src/CMakeFiles/multiclust.dir/subspace/schism.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/subspace/schism.cc.o.d"
+  "/root/repo/src/subspace/statpc.cc" "src/CMakeFiles/multiclust.dir/subspace/statpc.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/subspace/statpc.cc.o.d"
+  "/root/repo/src/subspace/subclu.cc" "src/CMakeFiles/multiclust.dir/subspace/subclu.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/subspace/subclu.cc.o.d"
+  "/root/repo/src/subspace/subspace_cluster.cc" "src/CMakeFiles/multiclust.dir/subspace/subspace_cluster.cc.o" "gcc" "src/CMakeFiles/multiclust.dir/subspace/subspace_cluster.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for multiclust.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altspace_test.dir/altspace_test.cc.o"
+  "CMakeFiles/altspace_test.dir/altspace_test.cc.o.d"
+  "altspace_test"
+  "altspace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

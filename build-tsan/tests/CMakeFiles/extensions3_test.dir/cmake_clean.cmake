@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extensions3_test.dir/extensions3_test.cc.o"
+  "CMakeFiles/extensions3_test.dir/extensions3_test.cc.o.d"
+  "extensions3_test"
+  "extensions3_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extensions3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiview_test.dir/multiview_test.cc.o"
+  "CMakeFiles/multiview_test.dir/multiview_test.cc.o.d"
+  "multiview_test"
+  "multiview_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiview_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orthogonal_test.dir/orthogonal_test.cc.o"
+  "CMakeFiles/orthogonal_test.dir/orthogonal_test.cc.o.d"
+  "orthogonal_test"
+  "orthogonal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orthogonal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
