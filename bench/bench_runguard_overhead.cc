@@ -1,0 +1,94 @@
+// Measures what the run-guard layer (RunBudget bookkeeping + fault-site
+// checks + ValidateMatrix at entry) adds to the k-means and GMM hot loops.
+// Each pair runs the identical workload with no budget (guards on their
+// fast path) and with a full budget (deadline + iteration cap + cancel
+// token armed, none of which fire). The acceptance bar is < 2% overhead.
+#include <benchmark/benchmark.h>
+
+#include "cluster/gmm.h"
+#include "cluster/kmeans.h"
+#include "data/generators.h"
+
+using namespace multiclust;
+
+namespace {
+
+Matrix BenchData() {
+  auto ds = MakeBlobs({{{0, 0, 0, 0, 0, 0, 0, 0}, 1.0, 250},
+                       {{8, 0, 8, 0, 8, 0, 8, 0}, 1.0, 250},
+                       {{0, 8, 0, 8, 0, 8, 0, 8}, 1.0, 250}},
+                      7);
+  return ds->data();
+}
+
+KMeansOptions KmOptions() {
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.restarts = 3;
+  opts.max_iters = 50;
+  opts.seed = 7;
+  return opts;
+}
+
+GmmOptions GmOptions() {
+  GmmOptions opts;
+  opts.k = 3;
+  opts.restarts = 2;
+  opts.max_iters = 30;
+  opts.seed = 7;
+  return opts;
+}
+
+// A budget wide enough that no limit ever fires: the run takes the exact
+// same path as an unlimited one but pays every guard check.
+RunBudget WideBudget(const CancelToken* cancel) {
+  RunBudget budget;
+  budget.deadline_ms = 3.6e6;  // one hour
+  budget.max_iterations = 1u << 20;
+  budget.cancel = cancel;
+  return budget;
+}
+
+void BM_KMeansNoBudget(benchmark::State& state) {
+  const Matrix data = BenchData();
+  const KMeansOptions opts = KmOptions();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunKMeans(data, opts));
+  }
+}
+BENCHMARK(BM_KMeansNoBudget);
+
+void BM_KMeansFullBudget(benchmark::State& state) {
+  const Matrix data = BenchData();
+  CancelToken cancel;
+  KMeansOptions opts = KmOptions();
+  opts.budget = WideBudget(&cancel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunKMeans(data, opts));
+  }
+}
+BENCHMARK(BM_KMeansFullBudget);
+
+void BM_GmmNoBudget(benchmark::State& state) {
+  const Matrix data = BenchData();
+  const GmmOptions opts = GmOptions();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitGmm(data, opts));
+  }
+}
+BENCHMARK(BM_GmmNoBudget);
+
+void BM_GmmFullBudget(benchmark::State& state) {
+  const Matrix data = BenchData();
+  CancelToken cancel;
+  GmmOptions opts = GmOptions();
+  opts.budget = WideBudget(&cancel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitGmm(data, opts));
+  }
+}
+BENCHMARK(BM_GmmFullBudget);
+
+}  // namespace
+
+BENCHMARK_MAIN();

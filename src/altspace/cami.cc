@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/rng.h"
+#include "common/runguard.h"
 
 namespace multiclust {
 
@@ -68,6 +69,7 @@ double CamiOverlap(const GmmModel& m1, const GmmModel& m2) {
 
 Result<CamiResult> RunCami(const Matrix& data, const CamiOptions& options) {
   if (data.rows() == 0) return Status::InvalidArgument("CAMI: empty data");
+  MC_RETURN_IF_ERROR(ValidateMatrix("CAMI", data));
   Rng rng(options.seed);
 
   CamiResult best;

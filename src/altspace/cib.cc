@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "common/runguard.h"
 #include "metrics/partition_similarity.h"
 #include "stats/contingency.h"
 
@@ -120,6 +121,7 @@ Result<CibResult> RunCib(const Matrix& counts, const std::vector<int>& known,
   if (options.k == 0 || options.k > n) {
     return Status::InvalidArgument("CIB: invalid k");
   }
+  MC_RETURN_IF_ERROR(ValidateMatrix("CIB", counts));
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j < counts.cols(); ++j) {
       if (counts.at(i, j) < 0) {

@@ -1,8 +1,11 @@
 #include "altspace/coala.h"
 
+#include <cmath>
 #include <limits>
+#include <string>
 
 #include "cluster/hierarchical.h"
+#include "common/fault.h"
 
 namespace multiclust {
 
@@ -19,6 +22,8 @@ Result<Clustering> RunCoala(const Matrix& data, const std::vector<int>& given,
   if (options.w <= 0) {
     return Status::InvalidArgument("COALA: w must be positive");
   }
+  MC_RETURN_IF_ERROR(ValidateMatrix("COALA", data));
+  BudgetTracker guard(options.budget, "coala");
 
   // Average-link distances between current groups, maintained with the
   // Lance-Williams update. violations(i, j) counts cannot-link pairs between
@@ -41,7 +46,14 @@ Result<Clustering> RunCoala(const Matrix& data, const std::vector<int>& given,
 
   CoalaStats local_stats;
   size_t remaining = n;
+  size_t iter = 0;
+  bool stopped_early = false;
   while (remaining > options.k) {
+    if (guard.Cancelled()) return guard.CancelledStatus();
+    if (guard.ShouldStop(iter)) {
+      stopped_early = true;
+      break;
+    }
     const double inf = std::numeric_limits<double>::infinity();
     double d_qual = inf, d_diss = inf;
     size_t qi = 0, qj = 0, di = 0, dj = 0;
@@ -61,6 +73,16 @@ Result<Clustering> RunCoala(const Matrix& data, const std::vector<int>& given,
           dj = j;
         }
       }
+    }
+
+    if (MC_FAULT_FIRES("coala", FaultKind::kInjectNaN, iter)) {
+      d_qual = std::numeric_limits<double>::quiet_NaN();
+    }
+    // The Lance-Williams recurrence cannot produce NaN from finite
+    // distances, so a NaN here means an injected fault or corrupted state.
+    if (std::isnan(d_qual) || std::isnan(d_diss)) {
+      return Status::ComputationError(
+          "COALA: non-finite merge distance at merge " + std::to_string(iter));
     }
 
     size_t mi, mj;
@@ -96,11 +118,16 @@ Result<Clustering> RunCoala(const Matrix& data, const std::vector<int>& given,
                        members[mj].end());
     members[mj].clear();
     --remaining;
+    ++iter;
   }
 
+  // A budget-stopped run returns the partial dendrogram cut: more than
+  // `k` clusters, flagged via `converged == false`.
   Clustering out;
   out.labels.assign(n, -1);
   out.algorithm = "coala";
+  out.iterations = iter;
+  out.converged = !stopped_early;
   int label = 0;
   for (size_t i = 0; i < n; ++i) {
     if (!active[i]) continue;

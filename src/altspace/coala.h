@@ -5,6 +5,7 @@
 
 #include "cluster/clustering.h"
 #include "common/result.h"
+#include "common/runguard.h"
 
 namespace multiclust {
 
@@ -16,6 +17,10 @@ struct CoalaOptions {
   /// d_qual < w * d_diss. Large w prefers quality, small w prefers
   /// dissimilarity from the given clustering.
   double w = 0.5;
+  /// Wall-clock / iteration / cancellation limits; each agglomerative
+  /// merge counts as one iteration. A stopped run returns the partial
+  /// dendrogram cut (more than `k` clusters, `converged == false`).
+  RunBudget budget;
 };
 
 /// Per-run diagnostics.

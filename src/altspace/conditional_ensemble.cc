@@ -4,6 +4,7 @@
 
 #include "cluster/hierarchical.h"
 #include "cluster/kmeans.h"
+#include "common/runguard.h"
 #include "common/rng.h"
 #include "metrics/partition_similarity.h"
 
@@ -23,6 +24,7 @@ Result<ConditionalEnsembleResult> RunConditionalEnsemble(
   if (options.k == 0 || options.k > n) {
     return Status::InvalidArgument("conditional ensemble: invalid k");
   }
+  MC_RETURN_IF_ERROR(ValidateMatrix("conditional ensemble", data));
   if (options.ensemble_size == 0) {
     return Status::InvalidArgument(
         "conditional ensemble: ensemble_size must be > 0");

@@ -2,9 +2,11 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "cluster/clustering.h"
 #include "cluster/kmeans.h"
+#include "common/fault.h"
 #include "common/rng.h"
 #include "linalg/decomposition.h"
 
@@ -78,6 +80,116 @@ double Objective(const Matrix& data, const State& s, double lambda) {
   return g;
 }
 
+// One alternating-minimisation restart under the shared budget tracker.
+struct RestartOutcome {
+  State state;
+  std::vector<double> history;
+  size_t iterations = 0;
+  bool converged = false;
+};
+
+Result<RestartOutcome> RunRestart(const Matrix& data,
+                                  const DecKMeansOptions& options,
+                                  Rng* rng, BudgetTracker* guard) {
+  const size_t n = data.rows();
+  const size_t d = data.cols();
+  const size_t num_clusterings = options.ks.size();
+  RestartOutcome out;
+  State& s = out.state;
+  s.reps.resize(num_clusterings);
+  s.labels.resize(num_clusterings);
+  s.means.resize(num_clusterings);
+  // Initialise each clustering's representatives from an independent
+  // k-means run with its own seed (diverse starting points).
+  for (size_t t = 0; t < num_clusterings; ++t) {
+    KMeansOptions km;
+    km.k = options.ks[t];
+    km.max_iters = 3;
+    km.seed = rng->NextU64();
+    MC_ASSIGN_OR_RETURN(Clustering init, RunKMeans(data, km));
+    s.reps[t] = init.centroids;
+    s.labels[t] = init.labels;
+    s.means[t] = MeansFromLabels(data, s.labels[t], s.reps[t],
+                                 options.ks[t]);
+  }
+
+  std::vector<double>& history = out.history;
+  double prev = Objective(data, s, options.lambda);
+  history.push_back(prev);
+
+  for (size_t iter = 0; iter < options.max_iters; ++iter) {
+    if (guard->Cancelled()) return guard->CancelledStatus();
+    if (guard->ShouldStop(iter)) break;
+    for (size_t t = 0; t < num_clusterings; ++t) {
+      // 1. Assignment to nearest representative.
+      s.labels[t] = AssignToNearest(data, s.reps[t]);
+      // 2. Means from assignment.
+      s.means[t] =
+          MeansFromLabels(data, s.labels[t], s.reps[t], options.ks[t]);
+      // 3. Closed-form representative update: minimising
+      //    sum_{x in C_i} ||x - r||^2 + lambda * sum_{u != t, j}
+      //    (beta^u_j^T r)^2 gives
+      //    (|C_i| I + lambda * B) r = sum_{x in C_i} x,
+      //    with B = sum_{u != t} sum_j beta^u_j beta^u_j^T.
+      Matrix b(d, d);
+      for (size_t u = 0; u < num_clusterings; ++u) {
+        if (u == t) continue;
+        for (size_t j = 0; j < s.means[u].rows(); ++j) {
+          const double* m = s.means[u].row_data(j);
+          for (size_t a = 0; a < d; ++a) {
+            for (size_t c = 0; c < d; ++c) {
+              b.at(a, c) += options.lambda * m[a] * m[c];
+            }
+          }
+        }
+      }
+      std::vector<size_t> counts(options.ks[t], 0);
+      Matrix sums(options.ks[t], d);
+      for (size_t i = 0; i < n; ++i) {
+        const int c = s.labels[t][i];
+        if (c < 0) continue;
+        ++counts[c];
+        const double* row = data.row_data(i);
+        double* acc = sums.row_data(c);
+        for (size_t j = 0; j < d; ++j) acc[j] += row[j];
+      }
+      for (size_t c = 0; c < options.ks[t]; ++c) {
+        if (counts[c] == 0) {
+          // Re-seed an empty cluster at a random object.
+          s.reps[t].SetRow(c, data.Row(rng->NextIndex(n)));
+          continue;
+        }
+        Matrix a = b;
+        for (size_t j = 0; j < d; ++j) {
+          a.at(j, j) += static_cast<double>(counts[c]) + 1e-9;
+        }
+        MC_ASSIGN_OR_RETURN(std::vector<double> r,
+                            SolveSpd(a, sums.Row(c)));
+        s.reps[t].SetRow(c, r);
+      }
+    }
+    double cur = Objective(data, s, options.lambda);
+    if (MC_FAULT_FIRES("dec-kmeans", FaultKind::kInjectNaN, iter)) {
+      cur = std::numeric_limits<double>::quiet_NaN();
+    }
+    history.push_back(cur);
+    out.iterations = iter + 1;
+    if (!std::isfinite(cur)) {
+      return Status::ComputationError(
+          "dec-kmeans: non-finite objective at iteration " +
+          std::to_string(iter));
+    }
+    if (std::fabs(prev - cur) <= options.tol * (std::fabs(prev) + 1.0) &&
+        !MC_FAULT_FIRES("dec-kmeans", FaultKind::kForceNonConvergence,
+                        iter)) {
+      out.converged = true;
+      break;
+    }
+    prev = cur;
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<DecKMeansResult> RunDecorrelatedKMeans(
@@ -97,115 +209,51 @@ Result<DecKMeansResult> RunDecorrelatedKMeans(
   if (options.lambda < 0) {
     return Status::InvalidArgument("dec-kmeans: lambda must be >= 0");
   }
+  MC_RETURN_IF_ERROR(ValidateMatrix("dec-kmeans", data));
 
+  BudgetTracker guard(options.budget, "dec-kmeans");
   Rng rng(options.seed);
+  RestartOutcome best;
   double best_objective = std::numeric_limits<double>::infinity();
-  State best_state;
-  std::vector<double> best_history;
+  bool have_best = false;
+  Status last_error = Status::OK();
 
   const size_t restarts = options.restarts == 0 ? 1 : options.restarts;
   for (size_t restart = 0; restart < restarts; ++restart) {
-    State s;
-    s.reps.resize(num_clusterings);
-    s.labels.resize(num_clusterings);
-    s.means.resize(num_clusterings);
-    // Initialise each clustering's representatives from an independent
-    // k-means run with its own seed (diverse starting points).
-    for (size_t t = 0; t < num_clusterings; ++t) {
-      KMeansOptions km;
-      km.k = options.ks[t];
-      km.max_iters = 3;
-      km.seed = rng.NextU64();
-      MC_ASSIGN_OR_RETURN(Clustering init, RunKMeans(data, km));
-      s.reps[t] = init.centroids;
-      s.labels[t] = init.labels;
-      s.means[t] = MeansFromLabels(data, s.labels[t], s.reps[t],
-                                   options.ks[t]);
+    if (restart > 0 && guard.DeadlineExpired()) break;
+    Result<RestartOutcome> run = RunRestart(data, options, &rng, &guard);
+    if (!run.ok()) {
+      if (run.status().code() == StatusCode::kCancelled) return run.status();
+      last_error = run.status();
+      continue;  // a degenerate restart does not kill the others
     }
-
-    std::vector<double> history;
-    double prev = Objective(data, s, options.lambda);
-    history.push_back(prev);
-
-    for (size_t iter = 0; iter < options.max_iters; ++iter) {
-      for (size_t t = 0; t < num_clusterings; ++t) {
-        // 1. Assignment to nearest representative.
-        s.labels[t] = AssignToNearest(data, s.reps[t]);
-        // 2. Means from assignment.
-        s.means[t] =
-            MeansFromLabels(data, s.labels[t], s.reps[t], options.ks[t]);
-        // 3. Closed-form representative update: minimising
-        //    sum_{x in C_i} ||x - r||^2 + lambda * sum_{u != t, j}
-        //    (beta^u_j^T r)^2 gives
-        //    (|C_i| I + lambda * B) r = sum_{x in C_i} x,
-        //    with B = sum_{u != t} sum_j beta^u_j beta^u_j^T.
-        Matrix b(d, d);
-        for (size_t u = 0; u < num_clusterings; ++u) {
-          if (u == t) continue;
-          for (size_t j = 0; j < s.means[u].rows(); ++j) {
-            const double* m = s.means[u].row_data(j);
-            for (size_t a = 0; a < d; ++a) {
-              for (size_t c = 0; c < d; ++c) {
-                b.at(a, c) += options.lambda * m[a] * m[c];
-              }
-            }
-          }
-        }
-        std::vector<size_t> counts(options.ks[t], 0);
-        Matrix sums(options.ks[t], d);
-        for (size_t i = 0; i < n; ++i) {
-          const int c = s.labels[t][i];
-          if (c < 0) continue;
-          ++counts[c];
-          const double* row = data.row_data(i);
-          double* acc = sums.row_data(c);
-          for (size_t j = 0; j < d; ++j) acc[j] += row[j];
-        }
-        for (size_t c = 0; c < options.ks[t]; ++c) {
-          if (counts[c] == 0) {
-            // Re-seed an empty cluster at a random object.
-            s.reps[t].SetRow(c, data.Row(rng.NextIndex(n)));
-            continue;
-          }
-          Matrix a = b;
-          for (size_t j = 0; j < d; ++j) {
-            a.at(j, j) += static_cast<double>(counts[c]) + 1e-9;
-          }
-          MC_ASSIGN_OR_RETURN(std::vector<double> r,
-                              SolveSpd(a, sums.Row(c)));
-          s.reps[t].SetRow(c, r);
-        }
-      }
-      const double cur = Objective(data, s, options.lambda);
-      history.push_back(cur);
-      if (std::fabs(prev - cur) <= options.tol * (std::fabs(prev) + 1.0)) {
-        break;
-      }
-      prev = cur;
-    }
-
-    const double final_obj = history.back();
-    if (final_obj < best_objective) {
+    const double final_obj = run->history.back();
+    if (!have_best || final_obj < best_objective) {
       best_objective = final_obj;
-      best_state = std::move(s);
-      best_history = std::move(history);
+      best = std::move(*run);
+      have_best = true;
     }
   }
+  if (!have_best) return last_error;
 
   DecKMeansResult result;
   result.objective = best_objective;
-  result.history = std::move(best_history);
+  result.history = std::move(best.history);
+  result.iterations = best.iterations;
+  result.converged = best.converged;
   for (size_t t = 0; t < num_clusterings; ++t) {
     Clustering c;
-    c.labels = best_state.labels[t];
-    c.centroids = best_state.reps[t];
+    c.labels = best.state.labels[t];
+    c.centroids = best.state.reps[t];
     c.algorithm = "dec-kmeans";
+    c.iterations = best.iterations;
+    c.converged = best.converged;
     double sse = 0.0;
     for (size_t i = 0; i < n; ++i) {
       const int cl = c.labels[i];
       if (cl < 0) continue;
       const double* row = data.row_data(i);
-      const double* rep = best_state.reps[t].row_data(cl);
+      const double* rep = best.state.reps[t].row_data(cl);
       for (size_t j = 0; j < d; ++j) {
         const double diff = row[j] - rep[j];
         sse += diff * diff;

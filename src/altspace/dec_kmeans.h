@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/runguard.h"
 #include "core/solution_set.h"
 #include "linalg/matrix.h"
 
@@ -22,6 +23,8 @@ struct DecKMeansOptions {
   size_t restarts = 3;
   double tol = 1e-7;  ///< relative objective change for convergence
   uint64_t seed = 1;
+  /// Wall-clock / iteration / cancellation limits (see common/runguard.h).
+  RunBudget budget;
 };
 
 /// Full output of a run.
@@ -34,6 +37,10 @@ struct DecKMeansResult {
   /// Objective after each outer iteration of the best restart (for the
   /// monotonicity property test).
   std::vector<double> history;
+  /// Outer iterations of the best restart and whether it converged before
+  /// an iteration/budget cap stopped it.
+  size_t iterations = 0;
+  bool converged = false;
 };
 
 /// Simultaneously finds T decorrelated clusterings by alternating

@@ -6,6 +6,7 @@
 #include "cluster/clustering.h"
 #include "cluster/kmeans.h"
 #include "common/rng.h"
+#include "common/runguard.h"
 #include "stats/contingency.h"
 
 namespace multiclust {
@@ -69,6 +70,7 @@ Result<DisparateResult> RunDisparateClustering(
   if (options.lambda < 0) {
     return Status::InvalidArgument("disparate: lambda must be >= 0");
   }
+  MC_RETURN_IF_ERROR(ValidateMatrix("disparate", data));
 
   Rng rng(options.seed);
   // Scale the contingency penalty to the data's distance magnitude: one

@@ -1,9 +1,12 @@
 #include "altspace/meta_clustering.h"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "cluster/hierarchical.h"
 #include "cluster/kmeans.h"
+#include "common/runguard.h"
 #include "common/rng.h"
 #include "metrics/partition_similarity.h"
 
@@ -17,13 +20,19 @@ Result<MetaClusteringResult> RunMetaClustering(
   if (options.meta_k == 0 || options.meta_k > options.num_base) {
     return Status::InvalidArgument("meta clustering: invalid meta_k");
   }
+  MC_RETURN_IF_ERROR(ValidateMatrix("meta clustering", data));
+  BudgetTracker guard(options.budget, "meta-clustering");
 
   Rng rng(options.seed);
   MetaClusteringResult result;
   result.base.reserve(options.num_base);
 
-  // 1. Blind/diversified generation of base clusterings.
+  // 1. Blind/diversified generation of base clusterings. A base run that
+  //    fails recoverably is skipped; once the deadline expires (with at
+  //    least two bases in hand) generation stops and the meta level works
+  //    on the partial ensemble.
   for (size_t b = 0; b < options.num_base; ++b) {
+    if (guard.Cancelled()) return guard.CancelledStatus();
     Matrix view = data;
     if (options.feature_weighting) {
       for (size_t j = 0; j < view.cols(); ++j) {
@@ -37,9 +46,27 @@ Result<MetaClusteringResult> RunMetaClustering(
     km.restarts = 1;
     km.plus_plus_init = false;  // deliberate: keep generation undirected
     km.seed = rng.NextU64();
-    MC_ASSIGN_OR_RETURN(Clustering c, RunKMeans(view, km));
-    c.algorithm = "meta-base-kmeans";
-    result.base.push_back(std::move(c));
+    if (result.base.size() >= 2 && guard.DeadlineExpired()) {
+      result.warnings.push_back(
+          "meta clustering: deadline expired after " +
+          std::to_string(result.base.size()) + " of " +
+          std::to_string(options.num_base) + " base runs");
+      break;
+    }
+    Result<Clustering> c = RunKMeans(view, km);
+    if (!c.ok()) {
+      if (c.status().code() == StatusCode::kCancelled) return c.status();
+      result.warnings.push_back("meta clustering: base run " +
+                                std::to_string(b) +
+                                " skipped: " + c.status().ToString());
+      continue;
+    }
+    c->algorithm = "meta-base-kmeans";
+    result.base.push_back(std::move(*c));
+  }
+  if (result.base.size() < 2) {
+    return Status::ComputationError(
+        "meta clustering: fewer than two usable base clusterings");
   }
 
   // 2. Pairwise dissimilarity between base clusterings (1 - Rand).
@@ -59,7 +86,8 @@ Result<MetaClusteringResult> RunMetaClustering(
   // 3. Meta-level grouping: average-link agglomerative on the
   //    clustering-dissimilarity matrix.
   AgglomerativeOptions agg;
-  agg.k = options.meta_k;
+  // A deadline-truncated ensemble may hold fewer bases than meta_k.
+  agg.k = std::min(options.meta_k, m);
   agg.linkage = Linkage::kAverage;
   MC_ASSIGN_OR_RETURN(AgglomerativeResult meta,
                       AgglomerateFromDistances(result.dissimilarity, agg));

@@ -4,8 +4,11 @@
 #include <cstdint>
 #include <vector>
 
+#include <string>
+
 #include "cluster/clustering.h"
 #include "common/result.h"
+#include "common/runguard.h"
 #include "core/solution_set.h"
 
 namespace multiclust {
@@ -26,6 +29,10 @@ struct MetaClusteringOptions {
   /// Exponent range for feature weights w ~ 10^U(-spread, +spread).
   double weight_spread = 1.0;
   uint64_t seed = 1;
+  /// Wall-clock / cancellation limits. Base generation stops early when
+  /// the deadline expires; the meta grouping then runs on the bases
+  /// generated so far (at least two).
+  RunBudget budget;
 };
 
 /// Full output of a meta-clustering run.
@@ -38,6 +45,9 @@ struct MetaClusteringResult {
   std::vector<int> group_of_base;
   /// One representative (medoid) clustering per meta group.
   SolutionSet representatives;
+  /// Base runs skipped (recoverable failure) or cut off (deadline);
+  /// empty on a clean run.
+  std::vector<std::string> warnings;
 };
 
 /// Generates many clusterings, groups them at the meta level by clustering

@@ -4,6 +4,7 @@
 
 #include "cluster/kmeans.h"
 #include "common/rng.h"
+#include "common/runguard.h"
 #include "stats/contingency.h"
 #include "stats/hsic.h"
 
@@ -46,6 +47,7 @@ Result<Clustering> RunMinCEntropy(const Matrix& data,
   if (options.k == 0 || options.k > n) {
     return Status::InvalidArgument("minCEntropy: invalid k");
   }
+  MC_RETURN_IF_ERROR(ValidateMatrix("minCEntropy", data));
   for (const auto& g : given) {
     if (g.size() != n) {
       return Status::InvalidArgument(

@@ -23,6 +23,12 @@ struct Clustering {
   double quality = std::numeric_limits<double>::quiet_NaN();
   /// Name of the producing algorithm (for reports).
   std::string algorithm;
+  /// Convergence diagnostics: outer iterations the producing optimisation
+  /// loop executed, and whether its convergence criterion was met before
+  /// an iteration/budget cap stopped it. Non-iterative producers leave
+  /// the defaults.
+  size_t iterations = 0;
+  bool converged = true;
 
   /// Number of distinct non-noise clusters.
   size_t NumClusters() const;

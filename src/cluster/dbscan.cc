@@ -4,6 +4,7 @@
 
 #include "cluster/grid_index.h"
 #include "common/parallel.h"
+#include "common/runguard.h"
 
 namespace multiclust {
 
@@ -103,6 +104,7 @@ Result<Clustering> RunDbscan(const Matrix& data,
   if (options.min_pts == 0) {
     return Status::InvalidArgument("DBSCAN: min_pts must be positive");
   }
+  MC_RETURN_IF_ERROR(ValidateMatrix("DBSCAN", data));
   if (options.use_index && data.cols() <= GridIndex::kMaxIndexDims &&
       data.rows() > 0) {
     MC_ASSIGN_OR_RETURN(std::vector<std::vector<int>> neighbors,

@@ -165,7 +165,13 @@ Status MStepFromResponsibilities(const Matrix& data,
         }
       }
     }
-    for (double& v : var) v = std::max(v / nc, variance_floor);
+    for (double& v : var) {
+      v /= nc;
+      // Degenerate covariance recovery: a collapsed or numerically
+      // poisoned variance is clamped to the floor instead of propagating
+      // a zero/NaN into the next E-step's densities.
+      v = std::isfinite(v) ? std::max(v, variance_floor) : variance_floor;
+    }
     comp.weight = nc / static_cast<double>(n);
     comp.mean = std::move(mean);
     comp.variances = std::move(var);
@@ -203,35 +209,79 @@ Result<double> EmStep(const Matrix& data, double variance_floor,
   return ll;
 }
 
+namespace {
+
+// One EM restart under the shared budget tracker. Returns
+// kComputationError on a non-finite log-likelihood (numerical degeneracy
+// or an injected fault), kCancelled on cooperative cancellation.
+Result<GmmModel> FitGmmOnce(const Matrix& data, const GmmOptions& options,
+                            uint64_t seed, BudgetTracker* guard) {
+  MC_ASSIGN_OR_RETURN(GmmModel model,
+                      InitGmm(data, options.k, options.covariance, seed));
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  for (size_t iter = 0; iter < options.max_iters; ++iter) {
+    if (guard->Cancelled()) return guard->CancelledStatus();
+    if (guard->ShouldStop(iter)) break;
+    MC_ASSIGN_OR_RETURN(double ll,
+                        EmStep(data, options.variance_floor, &model));
+    if (MC_FAULT_FIRES("gmm", FaultKind::kInjectNaN, iter)) {
+      ll = std::numeric_limits<double>::quiet_NaN();
+    }
+    model.iterations = iter + 1;
+    if (!std::isfinite(ll)) {
+      return Status::ComputationError(
+          "GMM-EM: non-finite log-likelihood at iteration " +
+          std::to_string(iter));
+    }
+    if (std::isfinite(prev_ll) &&
+        std::fabs(ll - prev_ll) <= options.tol * (std::fabs(prev_ll) + 1.0) &&
+        !MC_FAULT_FIRES("gmm", FaultKind::kForceNonConvergence, iter)) {
+      model.converged = true;
+      break;
+    }
+    prev_ll = ll;
+  }
+  model.log_likelihood = model.TotalLogLikelihood(data);
+  return model;
+}
+
+}  // namespace
+
 Result<GmmModel> FitGmm(const Matrix& data, const GmmOptions& options) {
   if (data.rows() == 0 || data.cols() == 0) {
     return Status::InvalidArgument("FitGmm: empty data");
   }
+  MC_RETURN_IF_ERROR(ValidateMatrix("GMM-EM", data));
+  BudgetTracker guard(options.budget, "gmm");
   Rng rng(options.seed);
   GmmModel best;
   double best_ll = -std::numeric_limits<double>::infinity();
+  bool have_best = false;
+  Status last_error = Status::OK();
   const size_t restarts = options.restarts == 0 ? 1 : options.restarts;
   for (size_t r = 0; r < restarts; ++r) {
-    MC_ASSIGN_OR_RETURN(
-        GmmModel model,
-        InitGmm(data, options.k, options.covariance, rng.NextU64()));
-    double prev_ll = -std::numeric_limits<double>::infinity();
-    for (size_t iter = 0; iter < options.max_iters; ++iter) {
-      MC_ASSIGN_OR_RETURN(double ll,
-                          EmStep(data, options.variance_floor, &model));
-      if (std::isfinite(prev_ll) &&
-          std::fabs(ll - prev_ll) <=
-              options.tol * (std::fabs(prev_ll) + 1.0)) {
-        break;
+    const uint64_t restart_seed = rng.NextU64();
+    if (r > 0 && guard.DeadlineExpired()) break;
+    Result<GmmModel> model = FitGmmOnce(data, options, restart_seed, &guard);
+    if (!model.ok()) {
+      if (model.status().code() == StatusCode::kCancelled) {
+        return model.status();
       }
-      prev_ll = ll;
+      last_error = model.status();
+      continue;  // a degenerate restart does not kill the others
     }
-    model.log_likelihood = model.TotalLogLikelihood(data);
-    if (model.log_likelihood > best_ll) {
-      best_ll = model.log_likelihood;
-      best = std::move(model);
+    if (!std::isfinite(model->log_likelihood)) {
+      last_error = Status::ComputationError(
+          "GMM-EM: non-finite final log-likelihood");
+      continue;
+    }
+    if (!have_best || model->log_likelihood > best_ll) {
+      best_ll = model->log_likelihood;
+      best = std::move(*model);
+      have_best = true;
     }
   }
+  if (!have_best) return last_error;
   return best;
 }
 
@@ -241,6 +291,8 @@ Result<Clustering> RunGmm(const Matrix& data, const GmmOptions& options) {
   c.labels = model.HardAssign(data);
   c.quality = model.log_likelihood;
   c.algorithm = "gmm-em";
+  c.iterations = model.iterations;
+  c.converged = model.converged;
   Matrix centroids(model.k(), data.cols());
   for (size_t i = 0; i < model.k(); ++i) {
     centroids.SetRow(i, model.components[i].mean);

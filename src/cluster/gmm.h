@@ -7,6 +7,7 @@
 
 #include "cluster/clustering.h"
 #include "common/result.h"
+#include "common/runguard.h"
 #include "linalg/matrix.h"
 
 namespace multiclust {
@@ -33,6 +34,10 @@ struct GmmComponent {
 struct GmmModel {
   std::vector<GmmComponent> components;
   double log_likelihood = 0.0;
+  /// EM iterations of the winning restart and whether its relative
+  /// log-likelihood change dropped below tol before any cap stopped it.
+  size_t iterations = 0;
+  bool converged = false;
 
   size_t k() const { return components.size(); }
 
@@ -58,6 +63,8 @@ struct GmmOptions {
   double variance_floor = 1e-6;
   CovarianceType covariance = CovarianceType::kDiagonal;
   uint64_t seed = 1;
+  /// Wall-clock / iteration / cancellation limits (see common/runguard.h).
+  RunBudget budget;
 };
 
 /// Fits a GMM by EM (k-means++ initialisation). Returns the best restart by

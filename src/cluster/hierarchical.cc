@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/runguard.h"
+
 namespace multiclust {
 
 Matrix PairwiseDistances(const Matrix& data) {
@@ -119,6 +121,7 @@ Result<AgglomerativeResult> RunAgglomerative(
   if (data.rows() == 0) {
     return Status::InvalidArgument("agglomerative: empty data");
   }
+  MC_RETURN_IF_ERROR(ValidateMatrix("agglomerative", data));
   return AgglomerateFromDistances(PairwiseDistances(data), options);
 }
 

@@ -65,10 +65,13 @@ struct LloydResult {
   std::vector<int> labels;
   Matrix centers;
   double sse = 0.0;
+  size_t iterations = 0;
+  bool converged = false;
 };
 
-LloydResult RunLloyd(const Matrix& data, size_t k, size_t max_iters,
-                     double tol, bool plus_plus, Rng* rng) {
+Result<LloydResult> RunLloyd(const Matrix& data, size_t k, size_t max_iters,
+                             double tol, bool plus_plus, Rng* rng,
+                             BudgetTracker* guard) {
   const size_t n = data.rows();
   const size_t d = data.cols();
   LloydResult r;
@@ -77,6 +80,8 @@ LloydResult RunLloyd(const Matrix& data, size_t k, size_t max_iters,
   const std::vector<double> x_norms = RowSquaredNorms(data);
 
   for (size_t iter = 0; iter < max_iters; ++iter) {
+    if (guard->Cancelled()) return guard->CancelledStatus();
+    if (guard->ShouldStop(iter)) break;
     // Assignment step in the norm form ||x||^2 - 2 x.c + ||c||^2: the
     // inner loop is a plain dot product. Labels are written per point, so
     // the step is bit-identical for any thread count.
@@ -117,9 +122,22 @@ LloydResult RunLloyd(const Matrix& data, size_t k, size_t max_iters,
       double* ctr = next.row_data(c);
       for (size_t j = 0; j < d; ++j) ctr[j] /= static_cast<double>(counts[c]);
     }
+    if (MC_FAULT_FIRES("kmeans", FaultKind::kInjectNaN, iter)) {
+      next.at(0, 0) = std::numeric_limits<double>::quiet_NaN();
+    }
     const double shift = next.MaxAbsDiff(r.centers);
     r.centers = std::move(next);
-    if (shift <= tol) break;
+    r.iterations = iter + 1;
+    if (!std::isfinite(shift)) {
+      return Status::ComputationError(
+          "k-means: non-finite centre shift at iteration " +
+          std::to_string(iter));
+    }
+    if (shift <= tol &&
+        !MC_FAULT_FIRES("kmeans", FaultKind::kForceNonConvergence, iter)) {
+      r.converged = true;
+      break;
+    }
   }
 
   // Exact-form SSE via deterministic chunked reduction (fixed grain), so
@@ -145,21 +163,40 @@ Result<Clustering> RunKMeans(const Matrix& data,
   if (data.rows() < options.k) {
     return Status::InvalidArgument("k-means: fewer objects than clusters");
   }
+  MC_RETURN_IF_ERROR(ValidateMatrix("k-means", data));
+  BudgetTracker guard(options.budget, "kmeans");
   Rng rng(options.seed);
   LloydResult best;
   best.sse = std::numeric_limits<double>::infinity();
+  bool have_best = false;
+  Status last_error = Status::OK();
   const size_t restarts = options.restarts == 0 ? 1 : options.restarts;
   for (size_t r = 0; r < restarts; ++r) {
     Rng child = rng.Split();
-    LloydResult run = RunLloyd(data, options.k, options.max_iters,
-                               options.tol, options.plus_plus_init, &child);
-    if (run.sse < best.sse) best = std::move(run);
+    if (r > 0 && guard.DeadlineExpired()) break;
+    Result<LloydResult> run =
+        RunLloyd(data, options.k, options.max_iters, options.tol,
+                 options.plus_plus_init, &child, &guard);
+    if (!run.ok()) {
+      // Cancellation aborts the whole call; a numerically degenerate
+      // restart is skipped — the remaining restarts still compete.
+      if (run.status().code() == StatusCode::kCancelled) return run.status();
+      last_error = run.status();
+      continue;
+    }
+    if (!have_best || run->sse < best.sse) {
+      best = std::move(*run);
+      have_best = true;
+    }
   }
+  if (!have_best) return last_error;
   Clustering c;
   c.labels = std::move(best.labels);
   c.centroids = std::move(best.centers);
   c.quality = best.sse;
   c.algorithm = "kmeans";
+  c.iterations = best.iterations;
+  c.converged = best.converged;
   return c;
 }
 

@@ -6,6 +6,7 @@
 
 #include "cluster/clustering.h"
 #include "common/result.h"
+#include "common/runguard.h"
 
 namespace multiclust {
 
@@ -20,6 +21,10 @@ struct KMeansOptions {
   /// Convergence threshold on centre movement (max abs coordinate change).
   double tol = 1e-6;
   uint64_t seed = 1;
+  /// Wall-clock / iteration / cancellation limits (see common/runguard.h).
+  /// Unlimited by default. On deadline or iteration-cap expiry the best
+  /// result so far is returned with `converged = false`.
+  RunBudget budget;
 };
 
 /// Runs k-means on the rows of `data`. The returned Clustering carries the

@@ -1,6 +1,7 @@
 #include "cluster/spectral.h"
 
 #include <cmath>
+#include <limits>
 
 #include "cluster/kmeans.h"
 #include "common/parallel.h"
@@ -15,6 +16,8 @@ Result<Clustering> RunSpectral(const Matrix& data,
   if (options.k == 0 || n < options.k) {
     return Status::InvalidArgument("spectral: invalid k for data size");
   }
+  MC_RETURN_IF_ERROR(ValidateMatrix("spectral", data));
+  BudgetTracker guard(options.budget, "spectral");
 
   // Affinity with zero diagonal (standard NJW).
   Matrix w = GaussianKernelMatrix(data, options.gamma);
@@ -39,7 +42,9 @@ Result<Clustering> RunSpectral(const Matrix& data,
     }
   });
 
+  if (guard.Cancelled()) return guard.CancelledStatus();
   MC_ASSIGN_OR_RETURN(SymmetricEigen eig, EigenSymmetric(norm));
+  if (guard.Cancelled()) return guard.CancelledStatus();
 
   // Embed into the top-k eigenvectors, row-normalised.
   Matrix embed(n, options.k);
@@ -56,10 +61,21 @@ Result<Clustering> RunSpectral(const Matrix& data,
     }
   }
 
+  if (MC_FAULT_FIRES("spectral", FaultKind::kInjectNaN, 0)) {
+    embed.at(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  }
+  // A degenerate eigendecomposition must surface as a recoverable
+  // computation error, not as poisoned labels out of k-means.
+  if (!ValidateMatrix("spectral", embed).ok()) {
+    return Status::ComputationError(
+        "spectral: non-finite spectral embedding");
+  }
+
   KMeansOptions km;
   km.k = options.k;
   km.restarts = options.kmeans_restarts;
   km.seed = options.seed;
+  km.budget = guard.Remaining();
   MC_ASSIGN_OR_RETURN(Clustering c, RunKMeans(embed, km));
   c.algorithm = "spectral";
   c.centroids = Matrix();  // centroids live in embedding space; drop them

@@ -6,6 +6,7 @@
 
 #include "cluster/clustering.h"
 #include "common/result.h"
+#include "common/runguard.h"
 
 namespace multiclust {
 
@@ -17,6 +18,10 @@ struct SpectralOptions {
   /// k-means settings for the embedded space.
   size_t kmeans_restarts = 5;
   uint64_t seed = 1;
+  /// Wall-clock / cancellation limits. Checked between the affinity,
+  /// eigendecomposition and embedded-k-means phases; the remaining
+  /// deadline is forwarded to the embedded k-means.
+  RunBudget budget;
 };
 
 /// Spectral clustering (Ng, Jordan & Weiss 2001): Gaussian affinity,

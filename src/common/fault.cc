@@ -1,0 +1,66 @@
+#include "common/fault.h"
+
+#if defined(MULTICLUST_FAULT_INJECTION)
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+namespace multiclust {
+namespace fault {
+
+namespace {
+
+struct ArmedFault {
+  FaultSpec spec;
+  size_t fires = 0;
+};
+
+std::mutex g_mutex;
+std::atomic<int> g_armed{0};
+std::atomic<size_t> g_total_fires{0};
+
+std::vector<ArmedFault>& Registry() {
+  static std::vector<ArmedFault>* r = new std::vector<ArmedFault>();
+  return *r;
+}
+
+}  // namespace
+
+void Arm(const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  Registry().push_back({spec, 0});
+  g_armed.store(static_cast<int>(Registry().size()),
+                std::memory_order_release);
+}
+
+void Reset() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  Registry().clear();
+  g_armed.store(0, std::memory_order_release);
+  g_total_fires.store(0, std::memory_order_relaxed);
+}
+
+bool ShouldFire(const char* site, FaultKind kind, size_t iteration) {
+  // Fast path: nothing armed (the normal state of a production process).
+  if (g_armed.load(std::memory_order_acquire) == 0) return false;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  for (ArmedFault& f : Registry()) {
+    if (f.spec.kind != kind) continue;
+    if (iteration < f.spec.at_iteration) continue;
+    if (f.spec.max_fires != 0 && f.fires >= f.spec.max_fires) continue;
+    if (std::strcmp(f.spec.site.c_str(), site) != 0) continue;
+    ++f.fires;
+    g_total_fires.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+size_t TotalFires() { return g_total_fires.load(std::memory_order_relaxed); }
+
+}  // namespace fault
+}  // namespace multiclust
+
+#endif  // MULTICLUST_FAULT_INJECTION

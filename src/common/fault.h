@@ -1,0 +1,76 @@
+#ifndef MULTICLUST_COMMON_FAULT_H_
+#define MULTICLUST_COMMON_FAULT_H_
+
+#include <cstddef>
+#include <string>
+
+namespace multiclust {
+
+/// Kinds of faults the injector can simulate inside iterative loops.
+enum class FaultKind {
+  kInjectNaN,            ///< poison a numeric value with quiet NaN
+  kForceNonConvergence,  ///< suppress an algorithm's convergence test
+  kExpireDeadline,       ///< make the run budget report an expired deadline
+};
+
+/// One armed fault. It fires at the named `site` (e.g. "kmeans", "gmm",
+/// "dec-kmeans") once the outer iteration counter reaches `at_iteration`,
+/// at most `max_fires` times in total (0 = unlimited). Re-running the same
+/// algorithm with the same armed spec yields the same firing sequence, so
+/// every recovery path is deterministically testable.
+struct FaultSpec {
+  std::string site;
+  FaultKind kind = FaultKind::kInjectNaN;
+  size_t at_iteration = 0;
+  size_t max_fires = 0;
+};
+
+/// Deterministic fault injector. The hooks are compiled into the library
+/// only when MULTICLUST_FAULT_INJECTION is defined (a CMake option, ON by
+/// default so the test suite can exercise recovery paths); without it every
+/// call site reduces to a constant `false` and the whole subsystem costs
+/// nothing. With injection compiled in but nothing armed, the per-iteration
+/// cost is one relaxed atomic load.
+namespace fault {
+
+#if defined(MULTICLUST_FAULT_INJECTION)
+
+/// Arms `spec` (appends to the active set). Thread-safe.
+void Arm(const FaultSpec& spec);
+
+/// Clears all armed faults and fire counters.
+void Reset();
+
+/// True when an armed fault matches (site, kind) and covers `iteration`;
+/// each true return consumes one of the fault's `max_fires`.
+bool ShouldFire(const char* site, FaultKind kind, size_t iteration);
+
+/// Number of times any fault fired since the last Reset().
+size_t TotalFires();
+
+#else
+
+inline void Arm(const FaultSpec&) {}
+inline void Reset() {}
+inline constexpr bool ShouldFire(const char*, FaultKind, size_t) {
+  return false;
+}
+inline constexpr size_t TotalFires() { return 0; }
+
+#endif  // MULTICLUST_FAULT_INJECTION
+
+}  // namespace fault
+}  // namespace multiclust
+
+/// Hot-loop hook. Usage:
+///   if (MC_FAULT_FIRES("kmeans", FaultKind::kInjectNaN, iter)) { ... }
+/// Expands to a compile-time `false` when fault injection is disabled, so
+/// the branch (and anything guarded by it) is eliminated entirely.
+#if defined(MULTICLUST_FAULT_INJECTION)
+#define MC_FAULT_FIRES(site, kind, iter) \
+  (::multiclust::fault::ShouldFire((site), (kind), (iter)))
+#else
+#define MC_FAULT_FIRES(site, kind, iter) (false)
+#endif
+
+#endif  // MULTICLUST_COMMON_FAULT_H_

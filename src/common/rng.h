@@ -7,6 +7,11 @@
 
 namespace multiclust {
 
+/// One stateless SplitMix64 step: a high-quality 64-bit mix of `x`.
+/// Used wherever a derived-but-independent seed is needed (per-retry
+/// seeds, per-shard streams) — bit-reproducible across platforms.
+uint64_t SplitMix64(uint64_t x);
+
 /// Deterministic pseudo-random number generator (xoshiro256**), seeded via
 /// SplitMix64. Every randomised algorithm in the library takes an explicit
 /// seed and derives all randomness from one `Rng`, making runs reproducible

@@ -1,0 +1,124 @@
+#include "common/runguard.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace multiclust {
+
+const char* StopReasonToString(StopReason reason) {
+  switch (reason) {
+    case StopReason::kConverged:
+      return "converged";
+    case StopReason::kMaxIterations:
+      return "max-iterations";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+std::string RunDiagnostics::ToString() const {
+  std::string out = algorithm.empty() ? "<unknown>" : algorithm;
+  out += ": " + std::to_string(iterations) + " iters, ";
+  out += converged ? "converged" : "not converged";
+  out += " (";
+  out += StopReasonToString(stop_reason);
+  out += ")";
+  if (retries > 0) out += ", " + std::to_string(retries) + " retries";
+  if (elapsed_ms > 0.0) {
+    out += ", " + std::to_string(elapsed_ms) + " ms";
+  }
+  if (!note.empty()) out += " — " + note;
+  return out;
+}
+
+BudgetTracker::BudgetTracker(const RunBudget& budget, const char* site)
+    : budget_(budget),
+      site_(site),
+      start_(std::chrono::steady_clock::now()) {}
+
+double BudgetTracker::ElapsedMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+bool BudgetTracker::ShouldStop(size_t iteration) {
+  if (budget_.max_iterations != 0 && iteration >= budget_.max_iterations) {
+    reason_ = StopReason::kMaxIterations;
+    return true;
+  }
+  if (MC_FAULT_FIRES(site_, FaultKind::kExpireDeadline, iteration)) {
+    reason_ = StopReason::kDeadline;
+    return true;
+  }
+  if (budget_.deadline_ms > 0.0 && ElapsedMs() >= budget_.deadline_ms) {
+    reason_ = StopReason::kDeadline;
+    return true;
+  }
+  return false;
+}
+
+bool BudgetTracker::DeadlineExpired() {
+  if (budget_.deadline_ms > 0.0 && ElapsedMs() >= budget_.deadline_ms) {
+    reason_ = StopReason::kDeadline;
+    return true;
+  }
+  return false;
+}
+
+Status BudgetTracker::CancelledStatus() const {
+  return Status::Cancelled(std::string(site_) + ": cancelled by caller");
+}
+
+RunBudget BudgetTracker::Remaining() const {
+  RunBudget b = budget_;
+  if (b.deadline_ms > 0.0) {
+    const double left = b.deadline_ms - ElapsedMs();
+    // Keep the deadline active (0 would mean "none"): an exhausted budget
+    // becomes a minimal one that trips at the sub-call's first check.
+    b.deadline_ms = left > 1e-3 ? left : 1e-3;
+  }
+  return b;
+}
+
+namespace {
+
+Status NonFiniteError(const char* context, size_t row, size_t col,
+                      double value) {
+  return Status::InvalidArgument(
+      std::string(context) + ": non-finite value (" +
+      (std::isnan(value) ? "NaN" : "Inf") + ") at row " +
+      std::to_string(row) + ", column " + std::to_string(col));
+}
+
+}  // namespace
+
+Status ValidateMatrix(const char* context, const Matrix& m) {
+  for (size_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.row_data(i);
+    for (size_t j = 0; j < m.cols(); ++j) {
+      if (!std::isfinite(row[j])) return NonFiniteError(context, i, j, row[j]);
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateNonEmptyMatrix(const char* context, const Matrix& m) {
+  if (m.rows() == 0 || m.cols() == 0) {
+    return Status::InvalidArgument(std::string(context) + ": empty data");
+  }
+  return ValidateMatrix(context, m);
+}
+
+uint64_t RetrySeed(uint64_t base_seed, size_t attempt) {
+  if (attempt == 0) return base_seed;
+  return SplitMix64(base_seed +
+                    0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(attempt));
+}
+
+}  // namespace multiclust

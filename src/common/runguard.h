@@ -1,0 +1,188 @@
+#ifndef MULTICLUST_COMMON_RUNGUARD_H_
+#define MULTICLUST_COMMON_RUNGUARD_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/fault.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace multiclust {
+
+class Matrix;
+
+/// Cooperative cancellation flag shared between a caller (e.g. a request
+/// handler whose client disconnected) and a running algorithm. Algorithms
+/// poll the token once per outer iteration and return
+/// StatusCode::kCancelled when it is set. Thread-safe.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Resource limits for one algorithm invocation. A default-constructed
+/// budget is unlimited, so existing call sites behave exactly as before.
+///
+/// Semantics, shared by every iterative algorithm:
+///  - `deadline_ms` caps the wall-clock time of the whole call (all
+///    restarts together). When it expires the algorithm stops at the next
+///    outer-iteration check and returns its best result so far with
+///    `converged = false` — a partial result, not an error.
+///  - `max_iterations` caps the *outer* iterations of each optimisation
+///    loop (per restart), on top of the algorithm's own `max_iters`.
+///  - `cancel` aborts the run with StatusCode::kCancelled (no result).
+struct RunBudget {
+  double deadline_ms = 0.0;   ///< wall-clock limit; 0 = none
+  size_t max_iterations = 0;  ///< outer-iteration cap; 0 = none
+  const CancelToken* cancel = nullptr;
+
+  bool unlimited() const {
+    return deadline_ms <= 0.0 && max_iterations == 0 && cancel == nullptr;
+  }
+
+  static RunBudget Unlimited() { return {}; }
+  static RunBudget Deadline(double ms) {
+    RunBudget b;
+    b.deadline_ms = ms;
+    return b;
+  }
+  static RunBudget MaxIterations(size_t n) {
+    RunBudget b;
+    b.max_iterations = n;
+    return b;
+  }
+};
+
+/// Why an iterative run stopped.
+enum class StopReason {
+  kConverged,      ///< the algorithm's own convergence criterion was met
+  kMaxIterations,  ///< an iteration cap (algorithm's or budget's) hit
+  kDeadline,       ///< the wall-clock deadline expired (or was injected)
+  kCancelled,      ///< the cancel token was set
+};
+
+const char* StopReasonToString(StopReason reason);
+
+/// Per-run execution diagnostics: what happened, how long it took, and how
+/// it recovered. Collected per solution / per strategy attempt by the
+/// discovery pipeline (`DiscoveryReport`).
+struct RunDiagnostics {
+  std::string algorithm;
+  size_t iterations = 0;
+  bool converged = false;
+  StopReason stop_reason = StopReason::kConverged;
+  size_t retries = 0;
+  double elapsed_ms = 0.0;
+  /// Human-readable failure/recovery explanation (empty when clean).
+  std::string note;
+
+  std::string ToString() const;
+};
+
+/// Budget enforcement for one algorithm invocation: captures the start
+/// time at construction and answers per-iteration "should I stop?" /
+/// "was I cancelled?" queries. Constructed once at algorithm entry so all
+/// restarts share one wall clock. `site` names the algorithm for the
+/// fault injector (kExpireDeadline faults target it).
+class BudgetTracker {
+ public:
+  BudgetTracker(const RunBudget& budget, const char* site);
+
+  /// True when the loop must stop before running 0-based `iteration`:
+  /// the budget's iteration cap is reached, or the deadline (real or
+  /// fault-injected) has expired. Never true for an unlimited budget with
+  /// no armed faults.
+  bool ShouldStop(size_t iteration);
+
+  /// True when the wall-clock deadline has expired (checked between
+  /// restarts: started restarts finish their iteration, later ones are
+  /// skipped). Does not consult the iteration cap.
+  bool DeadlineExpired();
+
+  /// True when the cancel token is set.
+  bool Cancelled() const {
+    return budget_.cancel != nullptr && budget_.cancel->cancelled();
+  }
+
+  /// The status an algorithm returns when Cancelled().
+  Status CancelledStatus() const;
+
+  /// Remaining budget to forward to a sub-algorithm (e.g. spectral
+  /// clustering handing its leftover deadline to embedded k-means). An
+  /// already-expired deadline becomes a minimal positive one so the
+  /// sub-call stops at its first check.
+  RunBudget Remaining() const;
+
+  StopReason reason() const { return reason_; }
+  double ElapsedMs() const;
+  const char* site() const { return site_; }
+
+ private:
+  RunBudget budget_;
+  const char* site_;
+  std::chrono::steady_clock::time_point start_;
+  StopReason reason_ = StopReason::kConverged;
+};
+
+/// Rejects matrices containing NaN or Inf entries with
+/// StatusCode::kInvalidArgument naming the first offending (row, column).
+/// Called at every public `Run*` entry point so numerical poison is caught
+/// at the boundary instead of surfacing as a hung loop or garbage labels.
+Status ValidateMatrix(const char* context, const Matrix& m);
+
+/// ValidateMatrix plus rejection of empty (0x0 / 0-row / 0-col) matrices.
+Status ValidateNonEmptyMatrix(const char* context, const Matrix& m);
+
+/// Deterministic retry policy: a run that fails with
+/// StatusCode::kComputationError (numerical degeneracy, no convergence,
+/// singular matrix) is re-run up to `max_retries` times with a seed
+/// derived from the original via SplitMix64 — bit-reproducible across
+/// processes and platforms. Other status codes (invalid argument,
+/// cancellation, IO) are never retried.
+struct RetryPolicy {
+  size_t max_retries = 0;
+
+  bool ShouldRetry(const Status& status, size_t retries_done) const {
+    return retries_done < max_retries &&
+           status.code() == StatusCode::kComputationError;
+  }
+};
+
+/// The seed used for retry `attempt` (1-based) of a run originally seeded
+/// with `base_seed`. attempt 0 is the original seed itself.
+uint64_t RetrySeed(uint64_t base_seed, size_t attempt);
+
+/// Runs `fn(seed)` (returning Status or Result<T>), retrying per `policy`
+/// with RetrySeed-derived seeds. Records the number of retries (and the
+/// final error, if any) into `diagnostics` when given.
+template <typename Fn>
+auto RunWithRetry(const RetryPolicy& policy, uint64_t base_seed, Fn&& fn,
+                  RunDiagnostics* diagnostics = nullptr)
+    -> decltype(fn(base_seed)) {
+  auto result = fn(base_seed);
+  size_t retries = 0;
+  while (!result.ok() && policy.ShouldRetry(result.status(), retries)) {
+    ++retries;
+    result = fn(RetrySeed(base_seed, retries));
+  }
+  if (diagnostics != nullptr) {
+    diagnostics->retries = retries;
+    if (!result.ok()) diagnostics->note = result.status().ToString();
+  }
+  return result;
+}
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_COMMON_RUNGUARD_H_

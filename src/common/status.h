@@ -19,6 +19,7 @@ enum class StatusCode {
   kIoError,
   kUnimplemented,
   kInternal,
+  kCancelled,  ///< run aborted cooperatively via a CancelToken
 };
 
 /// Returns a short human-readable name for `code`, e.g. "InvalidArgument".
@@ -63,6 +64,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,5 +1,9 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
+#include <string>
+#include <utility>
+
 #include "altspace/dec_kmeans.h"
 #include "altspace/meta_clustering.h"
 #include "cluster/kmeans.h"
@@ -32,6 +36,100 @@ Result<size_t> SelectKBySilhouette(const Matrix& data, size_t max_k,
   return best_k;
 }
 
+namespace {
+
+const char* StrategyName(DiscoveryStrategy s) {
+  switch (s) {
+    case DiscoveryStrategy::kDecorrelatedKMeans:
+      return "dec-kmeans";
+    case DiscoveryStrategy::kOrthogonalProjections:
+      return "ortho-projection";
+    case DiscoveryStrategy::kSpectralViews:
+      return "spectral-views";
+    case DiscoveryStrategy::kMetaClustering:
+      return "meta-clustering";
+  }
+  return "unknown";
+}
+
+// Result of one strategy attempt: the solutions plus what the strategy
+// reported about its own convergence.
+struct StrategyOutcome {
+  SolutionSet solutions;
+  size_t iterations = 0;
+  bool converged = true;
+  std::vector<std::string> warnings;
+};
+
+Result<StrategyOutcome> RunStrategy(const Matrix& data,
+                                    DiscoveryStrategy strategy, size_t k,
+                                    const DiscoveryOptions& options,
+                                    uint64_t seed, const RunBudget& budget) {
+  StrategyOutcome out;
+  switch (strategy) {
+    case DiscoveryStrategy::kDecorrelatedKMeans: {
+      DecKMeansOptions dk;
+      dk.ks.assign(options.num_solutions, k);
+      dk.lambda = 4.0;
+      dk.restarts = 5;
+      dk.seed = seed;
+      dk.budget = budget;
+      MC_ASSIGN_OR_RETURN(DecKMeansResult r, RunDecorrelatedKMeans(data, dk));
+      out.solutions = std::move(r.solutions);
+      out.iterations = r.iterations;
+      out.converged = r.converged;
+      break;
+    }
+    case DiscoveryStrategy::kOrthogonalProjections: {
+      KMeansOptions km;
+      km.k = k;
+      km.restarts = 5;
+      km.seed = seed;
+      KMeansClusterer clusterer(km);
+      OrthoProjectionOptions op;
+      op.max_views = options.num_solutions;
+      op.budget = budget;
+      MC_ASSIGN_OR_RETURN(OrthoProjectionResult r,
+                          RunOrthoProjection(data, &clusterer, op));
+      out.solutions = std::move(r.solutions);
+      out.iterations = r.views.size();
+      out.converged = !r.stopped_early;
+      if (r.stopped_early) out.warnings.push_back(r.stop_message);
+      break;
+    }
+    case DiscoveryStrategy::kSpectralViews: {
+      MscOptions msc;
+      msc.num_views = options.num_solutions;
+      msc.k = k;
+      msc.seed = seed;
+      msc.budget = budget;
+      MC_ASSIGN_OR_RETURN(MscResult r, RunMultipleSpectralViews(data, msc));
+      out.solutions = std::move(r.solutions);
+      out.iterations = r.views.size();
+      out.converged = r.warnings.empty();
+      out.warnings = std::move(r.warnings);
+      break;
+    }
+    case DiscoveryStrategy::kMetaClustering: {
+      MetaClusteringOptions mc;
+      mc.num_base = 10 * options.num_solutions;
+      mc.k = k;
+      mc.meta_k = options.num_solutions;
+      mc.seed = seed;
+      mc.budget = budget;
+      MC_ASSIGN_OR_RETURN(MetaClusteringResult r, RunMetaClustering(data, mc));
+      out.solutions = std::move(r.representatives);
+      out.iterations = r.base.size();
+      out.converged = r.warnings.empty();
+      out.warnings = std::move(r.warnings);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 Result<DiscoveryReport> DiscoverMultipleClusterings(
     const Matrix& data, const DiscoveryOptions& options) {
   if (data.rows() == 0 || data.cols() == 0) {
@@ -41,6 +139,8 @@ Result<DiscoveryReport> DiscoverMultipleClusterings(
     return Status::InvalidArgument(
         "Discover: num_solutions must be >= 2 (use a plain clusterer for 1)");
   }
+  MC_RETURN_IF_ERROR(ValidateMatrix("Discover", data));
+  BudgetTracker guard(options.budget, "pipeline");
 
   DiscoveryReport report;
   size_t k = options.k;
@@ -51,57 +151,85 @@ Result<DiscoveryReport> DiscoverMultipleClusterings(
   }
   report.chosen_k = k;
 
-  switch (options.strategy) {
-    case DiscoveryStrategy::kDecorrelatedKMeans: {
-      report.strategy_name = "dec-kmeans";
-      DecKMeansOptions dk;
-      dk.ks.assign(options.num_solutions, k);
-      dk.lambda = 4.0;
-      dk.restarts = 5;
-      dk.seed = options.seed;
-      MC_ASSIGN_OR_RETURN(DecKMeansResult r,
-                          RunDecorrelatedKMeans(data, dk));
-      report.solutions = std::move(r.solutions);
-      break;
-    }
-    case DiscoveryStrategy::kOrthogonalProjections: {
-      report.strategy_name = "ortho-projection";
-      KMeansOptions km;
-      km.k = k;
-      km.restarts = 5;
-      km.seed = options.seed;
-      KMeansClusterer clusterer(km);
-      OrthoProjectionOptions op;
-      op.max_views = options.num_solutions;
-      MC_ASSIGN_OR_RETURN(OrthoProjectionResult r,
-                          RunOrthoProjection(data, &clusterer, op));
-      report.solutions = std::move(r.solutions);
-      break;
-    }
-    case DiscoveryStrategy::kSpectralViews: {
-      report.strategy_name = "spectral-views";
-      MscOptions msc;
-      msc.num_views = options.num_solutions;
-      msc.k = k;
-      msc.seed = options.seed;
-      MC_ASSIGN_OR_RETURN(MscResult r,
-                          RunMultipleSpectralViews(data, msc));
-      report.solutions = std::move(r.solutions);
-      break;
-    }
-    case DiscoveryStrategy::kMetaClustering: {
-      report.strategy_name = "meta-clustering";
-      MetaClusteringOptions mc;
-      mc.num_base = 10 * options.num_solutions;
-      mc.k = k;
-      mc.meta_k = options.num_solutions;
-      mc.seed = options.seed;
-      MC_ASSIGN_OR_RETURN(MetaClusteringResult r,
-                          RunMetaClustering(data, mc));
-      report.solutions = std::move(r.representatives);
-      break;
+  // Fallback chain: the requested strategy first, then (when allowed) the
+  // most robust strategies — dec-kmeans degrades gracefully under budget
+  // pressure and meta-clustering tolerates individual base failures.
+  std::vector<DiscoveryStrategy> chain = {options.strategy};
+  if (options.allow_fallback) {
+    for (DiscoveryStrategy fb : {DiscoveryStrategy::kDecorrelatedKMeans,
+                                 DiscoveryStrategy::kMetaClustering}) {
+      if (std::find(chain.begin(), chain.end(), fb) == chain.end()) {
+        chain.push_back(fb);
+      }
     }
   }
+
+  Status last_error = Status::OK();
+  bool solved = false;
+  for (size_t attempt = 0; attempt < chain.size() && !solved; ++attempt) {
+    const DiscoveryStrategy strategy = chain[attempt];
+    if (guard.Cancelled()) return guard.CancelledStatus();
+    if (attempt > 0 && guard.DeadlineExpired()) {
+      report.warnings.push_back(
+          std::string("pipeline: deadline expired before fallback ") +
+          StrategyName(strategy));
+      break;
+    }
+    RunDiagnostics diag;
+    diag.algorithm = StrategyName(strategy);
+    const double started_ms = guard.ElapsedMs();
+    Result<StrategyOutcome> run = RunWithRetry(
+        options.retry, options.seed,
+        [&](uint64_t seed) {
+          return RunStrategy(data, strategy, k, options, seed,
+                             guard.Remaining());
+        },
+        &diag);
+    diag.elapsed_ms = guard.ElapsedMs() - started_ms;
+    if (run.ok()) {
+      diag.iterations = run->iterations;
+      diag.converged = run->converged;
+      diag.stop_reason =
+          run->converged ? StopReason::kConverged : StopReason::kDeadline;
+      report.attempts.push_back(diag);
+      report.strategy_name = StrategyName(strategy);
+      report.solutions = std::move(run->solutions);
+      for (std::string& w : run->warnings) {
+        report.warnings.push_back(std::move(w));
+      }
+      if (diag.retries > 0) {
+        report.warnings.push_back(std::string("pipeline: ") +
+                                  StrategyName(strategy) + " needed " +
+                                  std::to_string(diag.retries) +
+                                  " deterministic retr" +
+                                  (diag.retries == 1 ? "y" : "ies"));
+      }
+      report.degraded = attempt > 0 || diag.retries > 0 || !run->converged;
+      solved = true;
+      break;
+    }
+    // A failed attempt: cancellation and configuration errors are final;
+    // recoverable computation errors move on to the next strategy.
+    if (run.status().code() == StatusCode::kCancelled ||
+        run.status().code() == StatusCode::kInvalidArgument) {
+      return run.status();
+    }
+    diag.converged = false;
+    report.attempts.push_back(diag);
+    last_error = run.status();
+    report.warnings.push_back(std::string("pipeline: ") +
+                              StrategyName(strategy) +
+                              " failed: " + last_error.ToString());
+    if (!options.allow_fallback) break;
+  }
+  if (!solved) {
+    if (last_error.ok()) {
+      last_error = Status::ComputationError(
+          "pipeline: no strategy produced a solution set within budget");
+    }
+    return last_error;
+  }
+  report.degraded = report.degraded || !report.warnings.empty();
 
   MC_RETURN_IF_ERROR(
       report.solutions.Deduplicate(options.min_dissimilarity).status());

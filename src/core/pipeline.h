@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/runguard.h"
 #include "core/objectives.h"
 #include "core/solution_set.h"
 #include "linalg/matrix.h"
@@ -36,6 +37,15 @@ struct DiscoveryOptions {
   /// earlier solution falls below this threshold.
   double min_dissimilarity = 0.2;
   uint64_t seed = 1;
+  /// Wall-clock / iteration / cancellation limits shared by every strategy
+  /// attempt (the remaining deadline is forwarded to each attempt).
+  RunBudget budget;
+  /// Deterministic retry policy for recoverable (kComputationError)
+  /// strategy failures: each retry re-runs with a SplitMix-derived seed.
+  RetryPolicy retry{2};
+  /// When the requested strategy (and its retries) fail recoverably, fall
+  /// back to more robust strategies instead of surfacing the error.
+  bool allow_fallback = true;
 };
 
 /// Outcome of a discovery run: the solutions plus their evaluation under
@@ -45,7 +55,19 @@ struct DiscoveryReport {
   ObjectiveReport objective;
   /// The k actually used.
   size_t chosen_k = 0;
+  /// Strategy that produced `solutions` (after any fallback).
   std::string strategy_name;
+  /// One entry per strategy attempt, in order: the requested strategy
+  /// first, then any fallbacks. `attempts.back()` describes the run that
+  /// produced `solutions`.
+  std::vector<RunDiagnostics> attempts;
+  /// Human-readable notes about recoveries (retries used, fallbacks
+  /// taken, budget-truncated runs). Empty on a clean run.
+  std::vector<std::string> warnings;
+  /// True when the result came from a fallback strategy or a
+  /// budget-truncated (non-converged) run rather than the requested
+  /// clean computation.
+  bool degraded = false;
 };
 
 /// One-call entry point: "find me several genuinely different clusterings

@@ -1,11 +1,26 @@
 #include "data/csv.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
 #include "common/strings.h"
 
 namespace multiclust {
+
+namespace {
+
+// "line 7, column 3 ('width')" — the coordinates a user needs to find a
+// bad cell in their file.
+std::string CellContext(size_t line_no, size_t column,
+                        const std::vector<std::string>& names) {
+  std::string s = "line " + std::to_string(line_no) + ", column " +
+                  std::to_string(column + 1);
+  if (column < names.size()) s += " ('" + names[column] + "')";
+  return s;
+}
+
+}  // namespace
 
 Result<Dataset> ReadCsv(const std::string& path, const CsvOptions& options) {
   std::ifstream in(path);
@@ -55,8 +70,8 @@ Result<Dataset> ReadCsv(const std::string& path, const CsvOptions& options) {
     for (size_t j = 0; j < fields.size(); ++j) {
       if (static_cast<int>(j) == label_col) {
         double v = 0;
-        if (!ParseDouble(fields[j], &v)) {
-          return Status::IoError("line " + std::to_string(line_no) +
+        if (!ParseDouble(fields[j], &v) || !std::isfinite(v)) {
+          return Status::IoError(CellContext(line_no, j, names) +
                                  ": bad label '" + fields[j] + "'");
         }
         labels.push_back(static_cast<int>(v));
@@ -64,8 +79,14 @@ Result<Dataset> ReadCsv(const std::string& path, const CsvOptions& options) {
       }
       double v = 0;
       if (!ParseDouble(fields[j], &v)) {
-        return Status::IoError("line " + std::to_string(line_no) +
+        return Status::IoError(CellContext(line_no, j, names) +
                                ": bad number '" + fields[j] + "'");
+      }
+      if (!std::isfinite(v) && !options.allow_non_finite) {
+        return Status::IoError(
+            CellContext(line_no, j, names) + ": non-finite value '" +
+            fields[j] +
+            "' (set CsvOptions::allow_non_finite to accept NaN/Inf)");
       }
       row.push_back(v);
     }

@@ -15,10 +15,16 @@ struct CsvOptions {
   /// Name of an integer label column to lift into a ground truth (optional;
   /// empty = none). The column is removed from the numeric data.
   std::string label_column;
+  /// Accept NaN / Inf data cells. Off by default so poisoned input files
+  /// are rejected at the boundary instead of surfacing as a
+  /// kComputationError deep inside an algorithm.
+  bool allow_non_finite = false;
 };
 
 /// Reads a numeric CSV file into a Dataset. All non-label fields must parse
-/// as doubles; malformed rows produce an IoError naming the line.
+/// as doubles; malformed rows produce an IoError naming the data row and
+/// column. Non-finite cells (NaN/Inf) are rejected unless
+/// `allow_non_finite` is set.
 Result<Dataset> ReadCsv(const std::string& path, const CsvOptions& options);
 
 /// Writes `dataset` (header + numeric rows) to `path`. Ground truths are

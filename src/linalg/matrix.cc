@@ -133,6 +133,9 @@ double Matrix::MaxAbsDiff(const Matrix& other) const {
   double m = 0.0;
   for (size_t i = 0; i < data_.size(); ++i) {
     const double d = std::fabs(data_[i] - other.data_[i]);
+    // Propagate NaN instead of silently dropping it (`d > m` is false for
+    // NaN): convergence checks built on this difference must see poison.
+    if (std::isnan(d)) return d;
     if (d > m) m = d;
   }
   return m;

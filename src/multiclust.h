@@ -5,10 +5,12 @@
 /// library. Fine-grained includes (e.g. "altspace/coala.h") keep compile
 /// times lower; this header exists for quick experiments and the examples.
 
-#include "common/result.h"   // IWYU pragma: export
-#include "common/rng.h"      // IWYU pragma: export
-#include "common/status.h"   // IWYU pragma: export
-#include "common/strings.h"  // IWYU pragma: export
+#include "common/fault.h"     // IWYU pragma: export
+#include "common/result.h"    // IWYU pragma: export
+#include "common/rng.h"       // IWYU pragma: export
+#include "common/runguard.h"  // IWYU pragma: export
+#include "common/status.h"    // IWYU pragma: export
+#include "common/strings.h"   // IWYU pragma: export
 
 #include "linalg/decomposition.h"  // IWYU pragma: export
 #include "linalg/matrix.h"         // IWYU pragma: export

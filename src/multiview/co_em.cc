@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
+#include "common/fault.h"
 #include "metrics/partition_similarity.h"
 
 namespace multiclust {
@@ -34,6 +36,9 @@ Result<CoEmResult> RunCoEm(const Matrix& view1, const Matrix& view2,
     return Status::InvalidArgument("co-EM: views must have paired rows");
   }
   if (view1.rows() == 0) return Status::InvalidArgument("co-EM: empty data");
+  MC_RETURN_IF_ERROR(ValidateMatrix("co-EM view 1", view1));
+  MC_RETURN_IF_ERROR(ValidateMatrix("co-EM view 2", view2));
+  BudgetTracker guard(options.budget, "co-em");
   const size_t n = view1.rows();
 
   CoEmResult result;
@@ -55,6 +60,8 @@ Result<CoEmResult> RunCoEm(const Matrix& view1, const Matrix& view2,
   double best_ll = -std::numeric_limits<double>::infinity();
   size_t stale = 0;
   for (size_t iter = 0; iter < options.max_iters; ++iter) {
+    if (guard.Cancelled()) return guard.CancelledStatus();
+    if (guard.ShouldStop(iter)) break;
     // View 2: M-step from view-1 responsibilities, then E-step.
     MC_RETURN_IF_ERROR(MStepFromResponsibilities(view2, resp1,
                                                  options.variance_floor, &m2));
@@ -65,14 +72,28 @@ Result<CoEmResult> RunCoEm(const Matrix& view1, const Matrix& view2,
     resp1 = ComputeResponsibilities(m1, view1);
     result.iterations = iter + 1;
 
-    const double ll =
+    double ll =
         m1.TotalLogLikelihood(view1) + m2.TotalLogLikelihood(view2);
+    if (MC_FAULT_FIRES("co-em", FaultKind::kInjectNaN, iter)) {
+      ll = std::numeric_limits<double>::quiet_NaN();
+    }
+    // -inf can legitimately appear on the first rounds (underflow of a far
+    // component); only NaN marks a genuinely poisoned state.
+    if (std::isnan(ll)) {
+      return Status::ComputationError(
+          "co-EM: non-finite joint log-likelihood at iteration " +
+          std::to_string(iter));
+    }
     if (ll > best_ll + 1e-6 * (std::fabs(best_ll) + 1.0)) {
       best_ll = ll;
       stale = 0;
     } else {
       ++stale;
-      if (iter + 1 >= kMinIters && stale >= options.patience) break;
+      if (iter + 1 >= kMinIters && stale >= options.patience &&
+          !MC_FAULT_FIRES("co-em", FaultKind::kForceNonConvergence, iter)) {
+        result.converged = true;
+        break;
+      }
     }
   }
 

@@ -7,6 +7,7 @@
 #include "cluster/clustering.h"
 #include "cluster/gmm.h"
 #include "common/result.h"
+#include "common/runguard.h"
 
 namespace multiclust {
 
@@ -22,6 +23,8 @@ struct CoEmOptions {
   /// required.
   size_t patience = 5;
   uint64_t seed = 1;
+  /// Wall-clock / iteration / cancellation limits (see common/runguard.h).
+  RunBudget budget;
 };
 
 /// Full output of a co-EM run.
@@ -39,6 +42,9 @@ struct CoEmResult {
   /// Final inter-view agreement in [0, 1].
   double agreement = 0.0;
   size_t iterations = 0;
+  /// False when an iteration/deadline budget stopped the run before the
+  /// stale-log-likelihood termination rule fired.
+  bool converged = false;
 };
 
 /// co-EM: interleaved EM across two conditionally independent views. Each

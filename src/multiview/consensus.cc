@@ -5,6 +5,7 @@
 #include "cluster/gmm.h"
 #include "cluster/hierarchical.h"
 #include "common/rng.h"
+#include "common/runguard.h"
 #include "metrics/partition_similarity.h"
 #include "multiview/random_projection.h"
 
@@ -31,6 +32,7 @@ Result<ConsensusResult> RunEnsembleConsensus(const Matrix& data,
   if (options.k_final == 0 || options.k_final > n) {
     return Status::InvalidArgument("consensus: invalid k_final");
   }
+  MC_RETURN_IF_ERROR(ValidateMatrix("consensus", data));
   const size_t proj_dims =
       std::max<size_t>(1, std::min(options.projection_dims, data.cols()));
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cluster/dbscan.h"
+#include "common/runguard.h"
 
 namespace multiclust {
 
@@ -20,6 +21,7 @@ Result<Clustering> RunMvDbscan(const std::vector<Matrix>& views,
     if (v.rows() != n) {
       return Status::InvalidArgument("mv-dbscan: views must have paired rows");
     }
+    MC_RETURN_IF_ERROR(ValidateMatrix("mv-dbscan", v));
   }
   if (options.min_pts == 0) {
     return Status::InvalidArgument("mv-dbscan: min_pts must be positive");

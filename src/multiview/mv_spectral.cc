@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "cluster/kmeans.h"
+#include "common/runguard.h"
 #include "linalg/decomposition.h"
 #include "stats/hsic.h"
 
@@ -18,6 +19,7 @@ Result<Clustering> RunMvSpectral(const std::vector<Matrix>& views,
     if (v.rows() != n) {
       return Status::InvalidArgument("mv-spectral: unpaired view rows");
     }
+    MC_RETURN_IF_ERROR(ValidateMatrix("mv-spectral", v));
   }
   if (options.k == 0 || options.k > n) {
     return Status::InvalidArgument("mv-spectral: invalid k");

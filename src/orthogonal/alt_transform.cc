@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/runguard.h"
 #include "linalg/decomposition.h"
 #include "orthogonal/metric_learning.h"
 
@@ -31,6 +32,7 @@ Result<AltTransformResult> RunAltTransform(const Matrix& data,
   if (clusterer == nullptr) {
     return Status::InvalidArgument("RunAltTransform: null clusterer");
   }
+  MC_RETURN_IF_ERROR(ValidateMatrix("alt-transform", data));
   AltTransformResult result;
   MC_ASSIGN_OR_RETURN(result.learned,
                       LearnWhiteningTransform(data, given, eps));

@@ -1,7 +1,10 @@
 #include "orthogonal/ortho_projection.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
+#include "common/runguard.h"
 #include "linalg/decomposition.h"
 #include "linalg/pca.h"
 #include "metrics/clustering_quality.h"
@@ -47,6 +50,8 @@ Result<OrthoProjectionResult> RunOrthoProjection(
   if (data.rows() == 0 || data.cols() == 0) {
     return Status::InvalidArgument("RunOrthoProjection: empty data");
   }
+  MC_RETURN_IF_ERROR(ValidateMatrix("ortho-projection", data));
+  BudgetTracker guard(options.budget, "ortho-projection");
 
   OrthoProjectionResult result;
   Matrix current = data;
@@ -54,20 +59,53 @@ Result<OrthoProjectionResult> RunOrthoProjection(
   const size_t max_views =
       options.max_views == 0 ? data.cols() : options.max_views;
 
+  // Returns true if the view loop should stop, keeping the views extracted
+  // so far: any recoverable failure after the first view degrades to a
+  // partial result instead of discarding completed work.
+  const auto recover = [&](const Status& status) -> Result<bool> {
+    if (status.code() == StatusCode::kCancelled) return status;
+    if (result.views.empty()) return status;  // nothing to salvage
+    result.stopped_early = true;
+    result.stop_message = status.ToString();
+    return true;
+  };
+
   for (size_t view = 0; view < max_views; ++view) {
-    MC_ASSIGN_OR_RETURN(Clustering clustering, clusterer->Cluster(current));
+    if (guard.Cancelled()) return guard.CancelledStatus();
+    if (!result.views.empty() && guard.DeadlineExpired()) {
+      result.stopped_early = true;
+      result.stop_message = "ortho-projection: deadline expired before view " +
+                            std::to_string(view);
+      break;
+    }
+    Result<Clustering> clustered = clusterer->Cluster(current);
+    if (!clustered.ok()) {
+      MC_ASSIGN_OR_RETURN(bool stop, recover(clustered.status()));
+      if (stop) break;
+    }
+    Clustering clustering = std::move(*clustered);
     clustering.algorithm = "ortho-projection+" + clusterer->name();
     const size_t k = clustering.NumClusters();
     if (k < 2) break;  // no structure left
 
     // Explanatory subspace: principal components of the cluster means.
     MC_ASSIGN_OR_RETURN(Matrix means, ClusterMeans(current, clustering.labels));
-    MC_ASSIGN_OR_RETURN(PcaModel pca, FitPca(means));
+    Result<PcaModel> pca_result = FitPca(means);
+    if (!pca_result.ok()) {
+      MC_ASSIGN_OR_RETURN(bool stop, recover(pca_result.status()));
+      if (stop) break;
+    }
+    PcaModel pca = std::move(*pca_result);
     size_t p = pca.ComponentsForVariance(options.mean_variance_fraction);
     p = std::clamp<size_t>(p, 1, std::min(k - 1, data.cols()));
     const Matrix basis = pca.LeadingComponents(p);
 
-    MC_ASSIGN_OR_RETURN(Matrix projector, OrthogonalProjector(basis));
+    Result<Matrix> projector_result = OrthogonalProjector(basis);
+    if (!projector_result.ok()) {
+      MC_ASSIGN_OR_RETURN(bool stop, recover(projector_result.status()));
+      if (stop) break;
+    }
+    Matrix projector = std::move(*projector_result);
     Matrix next = TransformRows(current, projector);
     const double residual = TotalVariance(next) / original_variance;
 

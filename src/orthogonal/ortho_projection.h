@@ -1,10 +1,12 @@
 #ifndef MULTICLUST_ORTHOGONAL_ORTHO_PROJECTION_H_
 #define MULTICLUST_ORTHOGONAL_ORTHO_PROJECTION_H_
 
+#include <string>
 #include <vector>
 
 #include "cluster/clustering.h"
 #include "common/result.h"
+#include "common/runguard.h"
 #include "core/solution_set.h"
 
 namespace multiclust {
@@ -22,6 +24,10 @@ struct OrthoProjectionOptions {
   /// Stop when the residual data variance falls below this fraction of the
   /// original variance.
   double min_residual_variance = 1e-3;
+  /// Wall-clock / cancellation limits; the remaining deadline is forwarded
+  /// to nothing directly (the base clusterer owns its own budget), but the
+  /// view loop stops between views once the deadline expires.
+  RunBudget budget;
 };
 
 /// One extracted view.
@@ -36,6 +42,12 @@ struct OrthoView {
 struct OrthoProjectionResult {
   std::vector<OrthoView> views;
   SolutionSet solutions;
+  /// True when the view loop ended before its natural stopping rule:
+  /// deadline expiry, or a recoverable failure in a later view after at
+  /// least one view had been extracted (the extracted views are kept).
+  bool stopped_early = false;
+  /// Reason for an early stop; empty otherwise.
+  std::string stop_message;
 };
 
 /// Iteratively: (1) cluster the current data with `clusterer`; (2) find the

@@ -1,5 +1,6 @@
 #include "orthogonal/residual_transform.h"
 
+#include "common/runguard.h"
 #include "linalg/decomposition.h"
 #include "metrics/clustering_quality.h"
 #include "orthogonal/metric_learning.h"
@@ -49,6 +50,7 @@ Result<ResidualTransformResult> RunResidualTransform(
   if (clusterer == nullptr) {
     return Status::InvalidArgument("RunResidualTransform: null clusterer");
   }
+  MC_RETURN_IF_ERROR(ValidateMatrix("residual-transform", data));
   ResidualTransformResult result;
   MC_ASSIGN_OR_RETURN(result.transform, ResidualTransform(data, given, eps));
   result.transformed = TransformRows(data, result.transform);

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/runguard.h"
+
 namespace multiclust {
 
 Result<SubspaceClustering> RunClique(const Matrix& data,
@@ -9,6 +11,7 @@ Result<SubspaceClustering> RunClique(const Matrix& data,
   if (options.tau <= 0.0 || options.tau > 1.0) {
     return Status::InvalidArgument("CLIQUE: tau must be in (0, 1]");
   }
+  MC_RETURN_IF_ERROR(ValidateMatrix("CLIQUE", data));
   MC_ASSIGN_OR_RETURN(Grid grid, Grid::Build(data, options.xi));
   const size_t min_support = static_cast<size_t>(
       std::ceil(options.tau * static_cast<double>(data.rows())));

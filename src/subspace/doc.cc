@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "common/runguard.h"
 
 namespace multiclust {
 
@@ -24,6 +25,7 @@ Result<SubspaceClustering> RunDoc(const Matrix& data,
   if (options.discriminating_set == 0) {
     return Status::InvalidArgument("DOC: discriminating set must be > 0");
   }
+  MC_RETURN_IF_ERROR(ValidateMatrix("DOC", data));
 
   Rng rng(options.seed);
   std::vector<char> removed(n, 0);

@@ -1,8 +1,10 @@
 #include "subspace/msc.h"
 
 #include <algorithm>
+#include <string>
 
 #include "cluster/hierarchical.h"
+#include "common/runguard.h"
 #include "cluster/spectral.h"
 #include "stats/hsic.h"
 
@@ -17,6 +19,8 @@ Result<MscResult> RunMultipleSpectralViews(const Matrix& data,
   if (options.k == 0 || options.k > data.rows()) {
     return Status::InvalidArgument("mSC: invalid k");
   }
+  MC_RETURN_IF_ERROR(ValidateMatrix("mSC", data));
+  BudgetTracker guard(options.budget, "msc");
 
   MscResult result;
   // Pairwise dependence between single dimensions.
@@ -49,8 +53,12 @@ Result<MscResult> RunMultipleSpectralViews(const Matrix& data,
   MC_ASSIGN_OR_RETURN(AgglomerativeResult blocks,
                       AgglomerateFromDistances(dist, agg));
 
-  // Spectral clustering inside each dimension block.
+  // Spectral clustering inside each dimension block. A view whose
+  // spectral run fails recoverably (degenerate eigendecomposition) or
+  // whose turn arrives after the deadline is skipped with a warning; the
+  // surviving views still form a usable (partial) solution set.
   for (size_t v = 0; v < options.num_views; ++v) {
+    if (guard.Cancelled()) return guard.CancelledStatus();
     MscView view;
     for (size_t j = 0; j < d; ++j) {
       if (blocks.flat.labels[j] == static_cast<int>(v)) {
@@ -58,15 +66,37 @@ Result<MscResult> RunMultipleSpectralViews(const Matrix& data,
       }
     }
     if (view.dims.empty()) continue;
+    if (!result.views.empty() && guard.DeadlineExpired()) {
+      result.warnings.push_back("mSC: deadline expired before view " +
+                                std::to_string(v));
+      break;
+    }
     const Matrix projected = data.SelectColumns(view.dims);
     SpectralOptions spec;
     spec.k = options.k;
     spec.gamma = options.gamma;
     spec.seed = options.seed + v;
-    MC_ASSIGN_OR_RETURN(view.clustering, RunSpectral(projected, spec));
+    spec.budget = guard.Remaining();
+    Result<Clustering> clustering = RunSpectral(projected, spec);
+    if (!clustering.ok()) {
+      if (clustering.status().code() == StatusCode::kCancelled) {
+        return clustering.status();
+      }
+      result.warnings.push_back("mSC: view " + std::to_string(v) +
+                                " skipped: " +
+                                clustering.status().ToString());
+      continue;
+    }
+    view.clustering = std::move(*clustering);
     view.clustering.algorithm = "msc-spectral";
     MC_RETURN_IF_ERROR(result.solutions.Add(view.clustering));
     result.views.push_back(std::move(view));
+  }
+  if (result.views.empty()) {
+    return Status::ComputationError(
+        "mSC: no view produced a clustering" +
+        (result.warnings.empty() ? std::string()
+                                 : "; " + result.warnings.front()));
   }
   return result;
 }

@@ -4,8 +4,11 @@
 #include <cstdint>
 #include <vector>
 
+#include <string>
+
 #include "cluster/clustering.h"
 #include "common/result.h"
+#include "common/runguard.h"
 #include "core/solution_set.h"
 #include "linalg/matrix.h"
 
@@ -26,6 +29,9 @@ struct MscOptions {
   /// (<= 0 = median heuristic).
   double gamma = 0.0;
   uint64_t seed = 1;
+  /// Wall-clock / cancellation limits; the remaining deadline is forwarded
+  /// to each per-view spectral run.
+  RunBudget budget;
 };
 
 /// One extracted view.
@@ -40,6 +46,10 @@ struct MscResult {
   SolutionSet solutions;
   /// Pairwise HSIC between single dimensions (for inspection).
   Matrix dim_dependence;
+  /// Views skipped because their spectral run failed recoverably or the
+  /// budget expired; empty on a clean run. The surviving views are still
+  /// returned (graceful degradation).
+  std::vector<std::string> warnings;
 };
 
 /// Partitions the dimensions into `num_views` blocks by average-link

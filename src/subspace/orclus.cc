@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/fault.h"
 #include "common/rng.h"
 #include "linalg/decomposition.h"
 
@@ -31,27 +32,43 @@ struct Group {
   std::vector<int> members;
 };
 
+// Last q identity axes: the degenerate-group / failed-eigensolve fallback.
+Matrix AxisFallbackBasis(size_t d, size_t q) {
+  Matrix basis(d, q);
+  for (size_t c = 0; c < q; ++c) basis.at(d - 1 - c, c) = 1.0;
+  return basis;
+}
+
 // Least-spread orthonormal basis (q smallest-eigenvalue eigenvectors of the
-// member covariance). Falls back to the last q identity axes for tiny
-// groups.
-Result<Matrix> LeastSpreadBasis(const Matrix& data,
-                                const std::vector<int>& members, size_t q) {
+// member covariance). Never fails: tiny groups, rank-deficient covariances
+// and eigensolver breakdowns all degrade to the identity-axis basis so a
+// single degenerate group cannot abort the whole run.
+Matrix LeastSpreadBasis(const Matrix& data, const std::vector<int>& members,
+                        size_t q) {
   const size_t d = data.cols();
   q = std::min(q, d);
-  if (members.size() < 2) {
-    Matrix basis(d, q);
-    for (size_t c = 0; c < q; ++c) basis.at(d - 1 - c, c) = 1.0;
-    return basis;
-  }
+  if (members.size() < 2) return AxisFallbackBasis(d, q);
   std::vector<size_t> rows(members.begin(), members.end());
   const Matrix sub = data.SelectRows(rows);
-  const Matrix cov = Covariance(sub);
-  MC_ASSIGN_OR_RETURN(SymmetricEigen eig, EigenSymmetric(cov));
+  Matrix cov = Covariance(sub);
+  // Ridge regularisation: a collapsed group (duplicate points, members
+  // confined to a hyperplane) yields a singular covariance on which the
+  // Jacobi sweep can stall. The jitter is orders of magnitude below any
+  // meaningful spread and leaves the eigenvectors of well-conditioned
+  // covariances untouched to ~1e-10.
+  double trace = 0.0;
+  for (size_t j = 0; j < d; ++j) trace += cov.at(j, j);
+  const double ridge = 1e-10 * (trace / static_cast<double>(d)) + 1e-12;
+  for (size_t j = 0; j < d; ++j) cov.at(j, j) += ridge;
+  Result<SymmetricEigen> eig = EigenSymmetric(cov);
+  if (!eig.ok()) return AxisFallbackBasis(d, q);
   // Eigenvalues are sorted descending; take the trailing q columns.
   Matrix basis(d, q);
   for (size_t c = 0; c < q; ++c) {
     for (size_t j = 0; j < d; ++j) {
-      basis.at(j, c) = eig.vectors.at(j, d - q + c);
+      const double v = eig->vectors.at(j, d - q + c);
+      if (!std::isfinite(v)) return AxisFallbackBasis(d, q);
+      basis.at(j, c) = v;
     }
   }
   return basis;
@@ -76,7 +93,7 @@ Result<double> MergeCost(const Matrix& data, const Group& a, const Group& b,
   std::vector<int> merged = a.members;
   merged.insert(merged.end(), b.members.begin(), b.members.end());
   if (merged.empty()) return 0.0;
-  MC_ASSIGN_OR_RETURN(Matrix basis, LeastSpreadBasis(data, merged, q));
+  const Matrix basis = LeastSpreadBasis(data, merged, q);
   const std::vector<double> centroid = CentroidOf(data, merged);
   double energy = 0.0;
   for (int m : merged) {
@@ -91,10 +108,12 @@ namespace {
 
 Result<OrclusResult> RunOrclusOnce(const Matrix& data,
                                    const OrclusOptions& options,
-                                   uint64_t seed) {
+                                   uint64_t seed, BudgetTracker* guard) {
   const size_t n = data.rows();
   const size_t d = data.cols();
   Rng rng(seed);
+  size_t iterations = 0;
+  bool stopped_early = false;
 
   // Seeds: k0 = a_factor * k random objects, working dimensionality starts
   // at d and decays towards l as clusters merge towards k.
@@ -118,6 +137,12 @@ Result<OrclusResult> RunOrclusOnce(const Matrix& data,
                1.0 / static_cast<double>(options.max_iters));
 
   for (size_t iter = 0; iter < options.max_iters || kc > options.k; ++iter) {
+    if (guard->Cancelled()) return guard->CancelledStatus();
+    if (guard->ShouldStop(iter)) {
+      stopped_early = true;
+      break;
+    }
+    iterations = iter + 1;
     // --- Assign: nearest centroid by projected distance. ---
     for (Group& g : groups) g.members.clear();
     for (size_t i = 0; i < n; ++i) {
@@ -147,7 +172,7 @@ Result<OrclusResult> RunOrclusOnce(const Matrix& data,
                                              std::lround(qc)));
     for (Group& g : groups) {
       g.centroid = CentroidOf(data, g.members);
-      MC_ASSIGN_OR_RETURN(g.basis, LeastSpreadBasis(data, g.members, q));
+      g.basis = LeastSpreadBasis(data, g.members, q);
     }
 
     // --- Merge down towards the schedule's cluster count (always at
@@ -181,8 +206,7 @@ Result<OrclusResult> RunOrclusOnce(const Matrix& data,
                                 groups[bb].members.begin(),
                                 groups[bb].members.end());
       groups[ba].centroid = CentroidOf(data, groups[ba].members);
-      MC_ASSIGN_OR_RETURN(groups[ba].basis,
-                          LeastSpreadBasis(data, groups[ba].members, q));
+      groups[ba].basis = LeastSpreadBasis(data, groups[ba].members, q);
       groups.erase(groups.begin() + bb);
     }
     kc = groups.size();
@@ -199,11 +223,16 @@ Result<OrclusResult> RunOrclusOnce(const Matrix& data,
   // updates until the labeling stabilises (projected k-means in each
   // cluster's own oriented subspace).
   std::vector<int> labels(n, -1);
+  bool refined = false;
   for (size_t round = 0; round < 20; ++round) {
+    if (guard->Cancelled()) return guard->CancelledStatus();
+    if (guard->DeadlineExpired()) {
+      stopped_early = true;
+      break;
+    }
     for (Group& g : groups) {
       g.centroid = CentroidOf(data, g.members);
-      MC_ASSIGN_OR_RETURN(g.basis,
-                          LeastSpreadBasis(data, g.members, options.l));
+      g.basis = LeastSpreadBasis(data, g.members, options.l);
     }
     for (Group& g : groups) g.members.clear();
     bool changed = false;
@@ -229,7 +258,11 @@ Result<OrclusResult> RunOrclusOnce(const Matrix& data,
       g.members.push_back(static_cast<int>(rng.NextIndex(n)));
       changed = true;
     }
-    if (!changed) break;
+    if (!changed &&
+        !MC_FAULT_FIRES("orclus", FaultKind::kForceNonConvergence, round)) {
+      refined = true;
+      break;
+    }
   }
 
   OrclusResult result;
@@ -239,9 +272,17 @@ Result<OrclusResult> RunOrclusOnce(const Matrix& data,
       energy += ProjectedSquaredDistance(data.Row(m), g.centroid, g.basis);
     }
   }
+  if (MC_FAULT_FIRES("orclus", FaultKind::kInjectNaN, 0)) {
+    energy = std::numeric_limits<double>::quiet_NaN();
+  }
+  if (!std::isfinite(energy)) {
+    return Status::ComputationError("ORCLUS: non-finite projected energy");
+  }
   result.projected_energy = energy / static_cast<double>(n);
   result.clustering.labels = std::move(labels);
   result.clustering.algorithm = "orclus";
+  result.clustering.iterations = iterations;
+  result.clustering.converged = refined && !stopped_early;
   result.clustering.Canonicalize();
   for (const Group& g : groups) {
     result.subspaces.push_back({g.basis});
@@ -261,18 +302,29 @@ Result<OrclusResult> RunOrclus(const Matrix& data,
   if (options.l == 0 || options.l > d) {
     return Status::InvalidArgument("ORCLUS: invalid l");
   }
+  MC_RETURN_IF_ERROR(ValidateMatrix("ORCLUS", data));
+  BudgetTracker guard(options.budget, "orclus");
   Rng rng(options.seed);
   OrclusResult best;
   bool have_best = false;
+  Status last_error = Status::OK();
   const size_t restarts = options.restarts == 0 ? 1 : options.restarts;
   for (size_t r = 0; r < restarts; ++r) {
-    MC_ASSIGN_OR_RETURN(OrclusResult run,
-                        RunOrclusOnce(data, options, rng.NextU64()));
-    if (!have_best || run.projected_energy < best.projected_energy) {
-      best = std::move(run);
+    const uint64_t restart_seed = rng.NextU64();
+    if (r > 0 && guard.DeadlineExpired()) break;
+    Result<OrclusResult> run =
+        RunOrclusOnce(data, options, restart_seed, &guard);
+    if (!run.ok()) {
+      if (run.status().code() == StatusCode::kCancelled) return run.status();
+      last_error = run.status();
+      continue;  // a degenerate restart does not kill the others
+    }
+    if (!have_best || run->projected_energy < best.projected_energy) {
+      best = std::move(*run);
       have_best = true;
     }
   }
+  if (!have_best) return last_error;
   return best;
 }
 

@@ -6,6 +6,7 @@
 
 #include "cluster/clustering.h"
 #include "common/result.h"
+#include "common/runguard.h"
 #include "linalg/matrix.h"
 
 namespace multiclust {
@@ -26,6 +27,8 @@ struct OrclusOptions {
   /// oriented data).
   size_t restarts = 3;
   uint64_t seed = 1;
+  /// Wall-clock / iteration / cancellation limits (see common/runguard.h).
+  RunBudget budget;
 };
 
 /// One ORCLUS cluster's oriented subspace.

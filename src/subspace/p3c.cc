@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/runguard.h"
 #include "stats/grid.h"
 #include "stats/tails.h"
 
@@ -29,6 +30,7 @@ Result<SubspaceClustering> RunP3c(const Matrix& data,
   if (options.alpha <= 0 || options.alpha >= 1) {
     return Status::InvalidArgument("P3C: alpha must be in (0, 1)");
   }
+  MC_RETURN_IF_ERROR(ValidateMatrix("P3C", data));
   MC_ASSIGN_OR_RETURN(Grid grid, Grid::Build(data, options.xi));
 
   // --- 1. Relevant intervals per dimension. ---

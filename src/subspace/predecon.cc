@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "cluster/dbscan.h"
+#include "common/runguard.h"
 
 namespace multiclust {
 
@@ -18,6 +19,7 @@ Result<Clustering> RunPredecon(const Matrix& data,
       options.min_pts == 0) {
     return Status::InvalidArgument("PreDeCon: invalid parameters");
   }
+  MC_RETURN_IF_ERROR(ValidateMatrix("PreDeCon", data));
 
   // 1. Full-space eps-neighbourhoods for preference estimation.
   const std::vector<std::vector<int>> base =

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <string>
 
+#include "common/fault.h"
 #include "common/rng.h"
 
 namespace multiclust {
@@ -63,6 +65,8 @@ Result<ProclusResult> RunProclus(const Matrix& data,
     return Status::InvalidArgument(
         "PROCLUS: avg_dims must be in [2, num dims]");
   }
+  MC_RETURN_IF_ERROR(ValidateMatrix("PROCLUS", data));
+  BudgetTracker guard(options.budget, "proclus");
   Rng rng(options.seed);
   const size_t k = options.k;
 
@@ -88,8 +92,16 @@ Result<ProclusResult> RunProclus(const Matrix& data,
   std::vector<int> best_labels(n, -1);
   std::vector<std::vector<size_t>> best_dims(k);
   double best_cost = std::numeric_limits<double>::infinity();
+  size_t iterations = 0;
+  bool stopped_early = false;
 
   for (size_t iter = 0; iter < options.max_iters; ++iter) {
+    if (guard.Cancelled()) return guard.CancelledStatus();
+    if (guard.ShouldStop(iter)) {
+      stopped_early = true;
+      break;
+    }
+    iterations = iter + 1;
     // --- Dimension selection per medoid. ---
     // Locality: points closer to this medoid than to any other.
     std::vector<double> locality_radius(k,
@@ -185,6 +197,14 @@ Result<ProclusResult> RunProclus(const Matrix& data,
       cost += SubspaceManhattan(data, i, medoids[labels[i]],
                                 dims[labels[i]]);
     }
+    if (MC_FAULT_FIRES("proclus", FaultKind::kInjectNaN, iter)) {
+      cost = std::numeric_limits<double>::quiet_NaN();
+    }
+    if (!std::isfinite(cost)) {
+      return Status::ComputationError(
+          "PROCLUS: non-finite segmental cost at iteration " +
+          std::to_string(iter));
+    }
     if (cost < best_cost) {
       best_cost = cost;
       best_labels = labels;
@@ -204,6 +224,10 @@ Result<ProclusResult> RunProclus(const Matrix& data,
   result.clustering.labels = std::move(best_labels);
   result.clustering.algorithm = "proclus";
   result.clustering.quality = -best_cost;
+  result.clustering.iterations = iterations;
+  // PROCLUS is a fixed-round medoid search, so "converged" means the full
+  // schedule ran rather than being cut short by a budget.
+  result.clustering.converged = !stopped_early;
   result.dims = std::move(best_dims);
   return result;
 }

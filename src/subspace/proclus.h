@@ -6,6 +6,7 @@
 
 #include "cluster/clustering.h"
 #include "common/result.h"
+#include "common/runguard.h"
 #include "subspace/subspace_cluster.h"
 
 namespace multiclust {
@@ -20,6 +21,8 @@ struct ProclusOptions {
   size_t a_factor = 5;
   size_t max_iters = 20;
   uint64_t seed = 1;
+  /// Wall-clock / iteration / cancellation limits (see common/runguard.h).
+  RunBudget budget;
 };
 
 /// Full PROCLUS output: a *partitioning* (each object in exactly one

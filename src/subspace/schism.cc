@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/runguard.h"
 #include "stats/tails.h"
 
 namespace multiclust {
@@ -23,6 +24,7 @@ Result<SubspaceClustering> RunSchism(const Matrix& data,
   if (options.tau <= 0.0 || options.tau >= 1.0) {
     return Status::InvalidArgument("SCHISM: tau must be in (0, 1)");
   }
+  MC_RETURN_IF_ERROR(ValidateMatrix("SCHISM", data));
   MC_ASSIGN_OR_RETURN(Grid grid, Grid::Build(data, options.xi));
   const std::vector<size_t> thresholds = SchismSupportThresholds(
       data.rows(), data.cols(), options.xi, options.tau);

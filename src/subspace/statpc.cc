@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "common/runguard.h"
 #include "stats/tails.h"
 
 namespace multiclust {
@@ -17,6 +18,7 @@ Result<SubspaceClustering> RunStatpc(const Matrix& data,
   }
   const size_t n = data.rows();
   if (n == 0) return Status::InvalidArgument("STATPC: empty data");
+  MC_RETURN_IF_ERROR(ValidateMatrix("STATPC", data));
 
   // Per-dimension data ranges for volume fractions.
   const size_t d = data.cols();

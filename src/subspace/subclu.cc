@@ -5,6 +5,7 @@
 #include <set>
 
 #include "cluster/dbscan.h"
+#include "common/runguard.h"
 
 namespace multiclust {
 
@@ -54,6 +55,7 @@ Result<SubspaceClustering> RunSubclu(const Matrix& data,
   const size_t n = data.rows();
   const size_t d = data.cols();
   if (n == 0 || d == 0) return Status::InvalidArgument("SUBCLU: empty data");
+  MC_RETURN_IF_ERROR(ValidateMatrix("SUBCLU", data));
   const size_t max_dims =
       options.max_dims == 0 ? d : std::min(options.max_dims, d);
 

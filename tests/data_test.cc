@@ -245,6 +245,53 @@ TEST(CsvTest, MalformedNumberError) {
   std::remove(path.c_str());
 }
 
+TEST(CsvTest, MalformedNumberErrorNamesRowAndColumn) {
+  const std::string path = ::testing::TempDir() + "/multiclust_badctx.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("height,width\n1,2\n3,oops\n", f);
+  fclose(f);
+  CsvOptions opts;
+  auto r = ReadCsv(path, opts);
+  ASSERT_FALSE(r.ok());
+  // The bad cell is on file line 3 (after the header), second column.
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("column 2"), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("'width'"), std::string::npos)
+      << r.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, NonFiniteCellRejectedByDefault) {
+  const std::string path = ::testing::TempDir() + "/multiclust_nan.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("a,b\n1,2\n3,nan\n", f);
+  fclose(f);
+  CsvOptions opts;
+  auto r = ReadCsv(path, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("non-finite"), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, NonFiniteCellAcceptedWhenOptedIn) {
+  const std::string path = ::testing::TempDir() + "/multiclust_nan_ok.csv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("a,b\n1,2\n3,inf\n", f);
+  fclose(f);
+  CsvOptions opts;
+  opts.allow_non_finite = true;
+  auto r = ReadCsv(path, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_objects(), 2u);
+  EXPECT_TRUE(std::isinf(r->data().at(1, 1)));
+  std::remove(path.c_str());
+}
+
 TEST(CsvTest, FieldCountMismatchError) {
   const std::string path = ::testing::TempDir() + "/multiclust_badcount.csv";
   FILE* f = fopen(path.c_str(), "w");

@@ -1,0 +1,274 @@
+// Recovery-path suite: exercises the run-guard subsystem (budgets,
+// cancellation, deterministic retries) and — when fault injection is
+// compiled in (the default) — every recovery path the injector can reach:
+// poisoned iterations, forced non-convergence, expired deadlines, restart
+// skipping, and the discovery pipeline's strategy fallback chain.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cluster/gmm.h"
+#include "cluster/kmeans.h"
+#include "common/fault.h"
+#include "common/runguard.h"
+#include "core/pipeline.h"
+#include "data/generators.h"
+
+namespace multiclust {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Reset(); }
+  void TearDown() override { fault::Reset(); }
+};
+
+Matrix BlobData(uint64_t seed = 21) {
+  auto ds = MakeBlobs({{{0, 0}, 0.6, 30}, {{6, 0}, 0.6, 30},
+                       {{3, 5}, 0.6, 30}},
+                      seed);
+  return ds->data();
+}
+
+// ---- Budget semantics (no injected faults required) ----------------------
+
+TEST_F(FaultInjectionTest, IterationCapReturnsPartialResult) {
+  // Uniform data with k = 5 does not converge in one Lloyd iteration.
+  auto ds = MakeUniformCube(200, 4, 3);
+  KMeansOptions opts;
+  opts.k = 5;
+  opts.restarts = 1;
+  opts.seed = 5;
+  opts.budget.max_iterations = 1;
+  auto c = RunKMeans(ds->data(), opts);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->labels.size(), 200u);
+  EXPECT_LE(c->iterations, 1u);
+  EXPECT_FALSE(c->converged);
+}
+
+TEST_F(FaultInjectionTest, ExpiredDeadlineReturnsPartialResult) {
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.restarts = 3;
+  opts.seed = 5;
+  opts.budget.deadline_ms = 1e-6;  // expired by the first check
+  auto c = RunKMeans(BlobData(), opts);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->labels.size(), 90u);
+  EXPECT_FALSE(c->converged);
+}
+
+TEST_F(FaultInjectionTest, CancelTokenAbortsWithCancelled) {
+  CancelToken cancel;
+  cancel.Cancel();
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.budget.cancel = &cancel;
+  auto c = RunKMeans(BlobData(), opts);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(FaultInjectionTest, CancelIsNeverSwallowedByPipelineFallbacks) {
+  CancelToken cancel;
+  cancel.Cancel();
+  DiscoveryOptions opts;
+  opts.k = 2;
+  opts.budget.cancel = &cancel;
+  auto r = DiscoverMultipleClusterings(BlobData(), opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(FaultInjectionTest, RetrySeedsAreDeterministicAndDistinct) {
+  EXPECT_EQ(RetrySeed(7, 0), 7u);
+  EXPECT_EQ(RetrySeed(7, 1), RetrySeed(7, 1));
+  EXPECT_NE(RetrySeed(7, 1), 7u);
+  EXPECT_NE(RetrySeed(7, 1), RetrySeed(7, 2));
+  EXPECT_NE(RetrySeed(7, 1), RetrySeed(8, 1));
+}
+
+TEST_F(FaultInjectionTest, CleanPipelineRunIsNotDegraded) {
+  DiscoveryOptions opts;
+  opts.k = 2;
+  opts.seed = 4;
+  auto r = DiscoverMultipleClusterings(BlobData(), opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->degraded);
+  EXPECT_TRUE(r->warnings.empty());
+  ASSERT_EQ(r->attempts.size(), 1u);
+  EXPECT_EQ(r->attempts[0].retries, 0u);
+  EXPECT_EQ(r->strategy_name, "dec-kmeans");
+}
+
+// ---- Injected faults -----------------------------------------------------
+
+#if defined(MULTICLUST_FAULT_INJECTION)
+
+TEST_F(FaultInjectionTest, InjectedDeadlineStopsRunEarly) {
+  fault::Arm({"kmeans", FaultKind::kExpireDeadline, 1, 0});
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.restarts = 1;
+  opts.seed = 5;
+  auto c = RunKMeans(BlobData(), opts);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->iterations, 1u);
+  EXPECT_FALSE(c->converged);
+  EXPECT_GT(fault::TotalFires(), 0u);
+}
+
+TEST_F(FaultInjectionTest, PoisonedRestartIsSkippedDeterministically) {
+  const Matrix data = BlobData();
+  auto run = [&data] {
+    // The single armed fire poisons restart 0; restart 1 must win cleanly.
+    fault::Reset();
+    fault::Arm({"kmeans", FaultKind::kInjectNaN, 0, 1});
+    KMeansOptions opts;
+    opts.k = 3;
+    opts.restarts = 2;
+    opts.seed = 5;
+    return RunKMeans(data, opts);
+  };
+  auto first = run();
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->converged);
+  auto second = run();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->labels, second->labels);
+  EXPECT_DOUBLE_EQ(first->quality, second->quality);
+}
+
+TEST_F(FaultInjectionTest, GmmRecoversFromPoisonedRestart) {
+  fault::Arm({"gmm", FaultKind::kInjectNaN, 0, 1});
+  GmmOptions opts;
+  opts.k = 3;
+  opts.restarts = 2;
+  opts.seed = 5;
+  auto model = FitGmm(BlobData(), opts);
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(std::isfinite(model->log_likelihood));
+}
+
+TEST_F(FaultInjectionTest, AllRestartsPoisonedSurfacesComputationError) {
+  fault::Arm({"kmeans", FaultKind::kInjectNaN, 0, 0});
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.restarts = 3;
+  auto c = RunKMeans(BlobData(), opts);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kComputationError);
+}
+
+TEST_F(FaultInjectionTest, RetryWithReseedRecoversDeterministically) {
+  const Matrix data = BlobData();
+  RetryPolicy policy;
+  policy.max_retries = 2;
+  auto attempt_once = [&data, &policy](RunDiagnostics* diag) {
+    // One armed fire fails the first attempt entirely (single restart);
+    // the SplitMix-reseeded retry runs with the injector exhausted.
+    fault::Reset();
+    fault::Arm({"kmeans", FaultKind::kInjectNaN, 0, 1});
+    return RunWithRetry(
+        policy, /*base_seed=*/7,
+        [&data](uint64_t seed) {
+          KMeansOptions o;
+          o.k = 3;
+          o.restarts = 1;
+          o.seed = seed;
+          return RunKMeans(data, o);
+        },
+        diag);
+  };
+  RunDiagnostics d1, d2;
+  auto r1 = attempt_once(&d1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(d1.retries, 1u);
+  auto r2 = attempt_once(&d2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(d2.retries, 1u);
+  // Bit-identical recovery: same reseed sequence, same winner.
+  EXPECT_EQ(r1->labels, r2->labels);
+  EXPECT_DOUBLE_EQ(r1->quality, r2->quality);
+}
+
+TEST_F(FaultInjectionTest, RetryExhaustionSurfacesErrorAndDiagnostics) {
+  fault::Arm({"kmeans", FaultKind::kInjectNaN, 0, 0});  // every iteration
+  RetryPolicy policy;
+  policy.max_retries = 1;
+  RunDiagnostics diag;
+  auto r = RunWithRetry(
+      policy, /*base_seed=*/7,
+      [](uint64_t seed) {
+        KMeansOptions o;
+        o.k = 3;
+        o.restarts = 1;
+        o.seed = seed;
+        return RunKMeans(BlobData(), o);
+      },
+      &diag);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kComputationError);
+  EXPECT_EQ(diag.retries, 1u);
+  EXPECT_FALSE(diag.note.empty());
+}
+
+TEST_F(FaultInjectionTest, ForcedNonConvergenceIsReported) {
+  fault::Arm({"kmeans", FaultKind::kForceNonConvergence, 0, 0});
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.restarts = 1;
+  opts.max_iters = 5;
+  auto c = RunKMeans(BlobData(), opts);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->iterations, 5u);
+  EXPECT_FALSE(c->converged);
+}
+
+TEST_F(FaultInjectionTest, PipelineFallsBackWhenStrategyKeepsFailing) {
+  const Matrix data = BlobData();
+  auto run = [&data] {
+    // dec-kmeans is poisoned on every iteration, so the requested strategy
+    // and all its retries fail; meta clustering (whose base k-means runs at
+    // the "kmeans" site) must take over.
+    fault::Reset();
+    fault::Arm({"dec-kmeans", FaultKind::kInjectNaN, 0, 0});
+    DiscoveryOptions opts;
+    opts.strategy = DiscoveryStrategy::kDecorrelatedKMeans;
+    opts.k = 2;
+    opts.seed = 4;
+    opts.retry.max_retries = 1;
+    return DiscoverMultipleClusterings(data, opts);
+  };
+  auto r = run();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->degraded);
+  EXPECT_FALSE(r->warnings.empty());
+  EXPECT_GE(r->attempts.size(), 2u);
+  EXPECT_EQ(r->strategy_name, "meta-clustering");
+  EXPECT_GT(r->solutions.size(), 0u);
+  // The whole degradation cascade is deterministic.
+  auto again = run();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(r->strategy_name, again->strategy_name);
+  EXPECT_EQ(r->solutions.Labels(), again->solutions.Labels());
+}
+
+TEST_F(FaultInjectionTest, PipelineWithoutFallbackSurfacesTheError) {
+  fault::Arm({"dec-kmeans", FaultKind::kInjectNaN, 0, 0});
+  DiscoveryOptions opts;
+  opts.strategy = DiscoveryStrategy::kDecorrelatedKMeans;
+  opts.k = 2;
+  opts.retry.max_retries = 1;
+  opts.allow_fallback = false;
+  auto r = DiscoverMultipleClusterings(BlobData(), opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kComputationError);
+}
+
+#endif  // MULTICLUST_FAULT_INJECTION
+
+}  // namespace
+}  // namespace multiclust

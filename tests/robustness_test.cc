@@ -5,23 +5,47 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
 
+#include "altspace/cami.h"
+#include "altspace/cib.h"
 #include "altspace/coala.h"
+#include "altspace/conditional_ensemble.h"
 #include "altspace/dec_kmeans.h"
+#include "altspace/disparate.h"
+#include "altspace/meta_clustering.h"
+#include "altspace/min_centropy.h"
 #include "cluster/dbscan.h"
 #include "cluster/gmm.h"
 #include "cluster/hierarchical.h"
 #include "cluster/kmeans.h"
 #include "cluster/spectral.h"
+#include "core/pipeline.h"
 #include "data/generators.h"
 #include "linalg/decomposition.h"
 #include "metrics/clustering_quality.h"
 #include "metrics/partition_similarity.h"
+#include "multiview/co_em.h"
+#include "multiview/consensus.h"
+#include "multiview/mv_dbscan.h"
+#include "multiview/mv_spectral.h"
+#include "orthogonal/alt_transform.h"
 #include "orthogonal/ortho_projection.h"
 #include "orthogonal/residual_transform.h"
 #include "stats/grid.h"
 #include "subspace/clique.h"
+#include "subspace/doc.h"
+#include "subspace/msc.h"
+#include "subspace/orclus.h"
 #include "subspace/osclu.h"
+#include "subspace/p3c.h"
+#include "subspace/predecon.h"
+#include "subspace/proclus.h"
+#include "subspace/schism.h"
+#include "subspace/statpc.h"
+#include "subspace/subclu.h"
 
 namespace multiclust {
 namespace {
@@ -296,6 +320,225 @@ TEST(RobustnessTest, DuplicatedRowsDoNotBreakAnything) {
   auto d = RunDbscan(data, db);
   ASSERT_TRUE(d.ok());
   EXPECT_EQ(d->NumClusters(), 2u);
+}
+
+// ---- NaN/Inf input rejection ---------------------------------------------
+// Every public Run* entry point must reject non-finite input at the boundary
+// with kInvalidArgument naming the offending cell (DESIGN.md "Failure model
+// & guarantees"), instead of hanging, crashing, or emitting garbage labels.
+
+Matrix SmallClean(uint64_t seed = 11) {
+  auto ds = MakeBlobs({{{0, 0, 0}, 0.5, 10}, {{5, 5, 5}, 0.5, 10}}, seed);
+  return ds->data();
+}
+
+// Runs `run` on the clean data with one cell poisoned, once with NaN and
+// once with +Inf, and expects a kInvalidArgument mentioning "non-finite".
+template <typename Fn>
+void ExpectRejectsNonFinite(Fn&& run) {
+  const double bads[] = {std::numeric_limits<double>::quiet_NaN(),
+                         std::numeric_limits<double>::infinity()};
+  for (double bad : bads) {
+    Matrix data = SmallClean();
+    data.at(3, 1) = bad;
+    auto r = run(data);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument)
+        << r.status().ToString();
+    EXPECT_NE(r.status().message().find("non-finite"), std::string::npos)
+        << r.status().message();
+  }
+}
+
+TEST(NonFiniteInputTest, BaseClusterers) {
+  ExpectRejectsNonFinite([](const Matrix& m) {
+    KMeansOptions o;
+    o.k = 2;
+    return RunKMeans(m, o);
+  });
+  ExpectRejectsNonFinite([](const Matrix& m) {
+    GmmOptions o;
+    o.k = 2;
+    return RunGmm(m, o);
+  });
+  ExpectRejectsNonFinite([](const Matrix& m) {
+    DbscanOptions o;
+    o.eps = 1.0;
+    o.min_pts = 3;
+    return RunDbscan(m, o);
+  });
+  ExpectRejectsNonFinite([](const Matrix& m) {
+    AgglomerativeOptions o;
+    o.k = 2;
+    return RunAgglomerative(m, o);
+  });
+  ExpectRejectsNonFinite([](const Matrix& m) {
+    SpectralOptions o;
+    o.k = 2;
+    return RunSpectral(m, o);
+  });
+}
+
+TEST(NonFiniteInputTest, AltspaceAlgorithms) {
+  ExpectRejectsNonFinite([](const Matrix& m) {
+    DecKMeansOptions o;
+    o.ks = {2, 2};
+    o.restarts = 1;
+    return RunDecorrelatedKMeans(m, o);
+  });
+  ExpectRejectsNonFinite([](const Matrix& m) {
+    CoalaOptions o;
+    o.k = 2;
+    return RunCoala(m, std::vector<int>(m.rows(), 0), o);
+  });
+  ExpectRejectsNonFinite([](const Matrix& m) {
+    MinCEntropyOptions o;
+    o.k = 2;
+    return RunMinCEntropy(m, {std::vector<int>(m.rows(), 0)}, o);
+  });
+  ExpectRejectsNonFinite([](const Matrix& m) {
+    CamiOptions o;
+    o.restarts = 1;
+    return RunCami(m, o);
+  });
+  ExpectRejectsNonFinite([](const Matrix& m) {
+    DisparateOptions o;
+    o.restarts = 1;
+    return RunDisparateClustering(m, o);
+  });
+  ExpectRejectsNonFinite([](const Matrix& m) {
+    CibOptions o;
+    o.restarts = 1;
+    return RunCib(m, std::vector<int>(m.rows(), 0), o);
+  });
+  ExpectRejectsNonFinite([](const Matrix& m) {
+    ConditionalEnsembleOptions o;
+    o.ensemble_size = 3;
+    return RunConditionalEnsemble(m, std::vector<int>(m.rows(), 0), o);
+  });
+  ExpectRejectsNonFinite([](const Matrix& m) {
+    MetaClusteringOptions o;
+    o.num_base = 4;
+    o.k = 2;
+    o.meta_k = 2;
+    return RunMetaClustering(m, o);
+  });
+}
+
+TEST(NonFiniteInputTest, OrthogonalAlgorithms) {
+  KMeansOptions km;
+  km.k = 2;
+  km.seed = 3;
+  ExpectRejectsNonFinite([&](const Matrix& m) {
+    KMeansClusterer c(km);
+    return RunAltTransform(m, std::vector<int>(m.rows(), 0), &c);
+  });
+  ExpectRejectsNonFinite([&](const Matrix& m) {
+    KMeansClusterer c(km);
+    return RunResidualTransform(m, std::vector<int>(m.rows(), 0), &c);
+  });
+  ExpectRejectsNonFinite([&](const Matrix& m) {
+    KMeansClusterer c(km);
+    OrthoProjectionOptions o;
+    o.max_views = 2;
+    return RunOrthoProjection(m, &c, o);
+  });
+}
+
+TEST(NonFiniteInputTest, SubspaceAlgorithms) {
+  ExpectRejectsNonFinite([](const Matrix& m) {
+    CliqueOptions o;
+    o.xi = 4;
+    o.tau = 0.1;
+    return RunClique(m, o);
+  });
+  ExpectRejectsNonFinite([](const Matrix& m) {
+    SubcluOptions o;
+    o.eps = 1.0;
+    o.min_pts = 3;
+    return RunSubclu(m, o);
+  });
+  ExpectRejectsNonFinite([](const Matrix& m) {
+    SchismOptions o;
+    o.xi = 4;
+    return RunSchism(m, o);
+  });
+  ExpectRejectsNonFinite([](const Matrix& m) {
+    DocOptions o;
+    o.outer_trials = 2;
+    o.inner_trials = 2;
+    return RunDoc(m, o);
+  });
+  ExpectRejectsNonFinite([](const Matrix& m) {
+    return RunP3c(m, P3cOptions());
+  });
+  ExpectRejectsNonFinite([](const Matrix& m) {
+    PredeconOptions o;
+    o.min_pts = 3;
+    return RunPredecon(m, o);
+  });
+  ExpectRejectsNonFinite([](const Matrix& m) {
+    return RunStatpc(m, SubspaceClustering(), StatpcOptions());
+  });
+  ExpectRejectsNonFinite([](const Matrix& m) {
+    OrclusOptions o;
+    o.k = 2;
+    o.l = 2;
+    o.restarts = 1;
+    return RunOrclus(m, o);
+  });
+  ExpectRejectsNonFinite([](const Matrix& m) {
+    ProclusOptions o;
+    o.k = 2;
+    return RunProclus(m, o);
+  });
+  ExpectRejectsNonFinite([](const Matrix& m) {
+    MscOptions o;
+    o.num_views = 2;
+    o.k = 2;
+    return RunMultipleSpectralViews(m, o);
+  });
+}
+
+TEST(NonFiniteInputTest, MultiviewAlgorithms) {
+  const Matrix clean = SmallClean(13);
+  ExpectRejectsNonFinite([&](const Matrix& m) {
+    CoEmOptions o;
+    o.k = 2;
+    return RunCoEm(m, clean, o);
+  });
+  // The second view is validated too, not just the first.
+  ExpectRejectsNonFinite([&](const Matrix& m) {
+    CoEmOptions o;
+    o.k = 2;
+    return RunCoEm(clean, m, o);
+  });
+  ExpectRejectsNonFinite([&](const Matrix& m) {
+    MvDbscanOptions o;
+    o.eps = {1.0, 1.0};
+    o.min_pts = 3;
+    return RunMvDbscan({clean, m}, o);
+  });
+  ExpectRejectsNonFinite([&](const Matrix& m) {
+    MvSpectralOptions o;
+    o.k = 2;
+    return RunMvSpectral({m, clean}, o);
+  });
+  ExpectRejectsNonFinite([](const Matrix& m) {
+    ConsensusOptions o;
+    o.ensemble_size = 3;
+    return RunEnsembleConsensus(m, o);
+  });
+}
+
+TEST(NonFiniteInputTest, DiscoveryPipelineRejectsBeforeFallback) {
+  // kInvalidArgument must propagate directly — the fallback chain is for
+  // recoverable computation errors, not for rejected inputs.
+  ExpectRejectsNonFinite([](const Matrix& m) {
+    DiscoveryOptions o;
+    o.k = 2;
+    return DiscoverMultipleClusterings(m, o);
+  });
 }
 
 }  // namespace
