@@ -18,6 +18,7 @@
 #include "cluster/kmeans.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "linalg/matrix.h"
 #include "stats/hsic.h"
 
@@ -128,5 +129,30 @@ int main() {
   SetThreadCount(0);
   std::printf("expected shape: kmeans/matmul >= 2.5x at 4 threads on >= 4\n"
               "cores; all kernels bit-identical at every thread count.\n");
+
+  // T1 companion: what the span tracer costs the most span-dense kernel
+  // (k-means: four spans per outer iteration) when armed, relative to the
+  // disarmed default. The spans sit outside the per-point inner loops, so
+  // the delta should be well under the 2% observability budget.
+  std::printf("\ntracer overhead (kmeans kernel, 4 threads):\n");
+  if (!trace::kCompiledIn) {
+    std::printf("  tracing compiled out (-DMULTICLUST_TRACING=OFF); "
+                "nothing to measure.\n");
+    return 0;
+  }
+  SetThreadCount(4);
+  double sum_off = 0.0, sum_on = 0.0;
+  trace::Disable();
+  const double ms_off = TimeIt(KMeansKernel, &sum_off);
+  trace::Enable();
+  trace::Reset();
+  const double ms_on = TimeIt(KMeansKernel, &sum_on);
+  trace::Disable();
+  trace::Reset();
+  SetThreadCount(0);
+  std::printf("  disarmed %8.2f ms/iter   armed %8.2f ms/iter   "
+              "delta %+.2f%%   identical %s\n",
+              ms_off, ms_on, 100.0 * (ms_on - ms_off) / ms_off,
+              sum_off == sum_on ? "yes" : "NO");
   return 0;
 }

@@ -3,10 +3,17 @@
 // Each pair runs the identical workload with no budget (guards on their
 // fast path) and with a full budget (deadline + iteration cap + cancel
 // token armed, none of which fire). The acceptance bar is < 2% overhead.
+//
+// The TracingArmed/TracingDisarmed pairs do the same for the observability
+// layer: identical workloads with a ConvergenceTrace sink attached, once
+// with the span tracer + metrics recording live and once with the tracer
+// disabled (the production default). Same < 2% bar.
 #include <benchmark/benchmark.h>
 
 #include "cluster/gmm.h"
 #include "cluster/kmeans.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "data/generators.h"
 
 using namespace multiclust;
@@ -88,6 +95,69 @@ void BM_GmmFullBudget(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GmmFullBudget);
+
+void BM_KMeansTracingDisarmed(benchmark::State& state) {
+  const Matrix data = BenchData();
+  KMeansOptions opts = KmOptions();
+  RunDiagnostics diag;
+  opts.diagnostics = &diag;
+  trace::Disable();
+  for (auto _ : state) {
+    diag = RunDiagnostics();
+    benchmark::DoNotOptimize(RunKMeans(data, opts));
+  }
+}
+BENCHMARK(BM_KMeansTracingDisarmed);
+
+void BM_KMeansTracingArmed(benchmark::State& state) {
+  const Matrix data = BenchData();
+  KMeansOptions opts = KmOptions();
+  RunDiagnostics diag;
+  opts.diagnostics = &diag;
+  trace::Enable();
+  for (auto _ : state) {
+    // Reset inside the timed region: a real consumer drains the buffers
+    // periodically, and without it the armed run would also be measuring
+    // unbounded buffer growth.
+    trace::Reset();
+    metrics::Reset();
+    diag = RunDiagnostics();
+    benchmark::DoNotOptimize(RunKMeans(data, opts));
+  }
+  trace::Disable();
+  trace::Reset();
+}
+BENCHMARK(BM_KMeansTracingArmed);
+
+void BM_GmmTracingDisarmed(benchmark::State& state) {
+  const Matrix data = BenchData();
+  GmmOptions opts = GmOptions();
+  RunDiagnostics diag;
+  opts.diagnostics = &diag;
+  trace::Disable();
+  for (auto _ : state) {
+    diag = RunDiagnostics();
+    benchmark::DoNotOptimize(FitGmm(data, opts));
+  }
+}
+BENCHMARK(BM_GmmTracingDisarmed);
+
+void BM_GmmTracingArmed(benchmark::State& state) {
+  const Matrix data = BenchData();
+  GmmOptions opts = GmOptions();
+  RunDiagnostics diag;
+  opts.diagnostics = &diag;
+  trace::Enable();
+  for (auto _ : state) {
+    trace::Reset();
+    metrics::Reset();
+    diag = RunDiagnostics();
+    benchmark::DoNotOptimize(FitGmm(data, opts));
+  }
+  trace::Disable();
+  trace::Reset();
+}
+BENCHMARK(BM_GmmTracingArmed);
 
 }  // namespace
 

@@ -6,6 +6,8 @@
 
 #include "cluster/hierarchical.h"
 #include "common/fault.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace multiclust {
 
@@ -23,7 +25,9 @@ Result<Clustering> RunCoala(const Matrix& data, const std::vector<int>& given,
     return Status::InvalidArgument("COALA: w must be positive");
   }
   MC_RETURN_IF_ERROR(ValidateMatrix("COALA", data));
+  MULTICLUST_TRACE_SPAN("altspace.coala.run");
   BudgetTracker guard(options.budget, "coala");
+  ConvergenceRecorder recorder(options.diagnostics, &guard);
 
   // Average-link distances between current groups, maintained with the
   // Lance-Williams update. violations(i, j) counts cannot-link pairs between
@@ -89,14 +93,26 @@ Result<Clustering> RunCoala(const Matrix& data, const std::vector<int>& given,
     // Quality merge when it is much better than the best constraint-
     // respecting merge (d_qual < w * d_diss), or when no dissimilarity
     // merge exists at all.
+    double merged_dist;
     if (d_diss == inf || d_qual < options.w * d_diss) {
       mi = qi;
       mj = qj;
+      merged_dist = d_qual;
       ++local_stats.quality_merges;
+      MC_METRIC_COUNT("altspace.coala.quality_merges", 1);
     } else {
       mi = di;
       mj = dj;
+      merged_dist = d_diss;
       ++local_stats.dissimilarity_merges;
+      MC_METRIC_COUNT("altspace.coala.dissimilarity_merges", 1);
+    }
+    if (recorder.enabled()) {
+      // The "objective" of a merge step is the chosen linkage distance;
+      // delta is the gap between the two candidate merges (0 when only
+      // one candidate exists).
+      const double gap = d_diss == inf ? 0.0 : std::fabs(d_diss - d_qual);
+      recorder.Record(0, iter, merged_dist, gap, 0);
     }
 
     // Merge mj into mi.
@@ -123,6 +139,7 @@ Result<Clustering> RunCoala(const Matrix& data, const std::vector<int>& given,
 
   // A budget-stopped run returns the partial dendrogram cut: more than
   // `k` clusters, flagged via `converged == false`.
+  recorder.Finish("coala", iter, !stopped_early);
   Clustering out;
   out.labels.assign(n, -1);
   out.algorithm = "coala";

@@ -21,6 +21,11 @@ struct CoalaOptions {
   /// merge counts as one iteration. A stopped run returns the partial
   /// dendrogram cut (more than `k` clusters, `converged == false`).
   RunBudget budget;
+  /// Optional observability sink (not owned): per-merge ConvergenceTrace
+  /// (chosen merge distance, gap between the quality and dissimilarity
+  /// candidates) plus iterations/convergence/stop-reason. nullptr (the
+  /// default) records nothing.
+  RunDiagnostics* diagnostics = nullptr;
 };
 
 /// Per-run diagnostics.

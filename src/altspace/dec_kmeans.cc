@@ -7,7 +7,9 @@
 #include "cluster/clustering.h"
 #include "cluster/kmeans.h"
 #include "common/fault.h"
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "linalg/decomposition.h"
 
 namespace multiclust {
@@ -90,7 +92,9 @@ struct RestartOutcome {
 
 Result<RestartOutcome> RunRestart(const Matrix& data,
                                   const DecKMeansOptions& options,
-                                  Rng* rng, BudgetTracker* guard) {
+                                  Rng* rng, BudgetTracker* guard,
+                                  size_t restart,
+                                  ConvergenceRecorder* recorder) {
   const size_t n = data.rows();
   const size_t d = data.cols();
   const size_t num_clusterings = options.ks.size();
@@ -120,6 +124,9 @@ Result<RestartOutcome> RunRestart(const Matrix& data,
   for (size_t iter = 0; iter < options.max_iters; ++iter) {
     if (guard->Cancelled()) return guard->CancelledStatus();
     if (guard->ShouldStop(iter)) break;
+    MC_METRIC_COUNT("altspace.dec_kmeans.iterations", 1);
+    MULTICLUST_TRACE_SPAN("altspace.dec_kmeans.iteration");
+    size_t reseeds = 0;
     for (size_t t = 0; t < num_clusterings; ++t) {
       // 1. Assignment to nearest representative.
       s.labels[t] = AssignToNearest(data, s.reps[t]);
@@ -157,6 +164,7 @@ Result<RestartOutcome> RunRestart(const Matrix& data,
         if (counts[c] == 0) {
           // Re-seed an empty cluster at a random object.
           s.reps[t].SetRow(c, data.Row(rng->NextIndex(n)));
+          ++reseeds;
           continue;
         }
         Matrix a = b;
@@ -178,6 +186,10 @@ Result<RestartOutcome> RunRestart(const Matrix& data,
       return Status::ComputationError(
           "dec-kmeans: non-finite objective at iteration " +
           std::to_string(iter));
+    }
+    if (reseeds > 0) MC_METRIC_COUNT("altspace.dec_kmeans.reseeds", reseeds);
+    if (recorder->enabled()) {
+      recorder->Record(restart, iter, cur, std::fabs(prev - cur), reseeds);
     }
     if (std::fabs(prev - cur) <= options.tol * (std::fabs(prev) + 1.0) &&
         !MC_FAULT_FIRES("dec-kmeans", FaultKind::kForceNonConvergence,
@@ -211,7 +223,9 @@ Result<DecKMeansResult> RunDecorrelatedKMeans(
   }
   MC_RETURN_IF_ERROR(ValidateMatrix("dec-kmeans", data));
 
+  MULTICLUST_TRACE_SPAN("altspace.dec_kmeans.run");
   BudgetTracker guard(options.budget, "dec-kmeans");
+  ConvergenceRecorder recorder(options.diagnostics, &guard);
   Rng rng(options.seed);
   RestartOutcome best;
   double best_objective = std::numeric_limits<double>::infinity();
@@ -221,7 +235,9 @@ Result<DecKMeansResult> RunDecorrelatedKMeans(
   const size_t restarts = options.restarts == 0 ? 1 : options.restarts;
   for (size_t restart = 0; restart < restarts; ++restart) {
     if (restart > 0 && guard.DeadlineExpired()) break;
-    Result<RestartOutcome> run = RunRestart(data, options, &rng, &guard);
+    MC_METRIC_COUNT("altspace.dec_kmeans.restarts", 1);
+    Result<RestartOutcome> run =
+        RunRestart(data, options, &rng, &guard, restart, &recorder);
     if (!run.ok()) {
       if (run.status().code() == StatusCode::kCancelled) return run.status();
       last_error = run.status();
@@ -232,9 +248,11 @@ Result<DecKMeansResult> RunDecorrelatedKMeans(
       best_objective = final_obj;
       best = std::move(*run);
       have_best = true;
+      recorder.SetWinner(restart);
     }
   }
   if (!have_best) return last_error;
+  recorder.Finish("dec-kmeans", best.iterations, best.converged);
 
   DecKMeansResult result;
   result.objective = best_objective;

@@ -25,6 +25,11 @@ struct DecKMeansOptions {
   uint64_t seed = 1;
   /// Wall-clock / iteration / cancellation limits (see common/runguard.h).
   RunBudget budget;
+  /// Optional observability sink (not owned): per-outer-iteration
+  /// ConvergenceTrace (combined objective G, objective change,
+  /// empty-cluster reseeds) plus iterations/convergence/stop-reason.
+  /// nullptr (the default) records nothing.
+  RunDiagnostics* diagnostics = nullptr;
 };
 
 /// Full output of a run.

@@ -8,6 +8,7 @@
 #include "cluster/kmeans.h"
 #include "common/runguard.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "metrics/partition_similarity.h"
 
 namespace multiclust {
@@ -21,6 +22,7 @@ Result<MetaClusteringResult> RunMetaClustering(
     return Status::InvalidArgument("meta clustering: invalid meta_k");
   }
   MC_RETURN_IF_ERROR(ValidateMatrix("meta clustering", data));
+  MULTICLUST_TRACE_SPAN("altspace.meta_clustering.run");
   BudgetTracker guard(options.budget, "meta-clustering");
 
   Rng rng(options.seed);
@@ -46,6 +48,7 @@ Result<MetaClusteringResult> RunMetaClustering(
     km.restarts = 1;
     km.plus_plus_init = false;  // deliberate: keep generation undirected
     km.seed = rng.NextU64();
+    km.diagnostics = options.diagnostics;
     if (result.base.size() >= 2 && guard.DeadlineExpired()) {
       result.warnings.push_back(
           "meta clustering: deadline expired after " +
@@ -116,6 +119,11 @@ Result<MetaClusteringResult> RunMetaClustering(
       rep.algorithm = "meta-representative";
       MC_RETURN_IF_ERROR(result.representatives.Add(std::move(rep)));
     }
+  }
+  if (options.diagnostics != nullptr) {
+    // The trace accumulated one segment per base run; report it under the
+    // umbrella algorithm.
+    options.diagnostics->algorithm = "meta-clustering";
   }
   return result;
 }

@@ -33,6 +33,11 @@ struct MetaClusteringOptions {
   /// the deadline expires; the meta grouping then runs on the bases
   /// generated so far (at least two).
   RunBudget budget;
+  /// Optional observability sink (not owned): forwarded to every base
+  /// k-means run, whose traces accumulate in it. The algorithm is
+  /// reported as "meta-clustering". nullptr (the default) records
+  /// nothing.
+  RunDiagnostics* diagnostics = nullptr;
 };
 
 /// Full output of a meta-clustering run.

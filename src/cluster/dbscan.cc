@@ -5,11 +5,13 @@
 #include "cluster/grid_index.h"
 #include "common/parallel.h"
 #include "common/runguard.h"
+#include "common/trace.h"
 
 namespace multiclust {
 
 std::vector<std::vector<int>> EpsNeighborhoods(
     const Matrix& data, double eps, const std::vector<size_t>& dims) {
+  MULTICLUST_TRACE_SPAN("cluster.dbscan.neighbors");
   const size_t n = data.rows();
   const double eps2 = eps * eps;
   std::vector<std::vector<int>> neighbors(n);
@@ -65,6 +67,7 @@ std::vector<std::vector<int>> EpsNeighborhoods(
 
 Clustering DbscanFromNeighbors(const std::vector<std::vector<int>>& neighbors,
                                size_t min_pts) {
+  MULTICLUST_TRACE_SPAN("cluster.dbscan.expand");
   const size_t n = neighbors.size();
   Clustering result;
   result.labels.assign(n, -1);

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <limits>
 
-#include "common/rng.h"
 #include "cluster/kmeans.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/trace.h"
 
 namespace multiclust {
 
@@ -215,13 +217,16 @@ namespace {
 // kComputationError on a non-finite log-likelihood (numerical degeneracy
 // or an injected fault), kCancelled on cooperative cancellation.
 Result<GmmModel> FitGmmOnce(const Matrix& data, const GmmOptions& options,
-                            uint64_t seed, BudgetTracker* guard) {
+                            uint64_t seed, BudgetTracker* guard,
+                            size_t restart, ConvergenceRecorder* recorder) {
   MC_ASSIGN_OR_RETURN(GmmModel model,
                       InitGmm(data, options.k, options.covariance, seed));
   double prev_ll = -std::numeric_limits<double>::infinity();
   for (size_t iter = 0; iter < options.max_iters; ++iter) {
     if (guard->Cancelled()) return guard->CancelledStatus();
     if (guard->ShouldStop(iter)) break;
+    MC_METRIC_COUNT("cluster.gmm.iterations", 1);
+    MULTICLUST_TRACE_SPAN("cluster.gmm.em_step");
     MC_ASSIGN_OR_RETURN(double ll,
                         EmStep(data, options.variance_floor, &model));
     if (MC_FAULT_FIRES("gmm", FaultKind::kInjectNaN, iter)) {
@@ -232,6 +237,16 @@ Result<GmmModel> FitGmmOnce(const Matrix& data, const GmmOptions& options,
       return Status::ComputationError(
           "GMM-EM: non-finite log-likelihood at iteration " +
           std::to_string(iter));
+    }
+    if (recorder->enabled()) {
+      // Dead components survive with a floor weight (see MStep); count
+      // them as this iteration's degeneracy recoveries.
+      size_t dead = 0;
+      for (const GmmComponent& c : model.components) {
+        if (c.weight <= 1e-8) ++dead;
+      }
+      const double delta = std::isfinite(prev_ll) ? ll - prev_ll : 0.0;
+      recorder->Record(restart, iter, ll, delta, dead);
     }
     if (std::isfinite(prev_ll) &&
         std::fabs(ll - prev_ll) <= options.tol * (std::fabs(prev_ll) + 1.0) &&
@@ -252,7 +267,9 @@ Result<GmmModel> FitGmm(const Matrix& data, const GmmOptions& options) {
     return Status::InvalidArgument("FitGmm: empty data");
   }
   MC_RETURN_IF_ERROR(ValidateMatrix("GMM-EM", data));
+  MULTICLUST_TRACE_SPAN("cluster.gmm.fit");
   BudgetTracker guard(options.budget, "gmm");
+  ConvergenceRecorder recorder(options.diagnostics, &guard);
   Rng rng(options.seed);
   GmmModel best;
   double best_ll = -std::numeric_limits<double>::infinity();
@@ -262,7 +279,9 @@ Result<GmmModel> FitGmm(const Matrix& data, const GmmOptions& options) {
   for (size_t r = 0; r < restarts; ++r) {
     const uint64_t restart_seed = rng.NextU64();
     if (r > 0 && guard.DeadlineExpired()) break;
-    Result<GmmModel> model = FitGmmOnce(data, options, restart_seed, &guard);
+    MC_METRIC_COUNT("cluster.gmm.restarts", 1);
+    Result<GmmModel> model =
+        FitGmmOnce(data, options, restart_seed, &guard, r, &recorder);
     if (!model.ok()) {
       if (model.status().code() == StatusCode::kCancelled) {
         return model.status();
@@ -279,9 +298,11 @@ Result<GmmModel> FitGmm(const Matrix& data, const GmmOptions& options) {
       best_ll = model->log_likelihood;
       best = std::move(*model);
       have_best = true;
+      recorder.SetWinner(r);
     }
   }
   if (!have_best) return last_error;
+  recorder.Finish("gmm", best.iterations, best.converged);
   return best;
 }
 

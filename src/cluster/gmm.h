@@ -65,6 +65,11 @@ struct GmmOptions {
   uint64_t seed = 1;
   /// Wall-clock / iteration / cancellation limits (see common/runguard.h).
   RunBudget budget;
+  /// Optional observability sink (not owned): per-outer-iteration
+  /// ConvergenceTrace (log-likelihood, log-likelihood change, dead
+  /// components) plus iterations/convergence/stop-reason. nullptr (the
+  /// default) records nothing and costs nothing.
+  RunDiagnostics* diagnostics = nullptr;
 };
 
 /// Fits a GMM by EM (k-means++ initialisation). Returns the best restart by

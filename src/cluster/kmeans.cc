@@ -3,8 +3,10 @@
 #include <cmath>
 #include <limits>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/trace.h"
 
 namespace multiclust {
 
@@ -37,7 +39,24 @@ std::vector<double> RowSquaredNorms(const Matrix& m) {
   return norms;
 }
 
+// Exact-form SSE via deterministic chunked reduction (fixed grain), so the
+// objective is bit-identical for any thread count.
+double SseOf(const Matrix& data, const Matrix& centers,
+             const std::vector<int>& labels) {
+  return ParallelReduce(
+      0, data.rows(), 1024, 0.0,
+      [&](size_t lo, size_t hi) {
+        double s = 0.0;
+        for (size_t i = lo; i < hi; ++i) {
+          s += RowCenterDist2(data, i, centers, labels[i]);
+        }
+        return s;
+      },
+      [](double a, double b) { return a + b; });
+}
+
 Matrix InitCenters(const Matrix& data, size_t k, bool plus_plus, Rng* rng) {
+  MULTICLUST_TRACE_SPAN("cluster.kmeans.init");
   const size_t n = data.rows();
   Matrix centers(k, data.cols());
   if (!plus_plus) {
@@ -71,7 +90,8 @@ struct LloydResult {
 
 Result<LloydResult> RunLloyd(const Matrix& data, size_t k, size_t max_iters,
                              double tol, bool plus_plus, Rng* rng,
-                             BudgetTracker* guard) {
+                             BudgetTracker* guard, size_t restart,
+                             ConvergenceRecorder* recorder) {
   const size_t n = data.rows();
   const size_t d = data.cols();
   LloydResult r;
@@ -82,29 +102,34 @@ Result<LloydResult> RunLloyd(const Matrix& data, size_t k, size_t max_iters,
   for (size_t iter = 0; iter < max_iters; ++iter) {
     if (guard->Cancelled()) return guard->CancelledStatus();
     if (guard->ShouldStop(iter)) break;
-    // Assignment step in the norm form ||x||^2 - 2 x.c + ||c||^2: the
-    // inner loop is a plain dot product. Labels are written per point, so
-    // the step is bit-identical for any thread count.
-    const std::vector<double> c_norms = RowSquaredNorms(r.centers);
-    ParallelFor(0, n, 256, [&](size_t lo, size_t hi) {
-      for (size_t i = lo; i < hi; ++i) {
-        const double* row = data.row_data(i);
-        double best = std::numeric_limits<double>::infinity();
-        int best_c = 0;
-        for (size_t c = 0; c < k; ++c) {
-          const double* ctr = r.centers.row_data(c);
-          double dot = 0.0;
-          for (size_t j = 0; j < d; ++j) dot += row[j] * ctr[j];
-          const double dist = x_norms[i] - 2.0 * dot + c_norms[c];
-          if (dist < best) {
-            best = dist;
-            best_c = static_cast<int>(c);
+    MC_METRIC_COUNT("cluster.kmeans.iterations", 1);
+    {
+      MULTICLUST_TRACE_SPAN("cluster.kmeans.assign");
+      // Assignment step in the norm form ||x||^2 - 2 x.c + ||c||^2: the
+      // inner loop is a plain dot product. Labels are written per point,
+      // so the step is bit-identical for any thread count.
+      const std::vector<double> c_norms = RowSquaredNorms(r.centers);
+      ParallelFor(0, n, 256, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          const double* row = data.row_data(i);
+          double best = std::numeric_limits<double>::infinity();
+          int best_c = 0;
+          for (size_t c = 0; c < k; ++c) {
+            const double* ctr = r.centers.row_data(c);
+            double dot = 0.0;
+            for (size_t j = 0; j < d; ++j) dot += row[j] * ctr[j];
+            const double dist = x_norms[i] - 2.0 * dot + c_norms[c];
+            if (dist < best) {
+              best = dist;
+              best_c = static_cast<int>(c);
+            }
           }
+          r.labels[i] = best_c;
         }
-        r.labels[i] = best_c;
-      }
-    });
+      });
+    }
     // Update step.
+    MULTICLUST_TRACE_SPAN("cluster.kmeans.update");
     Matrix next(k, d);
     std::vector<size_t> counts(k, 0);
     for (size_t i = 0; i < n; ++i) {
@@ -113,15 +138,18 @@ Result<LloydResult> RunLloyd(const Matrix& data, size_t k, size_t max_iters,
       double* ctr = next.row_data(r.labels[i]);
       for (size_t j = 0; j < d; ++j) ctr[j] += row[j];
     }
+    size_t reseeds = 0;
     for (size_t c = 0; c < k; ++c) {
       if (counts[c] == 0) {
         // Re-seed an empty cluster at a random object.
         next.CopyRowFrom(data, rng->NextIndex(n), c);
+        ++reseeds;
         continue;
       }
       double* ctr = next.row_data(c);
       for (size_t j = 0; j < d; ++j) ctr[j] /= static_cast<double>(counts[c]);
     }
+    if (reseeds > 0) MC_METRIC_COUNT("cluster.kmeans.reseeds", reseeds);
     if (MC_FAULT_FIRES("kmeans", FaultKind::kInjectNaN, iter)) {
       next.at(0, 0) = std::numeric_limits<double>::quiet_NaN();
     }
@@ -133,6 +161,10 @@ Result<LloydResult> RunLloyd(const Matrix& data, size_t k, size_t max_iters,
           "k-means: non-finite centre shift at iteration " +
           std::to_string(iter));
     }
+    if (recorder->enabled()) {
+      recorder->Record(restart, iter, SseOf(data, r.centers, r.labels),
+                       shift, reseeds);
+    }
     if (shift <= tol &&
         !MC_FAULT_FIRES("kmeans", FaultKind::kForceNonConvergence, iter)) {
       r.converged = true;
@@ -140,18 +172,7 @@ Result<LloydResult> RunLloyd(const Matrix& data, size_t k, size_t max_iters,
     }
   }
 
-  // Exact-form SSE via deterministic chunked reduction (fixed grain), so
-  // the objective is bit-identical for any thread count.
-  r.sse = ParallelReduce(
-      0, n, 1024, 0.0,
-      [&](size_t lo, size_t hi) {
-        double s = 0.0;
-        for (size_t i = lo; i < hi; ++i) {
-          s += RowCenterDist2(data, i, r.centers, r.labels[i]);
-        }
-        return s;
-      },
-      [](double a, double b) { return a + b; });
+  r.sse = SseOf(data, r.centers, r.labels);
   return r;
 }
 
@@ -164,7 +185,9 @@ Result<Clustering> RunKMeans(const Matrix& data,
     return Status::InvalidArgument("k-means: fewer objects than clusters");
   }
   MC_RETURN_IF_ERROR(ValidateMatrix("k-means", data));
+  MULTICLUST_TRACE_SPAN("cluster.kmeans.run");
   BudgetTracker guard(options.budget, "kmeans");
+  ConvergenceRecorder recorder(options.diagnostics, &guard);
   Rng rng(options.seed);
   LloydResult best;
   best.sse = std::numeric_limits<double>::infinity();
@@ -174,9 +197,10 @@ Result<Clustering> RunKMeans(const Matrix& data,
   for (size_t r = 0; r < restarts; ++r) {
     Rng child = rng.Split();
     if (r > 0 && guard.DeadlineExpired()) break;
+    MC_METRIC_COUNT("cluster.kmeans.restarts", 1);
     Result<LloydResult> run =
         RunLloyd(data, options.k, options.max_iters, options.tol,
-                 options.plus_plus_init, &child, &guard);
+                 options.plus_plus_init, &child, &guard, r, &recorder);
     if (!run.ok()) {
       // Cancellation aborts the whole call; a numerically degenerate
       // restart is skipped — the remaining restarts still compete.
@@ -187,9 +211,11 @@ Result<Clustering> RunKMeans(const Matrix& data,
     if (!have_best || run->sse < best.sse) {
       best = std::move(*run);
       have_best = true;
+      recorder.SetWinner(r);
     }
   }
   if (!have_best) return last_error;
+  recorder.Finish("kmeans", best.iterations, best.converged);
   Clustering c;
   c.labels = std::move(best.labels);
   c.centroids = std::move(best.centers);

@@ -25,6 +25,12 @@ struct KMeansOptions {
   /// Unlimited by default. On deadline or iteration-cap expiry the best
   /// result so far is returned with `converged = false`.
   RunBudget budget;
+  /// Optional observability sink (not owned; may outlive the call). When
+  /// set, the run fills it with iterations/convergence/stop-reason info
+  /// and a per-outer-iteration ConvergenceTrace (per-iteration SSE, max
+  /// centre shift, empty-cluster reseeds). Costs one extra SSE reduction
+  /// per iteration; the default nullptr records nothing and costs nothing.
+  RunDiagnostics* diagnostics = nullptr;
 };
 
 /// Runs k-means on the rows of `data`. The returned Clustering carries the

@@ -5,6 +5,7 @@
 
 #include "cluster/kmeans.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "linalg/decomposition.h"
 #include "stats/hsic.h"
 
@@ -17,33 +18,41 @@ Result<Clustering> RunSpectral(const Matrix& data,
     return Status::InvalidArgument("spectral: invalid k for data size");
   }
   MC_RETURN_IF_ERROR(ValidateMatrix("spectral", data));
+  MULTICLUST_TRACE_SPAN("cluster.spectral.run");
   BudgetTracker guard(options.budget, "spectral");
 
-  // Affinity with zero diagonal (standard NJW).
-  Matrix w = GaussianKernelMatrix(data, options.gamma);
-  for (size_t i = 0; i < n; ++i) w.at(i, i) = 0.0;
-
-  // Normalised affinity D^{-1/2} W D^{-1/2}; its top-k eigenvectors equal
-  // the bottom-k of the normalised Laplacian.
-  std::vector<double> inv_sqrt_deg(n, 0.0);
-  ParallelFor(0, n, 128, [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      double deg = 0.0;
-      for (size_t j = 0; j < n; ++j) deg += w.at(i, j);
-      inv_sqrt_deg[i] = deg > 1e-12 ? 1.0 / std::sqrt(deg) : 0.0;
-    }
-  });
   Matrix norm(n, n);
-  ParallelFor(0, n, 128, [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      for (size_t j = 0; j < n; ++j) {
-        norm.at(i, j) = inv_sqrt_deg[i] * w.at(i, j) * inv_sqrt_deg[j];
+  {
+    MULTICLUST_TRACE_SPAN("cluster.spectral.affinity");
+    // Affinity with zero diagonal (standard NJW).
+    Matrix w = GaussianKernelMatrix(data, options.gamma);
+    for (size_t i = 0; i < n; ++i) w.at(i, i) = 0.0;
+
+    // Normalised affinity D^{-1/2} W D^{-1/2}; its top-k eigenvectors equal
+    // the bottom-k of the normalised Laplacian.
+    std::vector<double> inv_sqrt_deg(n, 0.0);
+    ParallelFor(0, n, 128, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        double deg = 0.0;
+        for (size_t j = 0; j < n; ++j) deg += w.at(i, j);
+        inv_sqrt_deg[i] = deg > 1e-12 ? 1.0 / std::sqrt(deg) : 0.0;
       }
-    }
-  });
+    });
+    ParallelFor(0, n, 128, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+          norm.at(i, j) = inv_sqrt_deg[i] * w.at(i, j) * inv_sqrt_deg[j];
+        }
+      }
+    });
+  }
 
   if (guard.Cancelled()) return guard.CancelledStatus();
-  MC_ASSIGN_OR_RETURN(SymmetricEigen eig, EigenSymmetric(norm));
+  Result<SymmetricEigen> eig_result = [&] {
+    MULTICLUST_TRACE_SPAN("cluster.spectral.eigen");
+    return EigenSymmetric(norm);
+  }();
+  MC_ASSIGN_OR_RETURN(SymmetricEigen eig, std::move(eig_result));
   if (guard.Cancelled()) return guard.CancelledStatus();
 
   // Embed into the top-k eigenvectors, row-normalised.
@@ -76,7 +85,14 @@ Result<Clustering> RunSpectral(const Matrix& data,
   km.restarts = options.kmeans_restarts;
   km.seed = options.seed;
   km.budget = guard.Remaining();
+  km.diagnostics = options.diagnostics;
+  MULTICLUST_TRACE_SPAN("cluster.spectral.kmeans");
   MC_ASSIGN_OR_RETURN(Clustering c, RunKMeans(embed, km));
+  if (options.diagnostics != nullptr) {
+    // The trace is the embedded k-means run; report it under this
+    // algorithm's name.
+    options.diagnostics->algorithm = "spectral";
+  }
   c.algorithm = "spectral";
   c.centroids = Matrix();  // centroids live in embedding space; drop them
   return c;

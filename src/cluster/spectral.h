@@ -22,6 +22,10 @@ struct SpectralOptions {
   /// eigendecomposition and embedded-k-means phases; the remaining
   /// deadline is forwarded to the embedded k-means.
   RunBudget budget;
+  /// Optional observability sink (not owned): the embedded k-means fills
+  /// the per-iteration ConvergenceTrace; the algorithm name is reported
+  /// as "spectral". nullptr (the default) records nothing.
+  RunDiagnostics* diagnostics = nullptr;
 };
 
 /// Spectral clustering (Ng, Jordan & Weiss 2001): Gaussian affinity,

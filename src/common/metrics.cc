@@ -1,0 +1,162 @@
+#include "common/metrics.h"
+
+#if defined(MULTICLUST_TRACING)
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+namespace multiclust {
+namespace metrics {
+
+namespace {
+
+// Lock striping: a metric name hashes to one of kShards independently
+// locked maps, so registrations (and the one-time lookups behind the
+// MC_METRIC_* macro statics) from pool threads do not serialise on a
+// single registry mutex. Updates themselves never touch a shard lock —
+// they are relaxed atomics on the already-resolved metric object.
+constexpr size_t kShards = 16;
+
+struct Shard {
+  std::mutex mu;
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters;
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Shard* Shards() {
+  static Shard* shards = new Shard[kShards];
+  return shards;
+}
+
+Shard& ShardFor(const std::string& name) {
+  return Shards()[std::hash<std::string>{}(name) % kShards];
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t b = 0; b <= bounds_.size(); ++b) counts_[b].store(0);
+}
+
+void Histogram::Observe(double v) {
+  // First bound >= v: bounds are inclusive upper edges; values above the
+  // last bound land in the implicit overflow bucket at bounds_.size().
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t b = 0; b <= bounds_.size(); ++b) {
+    out[b] = counts_[b].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+uint64_t Histogram::total_count() const {
+  uint64_t total = 0;
+  for (size_t b = 0; b <= bounds_.size(); ++b) {
+    total += counts_[b].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Reset() {
+  for (size_t b = 0; b <= bounds_.size(); ++b) {
+    counts_[b].store(0, std::memory_order_relaxed);
+  }
+}
+
+Counter& GetCounter(const std::string& name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  std::unique_ptr<Counter>& slot = shard.counters[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& GetGauge(const std::string& name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  std::unique_ptr<Gauge>& slot = shard.gauges[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& GetHistogram(const std::string& name,
+                        const std::vector<double>& bounds) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  std::unique_ptr<Histogram>& slot = shard.histograms[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+void Reset() {
+  Shard* shards = Shards();
+  for (size_t s = 0; s < kShards; ++s) {
+    std::lock_guard<std::mutex> lock(shards[s].mu);
+    for (auto& [name, c] : shards[s].counters) c->Reset();
+    for (auto& [name, g] : shards[s].gauges) g->Reset();
+    for (auto& [name, h] : shards[s].histograms) h->Reset();
+  }
+}
+
+std::vector<MetricRow> Snapshot() {
+  std::vector<MetricRow> rows;
+  char buf[64];
+  Shard* shards = Shards();
+  for (size_t s = 0; s < kShards; ++s) {
+    std::lock_guard<std::mutex> lock(shards[s].mu);
+    for (const auto& [name, c] : shards[s].counters) {
+      rows.push_back({name, "counter", std::to_string(c->value())});
+    }
+    for (const auto& [name, g] : shards[s].gauges) {
+      std::snprintf(buf, sizeof(buf), "%g", g->value());
+      rows.push_back({name, "gauge", buf});
+    }
+    for (const auto& [name, h] : shards[s].histograms) {
+      std::string value = std::to_string(h->total_count()) + " obs [";
+      const std::vector<uint64_t> counts = h->bucket_counts();
+      for (size_t b = 0; b < counts.size(); ++b) {
+        if (b > 0) value += ' ';
+        value += std::to_string(counts[b]);
+      }
+      value += ']';
+      rows.push_back({name, "histogram", std::move(value)});
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const MetricRow& a, const MetricRow& b) {
+              return a.name < b.name;
+            });
+  return rows;
+}
+
+std::string SummaryString() {
+  const std::vector<MetricRow> rows = Snapshot();
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-40s %-10s %s\n", "metric", "kind",
+                "value");
+  out += line;
+  for (const MetricRow& row : rows) {
+    std::snprintf(line, sizeof(line), "%-40s %-10s %s\n", row.name.c_str(),
+                  row.kind.c_str(), row.value.c_str());
+    out += line;
+  }
+  if (rows.empty()) out += "(no metrics registered)\n";
+  return out;
+}
+
+}  // namespace metrics
+}  // namespace multiclust
+
+#endif  // MULTICLUST_TRACING

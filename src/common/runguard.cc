@@ -1,6 +1,8 @@
 #include "common/runguard.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "common/rng.h"
 #include "linalg/matrix.h"
@@ -21,6 +23,21 @@ const char* StopReasonToString(StopReason reason) {
   return "unknown";
 }
 
+std::string ConvergenceTrace::ToString() const {
+  if (points.empty()) return "(no convergence trace)";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%zu points, winning restart %zu, final objective %.6g "
+                "(delta %.3g)",
+                points.size(), winning_restart, points.back().objective,
+                points.back().delta);
+  std::string out = buf;
+  size_t reseeds = 0;
+  for (const ConvergencePoint& p : points) reseeds += p.reseeds;
+  if (reseeds > 0) out += ", " + std::to_string(reseeds) + " reseeds";
+  return out;
+}
+
 std::string RunDiagnostics::ToString() const {
   std::string out = algorithm.empty() ? "<unknown>" : algorithm;
   out += ": " + std::to_string(iterations) + " iters, ";
@@ -32,8 +49,39 @@ std::string RunDiagnostics::ToString() const {
   if (elapsed_ms > 0.0) {
     out += ", " + std::to_string(elapsed_ms) + " ms";
   }
+  if (!trace.empty()) out += ", trace: " + trace.ToString();
   if (!note.empty()) out += " — " + note;
   return out;
+}
+
+void ConvergenceRecorder::Record(size_t restart, size_t iteration,
+                                 double objective, double delta,
+                                 size_t reseeds) {
+  if (diag_ == nullptr) return;
+  ConvergencePoint p;
+  p.restart = restart;
+  p.iteration = iteration;
+  p.objective = objective;
+  p.delta = delta;
+  p.reseeds = reseeds;
+  p.budget_remaining_ms = guard_ != nullptr ? guard_->RemainingMs() : -1.0;
+  diag_->trace.points.push_back(p);
+}
+
+void ConvergenceRecorder::Finish(const char* algorithm, size_t iterations,
+                                 bool converged) {
+  if (diag_ == nullptr) return;
+  diag_->algorithm = algorithm;
+  diag_->iterations = iterations;
+  diag_->converged = converged;
+  if (converged) {
+    diag_->stop_reason = StopReason::kConverged;
+  } else if (guard_ != nullptr && guard_->reason() != StopReason::kConverged) {
+    diag_->stop_reason = guard_->reason();
+  } else {
+    diag_->stop_reason = StopReason::kMaxIterations;
+  }
+  if (guard_ != nullptr) diag_->elapsed_ms = guard_->ElapsedMs();
 }
 
 BudgetTracker::BudgetTracker(const RunBudget& budget, const char* site)
@@ -69,6 +117,11 @@ bool BudgetTracker::DeadlineExpired() {
     return true;
   }
   return false;
+}
+
+double BudgetTracker::RemainingMs() const {
+  if (budget_.deadline_ms <= 0.0) return -1.0;
+  return std::max(0.0, budget_.deadline_ms - ElapsedMs());
 }
 
 Status BudgetTracker::CancelledStatus() const {

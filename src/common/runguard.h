@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/fault.h"
 #include "common/result.h"
@@ -74,9 +75,44 @@ enum class StopReason {
 
 const char* StopReasonToString(StopReason reason);
 
+/// One sample of an iterative algorithm's convergence telemetry: the state
+/// at the end of one outer iteration of one restart.
+struct ConvergencePoint {
+  size_t restart = 0;    ///< 0-based restart that produced this point
+  size_t iteration = 0;  ///< 0-based outer iteration within the restart
+  /// The algorithm's own per-iteration objective (SSE, log-likelihood,
+  /// combined objective G, merge distance, projected energy, ...).
+  double objective = 0.0;
+  /// Per-iteration progress measure: max centre shift for k-means,
+  /// absolute objective change for the others.
+  double delta = 0.0;
+  /// Degeneracy recoveries this iteration (empty-cluster reseeds, dead
+  /// mixture components, dropped empty groups).
+  size_t reseeds = 0;
+  /// Wall-clock budget left when the point was recorded; -1 when the run
+  /// has no deadline. Wall-clock-dependent, so excluded from determinism
+  /// comparisons — every other field is bit-reproducible for a fixed seed.
+  double budget_remaining_ms = -1.0;
+};
+
+/// Per-outer-iteration convergence telemetry of one algorithm invocation,
+/// across all restarts. Filled whenever the caller hands the algorithm a
+/// RunDiagnostics sink (`options.diagnostics`); recording is skipped
+/// entirely — including any objective evaluation done only for telemetry —
+/// when no sink is attached, so the hot loops pay nothing by default.
+struct ConvergenceTrace {
+  std::vector<ConvergencePoint> points;
+  /// Restart whose result the algorithm returned.
+  size_t winning_restart = 0;
+
+  bool empty() const { return points.empty(); }
+  std::string ToString() const;
+};
+
 /// Per-run execution diagnostics: what happened, how long it took, and how
 /// it recovered. Collected per solution / per strategy attempt by the
-/// discovery pipeline (`DiscoveryReport`).
+/// discovery pipeline (`DiscoveryReport`), or directly by handing an
+/// algorithm `options.diagnostics`.
 struct RunDiagnostics {
   std::string algorithm;
   size_t iterations = 0;
@@ -86,6 +122,8 @@ struct RunDiagnostics {
   double elapsed_ms = 0.0;
   /// Human-readable failure/recovery explanation (empty when clean).
   std::string note;
+  /// Per-outer-iteration convergence telemetry (see ConvergenceTrace).
+  ConvergenceTrace trace;
 
   std::string ToString() const;
 };
@@ -126,6 +164,9 @@ class BudgetTracker {
 
   StopReason reason() const { return reason_; }
   double ElapsedMs() const;
+  /// Wall-clock budget left, or -1 when no deadline is armed. Never
+  /// negative with a deadline: an expired budget reports 0.
+  double RemainingMs() const;
   const char* site() const { return site_; }
 
  private:
@@ -133,6 +174,39 @@ class BudgetTracker {
   const char* site_;
   std::chrono::steady_clock::time_point start_;
   StopReason reason_ = StopReason::kConverged;
+};
+
+/// Fills a RunDiagnostics sink with per-iteration convergence telemetry.
+/// Algorithms construct one next to their BudgetTracker and call Record
+/// once per outer iteration; every call is a no-op when the caller did not
+/// ask for diagnostics, so guarding telemetry-only objective computations
+/// behind `enabled()` keeps the default path free of overhead.
+class ConvergenceRecorder {
+ public:
+  ConvergenceRecorder(RunDiagnostics* diagnostics, const BudgetTracker* guard)
+      : diag_(diagnostics), guard_(guard) {}
+
+  /// True when a sink is attached (record-only work may run).
+  bool enabled() const { return diag_ != nullptr; }
+
+  /// Appends one ConvergencePoint (budget_remaining_ms is read from the
+  /// guard at call time).
+  void Record(size_t restart, size_t iteration, double objective,
+              double delta, size_t reseeds);
+
+  /// Notes which restart's result the algorithm returned.
+  void SetWinner(size_t restart) {
+    if (diag_ != nullptr) diag_->trace.winning_restart = restart;
+  }
+
+  /// Fills the scalar fields once the run is over. stop_reason is derived:
+  /// converged wins, then whatever budget limit the guard tripped, then
+  /// the algorithm's own iteration cap.
+  void Finish(const char* algorithm, size_t iterations, bool converged);
+
+ private:
+  RunDiagnostics* diag_;
+  const BudgetTracker* guard_;
 };
 
 /// Rejects matrices containing NaN or Inf entries with

@@ -1,0 +1,237 @@
+#include "common/trace.h"
+
+#if defined(MULTICLUST_TRACING)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace multiclust {
+namespace trace {
+
+namespace {
+
+// One completed span. `name` points at a string literal (see trace.h), so
+// an event is 32 bytes and appending one never allocates beyond the
+// buffer's own growth.
+struct Event {
+  const char* name;
+  double ts_us;   // start, relative to the process trace epoch
+  double dur_us;  // duration
+  uint32_t tid;   // small stable per-thread id (1-based, creation order)
+};
+
+// Per-thread event buffer. The owning thread appends; the exporter reads.
+// Both take `mu`, but the owner's lock is uncontended except during an
+// export, so the append fast path stays a futex-free lock/unlock pair.
+struct ThreadBuffer {
+  std::mutex mu;
+  uint32_t tid = 0;
+  std::vector<Event> events;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  uint32_t next_tid = 1;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+std::atomic<bool> g_enabled{false};
+
+// Microseconds since the process-wide trace epoch (first call).
+double NowUs() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    b->tid = registry.next_tid++;
+    registry.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+// Snapshot of every buffered event, sorted by (tid, start) so exports are
+// stable for a fixed set of recorded spans.
+std::vector<Event> SnapshotEvents() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    buffers = registry.buffers;
+  }
+  std::vector<Event> events;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    events.insert(events.end(), buffer->events.begin(),
+                  buffer->events.end());
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    return a.dur_us > b.dur_us;  // parent spans before their children
+  });
+  return events;
+}
+
+void AppendJsonEscaped(const char* s, std::string* out) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+void Enable() {
+  NowUs();  // pin the epoch no later than the first enable
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void Disable() { g_enabled.store(false, std::memory_order_release); }
+
+bool Enabled() { return g_enabled.load(std::memory_order_acquire); }
+
+void Reset() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    buffers = registry.buffers;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->events.clear();  // keeps capacity: reset-per-run stays cheap
+  }
+}
+
+size_t EventCount() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    buffers = registry.buffers;
+  }
+  size_t count = 0;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    count += buffer->events.size();
+  }
+  return count;
+}
+
+std::vector<SpanStats> Summary() {
+  const std::vector<Event> events = SnapshotEvents();
+  std::map<std::string, SpanStats> by_name;  // map: sorted, deterministic
+  for (const Event& e : events) {
+    SpanStats& s = by_name[e.name];
+    const double ms = e.dur_us / 1000.0;
+    ++s.count;
+    s.total_ms += ms;
+    s.max_ms = std::max(s.max_ms, ms);
+  }
+  std::vector<SpanStats> out;
+  out.reserve(by_name.size());
+  for (auto& [name, stats] : by_name) {
+    stats.name = name;
+    stats.mean_ms = stats.total_ms / static_cast<double>(stats.count);
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+std::string SummaryString() {
+  const std::vector<SpanStats> stats = Summary();
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-36s %8s %12s %10s %10s\n", "span",
+                "count", "total ms", "mean ms", "max ms");
+  out += line;
+  for (const SpanStats& s : stats) {
+    std::snprintf(line, sizeof(line), "%-36s %8zu %12.3f %10.4f %10.4f\n",
+                  s.name.c_str(), s.count, s.total_ms, s.mean_ms, s.max_ms);
+    out += line;
+  }
+  if (stats.empty()) out += "(no spans recorded)\n";
+  return out;
+}
+
+std::string ChromeTraceJson() {
+  const std::vector<Event> events = SnapshotEvents();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[128];
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\":\"";
+    AppendJsonEscaped(e.name, &out);
+    out += "\",\"cat\":\"multiclust\",\"ph\":\"X\",\"pid\":1,";
+    std::snprintf(buf, sizeof(buf), "\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}",
+                  e.tid, e.ts_us, e.dur_us);
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IoError("trace: cannot open '" + path + "' for writing");
+  }
+  file << ChromeTraceJson();
+  file.flush();
+  if (!file.good()) {
+    return Status::IoError("trace: failed writing '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Span::Span(const char* name) : name_(name) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  active_ = true;
+  start_us_ = NowUs();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const double end_us = NowUs();
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(
+      {name_, start_us_, end_us - start_us_, buffer.tid});
+}
+
+}  // namespace trace
+}  // namespace multiclust
+
+#endif  // MULTICLUST_TRACING

@@ -1,0 +1,142 @@
+#ifndef MULTICLUST_COMMON_TRACE_H_
+#define MULTICLUST_COMMON_TRACE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace multiclust {
+
+/// Span-based tracer with a Chrome trace-event exporter.
+///
+/// Usage in library code (always through the macro, never the class):
+///
+///   void HotFunction() {
+///     MULTICLUST_TRACE_SPAN("cluster.kmeans.assign");
+///     ...  // scope timed; nested spans nest in the exported trace
+///   }
+///
+/// Span names follow the `<module>.<algo>.<event>` convention (see
+/// DESIGN.md "Observability") and MUST be string literals (or otherwise
+/// have static storage duration): the tracer stores the pointer, not a
+/// copy, so span construction never allocates.
+///
+/// Collection is off until `trace::Enable()`; a compiled-in but disabled
+/// span costs one relaxed atomic load. Completed spans are appended to
+/// per-thread buffers (safe under the `ParallelFor` pool), exported either
+/// as a `chrome://tracing` / Perfetto-loadable JSON document or as a
+/// per-span count/total/mean/max summary table.
+///
+/// The whole subsystem is compiled out under `-DMULTICLUST_TRACING=OFF`:
+/// every function below becomes an empty inline stub, `Span` becomes an
+/// empty object, and libmulticlust contains no `multiclust::trace`
+/// symbols (CI checks this with `nm`).
+namespace trace {
+
+/// Aggregate statistics of one span name across all threads.
+struct SpanStats {
+  std::string name;
+  size_t count = 0;
+  double total_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+#if defined(MULTICLUST_TRACING)
+
+inline constexpr bool kCompiledIn = true;
+
+/// Starts collecting span events. Events recorded before Enable() (or
+/// after Disable()) are dropped at the span, not buffered.
+void Enable();
+
+/// Stops collecting. Already-buffered events are kept for export.
+void Disable();
+
+/// True while collection is on.
+bool Enabled();
+
+/// Drops every buffered event (buffers keep their capacity, so a
+/// Reset-per-run loop does not churn the allocator).
+void Reset();
+
+/// Number of completed spans currently buffered, across all threads.
+size_t EventCount();
+
+/// Per-span aggregates, sorted by span name (deterministic order).
+std::vector<SpanStats> Summary();
+
+/// Human-readable summary table of Summary().
+std::string SummaryString();
+
+/// The buffered events as a Chrome trace-event JSON document
+/// (`{"traceEvents": [...]}`, "X" complete events, microsecond
+/// timestamps). Loadable in chrome://tracing or https://ui.perfetto.dev.
+std::string ChromeTraceJson();
+
+/// Writes ChromeTraceJson() to `path`.
+Status WriteChromeTrace(const std::string& path);
+
+/// RAII scope timer. Use MULTICLUST_TRACE_SPAN instead of naming this
+/// directly so the span compiles out under -DMULTICLUST_TRACING=OFF.
+/// `name` must have static storage duration (string literal).
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  double start_us_ = 0.0;
+  bool active_ = false;
+};
+
+#else  // !MULTICLUST_TRACING — zero-cost stubs, no symbols in the library.
+
+inline constexpr bool kCompiledIn = false;
+
+inline void Enable() {}
+inline void Disable() {}
+inline constexpr bool Enabled() { return false; }
+inline void Reset() {}
+inline constexpr size_t EventCount() { return 0; }
+inline std::vector<SpanStats> Summary() { return {}; }
+inline std::string SummaryString() {
+  return "trace: compiled out (-DMULTICLUST_TRACING=OFF)\n";
+}
+inline std::string ChromeTraceJson() { return "{\"traceEvents\":[]}\n"; }
+inline Status WriteChromeTrace(const std::string&) { return Status::OK(); }
+
+class Span {
+ public:
+  explicit Span(const char*) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+};
+
+#endif  // MULTICLUST_TRACING
+
+}  // namespace trace
+}  // namespace multiclust
+
+#define MC_TRACE_CONCAT_INNER_(a, b) a##b
+#define MC_TRACE_CONCAT_(a, b) MC_TRACE_CONCAT_INNER_(a, b)
+
+/// Times the enclosing scope under `name` (a string literal,
+/// `<module>.<algo>.<event>`). Expands to nothing when tracing is
+/// compiled out.
+#if defined(MULTICLUST_TRACING)
+#define MULTICLUST_TRACE_SPAN(name)          \
+  ::multiclust::trace::Span MC_TRACE_CONCAT_( \
+      mc_trace_span_, __LINE__) { (name) }
+#else
+#define MULTICLUST_TRACE_SPAN(name) \
+  do {                              \
+  } while (false)
+#endif
+
+#endif  // MULTICLUST_COMMON_TRACE_H_

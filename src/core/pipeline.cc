@@ -7,6 +7,7 @@
 #include "altspace/dec_kmeans.h"
 #include "altspace/meta_clustering.h"
 #include "cluster/kmeans.h"
+#include "common/trace.h"
 #include "metrics/clustering_quality.h"
 #include "orthogonal/ortho_projection.h"
 #include "subspace/msc.h"
@@ -18,6 +19,7 @@ Result<size_t> SelectKBySilhouette(const Matrix& data, size_t max_k,
   if (max_k < 2) {
     return Status::InvalidArgument("SelectKBySilhouette: max_k must be >= 2");
   }
+  MULTICLUST_TRACE_SPAN("pipeline.select_k");
   size_t best_k = 2;
   double best_score = -2.0;
   for (size_t k = 2; k <= max_k && k < data.rows(); ++k) {
@@ -52,6 +54,22 @@ const char* StrategyName(DiscoveryStrategy s) {
   return "unknown";
 }
 
+// Span name per strategy (span names must be string literals). Unused when
+// tracing is compiled out.
+[[maybe_unused]] const char* StrategySpanName(DiscoveryStrategy s) {
+  switch (s) {
+    case DiscoveryStrategy::kDecorrelatedKMeans:
+      return "pipeline.strategy.dec-kmeans";
+    case DiscoveryStrategy::kOrthogonalProjections:
+      return "pipeline.strategy.ortho-projection";
+    case DiscoveryStrategy::kSpectralViews:
+      return "pipeline.strategy.spectral-views";
+    case DiscoveryStrategy::kMetaClustering:
+      return "pipeline.strategy.meta-clustering";
+  }
+  return "pipeline.strategy.unknown";
+}
+
 // Result of one strategy attempt: the solutions plus what the strategy
 // reported about its own convergence.
 struct StrategyOutcome {
@@ -64,7 +82,9 @@ struct StrategyOutcome {
 Result<StrategyOutcome> RunStrategy(const Matrix& data,
                                     DiscoveryStrategy strategy, size_t k,
                                     const DiscoveryOptions& options,
-                                    uint64_t seed, const RunBudget& budget) {
+                                    uint64_t seed, const RunBudget& budget,
+                                    RunDiagnostics* diag) {
+  MULTICLUST_TRACE_SPAN(StrategySpanName(strategy));
   StrategyOutcome out;
   switch (strategy) {
     case DiscoveryStrategy::kDecorrelatedKMeans: {
@@ -74,6 +94,7 @@ Result<StrategyOutcome> RunStrategy(const Matrix& data,
       dk.restarts = 5;
       dk.seed = seed;
       dk.budget = budget;
+      dk.diagnostics = diag;
       MC_ASSIGN_OR_RETURN(DecKMeansResult r, RunDecorrelatedKMeans(data, dk));
       out.solutions = std::move(r.solutions);
       out.iterations = r.iterations;
@@ -85,6 +106,7 @@ Result<StrategyOutcome> RunStrategy(const Matrix& data,
       km.k = k;
       km.restarts = 5;
       km.seed = seed;
+      km.diagnostics = diag;
       KMeansClusterer clusterer(km);
       OrthoProjectionOptions op;
       op.max_views = options.num_solutions;
@@ -103,6 +125,7 @@ Result<StrategyOutcome> RunStrategy(const Matrix& data,
       msc.k = k;
       msc.seed = seed;
       msc.budget = budget;
+      msc.diagnostics = diag;
       MC_ASSIGN_OR_RETURN(MscResult r, RunMultipleSpectralViews(data, msc));
       out.solutions = std::move(r.solutions);
       out.iterations = r.views.size();
@@ -117,6 +140,7 @@ Result<StrategyOutcome> RunStrategy(const Matrix& data,
       mc.meta_k = options.num_solutions;
       mc.seed = seed;
       mc.budget = budget;
+      mc.diagnostics = diag;
       MC_ASSIGN_OR_RETURN(MetaClusteringResult r, RunMetaClustering(data, mc));
       out.solutions = std::move(r.representatives);
       out.iterations = r.base.size();
@@ -140,6 +164,7 @@ Result<DiscoveryReport> DiscoverMultipleClusterings(
         "Discover: num_solutions must be >= 2 (use a plain clusterer for 1)");
   }
   MC_RETURN_IF_ERROR(ValidateMatrix("Discover", data));
+  MULTICLUST_TRACE_SPAN("pipeline.run");
   BudgetTracker guard(options.budget, "pipeline");
 
   DiscoveryReport report;
@@ -182,10 +207,13 @@ Result<DiscoveryReport> DiscoverMultipleClusterings(
         options.retry, options.seed,
         [&](uint64_t seed) {
           return RunStrategy(data, strategy, k, options, seed,
-                             guard.Remaining());
+                             guard.Remaining(), &diag);
         },
         &diag);
     diag.elapsed_ms = guard.ElapsedMs() - started_ms;
+    // The strategy's own recorder reports the inner algorithm; the
+    // attempt entry is labelled by strategy.
+    diag.algorithm = StrategyName(strategy);
     if (run.ok()) {
       diag.iterations = run->iterations;
       diag.converged = run->converged;
@@ -231,8 +259,12 @@ Result<DiscoveryReport> DiscoverMultipleClusterings(
   }
   report.degraded = report.degraded || !report.warnings.empty();
 
-  MC_RETURN_IF_ERROR(
-      report.solutions.Deduplicate(options.min_dissimilarity).status());
+  {
+    MULTICLUST_TRACE_SPAN("pipeline.dedup");
+    MC_RETURN_IF_ERROR(
+        report.solutions.Deduplicate(options.min_dissimilarity).status());
+  }
+  MULTICLUST_TRACE_SPAN("pipeline.objective");
   MC_ASSIGN_OR_RETURN(report.objective,
                       EvaluateObjective(data, report.solutions,
                                         SilhouetteQuality(),

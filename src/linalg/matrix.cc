@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/parallel.h"
+#include "common/trace.h"
 
 namespace multiclust {
 
@@ -241,6 +242,7 @@ std::vector<double> RowMean(const Matrix& m) {
 }
 
 Matrix Covariance(const Matrix& m) {
+  MULTICLUST_TRACE_SPAN("linalg.matrix.covariance");
   const size_t n = m.rows();
   const size_t d = m.cols();
   Matrix cov(d, d);

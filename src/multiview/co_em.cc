@@ -6,6 +6,8 @@
 #include <string>
 
 #include "common/fault.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "metrics/partition_similarity.h"
 
 namespace multiclust {
@@ -38,7 +40,9 @@ Result<CoEmResult> RunCoEm(const Matrix& view1, const Matrix& view2,
   if (view1.rows() == 0) return Status::InvalidArgument("co-EM: empty data");
   MC_RETURN_IF_ERROR(ValidateMatrix("co-EM view 1", view1));
   MC_RETURN_IF_ERROR(ValidateMatrix("co-EM view 2", view2));
+  MULTICLUST_TRACE_SPAN("multiview.co_em.run");
   BudgetTracker guard(options.budget, "co-em");
+  ConvergenceRecorder recorder(options.diagnostics, &guard);
   const size_t n = view1.rows();
 
   CoEmResult result;
@@ -62,6 +66,8 @@ Result<CoEmResult> RunCoEm(const Matrix& view1, const Matrix& view2,
   for (size_t iter = 0; iter < options.max_iters; ++iter) {
     if (guard.Cancelled()) return guard.CancelledStatus();
     if (guard.ShouldStop(iter)) break;
+    MC_METRIC_COUNT("multiview.co_em.iterations", 1);
+    MULTICLUST_TRACE_SPAN("multiview.co_em.round");
     // View 2: M-step from view-1 responsibilities, then E-step.
     MC_RETURN_IF_ERROR(MStepFromResponsibilities(view2, resp1,
                                                  options.variance_floor, &m2));
@@ -84,6 +90,11 @@ Result<CoEmResult> RunCoEm(const Matrix& view1, const Matrix& view2,
           "co-EM: non-finite joint log-likelihood at iteration " +
           std::to_string(iter));
     }
+    if (recorder.enabled()) {
+      const double delta =
+          std::isfinite(best_ll) && std::isfinite(ll) ? ll - best_ll : 0.0;
+      recorder.Record(0, iter, ll, delta, 0);
+    }
     if (ll > best_ll + 1e-6 * (std::fabs(best_ll) + 1.0)) {
       best_ll = ll;
       stale = 0;
@@ -97,6 +108,7 @@ Result<CoEmResult> RunCoEm(const Matrix& view1, const Matrix& view2,
     }
   }
 
+  recorder.Finish("co-em", result.iterations, result.converged);
   result.model_view1 = m1;
   result.model_view2 = m2;
   result.labels_view1 = m1.HardAssign(view1);

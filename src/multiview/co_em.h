@@ -25,6 +25,11 @@ struct CoEmOptions {
   uint64_t seed = 1;
   /// Wall-clock / iteration / cancellation limits (see common/runguard.h).
   RunBudget budget;
+  /// Optional observability sink (not owned): per-round ConvergenceTrace
+  /// (joint log-likelihood, improvement over the best round so far) plus
+  /// iterations/convergence/stop-reason. nullptr (the default) records
+  /// nothing.
+  RunDiagnostics* diagnostics = nullptr;
 };
 
 /// Full output of a co-EM run.

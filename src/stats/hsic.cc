@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/trace.h"
 
 namespace multiclust {
 
@@ -39,6 +40,7 @@ double MedianSquaredDistance(const Matrix& data) {
 }  // namespace
 
 Matrix GaussianKernelMatrix(const Matrix& data, double gamma) {
+  MULTICLUST_TRACE_SPAN("stats.hsic.kernel");
   const size_t n = data.rows();
   if (gamma <= 0.0) gamma = 1.0 / MedianSquaredDistance(data);
   Matrix k(n, n);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/runguard.h"
+#include "common/trace.h"
 
 namespace multiclust {
 
@@ -19,8 +20,11 @@ Result<SubspaceClustering> RunClique(const Matrix& data,
   // with SCHISM's adaptive threshold).
   std::vector<size_t> thresholds(data.cols() + 1,
                                  std::max<size_t>(1, min_support));
-  const std::vector<GridUnit> units =
-      MineDenseUnits(grid, thresholds, options.max_dims);
+  std::vector<GridUnit> units;
+  {
+    MULTICLUST_TRACE_SPAN("subspace.clique.apriori");
+    units = MineDenseUnits(grid, thresholds, options.max_dims);
+  }
   SubspaceClustering result;
   result.clusters = UnitsToClusters(units, "clique");
   return result;

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "stats/grid.h"
 
 namespace multiclust {
@@ -18,12 +19,16 @@ Result<std::vector<ScoredSubspace>> RunEnclus(const Matrix& data,
   const size_t max_dims =
       options.max_dims == 0 ? d : std::min(options.max_dims, d);
 
+  MULTICLUST_TRACE_SPAN("subspace.enclus.run");
   std::vector<double> dim_entropy(d);
-  ParallelFor(0, d, 1, [&](size_t lo, size_t hi) {
-    for (size_t j = lo; j < hi; ++j) {
-      dim_entropy[j] = grid.SubspaceEntropy({j});
-    }
-  });
+  {
+    MULTICLUST_TRACE_SPAN("subspace.enclus.entropy_scan");
+    ParallelFor(0, d, 1, [&](size_t lo, size_t hi) {
+      for (size_t j = lo; j < hi; ++j) {
+        dim_entropy[j] = grid.SubspaceEntropy({j});
+      }
+    });
+  }
 
   std::vector<ScoredSubspace> result;
   // Level 1: all single dimensions below the entropy ceiling.
@@ -75,11 +80,14 @@ Result<std::vector<ScoredSubspace>> RunEnclus(const Matrix& data,
     const std::vector<std::vector<size_t>> cands(candidates.begin(),
                                                  candidates.end());
     std::vector<double> cand_entropy(cands.size());
-    ParallelFor(0, cands.size(), 1, [&](size_t lo, size_t hi) {
-      for (size_t c = lo; c < hi; ++c) {
-        cand_entropy[c] = grid.SubspaceEntropy(cands[c]);
-      }
-    });
+    {
+      MULTICLUST_TRACE_SPAN("subspace.enclus.entropy_scan");
+      ParallelFor(0, cands.size(), 1, [&](size_t lo, size_t hi) {
+        for (size_t c = lo; c < hi; ++c) {
+          cand_entropy[c] = grid.SubspaceEntropy(cands[c]);
+        }
+      });
+    }
     std::vector<std::vector<size_t>> next;
     for (size_t c = 0; c < cands.size(); ++c) {
       const std::vector<size_t>& cand = cands[c];

@@ -5,6 +5,7 @@
 
 #include "cluster/hierarchical.h"
 #include "common/runguard.h"
+#include "common/trace.h"
 #include "cluster/spectral.h"
 #include "stats/hsic.h"
 
@@ -20,6 +21,7 @@ Result<MscResult> RunMultipleSpectralViews(const Matrix& data,
     return Status::InvalidArgument("mSC: invalid k");
   }
   MC_RETURN_IF_ERROR(ValidateMatrix("mSC", data));
+  MULTICLUST_TRACE_SPAN("subspace.msc.run");
   BudgetTracker guard(options.budget, "msc");
 
   MscResult result;
@@ -77,6 +79,7 @@ Result<MscResult> RunMultipleSpectralViews(const Matrix& data,
     spec.gamma = options.gamma;
     spec.seed = options.seed + v;
     spec.budget = guard.Remaining();
+    spec.diagnostics = options.diagnostics;
     Result<Clustering> clustering = RunSpectral(projected, spec);
     if (!clustering.ok()) {
       if (clustering.status().code() == StatusCode::kCancelled) {
@@ -97,6 +100,11 @@ Result<MscResult> RunMultipleSpectralViews(const Matrix& data,
         "mSC: no view produced a clustering" +
         (result.warnings.empty() ? std::string()
                                  : "; " + result.warnings.front()));
+  }
+  if (options.diagnostics != nullptr) {
+    // The trace accumulated one segment per view; report it under the
+    // umbrella algorithm.
+    options.diagnostics->algorithm = "msc";
   }
   return result;
 }

@@ -32,6 +32,10 @@ struct MscOptions {
   /// Wall-clock / cancellation limits; the remaining deadline is forwarded
   /// to each per-view spectral run.
   RunBudget budget;
+  /// Optional observability sink (not owned): forwarded to every per-view
+  /// spectral run, whose embedded k-means traces accumulate in it. The
+  /// algorithm is reported as "msc". nullptr (the default) records nothing.
+  RunDiagnostics* diagnostics = nullptr;
 };
 
 /// One extracted view.

@@ -5,7 +5,9 @@
 #include <limits>
 
 #include "common/fault.h"
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "linalg/decomposition.h"
 
 namespace multiclust {
@@ -108,7 +110,9 @@ namespace {
 
 Result<OrclusResult> RunOrclusOnce(const Matrix& data,
                                    const OrclusOptions& options,
-                                   uint64_t seed, BudgetTracker* guard) {
+                                   uint64_t seed, BudgetTracker* guard,
+                                   size_t restart,
+                                   ConvergenceRecorder* recorder) {
   const size_t n = data.rows();
   const size_t d = data.cols();
   Rng rng(seed);
@@ -136,12 +140,15 @@ Result<OrclusResult> RunOrclusOnce(const Matrix& data,
       std::pow(static_cast<double>(options.l) / qc,
                1.0 / static_cast<double>(options.max_iters));
 
+  double prev_energy = std::numeric_limits<double>::infinity();
   for (size_t iter = 0; iter < options.max_iters || kc > options.k; ++iter) {
     if (guard->Cancelled()) return guard->CancelledStatus();
     if (guard->ShouldStop(iter)) {
       stopped_early = true;
       break;
     }
+    MC_METRIC_COUNT("subspace.orclus.iterations", 1);
+    MULTICLUST_TRACE_SPAN("subspace.orclus.iteration");
     iterations = iter + 1;
     // --- Assign: nearest centroid by projected distance. ---
     for (Group& g : groups) g.members.clear();
@@ -160,11 +167,14 @@ Result<OrclusResult> RunOrclusOnce(const Matrix& data,
       groups[best_g].members.push_back(static_cast<int>(i));
     }
     // Drop empty groups.
+    const size_t before_drop = groups.size();
     groups.erase(std::remove_if(groups.begin(), groups.end(),
                                 [](const Group& g) {
                                   return g.members.empty();
                                 }),
                  groups.end());
+    const size_t dropped = before_drop - groups.size();
+    if (dropped > 0) MC_METRIC_COUNT("subspace.orclus.dropped_groups", dropped);
     kc = groups.size();
 
     // --- Update subspaces at the current working dimensionality. ---
@@ -211,6 +221,22 @@ Result<OrclusResult> RunOrclusOnce(const Matrix& data,
     }
     kc = groups.size();
     qc = std::max(static_cast<double>(options.l), qc * beta);
+    if (recorder->enabled()) {
+      // Mean projected energy at the current working dimensionality — the
+      // quantity the merge schedule drives down. Only computed when a
+      // diagnostics sink is attached.
+      double e = 0.0;
+      for (const Group& g : groups) {
+        for (int m : g.members) {
+          e += ProjectedSquaredDistance(data.Row(m), g.centroid, g.basis);
+        }
+      }
+      e /= static_cast<double>(n);
+      const double delta =
+          std::isfinite(prev_energy) ? std::fabs(prev_energy - e) : 0.0;
+      recorder->Record(restart, iter, e, delta, dropped);
+      prev_energy = e;
+    }
     if (kc <= options.k &&
         static_cast<size_t>(std::lround(qc)) <= options.l &&
         iter + 1 >= options.max_iters) {
@@ -303,7 +329,9 @@ Result<OrclusResult> RunOrclus(const Matrix& data,
     return Status::InvalidArgument("ORCLUS: invalid l");
   }
   MC_RETURN_IF_ERROR(ValidateMatrix("ORCLUS", data));
+  MULTICLUST_TRACE_SPAN("subspace.orclus.run");
   BudgetTracker guard(options.budget, "orclus");
+  ConvergenceRecorder recorder(options.diagnostics, &guard);
   Rng rng(options.seed);
   OrclusResult best;
   bool have_best = false;
@@ -312,8 +340,9 @@ Result<OrclusResult> RunOrclus(const Matrix& data,
   for (size_t r = 0; r < restarts; ++r) {
     const uint64_t restart_seed = rng.NextU64();
     if (r > 0 && guard.DeadlineExpired()) break;
+    MC_METRIC_COUNT("subspace.orclus.restarts", 1);
     Result<OrclusResult> run =
-        RunOrclusOnce(data, options, restart_seed, &guard);
+        RunOrclusOnce(data, options, restart_seed, &guard, r, &recorder);
     if (!run.ok()) {
       if (run.status().code() == StatusCode::kCancelled) return run.status();
       last_error = run.status();
@@ -322,9 +351,12 @@ Result<OrclusResult> RunOrclus(const Matrix& data,
     if (!have_best || run->projected_energy < best.projected_energy) {
       best = std::move(*run);
       have_best = true;
+      recorder.SetWinner(r);
     }
   }
   if (!have_best) return last_error;
+  recorder.Finish("orclus", best.clustering.iterations,
+                  best.clustering.converged);
   return best;
 }
 

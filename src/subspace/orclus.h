@@ -29,6 +29,12 @@ struct OrclusOptions {
   uint64_t seed = 1;
   /// Wall-clock / iteration / cancellation limits (see common/runguard.h).
   RunBudget budget;
+  /// Optional observability sink (not owned): per-outer-iteration
+  /// ConvergenceTrace (mean projected energy, its change, dropped empty
+  /// groups) plus iterations/convergence/stop-reason. Computing the
+  /// per-iteration energy costs one extra pass over the data; the default
+  /// nullptr records nothing and costs nothing.
+  RunDiagnostics* diagnostics = nullptr;
 };
 
 /// One ORCLUS cluster's oriented subspace.

@@ -7,7 +7,9 @@
 #include <string>
 
 #include "common/fault.h"
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "common/trace.h"
 
 namespace multiclust {
 
@@ -66,7 +68,9 @@ Result<ProclusResult> RunProclus(const Matrix& data,
         "PROCLUS: avg_dims must be in [2, num dims]");
   }
   MC_RETURN_IF_ERROR(ValidateMatrix("PROCLUS", data));
+  MULTICLUST_TRACE_SPAN("subspace.proclus.run");
   BudgetTracker guard(options.budget, "proclus");
+  ConvergenceRecorder recorder(options.diagnostics, &guard);
   Rng rng(options.seed);
   const size_t k = options.k;
 
@@ -102,6 +106,8 @@ Result<ProclusResult> RunProclus(const Matrix& data,
       break;
     }
     iterations = iter + 1;
+    MC_METRIC_COUNT("subspace.proclus.iterations", 1);
+    MULTICLUST_TRACE_SPAN("subspace.proclus.round");
     // --- Dimension selection per medoid. ---
     // Locality: points closer to this medoid than to any other.
     std::vector<double> locality_radius(k,
@@ -205,6 +211,11 @@ Result<ProclusResult> RunProclus(const Matrix& data,
           "PROCLUS: non-finite segmental cost at iteration " +
           std::to_string(iter));
     }
+    if (recorder.enabled()) {
+      const double delta =
+          std::isfinite(best_cost) ? std::fabs(best_cost - cost) : 0.0;
+      recorder.Record(0, iter, cost, delta, 0);
+    }
     if (cost < best_cost) {
       best_cost = cost;
       best_labels = labels;
@@ -220,6 +231,7 @@ Result<ProclusResult> RunProclus(const Matrix& data,
     medoids[worst] = pool[rng.NextIndex(pool.size())];
   }
 
+  recorder.Finish("proclus", iterations, !stopped_early);
   ProclusResult result;
   result.clustering.labels = std::move(best_labels);
   result.clustering.algorithm = "proclus";

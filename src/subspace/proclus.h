@@ -23,6 +23,11 @@ struct ProclusOptions {
   uint64_t seed = 1;
   /// Wall-clock / iteration / cancellation limits (see common/runguard.h).
   RunBudget budget;
+  /// Optional observability sink (not owned): per-round ConvergenceTrace
+  /// (segmental cost, improvement over the best round so far) plus
+  /// iterations/convergence/stop-reason. nullptr (the default) records
+  /// nothing.
+  RunDiagnostics* diagnostics = nullptr;
 };
 
 /// Full PROCLUS output: a *partitioning* (each object in exactly one

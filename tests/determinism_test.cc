@@ -363,6 +363,72 @@ TEST(ThreadInvarianceTest, EnclusSubspaces) {
   }
 }
 
+// Field-by-field trace comparison. budget_remaining_ms is wall-clock
+// dependent and deliberately excluded.
+void ExpectSameTrace(const ConvergenceTrace& a, const ConvergenceTrace& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  EXPECT_EQ(a.winning_restart, b.winning_restart);
+  for (size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].restart, b.points[i].restart) << "point " << i;
+    EXPECT_EQ(a.points[i].iteration, b.points[i].iteration) << "point " << i;
+    EXPECT_EQ(a.points[i].objective, b.points[i].objective) << "point " << i;
+    EXPECT_EQ(a.points[i].delta, b.points[i].delta) << "point " << i;
+    EXPECT_EQ(a.points[i].reseeds, b.points[i].reseeds) << "point " << i;
+  }
+}
+
+TEST(DeterminismTest, KMeansConvergenceTrace) {
+  const Matrix data = TestData(21);
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.restarts = 3;
+  opts.seed = 99;
+  RunDiagnostics da, db;
+  opts.diagnostics = &da;
+  ASSERT_TRUE(RunKMeans(data, opts).ok());
+  opts.diagnostics = &db;
+  ASSERT_TRUE(RunKMeans(data, opts).ok());
+  ASSERT_FALSE(da.trace.empty());
+  ExpectSameTrace(da.trace, db.trace);
+}
+
+TEST(DeterminismTest, GmmConvergenceTrace) {
+  const Matrix data = TestData(22);
+  GmmOptions opts;
+  opts.k = 2;
+  opts.restarts = 2;
+  opts.seed = 99;
+  RunDiagnostics da, db;
+  opts.diagnostics = &da;
+  ASSERT_TRUE(RunGmm(data, opts).ok());
+  opts.diagnostics = &db;
+  ASSERT_TRUE(RunGmm(data, opts).ok());
+  ASSERT_FALSE(da.trace.empty());
+  ExpectSameTrace(da.trace, db.trace);
+}
+
+TEST(ThreadInvarianceTest, KMeansConvergenceTrace) {
+  // The recorded objectives/deltas come from deterministic chunked
+  // reductions, so the trace must be bit-identical at any thread count.
+  const Matrix data = TestData(23);
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.restarts = 2;
+  opts.seed = 99;
+  const auto run = [&] {
+    RunDiagnostics diag;
+    opts.diagnostics = &diag;
+    EXPECT_TRUE(RunKMeans(data, opts).ok());
+    return diag;
+  };
+  const RunDiagnostics serial = WithThreads(1, run);
+  ASSERT_FALSE(serial.trace.empty());
+  for (const size_t threads : {2u, 4u}) {
+    const RunDiagnostics parallel = WithThreads(threads, run);
+    ExpectSameTrace(serial.trace, parallel.trace);
+  }
+}
+
 TEST(DeterminismTest, SeedsActuallyMatter) {
   // Sanity counterpart: different seeds should (generically) change the
   // random restarts' trajectory. Use meta clustering, whose output is

@@ -1,0 +1,504 @@
+// Observability suite: span tracer, metrics registry, and the per-run
+// ConvergenceTrace. The tracer/metrics tests skip themselves when the
+// subsystem is compiled out (-DMULTICLUST_TRACING=OFF); the
+// ConvergenceTrace tests always run — convergence telemetry is plain
+// diagnostics data, independent of the tracing switch.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "altspace/coala.h"
+#include "altspace/dec_kmeans.h"
+#include "cluster/gmm.h"
+#include "cluster/kmeans.h"
+#include "cluster/spectral.h"
+#include "common/metrics.h"
+#include "common/parallel.h"
+#include "common/trace.h"
+#include "core/pipeline.h"
+#include "data/generators.h"
+#include "multiview/co_em.h"
+#include "subspace/orclus.h"
+#include "subspace/proclus.h"
+
+namespace multiclust {
+namespace {
+
+Matrix TestData(uint64_t seed) {
+  std::vector<ViewSpec> views(2);
+  views[0] = {2, 2, 12.0, 0.8, ""};
+  views[1] = {2, 2, 8.0, 0.8, ""};
+  return MakeMultiView(120, views, 1, seed)->data();
+}
+
+// Minimal JSON validator (objects, arrays, strings, numbers, literals) —
+// enough to prove ChromeTraceJson() emits a well-formed document without
+// pulling in a JSON library.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;  // skip the escaped character
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    const size_t len = std::string(word).size();
+    if (s_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+// RAII: clean tracer + metrics state per test, disabled on exit so later
+// tests are unaffected.
+struct TraceSession {
+  TraceSession() {
+    trace::Reset();
+    trace::Enable();
+  }
+  ~TraceSession() {
+    trace::Disable();
+    trace::Reset();
+  }
+};
+
+TEST(TraceTest, SpanNestingAndSummary) {
+  if (!trace::kCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  TraceSession session;
+  {
+    MULTICLUST_TRACE_SPAN("test.outer");
+    for (int i = 0; i < 3; ++i) {
+      MULTICLUST_TRACE_SPAN("test.inner");
+    }
+  }
+  EXPECT_EQ(trace::EventCount(), 4u);
+  const std::vector<trace::SpanStats> summary = trace::Summary();
+  ASSERT_EQ(summary.size(), 2u);
+  // Sorted by name.
+  EXPECT_EQ(summary[0].name, "test.inner");
+  EXPECT_EQ(summary[0].count, 3u);
+  EXPECT_EQ(summary[1].name, "test.outer");
+  EXPECT_EQ(summary[1].count, 1u);
+  // The outer span encloses the inner ones.
+  EXPECT_GE(summary[1].max_ms, summary[0].max_ms);
+  EXPECT_GE(summary[0].total_ms, 0.0);
+  const std::string table = trace::SummaryString();
+  EXPECT_NE(table.find("test.inner"), std::string::npos);
+  EXPECT_NE(table.find("test.outer"), std::string::npos);
+}
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  if (!trace::kCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  trace::Reset();
+  trace::Disable();
+  {
+    MULTICLUST_TRACE_SPAN("test.dropped");
+  }
+  EXPECT_EQ(trace::EventCount(), 0u);
+}
+
+TEST(TraceTest, ThreadSafetyUnderParallelFor) {
+  if (!trace::kCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  TraceSession session;
+  SetThreadCount(4);
+  std::vector<double> out(4096);
+  ParallelFor(0, out.size(), 64, [&](size_t lo, size_t hi) {
+    MULTICLUST_TRACE_SPAN("test.parallel_chunk");
+    for (size_t i = lo; i < hi; ++i) out[i] = static_cast<double>(i);
+  });
+  SetThreadCount(0);
+  // 4096 / 64 = 64 chunks, one span each, none lost.
+  const std::vector<trace::SpanStats> summary = trace::Summary();
+  ASSERT_EQ(summary.size(), 1u);
+  EXPECT_EQ(summary[0].name, "test.parallel_chunk");
+  EXPECT_EQ(summary[0].count, 64u);
+}
+
+TEST(TraceTest, ChromeTraceJsonIsValid) {
+  if (!trace::kCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  TraceSession session;
+  {
+    MULTICLUST_TRACE_SPAN("test.json \"quoted\"\\slash");
+    MULTICLUST_TRACE_SPAN("test.json.nested");
+  }
+  const std::string json = trace::ChromeTraceJson();
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("test.json.nested"), std::string::npos);
+  // The escaped quote must survive round-tripping into JSON.
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+}
+
+TEST(TraceTest, WriteChromeTraceRoundTrip) {
+  if (!trace::kCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  TraceSession session;
+  {
+    MULTICLUST_TRACE_SPAN("test.file_export");
+  }
+  const std::string path = ::testing::TempDir() + "trace_test_export.json";
+  ASSERT_TRUE(trace::WriteChromeTrace(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, got);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(content, trace::ChromeTraceJson());
+  JsonValidator validator(content);
+  EXPECT_TRUE(validator.Valid());
+}
+
+TEST(MetricsTest2, CounterGaugeHistogramBasics) {
+  if (!metrics::kCompiledIn) GTEST_SKIP() << "metrics compiled out";
+  metrics::Reset();
+  MC_METRIC_COUNT("test.trace.counter", 2);
+  MC_METRIC_COUNT("test.trace.counter", 3);
+  EXPECT_EQ(metrics::GetCounter("test.trace.counter").value(), 5u);
+
+  MC_METRIC_GAUGE_SET("test.trace.gauge", 1.5);
+  MC_METRIC_GAUGE_SET("test.trace.gauge", 2.5);
+  EXPECT_DOUBLE_EQ(metrics::GetGauge("test.trace.gauge").value(), 2.5);
+
+  const std::vector<double> bounds = {1.0, 10.0, 100.0};
+  MC_METRIC_OBSERVE("test.trace.histo", bounds, 0.5);    // bucket 0
+  MC_METRIC_OBSERVE("test.trace.histo", bounds, 1.0);    // bucket 0 (incl.)
+  MC_METRIC_OBSERVE("test.trace.histo", bounds, 7.0);    // bucket 1
+  MC_METRIC_OBSERVE("test.trace.histo", bounds, 1e6);    // overflow
+  metrics::Histogram& h = metrics::GetHistogram("test.trace.histo", bounds);
+  const std::vector<uint64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.total_count(), 4u);
+
+  const std::string table = metrics::SummaryString();
+  EXPECT_NE(table.find("test.trace.counter"), std::string::npos);
+  EXPECT_NE(table.find("test.trace.histo"), std::string::npos);
+
+  metrics::Reset();
+  EXPECT_EQ(metrics::GetCounter("test.trace.counter").value(), 0u);
+  EXPECT_EQ(h.total_count(), 0u);
+}
+
+TEST(MetricsTest2, CounterTotalsThreadInvariant) {
+  if (!metrics::kCompiledIn) GTEST_SKIP() << "metrics compiled out";
+  const Matrix data = TestData(41);
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.restarts = 3;
+  opts.seed = 7;
+  std::vector<uint64_t> totals;
+  for (const size_t threads : {1u, 4u}) {
+    SetThreadCount(threads);
+    metrics::Reset();
+    ASSERT_TRUE(RunKMeans(data, opts).ok());
+    totals.push_back(
+        metrics::GetCounter("cluster.kmeans.iterations").value());
+    SetThreadCount(0);
+  }
+  EXPECT_GT(totals[0], 0u);
+  EXPECT_EQ(totals[0], totals[1]);
+}
+
+TEST(TraceTest, AlgorithmSpansAppearInTrace) {
+  if (!trace::kCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  TraceSession session;
+  const Matrix data = TestData(42);
+  KMeansOptions opts;
+  opts.k = 2;
+  opts.seed = 7;
+  ASSERT_TRUE(RunKMeans(data, opts).ok());
+  const std::string json = trace::ChromeTraceJson();
+  EXPECT_NE(json.find("cluster.kmeans.run"), std::string::npos);
+  EXPECT_NE(json.find("cluster.kmeans.assign"), std::string::npos);
+  EXPECT_NE(json.find("cluster.kmeans.update"), std::string::npos);
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.Valid());
+}
+
+TEST(TraceTest, PipelineStagesAppearInTrace) {
+  if (!trace::kCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  TraceSession session;
+  const Matrix data = TestData(43);
+  DiscoveryOptions opts;
+  opts.num_solutions = 2;
+  opts.k = 2;
+  opts.seed = 7;
+  ASSERT_TRUE(DiscoverMultipleClusterings(data, opts).ok());
+  const std::string json = trace::ChromeTraceJson();
+  EXPECT_NE(json.find("pipeline.run"), std::string::npos);
+  EXPECT_NE(json.find("pipeline.strategy.dec-kmeans"), std::string::npos);
+  EXPECT_NE(json.find("pipeline.dedup"), std::string::npos);
+  EXPECT_NE(json.find("pipeline.objective"), std::string::npos);
+  JsonValidator validator(json);
+  EXPECT_TRUE(validator.Valid());
+}
+
+// --- ConvergenceTrace: always compiled, independent of the tracing
+//     switch. Every iterative algorithm must fill a non-empty trace when a
+//     diagnostics sink is attached. ---
+
+TEST(ConvergenceTraceTest, KMeans) {
+  const Matrix data = TestData(50);
+  RunDiagnostics diag;
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.restarts = 2;
+  opts.seed = 7;
+  opts.diagnostics = &diag;
+  ASSERT_TRUE(RunKMeans(data, opts).ok());
+  ASSERT_FALSE(diag.trace.empty());
+  EXPECT_EQ(diag.algorithm, "kmeans");
+  EXPECT_GT(diag.iterations, 0u);
+  // SSE is non-increasing across iterations within one restart.
+  const std::vector<ConvergencePoint>& pts = diag.trace.points;
+  for (size_t i = 1; i < pts.size(); ++i) {
+    if (pts[i].restart != pts[i - 1].restart) continue;
+    EXPECT_LE(pts[i].objective, pts[i - 1].objective + 1e-9);
+  }
+  EXPECT_NE(diag.ToString().find("trace:"), std::string::npos);
+}
+
+TEST(ConvergenceTraceTest, Gmm) {
+  const Matrix data = TestData(51);
+  RunDiagnostics diag;
+  GmmOptions opts;
+  opts.k = 2;
+  opts.restarts = 2;
+  opts.seed = 7;
+  opts.diagnostics = &diag;
+  ASSERT_TRUE(FitGmm(data, opts).ok());
+  ASSERT_FALSE(diag.trace.empty());
+  EXPECT_EQ(diag.algorithm, "gmm");
+  EXPECT_GT(diag.iterations, 0u);
+}
+
+TEST(ConvergenceTraceTest, Spectral) {
+  const Matrix data = TestData(52);
+  RunDiagnostics diag;
+  SpectralOptions opts;
+  opts.k = 2;
+  opts.seed = 7;
+  opts.diagnostics = &diag;
+  ASSERT_TRUE(RunSpectral(data, opts).ok());
+  ASSERT_FALSE(diag.trace.empty());
+  EXPECT_EQ(diag.algorithm, "spectral");
+}
+
+TEST(ConvergenceTraceTest, DecKMeans) {
+  const Matrix data = TestData(53);
+  RunDiagnostics diag;
+  DecKMeansOptions opts;
+  opts.ks = {2, 2};
+  opts.restarts = 2;
+  opts.seed = 7;
+  opts.diagnostics = &diag;
+  ASSERT_TRUE(RunDecorrelatedKMeans(data, opts).ok());
+  ASSERT_FALSE(diag.trace.empty());
+  EXPECT_EQ(diag.algorithm, "dec-kmeans");
+}
+
+TEST(ConvergenceTraceTest, Coala) {
+  const Matrix data = TestData(54);
+  const std::vector<int> given(data.rows(), 0);
+  RunDiagnostics diag;
+  CoalaOptions opts;
+  opts.k = 3;
+  opts.diagnostics = &diag;
+  ASSERT_TRUE(RunCoala(data, given, opts).ok());
+  ASSERT_FALSE(diag.trace.empty());
+  EXPECT_EQ(diag.algorithm, "coala");
+  EXPECT_TRUE(diag.converged);
+}
+
+TEST(ConvergenceTraceTest, CoEm) {
+  const Matrix data = TestData(55);
+  const Matrix v1 = data.SelectColumns({0, 1});
+  const Matrix v2 = data.SelectColumns({2, 3});
+  RunDiagnostics diag;
+  CoEmOptions opts;
+  opts.k = 2;
+  opts.seed = 7;
+  opts.diagnostics = &diag;
+  ASSERT_TRUE(RunCoEm(v1, v2, opts).ok());
+  ASSERT_FALSE(diag.trace.empty());
+  EXPECT_EQ(diag.algorithm, "co-em");
+}
+
+TEST(ConvergenceTraceTest, Orclus) {
+  const Matrix data = TestData(56);
+  RunDiagnostics diag;
+  OrclusOptions opts;
+  opts.k = 2;
+  opts.l = 2;
+  opts.seed = 7;
+  opts.diagnostics = &diag;
+  ASSERT_TRUE(RunOrclus(data, opts).ok());
+  ASSERT_FALSE(diag.trace.empty());
+  EXPECT_EQ(diag.algorithm, "orclus");
+}
+
+TEST(ConvergenceTraceTest, Proclus) {
+  const Matrix data = TestData(57);
+  RunDiagnostics diag;
+  ProclusOptions opts;
+  opts.k = 3;
+  opts.seed = 7;
+  opts.diagnostics = &diag;
+  ASSERT_TRUE(RunProclus(data, opts).ok());
+  ASSERT_FALSE(diag.trace.empty());
+  EXPECT_EQ(diag.algorithm, "proclus");
+}
+
+TEST(ConvergenceTraceTest, PipelineAttemptsCarryTraces) {
+  const Matrix data = TestData(58);
+  DiscoveryOptions opts;
+  opts.num_solutions = 2;
+  opts.k = 2;
+  opts.seed = 7;
+  auto report = DiscoverMultipleClusterings(data, opts);
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->attempts.empty());
+  const RunDiagnostics& diag = report->attempts.back();
+  EXPECT_FALSE(diag.trace.empty());
+  EXPECT_EQ(diag.algorithm, report->strategy_name);
+}
+
+TEST(ConvergenceTraceTest, NullSinkRecordsNothing) {
+  const Matrix data = TestData(59);
+  KMeansOptions opts;
+  opts.k = 2;
+  opts.seed = 7;
+  // diagnostics defaults to nullptr; the recorder must be inert.
+  ASSERT_TRUE(RunKMeans(data, opts).ok());
+  RunDiagnostics diag;
+  ConvergenceRecorder recorder(nullptr, nullptr);
+  EXPECT_FALSE(recorder.enabled());
+  recorder.Record(0, 0, 1.0, 0.5, 0);
+  recorder.Finish("noop", 3, true);
+  EXPECT_TRUE(diag.trace.empty());
+}
+
+}  // namespace
+}  // namespace multiclust
