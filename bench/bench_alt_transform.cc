@@ -7,26 +7,37 @@
 
 #include "cluster/kmeans.h"
 #include "data/generators.h"
+#include "harness.h"
 #include "metrics/partition_similarity.h"
 #include "orthogonal/alt_transform.h"
 #include "orthogonal/residual_transform.h"
 
 using namespace multiclust;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("bench_alt_transform",
+                   "E4/E5: transformation-based alternative clustering");
+  if (!h.ParseArgs(&argc, argv)) return h.ExitCode();
+
   std::printf("E4/E5: transformation-based alternative clustering"
               " (slides 48-55)\n\n");
   std::printf("%6s %6s | %12s %12s | %12s %12s | %12s %12s\n", "seed", "",
               "base:given", "base:alt", "DQ08:given", "DQ08:alt",
               "QD09:given", "QD09:alt");
 
+  bench::Table* runs = h.AddTable(
+      "per_seed_nmi",
+      {"seed", "base_given", "base_alt", "dq08_given", "dq08_alt",
+       "qd09_given", "qd09_alt"},
+      bench::ValueOptions::Tolerance(1e-6));
   double sum_dq = 0, sum_qd = 0, sum_base = 0;
-  const int kRuns = 5;
-  for (uint64_t seed = 1; seed <= kRuns; ++seed) {
+  bool suppressed = true;
+  const int kRuns = h.quick() ? 2 : 5;
+  for (uint64_t seed = 1; seed <= static_cast<uint64_t>(kRuns); ++seed) {
     std::vector<ViewSpec> views(2);
     views[0] = {2, 2, 12.0, 0.8, "given"};
     views[1] = {2, 2, 12.0, 0.8, "alt"};
-    auto ds = MakeMultiView(200, views, 0, seed);
+    auto ds = MakeMultiView(h.quick() ? 120 : 200, views, 0, seed);
     const auto given = ds->GroundTruth("given").value();
     const auto alt_truth = ds->GroundTruth("alt").value();
 
@@ -61,15 +72,40 @@ int main() {
     std::printf("%6llu %6s | %12.3f %12.3f | %12.3f %12.3f | %12.3f %12.3f\n",
                 static_cast<unsigned long long>(seed), "", base_given,
                 base_alt, dq_given, dq_alt, qd_given, qd_alt);
+    runs->Row();
+    runs->Cell(static_cast<double>(seed));
+    runs->Cell(base_given);
+    runs->Cell(base_alt);
+    runs->Cell(dq_given);
+    runs->Cell(dq_alt);
+    runs->Cell(qd_given);
+    runs->Cell(qd_alt);
+    suppressed = suppressed && dq_given < 0.1 && qd_given < 0.1;
     sum_base += base_alt;
     sum_dq += dq_alt;
     sum_qd += qd_alt;
   }
+  const double mean_base = sum_base / kRuns;
+  const double mean_dq = sum_dq / kRuns;
+  const double mean_qd = sum_qd / kRuns;
   std::printf("\nmean NMI(alternative truth): baseline=%.3f"
               "  Davidson&Qi08=%.3f  Qi&Davidson09=%.3f\n",
-              sum_base / kRuns, sum_dq / kRuns, sum_qd / kRuns);
+              mean_base, mean_dq, mean_qd);
+  h.Scalar("mean_nmi_alt_baseline", mean_base,
+           bench::ValueOptions::Tolerance(1e-6));
+  h.Scalar("mean_nmi_alt_dq08", mean_dq,
+           bench::ValueOptions::Tolerance(1e-6));
+  h.Scalar("mean_nmi_alt_qd09", mean_qd,
+           bench::ValueOptions::Tolerance(1e-6));
+  h.Check("transforms_find_alternative", mean_dq > 0.8 && mean_qd > 0.8,
+          "both transformation methods should recover the alternative truth");
+  h.Check("transforms_suppress_given", suppressed,
+          "NMI(given) should stay near zero for every transformed run");
+  h.WarnCheck("transforms_beat_baseline",
+              mean_dq >= mean_base - 1e-9 && mean_qd >= mean_base - 1e-9,
+              "the baseline can win the restart lottery on small samples");
   std::printf("expected shape: both transformation methods beat the"
               " baseline on the\nalternative truth while scoring near zero"
               " on the given clustering.\n");
-  return 0;
+  return h.Finish();
 }

@@ -7,20 +7,31 @@
 
 #include "altspace/cib.h"
 #include "data/discrete.h"
+#include "harness.h"
 #include "metrics/partition_similarity.h"
 
 using namespace multiclust;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("bench_cib",
+                   "E16: conditional information bottleneck, novel topics");
+  if (!h.ParseArgs(&argc, argv)) return h.ExitCode();
+
   std::printf("E16: conditional information bottleneck — novel topics"
               " (slides 7, 35-36)\n\n");
   std::printf("%6s | %11s %11s | %12s %12s | %10s\n", "seed", "CIB:known",
               "CIB:novel", "plain:known", "plain:novel", "I(Y;C|D)");
+  bench::Table* runs = h.AddTable(
+      "per_seed_nmi",
+      {"seed", "cib_known", "cib_novel", "plain_known", "plain_novel",
+       "conditional_information"},
+      bench::ValueOptions::Tolerance(1e-6));
   double cib_novel_sum = 0, plain_novel_sum = 0;
-  const int kRuns = 5;
-  for (uint64_t seed = 1; seed <= kRuns; ++seed) {
+  bool cib_suppresses_known = true, plain_finds_known = true;
+  const int kRuns = h.quick() ? 2 : 5;
+  for (uint64_t seed = 1; seed <= static_cast<uint64_t>(kRuns); ++seed) {
     DocumentTermSpec spec;
-    spec.num_documents = 180;
+    spec.num_documents = h.quick() ? 120 : 180;
     spec.seed = seed;
     auto ds = MakeDocumentTerm(spec);
     if (!ds.ok()) return 1;
@@ -54,13 +65,34 @@ int main() {
     std::printf("%6llu | %11.3f %11.3f | %12.3f %12.3f | %10.4f\n",
                 static_cast<unsigned long long>(seed), cib_known, cib_novel,
                 plain_known, plain_novel, cib->conditional_information);
+    runs->Row();
+    runs->Cell(static_cast<double>(seed));
+    runs->Cell(cib_known);
+    runs->Cell(cib_novel);
+    runs->Cell(plain_known);
+    runs->Cell(plain_novel);
+    runs->Cell(cib->conditional_information);
     cib_novel_sum += cib_novel;
     plain_novel_sum += plain_novel;
+    cib_suppresses_known = cib_suppresses_known && cib_known < 0.1;
+    plain_finds_known = plain_finds_known && plain_known > 0.9;
   }
+  const double cib_novel_mean = cib_novel_sum / kRuns;
+  const double plain_novel_mean = plain_novel_sum / kRuns;
   std::printf("\nmean NMI(novel system): CIB=%.3f vs unconditioned IB=%.3f\n",
-              cib_novel_sum / kRuns, plain_novel_sum / kRuns);
+              cib_novel_mean, plain_novel_mean);
+  h.Scalar("cib_novel_mean_nmi", cib_novel_mean,
+           bench::ValueOptions::Tolerance(1e-6));
+  h.Scalar("plain_novel_mean_nmi", plain_novel_mean,
+           bench::ValueOptions::Tolerance(1e-6));
+  h.Check("cib_finds_novel_system",
+          cib_novel_mean > 0.9 && cib_suppresses_known,
+          "conditioning must flip the optimiser to the hidden system");
+  h.Check("unconditioned_ib_finds_known_system",
+          plain_novel_mean < 0.1 && plain_finds_known,
+          "without conditioning the dominant known system must win");
   std::printf("expected shape: conditioning on the known topics flips the"
               " optimiser from the\ndominant known system to the hidden"
               " alternative system.\n");
-  return 0;
+  return h.Finish();
 }

@@ -6,13 +6,19 @@
 
 #include "altspace/coala.h"
 #include "data/generators.h"
+#include "harness.h"
 #include "metrics/clustering_quality.h"
 #include "metrics/partition_similarity.h"
 
 using namespace multiclust;
 
-int main() {
-  auto ds = MakeFourSquares(40, 10.0, 0.9, 7);
+int main(int argc, char** argv) {
+  bench::Harness h("bench_coala_tradeoff",
+                   "E2: COALA quality vs dissimilarity trade-off");
+  if (!h.ParseArgs(&argc, argv)) return h.ExitCode();
+
+  const size_t kPerSquare = h.quick() ? 25 : 40;
+  auto ds = MakeFourSquares(kPerSquare, 10.0, 0.9, 7);
   const auto horizontal = ds->GroundTruth("horizontal").value();
   const auto vertical = ds->GroundTruth("vertical").value();
 
@@ -20,6 +26,14 @@ int main() {
   std::printf("given clustering: the horizontal split\n\n");
   std::printf("%8s %10s %12s %12s %14s %12s\n", "w", "SSE", "ARI(given)",
               "ARI(vert)", "diss-merges", "qual-merges");
+  bench::Series* ari_given_series = h.AddSeries(
+      "ari_given", "w", "ARI(given)", bench::ValueOptions::Tolerance(1e-6));
+  bench::Series* ari_vert_series = h.AddSeries(
+      "ari_vertical", "w", "ARI(vertical)",
+      bench::ValueOptions::Tolerance(1e-6));
+  bench::Series* diss_merges_series =
+      h.AddSeries("dissimilarity_merges", "w", "merges");
+  double low_w_given = 1.0, low_w_vert = 0.0, high_w_given = 0.0;
   for (double w : {0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0, 2.0, 5.0, 100.0}) {
     CoalaOptions opts;
     opts.k = 2;
@@ -27,15 +41,30 @@ int main() {
     CoalaStats stats;
     auto alt = RunCoala(ds->data(), horizontal, opts, &stats);
     if (!alt.ok()) continue;
+    const double ari_given =
+        AdjustedRandIndex(alt->labels, horizontal).value();
+    const double ari_vert = AdjustedRandIndex(alt->labels, vertical).value();
     std::printf("%8.2f %10.1f %12.3f %12.3f %14zu %12zu\n", w,
-                SumSquaredError(ds->data(), alt->labels).value(),
-                AdjustedRandIndex(alt->labels, horizontal).value(),
-                AdjustedRandIndex(alt->labels, vertical).value(),
-                stats.dissimilarity_merges, stats.quality_merges);
+                SumSquaredError(ds->data(), alt->labels).value(), ari_given,
+                ari_vert, stats.dissimilarity_merges, stats.quality_merges);
+    ari_given_series->Add(w, ari_given);
+    ari_vert_series->Add(w, ari_vert);
+    diss_merges_series->Add(w, static_cast<double>(
+                                   stats.dissimilarity_merges));
+    if (w <= 0.05 + 1e-9) {
+      low_w_given = ari_given;
+      low_w_vert = ari_vert;
+    }
+    if (w >= 100.0 - 1e-9) high_w_given = ari_given;
   }
+  h.Check("small_w_prefers_dissimilarity",
+          low_w_given < 0.1 && low_w_vert > 0.9,
+          "w=0.05 should find the vertical alternative, not the given split");
+  h.Check("large_w_prefers_quality", high_w_given > 0.9,
+          "w=100 should drift back to the given-like grouping");
   std::printf("\nexpected shape: small w -> ARI(given) near 0 and ARI(vert)"
               " near 1 (dissimilarity\nwins); very large w -> constraint"
               " merges vanish and the result drifts back\ntowards the"
               " unconstrained (given-like) grouping.\n");
-  return 0;
+  return h.Finish();
 }

@@ -7,6 +7,7 @@
 #include "cluster/gmm.h"
 #include "common/rng.h"
 #include "data/generators.h"
+#include "harness.h"
 #include "metrics/partition_similarity.h"
 #include "multiview/co_em.h"
 
@@ -41,16 +42,26 @@ Views MakeViews(uint64_t seed, size_t n, double noise) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("bench_coem", "E11: co-EM vs single-view EM");
+  if (!h.ParseArgs(&argc, argv)) return h.ExitCode();
+
   std::printf("E11: co-EM vs single-view EM (slides 98-104)\n\n");
   std::printf("%6s %8s | %10s %10s | %12s %14s %16s\n", "seed", "noise",
               "ARI(1view)", "ARI(coEM)", "LL(single)", "LL(coEM-init)",
               "agreement");
+  bench::Table* runs = h.AddTable(
+      "per_run",
+      {"seed", "noise", "ari_single", "ari_coem", "ll_single", "ll_warm",
+       "agreement"},
+      bench::ValueOptions::Tolerance(1e-6, 1e-6));
   int coem_init_wins = 0;
-  const int kRuns = 6;
+  bool coem_never_worse = true;
+  const int kRuns = h.quick() ? 2 : 6;
   for (int run = 0; run < kRuns; ++run) {
-    const double noise = run < 3 ? 1.2 : 1.5;
-    const Views v = MakeViews(100 + run, 200, noise);
+    // In quick mode keep one run per noise level so both regimes appear.
+    const double noise = (h.quick() ? run < 1 : run < 3) ? 1.2 : 1.5;
+    const Views v = MakeViews(100 + run, h.quick() ? 140 : 200, noise);
 
     // Plain single-view EM on view 1.
     GmmOptions gmm;
@@ -79,16 +90,32 @@ int main() {
     }
     const double warm_ll = warm.TotalLogLikelihood(v.v1);
     if (warm_ll >= single_ll - 1e-6) ++coem_init_wins;
+    if (coem_ari < single_ari - 1e-9) coem_never_worse = false;
 
     std::printf("%6d %8.1f | %10.3f %10.3f | %12.1f %14.1f %16.3f\n",
                 100 + run, noise, single_ari, coem_ari, single_ll, warm_ll,
                 r->agreement);
+    runs->Row();
+    runs->Cell(100 + run);
+    runs->Cell(noise);
+    runs->Cell(single_ari);
+    runs->Cell(coem_ari);
+    runs->Cell(single_ll);
+    runs->Cell(warm_ll);
+    runs->Cell(r->agreement);
   }
   std::printf("\nco-EM-initialised single-view EM matched or beat plain"
               " single-view EM in %d/%d runs\n",
               coem_init_wins, kRuns);
+  h.Scalar("coem_init_wins", coem_init_wins);
+  h.Scalar("runs", kRuns);
+  h.Check("warm_start_reaches_single_view_likelihood",
+          coem_init_wins == kRuns,
+          "slide-104 claim: warm-started EM >= plain EM in every run");
+  h.Check("coem_matches_or_beats_single_view", coem_never_worse,
+          "consensus ARI must never fall below the single-view ARI");
   std::printf("expected shape: co-EM's consensus ARI >= single-view ARI"
               " (especially at high\nnoise), and warm-started EM confirms"
               " the slide-104 likelihood claim.\n");
-  return 0;
+  return h.Finish();
 }

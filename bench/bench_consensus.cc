@@ -4,12 +4,17 @@
 #include <cstdio>
 
 #include "data/generators.h"
+#include "harness.h"
 #include "metrics/partition_similarity.h"
 #include "multiview/consensus.h"
 
 using namespace multiclust;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("bench_consensus",
+                   "E13: random-projection ensemble consensus");
+  if (!h.ParseArgs(&argc, argv)) return h.ExitCode();
+
   // High-dimensional single-truth data: 3 clusters in 8 dims + 4 noise
   // dims; individual 3-D random projections see a distorted picture.
   std::vector<BlobSpec> blobs(3);
@@ -29,7 +34,18 @@ int main() {
               " clusters\n\n");
   std::printf("%10s %16s %16s %10s\n", "ensemble", "mean member ARI",
               "consensus ARI", "ANMI");
-  for (size_t ensemble : {1, 2, 4, 8, 16, 32}) {
+  bench::Series* consensus_series = h.AddSeries(
+      "consensus_ari", "ensemble_size", "ARI",
+      bench::ValueOptions::Tolerance(1e-6));
+  bench::Series* member_series = h.AddSeries(
+      "mean_member_ari", "ensemble_size", "ARI",
+      bench::ValueOptions::Tolerance(1e-6));
+  const std::vector<size_t> sizes = h.quick()
+                                        ? std::vector<size_t>{1, 4, 8}
+                                        : std::vector<size_t>{1, 2, 4, 8, 16,
+                                                              32};
+  double first_consensus = 0.0, last_consensus = 0.0, last_member = 0.0;
+  for (size_t ensemble : sizes) {
     ConsensusOptions opts;
     opts.ensemble_size = ensemble;
     opts.projection_dims = 3;
@@ -43,12 +59,23 @@ int main() {
       member_ari += AdjustedRandIndex(m, truth).value();
     }
     member_ari /= static_cast<double>(r->member_labels.size());
+    const double consensus_ari =
+        AdjustedRandIndex(r->consensus.labels, truth).value();
     std::printf("%10zu %16.3f %16.3f %10.3f\n", ensemble, member_ari,
-                AdjustedRandIndex(r->consensus.labels, truth).value(),
-                r->anmi);
+                consensus_ari, r->anmi);
+    consensus_series->Add(static_cast<double>(ensemble), consensus_ari);
+    member_series->Add(static_cast<double>(ensemble), member_ari);
+    if (ensemble == sizes.front()) first_consensus = consensus_ari;
+    last_consensus = consensus_ari;
+    last_member = member_ari;
   }
+  h.Check("consensus_improves_with_ensemble_size",
+          last_consensus > first_consensus + 0.3,
+          "consensus ARI must climb as the ensemble grows");
+  h.Check("consensus_beats_members", last_consensus > last_member + 0.3,
+          "the full-ensemble consensus must clearly beat the member mean");
   std::printf("\nexpected shape: individual projected members are mediocre"
               " and noisy; the\nconsensus ARI rises with ensemble size and"
               " settles above the member mean.\n");
-  return 0;
+  return h.Finish();
 }

@@ -6,24 +6,37 @@
 
 #include "altspace/dec_kmeans.h"
 #include "data/generators.h"
+#include "harness.h"
 #include "metrics/multi_solution.h"
 #include "metrics/partition_similarity.h"
 
 using namespace multiclust;
 
-int main() {
-  auto ds = MakeFourSquares(40, 10.0, 0.8, 3);
+int main(int argc, char** argv) {
+  bench::Harness h("bench_deckm_lambda",
+                   "E3: decorrelated k-means lambda sweep");
+  if (!h.ParseArgs(&argc, argv)) return h.ExitCode();
+
+  const size_t kPerSquare = h.quick() ? 30 : 40;
+  const uint32_t kRestarts = h.quick() ? 3 : 5;
+  auto ds = MakeFourSquares(kPerSquare, 10.0, 0.8, 3);
   const auto horizontal = ds->GroundTruth("horizontal").value();
   const auto vertical = ds->GroundTruth("vertical").value();
 
   std::printf("E3: decorrelated k-means lambda sweep (slides 40-42)\n\n");
   std::printf("%8s %12s %12s %16s %10s\n", "lambda", "SSE(A)", "SSE(B)",
               "NMI(A,B)", "recovery");
+  bench::Series* nmi_series = h.AddSeries(
+      "nmi_ab", "lambda", "NMI(A,B)", bench::ValueOptions::Tolerance(1e-6));
+  bench::Series* recovery_series =
+      h.AddSeries("recovery", "lambda", "mean recovery",
+                  bench::ValueOptions::Tolerance(1e-6));
+  bool decorrelated_ok = true, duplicate_at_zero = false;
   for (double lambda : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 64.0}) {
     DecKMeansOptions opts;
     opts.ks = {2, 2};
     opts.lambda = lambda;
-    opts.restarts = 5;
+    opts.restarts = kRestarts;
     opts.seed = 17;
     auto r = RunDecorrelatedKMeans(ds->data(), opts);
     if (!r.ok()) continue;
@@ -36,7 +49,19 @@ int main() {
     std::printf("%8.1f %12.1f %12.1f %16.3f %10.3f\n", lambda,
                 r->solutions.at(0).quality, r->solutions.at(1).quality,
                 nmi_ab, match->mean_recovery);
+    nmi_series->Add(lambda, nmi_ab);
+    recovery_series->Add(lambda, match->mean_recovery);
+    if (lambda == 0.0) {
+      duplicate_at_zero = nmi_ab > 0.9;
+    } else if (lambda >= 0.5) {
+      decorrelated_ok =
+          decorrelated_ok && nmi_ab < 0.1 && match->mean_recovery > 0.9;
+    }
   }
+  h.Check("lambda_zero_duplicates", duplicate_at_zero,
+          "lambda=0 should degenerate to two copies (NMI(A,B) ~ 1)");
+  h.Check("moderate_lambda_decorrelates", decorrelated_ok,
+          "every lambda >= 0.5 should give NMI(A,B) ~ 0, recovery ~ 1");
 
   // Objective monotonicity of the alternating minimisation.
   DecKMeansOptions opts;
@@ -46,12 +71,18 @@ int main() {
   opts.seed = 5;
   auto r = RunDecorrelatedKMeans(ds->data(), opts);
   std::printf("\nobjective trace (lambda=4): ");
-  for (size_t i = 0; i < r->history.size() && i < 8; ++i) {
-    std::printf("%.0f ", r->history[i]);
+  bool monotone = true;
+  for (size_t i = 0; i < r->history.size(); ++i) {
+    if (i < 8) std::printf("%.0f ", r->history[i]);
+    if (i > 0 && r->history[i] > r->history[i - 1] + 1e-6) monotone = false;
   }
+  h.Scalar("objective_trace_length",
+           static_cast<double>(r->history.size()));
+  h.Check("objective_non_increasing", monotone,
+          "the alternating minimisation must never increase the objective");
   std::printf("\nexpected shape: lambda=0 -> duplicate solutions"
               " (NMI(A,B) ~ 1); moderate lambda ->\northogonal solutions"
               " (NMI(A,B) ~ 0) recovering both planted splits; the\n"
               "objective trace is non-increasing.\n");
-  return 0;
+  return h.Finish();
 }

@@ -1,0 +1,186 @@
+// bench_diff — compare, validate and merge bench harness JSON documents.
+//
+//   bench_diff BASELINE CURRENT [--timing-band=F] [--timing-floor-ms=M]
+//       Compares two snapshots (per-bench or merged suite documents;
+//       detected from the "kind" field). Exits 1 on regression: failed
+//       hard checks, missing metrics, or non-timing values outside their
+//       recorded tolerance band. Timing drift only warns.
+//
+//   bench_diff --validate FILE...
+//       Schema-validates each document; exits 1 on the first invalid one.
+//
+//   bench_diff --merge -o OUT FILE...
+//       Merges per-bench documents into one suite document at OUT.
+//
+// The committed BENCH_baseline.json is a merged --quick suite; regenerate
+// it with the loop in EXPERIMENTS.md when results change intentionally.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/report.h"
+#include "common/result.h"
+#include "harness.h"
+
+namespace {
+
+using multiclust::Result;
+using multiclust::Status;
+using multiclust::bench::DiffOptions;
+using multiclust::bench::DiffReport;
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "'");
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::IoError("read error on '" + path + "'");
+  return out;
+}
+
+Result<multiclust::json::Value> LoadJson(const std::string& path) {
+  auto content = ReadFile(path);
+  if (!content.ok()) return content.status();
+  auto parsed = multiclust::json::Parse(*content);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(path + ": " + parsed.status().ToString());
+  }
+  return parsed;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff BASELINE CURRENT [--timing-band=F] "
+               "[--timing-floor-ms=M]\n"
+               "       bench_diff --validate FILE...\n"
+               "       bench_diff --merge -o OUT FILE...\n");
+  return 2;
+}
+
+int RunValidate(const std::vector<std::string>& files) {
+  if (files.empty()) return Usage();
+  for (const std::string& path : files) {
+    auto doc = LoadJson(path);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+      return 1;
+    }
+    const bool suite =
+        doc->GetString("kind", "") == "multiclust.bench_suite";
+    const Status st = suite ? multiclust::bench::ValidateSuiteDocument(*doc)
+                            : multiclust::bench::ValidateBenchDocument(*doc);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), st.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s: valid %s document\n", path.c_str(),
+                suite ? "suite" : "bench");
+  }
+  return 0;
+}
+
+int RunMerge(const std::string& out_path,
+             const std::vector<std::string>& files) {
+  if (out_path.empty() || files.empty()) return Usage();
+  std::vector<multiclust::json::Value> docs;
+  for (const std::string& path : files) {
+    auto doc = LoadJson(path);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+      return 1;
+    }
+    const Status st = multiclust::bench::ValidateBenchDocument(*doc);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), st.ToString().c_str());
+      return 1;
+    }
+    docs.push_back(std::move(*doc));
+  }
+  const std::string merged = multiclust::bench::MergeSuiteJson(docs);
+  const Status st = multiclust::WriteStringToFile(out_path, merged);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("merged %zu documents into %s\n", docs.size(),
+              out_path.c_str());
+  return 0;
+}
+
+int RunCompare(const std::string& baseline_path,
+               const std::string& current_path, const DiffOptions& options) {
+  auto baseline = LoadJson(baseline_path);
+  auto current = LoadJson(current_path);
+  if (!baseline.ok() || !current.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (!baseline.ok() ? baseline.status() : current.status())
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+  const bool base_suite =
+      baseline->GetString("kind", "") == "multiclust.bench_suite";
+  const bool cur_suite =
+      current->GetString("kind", "") == "multiclust.bench_suite";
+  if (base_suite != cur_suite) {
+    std::fprintf(stderr,
+                 "cannot compare a suite document with a single-bench "
+                 "document (%s vs %s)\n",
+                 baseline_path.c_str(), current_path.c_str());
+    return 1;
+  }
+  const DiffReport report =
+      base_suite
+          ? multiclust::bench::DiffSuites(*baseline, *current, options)
+          : multiclust::bench::DiffBenchDocuments(*baseline, *current,
+                                                  options);
+  std::fputs(report.ToString().c_str(), stdout);
+  return report.failed() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  std::string merge_out;
+  bool validate = false, merge = false;
+  DiffOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--validate") == 0) {
+      validate = true;
+    } else if (std::strcmp(arg, "--merge") == 0) {
+      merge = true;
+    } else if (std::strcmp(arg, "-o") == 0 && i + 1 < argc) {
+      merge_out = argv[++i];
+    } else if (std::strncmp(arg, "--timing-band=", 14) == 0) {
+      options.timing_band = std::strtod(arg + 14, nullptr);
+      if (options.timing_band < 1.0) return Usage();
+    } else if (std::strncmp(arg, "--timing-floor-ms=", 18) == 0) {
+      options.timing_floor_ms = std::strtod(arg + 18, nullptr);
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      Usage();
+      return 0;
+    } else if (arg[0] == '-' && arg[1] != '\0') {
+      return Usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (validate && merge) return Usage();
+  if (validate) return RunValidate(positional);
+  if (merge) return RunMerge(merge_out, positional);
+  if (positional.size() != 2) return Usage();
+  return RunCompare(positional[0], positional[1], options);
+}

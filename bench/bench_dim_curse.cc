@@ -6,17 +6,31 @@
 #include <cstdio>
 
 #include "data/generators.h"
+#include "harness.h"
 #include "linalg/matrix.h"
 
 using namespace multiclust;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("bench_dim_curse",
+                   "E15: curse of dimensionality, relative contrast");
+  if (!h.ParseArgs(&argc, argv)) return h.ExitCode();
+
   std::printf("E15: curse of dimensionality — relative contrast"
               " (slide 12)\n\n");
   std::printf("%8s %16s %16s %16s\n", "dims", "min dist", "max dist",
               "(max-min)/min");
-  for (size_t d : {1, 2, 5, 10, 20, 50, 100, 200, 500}) {
-    auto ds = MakeUniformCube(500, d, 91);
+  bench::Series* contrast_series = h.AddSeries(
+      "relative_contrast", "dims", "(max-min)/min",
+      bench::ValueOptions::Tolerance(1e-6));
+  const std::vector<size_t> dims =
+      h.quick() ? std::vector<size_t>{1, 5, 20, 100}
+                : std::vector<size_t>{1, 2, 5, 10, 20, 50, 100, 200, 500};
+  const size_t kSamples = h.quick() ? 300 : 500;
+  bool monotone = true;
+  double prev = 1e300, first = 0.0, last = 0.0;
+  for (size_t d : dims) {
+    auto ds = MakeUniformCube(kSamples, d, 91);
     if (!ds.ok()) continue;
     const std::vector<double> query(d, 0.5);  // cube centre
     double min_d = 1e300, max_d = 0.0;
@@ -25,11 +39,20 @@ int main() {
       min_d = std::min(min_d, dist);
       max_d = std::max(max_d, dist);
     }
-    std::printf("%8zu %16.4f %16.4f %16.4f\n", d, min_d, max_d,
-                (max_d - min_d) / min_d);
+    const double contrast = (max_d - min_d) / min_d;
+    std::printf("%8zu %16.4f %16.4f %16.4f\n", d, min_d, max_d, contrast);
+    contrast_series->Add(static_cast<double>(d), contrast);
+    if (contrast > prev + 1e-12) monotone = false;
+    prev = contrast;
+    if (d == dims.front()) first = contrast;
+    last = contrast;
   }
+  h.Check("contrast_decays_monotonically", monotone,
+          "relative contrast must shrink at every dimensionality step");
+  h.Check("contrast_collapses", last < first / 100.0,
+          "the highest dimensionality must show a collapsed contrast");
   std::printf("\nexpected shape: the relative contrast decays towards 0 as"
               " dimensionality\ngrows — nearest neighbours stop being"
               " meaningful in the full space.\n");
-  return 0;
+  return h.Finish();
 }

@@ -6,19 +6,29 @@
 
 #include "altspace/disparate.h"
 #include "data/generators.h"
+#include "harness.h"
 #include "metrics/multi_solution.h"
 #include "metrics/partition_similarity.h"
 
 using namespace multiclust;
 
-int main() {
-  auto ds = MakeFourSquares(40, 10.0, 0.8, 17);
+int main(int argc, char** argv) {
+  bench::Harness h("bench_disparate",
+                   "E17: contingency-table dual clustering");
+  if (!h.ParseArgs(&argc, argv)) return h.ExitCode();
+
+  auto ds = MakeFourSquares(h.quick() ? 25 : 40, 10.0, 0.8, 17);
   const auto horizontal = ds->GroundTruth("horizontal").value();
   const auto vertical = ds->GroundTruth("vertical").value();
 
   std::printf("E17: contingency-table dual clustering (slide 44)\n\n");
   std::printf("%12s %8s | %12s %14s | %10s\n", "goal", "lambda",
               "NMI(C1,C2)", "tbl deviation", "recovery");
+  bench::Table* table = h.AddTable(
+      "sweep", {"goal", "lambda", "nmi_c1_c2", "deviation", "recovery"},
+      bench::ValueOptions::Tolerance(1e-6));
+  bool disparate_independent = true;
+  double dependent_high_lambda_nmi = 0.0;
   for (const auto goal :
        {ContingencyGoal::kDisparate, ContingencyGoal::kDependent}) {
     for (double lambda : {0.0, 0.5, 1.0, 2.0}) {
@@ -37,13 +47,29 @@ int main() {
               .value();
       auto match = MatchSolutionsToTruths({horizontal, vertical},
                                           r->solutions.Labels());
+      const bool disparate = goal == ContingencyGoal::kDisparate;
       std::printf("%12s %8.1f | %12.3f %14.3f | %10.3f\n",
-                  goal == ContingencyGoal::kDisparate ? "disparate"
-                                                      : "dependent",
-                  lambda, nmi, r->uniformity_deviation,
-                  match->mean_recovery);
+                  disparate ? "disparate" : "dependent", lambda, nmi,
+                  r->uniformity_deviation, match->mean_recovery);
+      table->Row();
+      table->TextCell(disparate ? "disparate" : "dependent");
+      table->Cell(lambda);
+      table->Cell(nmi);
+      table->Cell(r->uniformity_deviation);
+      table->Cell(match->mean_recovery);
+      if (disparate) {
+        disparate_independent = disparate_independent && nmi < 0.1 &&
+                                match->mean_recovery > 0.9;
+      } else if (lambda >= 2.0) {
+        dependent_high_lambda_nmi = nmi;
+      }
     }
   }
+  h.Check("disparate_mode_independent", disparate_independent,
+          "disparate mode must hold NMI ~ 0 and full recovery at every "
+          "lambda");
+  h.Check("dependent_mode_aligns", dependent_high_lambda_nmi > 0.9,
+          "dependent mode must align the clusterings once lambda is large");
   std::printf("\nexpected shape: disparate mode holds NMI(C1,C2) ~ 0 with a"
               " uniform table and\nfull recovery of both planted splits at"
               " every lambda (the four-squares toy has\ntwo equal"
@@ -52,5 +78,5 @@ int main() {
               " regime once lambda is\nlarge enough: NMI(C1,C2) -> 1 and"
               " the table turns diagonal (deviation\n-> max), halving"
               " recovery because both solutions collapse onto one split.\n");
-  return 0;
+  return h.Finish();
 }

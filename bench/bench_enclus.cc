@@ -2,19 +2,25 @@
 // subspaces carrying planted structure must rank above noise subspaces,
 // and the interest measure (correlation gain) must separate them too.
 #include <cstdio>
+#include <set>
 #include <string>
 
 #include "data/generators.h"
+#include "harness.h"
 #include "stats/hsic.h"
 #include "subspace/enclus.h"
 
 using namespace multiclust;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("bench_enclus",
+                   "E10: ENCLUS subspace ranking by entropy + HSIC");
+  if (!h.ParseArgs(&argc, argv)) return h.ExitCode();
+
   std::vector<ViewSpec> views(2);
   views[0] = {2, 2, 10.0, 0.6, ""};
   views[1] = {2, 3, 10.0, 0.6, ""};
-  auto ds = MakeMultiView(300, views, 2, 51);
+  auto ds = MakeMultiView(h.quick() ? 200 : 300, views, 2, 51);
 
   EnclusOptions opts;
   opts.xi = 6;
@@ -28,6 +34,10 @@ int main() {
               " uniform noise\n\n");
   std::printf("%6s %-14s %10s %10s\n", "rank", "subspace", "entropy",
               "interest");
+  bench::Table* ranked = h.AddTable(
+      "ranking", {"rank", "subspace", "entropy", "interest"},
+      bench::ValueOptions::Tolerance(1e-6));
+  std::vector<std::set<size_t>> top_two;
   size_t shown = 0;
   for (size_t i = 0; i < ranking->size(); ++i) {
     const auto& s = (*ranking)[i];
@@ -40,8 +50,23 @@ int main() {
     dims += "}";
     std::printf("%6zu %-14s %10.3f %10.3f\n", i, dims.c_str(), s.entropy,
                 s.interest);
+    ranked->Row();
+    ranked->Cell(static_cast<double>(i));
+    ranked->TextCell(dims);
+    ranked->Cell(s.entropy);
+    ranked->Cell(s.interest);
+    if (top_two.size() < 2) {
+      top_two.emplace_back(s.dims.begin(), s.dims.end());
+    }
     if (++shown >= 12) break;
   }
+  const std::set<size_t> planted_a{0, 1}, planted_b{2, 3};
+  const bool planted_first =
+      top_two.size() == 2 &&
+      ((top_two[0] == planted_a && top_two[1] == planted_b) ||
+       (top_two[0] == planted_b && top_two[1] == planted_a));
+  h.Check("planted_subspaces_rank_first", planted_first,
+          "the two best-ranked 2-D subspaces must be {0,1} and {2,3}");
 
   // mSC-style check (slide 90): the HSIC dependence between the two
   // planted views is low, and within a view it is high — the signal that
@@ -50,13 +75,21 @@ int main() {
   const Matrix view1 = ds->data().SelectColumns({2, 3});
   const Matrix half0 = ds->data().SelectColumns({0});
   const Matrix half1 = ds->data().SelectColumns({1});
+  const double hsic_across = Hsic(view0, view1).value();
+  const double hsic_within = Hsic(half0, half1).value();
   std::printf("\nHSIC dependence (slide 90, mSC):\n");
   std::printf("  between planted views {0,1} vs {2,3}:   %.5f\n",
-              Hsic(view0, view1).value());
+              hsic_across);
   std::printf("  within a view, dim {0} vs dim {1}:      %.5f\n",
-              Hsic(half0, half1).value());
+              hsic_within);
+  h.Scalar("hsic_across_views", hsic_across,
+           bench::ValueOptions::Tolerance(1e-6));
+  h.Scalar("hsic_within_view", hsic_within,
+           bench::ValueOptions::Tolerance(1e-6));
+  h.Check("hsic_separates_views", hsic_within > 10.0 * hsic_across,
+          "within-view dependence must far exceed across-view dependence");
   std::printf("\nexpected shape: planted 2-D subspaces rank first with high"
               " interest; noise\npairs rank last; HSIC within a view far"
               " exceeds HSIC across views.\n");
-  return 0;
+  return h.Finish();
 }

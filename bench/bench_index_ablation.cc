@@ -7,6 +7,7 @@
 #include "cluster/dbscan.h"
 #include "cluster/grid_index.h"
 #include "data/generators.h"
+#include "harness.h"
 
 using namespace multiclust;
 
@@ -19,12 +20,26 @@ double Ms(std::chrono::steady_clock::time_point a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("bench_index_ablation",
+                   "A3: grid-index vs brute-force range queries");
+  if (!h.ParseArgs(&argc, argv)) return h.ExitCode();
+
   std::printf("A3: grid-index vs brute-force range queries (2-D blobs,"
               " eps = 0.8)\n\n");
   std::printf("%8s %14s %14s %10s %10s\n", "n", "brute(ms)", "indexed(ms)",
               "speedup", "cells");
-  for (size_t n : {250, 500, 1000, 2000, 4000}) {
+  bench::Series* brute_series =
+      h.AddSeries("brute_ms", "n", "ms", bench::ValueOptions::Timing());
+  bench::Series* indexed_series =
+      h.AddSeries("indexed_ms", "n", "ms", bench::ValueOptions::Timing());
+  bench::Series* cells_series = h.AddSeries("grid_cells", "n", "cells");
+  const std::vector<size_t> sizes =
+      h.quick() ? std::vector<size_t>{250, 500, 1000}
+                : std::vector<size_t>{250, 500, 1000, 2000, 4000};
+  bool neighborhoods_identical = true;
+  double largest_speedup = 0.0;
+  for (size_t n : sizes) {
     auto ds = MakeBlobs({{{0, 0}, 1.5, n / 2}, {{12, 12}, 1.5, n - n / 2}},
                         n);
     if (!ds.ok()) continue;
@@ -42,19 +57,35 @@ int main() {
     for (size_t i = 0; i < brute.size(); i += brute.size() / 7 + 1) {
       if (brute[i].size() != (*indexed)[i].size()) {
         std::printf("MISMATCH at object %zu!\n", i);
-        return 1;
+        neighborhoods_identical = false;
       }
       ++checked;
     }
     (void)checked;
 
     auto index = GridIndex::Build(ds->data(), eps);
+    const double speedup = Ms(t0, t1) / std::max(Ms(t1, t2), 1e-3);
     std::printf("%8zu %14.1f %14.1f %9.1fx %10zu\n", n, Ms(t0, t1),
-                Ms(t1, t2), Ms(t0, t1) / std::max(Ms(t1, t2), 1e-3),
+                Ms(t1, t2), speedup,
                 index.ok() ? index->num_cells() : 0);
+    brute_series->Add(static_cast<double>(n), Ms(t0, t1));
+    indexed_series->Add(static_cast<double>(n), Ms(t1, t2));
+    cells_series->Add(static_cast<double>(n),
+                      index.ok() ? static_cast<double>(index->num_cells())
+                                 : 0.0);
+    largest_speedup = std::max(largest_speedup, speedup);
   }
+  bench::ValueOptions speedup_opts;
+  speedup_opts.unit = "x";
+  speedup_opts.timing = true;  // derived from wall-clock: warn-only in diffs
+  h.Scalar("largest_speedup", largest_speedup, speedup_opts);
+  h.Check("neighborhoods_identical", neighborhoods_identical,
+          "indexed and brute-force neighbourhoods must agree exactly");
+  h.WarnCheck("index_speeds_up_largest_n", largest_speedup > 1.0,
+              "the grid index should beat brute force at the largest n "
+              "(host-dependent)");
   std::printf("\nexpected shape: the brute-force cost grows quadratically,"
               " the indexed cost\nnear-linearly; identical neighbourhoods"
               " either way.\n");
-  return 0;
+  return h.Finish();
 }

@@ -5,11 +5,15 @@
 
 #include "cluster/kmeans.h"
 #include "data/generators.h"
+#include "harness.h"
 #include "metrics/partition_similarity.h"
 
 using namespace multiclust;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("bench_kmeans_ablation", "A1: k-means seeding ablation");
+  if (!h.ParseArgs(&argc, argv)) return h.ExitCode();
+
   // The classic k-means++ showcase: many well-separated clusters, where
   // uniform seeding routinely drops whole clusters.
   std::vector<BlobSpec> blobs;
@@ -24,10 +28,17 @@ int main() {
   std::printf("A1: k-means seeding ablation\n\n");
   std::printf("%10s %10s | %12s %12s\n", "init", "restarts", "mean SSE",
               "mean ARI");
+  bench::Table* table = h.AddTable(
+      "seeding", {"init", "restarts", "mean_sse", "mean_ari"},
+      bench::ValueOptions::Tolerance(1e-6));
+  // mean SSE per restart budget, [0]=random, [1]=kmeans++.
+  double mean_sse[2][3] = {{0}};
+  const std::vector<size_t> restart_budgets = {1, 5, 20};
+  const int kTrials = h.quick() ? 5 : 10;
   for (const bool plus_plus : {false, true}) {
-    for (size_t restarts : {1, 5, 20}) {
+    for (size_t b = 0; b < restart_budgets.size(); ++b) {
+      const size_t restarts = restart_budgets[b];
       double sse = 0.0, ari = 0.0;
-      const int kTrials = 10;
       for (int t = 0; t < kTrials; ++t) {
         KMeansOptions opts;
         opts.k = 9;
@@ -38,13 +49,27 @@ int main() {
         sse += c->quality;
         ari += AdjustedRandIndex(c->labels, truth).value();
       }
+      sse /= kTrials;
+      ari /= kTrials;
       std::printf("%10s %10zu | %12.1f %12.3f\n",
-                  plus_plus ? "kmeans++" : "random", restarts,
-                  sse / kTrials, ari / kTrials);
+                  plus_plus ? "kmeans++" : "random", restarts, sse, ari);
+      table->Row();
+      table->TextCell(plus_plus ? "kmeans++" : "random");
+      table->Cell(static_cast<double>(restarts));
+      table->Cell(sse);
+      table->Cell(ari);
+      mean_sse[plus_plus ? 1 : 0][b] = sse;
     }
   }
+  h.Check("plus_plus_dominates_random",
+          mean_sse[1][0] < mean_sse[0][0] && mean_sse[1][1] < mean_sse[0][1] &&
+              mean_sse[1][2] <= mean_sse[0][2] + 1e-6,
+          "kmeans++ must match or beat random seeding at every budget");
+  h.Check("one_plus_plus_restart_beats_five_random",
+          mean_sse[1][0] < mean_sse[0][1],
+          "the justification for the plus_plus_init=true default");
   std::printf("\nexpected shape: kmeans++ dominates random seeding at every"
               " restart budget;\nextra restarts shrink the gap but never"
               " invert it.\n");
-  return 0;
+  return h.Finish();
 }

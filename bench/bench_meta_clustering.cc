@@ -6,17 +6,22 @@
 
 #include "altspace/meta_clustering.h"
 #include "data/generators.h"
+#include "harness.h"
 #include "metrics/multi_solution.h"
 
 using namespace multiclust;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("bench_meta_clustering",
+                   "E14: meta clustering, blind vs diversified generation");
+  if (!h.ParseArgs(&argc, argv)) return h.ExitCode();
+
   // A dominant view (wide spread) plus a weak alternative view: blind
   // k-means restarts all fall into the dominant basin.
   std::vector<ViewSpec> views(2);
   views[0] = {2, 2, 26.0, 0.8, "dominant"};
   views[1] = {2, 2, 5.5, 0.8, "weak"};
-  auto ds = MakeMultiView(160, views, 0, 81);
+  auto ds = MakeMultiView(h.quick() ? 120 : 160, views, 0, 81);
   const auto horizontal = ds->GroundTruth("dominant").value();
   const auto vertical = ds->GroundTruth("weak").value();
 
@@ -26,9 +31,11 @@ int main() {
               " view\n\n");
   std::printf("%14s | %14s %14s | %10s\n", "generation", "base diversity",
               "min pair diss", "recovery");
+  double blind_diversity = 0.0, blind_recovery = 0.0;
+  double div_diversity = 0.0, div_recovery = 0.0;
   for (const bool diversified : {false, true}) {
     MetaClusteringOptions opts;
-    opts.num_base = 30;
+    opts.num_base = h.quick() ? 15 : 30;
     opts.k = 2;
     opts.meta_k = 4;
     opts.feature_weighting = diversified;
@@ -40,15 +47,37 @@ int main() {
     for (const auto& c : r->base) base_labels.push_back(c.labels);
     auto match = MatchSolutionsToTruths({horizontal, vertical},
                                         r->representatives.Labels());
+    const double diversity = MeanPairwiseDissimilarity(base_labels).value();
     std::printf("%14s | %14.3f %14.3f | %10.3f\n",
-                diversified ? "diversified" : "blind",
-                MeanPairwiseDissimilarity(base_labels).value(),
+                diversified ? "diversified" : "blind", diversity,
                 MinPairwiseDissimilarity(base_labels).value(),
                 match->mean_recovery);
+    if (diversified) {
+      div_diversity = diversity;
+      div_recovery = match->mean_recovery;
+    } else {
+      blind_diversity = diversity;
+      blind_recovery = match->mean_recovery;
+    }
   }
+  h.Scalar("blind_diversity", blind_diversity,
+           bench::ValueOptions::Tolerance(1e-6));
+  h.Scalar("blind_recovery", blind_recovery,
+           bench::ValueOptions::Tolerance(1e-6));
+  h.Scalar("diversified_diversity", div_diversity,
+           bench::ValueOptions::Tolerance(1e-6));
+  h.Scalar("diversified_recovery", div_recovery,
+           bench::ValueOptions::Tolerance(1e-6));
+  h.Check("blind_generation_misses_weak_view",
+          blind_diversity < 0.1 && blind_recovery < 0.7,
+          "blind restarts should collapse into the dominant basin");
+  h.Check("diversified_generation_recovers_both",
+          div_diversity > blind_diversity + 0.2 &&
+              div_recovery > blind_recovery + 0.2,
+          "feature weighting must raise both diversity and recovery");
   std::printf("\nexpected shape: blind restarts generate similar solutions"
               " (low diversity)\nand can miss one of the two planted"
               " splits; feature-weighted generation\nraises diversity and"
               " recovery.\n");
-  return 0;
+  return h.Finish();
 }

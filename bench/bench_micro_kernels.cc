@@ -1,12 +1,21 @@
 // Micro-benchmarks (google-benchmark) of the hot kernels underneath the
 // algorithms: pairwise distances, Jacobi eigendecomposition, one-sided
 // Jacobi SVD, a Lloyd iteration, dense-unit mining and kernel matrices.
+//
+// The harness flags (--json=PATH, --quick) are consumed before
+// benchmark::Initialize, so the usual --benchmark_* flags still work.
+// Every per-size timing lands in the JSON document as a timing scalar
+// (bench_diff warns, never fails, on those).
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "cluster/hierarchical.h"
 #include "cluster/kmeans.h"
 #include "common/rng.h"
 #include "data/generators.h"
+#include "harness.h"
 #include "linalg/decomposition.h"
 #include "stats/grid.h"
 #include "stats/hsic.h"
@@ -88,6 +97,78 @@ void BM_GaussianKernelMatrix(benchmark::State& state) {
 }
 BENCHMARK(BM_GaussianKernelMatrix)->Range(64, 512);
 
+double TimeUnitToMs(benchmark::TimeUnit unit) {
+  switch (unit) {
+    case benchmark::kNanosecond:
+      return 1e-6;
+    case benchmark::kMicrosecond:
+      return 1e-3;
+    case benchmark::kMillisecond:
+      return 1.0;
+    case benchmark::kSecond:
+      return 1e3;
+  }
+  return 1e-6;
+}
+
+// ConsoleReporter that additionally records every per-size iteration run
+// into the harness as a timing scalar (aggregates and BigO fits skipped).
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(bench::Harness* harness) : harness_(harness) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.report_big_o ||
+          run.report_rms) {
+        continue;
+      }
+      if (run.error_occurred) {
+        ++errors_;
+        continue;
+      }
+      harness_->Timing(run.benchmark_name() + "_ms",
+                       run.GetAdjustedRealTime() * TimeUnitToMs(run.time_unit));
+      ++recorded_;
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  size_t recorded() const { return recorded_; }
+  size_t errors() const { return errors_; }
+
+ private:
+  bench::Harness* harness_;
+  size_t recorded_ = 0;
+  size_t errors_ = 0;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Harness h("bench_micro_kernels",
+                   "micro-benchmarks of the hot kernels");
+  if (!h.ParseArgs(&argc, argv)) return h.ExitCode();
+
+  std::vector<char*> args(argv, argv + argc);
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (h.quick()) args.push_back(min_time.data());
+  args.push_back(nullptr);
+  int bench_argc = static_cast<int>(args.size()) - 1;
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+
+  CapturingReporter reporter(&h);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  // 2+3+3+1+3+2 registered (name, size) combinations — a registration
+  // that silently disappears should fail the diff, not just shrink it.
+  h.Scalar("benchmarks_recorded", static_cast<double>(reporter.recorded()));
+  h.Check("all_microbenchmarks_ran",
+          reporter.recorded() == 14 && reporter.errors() == 0,
+          "all 14 registered micro-benchmark cases must run without error");
+  return h.Finish();
+}

@@ -5,21 +5,27 @@
 // centroid methods cannot represent.
 #include <cmath>
 #include <cstdio>
+#include <set>
 #include <string>
 
 #include "common/rng.h"
 #include "data/generators.h"
+#include "harness.h"
 #include "metrics/multi_solution.h"
 #include "metrics/partition_similarity.h"
 #include "subspace/msc.h"
 
 using namespace multiclust;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("bench_msc",
+                   "E19: multiple spectral views via HSIC");
+  if (!h.ParseArgs(&argc, argv)) return h.ExitCode();
+
   // View 1 (dims 0-1): two concentric rings. View 2 (dims 2-3): two blobs.
   // Assignments are independent.
   Rng rng(41);
-  const size_t n = 200;
+  const size_t n = h.quick() ? 130 : 200;
   Matrix data(n, 4);
   std::vector<int> rings(n), blobs(n);
   for (size_t i = 0; i < n; ++i) {
@@ -51,15 +57,27 @@ int main() {
     std::fprintf(stderr, "mSC failed: %s\n", r.status().ToString().c_str());
     return 1;
   }
+  bench::Table* views_table = h.AddTable(
+      "views", {"dims", "nmi_rings", "nmi_blobs"},
+      bench::ValueOptions::Tolerance(1e-6));
+  std::set<std::set<size_t>> recovered_blocks;
+  double best_rings_nmi = 0.0;
   for (const auto& view : r->views) {
     std::string dims;
     for (size_t d : view.dims) dims += std::to_string(d) + " ";
+    const double nmi_rings =
+        NormalizedMutualInformation(view.clustering.labels, rings).value();
+    const double nmi_blobs =
+        NormalizedMutualInformation(view.clustering.labels, blobs).value();
     std::printf("view over dims { %s}: NMI(rings)=%.3f NMI(blobs)=%.3f\n",
-                dims.c_str(),
-                NormalizedMutualInformation(view.clustering.labels, rings)
-                    .value(),
-                NormalizedMutualInformation(view.clustering.labels, blobs)
-                    .value());
+                dims.c_str(), nmi_rings, nmi_blobs);
+    views_table->Row();
+    views_table->TextCell(dims);
+    views_table->Cell(nmi_rings);
+    views_table->Cell(nmi_blobs);
+    recovered_blocks.insert(
+        std::set<size_t>(view.dims.begin(), view.dims.end()));
+    best_rings_nmi = std::max(best_rings_nmi, nmi_rings);
   }
   auto match = MatchSolutionsToTruths({rings, blobs}, r->solutions.Labels());
   std::printf("\nrecovery of both planted views: %.3f\n",
@@ -72,9 +90,21 @@ int main() {
     }
     std::printf("\n");
   }
+  h.Scalar("mean_recovery", match->mean_recovery,
+           bench::ValueOptions::Tolerance(1e-6));
+  h.Scalar("best_rings_nmi", best_rings_nmi,
+           bench::ValueOptions::Tolerance(1e-6));
+  const bool blocks_exact =
+      recovered_blocks.count({0, 1}) == 1 && recovered_blocks.count({2, 3}) == 1;
+  h.Check("dimension_blocks_recovered", blocks_exact,
+          "HSIC must partition the dims into exactly {0,1} and {2,3}");
+  h.Check("nonconvex_view_clustered", best_rings_nmi > 0.95,
+          "the rings view must be solved — k-means-based methods cannot");
+  h.Check("both_views_recovered", match->mean_recovery > 0.95,
+          "both planted views must be recovered");
   std::printf("\nexpected shape: the dimension blocks {0,1} and {2,3} are"
               " recovered from the\nHSIC matrix (high within-view, ~0"
               " across), and the ring view is clustered\ncorrectly —"
               " something k-means-based multi-clusterers cannot do.\n");
-  return 0;
+  return h.Finish();
 }

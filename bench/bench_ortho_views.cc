@@ -5,13 +5,18 @@
 
 #include "cluster/kmeans.h"
 #include "data/generators.h"
+#include "harness.h"
 #include "metrics/multi_solution.h"
 #include "metrics/partition_similarity.h"
 #include "orthogonal/ortho_projection.h"
 
 using namespace multiclust;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("bench_ortho_views",
+                   "E6: orthogonal projection iteration");
+  if (!h.ParseArgs(&argc, argv)) return h.ExitCode();
+
   // Three independent planted views in 6 dimensions, with staggered
   // strengths: each clustering round locks onto the strongest remaining
   // factor, which the projection then removes (slide 57).
@@ -19,7 +24,7 @@ int main() {
   views[0] = {2, 2, 26.0, 0.7, "v0"};
   views[1] = {2, 2, 16.0, 0.7, "v1"};
   views[2] = {2, 2, 9.0, 0.7, "v2"};
-  auto ds = MakeMultiView(240, views, 0, 9);
+  auto ds = MakeMultiView(h.quick() ? 180 : 240, views, 0, 9);
   std::vector<std::vector<int>> truths = {ds->GroundTruth("v0").value(),
                                           ds->GroundTruth("v1").value(),
                                           ds->GroundTruth("v2").value()};
@@ -40,20 +45,45 @@ int main() {
 
   std::printf("%6s %18s %18s %18s %12s\n", "iter", "NMI(v0)", "NMI(v1)",
               "NMI(v2)", "residualVar");
+  bench::Series* residual = h.AddSeries(
+      "residual_variance", "iteration", "residual variance",
+      bench::ValueOptions::Tolerance(1e-6));
+  bench::Table* iters = h.AddTable(
+      "per_iteration_nmi", {"iteration", "nmi_v0", "nmi_v1", "nmi_v2"},
+      bench::ValueOptions::Tolerance(1e-6));
+  bool residual_monotone = true;
   for (size_t i = 0; i < r->views.size(); ++i) {
     const auto& labels = r->views[i].clustering.labels;
-    std::printf("%6zu %18.3f %18.3f %18.3f %12.4f\n", i,
-                NormalizedMutualInformation(labels, truths[0]).value(),
-                NormalizedMutualInformation(labels, truths[1]).value(),
-                NormalizedMutualInformation(labels, truths[2]).value(),
+    const double n0 = NormalizedMutualInformation(labels, truths[0]).value();
+    const double n1 = NormalizedMutualInformation(labels, truths[1]).value();
+    const double n2 = NormalizedMutualInformation(labels, truths[2]).value();
+    std::printf("%6zu %18.3f %18.3f %18.3f %12.4f\n", i, n0, n1, n2,
                 r->views[i].residual_variance);
+    residual->Add(static_cast<double>(i), r->views[i].residual_variance);
+    iters->Row();
+    iters->Cell(static_cast<double>(i));
+    iters->Cell(n0);
+    iters->Cell(n1);
+    iters->Cell(n2);
+    if (i > 0 && r->views[i].residual_variance >
+                     r->views[i - 1].residual_variance + 1e-9) {
+      residual_monotone = false;
+    }
   }
   auto match = MatchSolutionsToTruths(truths, r->solutions.Labels());
   std::printf("\nviews extracted: %zu; matched recovery of the 3 planted"
               " views: %.3f\n",
               r->views.size(), match->mean_recovery);
+  h.Scalar("views_extracted", static_cast<double>(r->views.size()));
+  h.Scalar("mean_recovery", match->mean_recovery,
+           bench::ValueOptions::Tolerance(1e-6));
+  h.Check("one_view_per_round_all_recovered",
+          r->views.size() == truths.size() && match->mean_recovery > 0.95,
+          "iteration should stop after exactly 3 views, recovering each");
+  h.Check("residual_variance_decreases", residual_monotone,
+          "removing an explanatory subspace must not add variance back");
   std::printf("expected shape: each iteration aligns with a different"
               " planted view, the\nresidual variance drops monotonically,"
               " and iteration stops on its own.\n");
-  return 0;
+  return h.Finish();
 }

@@ -4,17 +4,22 @@
 #include <cstdio>
 
 #include "data/generators.h"
+#include "harness.h"
 #include "subspace/asclu.h"
 #include "subspace/clique.h"
 #include "subspace/osclu.h"
 
 using namespace multiclust;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("bench_osclu",
+                   "E9: OSCLU / ASCLU orthogonal concepts");
+  if (!h.ParseArgs(&argc, argv)) return h.ExitCode();
+
   std::vector<ViewSpec> views(2);
   views[0] = {2, 2, 10.0, 0.6, ""};
   views[1] = {2, 3, 10.0, 0.6, ""};
-  auto ds = MakeMultiView(300, views, 1, 41);
+  auto ds = MakeMultiView(h.quick() ? 200 : 300, views, 1, 41);
   const auto v0 = ds->GroundTruth("view0").value();
   const auto v1 = ds->GroundTruth("view1").value();
 
@@ -27,23 +32,49 @@ int main() {
   std::printf("E9: OSCLU / ASCLU orthogonal concepts (slides 80-87)\n");
   std::printf("candidates from CLIQUE: %zu clusters in %zu subspaces\n\n",
               all->clusters.size(), all->NumSubspaces());
+  h.Scalar("clique_candidates", static_cast<double>(all->clusters.size()));
+  h.Scalar("clique_subspaces", static_cast<double>(all->NumSubspaces()));
 
   std::printf("OSCLU parameter sweep:\n%8s %8s | %9s %11s %10s %10s\n",
               "beta", "alpha", "#selected", "#subspaces", "F1(view0)",
               "F1(view1)");
-  for (double beta : {0.1, 0.5, 1.0}) {
-    for (double alpha : {0.2, 0.6, 0.95}) {
+  bench::Table* sweep = h.AddTable(
+      "osclu_sweep",
+      {"beta", "alpha", "selected", "subspaces", "f1_view0", "f1_view1"},
+      bench::ValueOptions::Tolerance(1e-6));
+  bool selection_small = true, both_views = true;
+  const std::vector<double> betas =
+      h.quick() ? std::vector<double>{0.5} : std::vector<double>{0.1, 0.5, 1.0};
+  const std::vector<double> alphas = h.quick()
+                                         ? std::vector<double>{0.2, 0.95}
+                                         : std::vector<double>{0.2, 0.6, 0.95};
+  for (double beta : betas) {
+    for (double alpha : alphas) {
       OscluOptions opts;
       opts.beta = beta;
       opts.alpha = alpha;
       auto sel = RunOsclu(*all, opts);
       if (!sel.ok()) continue;
+      const double f1_v0 = SubspacePairF1(*sel, v0).value();
+      const double f1_v1 = SubspacePairF1(*sel, v1).value();
       std::printf("%8.1f %8.2f | %9zu %11zu %10.3f %10.3f\n", beta, alpha,
-                  sel->clusters.size(), sel->NumSubspaces(),
-                  SubspacePairF1(*sel, v0).value(),
-                  SubspacePairF1(*sel, v1).value());
+                  sel->clusters.size(), sel->NumSubspaces(), f1_v0, f1_v1);
+      sweep->Row();
+      sweep->Cell(beta);
+      sweep->Cell(alpha);
+      sweep->Cell(static_cast<double>(sel->clusters.size()));
+      sweep->Cell(static_cast<double>(sel->NumSubspaces()));
+      sweep->Cell(f1_v0);
+      sweep->Cell(f1_v1);
+      selection_small =
+          selection_small && sel->clusters.size() < all->clusters.size();
+      both_views = both_views && f1_v0 > 0.2 && f1_v1 > 0.2;
     }
   }
+  h.Check("selection_is_proper_subset", selection_small,
+          "every (beta, alpha) selection must shrink the candidate set");
+  h.Check("both_views_represented", both_views,
+          "selected concepts must overlap both planted views");
 
   // ASCLU: given the clusters of view 0's subspace, mine alternatives.
   SubspaceClustering known;
@@ -71,6 +102,11 @@ int main() {
               " clusters\n  support mass touching view-0 dims: %zu;"
               " view-1 dims: %zu\n",
               known.clusters.size(), alt->clusters.size(), mass_v0, mass_v1);
+  h.Scalar("asclu_alternatives", static_cast<double>(alt->clusters.size()));
+  h.Scalar("asclu_mass_view0", static_cast<double>(mass_v0));
+  h.Scalar("asclu_mass_view1", static_cast<double>(mass_v1));
+  h.Check("asclu_avoids_known_view", mass_v1 > mass_v0,
+          "alternatives must concentrate support on the not-yet-known view");
   std::printf("\nexpected shape: the selection is a small orthogonal subset"
               " of the candidates\nwith both planted views represented."
               " On *cleanly* planted data the selection is\ninsensitive to"
@@ -79,5 +115,5 @@ int main() {
               " on overlapping\nstructures, which the osclu property tests"
               " cover. ASCLU's alternatives must\nconcentrate their support"
               " on the not-yet-known view.\n");
-  return 0;
+  return h.Finish();
 }

@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "data/generators.h"
+#include "harness.h"
 #include "metrics/partition_similarity.h"
 #include "subspace/doc.h"
 #include "subspace/orclus.h"
@@ -48,8 +49,13 @@ Workload MakeOriented(uint64_t seed) {
   return w;
 }
 
-void Evaluate(const char* workload, const Workload& w, size_t k,
-              size_t dims, size_t orclus_l) {
+struct AriTriple {
+  double proclus = -1.0, doc = -1.0, orclus = -1.0;
+};
+
+AriTriple Evaluate(bench::Table* table, const char* workload,
+                   const Workload& w, size_t k, size_t dims,
+                   size_t orclus_l) {
   ProclusOptions po;
   po.k = k;
   po.avg_dims = dims;
@@ -79,35 +85,59 @@ void Evaluate(const char* workload, const Workload& w, size_t k,
   oo.seed = 5;
   auto orclus = RunOrclus(w.data, oo);
 
+  AriTriple t;
+  if (proclus.ok()) {
+    t.proclus =
+        AdjustedRandIndex(proclus->clustering.labels, w.truth).value();
+  }
+  if (doc.ok()) t.doc = AdjustedRandIndex(doc_labels, w.truth).value();
+  if (orclus.ok()) {
+    t.orclus =
+        AdjustedRandIndex(orclus->clustering.labels, w.truth).value();
+  }
   std::printf("%-14s | PROCLUS ARI=%.3f | DOC ARI=%.3f | ORCLUS ARI=%.3f\n",
-              workload,
-              proclus.ok()
-                  ? AdjustedRandIndex(proclus->clustering.labels, w.truth)
-                        .value()
-                  : -1.0,
-              doc.ok() ? AdjustedRandIndex(doc_labels, w.truth).value()
-                       : -1.0,
-              orclus.ok()
-                  ? AdjustedRandIndex(orclus->clustering.labels, w.truth)
-                        .value()
-                  : -1.0);
+              workload, t.proclus, t.doc, t.orclus);
+  table->Row();
+  table->TextCell(workload);
+  table->Cell(t.proclus);
+  table->Cell(t.doc);
+  table->Cell(t.orclus);
+  return t;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("bench_projected",
+                   "E18: projected clustering, axis-parallel vs oriented");
+  if (!h.ParseArgs(&argc, argv)) return h.ExitCode();
+
   std::printf("E18: projected clustering — axis-parallel vs oriented"
               " (slide 66)\n\n");
+  bench::Table* table = h.AddTable(
+      "workloads", {"workload", "proclus_ari", "doc_ari", "orclus_ari"},
+      bench::ValueOptions::Tolerance(1e-6));
   // ORCLUS's l is set to the planted intrinsic dimensionality in each
   // case (3 for the axis-parallel blobs, 1 for the diagonal strips) — the
   // parameter the original paper also assumes is user-provided.
-  Evaluate("axis-parallel", MakeAxisParallel(31), 3, 3, 3);
-  Evaluate("axis-parallel", MakeAxisParallel(32), 3, 3, 3);
-  Evaluate("oriented", MakeOriented(33), 2, 2, 1);
-  Evaluate("oriented", MakeOriented(34), 2, 2, 1);
+  const AriTriple a1 =
+      Evaluate(table, "axis-parallel", MakeAxisParallel(31), 3, 3, 3);
+  if (!h.quick()) {
+    Evaluate(table, "axis-parallel", MakeAxisParallel(32), 3, 3, 3);
+  }
+  const AriTriple o1 = Evaluate(table, "oriented", MakeOriented(33), 2, 2, 1);
+  AriTriple o2 = o1;
+  if (!h.quick()) o2 = Evaluate(table, "oriented", MakeOriented(34), 2, 2, 1);
+  h.Check("all_handle_axis_parallel",
+          a1.proclus > 0.4 && a1.doc > 0.4 && a1.orclus > 0.9,
+          "every method must find usable structure on axis-parallel data");
+  h.Check("only_orclus_handles_oriented",
+          o1.orclus > 0.9 && o2.orclus > 0.9 && o1.proclus < 0.6 &&
+              o1.doc < 0.6,
+          "only eigen-derived subspaces separate the diagonal strips");
   std::printf("\nexpected shape: all three methods handle axis-parallel"
               " structure; on oriented\nclusters only ORCLUS's eigen-derived"
               " subspaces separate the strips — the\ngeneralisation the"
               " tutorial credits to Aggarwal & Yu 2000.\n");
-  return 0;
+  return h.Finish();
 }

@@ -5,30 +5,46 @@
 #include <cstdio>
 
 #include "data/generators.h"
+#include "harness.h"
 #include "stats/tails.h"
 #include "subspace/clique.h"
 #include "subspace/schism.h"
 
 using namespace multiclust;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("bench_schism_threshold",
+                   "E7: SCHISM adaptive threshold tau(s)");
+  if (!h.ParseArgs(&argc, argv)) return h.ExitCode();
+
   std::printf("E7: SCHISM adaptive threshold tau(s) (slide 73)\n\n");
   std::printf("threshold fraction per subspace dimensionality s"
               " (n = 1000, xi = 10):\n");
   std::printf("%4s", "s");
   for (size_t s = 1; s <= 10; ++s) std::printf(" %8zu", s);
   std::printf("\n%4s", "tau");
+  bench::Series* tau_series = h.AddSeries(
+      "tau_of_s", "s", "threshold fraction",
+      bench::ValueOptions::Tolerance(1e-9));
+  bool tau_decreasing = true;
+  double prev_tau = 1.0;
   for (size_t s = 1; s <= 10; ++s) {
-    std::printf(" %8.4f", SchismThresholdFraction(s, 10, 1000, 0.05));
+    const double tau = SchismThresholdFraction(s, 10, 1000, 0.05);
+    std::printf(" %8.4f", tau);
+    tau_series->Add(static_cast<double>(s), tau);
+    if (tau > prev_tau + 1e-12) tau_decreasing = false;
+    prev_tau = tau;
   }
   std::printf("\nfixed CLIQUE threshold for comparison:        "
               " 0.1000 at every s\n\n");
+  h.Check("tau_monotone_decreasing", tau_decreasing,
+          "tau(s) must decrease towards the Hoeffding slack term");
 
   // Effect on mining: planted clusters in 2-D and 3-D subspaces.
   std::vector<ViewSpec> views(2);
   views[0] = {2, 2, 10.0, 0.6, ""};
   views[1] = {3, 3, 10.0, 0.6, ""};
-  auto ds = MakeMultiView(400, views, 1, 21);
+  auto ds = MakeMultiView(h.quick() ? 300 : 400, views, 1, 21);
 
   auto count_by_dim = [](const SubspaceClustering& sc, size_t max_d) {
     std::vector<size_t> counts(max_d + 1, 0);
@@ -58,8 +74,24 @@ int main() {
               cc[3]);
   std::printf("%18s %8zu %8zu %8zu\n", "SCHISM (adaptive)", cs[1], cs[2],
               cs[3]);
+  bench::Table* by_dim = h.AddTable(
+      "clusters_by_dimensionality", {"method", "d1", "d2", "d3"});
+  by_dim->Row();
+  by_dim->TextCell("clique_fixed");
+  by_dim->Cell(static_cast<double>(cc[1]));
+  by_dim->Cell(static_cast<double>(cc[2]));
+  by_dim->Cell(static_cast<double>(cc[3]));
+  by_dim->Row();
+  by_dim->TextCell("schism_adaptive");
+  by_dim->Cell(static_cast<double>(cs[1]));
+  by_dim->Cell(static_cast<double>(cs[2]));
+  by_dim->Cell(static_cast<double>(cs[3]));
+  h.Check("adaptive_keeps_multidim_clusters",
+          cs[2] > cc[2],
+          "SCHISM should keep multidimensional clusters fixed-tau CLIQUE "
+          "misses");
   std::printf("\nexpected shape: tau(s) decreases in s; the fixed CLIQUE"
               " threshold misses the\nhigher-dimensional planted clusters"
               " that SCHISM keeps.\n");
-  return 0;
+  return h.Finish();
 }

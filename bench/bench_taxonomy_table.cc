@@ -1,12 +1,43 @@
 // T1 (tutorial slide 116): the taxonomy comparison table, generated from
 // the AlgorithmTraits registry so code and documentation cannot drift.
 #include <cstdio>
+#include <set>
 
 #include "core/taxonomy.h"
+#include "harness.h"
 
-int main() {
+using namespace multiclust;
+
+int main(int argc, char** argv) {
+  bench::Harness h("bench_taxonomy_table",
+                   "T1: taxonomy of multiple-clustering approaches");
+  if (!h.ParseArgs(&argc, argv)) return h.ExitCode();
+
   std::printf("T1: taxonomy of multiple-clustering approaches "
               "(tutorial slide 116)\n\n%s",
-              multiclust::RenderTaxonomyTable().c_str());
-  return 0;
+              RenderTaxonomyTable().c_str());
+
+  const auto& registry = AlgorithmRegistry();
+  std::set<SearchSpace> paradigms;
+  std::set<std::string> names;
+  for (const AlgorithmTraits& traits : registry) {
+    paradigms.insert(traits.search_space);
+    names.insert(traits.name);
+  }
+  bench::Table* table = h.AddTable(
+      "registry", {"name", "search_space", "processing", "solutions"});
+  for (const AlgorithmTraits& traits : registry) {
+    table->Row();
+    table->TextCell(traits.name);
+    table->TextCell(ToString(traits.search_space));
+    table->TextCell(ToString(traits.processing));
+    table->TextCell(ToString(traits.solutions));
+  }
+  h.Scalar("algorithms", static_cast<double>(registry.size()));
+  h.Scalar("paradigms", static_cast<double>(paradigms.size()));
+  h.Check("all_four_paradigms_present", paradigms.size() == 4,
+          "the registry must span all four search-space paradigms");
+  h.Check("names_unique", names.size() == registry.size(),
+          "duplicate algorithm names would corrupt the table");
+  return h.Finish();
 }

@@ -9,12 +9,17 @@
 #include "altspace/dec_kmeans.h"
 #include "cluster/kmeans.h"
 #include "data/generators.h"
+#include "harness.h"
 #include "metrics/multi_solution.h"
 #include "metrics/partition_similarity.h"
 
 using namespace multiclust;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness h("bench_toy_alternatives",
+                   "E1: multiple clusterings on the four-squares toy");
+  if (!h.ParseArgs(&argc, argv)) return h.ExitCode();
+
   auto ds = MakeFourSquares(50, 10.0, 0.8, 1);
   const auto horizontal = ds->GroundTruth("horizontal").value();
   const auto vertical = ds->GroundTruth("vertical").value();
@@ -22,10 +27,12 @@ int main() {
   std::printf("E1: multiple clusterings on the four-squares toy "
               "(slide 26)\n\n");
 
-  // 30 independent k-means runs: which split does each find?
-  std::printf("k-means over 30 random restarts (one solution per run):\n");
+  // Independent k-means runs: which split does each find?
+  const uint64_t kRestarts = h.quick() ? 10 : 30;
+  std::printf("k-means over %llu random restarts (one solution per run):\n",
+              static_cast<unsigned long long>(kRestarts));
   size_t found_h = 0, found_v = 0, found_other = 0;
-  for (uint64_t seed = 0; seed < 30; ++seed) {
+  for (uint64_t seed = 0; seed < kRestarts; ++seed) {
     KMeansOptions km;
     km.k = 2;
     km.plus_plus_init = false;
@@ -48,12 +55,30 @@ int main() {
               found_h, found_v, found_other);
   std::printf("  -> each run yields ONE of the valid groupings;"
               " the user never sees both together\n\n");
+  h.Scalar("kmeans_found_horizontal", static_cast<double>(found_h));
+  h.Scalar("kmeans_found_vertical", static_cast<double>(found_v));
+  h.Scalar("kmeans_found_other", static_cast<double>(found_other));
+  h.Check("kmeans_commits_to_one_split", found_h > 0 && found_v > 0,
+          "restarts should land on both valid splits across runs");
 
+  bench::Table* methods = h.AddTable(
+      "methods", {"method", "solutions", "diversity", "recovery"},
+      bench::ValueOptions::Tolerance(1e-6));
   auto report = [&](const char* name, const SolutionSet& set) {
     auto match =
         MatchSolutionsToTruths({horizontal, vertical}, set.Labels());
+    const double diversity = set.Diversity().value();
     std::printf("%-22s solutions=%zu  diversity=%.3f  recovery=%.3f\n", name,
-                set.size(), set.Diversity().value(), match->mean_recovery);
+                set.size(), diversity, match->mean_recovery);
+    methods->Row();
+    methods->TextCell(name);
+    methods->Cell(static_cast<double>(set.size()));
+    methods->Cell(diversity);
+    methods->Cell(match->mean_recovery);
+    h.Check(std::string(name) + "_recovers_both_truths",
+            set.size() == 2 && diversity > 0.95 &&
+                match->mean_recovery > 0.95,
+            "expected a 2-solution set with diversity ~1 and recovery ~1");
   };
 
   DecKMeansOptions dk;
@@ -87,5 +112,5 @@ int main() {
 
   std::printf("\nexpected shape: recovery ~1.0 and diversity ~1.0 for the"
               " multi-solution methods.\n");
-  return 0;
+  return h.Finish();
 }

@@ -10,12 +10,19 @@
 //     --seed=S                               (default 1)
 //     --out=path.csv                         (default: print summary only)
 //     --label-column=NAME                    (drop this column from data)
+//     --report-json=path.json                (write the machine-readable run
+//                                             report: solutions, objective,
+//                                             attempt diagnostics, metrics
+//                                             and span summary — see
+//                                             DESIGN.md "Report schema")
 //
 // With no arguments, runs a self-demo on the generated customer scenario.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "multiclust.h"
 
 using namespace multiclust;
@@ -41,6 +48,7 @@ int main(int argc, char** argv) {
   std::string input;
   std::string out;
   std::string label_column;
+  std::string report_json;
   DiscoveryOptions options;
   std::string strategy = "deckm";
 
@@ -59,6 +67,8 @@ int main(int argc, char** argv) {
       out = value;
     } else if (ParseFlag(arg, "label-column", &value)) {
       label_column = value;
+    } else if (ParseFlag(arg, "report-json", &value)) {
+      report_json = value;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
@@ -98,6 +108,15 @@ int main(int argc, char** argv) {
   std::printf("data: %zu objects x %zu attributes\n", dataset.num_objects(),
               dataset.num_dims());
 
+  // Arm the observability layer for the run when a report was requested so
+  // the artifact carries the span summary and metrics snapshot (no-ops when
+  // compiled out).
+  if (!report_json.empty() && trace::kCompiledIn) {
+    trace::Reset();
+    metrics::Reset();
+    trace::Enable();
+  }
+
   auto report = DiscoverMultipleClusterings(dataset.data(), options);
   if (!report.ok()) return Fail(report.status());
 
@@ -122,6 +141,13 @@ int main(int argc, char** argv) {
     if (!st.ok()) return Fail(st);
     std::printf("wrote %s with %zu solution columns\n", out.c_str(),
                 report->solutions.size());
+  }
+
+  if (!report_json.empty()) {
+    Status st = WriteDiscoveryReport(report_json, *report);
+    if (trace::kCompiledIn) trace::Disable();
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote run report to %s\n", report_json.c_str());
   }
   return 0;
 }

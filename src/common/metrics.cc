@@ -8,6 +8,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/json.h"
+
 namespace multiclust {
 namespace metrics {
 
@@ -138,6 +140,93 @@ std::vector<MetricRow> Snapshot() {
               return a.name < b.name;
             });
   return rows;
+}
+
+std::string MetricsJson() {
+  // Collect name-sorted entries first so the document is deterministic
+  // regardless of shard hashing; serialize typed values (Snapshot() only
+  // carries pre-rendered strings).
+  struct Entry {
+    std::string name;
+    enum { kCounter, kGauge, kHistogram } kind;
+    uint64_t count = 0;
+    double gauge = 0.0;
+    std::vector<double> bounds;
+    std::vector<uint64_t> bucket_counts;
+  };
+  std::vector<Entry> entries;
+  Shard* shards = Shards();
+  for (size_t s = 0; s < kShards; ++s) {
+    std::lock_guard<std::mutex> lock(shards[s].mu);
+    for (const auto& [name, c] : shards[s].counters) {
+      Entry e;
+      e.name = name;
+      e.kind = Entry::kCounter;
+      e.count = c->value();
+      entries.push_back(std::move(e));
+    }
+    for (const auto& [name, g] : shards[s].gauges) {
+      Entry e;
+      e.name = name;
+      e.kind = Entry::kGauge;
+      e.gauge = g->value();
+      entries.push_back(std::move(e));
+    }
+    for (const auto& [name, h] : shards[s].histograms) {
+      Entry e;
+      e.name = name;
+      e.kind = Entry::kHistogram;
+      e.bounds = h->bounds();
+      e.bucket_counts = h->bucket_counts();
+      entries.push_back(std::move(e));
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.name < b.name; });
+
+  json::Writer w;
+  w.BeginArray();
+  for (const Entry& e : entries) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(e.name);
+    switch (e.kind) {
+      case Entry::kCounter:
+        w.Key("kind");
+        w.String("counter");
+        w.Key("value");
+        w.Uint(e.count);
+        break;
+      case Entry::kGauge:
+        w.Key("kind");
+        w.String("gauge");
+        w.Key("value");
+        w.Double(e.gauge);
+        break;
+      case Entry::kHistogram: {
+        w.Key("kind");
+        w.String("histogram");
+        w.Key("bounds");
+        w.BeginArray();
+        for (const double b : e.bounds) w.Double(b);
+        w.EndArray();
+        w.Key("counts");
+        w.BeginArray();
+        uint64_t total = 0;
+        for (const uint64_t c : e.bucket_counts) {
+          w.Uint(c);
+          total += c;
+        }
+        w.EndArray();
+        w.Key("total");
+        w.Uint(total);
+        break;
+      }
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  return std::move(w).str();
 }
 
 std::string SummaryString() {

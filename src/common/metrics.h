@@ -100,6 +100,16 @@ std::vector<MetricRow> Snapshot();
 /// Human-readable table of Snapshot().
 std::string SummaryString();
 
+/// Machine-readable registry dump: a JSON array sorted by name, with typed
+/// values (counters as integers, gauges as round-trippable doubles,
+/// histograms as bounds + bucket counts):
+///   [{"name":"cluster.kmeans.iterations","kind":"counter","value":42},
+///    {"name":"...","kind":"gauge","value":1.5},
+///    {"name":"...","kind":"histogram",
+///     "bounds":[1,10],"counts":[2,1,0],"total":3}]
+/// Embedded verbatim in the report artifact (common/report.h).
+std::string MetricsJson();
+
 #else  // !MULTICLUST_TRACING — zero-cost stubs, no symbols in the library.
 
 inline constexpr bool kCompiledIn = false;
@@ -146,6 +156,7 @@ inline std::vector<MetricRow> Snapshot() { return {}; }
 inline std::string SummaryString() {
   return "metrics: compiled out (-DMULTICLUST_TRACING=OFF)\n";
 }
+inline std::string MetricsJson() { return "[]"; }
 
 #endif  // MULTICLUST_TRACING
 

@@ -1,0 +1,212 @@
+#include "common/report.h"
+
+#include <cstdio>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "core/pipeline.h"
+
+namespace multiclust {
+
+void AppendConvergencePoint(const ConvergencePoint& point, json::Writer* w) {
+  w->BeginObject();
+  w->Key("restart");
+  w->Uint(point.restart);
+  w->Key("iteration");
+  w->Uint(point.iteration);
+  w->Key("objective");
+  w->Double(point.objective);
+  w->Key("delta");
+  w->Double(point.delta);
+  w->Key("reseeds");
+  w->Uint(point.reseeds);
+  w->Key("budget_remaining_ms");
+  w->Double(point.budget_remaining_ms);
+  w->EndObject();
+}
+
+void AppendConvergenceTrace(const ConvergenceTrace& trace, bool with_points,
+                            json::Writer* w) {
+  w->BeginObject();
+  w->Key("winning_restart");
+  w->Uint(trace.winning_restart);
+  w->Key("num_points");
+  w->Uint(trace.points.size());
+  if (with_points) {
+    w->Key("points");
+    w->BeginArray();
+    for (const ConvergencePoint& point : trace.points) {
+      AppendConvergencePoint(point, w);
+    }
+    w->EndArray();
+  }
+  w->EndObject();
+}
+
+void AppendRunDiagnostics(const RunDiagnostics& diagnostics, bool with_points,
+                          json::Writer* w) {
+  w->BeginObject();
+  w->Key("algorithm");
+  w->String(diagnostics.algorithm);
+  w->Key("iterations");
+  w->Uint(diagnostics.iterations);
+  w->Key("converged");
+  w->Bool(diagnostics.converged);
+  w->Key("stop_reason");
+  w->String(StopReasonToString(diagnostics.stop_reason));
+  w->Key("retries");
+  w->Uint(diagnostics.retries);
+  w->Key("elapsed_ms");
+  w->Double(diagnostics.elapsed_ms);
+  w->Key("note");
+  w->String(diagnostics.note);
+  w->Key("trace");
+  AppendConvergenceTrace(diagnostics.trace, with_points, w);
+  w->EndObject();
+}
+
+void AppendObjectiveReport(const ObjectiveReport& objective, json::Writer* w) {
+  w->BeginObject();
+  w->Key("qualities");
+  w->BeginArray();
+  for (const double q : objective.qualities) w->Double(q);
+  w->EndArray();
+  w->Key("mean_quality");
+  w->Double(objective.mean_quality);
+  w->Key("mean_dissimilarity");
+  w->Double(objective.mean_dissimilarity);
+  w->Key("min_dissimilarity");
+  w->Double(objective.min_dissimilarity);
+  w->Key("combined");
+  w->Double(objective.combined);
+  w->EndObject();
+}
+
+void AppendSolutionSet(const SolutionSet& set, bool with_labels,
+                       json::Writer* w) {
+  w->BeginArray();
+  for (size_t s = 0; s < set.size(); ++s) {
+    const Clustering& solution = set.at(s);
+    w->BeginObject();
+    w->Key("algorithm");
+    w->String(solution.algorithm);
+    w->Key("num_clusters");
+    w->Uint(solution.NumClusters());
+    w->Key("quality");
+    w->Double(solution.quality);  // NaN (unset) serializes as null
+    w->Key("iterations");
+    w->Uint(solution.iterations);
+    w->Key("converged");
+    w->Bool(solution.converged);
+    w->Key("num_objects");
+    w->Uint(solution.labels.size());
+    if (with_labels) {
+      w->Key("labels");
+      w->BeginArray();
+      for (const int label : solution.labels) w->Int(label);
+      w->EndArray();
+    }
+    w->EndObject();
+  }
+  w->EndArray();
+}
+
+void AppendDiscoveryReport(const DiscoveryReport& report,
+                           const ReportJsonOptions& options, json::Writer* w) {
+  w->BeginObject();
+  w->Key("strategy");
+  w->String(report.strategy_name);
+  w->Key("chosen_k");
+  w->Uint(report.chosen_k);
+  w->Key("degraded");
+  w->Bool(report.degraded);
+  w->Key("warnings");
+  w->BeginArray();
+  for (const std::string& warning : report.warnings) w->String(warning);
+  w->EndArray();
+  w->Key("objective");
+  AppendObjectiveReport(report.objective, w);
+  w->Key("solutions");
+  AppendSolutionSet(report.solutions, options.include_labels, w);
+  w->Key("attempts");
+  w->BeginArray();
+  for (const RunDiagnostics& attempt : report.attempts) {
+    AppendRunDiagnostics(attempt, options.include_trace_points, w);
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+std::string DiscoveryReportJson(const DiscoveryReport& report,
+                                const ReportJsonOptions& options) {
+  json::Writer w;
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Int(kReportSchemaVersion);
+  w.Key("kind");
+  w.String("multiclust.discovery_report");
+  w.Key("report");
+  AppendDiscoveryReport(report, options, &w);
+  // Observability snapshots. Preprocessor-guarded (not a runtime check) so
+  // a -DMULTICLUST_TRACING=OFF library contains no trace/metrics symbols
+  // (the CI nm check) — the stub calls would otherwise leave weak inline
+  // definitions in libmulticlust.
+  w.Key("metrics");
+#if defined(MULTICLUST_TRACING)
+  if (options.include_metrics) {
+    w.Raw(metrics::MetricsJson());
+  } else {
+    w.BeginArray();
+    w.EndArray();
+  }
+#else
+  w.BeginArray();
+  w.EndArray();
+#endif
+  w.Key("spans");
+  w.BeginArray();
+#if defined(MULTICLUST_TRACING)
+  if (options.include_spans) {
+    for (const trace::SpanStats& span : trace::Summary()) {
+      w.BeginObject();
+      w.Key("name");
+      w.String(span.name);
+      w.Key("count");
+      w.Uint(span.count);
+      w.Key("total_ms");
+      w.Double(span.total_ms);
+      w.Key("mean_ms");
+      w.Double(span.mean_ms);
+      w.Key("max_ms");
+      w.Double(span.max_ms);
+      w.EndObject();
+    }
+  }
+#endif
+  w.EndArray();
+  w.EndObject();
+  std::string out = std::move(w).str();
+  out += '\n';
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int close_err = std::fclose(f);
+  if (written != content.size() || close_err != 0) {
+    return Status::IoError("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status WriteDiscoveryReport(const std::string& path,
+                            const DiscoveryReport& report,
+                            const ReportJsonOptions& options) {
+  return WriteStringToFile(path, DiscoveryReportJson(report, options));
+}
+
+}  // namespace multiclust

@@ -1,0 +1,96 @@
+#ifndef MULTICLUST_COMMON_REPORT_H_
+#define MULTICLUST_COMMON_REPORT_H_
+
+#include <string>
+
+#include "common/json.h"
+#include "common/runguard.h"
+#include "common/status.h"
+
+namespace multiclust {
+
+struct DiscoveryReport;
+struct ObjectiveReport;
+class SolutionSet;
+
+/// Versioned JSON serialization of run outcomes — the durable export layer
+/// on top of the telemetry the pipeline and run-guard subsystems already
+/// collect. One artifact captures everything needed to audit a run after
+/// the fact: the solutions and their objective scores, every strategy
+/// attempt's RunDiagnostics (including the per-iteration ConvergenceTrace),
+/// the metrics-registry snapshot and the span-summary table.
+///
+/// Schema stability policy (see DESIGN.md "Report schema"): every document
+/// carries `schema_version` and a `kind` discriminator. Additive changes
+/// (new fields) do not bump the version — readers must ignore unknown
+/// fields; renames/removals/semantic changes do. Documents written by an
+/// old library version stay parseable by design: the writer never reuses a
+/// field name with a different meaning within one version.
+inline constexpr int kReportSchemaVersion = 1;
+
+/// Controls artifact size. The defaults archive everything; flip the
+/// include flags off for compact artifacts (e.g. labels for a million
+/// objects, or thousand-point convergence traces).
+struct ReportJsonOptions {
+  /// Per-solution label vectors (`solutions[i].labels`).
+  bool include_labels = true;
+  /// Per-iteration convergence points (`attempts[i].trace.points`);
+  /// the winning restart and scalar diagnostics are always kept.
+  bool include_trace_points = true;
+  /// Metrics-registry snapshot (metrics::MetricsJson()); empty array when
+  /// the registry is compiled out.
+  bool include_metrics = true;
+  /// Span-summary table (trace::Summary()); empty array when the tracer is
+  /// compiled out or was never enabled.
+  bool include_spans = true;
+};
+
+/// --- Embeddable fragments: append one JSON value to `w`. ---
+
+/// {"restart":..,"iteration":..,"objective":..,"delta":..,"reseeds":..,
+///  "budget_remaining_ms":..}
+void AppendConvergencePoint(const ConvergencePoint& point, json::Writer* w);
+
+/// {"winning_restart":..,"points":[...]}
+void AppendConvergenceTrace(const ConvergenceTrace& trace, bool with_points,
+                            json::Writer* w);
+
+/// {"algorithm":..,"iterations":..,"converged":..,"stop_reason":..,
+///  "retries":..,"elapsed_ms":..,"note":..,"trace":{...}}
+void AppendRunDiagnostics(const RunDiagnostics& diagnostics, bool with_points,
+                          json::Writer* w);
+
+/// {"qualities":[...],"mean_quality":..,"mean_dissimilarity":..,
+///  "min_dissimilarity":..,"combined":..}
+void AppendObjectiveReport(const ObjectiveReport& objective, json::Writer* w);
+
+/// [{"algorithm":..,"num_clusters":..,"quality":..,"iterations":..,
+///   "converged":..,"labels":[...]}, ...]
+void AppendSolutionSet(const SolutionSet& set, bool with_labels,
+                       json::Writer* w);
+
+/// The full DiscoveryReport as one JSON object (without the top-level
+/// schema envelope — use DiscoveryReportJson for a standalone document).
+void AppendDiscoveryReport(const DiscoveryReport& report,
+                           const ReportJsonOptions& options, json::Writer* w);
+
+/// --- Standalone artifacts. ---
+
+/// One self-describing document:
+///   {"schema_version":1,"kind":"multiclust.discovery_report",
+///    "report":{...},"metrics":[...],"spans":[...]}
+std::string DiscoveryReportJson(const DiscoveryReport& report,
+                                const ReportJsonOptions& options = {});
+
+/// Writes DiscoveryReportJson(report, options) to `path`.
+Status WriteDiscoveryReport(const std::string& path,
+                            const DiscoveryReport& report,
+                            const ReportJsonOptions& options = {});
+
+/// Writes a whole string to a file (shared by the report and harness
+/// writers; replaces the file atomically enough for single-writer use).
+Status WriteStringToFile(const std::string& path, const std::string& content);
+
+}  // namespace multiclust
+
+#endif  // MULTICLUST_COMMON_REPORT_H_

@@ -6,6 +6,8 @@
 /// times lower; this header exists for quick experiments and the examples.
 
 #include "common/fault.h"     // IWYU pragma: export
+#include "common/json.h"      // IWYU pragma: export
+#include "common/report.h"    // IWYU pragma: export
 #include "common/result.h"    // IWYU pragma: export
 #include "common/rng.h"       // IWYU pragma: export
 #include "common/runguard.h"  // IWYU pragma: export

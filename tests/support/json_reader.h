@@ -1,0 +1,53 @@
+#ifndef MULTICLUST_TESTS_SUPPORT_JSON_READER_H_
+#define MULTICLUST_TESTS_SUPPORT_JSON_READER_H_
+
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace multiclust {
+namespace test {
+
+/// Shared JSON assertions for the test binaries, built on the library's
+/// own strict parser (common/json.h) — the tests validate emitted
+/// documents with the exact reader the tooling (bench_diff, report
+/// loaders) uses, instead of each test hand-rolling a validator.
+
+/// True when `text` is one complete well-formed JSON document.
+inline bool IsValidJson(std::string_view text) {
+  return json::Parse(text).ok();
+}
+
+/// Parses `text`, registering a test failure (with the parser's byte-offset
+/// diagnostic) when it is malformed. Returns null on failure so callers can
+/// keep asserting on the result without crashing.
+inline json::Value ParseJsonOrFail(std::string_view text) {
+  auto parsed = json::Parse(text);
+  if (!parsed.ok()) {
+    ADD_FAILURE() << "invalid JSON: " << parsed.status().ToString()
+                  << "\ndocument: " << std::string(text.substr(0, 400));
+    return json::Value::MakeNull();
+  }
+  return *std::move(parsed);
+}
+
+/// Member lookup that registers a test failure when `obj` has no member
+/// `key`. Returns a null value on failure.
+inline const json::Value& FieldOrFail(const json::Value& obj,
+                                      std::string_view key) {
+  static const json::Value kNull;
+  const json::Value* found = obj.Find(key);
+  if (found == nullptr) {
+    ADD_FAILURE() << "missing JSON member '" << std::string(key) << "'";
+    return kNull;
+  }
+  return *found;
+}
+
+}  // namespace test
+}  // namespace multiclust
+
+#endif  // MULTICLUST_TESTS_SUPPORT_JSON_READER_H_

@@ -22,6 +22,7 @@
 #include "multiview/co_em.h"
 #include "subspace/orclus.h"
 #include "subspace/proclus.h"
+#include "support/json_reader.h"
 
 namespace multiclust {
 namespace {
@@ -33,134 +34,6 @@ Matrix TestData(uint64_t seed) {
   return MakeMultiView(120, views, 1, seed)->data();
 }
 
-// Minimal JSON validator (objects, arrays, strings, numbers, literals) —
-// enough to prove ChromeTraceJson() emits a well-formed document without
-// pulling in a JSON library.
-class JsonValidator {
- public:
-  explicit JsonValidator(const std::string& text) : s_(text) {}
-
-  bool Valid() {
-    SkipWs();
-    if (!Value()) return false;
-    SkipWs();
-    return pos_ == s_.size();
-  }
-
- private:
-  bool Value() {
-    if (pos_ >= s_.size()) return false;
-    switch (s_[pos_]) {
-      case '{':
-        return Object();
-      case '[':
-        return Array();
-      case '"':
-        return String();
-      case 't':
-        return Literal("true");
-      case 'f':
-        return Literal("false");
-      case 'n':
-        return Literal("null");
-      default:
-        return Number();
-    }
-  }
-
-  bool Object() {
-    ++pos_;  // '{'
-    SkipWs();
-    if (Peek() == '}') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      SkipWs();
-      if (!String()) return false;
-      SkipWs();
-      if (Peek() != ':') return false;
-      ++pos_;
-      SkipWs();
-      if (!Value()) return false;
-      SkipWs();
-      if (Peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      if (Peek() == '}') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  bool Array() {
-    ++pos_;  // '['
-    SkipWs();
-    if (Peek() == ']') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      SkipWs();
-      if (!Value()) return false;
-      SkipWs();
-      if (Peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      if (Peek() == ']') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  bool String() {
-    if (Peek() != '"') return false;
-    ++pos_;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      if (s_[pos_] == '\\') ++pos_;  // skip the escaped character
-      ++pos_;
-    }
-    if (pos_ >= s_.size()) return false;
-    ++pos_;  // closing quote
-    return true;
-  }
-
-  bool Number() {
-    const size_t start = pos_;
-    if (Peek() == '-') ++pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '+' || s_[pos_] == '-')) {
-      ++pos_;
-    }
-    return pos_ > start;
-  }
-
-  bool Literal(const char* word) {
-    const size_t len = std::string(word).size();
-    if (s_.compare(pos_, len, word) != 0) return false;
-    pos_ += len;
-    return true;
-  }
-
-  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
-  void SkipWs() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  const std::string& s_;
-  size_t pos_ = 0;
-};
 
 // RAII: clean tracer + metrics state per test, disabled on exit so later
 // tests are unaffected.
@@ -235,8 +108,7 @@ TEST(TraceTest, ChromeTraceJsonIsValid) {
     MULTICLUST_TRACE_SPAN("test.json.nested");
   }
   const std::string json = trace::ChromeTraceJson();
-  JsonValidator validator(json);
-  EXPECT_TRUE(validator.Valid()) << json;
+  EXPECT_TRUE(test::IsValidJson(json)) << json;
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(json.find("test.json.nested"), std::string::npos);
@@ -263,8 +135,7 @@ TEST(TraceTest, WriteChromeTraceRoundTrip) {
   std::fclose(f);
   std::remove(path.c_str());
   EXPECT_EQ(content, trace::ChromeTraceJson());
-  JsonValidator validator(content);
-  EXPECT_TRUE(validator.Valid());
+  EXPECT_TRUE(test::IsValidJson(content));
 }
 
 TEST(MetricsTest2, CounterGaugeHistogramBasics) {
@@ -333,8 +204,7 @@ TEST(TraceTest, AlgorithmSpansAppearInTrace) {
   EXPECT_NE(json.find("cluster.kmeans.run"), std::string::npos);
   EXPECT_NE(json.find("cluster.kmeans.assign"), std::string::npos);
   EXPECT_NE(json.find("cluster.kmeans.update"), std::string::npos);
-  JsonValidator validator(json);
-  EXPECT_TRUE(validator.Valid());
+  EXPECT_TRUE(test::IsValidJson(json));
 }
 
 TEST(TraceTest, PipelineStagesAppearInTrace) {
@@ -351,8 +221,7 @@ TEST(TraceTest, PipelineStagesAppearInTrace) {
   EXPECT_NE(json.find("pipeline.strategy.dec-kmeans"), std::string::npos);
   EXPECT_NE(json.find("pipeline.dedup"), std::string::npos);
   EXPECT_NE(json.find("pipeline.objective"), std::string::npos);
-  JsonValidator validator(json);
-  EXPECT_TRUE(validator.Valid());
+  EXPECT_TRUE(test::IsValidJson(json));
 }
 
 // --- ConvergenceTrace: always compiled, independent of the tracing
