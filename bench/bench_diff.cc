@@ -12,6 +12,13 @@
 //   bench_diff --merge -o OUT FILE...
 //       Merges per-bench documents into one suite document at OUT.
 //
+//   bench_diff --report BASELINE CURRENT
+//       Compares two discovery-report JSONs (discover_cli output) for
+//       bit-identical results, ignoring wall-clock fields (elapsed_ms,
+//       budget_remaining_ms, metrics, spans) at any nesting depth. Used
+//       by the CI kill/resume soak job to check that a crashed-and-resumed
+//       run reproduces the uninterrupted baseline exactly.
+//
 // The committed BENCH_baseline.json is a merged --quick suite; regenerate
 // it with the loop in EXPERIMENTS.md when results change intentionally.
 
@@ -64,8 +71,122 @@ int Usage() {
                "usage: bench_diff BASELINE CURRENT [--timing-band=F] "
                "[--timing-floor-ms=M]\n"
                "       bench_diff --validate FILE...\n"
-               "       bench_diff --merge -o OUT FILE...\n");
+               "       bench_diff --merge -o OUT FILE...\n"
+               "       bench_diff --report BASELINE CURRENT\n");
   return 2;
+}
+
+// Keys whose values depend on wall-clock time or host load and therefore
+// cannot be bit-identical across a crash/resume pair.
+bool IsWallClockKey(const std::string& key) {
+  return key == "elapsed_ms" || key == "budget_remaining_ms" ||
+         key == "metrics" || key == "spans";
+}
+
+/// Recursive equality over report values, skipping wall-clock keys.
+/// NaN == NaN (quality fields can legitimately be NaN on degenerate
+/// clusterings, and bit-identical resume must reproduce that too).
+/// On mismatch returns false with `*diff` set to a human-readable path.
+bool ReportValuesEqual(const multiclust::json::Value& a,
+                       const multiclust::json::Value& b,
+                       const std::string& path, std::string* diff) {
+  using multiclust::json::Value;
+  if (a.type() != b.type()) {
+    *diff = path + ": type mismatch";
+    return false;
+  }
+  switch (a.type()) {
+    case Value::Type::kNull:
+      return true;
+    case Value::Type::kBool:
+      if (a.bool_value() != b.bool_value()) {
+        *diff = path + ": " + (a.bool_value() ? "true" : "false") + " vs " +
+                (b.bool_value() ? "true" : "false");
+        return false;
+      }
+      return true;
+    case Value::Type::kNumber: {
+      const double x = a.number_value(), y = b.number_value();
+      const bool both_nan = x != x && y != y;
+      if (x != y && !both_nan) {
+        *diff = path + ": " + multiclust::json::FormatDouble(x) + " vs " +
+                multiclust::json::FormatDouble(y);
+        return false;
+      }
+      return true;
+    }
+    case Value::Type::kString:
+      if (a.string_value() != b.string_value()) {
+        *diff = path + ": \"" + a.string_value() + "\" vs \"" +
+                b.string_value() + "\"";
+        return false;
+      }
+      return true;
+    case Value::Type::kArray: {
+      if (a.size() != b.size()) {
+        *diff = path + ": array length " + std::to_string(a.size()) + " vs " +
+                std::to_string(b.size());
+        return false;
+      }
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (!ReportValuesEqual(a.array_items()[i], b.array_items()[i],
+                               path + "[" + std::to_string(i) + "]", diff)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case Value::Type::kObject: {
+      // Positional compare over wall-clock-filtered members: report JSON is
+      // machine-generated with a deterministic key order, so an order change
+      // is itself a difference worth flagging.
+      std::vector<const std::pair<std::string, Value>*> am, bm;
+      for (const auto& m : a.object_items()) {
+        if (!IsWallClockKey(m.first)) am.push_back(&m);
+      }
+      for (const auto& m : b.object_items()) {
+        if (!IsWallClockKey(m.first)) bm.push_back(&m);
+      }
+      if (am.size() != bm.size()) {
+        *diff = path + ": object member count " + std::to_string(am.size()) +
+                " vs " + std::to_string(bm.size());
+        return false;
+      }
+      for (size_t i = 0; i < am.size(); ++i) {
+        if (am[i]->first != bm[i]->first) {
+          *diff = path + ": key \"" + am[i]->first + "\" vs \"" +
+                  bm[i]->first + "\"";
+          return false;
+        }
+        if (!ReportValuesEqual(am[i]->second, bm[i]->second,
+                               path + "." + am[i]->first, diff)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return true;
+}
+
+int RunReportCompare(const std::vector<std::string>& files) {
+  if (files.size() != 2) return Usage();
+  auto baseline = LoadJson(files[0]);
+  auto current = LoadJson(files[1]);
+  if (!baseline.ok() || !current.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (!baseline.ok() ? baseline.status() : current.status())
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+  std::string diff;
+  if (!ReportValuesEqual(*baseline, *current, "$", &diff)) {
+    std::fprintf(stderr, "reports differ at %s\n", diff.c_str());
+    return 1;
+  }
+  std::printf("reports identical (ignoring wall-clock fields)\n");
+  return 0;
 }
 
 int RunValidate(const std::vector<std::string>& files) {
@@ -154,7 +275,7 @@ int RunCompare(const std::string& baseline_path,
 int main(int argc, char** argv) {
   std::vector<std::string> positional;
   std::string merge_out;
-  bool validate = false, merge = false;
+  bool validate = false, merge = false, report = false;
   DiffOptions options;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -162,6 +283,8 @@ int main(int argc, char** argv) {
       validate = true;
     } else if (std::strcmp(arg, "--merge") == 0) {
       merge = true;
+    } else if (std::strcmp(arg, "--report") == 0) {
+      report = true;
     } else if (std::strcmp(arg, "-o") == 0 && i + 1 < argc) {
       merge_out = argv[++i];
     } else if (std::strncmp(arg, "--timing-band=", 14) == 0) {
@@ -178,9 +301,10 @@ int main(int argc, char** argv) {
       positional.push_back(arg);
     }
   }
-  if (validate && merge) return Usage();
+  if (validate + merge + report > 1) return Usage();
   if (validate) return RunValidate(positional);
   if (merge) return RunMerge(merge_out, positional);
+  if (report) return RunReportCompare(positional);
   if (positional.size() != 2) return Usage();
   return RunCompare(positional[0], positional[1], options);
 }

@@ -9,16 +9,26 @@
 // with the span tracer + metrics recording live and once with the tracer
 // disabled (the production default). Same < 2% bar.
 //
+// The CheckpointArmed/CheckpointDisarmed pairs measure the checkpoint
+// subsystem's hook cost: a Checkpointer attached via RunBudget::checkpoint
+// with a policy whose triggers are all disabled, so every persistence point
+// pays the restore probe + policy evaluation but no snapshot is ever
+// written (writes are policy-paced I/O, not per-iteration overhead). The
+// disarmed side is a null checkpoint pointer — one pointer test per
+// iteration, the production default. Same < 2% bar.
+//
 // Harness flags (--json=PATH, --quick) are consumed before
 // benchmark::Initialize; the overhead ratios land in the JSON document as
 // timing scalars plus warn-severity checks against the 2% bar.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "cluster/gmm.h"
 #include "cluster/kmeans.h"
+#include "common/checkpoint.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "data/generators.h"
@@ -167,6 +177,60 @@ void BM_GmmTracingArmed(benchmark::State& state) {
 }
 BENCHMARK(BM_GmmTracingArmed);
 
+// Armed-but-silent snapshot channel: both cadence triggers disabled, so
+// AtPersistencePoint evaluates the policy and returns without touching the
+// filesystem. TryRestore at algorithm entry scans an empty scratch
+// directory — part of the honest armed cost.
+Checkpointer* SilentCheckpointer() {
+  static Checkpointer* ck = [] {
+    char tmpl[] = "/tmp/multiclust_bench_ckpt_XXXXXX";
+    char* dir = mkdtemp(tmpl);
+    CheckpointPolicy policy;
+    policy.every_iterations = 0;
+    policy.min_interval_ms = 0.0;
+    return new Checkpointer(dir != nullptr ? dir : "/tmp", policy);
+  }();
+  return ck;
+}
+
+void BM_KMeansCheckpointDisarmed(benchmark::State& state) {
+  const Matrix data = BenchData();
+  const KMeansOptions opts = KmOptions();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunKMeans(data, opts));
+  }
+}
+BENCHMARK(BM_KMeansCheckpointDisarmed);
+
+void BM_KMeansCheckpointArmed(benchmark::State& state) {
+  const Matrix data = BenchData();
+  KMeansOptions opts = KmOptions();
+  opts.budget.checkpoint = SilentCheckpointer();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunKMeans(data, opts));
+  }
+}
+BENCHMARK(BM_KMeansCheckpointArmed);
+
+void BM_GmmCheckpointDisarmed(benchmark::State& state) {
+  const Matrix data = BenchData();
+  const GmmOptions opts = GmOptions();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitGmm(data, opts));
+  }
+}
+BENCHMARK(BM_GmmCheckpointDisarmed);
+
+void BM_GmmCheckpointArmed(benchmark::State& state) {
+  const Matrix data = BenchData();
+  GmmOptions opts = GmOptions();
+  opts.budget.checkpoint = SilentCheckpointer();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitGmm(data, opts));
+  }
+}
+BENCHMARK(BM_GmmCheckpointArmed);
+
 double TimeUnitToMs(benchmark::TimeUnit unit) {
   switch (unit) {
     case benchmark::kNanosecond:
@@ -238,6 +302,10 @@ int main(int argc, char** argv) {
        "BM_KMeansTracingArmed_ms"},
       {"gmm_tracing_overhead_pct", "BM_GmmTracingDisarmed_ms",
        "BM_GmmTracingArmed_ms"},
+      {"kmeans_checkpoint_overhead_pct", "BM_KMeansCheckpointDisarmed_ms",
+       "BM_KMeansCheckpointArmed_ms"},
+      {"gmm_checkpoint_overhead_pct", "BM_GmmCheckpointDisarmed_ms",
+       "BM_GmmCheckpointArmed_ms"},
   };
   for (const Pair& p : pairs) {
     const double base = h.ScalarValue(p.base, 0.0);

@@ -15,10 +15,24 @@
 //                                             attempt diagnostics, metrics
 //                                             and span summary — see
 //                                             DESIGN.md "Report schema")
+//     --checkpoint-dir=path                  (arm crash-consistent snapshots;
+//                                             see DESIGN.md "Crash recovery")
+//     --resume                               (restore from --checkpoint-dir
+//                                             instead of clearing it)
+//     --crash-at=N [--crash-site=NAME]       (fault injection: simulated
+//                                             process death at persistence
+//                                             point N of site NAME, default
+//                                             "dec-kmeans"; exits 3)
+//
+// Ctrl-C (SIGINT) / SIGTERM cancel the run cooperatively: the algorithms
+// flush a final checkpoint (when armed) and the process exits 130 with a
+// resume hint. A simulated crash (--crash-at) exits 3 the same way.
 //
 // With no arguments, runs a self-demo on the generated customer scenario.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "common/metrics.h"
@@ -29,6 +43,12 @@ using namespace multiclust;
 
 namespace {
 
+// Shared with the signal handler: CancelToken::Cancel is one relaxed
+// atomic store, which is async-signal-safe.
+CancelToken g_cancel;
+
+extern "C" void HandleSignal(int) { g_cancel.Cancel(); }
+
 bool ParseFlag(const std::string& arg, const std::string& name,
                std::string* value) {
   const std::string prefix = "--" + name + "=";
@@ -37,9 +57,17 @@ bool ParseFlag(const std::string& arg, const std::string& name,
   return true;
 }
 
+// Exit codes: 1 = error, 2 = usage, 3 = simulated crash (checkpoint on
+// disk), 130 = interrupted (checkpoint on disk when armed).
+int ExitCodeFor(const Status& status) {
+  if (status.code() == StatusCode::kAborted) return 3;
+  if (status.code() == StatusCode::kCancelled) return 130;
+  return 1;
+}
+
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  return 1;
+  return ExitCodeFor(status);
 }
 
 }  // namespace
@@ -49,6 +77,11 @@ int main(int argc, char** argv) {
   std::string out;
   std::string label_column;
   std::string report_json;
+  std::string checkpoint_dir;
+  std::string crash_site = "dec-kmeans";
+  bool resume = false;
+  bool crash_armed = false;
+  size_t crash_at = 0;
   DiscoveryOptions options;
   std::string strategy = "deckm";
 
@@ -69,12 +102,26 @@ int main(int argc, char** argv) {
       label_column = value;
     } else if (ParseFlag(arg, "report-json", &value)) {
       report_json = value;
+    } else if (ParseFlag(arg, "checkpoint-dir", &value)) {
+      checkpoint_dir = value;
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (ParseFlag(arg, "crash-at", &value)) {
+      crash_armed = true;
+      crash_at = static_cast<size_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "crash-site", &value)) {
+      crash_site = value;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
     } else {
       input = arg;
     }
+  }
+
+  if (resume && checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+    return 2;
   }
 
   if (strategy == "deckm") {
@@ -117,8 +164,57 @@ int main(int argc, char** argv) {
     trace::Enable();
   }
 
+  // Cooperative shutdown: SIGINT/SIGTERM trip the cancel token; the run
+  // winds down at its next guard check and flushes a final checkpoint.
+  options.budget.cancel = &g_cancel;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  std::unique_ptr<Checkpointer> checkpointer;
+  if (!checkpoint_dir.empty()) {
+    checkpointer = std::make_unique<Checkpointer>(checkpoint_dir);
+    if (!resume) {
+      // A fresh run must not restore another configuration's leftovers.
+      Status cleared = checkpointer->Clear();
+      if (!cleared.ok()) return Fail(cleared);
+    }
+    options.budget.checkpoint = checkpointer.get();
+  }
+
+  if (crash_armed) {
+#if defined(MULTICLUST_FAULT_INJECTION)
+    FaultSpec spec;
+    spec.site = crash_site;
+    spec.kind = FaultKind::kCrash;
+    spec.at_iteration = crash_at;
+    spec.max_fires = 1;
+    fault::Arm(spec);
+#else
+    std::fprintf(stderr,
+                 "--crash-at requires a build with fault injection "
+                 "(-DMULTICLUST_FAULT_INJECTION=ON)\n");
+    return 2;
+#endif
+  }
+
   auto report = DiscoverMultipleClusterings(dataset.data(), options);
-  if (!report.ok()) return Fail(report.status());
+  if (checkpointer != nullptr) {
+    for (const std::string& w : checkpointer->TakeWarnings()) {
+      std::fprintf(stderr, "checkpoint: %s\n", w.c_str());
+    }
+  }
+  if (!report.ok()) {
+    if (checkpointer != nullptr &&
+        (report.status().code() == StatusCode::kAborted ||
+         report.status().code() == StatusCode::kCancelled)) {
+      std::fprintf(stderr,
+                   "run interrupted; %zu snapshot(s) in %s — rerun with "
+                   "--checkpoint-dir=%s --resume to continue\n",
+                   checkpointer->snapshots_written(), checkpoint_dir.c_str(),
+                   checkpoint_dir.c_str());
+    }
+    return Fail(report.status());
+  }
 
   std::printf("strategy: %s, k = %zu, solutions found: %zu\n",
               report->strategy_name.c_str(), report->chosen_k,

@@ -3,13 +3,103 @@
 #include <cmath>
 #include <limits>
 #include <string>
+#include <utility>
 
 #include "cluster/hierarchical.h"
+#include "common/checkpoint.h"
 #include "common/fault.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 
 namespace multiclust {
+
+namespace {
+
+// Full merge-loop state of one COALA run. The dist/violations matrices are
+// Lance-Williams-mutated in place, so resuming means restoring them
+// verbatim — everything else (active set, group sizes, memberships, merge
+// stats) rides along.
+struct CoalaCkptState {
+  size_t step = 0;
+  size_t iter = 0;
+  Matrix dist;
+  Matrix violations;
+  std::vector<int> active;
+  std::vector<size_t> sizes;
+  std::vector<std::vector<int>> members;
+  size_t quality_merges = 0;
+  size_t dissimilarity_merges = 0;
+  ConvergenceTrace trace;
+};
+
+void WriteCoalaPayload(json::Writer* w, const CoalaCkptState& s) {
+  w->BeginObject();
+  w->Key("step");
+  w->Uint(s.step);
+  w->Key("iter");
+  w->Uint(s.iter);
+  w->Key("dist");
+  ckpt::WriteMatrix(w, s.dist);
+  w->Key("violations");
+  ckpt::WriteMatrix(w, s.violations);
+  w->Key("active");
+  ckpt::WriteIntVector(w, s.active);
+  w->Key("sizes");
+  ckpt::WriteSizeVector(w, s.sizes);
+  w->Key("members");
+  w->BeginArray();
+  for (const std::vector<int>& m : s.members) ckpt::WriteIntVector(w, m);
+  w->EndArray();
+  w->Key("quality_merges");
+  w->Uint(s.quality_merges);
+  w->Key("dissimilarity_merges");
+  w->Uint(s.dissimilarity_merges);
+  w->Key("trace");
+  ckpt::WriteTrace(w, s.trace);
+  w->EndObject();
+}
+
+Status ReadCoalaPayload(const json::Value& v, CoalaCkptState* s) {
+  MC_ASSIGN_OR_RETURN(s->step, ckpt::SizeField(v, "step"));
+  MC_ASSIGN_OR_RETURN(s->iter, ckpt::SizeField(v, "iter"));
+  MC_ASSIGN_OR_RETURN(const json::Value* d, ckpt::Field(v, "dist"));
+  MC_ASSIGN_OR_RETURN(s->dist, ckpt::ReadMatrix(*d));
+  MC_ASSIGN_OR_RETURN(const json::Value* viol, ckpt::Field(v, "violations"));
+  MC_ASSIGN_OR_RETURN(s->violations, ckpt::ReadMatrix(*viol));
+  MC_ASSIGN_OR_RETURN(const json::Value* act, ckpt::Field(v, "active"));
+  MC_ASSIGN_OR_RETURN(s->active, ckpt::ReadIntVector(*act));
+  MC_ASSIGN_OR_RETURN(const json::Value* sz, ckpt::Field(v, "sizes"));
+  MC_ASSIGN_OR_RETURN(s->sizes, ckpt::ReadSizeVector(*sz));
+  MC_ASSIGN_OR_RETURN(const json::Value* mem, ckpt::Field(v, "members"));
+  if (!mem->is_array()) {
+    return Status::ComputationError("checkpoint: COALA members malformed");
+  }
+  for (const json::Value& m : mem->array_items()) {
+    MC_ASSIGN_OR_RETURN(std::vector<int> vec, ckpt::ReadIntVector(m));
+    s->members.push_back(std::move(vec));
+  }
+  MC_ASSIGN_OR_RETURN(s->quality_merges,
+                      ckpt::SizeField(v, "quality_merges"));
+  MC_ASSIGN_OR_RETURN(s->dissimilarity_merges,
+                      ckpt::SizeField(v, "dissimilarity_merges"));
+  MC_ASSIGN_OR_RETURN(const json::Value* tr, ckpt::Field(v, "trace"));
+  MC_ASSIGN_OR_RETURN(s->trace, ckpt::ReadTrace(*tr));
+  return Status::OK();
+}
+
+uint64_t CoalaFingerprint(const Matrix& data, const std::vector<int>& given,
+                          const CoalaOptions& options) {
+  Fingerprint fp;
+  fp.Mix("coala");
+  fp.Mix(static_cast<uint64_t>(options.k));
+  fp.MixDouble(options.w);
+  for (int g : given) fp.Mix(static_cast<uint64_t>(static_cast<int64_t>(g)));
+  fp.Mix(static_cast<uint64_t>(options.budget.max_iterations));
+  fp.Mix(data);
+  return fp.value();
+}
+
+}  // namespace
 
 Result<Clustering> RunCoala(const Matrix& data, const std::vector<int>& given,
                             const CoalaOptions& options, CoalaStats* stats) {
@@ -52,8 +142,74 @@ Result<Clustering> RunCoala(const Matrix& data, const std::vector<int>& given,
   size_t remaining = n;
   size_t iter = 0;
   bool stopped_early = false;
+
+  // --- Checkpoint/resume ----------------------------------------------
+  Checkpointer* ckp = options.budget.checkpoint;
+  const uint64_t fp =
+      ckp != nullptr ? CoalaFingerprint(data, given, options) : 0;
+  CoalaCkptState state;
+  size_t ckpt_step = 0;
+  if (ckp != nullptr) {
+    if (auto restored = ckp->TryRestore("coala", fp, options.diagnostics)) {
+      Status parsed = ReadCoalaPayload(restored->payload, &state);
+      if (parsed.ok() && state.dist.rows() == n && state.dist.cols() == n &&
+          state.violations.rows() == n && state.violations.cols() == n &&
+          state.active.size() == n && state.sizes.size() == n &&
+          state.members.size() == n) {
+        dist = std::move(state.dist);
+        violations = std::move(state.violations);
+        for (size_t i = 0; i < n; ++i) active[i] = state.active[i] != 0;
+        sizes = std::move(state.sizes);
+        members = std::move(state.members);
+        local_stats.quality_merges = state.quality_merges;
+        local_stats.dissimilarity_merges = state.dissimilarity_merges;
+        iter = state.iter;
+        ckpt_step = state.step;
+        remaining = 0;
+        for (size_t i = 0; i < n; ++i) remaining += active[i] ? 1 : 0;
+        if (options.diagnostics != nullptr) {
+          options.diagnostics->trace = state.trace;
+        }
+      } else {
+        AddWarning(options.diagnostics, "coala",
+                   "checkpoint payload rejected (" +
+                       (parsed.ok() ? std::string("state shape mismatch")
+                                    : parsed.message()) +
+                       "); cold start");
+      }
+    }
+  }
+  // Persists the full merge state; `flush` forces an unconditional write
+  // (cancellation path), otherwise the policy decides. The O(n^2) state
+  // capture lives inside the payload writer, which the checkpointer only
+  // invokes for snapshots it actually serializes.
+  auto snapshot = [&](bool flush) -> Status {
+    auto payload = [&](json::Writer* w) {
+      CoalaCkptState s;
+      s.step = ckpt_step;
+      s.iter = iter;
+      s.dist = dist;
+      s.violations = violations;
+      s.active.assign(active.begin(), active.end());
+      s.sizes = sizes;
+      s.members = members;
+      s.quality_merges = local_stats.quality_merges;
+      s.dissimilarity_merges = local_stats.dissimilarity_merges;
+      if (options.diagnostics != nullptr) s.trace = options.diagnostics->trace;
+      WriteCoalaPayload(w, s);
+    };
+    Status st = flush ? ckp->Flush("coala", fp, payload)
+                      : ckp->AtPersistencePoint("coala", fp, ckpt_step, payload);
+    ++ckpt_step;
+    return flush ? Status::OK() : st;
+  };
+  // ---------------------------------------------------------------------
+
   while (remaining > options.k) {
-    if (guard.Cancelled()) return guard.CancelledStatus();
+    if (guard.Cancelled()) {
+      if (ckp != nullptr) (void)snapshot(/*flush=*/true);
+      return guard.CancelledStatus();
+    }
     if (guard.ShouldStop(iter)) {
       stopped_early = true;
       break;
@@ -135,6 +291,10 @@ Result<Clustering> RunCoala(const Matrix& data, const std::vector<int>& given,
     members[mj].clear();
     --remaining;
     ++iter;
+    // Persistence point: the merge is complete and all state is
+    // self-consistent. Covers the final merge too — a resume then simply
+    // falls through the loop condition.
+    if (ckp != nullptr) MC_RETURN_IF_ERROR(snapshot(/*flush=*/false));
   }
 
   // A budget-stopped run returns the partial dendrogram cut: more than

@@ -1,11 +1,14 @@
 #include "altspace/dec_kmeans.h"
 
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <string>
+#include <utility>
 
 #include "cluster/clustering.h"
 #include "cluster/kmeans.h"
+#include "common/checkpoint.h"
 #include "common/fault.h"
 #include "common/metrics.h"
 #include "common/rng.h"
@@ -90,39 +93,66 @@ struct RestartOutcome {
   bool converged = false;
 };
 
+/// Mid-restart resume state / per-iteration persistence hook; same
+/// protocol as the k-means checkpointing. The shared outer rng is owned by
+/// the caller, which serializes it alongside.
+struct DecResume {
+  size_t start_iter = 0;
+  State state;
+  std::vector<double> history;
+};
+
+using DecPersistFn = std::function<Status(size_t next_iter, const State& s,
+                                          const std::vector<double>& history,
+                                          bool flush)>;
+
 Result<RestartOutcome> RunRestart(const Matrix& data,
                                   const DecKMeansOptions& options,
                                   Rng* rng, BudgetTracker* guard,
                                   size_t restart,
-                                  ConvergenceRecorder* recorder) {
+                                  ConvergenceRecorder* recorder,
+                                  const DecResume* resume,
+                                  const DecPersistFn& persist) {
   const size_t n = data.rows();
   const size_t d = data.cols();
   const size_t num_clusterings = options.ks.size();
   RestartOutcome out;
   State& s = out.state;
-  s.reps.resize(num_clusterings);
-  s.labels.resize(num_clusterings);
-  s.means.resize(num_clusterings);
-  // Initialise each clustering's representatives from an independent
-  // k-means run with its own seed (diverse starting points).
-  for (size_t t = 0; t < num_clusterings; ++t) {
-    KMeansOptions km;
-    km.k = options.ks[t];
-    km.max_iters = 3;
-    km.seed = rng->NextU64();
-    MC_ASSIGN_OR_RETURN(Clustering init, RunKMeans(data, km));
-    s.reps[t] = init.centroids;
-    s.labels[t] = init.labels;
-    s.means[t] = MeansFromLabels(data, s.labels[t], s.reps[t],
-                                 options.ks[t]);
+  std::vector<double>& history = out.history;
+  size_t start_iter = 0;
+  double prev = 0.0;
+  if (resume != nullptr) {
+    s = resume->state;
+    history = resume->history;
+    start_iter = resume->start_iter;
+    out.iterations = start_iter;
+    prev = history.back();
+  } else {
+    s.reps.resize(num_clusterings);
+    s.labels.resize(num_clusterings);
+    s.means.resize(num_clusterings);
+    // Initialise each clustering's representatives from an independent
+    // k-means run with its own seed (diverse starting points).
+    for (size_t t = 0; t < num_clusterings; ++t) {
+      KMeansOptions km;
+      km.k = options.ks[t];
+      km.max_iters = 3;
+      km.seed = rng->NextU64();
+      MC_ASSIGN_OR_RETURN(Clustering init, RunKMeans(data, km));
+      s.reps[t] = init.centroids;
+      s.labels[t] = init.labels;
+      s.means[t] = MeansFromLabels(data, s.labels[t], s.reps[t],
+                                   options.ks[t]);
+    }
+    prev = Objective(data, s, options.lambda);
+    history.push_back(prev);
   }
 
-  std::vector<double>& history = out.history;
-  double prev = Objective(data, s, options.lambda);
-  history.push_back(prev);
-
-  for (size_t iter = 0; iter < options.max_iters; ++iter) {
-    if (guard->Cancelled()) return guard->CancelledStatus();
+  for (size_t iter = start_iter; iter < options.max_iters; ++iter) {
+    if (guard->Cancelled()) {
+      if (persist) persist(iter, s, history, /*flush=*/true);
+      return guard->CancelledStatus();
+    }
     if (guard->ShouldStop(iter)) break;
     MC_METRIC_COUNT("altspace.dec_kmeans.iterations", 1);
     MULTICLUST_TRACE_SPAN("altspace.dec_kmeans.iteration");
@@ -198,8 +228,166 @@ Result<RestartOutcome> RunRestart(const Matrix& data,
       break;
     }
     prev = cur;
+    if (persist) {
+      MC_RETURN_IF_ERROR(persist(iter + 1, s, history, /*flush=*/false));
+    }
   }
   return out;
+}
+
+void WriteState(json::Writer* w, const State& s) {
+  w->BeginObject();
+  w->Key("reps");
+  w->BeginArray();
+  for (const Matrix& m : s.reps) ckpt::WriteMatrix(w, m);
+  w->EndArray();
+  w->Key("labels");
+  w->BeginArray();
+  for (const std::vector<int>& l : s.labels) ckpt::WriteIntVector(w, l);
+  w->EndArray();
+  w->Key("means");
+  w->BeginArray();
+  for (const Matrix& m : s.means) ckpt::WriteMatrix(w, m);
+  w->EndArray();
+  w->EndObject();
+}
+
+Status ReadState(const json::Value& v, State* s) {
+  MC_ASSIGN_OR_RETURN(const json::Value* reps, ckpt::Field(v, "reps"));
+  MC_ASSIGN_OR_RETURN(const json::Value* labels, ckpt::Field(v, "labels"));
+  MC_ASSIGN_OR_RETURN(const json::Value* means, ckpt::Field(v, "means"));
+  if (!reps->is_array() || !labels->is_array() || !means->is_array()) {
+    return Status::ComputationError("checkpoint: dec-kmeans state malformed");
+  }
+  for (const json::Value& m : reps->array_items()) {
+    MC_ASSIGN_OR_RETURN(Matrix mat, ckpt::ReadMatrix(m));
+    s->reps.push_back(std::move(mat));
+  }
+  for (const json::Value& l : labels->array_items()) {
+    MC_ASSIGN_OR_RETURN(std::vector<int> vec, ckpt::ReadIntVector(l));
+    s->labels.push_back(std::move(vec));
+  }
+  for (const json::Value& m : means->array_items()) {
+    MC_ASSIGN_OR_RETURN(Matrix mat, ckpt::ReadMatrix(m));
+    s->means.push_back(std::move(mat));
+  }
+  return Status::OK();
+}
+
+void WriteOutcome(json::Writer* w, const RestartOutcome& o) {
+  w->BeginObject();
+  w->Key("state");
+  WriteState(w, o.state);
+  w->Key("history");
+  ckpt::WriteDoubleVector(w, o.history);
+  w->Key("iterations");
+  w->Uint(o.iterations);
+  w->Key("converged");
+  w->Bool(o.converged);
+  w->EndObject();
+}
+
+Status ReadOutcome(const json::Value& v, RestartOutcome* o) {
+  MC_ASSIGN_OR_RETURN(const json::Value* st, ckpt::Field(v, "state"));
+  MC_RETURN_IF_ERROR(ReadState(*st, &o->state));
+  MC_ASSIGN_OR_RETURN(const json::Value* h, ckpt::Field(v, "history"));
+  MC_ASSIGN_OR_RETURN(o->history, ckpt::ReadDoubleVector(*h));
+  MC_ASSIGN_OR_RETURN(o->iterations, ckpt::SizeField(v, "iterations"));
+  MC_ASSIGN_OR_RETURN(o->converged, ckpt::BoolField(v, "converged"));
+  return Status::OK();
+}
+
+// Whole-invocation checkpoint state (restart loop level).
+struct DecCkptState {
+  size_t step = 0;
+  size_t restart = 0;
+  Rng rng;  ///< the single shared generator (init seeds + reseeds)
+  size_t winner = 0;
+  bool have_best = false;
+  RestartOutcome best;
+  double best_objective = std::numeric_limits<double>::infinity();
+  Status last_error = Status::OK();
+  ConvergenceTrace trace;
+  bool mid_restart = false;
+  DecResume seed;
+};
+
+void WriteDecPayload(json::Writer* w, const DecCkptState& s) {
+  w->BeginObject();
+  w->Key("step");
+  w->Uint(s.step);
+  w->Key("restart");
+  w->Uint(s.restart);
+  w->Key("rng");
+  ckpt::WriteRng(w, s.rng);
+  w->Key("winner");
+  w->Uint(s.winner);
+  w->Key("have_best");
+  w->Bool(s.have_best);
+  if (s.have_best) {
+    w->Key("best");
+    WriteOutcome(w, s.best);
+    w->Key("best_objective");
+    w->Double(s.best_objective);
+  }
+  w->Key("last_error");
+  ckpt::WriteStatus(w, s.last_error);
+  w->Key("trace");
+  ckpt::WriteTrace(w, s.trace);
+  w->Key("mid_restart");
+  w->Bool(s.mid_restart);
+  if (s.mid_restart) {
+    w->Key("next_iter");
+    w->Uint(s.seed.start_iter);
+    w->Key("mid_state");
+    WriteState(w, s.seed.state);
+    w->Key("mid_history");
+    ckpt::WriteDoubleVector(w, s.seed.history);
+  }
+  w->EndObject();
+}
+
+Status ReadDecPayload(const json::Value& v, DecCkptState* s) {
+  MC_ASSIGN_OR_RETURN(s->step, ckpt::SizeField(v, "step"));
+  MC_ASSIGN_OR_RETURN(s->restart, ckpt::SizeField(v, "restart"));
+  MC_ASSIGN_OR_RETURN(const json::Value* rng, ckpt::Field(v, "rng"));
+  MC_ASSIGN_OR_RETURN(s->rng, ckpt::ReadRng(*rng));
+  MC_ASSIGN_OR_RETURN(s->winner, ckpt::SizeField(v, "winner"));
+  MC_ASSIGN_OR_RETURN(s->have_best, ckpt::BoolField(v, "have_best"));
+  if (s->have_best) {
+    MC_ASSIGN_OR_RETURN(const json::Value* best, ckpt::Field(v, "best"));
+    MC_RETURN_IF_ERROR(ReadOutcome(*best, &s->best));
+    MC_ASSIGN_OR_RETURN(s->best_objective,
+                        ckpt::NumberField(v, "best_objective"));
+  }
+  MC_ASSIGN_OR_RETURN(const json::Value* err, ckpt::Field(v, "last_error"));
+  MC_RETURN_IF_ERROR(ckpt::ReadStatus(*err, &s->last_error));
+  MC_ASSIGN_OR_RETURN(const json::Value* tr, ckpt::Field(v, "trace"));
+  MC_ASSIGN_OR_RETURN(s->trace, ckpt::ReadTrace(*tr));
+  MC_ASSIGN_OR_RETURN(s->mid_restart, ckpt::BoolField(v, "mid_restart"));
+  if (s->mid_restart) {
+    MC_ASSIGN_OR_RETURN(s->seed.start_iter, ckpt::SizeField(v, "next_iter"));
+    MC_ASSIGN_OR_RETURN(const json::Value* ms, ckpt::Field(v, "mid_state"));
+    MC_RETURN_IF_ERROR(ReadState(*ms, &s->seed.state));
+    MC_ASSIGN_OR_RETURN(const json::Value* mh, ckpt::Field(v, "mid_history"));
+    MC_ASSIGN_OR_RETURN(s->seed.history, ckpt::ReadDoubleVector(*mh));
+  }
+  return Status::OK();
+}
+
+uint64_t DecFingerprint(const Matrix& data, const DecKMeansOptions& options) {
+  Fingerprint fp;
+  fp.Mix("dec-kmeans");
+  for (size_t k : options.ks) fp.Mix(static_cast<uint64_t>(k));
+  fp.Mix(static_cast<uint64_t>(options.ks.size()));
+  fp.MixDouble(options.lambda);
+  fp.Mix(static_cast<uint64_t>(options.max_iters));
+  fp.Mix(static_cast<uint64_t>(options.restarts));
+  fp.MixDouble(options.tol);
+  fp.Mix(options.seed);
+  fp.Mix(static_cast<uint64_t>(options.budget.max_iterations));
+  fp.Mix(data);
+  return fp.value();
 }
 
 }  // namespace
@@ -226,32 +414,99 @@ Result<DecKMeansResult> RunDecorrelatedKMeans(
   MULTICLUST_TRACE_SPAN("altspace.dec_kmeans.run");
   BudgetTracker guard(options.budget, "dec-kmeans");
   ConvergenceRecorder recorder(options.diagnostics, &guard);
-  Rng rng(options.seed);
-  RestartOutcome best;
-  double best_objective = std::numeric_limits<double>::infinity();
-  bool have_best = false;
-  Status last_error = Status::OK();
+  Checkpointer* ck = options.budget.checkpoint;
+  const uint64_t fp = ck != nullptr ? DecFingerprint(data, options) : 0;
 
-  const size_t restarts = options.restarts == 0 ? 1 : options.restarts;
-  for (size_t restart = 0; restart < restarts; ++restart) {
-    if (restart > 0 && guard.DeadlineExpired()) break;
-    MC_METRIC_COUNT("altspace.dec_kmeans.restarts", 1);
-    Result<RestartOutcome> run =
-        RunRestart(data, options, &rng, &guard, restart, &recorder);
-    if (!run.ok()) {
-      if (run.status().code() == StatusCode::kCancelled) return run.status();
-      last_error = run.status();
-      continue;  // a degenerate restart does not kill the others
-    }
-    const double final_obj = run->history.back();
-    if (!have_best || final_obj < best_objective) {
-      best_objective = final_obj;
-      best = std::move(*run);
-      have_best = true;
-      recorder.SetWinner(restart);
+  DecCkptState state;
+  state.rng = Rng(options.seed);
+  bool resume_mid = false;
+  if (ck != nullptr) {
+    if (auto restored =
+            ck->TryRestore("dec-kmeans", fp, options.diagnostics)) {
+      DecCkptState loaded;
+      const Status parsed = ReadDecPayload(restored->payload, &loaded);
+      if (parsed.ok()) {
+        state = std::move(loaded);
+        resume_mid = state.mid_restart;
+        if (options.diagnostics != nullptr) {
+          options.diagnostics->trace = state.trace;
+          options.diagnostics->trace.winning_restart = state.winner;
+        }
+      } else {
+        AddWarning(options.diagnostics, "dec-kmeans",
+                   "checkpoint payload rejected (" + parsed.ToString() +
+                       "); cold start");
+      }
     }
   }
-  if (!have_best) return last_error;
+  // `prepare` defers the state copies until a snapshot is actually
+  // serialized, keeping armed-but-not-due persistence points cheap.
+  const auto snapshot =
+      [&](bool flush, FunctionRef<void()> prepare = {}) -> Status {
+    if (ck == nullptr) return Status::OK();
+    const auto payload = [&](json::Writer* w) {
+      if (prepare) prepare();
+      if (options.diagnostics != nullptr) {
+        state.trace = options.diagnostics->trace;
+      }
+      WriteDecPayload(w, state);
+    };
+    const Status st = flush
+                          ? ck->Flush("dec-kmeans", fp, payload)
+                          : ck->AtPersistencePoint("dec-kmeans", fp,
+                                                   state.step, payload);
+    ++state.step;
+    return flush ? Status::OK() : st;
+  };
+
+  const size_t restarts = options.restarts == 0 ? 1 : options.restarts;
+  const size_t start_restart = state.restart;
+  for (size_t restart = start_restart; restart < restarts; ++restart) {
+    if (restart > 0 && guard.DeadlineExpired()) break;
+    MC_METRIC_COUNT("altspace.dec_kmeans.restarts", 1);
+    const DecResume* resume =
+        (resume_mid && restart == start_restart) ? &state.seed : nullptr;
+    const DecPersistFn persist =
+        ck == nullptr
+            ? DecPersistFn()
+            : [&](size_t next_iter, const State& s,
+                  const std::vector<double>& history, bool flush) -> Status {
+                return snapshot(flush, [&] {
+                  state.restart = restart;
+                  state.mid_restart = true;
+                  state.seed.start_iter = next_iter;
+                  state.seed.state = s;
+                  state.seed.history = history;
+                });
+              };
+    Result<RestartOutcome> run = RunRestart(data, options, &state.rng, &guard,
+                                            restart, &recorder, resume,
+                                            persist);
+    if (!run.ok()) {
+      if (run.status().code() == StatusCode::kCancelled ||
+          run.status().code() == StatusCode::kAborted) {
+        return run.status();
+      }
+      state.last_error = run.status();
+    } else {
+      const double final_obj = run->history.back();
+      if (!state.have_best || final_obj < state.best_objective) {
+        state.best_objective = final_obj;
+        state.best = std::move(*run);
+        state.have_best = true;
+        state.winner = restart;
+        recorder.SetWinner(restart);
+      }
+    }
+    if (ck != nullptr && restart + 1 < restarts) {
+      state.restart = restart + 1;
+      state.mid_restart = false;
+      MC_RETURN_IF_ERROR(snapshot(/*flush=*/false));
+    }
+  }
+  if (!state.have_best) return state.last_error;
+  RestartOutcome& best = state.best;
+  const double best_objective = state.best_objective;
   recorder.Finish("dec-kmeans", best.iterations, best.converged);
 
   DecKMeansResult result;

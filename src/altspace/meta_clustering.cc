@@ -48,20 +48,36 @@ Result<MetaClusteringResult> RunMetaClustering(
     km.restarts = 1;
     km.plus_plus_init = false;  // deliberate: keep generation undirected
     km.seed = rng.NextU64();
+    // Give each base run access to the checkpoint store; base b's
+    // fingerprint covers its seed and (weighted) view, so slots cannot
+    // collide across bases.
+    km.budget.checkpoint = options.budget.checkpoint;
     km.diagnostics = options.diagnostics;
     if (result.base.size() >= 2 && guard.DeadlineExpired()) {
       result.warnings.push_back(
           "meta clustering: deadline expired after " +
           std::to_string(result.base.size()) + " of " +
           std::to_string(options.num_base) + " base runs");
+      AddWarning(options.diagnostics, "meta-clustering",
+                 "deadline expired after " +
+                     std::to_string(result.base.size()) + " of " +
+                     std::to_string(options.num_base) + " base runs");
       break;
     }
     Result<Clustering> c = RunKMeans(view, km);
     if (!c.ok()) {
-      if (c.status().code() == StatusCode::kCancelled) return c.status();
+      // Cancellation and a simulated crash are final; only recoverable
+      // computation errors degrade to a skipped base.
+      if (c.status().code() == StatusCode::kCancelled ||
+          c.status().code() == StatusCode::kAborted) {
+        return c.status();
+      }
       result.warnings.push_back("meta clustering: base run " +
                                 std::to_string(b) +
                                 " skipped: " + c.status().ToString());
+      AddWarning(options.diagnostics, "meta-clustering",
+                 "base run " + std::to_string(b) +
+                     " skipped: " + c.status().ToString());
       continue;
     }
     c->algorithm = "meta-base-kmeans";

@@ -97,6 +97,17 @@ Status MStepFromResponsibilities(const Matrix& data,
 Result<GmmModel> InitGmm(const Matrix& data, size_t k, CovarianceType cov,
                          uint64_t seed);
 
+namespace json {
+class Writer;
+class Value;
+}  // namespace json
+
+/// Bit-exact checkpoint (de)serialization of a GmmModel (weights, means,
+/// variances, iteration bookkeeping) — shared by the GMM and co-EM
+/// checkpoint payloads.
+void WriteGmmModelCkpt(json::Writer* w, const GmmModel& model);
+Result<GmmModel> ReadGmmModelCkpt(const json::Value& v);
+
 /// `Clusterer` adapter.
 class GmmClusterer : public Clusterer {
  public:

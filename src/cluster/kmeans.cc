@@ -1,8 +1,11 @@
 #include "cluster/kmeans.h"
 
 #include <cmath>
+#include <functional>
 #include <limits>
+#include <utility>
 
+#include "common/checkpoint.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -88,19 +91,47 @@ struct LloydResult {
   bool converged = false;
 };
 
+/// Mid-restart resume state: continue the Lloyd loop of one restart from a
+/// checkpointed iteration boundary instead of (re)initialising centres.
+struct LloydSeed {
+  size_t start_iter = 0;
+  Matrix centers;
+  std::vector<int> labels;
+};
+
+/// Called at the end of every non-final outer iteration (and on the
+/// cancellation path with `flush` set) so RunKMeans can persist the full
+/// run state. `next_iter` is the iteration a resumed run executes next.
+using LloydPersistFn = std::function<Status(size_t next_iter,
+                                            const LloydResult& current,
+                                            const Rng& child, bool flush)>;
+
 Result<LloydResult> RunLloyd(const Matrix& data, size_t k, size_t max_iters,
                              double tol, bool plus_plus, Rng* rng,
                              BudgetTracker* guard, size_t restart,
-                             ConvergenceRecorder* recorder) {
+                             ConvergenceRecorder* recorder,
+                             const LloydSeed* resume,
+                             const LloydPersistFn& persist) {
   const size_t n = data.rows();
   const size_t d = data.cols();
   LloydResult r;
-  r.centers = InitCenters(data, k, plus_plus, rng);
-  r.labels.assign(n, 0);
+  size_t start_iter = 0;
+  if (resume != nullptr) {
+    r.centers = resume->centers;
+    r.labels = resume->labels;
+    start_iter = resume->start_iter;
+    r.iterations = start_iter;
+  } else {
+    r.centers = InitCenters(data, k, plus_plus, rng);
+    r.labels.assign(n, 0);
+  }
   const std::vector<double> x_norms = RowSquaredNorms(data);
 
-  for (size_t iter = 0; iter < max_iters; ++iter) {
-    if (guard->Cancelled()) return guard->CancelledStatus();
+  for (size_t iter = start_iter; iter < max_iters; ++iter) {
+    if (guard->Cancelled()) {
+      if (persist) persist(iter, r, *rng, /*flush=*/true);
+      return guard->CancelledStatus();
+    }
     if (guard->ShouldStop(iter)) break;
     MC_METRIC_COUNT("cluster.kmeans.iterations", 1);
     {
@@ -170,10 +201,124 @@ Result<LloydResult> RunLloyd(const Matrix& data, size_t k, size_t max_iters,
       r.converged = true;
       break;
     }
+    // Persistence point: this restart continues, so a resumed run picks up
+    // at iter + 1. The restart-boundary snapshot in RunKMeans covers the
+    // converged/exhausted exits.
+    if (persist) {
+      MC_RETURN_IF_ERROR(persist(iter + 1, r, *rng, /*flush=*/false));
+    }
   }
 
   r.sse = SseOf(data, r.centers, r.labels);
   return r;
+}
+
+// Shared checkpoint state of one RunKMeans invocation: everything outside
+// the Lloyd loop that shapes the remaining computation.
+struct KMeansCkptState {
+  size_t step = 0;          ///< monotonic persistence-point counter
+  size_t restart = 0;       ///< restart to run (or resume) next
+  Rng outer_rng;            ///< stream position after this restart's Split
+  size_t winner = 0;
+  bool have_best = false;
+  LloydResult best;
+  Status last_error = Status::OK();
+  ConvergenceTrace trace;
+  bool mid_restart = false;  ///< payload carries LloydSeed + child rng
+  Rng child_rng;
+  LloydSeed seed;
+};
+
+void WriteKMeansPayload(json::Writer* w, const KMeansCkptState& s) {
+  w->BeginObject();
+  w->Key("step");
+  w->Uint(s.step);
+  w->Key("restart");
+  w->Uint(s.restart);
+  w->Key("outer_rng");
+  ckpt::WriteRng(w, s.outer_rng);
+  w->Key("winner");
+  w->Uint(s.winner);
+  w->Key("have_best");
+  w->Bool(s.have_best);
+  if (s.have_best) {
+    w->Key("best_labels");
+    ckpt::WriteIntVector(w, s.best.labels);
+    w->Key("best_centers");
+    ckpt::WriteMatrix(w, s.best.centers);
+    w->Key("best_sse");
+    w->Double(s.best.sse);
+    w->Key("best_iterations");
+    w->Uint(s.best.iterations);
+    w->Key("best_converged");
+    w->Bool(s.best.converged);
+  }
+  w->Key("last_error");
+  ckpt::WriteStatus(w, s.last_error);
+  w->Key("trace");
+  ckpt::WriteTrace(w, s.trace);
+  w->Key("mid_restart");
+  w->Bool(s.mid_restart);
+  if (s.mid_restart) {
+    w->Key("child_rng");
+    ckpt::WriteRng(w, s.child_rng);
+    w->Key("next_iter");
+    w->Uint(s.seed.start_iter);
+    w->Key("centers");
+    ckpt::WriteMatrix(w, s.seed.centers);
+    w->Key("labels");
+    ckpt::WriteIntVector(w, s.seed.labels);
+  }
+  w->EndObject();
+}
+
+Status ReadKMeansPayload(const json::Value& v, KMeansCkptState* s) {
+  MC_ASSIGN_OR_RETURN(s->step, ckpt::SizeField(v, "step"));
+  MC_ASSIGN_OR_RETURN(s->restart, ckpt::SizeField(v, "restart"));
+  MC_ASSIGN_OR_RETURN(const json::Value* outer, ckpt::Field(v, "outer_rng"));
+  MC_ASSIGN_OR_RETURN(s->outer_rng, ckpt::ReadRng(*outer));
+  MC_ASSIGN_OR_RETURN(s->winner, ckpt::SizeField(v, "winner"));
+  MC_ASSIGN_OR_RETURN(s->have_best, ckpt::BoolField(v, "have_best"));
+  if (s->have_best) {
+    MC_ASSIGN_OR_RETURN(const json::Value* bl, ckpt::Field(v, "best_labels"));
+    MC_ASSIGN_OR_RETURN(s->best.labels, ckpt::ReadIntVector(*bl));
+    MC_ASSIGN_OR_RETURN(const json::Value* bc, ckpt::Field(v, "best_centers"));
+    MC_ASSIGN_OR_RETURN(s->best.centers, ckpt::ReadMatrix(*bc));
+    MC_ASSIGN_OR_RETURN(s->best.sse, ckpt::NumberField(v, "best_sse"));
+    MC_ASSIGN_OR_RETURN(s->best.iterations,
+                        ckpt::SizeField(v, "best_iterations"));
+    MC_ASSIGN_OR_RETURN(s->best.converged,
+                        ckpt::BoolField(v, "best_converged"));
+  }
+  MC_ASSIGN_OR_RETURN(const json::Value* err, ckpt::Field(v, "last_error"));
+  MC_RETURN_IF_ERROR(ckpt::ReadStatus(*err, &s->last_error));
+  MC_ASSIGN_OR_RETURN(const json::Value* tr, ckpt::Field(v, "trace"));
+  MC_ASSIGN_OR_RETURN(s->trace, ckpt::ReadTrace(*tr));
+  MC_ASSIGN_OR_RETURN(s->mid_restart, ckpt::BoolField(v, "mid_restart"));
+  if (s->mid_restart) {
+    MC_ASSIGN_OR_RETURN(const json::Value* child, ckpt::Field(v, "child_rng"));
+    MC_ASSIGN_OR_RETURN(s->child_rng, ckpt::ReadRng(*child));
+    MC_ASSIGN_OR_RETURN(s->seed.start_iter, ckpt::SizeField(v, "next_iter"));
+    MC_ASSIGN_OR_RETURN(const json::Value* c, ckpt::Field(v, "centers"));
+    MC_ASSIGN_OR_RETURN(s->seed.centers, ckpt::ReadMatrix(*c));
+    MC_ASSIGN_OR_RETURN(const json::Value* l, ckpt::Field(v, "labels"));
+    MC_ASSIGN_OR_RETURN(s->seed.labels, ckpt::ReadIntVector(*l));
+  }
+  return Status::OK();
+}
+
+uint64_t KMeansFingerprint(const Matrix& data, const KMeansOptions& options) {
+  Fingerprint fp;
+  fp.Mix("kmeans");
+  fp.Mix(static_cast<uint64_t>(options.k));
+  fp.Mix(static_cast<uint64_t>(options.max_iters));
+  fp.MixDouble(options.tol);
+  fp.Mix(static_cast<uint64_t>(options.plus_plus_init ? 1 : 0));
+  fp.Mix(static_cast<uint64_t>(options.restarts));
+  fp.Mix(options.seed);
+  fp.Mix(static_cast<uint64_t>(options.budget.max_iterations));
+  fp.Mix(data);
+  return fp.value();
 }
 
 }  // namespace
@@ -188,41 +333,117 @@ Result<Clustering> RunKMeans(const Matrix& data,
   MULTICLUST_TRACE_SPAN("cluster.kmeans.run");
   BudgetTracker guard(options.budget, "kmeans");
   ConvergenceRecorder recorder(options.diagnostics, &guard);
-  Rng rng(options.seed);
-  LloydResult best;
-  best.sse = std::numeric_limits<double>::infinity();
-  bool have_best = false;
-  Status last_error = Status::OK();
-  const size_t restarts = options.restarts == 0 ? 1 : options.restarts;
-  for (size_t r = 0; r < restarts; ++r) {
-    Rng child = rng.Split();
-    if (r > 0 && guard.DeadlineExpired()) break;
-    MC_METRIC_COUNT("cluster.kmeans.restarts", 1);
-    Result<LloydResult> run =
-        RunLloyd(data, options.k, options.max_iters, options.tol,
-                 options.plus_plus_init, &child, &guard, r, &recorder);
-    if (!run.ok()) {
-      // Cancellation aborts the whole call; a numerically degenerate
-      // restart is skipped — the remaining restarts still compete.
-      if (run.status().code() == StatusCode::kCancelled) return run.status();
-      last_error = run.status();
-      continue;
-    }
-    if (!have_best || run->sse < best.sse) {
-      best = std::move(*run);
-      have_best = true;
-      recorder.SetWinner(r);
+  Checkpointer* ck = options.budget.checkpoint;
+  const uint64_t fp = ck != nullptr ? KMeansFingerprint(data, options) : 0;
+
+  KMeansCkptState state;
+  state.outer_rng = Rng(options.seed);
+  state.best.sse = std::numeric_limits<double>::infinity();
+  bool resume_mid = false;
+  if (ck != nullptr) {
+    if (auto restored = ck->TryRestore("kmeans", fp, options.diagnostics)) {
+      KMeansCkptState loaded;
+      const Status parsed = ReadKMeansPayload(restored->payload, &loaded);
+      if (parsed.ok()) {
+        state = std::move(loaded);
+        resume_mid = state.mid_restart;
+        if (options.diagnostics != nullptr) {
+          options.diagnostics->trace = state.trace;
+          options.diagnostics->trace.winning_restart = state.winner;
+        }
+      } else {
+        AddWarning(options.diagnostics, "kmeans",
+                   "checkpoint payload rejected (" + parsed.ToString() +
+                       "); cold start");
+      }
     }
   }
-  if (!have_best) return last_error;
-  recorder.Finish("kmeans", best.iterations, best.converged);
+
+  // One snapshot writer serves the mid-restart persistence points and the
+  // restart boundaries. `prepare` captures the expensive volatile state
+  // (centers, labels, trace) and runs only when the policy actually
+  // serializes a snapshot, so an armed-but-not-due persistence point costs
+  // a policy check and nothing else.
+  const auto snapshot =
+      [&](bool flush, FunctionRef<void()> prepare = {}) -> Status {
+    if (ck == nullptr) return Status::OK();
+    const auto payload = [&](json::Writer* w) {
+      if (prepare) prepare();
+      if (options.diagnostics != nullptr) {
+        state.trace = options.diagnostics->trace;
+      }
+      WriteKMeansPayload(w, state);
+    };
+    const Status st = flush ? ck->Flush("kmeans", fp, payload)
+                            : ck->AtPersistencePoint("kmeans", fp,
+                                                     state.step, payload);
+    ++state.step;
+    return flush ? Status::OK() : st;
+  };
+
+  const size_t restarts = options.restarts == 0 ? 1 : options.restarts;
+  const size_t start_restart = state.restart;
+  for (size_t r = start_restart; r < restarts; ++r) {
+    Rng child;
+    if (resume_mid && r == start_restart) {
+      child = state.child_rng;
+    } else {
+      child = state.outer_rng.Split();
+    }
+    if (r > 0 && guard.DeadlineExpired()) break;
+    MC_METRIC_COUNT("cluster.kmeans.restarts", 1);
+    const LloydSeed* seed =
+        (resume_mid && r == start_restart) ? &state.seed : nullptr;
+    const LloydPersistFn persist =
+        ck == nullptr
+            ? LloydPersistFn()
+            : [&](size_t next_iter, const LloydResult& current,
+                  const Rng& child_now, bool flush) -> Status {
+                return snapshot(flush, [&] {
+                  state.restart = r;
+                  state.mid_restart = true;
+                  state.child_rng = child_now;
+                  state.seed.start_iter = next_iter;
+                  state.seed.centers = current.centers;
+                  state.seed.labels = current.labels;
+                });
+              };
+    Result<LloydResult> run =
+        RunLloyd(data, options.k, options.max_iters, options.tol,
+                 options.plus_plus_init, &child, &guard, r, &recorder, seed,
+                 persist);
+    if (!run.ok()) {
+      // Cancellation (and a simulated crash) aborts the whole call; a
+      // numerically degenerate restart is skipped — the remaining restarts
+      // still compete.
+      if (run.status().code() == StatusCode::kCancelled ||
+          run.status().code() == StatusCode::kAborted) {
+        return run.status();
+      }
+      state.last_error = run.status();
+    } else if (!state.have_best || run->sse < state.best.sse) {
+      state.best = std::move(*run);
+      state.have_best = true;
+      state.winner = r;
+      recorder.SetWinner(r);
+    }
+    if (ck != nullptr && r + 1 < restarts) {
+      // Restart boundary: the next persistence point starts restart r + 1
+      // fresh (covers the converged / exhausted / skipped exits).
+      state.restart = r + 1;
+      state.mid_restart = false;
+      MC_RETURN_IF_ERROR(snapshot(/*flush=*/false));
+    }
+  }
+  if (!state.have_best) return state.last_error;
+  recorder.Finish("kmeans", state.best.iterations, state.best.converged);
   Clustering c;
-  c.labels = std::move(best.labels);
-  c.centroids = std::move(best.centers);
-  c.quality = best.sse;
+  c.labels = std::move(state.best.labels);
+  c.centroids = std::move(state.best.centers);
+  c.quality = state.best.sse;
   c.algorithm = "kmeans";
-  c.iterations = best.iterations;
-  c.converged = best.converged;
+  c.iterations = state.best.iterations;
+  c.converged = state.best.converged;
   return c;
 }
 

@@ -85,6 +85,12 @@ Result<Clustering> RunSpectral(const Matrix& data,
   km.restarts = options.kmeans_restarts;
   km.seed = options.seed;
   km.budget = guard.Remaining();
+  // Everything before the embedded k-means is deterministic recomputation,
+  // so spectral checkpoints live entirely in the k-means slot: re-attach
+  // the channel Remaining() deliberately stripped. The k-means fingerprint
+  // covers the embedding matrix, so another spectral (or plain k-means)
+  // configuration can never restore from these snapshots.
+  km.budget.checkpoint = options.budget.checkpoint;
   km.diagnostics = options.diagnostics;
   MULTICLUST_TRACE_SPAN("cluster.spectral.kmeans");
   MC_ASSIGN_OR_RETURN(Clustering c, RunKMeans(embed, km));

@@ -1,0 +1,245 @@
+#ifndef MULTICLUST_COMMON_CHECKPOINT_H_
+#define MULTICLUST_COMMON_CHECKPOINT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace multiclust {
+
+class Matrix;
+class Rng;
+struct ConvergenceTrace;
+struct RunDiagnostics;
+
+/// Crash-consistent checkpoint/resume for the iterative algorithms and the
+/// discovery pipeline (see DESIGN.md "Crash recovery").
+///
+/// Every checkpoint is one self-describing JSON document:
+///
+///   {"schema_version":1,"kind":"multiclust.checkpoint",
+///    "algorithm":"kmeans","sequence":12,"fingerprint":"0x1a2b...",
+///    "crc32":3735928559,"payload":{...}}
+///
+/// The payload is algorithm-owned opaque state (centroids, responsibilities,
+/// subspace bases, RNG stream position, restart index, best-so-far result,
+/// accumulated ConvergenceTrace). Doubles use the writer's
+/// shortest-round-trip formatting and 64-bit integers are hex strings, so a
+/// restored state is bit-identical to the saved one — a resumed run produces
+/// exactly the labels and objectives of an uninterrupted run.
+///
+/// Persistence is atomic: write to a temp file, fsync, rename over the final
+/// name, fsync the directory. A reader therefore sees either the previous
+/// complete checkpoint or the new complete checkpoint, never a torn one.
+/// Validation on load checks the envelope (kind + schema_version), a CRC-32
+/// over the serialized payload, the algorithm name, and a caller-supplied
+/// configuration fingerprint; any mismatch degrades to a cold start with an
+/// attributed RunDiagnostics warning, never an error.
+inline constexpr int kCheckpointSchemaVersion = 1;
+inline constexpr const char kCheckpointKind[] = "multiclust.checkpoint";
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib convention) of `data`.
+uint32_t Crc32(std::string_view data);
+
+/// When an armed Checkpointer persists. Snapshots only ever happen at
+/// persistence points (the end of an outer iteration / a completed pipeline
+/// stage), so any combination of triggers preserves bit-identical resume.
+struct CheckpointPolicy {
+  /// Snapshot every N persistence points (1 = every outer iteration);
+  /// 0 disables the iteration trigger.
+  size_t every_iterations = 1;
+  /// Minimum wall-clock gap between snapshots. With `every_iterations`
+  /// also set, both must agree (rate-limits tight loops); alone, it is the
+  /// sole trigger. 0 disables the interval requirement.
+  double min_interval_ms = 0.0;
+  /// Rotation: keep the newest N checkpoint files per algorithm slot.
+  size_t keep_last = 2;
+};
+
+/// Non-owning type-erased callable reference: two raw pointers, no heap.
+/// The per-iteration persistence hooks take these instead of std::function
+/// because an owning wrapper would allocate for every lambda whose capture
+/// outgrows the small-buffer optimisation — a real cost at k-means
+/// iteration rates. The referenced callable must outlive the call, which
+/// the synchronous AtPersistencePoint()/Flush() contract guarantees.
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = default;
+  FunctionRef(std::nullptr_t) {}  // NOLINT: implicit, mirrors std::function
+  template <typename F, typename = std::enable_if_t<!std::is_same_v<
+                            std::decay_t<F>, FunctionRef>>>
+  FunctionRef(const F& f)  // NOLINT: implicit by design
+      : obj_(&f), call_([](const void* obj, Args... args) -> R {
+          return (*static_cast<const F*>(obj))(std::forward<Args>(args)...);
+        }) {}
+
+  explicit operator bool() const { return call_ != nullptr; }
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  const void* obj_ = nullptr;
+  R (*call_)(const void*, Args...) = nullptr;
+};
+
+/// Deterministic configuration fingerprint (FNV-1a over option values and
+/// data contents). Algorithms mix in everything that shapes their
+/// iteration sequence so a checkpoint written under a different
+/// configuration, seed or dataset is recognised as stale and discarded.
+class Fingerprint {
+ public:
+  Fingerprint& Mix(uint64_t v);
+  Fingerprint& Mix(std::string_view s);
+  Fingerprint& MixDouble(double v);  ///< bit pattern, so -0.0 != 0.0
+  Fingerprint& Mix(const Matrix& m); ///< dimensions and every entry
+  uint64_t value() const { return state_; }
+
+ private:
+  uint64_t state_ = 0xCBF29CE484222325ULL;  // FNV offset basis
+};
+
+/// One run's checkpoint channel: a directory plus a cadence policy,
+/// attached to the algorithms via `RunBudget::checkpoint`. Not thread-safe;
+/// use one Checkpointer per run. The default-constructed budget carries no
+/// checkpointer and the per-iteration cost of the disarmed path is a single
+/// null-pointer test.
+///
+/// Algorithms interact through three calls, all keyed by their own
+/// `algorithm` slot name and config fingerprint:
+///
+///  - TryRestore(): newest valid matching checkpoint, or nullopt for a
+///    cold start (corrupt/stale files produce warnings, never errors).
+///  - AtPersistencePoint(): called once per outer iteration with a payload
+///    writer; persists when the policy says so. Under an armed
+///    `FaultKind::kCrash` fault the snapshot is forced and the call
+///    returns StatusCode::kAborted — the snapshot-then-abort simulation of
+///    a process kill at exactly this persistence point.
+///  - Flush(): force-persists (cooperative-cancellation and shutdown
+///    paths), best effort.
+class Checkpointer {
+ public:
+  Checkpointer(std::string dir, CheckpointPolicy policy = {});
+
+  const std::string& dir() const { return dir_; }
+  const CheckpointPolicy& policy() const { return policy_; }
+
+  /// A restored payload plus the sequence number it carried.
+  struct Restored {
+    json::Value payload;
+    uint64_t sequence = 0;
+  };
+
+  /// Loads the newest valid checkpoint for (algorithm, fingerprint).
+  /// Invalid candidates (truncated, checksum mismatch, stale schema, wrong
+  /// fingerprint) are skipped with a warning attributed to `algorithm`,
+  /// appended to `diagnostics` when given and to warnings() always.
+  std::optional<Restored> TryRestore(const char* algorithm,
+                                     uint64_t fingerprint,
+                                     RunDiagnostics* diagnostics);
+
+  /// Persistence-point hook; see class comment. `step` is the algorithm's
+  /// monotonic persistence-point counter (restarts included), which also
+  /// feeds the crash-injection site: MC_FAULT_FIRES(algorithm, kCrash,
+  /// step) forces the snapshot and makes the call return kAborted.
+  Status AtPersistencePoint(const char* algorithm, uint64_t fingerprint,
+                            size_t step,
+                            FunctionRef<void(json::Writer*)> payload);
+
+  /// Unconditional snapshot (cancellation / clean-shutdown flush).
+  Status Flush(const char* algorithm, uint64_t fingerprint,
+               FunctionRef<void(json::Writer*)> payload);
+
+  /// Removes every checkpoint file in the directory (fresh-start path).
+  Status Clear();
+
+  /// Warnings accumulated by TryRestore (cold-start fallbacks) and failed
+  /// writes, for callers without a RunDiagnostics sink. Draining resets.
+  std::vector<std::string> TakeWarnings();
+
+  /// Total snapshots successfully persisted by this Checkpointer.
+  size_t snapshots_written() const { return snapshots_written_; }
+
+ private:
+  Status WriteSnapshot(const char* algorithm, uint64_t fingerprint,
+                       FunctionRef<void(json::Writer*)> payload);
+  void Warn(const char* algorithm, const std::string& message,
+            RunDiagnostics* diagnostics);
+
+  std::string dir_;
+  CheckpointPolicy policy_;
+  std::vector<std::string> warnings_;
+  /// Slots that already produced a wrong-fingerprint warning. Composite
+  /// strategies (meta clustering, orthogonal projections) legitimately run
+  /// the same base algorithm many times with different seeds against one
+  /// slot; every run after an interrupt would re-discover the same stale
+  /// snapshot, so the warning fires once per slot, not once per probe.
+  std::set<std::string> stale_fp_warned_;
+  bool have_last_save_ = false;
+  std::chrono::steady_clock::time_point last_save_;
+  size_t snapshots_written_ = 0;
+};
+
+/// --- Payload building blocks shared by the algorithms' SnapshotState /
+/// RestoreState implementations. Writers append one JSON value; readers
+/// reject missing or mistyped fields with kComputationError so the caller
+/// can fall back to a cold start. ---
+namespace ckpt {
+
+/// 64-bit integers as hex strings ("0x1a2b") — JSON numbers are doubles
+/// and would silently round above 2^53.
+void WriteU64(json::Writer* w, uint64_t v);
+Result<uint64_t> ReadU64(const json::Value& v);
+
+void WriteMatrix(json::Writer* w, const Matrix& m);
+Result<Matrix> ReadMatrix(const json::Value& v);
+
+void WriteIntVector(json::Writer* w, const std::vector<int>& v);
+Result<std::vector<int>> ReadIntVector(const json::Value& v);
+
+void WriteDoubleVector(json::Writer* w, const std::vector<double>& v);
+Result<std::vector<double>> ReadDoubleVector(const json::Value& v);
+
+void WriteSizeVector(json::Writer* w, const std::vector<size_t>& v);
+Result<std::vector<size_t>> ReadSizeVector(const json::Value& v);
+
+/// Full generator state (xoshiro words + Box-Muller cache).
+void WriteRng(json::Writer* w, const Rng& rng);
+Result<Rng> ReadRng(const json::Value& v);
+
+/// Accumulated convergence telemetry, so a resumed run's trace equals the
+/// uninterrupted run's.
+void WriteTrace(json::Writer* w, const ConvergenceTrace& trace);
+Result<ConvergenceTrace> ReadTrace(const json::Value& v);
+
+void WriteStatus(json::Writer* w, const Status& status);
+/// Parses a status written by WriteStatus into *out; the return value is
+/// the parse outcome (Result<Status> would be ill-formed).
+Status ReadStatus(const json::Value& v, Status* out);
+
+/// Member lookup helpers (missing field -> kComputationError naming it).
+Result<const json::Value*> Field(const json::Value& v, const char* key);
+Result<double> NumberField(const json::Value& v, const char* key);
+Result<bool> BoolField(const json::Value& v, const char* key);
+Result<uint64_t> U64Field(const json::Value& v, const char* key);
+Result<size_t> SizeField(const json::Value& v, const char* key);
+
+}  // namespace ckpt
+}  // namespace multiclust
+
+#endif  // MULTICLUST_COMMON_CHECKPOINT_H_

@@ -11,6 +11,9 @@ enum class FaultKind {
   kInjectNaN,            ///< poison a numeric value with quiet NaN
   kForceNonConvergence,  ///< suppress an algorithm's convergence test
   kExpireDeadline,       ///< make the run budget report an expired deadline
+  kCrash,                ///< simulated process death at a persistence point:
+                         ///< the checkpointer force-snapshots, then the run
+                         ///< returns kAborted (snapshot-then-abort)
 };
 
 /// One armed fault. It fires at the named `site` (e.g. "kmeans", "gmm",

@@ -60,6 +60,10 @@ void AppendRunDiagnostics(const RunDiagnostics& diagnostics, bool with_points,
   w->Double(diagnostics.elapsed_ms);
   w->Key("note");
   w->String(diagnostics.note);
+  w->Key("warnings");
+  w->BeginArray();
+  for (const std::string& warning : diagnostics.warnings) w->String(warning);
+  w->EndArray();
   w->Key("trace");
   AppendConvergenceTrace(diagnostics.trace, with_points, w);
   w->EndObject();

@@ -27,6 +27,20 @@ Rng::Rng(uint64_t seed) {
   if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
 }
 
+RngState Rng::SaveState() const {
+  RngState s;
+  for (int i = 0; i < 4; ++i) s.words[i] = state_[i];
+  s.has_cached_gaussian = has_cached_gaussian_;
+  s.cached_gaussian = cached_gaussian_;
+  return s;
+}
+
+void Rng::RestoreState(const RngState& s) {
+  for (int i = 0; i < 4; ++i) state_[i] = s.words[i];
+  has_cached_gaussian_ = s.has_cached_gaussian;
+  cached_gaussian_ = s.cached_gaussian;
+}
+
 uint64_t Rng::NextU64() {
   const uint64_t result = RotL(state_[1] * 5, 7) * 9;
   const uint64_t t = state_[1] << 17;

@@ -7,6 +7,16 @@
 
 namespace multiclust {
 
+/// Complete serializable generator state: the four xoshiro256** words plus
+/// the Box–Muller cache. Restoring it resumes the stream at exactly the
+/// point it was saved (checkpoint/resume relies on this for bit-identical
+/// replay).
+struct RngState {
+  uint64_t words[4] = {0, 0, 0, 0};
+  bool has_cached_gaussian = false;
+  double cached_gaussian = 0.0;
+};
+
 /// One stateless SplitMix64 step: a high-quality 64-bit mix of `x`.
 /// Used wherever a derived-but-independent seed is needed (per-retry
 /// seeds, per-shard streams) — bit-reproducible across platforms.
@@ -51,6 +61,13 @@ class Rng {
 
   /// Derives an independent child generator (for per-restart streams).
   Rng Split();
+
+  /// Captures the full generator state (see RngState).
+  RngState SaveState() const;
+
+  /// Overwrites the generator state; the stream continues exactly where
+  /// the saved generator would have.
+  void RestoreState(const RngState& state);
 
  private:
   uint64_t state_[4];

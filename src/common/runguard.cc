@@ -50,8 +50,18 @@ std::string RunDiagnostics::ToString() const {
     out += ", " + std::to_string(elapsed_ms) + " ms";
   }
   if (!trace.empty()) out += ", trace: " + trace.ToString();
+  if (!warnings.empty()) {
+    out += ", " + std::to_string(warnings.size()) + " warning" +
+           (warnings.size() == 1 ? "" : "s");
+  }
   if (!note.empty()) out += " — " + note;
   return out;
+}
+
+void AddWarning(RunDiagnostics* diagnostics, const char* algorithm,
+                const std::string& message) {
+  if (diagnostics == nullptr) return;
+  diagnostics->warnings.push_back(std::string(algorithm) + ": " + message);
 }
 
 void ConvergenceRecorder::Record(size_t restart, size_t iteration,
@@ -130,6 +140,10 @@ Status BudgetTracker::CancelledStatus() const {
 
 RunBudget BudgetTracker::Remaining() const {
   RunBudget b = budget_;
+  // Never forward the checkpointer implicitly: a sub-algorithm writing
+  // under the parent's slot would interleave incompatible snapshots.
+  // Composites that want nested checkpoints re-attach it explicitly.
+  b.checkpoint = nullptr;
   if (b.deadline_ms > 0.0) {
     const double left = b.deadline_ms - ElapsedMs();
     // Keep the deadline active (0 would mean "none"): an exhausted budget

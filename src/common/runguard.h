@@ -15,6 +15,7 @@
 
 namespace multiclust {
 
+class Checkpointer;
 class Matrix;
 
 /// Cooperative cancellation flag shared between a caller (e.g. a request
@@ -43,13 +44,22 @@ class CancelToken {
 ///  - `max_iterations` caps the *outer* iterations of each optimisation
 ///    loop (per restart), on top of the algorithm's own `max_iters`.
 ///  - `cancel` aborts the run with StatusCode::kCancelled (no result).
+///  - `checkpoint` arms crash-consistent snapshots (common/checkpoint.h):
+///    the algorithm restores from the newest valid checkpoint at entry and
+///    persists at policy-selected outer-iteration boundaries. The
+///    checkpointer is deliberately NOT forwarded by
+///    `BudgetTracker::Remaining()` — nested algorithms sharing the parent's
+///    slot would corrupt each other's files — composites that want nested
+///    checkpoints re-attach it explicitly under their own naming.
 struct RunBudget {
   double deadline_ms = 0.0;   ///< wall-clock limit; 0 = none
   size_t max_iterations = 0;  ///< outer-iteration cap; 0 = none
   const CancelToken* cancel = nullptr;
+  Checkpointer* checkpoint = nullptr;  ///< snapshot channel; null = disarmed
 
   bool unlimited() const {
-    return deadline_ms <= 0.0 && max_iterations == 0 && cancel == nullptr;
+    return deadline_ms <= 0.0 && max_iterations == 0 && cancel == nullptr &&
+           checkpoint == nullptr;
   }
 
   static RunBudget Unlimited() { return {}; }
@@ -124,9 +134,19 @@ struct RunDiagnostics {
   std::string note;
   /// Per-outer-iteration convergence telemetry (see ConvergenceTrace).
   ConvergenceTrace trace;
+  /// Non-fatal events, each prefixed with the algorithm that produced it
+  /// ("kmeans: ...") so composite runs (spectral→kmeans, mSC→views,
+  /// meta→bases) stay attributable. Append via AddWarning.
+  std::vector<std::string> warnings;
 
   std::string ToString() const;
 };
+
+/// Appends "<algorithm>: <message>" to diagnostics->warnings (no-op on a
+/// null sink). The single entry point for warning accumulation, so inner
+/// algorithms of a composite are always named.
+void AddWarning(RunDiagnostics* diagnostics, const char* algorithm,
+                const std::string& message);
 
 /// Budget enforcement for one algorithm invocation: captures the start
 /// time at construction and answers per-iteration "should I stop?" /

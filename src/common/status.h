@@ -20,6 +20,8 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kCancelled,  ///< run aborted cooperatively via a CancelToken
+  kAborted,    ///< run terminated mid-flight (e.g. simulated crash); a
+               ///< checkpoint, if armed, holds the state to resume from
 };
 
 /// Returns a short human-readable name for `code`, e.g. "InvalidArgument".
@@ -67,6 +69,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

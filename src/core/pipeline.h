@@ -74,6 +74,16 @@ struct DiscoveryReport {
 /// of this data". Selects k if requested, runs the chosen strategy,
 /// deduplicates near-identical solutions, and scores the set with
 /// Q = silhouette and Diss = 1 - NMI.
+///
+/// With `options.budget.checkpoint` set, the pipeline itself snapshots at
+/// stage boundaries — after k-selection and after each completed strategy
+/// attempt (the attempt ledger, warnings and, once solved, the full
+/// solution set) — and forwards the checkpointer to every inner algorithm,
+/// which snapshots at its own iteration granularity under a distinct file
+/// slot in the same directory. A resumed call skips completed stages and
+/// produces a bit-identical DiscoveryReport; dedup and objective scoring
+/// are recomputed deterministically rather than persisted. See DESIGN.md
+/// "Crash recovery".
 Result<DiscoveryReport> DiscoverMultipleClusterings(
     const Matrix& data, const DiscoveryOptions& options);
 

@@ -5,6 +5,7 @@
 /// library. Fine-grained includes (e.g. "altspace/coala.h") keep compile
 /// times lower; this header exists for quick experiments and the examples.
 
+#include "common/checkpoint.h"  // IWYU pragma: export
 #include "common/fault.h"     // IWYU pragma: export
 #include "common/json.h"      // IWYU pragma: export
 #include "common/report.h"    // IWYU pragma: export

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <limits>
 #include <string>
+#include <utility>
 
+#include "common/checkpoint.h"
 #include "common/fault.h"
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -28,6 +30,77 @@ Matrix ComputeResponsibilities(const GmmModel& model, const Matrix& data) {
     for (size_t c = 0; c < model.k(); ++c) resp.at(i, c) = r[c];
   }
   return resp;
+}
+
+// Checkpoint state between co-EM rounds. resp1 is NOT serialized: at every
+// persistence point it equals ComputeResponsibilities(m1, view1), which
+// the resume path recomputes bit-identically from the restored model.
+struct CoEmCkptState {
+  size_t step = 0;
+  size_t next_iter = 0;
+  GmmModel m1;
+  GmmModel m2;
+  bool has_best = false;  // best_ll starts at -inf, unrepresentable in JSON
+  double best_ll = 0.0;
+  size_t stale = 0;
+  size_t iterations_done = 0;
+  ConvergenceTrace trace;
+};
+
+void WriteCoEmPayload(json::Writer* w, const CoEmCkptState& s) {
+  w->BeginObject();
+  w->Key("step");
+  w->Uint(s.step);
+  w->Key("next_iter");
+  w->Uint(s.next_iter);
+  w->Key("m1");
+  WriteGmmModelCkpt(w, s.m1);
+  w->Key("m2");
+  WriteGmmModelCkpt(w, s.m2);
+  w->Key("has_best");
+  w->Bool(s.has_best);
+  w->Key("best_ll");
+  w->Double(s.has_best ? s.best_ll : 0.0);
+  w->Key("stale");
+  w->Uint(s.stale);
+  w->Key("iterations_done");
+  w->Uint(s.iterations_done);
+  w->Key("trace");
+  ckpt::WriteTrace(w, s.trace);
+  w->EndObject();
+}
+
+Status ReadCoEmPayload(const json::Value& v, CoEmCkptState* s) {
+  MC_ASSIGN_OR_RETURN(s->step, ckpt::SizeField(v, "step"));
+  MC_ASSIGN_OR_RETURN(s->next_iter, ckpt::SizeField(v, "next_iter"));
+  MC_ASSIGN_OR_RETURN(const json::Value* m1, ckpt::Field(v, "m1"));
+  MC_ASSIGN_OR_RETURN(s->m1, ReadGmmModelCkpt(*m1));
+  MC_ASSIGN_OR_RETURN(const json::Value* m2, ckpt::Field(v, "m2"));
+  MC_ASSIGN_OR_RETURN(s->m2, ReadGmmModelCkpt(*m2));
+  MC_ASSIGN_OR_RETURN(s->has_best, ckpt::BoolField(v, "has_best"));
+  MC_ASSIGN_OR_RETURN(s->best_ll, ckpt::NumberField(v, "best_ll"));
+  if (!s->has_best) s->best_ll = -std::numeric_limits<double>::infinity();
+  MC_ASSIGN_OR_RETURN(s->stale, ckpt::SizeField(v, "stale"));
+  MC_ASSIGN_OR_RETURN(s->iterations_done,
+                      ckpt::SizeField(v, "iterations_done"));
+  MC_ASSIGN_OR_RETURN(const json::Value* tr, ckpt::Field(v, "trace"));
+  MC_ASSIGN_OR_RETURN(s->trace, ckpt::ReadTrace(*tr));
+  return Status::OK();
+}
+
+uint64_t CoEmFingerprint(const Matrix& view1, const Matrix& view2,
+                         const CoEmOptions& options) {
+  Fingerprint fp;
+  fp.Mix("co-em");
+  fp.Mix(static_cast<uint64_t>(options.k));
+  fp.Mix(static_cast<uint64_t>(options.max_iters));
+  fp.MixDouble(options.variance_floor);
+  fp.Mix(static_cast<uint64_t>(options.patience));
+  fp.Mix(options.seed);
+  fp.Mix(static_cast<uint64_t>(options.budget.max_iterations));
+  fp.Mix(view1);
+  fp.Mix(view2);
+  return fp.value();
 }
 
 }  // namespace
@@ -54,17 +127,79 @@ Result<CoEmResult> RunCoEm(const Matrix& view1, const Matrix& view2,
       InitGmm(view2, options.k, CovarianceType::kDiagonal,
               options.seed ^ 0x9E3779B9ULL));
 
-  // Prime: one E-step in view 1 to produce the first responsibilities.
-  Matrix resp1 = ComputeResponsibilities(m1, view1);
-
   // Termination: co-EM need not converge (slide 104), so run a minimum
   // number of rounds and then stop once the joint log-likelihood has been
   // flat for `patience` rounds.
   const size_t kMinIters = 10;
   double best_ll = -std::numeric_limits<double>::infinity();
   size_t stale = 0;
-  for (size_t iter = 0; iter < options.max_iters; ++iter) {
-    if (guard.Cancelled()) return guard.CancelledStatus();
+  size_t start_iter = 0;
+
+  // --- Checkpoint/resume ----------------------------------------------
+  Checkpointer* ckp = options.budget.checkpoint;
+  const uint64_t fp =
+      ckp != nullptr ? CoEmFingerprint(view1, view2, options) : 0;
+  size_t ckpt_step = 0;
+  if (ckp != nullptr) {
+    if (auto restored = ckp->TryRestore("co-em", fp, options.diagnostics)) {
+      CoEmCkptState state;
+      Status parsed = ReadCoEmPayload(restored->payload, &state);
+      if (parsed.ok() && state.m1.k() == options.k &&
+          state.m2.k() == options.k) {
+        m1 = std::move(state.m1);
+        m2 = std::move(state.m2);
+        best_ll = state.best_ll;
+        stale = state.stale;
+        start_iter = state.next_iter;
+        result.iterations = state.iterations_done;
+        ckpt_step = state.step;
+        if (options.diagnostics != nullptr) {
+          options.diagnostics->trace = state.trace;
+        }
+      } else {
+        AddWarning(options.diagnostics, "co-em",
+                   "checkpoint payload rejected (" +
+                       (parsed.ok() ? std::string("component count mismatch")
+                                    : parsed.message()) +
+                       "); cold start");
+      }
+    }
+  }
+  // The model/trace copies live inside the payload writer, so an
+  // armed-but-not-due persistence point pays only the policy check.
+  auto snapshot = [&](size_t next_iter, bool flush) -> Status {
+    auto payload = [&](json::Writer* w) {
+      CoEmCkptState s;
+      s.step = ckpt_step;
+      s.next_iter = next_iter;
+      s.m1 = m1;
+      s.m2 = m2;
+      s.has_best = std::isfinite(best_ll);
+      s.best_ll = best_ll;
+      s.stale = stale;
+      s.iterations_done = result.iterations;
+      if (options.diagnostics != nullptr) s.trace = options.diagnostics->trace;
+      WriteCoEmPayload(w, s);
+    };
+    Status st = flush ? ckp->Flush("co-em", fp, payload)
+                      : ckp->AtPersistencePoint("co-em", fp, ckpt_step,
+                                                payload);
+    ++ckpt_step;
+    return flush ? Status::OK() : st;
+  };
+  // ---------------------------------------------------------------------
+
+  // Prime: one E-step in view 1 to produce the first responsibilities.
+  // On resume this replays the E-step the interrupted run took at the end
+  // of its last completed round — bit-identical, since it is a pure
+  // function of the restored view-1 model.
+  Matrix resp1 = ComputeResponsibilities(m1, view1);
+
+  for (size_t iter = start_iter; iter < options.max_iters; ++iter) {
+    if (guard.Cancelled()) {
+      if (ckp != nullptr) (void)snapshot(iter, /*flush=*/true);
+      return guard.CancelledStatus();
+    }
     if (guard.ShouldStop(iter)) break;
     MC_METRIC_COUNT("multiview.co_em.iterations", 1);
     MULTICLUST_TRACE_SPAN("multiview.co_em.round");
@@ -105,6 +240,12 @@ Result<CoEmResult> RunCoEm(const Matrix& view1, const Matrix& view2,
         result.converged = true;
         break;
       }
+    }
+    // Persistence point: round complete, models and staleness counters
+    // consistent. Skipped on the convergence break above — there is
+    // nothing left to resume into.
+    if (ckp != nullptr) {
+      MC_RETURN_IF_ERROR(snapshot(iter + 1, /*flush=*/false));
     }
   }
 

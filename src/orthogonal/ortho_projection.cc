@@ -63,7 +63,12 @@ Result<OrthoProjectionResult> RunOrthoProjection(
   // so far: any recoverable failure after the first view degrades to a
   // partial result instead of discarding completed work.
   const auto recover = [&](const Status& status) -> Result<bool> {
-    if (status.code() == StatusCode::kCancelled) return status;
+    // Cancellation and a simulated crash are final — salvaging a partial
+    // result would let an injected crash masquerade as convergence.
+    if (status.code() == StatusCode::kCancelled ||
+        status.code() == StatusCode::kAborted) {
+      return status;
+    }
     if (result.views.empty()) return status;  // nothing to salvage
     result.stopped_early = true;
     result.stop_message = status.ToString();

@@ -71,6 +71,8 @@ Result<MscResult> RunMultipleSpectralViews(const Matrix& data,
     if (!result.views.empty() && guard.DeadlineExpired()) {
       result.warnings.push_back("mSC: deadline expired before view " +
                                 std::to_string(v));
+      AddWarning(options.diagnostics, "msc",
+                 "deadline expired before view " + std::to_string(v));
       break;
     }
     const Matrix projected = data.SelectColumns(view.dims);
@@ -79,15 +81,25 @@ Result<MscResult> RunMultipleSpectralViews(const Matrix& data,
     spec.gamma = options.gamma;
     spec.seed = options.seed + v;
     spec.budget = guard.Remaining();
+    // Re-attach the checkpoint channel Remaining() strips: each view's
+    // embedded k-means fingerprints its own embedding, so the shared slot
+    // cannot leak state across views.
+    spec.budget.checkpoint = options.budget.checkpoint;
     spec.diagnostics = options.diagnostics;
     Result<Clustering> clustering = RunSpectral(projected, spec);
     if (!clustering.ok()) {
-      if (clustering.status().code() == StatusCode::kCancelled) {
+      // A cancelled or crash-aborted view ends the whole run; only
+      // recoverable computation errors degrade to a skipped view.
+      if (clustering.status().code() == StatusCode::kCancelled ||
+          clustering.status().code() == StatusCode::kAborted) {
         return clustering.status();
       }
       result.warnings.push_back("mSC: view " + std::to_string(v) +
                                 " skipped: " +
                                 clustering.status().ToString());
+      AddWarning(options.diagnostics, "msc",
+                 "view " + std::to_string(v) +
+                     " skipped: " + clustering.status().ToString());
       continue;
     }
     view.clustering = std::move(*clustering);

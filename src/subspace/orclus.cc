@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
+#include <string>
+#include <utility>
 
+#include "common/checkpoint.h"
 #include "common/fault.h"
 #include "common/metrics.h"
 #include "common/rng.h"
@@ -108,11 +112,34 @@ Result<double> MergeCost(const Matrix& data, const Group& a, const Group& b,
 
 namespace {
 
+// Mid-restart resume state for one RunOrclusOnce invocation: the merge
+// schedule's full working set. The refinement loop is NOT checkpointed —
+// it is a pure replay from the last merge-loop persistence point (the rng
+// is untouched between seeding and refinement, so its saved position
+// already covers the refinement's empty-group reseeds).
+struct OrclusSeed {
+  size_t start_iter = 0;
+  std::vector<Group> groups;
+  double qc = 0.0;
+  bool has_prev = false;
+  double prev_energy = 0.0;
+  size_t iterations = 0;
+  Rng rng;  ///< stream position at the persistence point
+};
+
+// The persist callback receives a *builder* rather than a packed seed so
+// the O(k·d²) group copy happens only when the policy actually serializes
+// a snapshot.
+using OrclusSeedFn = FunctionRef<OrclusSeed()>;
+using OrclusPersistFn = std::function<Status(OrclusSeedFn, bool flush)>;
+
 Result<OrclusResult> RunOrclusOnce(const Matrix& data,
                                    const OrclusOptions& options,
                                    uint64_t seed, BudgetTracker* guard,
                                    size_t restart,
-                                   ConvergenceRecorder* recorder) {
+                                   ConvergenceRecorder* recorder,
+                                   const OrclusSeed* resume,
+                                   const OrclusPersistFn& persist) {
   const size_t n = data.rows();
   const size_t d = data.cols();
   Rng rng(seed);
@@ -120,29 +147,61 @@ Result<OrclusResult> RunOrclusOnce(const Matrix& data,
   bool stopped_early = false;
 
   // Seeds: k0 = a_factor * k random objects, working dimensionality starts
-  // at d and decays towards l as clusters merge towards k.
+  // at d and decays towards l as clusters merge towards k. The decay
+  // factors depend only on this *initial* kc, so they are recomputed
+  // identically on resume before the working set is overwritten.
   size_t kc = std::min(n, std::max(options.k, options.a_factor * options.k));
-  std::vector<Group> groups(kc);
-  {
+  const double alpha =
+      std::pow(static_cast<double>(options.k) / static_cast<double>(kc),
+               1.0 / static_cast<double>(options.max_iters));
+  const double beta =
+      std::pow(static_cast<double>(options.l) / static_cast<double>(d),
+               1.0 / static_cast<double>(options.max_iters));
+
+  std::vector<Group> groups;
+  double qc = static_cast<double>(d);
+  double prev_energy = std::numeric_limits<double>::infinity();
+  size_t start_iter = 0;
+  if (resume != nullptr) {
+    groups = resume->groups;
+    kc = groups.size();
+    qc = resume->qc;
+    prev_energy = resume->has_prev
+                      ? resume->prev_energy
+                      : std::numeric_limits<double>::infinity();
+    iterations = resume->iterations;
+    start_iter = resume->start_iter;
+    rng = resume->rng;
+  } else {
+    groups.resize(kc);
     const std::vector<size_t> picks = rng.SampleWithoutReplacement(n, kc);
     for (size_t g = 0; g < kc; ++g) {
       groups[g].centroid = data.Row(picks[g]);
       groups[g].basis = Matrix::Identity(d);
     }
   }
-  double qc = static_cast<double>(d);
 
-  // Decay factors so that kc -> k and qc -> l over max_iters rounds.
-  const double alpha =
-      std::pow(static_cast<double>(options.k) / static_cast<double>(kc),
-               1.0 / static_cast<double>(options.max_iters));
-  const double beta =
-      std::pow(static_cast<double>(options.l) / qc,
-               1.0 / static_cast<double>(options.max_iters));
+  // Packs the current merge-loop state for the persist callback.
+  const auto make_seed = [&](size_t next_iter) {
+    OrclusSeed s;
+    s.start_iter = next_iter;
+    s.groups = groups;
+    s.qc = qc;
+    s.has_prev = std::isfinite(prev_energy);
+    s.prev_energy = s.has_prev ? prev_energy : 0.0;
+    s.iterations = iterations;
+    s.rng = rng;
+    return s;
+  };
 
-  double prev_energy = std::numeric_limits<double>::infinity();
-  for (size_t iter = 0; iter < options.max_iters || kc > options.k; ++iter) {
-    if (guard->Cancelled()) return guard->CancelledStatus();
+  for (size_t iter = start_iter; iter < options.max_iters || kc > options.k;
+       ++iter) {
+    if (guard->Cancelled()) {
+      if (persist) {
+        (void)persist([&] { return make_seed(iter); }, /*flush=*/true);
+      }
+      return guard->CancelledStatus();
+    }
     if (guard->ShouldStop(iter)) {
       stopped_early = true;
       break;
@@ -243,6 +302,13 @@ Result<OrclusResult> RunOrclusOnce(const Matrix& data,
       break;
     }
     if (iter > options.max_iters + 8) break;  // safety
+    // Persistence point: the schedule continues, so a resumed run picks up
+    // at iter + 1. The exits above fall through to the refinement loop,
+    // which replays deterministically from the previous snapshot.
+    if (persist) {
+      MC_RETURN_IF_ERROR(
+          persist([&] { return make_seed(iter + 1); }, /*flush=*/false));
+    }
   }
 
   // Final refinement at (k, l): iterate projected assignment and subspace
@@ -316,6 +382,175 @@ Result<OrclusResult> RunOrclusOnce(const Matrix& data,
   return result;
 }
 
+void WriteGroup(json::Writer* w, const Group& g) {
+  w->BeginObject();
+  w->Key("c");
+  ckpt::WriteDoubleVector(w, g.centroid);
+  w->Key("b");
+  ckpt::WriteMatrix(w, g.basis);
+  w->Key("m");
+  ckpt::WriteIntVector(w, g.members);
+  w->EndObject();
+}
+
+Result<Group> ReadGroup(const json::Value& v) {
+  Group g;
+  MC_ASSIGN_OR_RETURN(const json::Value* c, ckpt::Field(v, "c"));
+  MC_ASSIGN_OR_RETURN(g.centroid, ckpt::ReadDoubleVector(*c));
+  MC_ASSIGN_OR_RETURN(const json::Value* b, ckpt::Field(v, "b"));
+  MC_ASSIGN_OR_RETURN(g.basis, ckpt::ReadMatrix(*b));
+  MC_ASSIGN_OR_RETURN(const json::Value* m, ckpt::Field(v, "m"));
+  MC_ASSIGN_OR_RETURN(g.members, ckpt::ReadIntVector(*m));
+  return g;
+}
+
+void WriteOrclusResultCkpt(json::Writer* w, const OrclusResult& r) {
+  w->BeginObject();
+  w->Key("energy");
+  w->Double(r.projected_energy);
+  w->Key("labels");
+  ckpt::WriteIntVector(w, r.clustering.labels);
+  w->Key("iterations");
+  w->Uint(r.clustering.iterations);
+  w->Key("converged");
+  w->Bool(r.clustering.converged);
+  w->Key("subspaces");
+  w->BeginArray();
+  for (const OrientedSubspace& s : r.subspaces) ckpt::WriteMatrix(w, s.basis);
+  w->EndArray();
+  w->EndObject();
+}
+
+Result<OrclusResult> ReadOrclusResultCkpt(const json::Value& v) {
+  OrclusResult r;
+  MC_ASSIGN_OR_RETURN(r.projected_energy, ckpt::NumberField(v, "energy"));
+  MC_ASSIGN_OR_RETURN(const json::Value* l, ckpt::Field(v, "labels"));
+  MC_ASSIGN_OR_RETURN(r.clustering.labels, ckpt::ReadIntVector(*l));
+  MC_ASSIGN_OR_RETURN(r.clustering.iterations,
+                      ckpt::SizeField(v, "iterations"));
+  MC_ASSIGN_OR_RETURN(r.clustering.converged,
+                      ckpt::BoolField(v, "converged"));
+  r.clustering.algorithm = "orclus";
+  MC_ASSIGN_OR_RETURN(const json::Value* subs, ckpt::Field(v, "subspaces"));
+  if (!subs->is_array()) {
+    return Status::ComputationError("checkpoint: ORCLUS subspaces malformed");
+  }
+  for (const json::Value& s : subs->array_items()) {
+    MC_ASSIGN_OR_RETURN(Matrix basis, ckpt::ReadMatrix(s));
+    r.subspaces.push_back({std::move(basis)});
+  }
+  return r;
+}
+
+// Shared checkpoint state of one RunOrclus invocation (mirrors the
+// k-means layout: outer restart bookkeeping + optional mid-restart seed).
+struct OrclusCkptState {
+  size_t step = 0;
+  size_t restart = 0;
+  Rng outer_rng;
+  bool have_best = false;
+  OrclusResult best;
+  Status last_error = Status::OK();
+  ConvergenceTrace trace;
+  bool mid_restart = false;
+  uint64_t restart_seed = 0;  ///< seed the interrupted restart was launched with
+  OrclusSeed seed;
+};
+
+void WriteOrclusPayload(json::Writer* w, const OrclusCkptState& s) {
+  w->BeginObject();
+  w->Key("step");
+  w->Uint(s.step);
+  w->Key("restart");
+  w->Uint(s.restart);
+  w->Key("outer_rng");
+  ckpt::WriteRng(w, s.outer_rng);
+  w->Key("have_best");
+  w->Bool(s.have_best);
+  if (s.have_best) {
+    w->Key("best");
+    WriteOrclusResultCkpt(w, s.best);
+  }
+  w->Key("last_error");
+  ckpt::WriteStatus(w, s.last_error);
+  w->Key("trace");
+  ckpt::WriteTrace(w, s.trace);
+  w->Key("mid_restart");
+  w->Bool(s.mid_restart);
+  if (s.mid_restart) {
+    w->Key("restart_seed");
+    ckpt::WriteU64(w, s.restart_seed);
+    w->Key("next_iter");
+    w->Uint(s.seed.start_iter);
+    w->Key("groups");
+    w->BeginArray();
+    for (const Group& g : s.seed.groups) WriteGroup(w, g);
+    w->EndArray();
+    w->Key("qc");
+    w->Double(s.seed.qc);
+    w->Key("has_prev");
+    w->Bool(s.seed.has_prev);
+    w->Key("prev_energy");
+    w->Double(s.seed.has_prev ? s.seed.prev_energy : 0.0);
+    w->Key("iterations");
+    w->Uint(s.seed.iterations);
+    w->Key("rng");
+    ckpt::WriteRng(w, s.seed.rng);
+  }
+  w->EndObject();
+}
+
+Status ReadOrclusPayload(const json::Value& v, OrclusCkptState* s) {
+  MC_ASSIGN_OR_RETURN(s->step, ckpt::SizeField(v, "step"));
+  MC_ASSIGN_OR_RETURN(s->restart, ckpt::SizeField(v, "restart"));
+  MC_ASSIGN_OR_RETURN(const json::Value* outer, ckpt::Field(v, "outer_rng"));
+  MC_ASSIGN_OR_RETURN(s->outer_rng, ckpt::ReadRng(*outer));
+  MC_ASSIGN_OR_RETURN(s->have_best, ckpt::BoolField(v, "have_best"));
+  if (s->have_best) {
+    MC_ASSIGN_OR_RETURN(const json::Value* b, ckpt::Field(v, "best"));
+    MC_ASSIGN_OR_RETURN(s->best, ReadOrclusResultCkpt(*b));
+  }
+  MC_ASSIGN_OR_RETURN(const json::Value* err, ckpt::Field(v, "last_error"));
+  MC_RETURN_IF_ERROR(ckpt::ReadStatus(*err, &s->last_error));
+  MC_ASSIGN_OR_RETURN(const json::Value* tr, ckpt::Field(v, "trace"));
+  MC_ASSIGN_OR_RETURN(s->trace, ckpt::ReadTrace(*tr));
+  MC_ASSIGN_OR_RETURN(s->mid_restart, ckpt::BoolField(v, "mid_restart"));
+  if (s->mid_restart) {
+    MC_ASSIGN_OR_RETURN(s->restart_seed, ckpt::U64Field(v, "restart_seed"));
+    MC_ASSIGN_OR_RETURN(s->seed.start_iter, ckpt::SizeField(v, "next_iter"));
+    MC_ASSIGN_OR_RETURN(const json::Value* gs, ckpt::Field(v, "groups"));
+    if (!gs->is_array()) {
+      return Status::ComputationError("checkpoint: ORCLUS groups malformed");
+    }
+    for (const json::Value& g : gs->array_items()) {
+      MC_ASSIGN_OR_RETURN(Group grp, ReadGroup(g));
+      s->seed.groups.push_back(std::move(grp));
+    }
+    MC_ASSIGN_OR_RETURN(s->seed.qc, ckpt::NumberField(v, "qc"));
+    MC_ASSIGN_OR_RETURN(s->seed.has_prev, ckpt::BoolField(v, "has_prev"));
+    MC_ASSIGN_OR_RETURN(s->seed.prev_energy,
+                        ckpt::NumberField(v, "prev_energy"));
+    MC_ASSIGN_OR_RETURN(s->seed.iterations, ckpt::SizeField(v, "iterations"));
+    MC_ASSIGN_OR_RETURN(const json::Value* rs, ckpt::Field(v, "rng"));
+    MC_ASSIGN_OR_RETURN(s->seed.rng, ckpt::ReadRng(*rs));
+  }
+  return Status::OK();
+}
+
+uint64_t OrclusFingerprint(const Matrix& data, const OrclusOptions& options) {
+  Fingerprint fp;
+  fp.Mix("orclus");
+  fp.Mix(static_cast<uint64_t>(options.k));
+  fp.Mix(static_cast<uint64_t>(options.l));
+  fp.Mix(static_cast<uint64_t>(options.a_factor));
+  fp.Mix(static_cast<uint64_t>(options.max_iters));
+  fp.Mix(static_cast<uint64_t>(options.restarts));
+  fp.Mix(options.seed);
+  fp.Mix(static_cast<uint64_t>(options.budget.max_iterations));
+  fp.Mix(data);
+  return fp.value();
+}
+
 }  // namespace
 
 Result<OrclusResult> RunOrclus(const Matrix& data,
@@ -332,32 +567,98 @@ Result<OrclusResult> RunOrclus(const Matrix& data,
   MULTICLUST_TRACE_SPAN("subspace.orclus.run");
   BudgetTracker guard(options.budget, "orclus");
   ConvergenceRecorder recorder(options.diagnostics, &guard);
-  Rng rng(options.seed);
-  OrclusResult best;
-  bool have_best = false;
-  Status last_error = Status::OK();
-  const size_t restarts = options.restarts == 0 ? 1 : options.restarts;
-  for (size_t r = 0; r < restarts; ++r) {
-    const uint64_t restart_seed = rng.NextU64();
-    if (r > 0 && guard.DeadlineExpired()) break;
-    MC_METRIC_COUNT("subspace.orclus.restarts", 1);
-    Result<OrclusResult> run =
-        RunOrclusOnce(data, options, restart_seed, &guard, r, &recorder);
-    if (!run.ok()) {
-      if (run.status().code() == StatusCode::kCancelled) return run.status();
-      last_error = run.status();
-      continue;  // a degenerate restart does not kill the others
-    }
-    if (!have_best || run->projected_energy < best.projected_energy) {
-      best = std::move(*run);
-      have_best = true;
-      recorder.SetWinner(r);
+  Checkpointer* ck = options.budget.checkpoint;
+  const uint64_t fp = ck != nullptr ? OrclusFingerprint(data, options) : 0;
+
+  OrclusCkptState state;
+  state.outer_rng = Rng(options.seed);
+  bool resume_mid = false;
+  if (ck != nullptr) {
+    if (auto restored = ck->TryRestore("orclus", fp, options.diagnostics)) {
+      OrclusCkptState loaded;
+      const Status parsed = ReadOrclusPayload(restored->payload, &loaded);
+      if (parsed.ok()) {
+        state = std::move(loaded);
+        resume_mid = state.mid_restart;
+        if (options.diagnostics != nullptr) {
+          options.diagnostics->trace = state.trace;
+        }
+      } else {
+        AddWarning(options.diagnostics, "orclus",
+                   "checkpoint payload rejected (" + parsed.ToString() +
+                       "); cold start");
+      }
     }
   }
-  if (!have_best) return last_error;
-  recorder.Finish("orclus", best.clustering.iterations,
-                  best.clustering.converged);
-  return best;
+
+  // `prepare` defers the seed/trace capture until a snapshot is actually
+  // serialized, keeping armed-but-not-due persistence points cheap.
+  const auto snapshot =
+      [&](bool flush, FunctionRef<void()> prepare = {}) -> Status {
+    if (ck == nullptr) return Status::OK();
+    const auto payload = [&](json::Writer* w) {
+      if (prepare) prepare();
+      if (options.diagnostics != nullptr) {
+        state.trace = options.diagnostics->trace;
+      }
+      WriteOrclusPayload(w, state);
+    };
+    const Status st = flush ? ck->Flush("orclus", fp, payload)
+                            : ck->AtPersistencePoint("orclus", fp,
+                                                     state.step, payload);
+    ++state.step;
+    return flush ? Status::OK() : st;
+  };
+
+  const size_t restarts = options.restarts == 0 ? 1 : options.restarts;
+  const size_t start_restart = state.restart;
+  for (size_t r = start_restart; r < restarts; ++r) {
+    const bool resuming = resume_mid && r == start_restart;
+    // A resumed restart re-uses the seed it was originally launched with
+    // (the outer rng was saved *after* the draw, so it must not re-draw).
+    const uint64_t restart_seed =
+        resuming ? state.restart_seed : state.outer_rng.NextU64();
+    if (r > 0 && guard.DeadlineExpired()) break;
+    MC_METRIC_COUNT("subspace.orclus.restarts", 1);
+    const OrclusSeed* seed = resuming ? &state.seed : nullptr;
+    const OrclusPersistFn persist =
+        ck == nullptr
+            ? OrclusPersistFn()
+            : [&](OrclusSeedFn make, bool flush) -> Status {
+                return snapshot(flush, [&] {
+                  state.restart = r;
+                  state.mid_restart = true;
+                  state.restart_seed = restart_seed;
+                  state.seed = make();
+                });
+              };
+    Result<OrclusResult> run = RunOrclusOnce(data, options, restart_seed,
+                                             &guard, r, &recorder, seed,
+                                             persist);
+    if (!run.ok()) {
+      if (run.status().code() == StatusCode::kCancelled ||
+          run.status().code() == StatusCode::kAborted) {
+        return run.status();
+      }
+      state.last_error = run.status();
+    } else if (!state.have_best ||
+               run->projected_energy < state.best.projected_energy) {
+      state.best = std::move(*run);
+      state.have_best = true;
+      recorder.SetWinner(r);
+    }
+    if (ck != nullptr && r + 1 < restarts) {
+      // Restart boundary (covers the converged / skipped exits).
+      state.restart = r + 1;
+      state.mid_restart = false;
+      state.seed = OrclusSeed();
+      MC_RETURN_IF_ERROR(snapshot(/*flush=*/false));
+    }
+  }
+  if (!state.have_best) return state.last_error;
+  recorder.Finish("orclus", state.best.clustering.iterations,
+                  state.best.clustering.converged);
+  return std::move(state.best);
 }
 
 }  // namespace multiclust
