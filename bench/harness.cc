@@ -4,8 +4,11 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
+#include "common/parallel.h"
 #include "common/report.h"
+#include "linalg/kernels.h"
 
 namespace multiclust {
 namespace bench {
@@ -113,6 +116,30 @@ std::string Harness::DocumentJson() const {
   w.String(title_);
   w.Key("quick");
   w.Bool(quick_);
+
+  // Hardware context: timing numbers (and SIMD speedup ratios) are only
+  // comparable between documents recorded on matching hosts; bench_diff
+  // warns when these fields differ.
+  {
+    const kernels::SimdInfo simd = kernels::Info();
+    w.Key("host");
+    w.BeginObject();
+    w.Key("logical_cores");
+    w.Int(static_cast<int64_t>(std::thread::hardware_concurrency()));
+    w.Key("threads");
+    w.Int(static_cast<int64_t>(ThreadCount()));
+    w.Key("isa");
+    w.String(kernels::RuntimeIsa());
+    w.Key("simd_backend");
+    w.String(simd.backend);
+    w.Key("simd_compiled");
+    w.Bool(simd.compiled_simd);
+    w.Key("double_lanes");
+    w.Int(simd.double_lanes);
+    w.Key("float_lanes");
+    w.Int(simd.float_lanes);
+    w.EndObject();
+  }
 
   w.Key("scalars");
   w.BeginArray();
@@ -293,6 +320,11 @@ Status ValidateBenchDocument(const json::Value& doc) {
   MC_RETURN_IF_ERROR(Expect(doc.Find("quick") != nullptr &&
                                 doc.Find("quick")->is_bool(),
                             "missing bool 'quick'"));
+  // 'host' is optional (documents predating the hardware-context envelope
+  // stay valid) but must be an object when present.
+  if (const json::Value* host = doc.Find("host")) {
+    MC_RETURN_IF_ERROR(Expect(host->is_object(), "'host' must be an object"));
+  }
   for (const char* section : {"scalars", "series", "tables", "checks"}) {
     const json::Value* v = doc.Find(section);
     MC_RETURN_IF_ERROR(Expect(v != nullptr && v->is_array(),
@@ -635,6 +667,41 @@ void DiffChecks(DiffContext* ctx, const json::Value& base,
   }
 }
 
+// Warns (never fails) when the two documents were recorded on visibly
+// different machines/configurations: wall-clock timings and speedup
+// ratios are not comparable across hosts, and SIMD-backend differences
+// change the bit patterns of lane-model reductions.
+void DiffHost(DiffContext* ctx, const json::Value& base,
+              const json::Value& cur) {
+  const json::Value* bh = base.Find("host");
+  const json::Value* ch = cur.Find("host");
+  if (bh == nullptr || ch == nullptr) {
+    if (bh != ch) {
+      ctx->Warn(
+          "host context present in only one document (timing comparison "
+          "unreliable; regenerate the baseline)");
+    }
+    return;
+  }
+  const auto render = [](const json::Value* v) -> std::string {
+    if (v == nullptr) return "<absent>";
+    if (v->is_bool()) return v->bool_value() ? "true" : "false";
+    if (v->is_number()) return Num(v->NumberOr(0.0));
+    if (v->is_string()) return v->string_value();
+    return "<other>";
+  };
+  for (const char* key :
+       {"logical_cores", "threads", "isa", "simd_backend", "simd_compiled",
+        "double_lanes", "float_lanes"}) {
+    const std::string bs = render(bh->Find(key));
+    const std::string cs = render(ch->Find(key));
+    if (bs != cs) {
+      ctx->Warn(std::string("host mismatch: ") + key + " " + bs + " -> " +
+                cs + " (timings/speedups not comparable across machines)");
+    }
+  }
+}
+
 }  // namespace
 
 DiffReport DiffBenchDocuments(const json::Value& baseline,
@@ -653,6 +720,7 @@ DiffReport DiffBenchDocuments(const json::Value& baseline,
     return report;
   }
   DiffChecks(&ctx, baseline, current);
+  DiffHost(&ctx, baseline, current);
   if (baseline.GetBool("quick", false) != current.GetBool("quick", false)) {
     ctx.Warn(
         "quick-mode mismatch between baseline and current: workloads "

@@ -30,6 +30,9 @@ namespace bench {
 /// Document schema (schema_version 1, kind "multiclust.bench"):
 ///   {"schema_version":1,"kind":"multiclust.bench","bench":"<binary>",
 ///    "title":"...","quick":false,
+///    "host":{"logical_cores":..,"threads":..,"isa":"avx512f",
+///            "simd_backend":"avx2","simd_compiled":true,
+///            "double_lanes":4,"float_lanes":8},   // optional (v1 docs)
 ///    "scalars":[{"name":..,"value":..,"unit":..,"timing":..,
 ///                "tol_rel":..,"tol_abs":..}],
 ///    "series":[{"name":..,"x_name":..,"y_name":..,"unit":..,"timing":..,

@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "common/trace.h"
 #include "linalg/decomposition.h"
+#include "linalg/kernels.h"
 
 namespace multiclust {
 
@@ -35,9 +36,7 @@ Matrix MeansFromLabels(const Matrix& data, const std::vector<int>& labels,
     const int c = labels[i];
     if (c < 0) continue;
     ++counts[c];
-    const double* row = data.row_data(i);
-    double* m = means.row_data(c);
-    for (size_t j = 0; j < data.cols(); ++j) m[j] += row[j];
+    kernels::Add(means.row_data(c), data.row_data(i), data.cols());
   }
   for (size_t c = 0; c < k; ++c) {
     if (counts[c] == 0) {
@@ -59,12 +58,8 @@ double Objective(const Matrix& data, const State& s, double lambda) {
     for (size_t i = 0; i < data.rows(); ++i) {
       const int c = s.labels[t][i];
       if (c < 0) continue;
-      const double* row = data.row_data(i);
-      const double* rep = s.reps[t].row_data(c);
-      for (size_t j = 0; j < data.cols(); ++j) {
-        const double d = row[j] - rep[j];
-        g += d * d;
-      }
+      g += kernels::SquaredDistance(data.row_data(i), s.reps[t].row_data(c),
+                                    data.cols());
     }
   }
   // Decorrelation penalty between every ordered pair of clusterings.
@@ -73,10 +68,8 @@ double Objective(const Matrix& data, const State& s, double lambda) {
       if (t == u) continue;
       for (size_t i = 0; i < s.reps[t].rows(); ++i) {
         for (size_t j = 0; j < s.means[u].rows(); ++j) {
-          double dot = 0.0;
-          for (size_t c = 0; c < data.cols(); ++c) {
-            dot += s.means[u].at(j, c) * s.reps[t].at(i, c);
-          }
+          const double dot = kernels::Dot(s.means[u].row_data(j),
+                                          s.reps[t].row_data(i), data.cols());
           g += lambda * dot * dot;
         }
       }
@@ -174,9 +167,10 @@ Result<RestartOutcome> RunRestart(const Matrix& data,
         for (size_t j = 0; j < s.means[u].rows(); ++j) {
           const double* m = s.means[u].row_data(j);
           for (size_t a = 0; a < d; ++a) {
-            for (size_t c = 0; c < d; ++c) {
-              b.at(a, c) += options.lambda * m[a] * m[c];
-            }
+            // Rank-1 row update b[a,:] += (lambda * m[a]) * m. Same
+            // left-associated product as the scalar loop, elementwise —
+            // bit-identical to it.
+            kernels::Axpy(options.lambda * m[a], m, b.row_data(a), d);
           }
         }
       }
@@ -186,9 +180,7 @@ Result<RestartOutcome> RunRestart(const Matrix& data,
         const int c = s.labels[t][i];
         if (c < 0) continue;
         ++counts[c];
-        const double* row = data.row_data(i);
-        double* acc = sums.row_data(c);
-        for (size_t j = 0; j < d; ++j) acc[j] += row[j];
+        kernels::Add(sums.row_data(c), data.row_data(i), d);
       }
       for (size_t c = 0; c < options.ks[t]; ++c) {
         if (counts[c] == 0) {
@@ -525,12 +517,8 @@ Result<DecKMeansResult> RunDecorrelatedKMeans(
     for (size_t i = 0; i < n; ++i) {
       const int cl = c.labels[i];
       if (cl < 0) continue;
-      const double* row = data.row_data(i);
-      const double* rep = best.state.reps[t].row_data(cl);
-      for (size_t j = 0; j < d; ++j) {
-        const double diff = row[j] - rep[j];
-        sse += diff * diff;
-      }
+      sse += kernels::SquaredDistance(data.row_data(i),
+                                      best.state.reps[t].row_data(cl), d);
     }
     c.quality = sse;
     MC_RETURN_IF_ERROR(result.solutions.Add(std::move(c)));

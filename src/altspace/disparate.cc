@@ -7,6 +7,7 @@
 #include "cluster/kmeans.h"
 #include "common/rng.h"
 #include "common/runguard.h"
+#include "linalg/kernels.h"
 #include "stats/contingency.h"
 
 namespace multiclust {
@@ -79,7 +80,8 @@ Result<DisparateResult> RunDisparateClustering(
   const std::vector<double> mean = RowMean(data);
   double scale = 0.0;
   for (size_t i = 0; i < n; ++i) {
-    scale += SquaredDistance(data.Row(i), mean);
+    scale += kernels::SquaredDistance(data.row_data(i), mean.data(),
+                                      data.cols());
   }
   scale /= static_cast<double>(n);
   const double lambda = options.lambda * scale;

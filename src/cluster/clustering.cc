@@ -1,7 +1,6 @@
 #include "cluster/clustering.h"
 
-#include <limits>
-
+#include "linalg/kernels.h"
 #include "stats/contingency.h"
 
 namespace multiclust {
@@ -30,23 +29,10 @@ void Clustering::Canonicalize() {
 std::vector<int> AssignToNearest(const Matrix& data, const Matrix& centers) {
   std::vector<int> labels(data.rows(), -1);
   if (centers.rows() == 0) return labels;
+  const double* centers_flat = centers.row_data(0);
   for (size_t i = 0; i < data.rows(); ++i) {
-    double best = std::numeric_limits<double>::infinity();
-    int best_c = 0;
-    const double* row = data.row_data(i);
-    for (size_t c = 0; c < centers.rows(); ++c) {
-      const double* ctr = centers.row_data(c);
-      double s = 0.0;
-      for (size_t j = 0; j < data.cols(); ++j) {
-        const double d = row[j] - ctr[j];
-        s += d * d;
-      }
-      if (s < best) {
-        best = s;
-        best_c = static_cast<int>(c);
-      }
-    }
-    labels[i] = best_c;
+    labels[i] = kernels::NearestSquared(data.row_data(i), centers_flat,
+                                        centers.rows(), data.cols());
   }
   return labels;
 }

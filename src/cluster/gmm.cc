@@ -11,6 +11,7 @@
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/trace.h"
+#include "linalg/kernels.h"
 
 namespace multiclust {
 
@@ -29,17 +30,26 @@ double LogSumExp(const std::vector<double>& xs) {
 
 }  // namespace
 
-double GmmComponent::LogDensity(const std::vector<double>& x) const {
-  const size_t d = mean.size();
-  double logdet = 0.0;
-  double quad = 0.0;
-  for (size_t j = 0; j < d; ++j) {
-    const double var = variances.size() == 1 ? variances[0] : variances[j];
-    logdet += std::log(var);
-    const double diff = x[j] - mean[j];
-    quad += diff * diff / var;
+double GmmComponent::PrecomputeLogDet(size_t d) const {
+  if (variances.size() == 1) {
+    return static_cast<double>(d) * std::log(variances[0]);
   }
+  double logdet = 0.0;
+  for (size_t j = 0; j < d; ++j) logdet += std::log(variances[j]);
+  return logdet;
+}
+
+double GmmComponent::LogDensity(const double* x, double logdet) const {
+  const size_t d = mean.size();
+  const double quad =
+      variances.size() == 1
+          ? kernels::SquaredDistance(x, mean.data(), d) / variances[0]
+          : kernels::QuadDiag(x, mean.data(), variances.data(), d);
   return -0.5 * (static_cast<double>(d) * kLog2Pi + logdet + quad);
+}
+
+double GmmComponent::LogDensity(const std::vector<double>& x) const {
+  return LogDensity(x.data(), PrecomputeLogDet(mean.size()));
 }
 
 std::vector<double> GmmModel::Responsibilities(
@@ -68,17 +78,40 @@ double GmmModel::LogDensity(const std::vector<double>& x) const {
 
 std::vector<int> GmmModel::HardAssign(const Matrix& data) const {
   std::vector<int> labels(data.rows(), -1);
+  const size_t kk = components.size();
+  std::vector<double> logdet(kk), logw(kk), logp(kk);
+  for (size_t c = 0; c < kk; ++c) {
+    logdet[c] = components[c].PrecomputeLogDet(data.cols());
+    logw[c] = std::log(std::max(components[c].weight, 1e-300));
+  }
   for (size_t i = 0; i < data.rows(); ++i) {
-    const std::vector<double> r = Responsibilities(data.Row(i));
+    const double* x = data.row_data(i);
+    // argmax of the responsibilities == argmax of the log posteriors; no
+    // need to normalise through LogSumExp here.
+    for (size_t c = 0; c < kk; ++c) {
+      logp[c] = logw[c] + components[c].LogDensity(x, logdet[c]);
+    }
     labels[i] = static_cast<int>(
-        std::max_element(r.begin(), r.end()) - r.begin());
+        std::max_element(logp.begin(), logp.end()) - logp.begin());
   }
   return labels;
 }
 
 double GmmModel::TotalLogLikelihood(const Matrix& data) const {
+  const size_t kk = components.size();
+  std::vector<double> logdet(kk), logw(kk), logp(kk);
+  for (size_t c = 0; c < kk; ++c) {
+    logdet[c] = components[c].PrecomputeLogDet(data.cols());
+    logw[c] = std::log(std::max(components[c].weight, 1e-300));
+  }
   double s = 0.0;
-  for (size_t i = 0; i < data.rows(); ++i) s += LogDensity(data.Row(i));
+  for (size_t i = 0; i < data.rows(); ++i) {
+    const double* x = data.row_data(i);
+    for (size_t c = 0; c < kk; ++c) {
+      logp[c] = logw[c] + components[c].LogDensity(x, logdet[c]);
+    }
+    s += LogSumExp(logp);
+  }
   return s;
 }
 
@@ -99,10 +132,7 @@ Result<GmmModel> InitGmm(const Matrix& data, size_t k, CovarianceType cov,
   const std::vector<double> mean = RowMean(data);
   std::vector<double> var(d, 0.0);
   for (size_t i = 0; i < data.rows(); ++i) {
-    for (size_t j = 0; j < d; ++j) {
-      const double diff = data.at(i, j) - mean[j];
-      var[j] += diff * diff;
-    }
+    kernels::AxpySqDiff(1.0, data.row_data(i), mean.data(), var.data(), d);
   }
   for (double& v : var) {
     v /= std::max<size_t>(1, data.rows() - 1);
@@ -142,8 +172,7 @@ Status MStepFromResponsibilities(const Matrix& data,
     for (size_t i = 0; i < n; ++i) {
       const double r = responsibilities.at(i, c);
       nc += r;
-      const double* row = data.row_data(i);
-      for (size_t j = 0; j < d; ++j) mean[j] += r * row[j];
+      kernels::Axpy(r, data.row_data(i), mean.data(), d);
     }
     if (nc < 1e-10) {
       // Dead component: keep parameters, zero weight.
@@ -157,17 +186,10 @@ Status MStepFromResponsibilities(const Matrix& data,
       const double r = responsibilities.at(i, c);
       const double* row = data.row_data(i);
       if (spherical) {
-        double s = 0.0;
-        for (size_t j = 0; j < d; ++j) {
-          const double diff = row[j] - mean[j];
-          s += diff * diff;
-        }
+        const double s = kernels::SquaredDistance(row, mean.data(), d);
         var[0] += r * s / static_cast<double>(d);
       } else {
-        for (size_t j = 0; j < d; ++j) {
-          const double diff = row[j] - mean[j];
-          var[j] += r * diff * diff;
-        }
+        kernels::AxpySqDiff(r, row, mean.data(), var.data(), d);
       }
     }
     for (double& v : var) {
@@ -196,12 +218,18 @@ Result<double> EmStep(const Matrix& data, double variance_floor,
   const size_t k = model->k();
   Matrix resp(n, k);
   double ll = 0.0;
+  // Per-component log-determinants and log-weights are loop invariants of
+  // the E-step; hoisting them removes a d-length log() sweep per point.
+  std::vector<double> logdet(k), logw(k);
+  for (size_t c = 0; c < k; ++c) {
+    logdet[c] = model->components[c].PrecomputeLogDet(data.cols());
+    logw[c] = std::log(std::max(model->components[c].weight, 1e-300));
+  }
+  std::vector<double> logp(k);
   for (size_t i = 0; i < n; ++i) {
-    const std::vector<double> x = data.Row(i);
-    std::vector<double> logp(k);
+    const double* x = data.row_data(i);
     for (size_t c = 0; c < k; ++c) {
-      logp[c] = std::log(std::max(model->components[c].weight, 1e-300)) +
-                model->components[c].LogDensity(x);
+      logp[c] = logw[c] + model->components[c].LogDensity(x, logdet[c]);
     }
     const double lse = LogSumExp(logp);
     ll += lse;

@@ -27,6 +27,12 @@ struct GmmComponent {
 
   /// Log density log N(x | mean, variances).
   double LogDensity(const std::vector<double>& x) const;
+  /// Pointer form for hot paths (`x` has mean.size() values); avoids the
+  /// per-row vector copies of the E-step. `logdet` is sum_j log var_j,
+  /// precomputed once per component per sweep (see PrecomputeLogDet).
+  double LogDensity(const double* x, double logdet) const;
+  /// sum_j log var_j for this component (d * log var when spherical).
+  double PrecomputeLogDet(size_t d) const;
 };
 
 /// A fitted Gaussian mixture model. Reused by CAMI and co-EM, which run

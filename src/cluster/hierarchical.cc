@@ -4,25 +4,31 @@
 #include <cmath>
 #include <limits>
 
+#include "common/parallel.h"
 #include "common/runguard.h"
+#include "linalg/kernels.h"
 
 namespace multiclust {
 
 Matrix PairwiseDistances(const Matrix& data) {
   const size_t n = data.rows();
   Matrix dist(n, n);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      double s = 0.0;
-      for (size_t c = 0; c < data.cols(); ++c) {
-        const double d = data.at(i, c) - data.at(j, c);
-        s += d * d;
+  // Upper triangle in parallel (each row owned by one chunk), then a
+  // mirror pass — every entry comes from the same expression regardless of
+  // thread count.
+  ParallelFor(0, n, 16, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        dist.at(i, j) = std::sqrt(kernels::SquaredDistance(
+            data.row_data(i), data.row_data(j), data.cols()));
       }
-      const double v = std::sqrt(s);
-      dist.at(i, j) = v;
-      dist.at(j, i) = v;
     }
-  }
+  });
+  ParallelFor(0, n, 64, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      for (size_t j = 0; j < i; ++j) dist.at(i, j) = dist.at(j, i);
+    }
+  });
   return dist;
 }
 

@@ -10,6 +10,7 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/trace.h"
+#include "linalg/kernels.h"
 
 namespace multiclust {
 
@@ -18,14 +19,8 @@ namespace {
 // Squared distance from row i of data to row c of centers.
 double RowCenterDist2(const Matrix& data, size_t i, const Matrix& centers,
                       size_t c) {
-  const double* row = data.row_data(i);
-  const double* ctr = centers.row_data(c);
-  double s = 0.0;
-  for (size_t j = 0; j < data.cols(); ++j) {
-    const double d = row[j] - ctr[j];
-    s += d * d;
-  }
-  return s;
+  return kernels::SquaredDistance(data.row_data(i), centers.row_data(c),
+                                  data.cols());
 }
 
 // Per-row squared norms ||x_i||^2 (for the norm-form assignment step).
@@ -33,13 +28,18 @@ std::vector<double> RowSquaredNorms(const Matrix& m) {
   std::vector<double> norms(m.rows());
   ParallelFor(0, m.rows(), 1024, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
-      const double* row = m.row_data(i);
-      double s = 0.0;
-      for (size_t j = 0; j < m.cols(); ++j) s += row[j] * row[j];
-      norms[i] = s;
+      norms[i] = kernels::SquaredNorm(m.row_data(i), m.cols());
     }
   });
   return norms;
+}
+
+// Row-major float32 copy of a matrix (the opt-in low-precision path).
+std::vector<float> ToFloat32(const Matrix& m) {
+  std::vector<float> out(m.rows() * m.cols());
+  const double* src = m.row_data(0);
+  for (size_t i = 0; i < out.size(); ++i) out[i] = static_cast<float>(src[i]);
+  return out;
 }
 
 // Exact-form SSE via deterministic chunked reduction (fixed grain), so the
@@ -58,10 +58,16 @@ double SseOf(const Matrix& data, const Matrix& centers,
       [](double a, double b) { return a + b; });
 }
 
-Matrix InitCenters(const Matrix& data, size_t k, bool plus_plus, Rng* rng) {
+// `data_f32` is non-null on the opt-in float32 path: the D^2 scans then
+// run in f32 against an f32 copy of the latest centre (the sampled
+// sequence depends on the precision, but stays deterministic for a fixed
+// setting).
+Matrix InitCenters(const Matrix& data, size_t k, bool plus_plus, Rng* rng,
+                   const std::vector<float>* data_f32) {
   MULTICLUST_TRACE_SPAN("cluster.kmeans.init");
   const size_t n = data.rows();
-  Matrix centers(k, data.cols());
+  const size_t d = data.cols();
+  Matrix centers(k, d);
   if (!plus_plus) {
     const std::vector<size_t> picks = rng->SampleWithoutReplacement(n, k);
     for (size_t c = 0; c < k; ++c) centers.CopyRowFrom(data, picks[c], c);
@@ -72,10 +78,20 @@ Matrix InitCenters(const Matrix& data, size_t k, bool plus_plus, Rng* rng) {
   // parallelize without affecting the sampled sequence.
   centers.CopyRowFrom(data, rng->NextIndex(n), 0);
   std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+  std::vector<float> ctr_f32(data_f32 != nullptr ? d : 0);
   for (size_t c = 1; c < k; ++c) {
+    if (data_f32 != nullptr) {
+      const double* ctr = centers.row_data(c - 1);
+      for (size_t j = 0; j < d; ++j) ctr_f32[j] = static_cast<float>(ctr[j]);
+    }
     ParallelFor(0, n, 512, [&](size_t lo, size_t hi) {
       for (size_t i = lo; i < hi; ++i) {
-        d2[i] = std::min(d2[i], RowCenterDist2(data, i, centers, c - 1));
+        const double dist =
+            data_f32 != nullptr
+                ? static_cast<double>(kernels::SquaredDistanceF(
+                      data_f32->data() + i * d, ctr_f32.data(), d))
+                : RowCenterDist2(data, i, centers, c - 1);
+        d2[i] = std::min(d2[i], dist);
       }
     });
     centers.CopyRowFrom(data, rng->Categorical(d2), c);
@@ -111,7 +127,8 @@ Result<LloydResult> RunLloyd(const Matrix& data, size_t k, size_t max_iters,
                              BudgetTracker* guard, size_t restart,
                              ConvergenceRecorder* recorder,
                              const LloydSeed* resume,
-                             const LloydPersistFn& persist) {
+                             const LloydPersistFn& persist,
+                             const std::vector<float>* data_f32) {
   const size_t n = data.rows();
   const size_t d = data.cols();
   LloydResult r;
@@ -122,10 +139,11 @@ Result<LloydResult> RunLloyd(const Matrix& data, size_t k, size_t max_iters,
     start_iter = resume->start_iter;
     r.iterations = start_iter;
   } else {
-    r.centers = InitCenters(data, k, plus_plus, rng);
+    r.centers = InitCenters(data, k, plus_plus, rng, data_f32);
     r.labels.assign(n, 0);
   }
-  const std::vector<double> x_norms = RowSquaredNorms(data);
+  const std::vector<double> x_norms =
+      data_f32 != nullptr ? std::vector<double>() : RowSquaredNorms(data);
 
   for (size_t iter = start_iter; iter < max_iters; ++iter) {
     if (guard->Cancelled()) {
@@ -134,40 +152,40 @@ Result<LloydResult> RunLloyd(const Matrix& data, size_t k, size_t max_iters,
     }
     if (guard->ShouldStop(iter)) break;
     MC_METRIC_COUNT("cluster.kmeans.iterations", 1);
-    {
+    if (data_f32 != nullptr) {
+      MULTICLUST_TRACE_SPAN("cluster.kmeans.assign");
+      // Opt-in float32 assignment: plain squared-distance form (the norm
+      // form cancels catastrophically in f32). Labels are written per
+      // point, so the step is bit-identical for any thread count.
+      const std::vector<float> centers_f32 = ToFloat32(r.centers);
+      ParallelFor(0, n, 256, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          r.labels[i] = kernels::NearestSquaredF(
+              data_f32->data() + i * d, centers_f32.data(), k, d);
+        }
+      });
+    } else {
       MULTICLUST_TRACE_SPAN("cluster.kmeans.assign");
       // Assignment step in the norm form ||x||^2 - 2 x.c + ||c||^2: the
       // inner loop is a plain dot product. Labels are written per point,
       // so the step is bit-identical for any thread count.
       const std::vector<double> c_norms = RowSquaredNorms(r.centers);
+      const double* centers_flat = r.centers.row_data(0);
       ParallelFor(0, n, 256, [&](size_t lo, size_t hi) {
         for (size_t i = lo; i < hi; ++i) {
-          const double* row = data.row_data(i);
-          double best = std::numeric_limits<double>::infinity();
-          int best_c = 0;
-          for (size_t c = 0; c < k; ++c) {
-            const double* ctr = r.centers.row_data(c);
-            double dot = 0.0;
-            for (size_t j = 0; j < d; ++j) dot += row[j] * ctr[j];
-            const double dist = x_norms[i] - 2.0 * dot + c_norms[c];
-            if (dist < best) {
-              best = dist;
-              best_c = static_cast<int>(c);
-            }
-          }
-          r.labels[i] = best_c;
+          r.labels[i] =
+              kernels::NearestNormForm(data.row_data(i), centers_flat, k, d,
+                                       x_norms[i], c_norms.data());
         }
       });
     }
-    // Update step.
+    // Update step (always float64, also on the float32 assignment path).
     MULTICLUST_TRACE_SPAN("cluster.kmeans.update");
     Matrix next(k, d);
     std::vector<size_t> counts(k, 0);
     for (size_t i = 0; i < n; ++i) {
       ++counts[r.labels[i]];
-      const double* row = data.row_data(i);
-      double* ctr = next.row_data(r.labels[i]);
-      for (size_t j = 0; j < d; ++j) ctr[j] += row[j];
+      kernels::Add(next.row_data(r.labels[i]), data.row_data(i), d);
     }
     size_t reseeds = 0;
     for (size_t c = 0; c < k; ++c) {
@@ -314,6 +332,9 @@ uint64_t KMeansFingerprint(const Matrix& data, const KMeansOptions& options) {
   fp.Mix(static_cast<uint64_t>(options.max_iters));
   fp.MixDouble(options.tol);
   fp.Mix(static_cast<uint64_t>(options.plus_plus_init ? 1 : 0));
+  // The float32 assignment path changes labels/centre trajectories, so a
+  // checkpoint from one precision must not resume a run of the other.
+  fp.Mix(static_cast<uint64_t>(options.assign_float32 ? 1 : 0));
   fp.Mix(static_cast<uint64_t>(options.restarts));
   fp.Mix(options.seed);
   fp.Mix(static_cast<uint64_t>(options.budget.max_iterations));
@@ -382,6 +403,13 @@ Result<Clustering> RunKMeans(const Matrix& data,
   };
 
   const size_t restarts = options.restarts == 0 ? 1 : options.restarts;
+  // Materialize the f32 copy once for all restarts on the opt-in path.
+  std::vector<float> data_f32_storage;
+  const std::vector<float>* data_f32 = nullptr;
+  if (options.assign_float32) {
+    data_f32_storage = ToFloat32(data);
+    data_f32 = &data_f32_storage;
+  }
   const size_t start_restart = state.restart;
   for (size_t r = start_restart; r < restarts; ++r) {
     Rng child;
@@ -411,7 +439,7 @@ Result<Clustering> RunKMeans(const Matrix& data,
     Result<LloydResult> run =
         RunLloyd(data, options.k, options.max_iters, options.tol,
                  options.plus_plus_init, &child, &guard, r, &recorder, seed,
-                 persist);
+                 persist, data_f32);
     if (!run.ok()) {
       // Cancellation (and a simulated crash) aborts the whole call; a
       // numerically degenerate restart is skipped — the remaining restarts

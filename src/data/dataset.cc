@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "linalg/kernels.h"
+
 namespace multiclust {
 
 Dataset::Dataset(Matrix data) : data_(std::move(data)) {
@@ -64,14 +66,8 @@ double Dataset::SubspaceSquaredDistance(
 }
 
 double Dataset::SquaredDistance(size_t i, size_t j) const {
-  const double* a = data_.row_data(i);
-  const double* b = data_.row_data(j);
-  double s = 0.0;
-  for (size_t d = 0; d < data_.cols(); ++d) {
-    const double diff = a[d] - b[d];
-    s += diff * diff;
-  }
-  return s;
+  return kernels::SquaredDistance(data_.row_data(i), data_.row_data(j),
+                                  data_.cols());
 }
 
 }  // namespace multiclust

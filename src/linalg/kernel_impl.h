@@ -1,0 +1,375 @@
+#ifndef MULTICLUST_LINALG_KERNEL_IMPL_H_
+#define MULTICLUST_LINALG_KERNEL_IMPL_H_
+
+/// Templated kernel bodies shared by the fast (kernels.cc, whatever SIMD
+/// backend the build selected) and reference (kernels_ref.cc, forced
+/// scalar lane emulation) instantiations. One algorithm, two codegen
+/// targets — this is what makes "SIMD-on and SIMD-off are bit-identical"
+/// a structural property instead of a hand-maintained promise.
+///
+/// Conventions:
+///  - f64 dot/sum/distance reductions stride by 8, accumulating into TWO
+///    independent 4-lane vectors (the single-vector chain would serialize
+///    on add latency); the tail (n % 8) is zero-padded into an 8-slot
+///    buffer so every length takes the same combine path. The final
+///    combine is one vector add (acc0 + acc1) followed by the fixed lane
+///    order documented on ReduceSum — fixed for every backend, which is
+///    all the bit-identity contract needs.
+///  - elementwise kernels (axpy & friends) vectorize the main body and
+///    finish the tail scalar; per-element operation order is identical to
+///    the plain scalar loop, so they are bit-identical to it by
+///    construction.
+///  - transcendentals (exp, log) always go through libm, one element at a
+///    time — no vendor vector-math libraries, whose polynomials differ.
+
+#include <cmath>
+#include <cstddef>
+
+#include "linalg/simd.h"
+
+namespace multiclust {
+namespace kernels {
+namespace impl {
+
+// --- f64 reductions (4-lane model). ---
+
+template <typename V>
+double Dot(const double* a, const double* b, size_t n) {
+  V acc0 = V::Zero(), acc1 = V::Zero();
+  const size_t main = n & ~static_cast<size_t>(7);
+  size_t i = 0;
+  for (; i < main; i += 8) {
+    acc0 = V::MulAdd(V::Load(a + i), V::Load(b + i), acc0);
+    acc1 = V::MulAdd(V::Load(a + i + 4), V::Load(b + i + 4), acc1);
+  }
+  if (i < n) {
+    double ta[8] = {0, 0, 0, 0, 0, 0, 0, 0}, tb[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    for (size_t j = 0; i + j < n; ++j) {
+      ta[j] = a[i + j];
+      tb[j] = b[i + j];
+    }
+    acc0 = V::MulAdd(V::Load(ta), V::Load(tb), acc0);
+    acc1 = V::MulAdd(V::Load(ta + 4), V::Load(tb + 4), acc1);
+  }
+  return (acc0 + acc1).ReduceSum();
+}
+
+template <typename V>
+double Sum(const double* x, size_t n) {
+  V acc0 = V::Zero(), acc1 = V::Zero();
+  const size_t main = n & ~static_cast<size_t>(7);
+  size_t i = 0;
+  for (; i < main; i += 8) {
+    acc0 = acc0 + V::Load(x + i);
+    acc1 = acc1 + V::Load(x + i + 4);
+  }
+  if (i < n) {
+    double t[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    for (size_t j = 0; i + j < n; ++j) t[j] = x[i + j];
+    acc0 = acc0 + V::Load(t);
+    acc1 = acc1 + V::Load(t + 4);
+  }
+  return (acc0 + acc1).ReduceSum();
+}
+
+template <typename V>
+double SquaredNorm(const double* x, size_t n) {
+  return Dot<V>(x, x, n);
+}
+
+template <typename V>
+double SquaredDistance(const double* a, const double* b, size_t n) {
+  V acc0 = V::Zero(), acc1 = V::Zero();
+  const size_t main = n & ~static_cast<size_t>(7);
+  size_t i = 0;
+  for (; i < main; i += 8) {
+    const V d0 = V::Load(a + i) - V::Load(b + i);
+    const V d1 = V::Load(a + i + 4) - V::Load(b + i + 4);
+    acc0 = V::MulAdd(d0, d0, acc0);
+    acc1 = V::MulAdd(d1, d1, acc1);
+  }
+  if (i < n) {
+    double ta[8] = {0, 0, 0, 0, 0, 0, 0, 0}, tb[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    for (size_t j = 0; i + j < n; ++j) {
+      ta[j] = a[i + j];
+      tb[j] = b[i + j];
+    }
+    const V d0 = V::Load(ta) - V::Load(tb);
+    const V d1 = V::Load(ta + 4) - V::Load(tb + 4);
+    acc0 = V::MulAdd(d0, d0, acc0);
+    acc1 = V::MulAdd(d1, d1, acc1);
+  }
+  return (acc0 + acc1).ReduceSum();
+}
+
+// sum_j (x[j] - mean[j])^2 / var[j] — the diagonal-covariance Gaussian
+// quadratic form. The tail pads var with 1.0 so padded lanes contribute
+// 0/1 = 0 instead of 0/0 = NaN.
+template <typename V>
+double QuadDiag(const double* x, const double* mean, const double* var,
+                size_t n) {
+  V acc = V::Zero();
+  const size_t main = n & ~static_cast<size_t>(3);
+  size_t i = 0;
+  for (; i < main; i += 4) {
+    const V d = V::Load(x + i) - V::Load(mean + i);
+    acc = acc + (d * d) / V::Load(var + i);
+  }
+  if (i < n) {
+    double tx[4] = {0, 0, 0, 0}, tm[4] = {0, 0, 0, 0}, tv[4] = {1, 1, 1, 1};
+    for (size_t j = 0; i + j < n; ++j) {
+      tx[j] = x[i + j];
+      tm[j] = mean[i + j];
+      tv[j] = var[i + j];
+    }
+    const V d = V::Load(tx) - V::Load(tm);
+    acc = acc + (d * d) / V::Load(tv);
+  }
+  return acc.ReduceSum();
+}
+
+// --- f64 elementwise (bit-identical to the plain scalar loop). ---
+
+template <typename V>
+void Add(double* acc, const double* x, size_t n) {
+  const size_t main = n & ~static_cast<size_t>(3);
+  size_t i = 0;
+  for (; i < main; i += 4) (V::Load(acc + i) + V::Load(x + i)).Store(acc + i);
+  for (; i < n; ++i) acc[i] = acc[i] + x[i];
+}
+
+template <typename V>
+void Axpy(double alpha, const double* x, double* y, size_t n) {
+  const V a = V::Broadcast(alpha);
+  const size_t main = n & ~static_cast<size_t>(3);
+  size_t i = 0;
+  for (; i < main; i += 4) {
+    V::MulAdd(a, V::Load(x + i), V::Load(y + i)).Store(y + i);
+  }
+  for (; i < n; ++i) y[i] = y[i] + (alpha * x[i]);
+}
+
+// y[j] += alpha * (x[j] - m[j])
+template <typename V>
+void AxpyDiff(double alpha, const double* x, const double* m, double* y,
+              size_t n) {
+  const V a = V::Broadcast(alpha);
+  const size_t main = n & ~static_cast<size_t>(3);
+  size_t i = 0;
+  for (; i < main; i += 4) {
+    V::MulAdd(a, V::Load(x + i) - V::Load(m + i), V::Load(y + i)).Store(y + i);
+  }
+  for (; i < n; ++i) y[i] = y[i] + (alpha * (x[i] - m[i]));
+}
+
+// y[j] += alpha * (x[j] - m[j])^2
+template <typename V>
+void AxpySqDiff(double alpha, const double* x, const double* m, double* y,
+                size_t n) {
+  const V a = V::Broadcast(alpha);
+  const size_t main = n & ~static_cast<size_t>(3);
+  size_t i = 0;
+  for (; i < main; i += 4) {
+    const V d = V::Load(x + i) - V::Load(m + i);
+    V::MulAdd(a, d * d, V::Load(y + i)).Store(y + i);
+  }
+  for (; i < n; ++i) {
+    const double d = x[i] - m[i];
+    y[i] = y[i] + (alpha * (d * d));
+  }
+}
+
+// out[j] = ((row[j] - rm_i) - rm[j]) + total — the HSIC double-centering.
+template <typename V>
+void CenterRow(const double* row, double rm_i, const double* rm, double total,
+               double* out, size_t n) {
+  const V ri = V::Broadcast(rm_i);
+  const V tot = V::Broadcast(total);
+  const size_t main = n & ~static_cast<size_t>(3);
+  size_t i = 0;
+  for (; i < main; i += 4) {
+    (((V::Load(row + i) - ri) - V::Load(rm + i)) + tot).Store(out + i);
+  }
+  for (; i < n; ++i) out[i] = ((row[i] - rm_i) - rm[i]) + total;
+}
+
+// --- fused / composite f64 kernels. ---
+
+// out[j] = exp(-gamma * ||x - rows_j||^2) for j in [0, count); rows_j is
+// rows + j*d. Distances are vectorized; exp stays scalar libm.
+template <typename V>
+void GaussianRow(const double* x, const double* rows, size_t count, size_t d,
+                 double gamma, double* out) {
+  for (size_t j = 0; j < count; ++j) {
+    const double s = SquaredDistance<V>(x, rows + j * d, d);
+    out[j] = std::exp(-gamma * s);
+  }
+}
+
+// argmin_c ||x - centers_c||^2 with strict-< tie-breaking (lowest index).
+template <typename V>
+int NearestSquared(const double* x, const double* centers, size_t k,
+                   size_t d) {
+  double best = 0.0;
+  int best_c = 0;
+  for (size_t c = 0; c < k; ++c) {
+    const double s = SquaredDistance<V>(x, centers + c * d, d);
+    if (c == 0 || s < best) {
+      best = s;
+      best_c = static_cast<int>(c);
+    }
+  }
+  return best_c;
+}
+
+// argmin_c ||x||^2 - 2 x.c + ||c||^2 given precomputed norms.
+template <typename V>
+int NearestNormForm(const double* x, const double* centers, size_t k, size_t d,
+                    double x_norm, const double* center_norms) {
+  double best = 0.0;
+  int best_c = 0;
+  for (size_t c = 0; c < k; ++c) {
+    const double dot = Dot<V>(x, centers + c * d, d);
+    const double dist = x_norm - 2.0 * dot + center_norms[c];
+    if (c == 0 || dist < best) {
+      best = dist;
+      best_c = static_cast<int>(c);
+    }
+  }
+  return best_c;
+}
+
+// Cache-blocked row-major GEMM: c[i,:] = a[i,:] * b for i in
+// [row_begin, row_end). a is (? x acols), b is (acols x bcols), c rows
+// must be zero-initialized. Blocked over columns (kNc) and the inner
+// dimension (kKc); for every output element the inner-dimension
+// accumulation order stays ascending regardless of blocking, so the
+// result is independent of the block sizes.
+template <typename V>
+void GemmRows(const double* a, size_t acols, const double* b, size_t bcols,
+              double* c, size_t row_begin, size_t row_end) {
+  constexpr size_t kNc = 256;  // column panel width
+  constexpr size_t kKc = 64;   // inner-dim panel depth
+  // Loop order jb -> kb -> i: the (kKc x kNc) panel of b (128 KiB at the
+  // defaults) is reused across every row of a before moving on, instead
+  // of being re-streamed from memory once per row. For any output element
+  // the k accumulation still runs ascending (kb ascending outside, k
+  // ascending inside), so the loop order is invisible in the bits.
+  for (size_t jb = 0; jb < bcols; jb += kNc) {
+    const size_t jend = jb + kNc < bcols ? jb + kNc : bcols;
+    const size_t width = jend - jb;
+    for (size_t kb = 0; kb < acols; kb += kKc) {
+      const size_t kend = kb + kKc < acols ? kb + kKc : acols;
+      const double* bpanel = b + jb;
+      for (size_t i = row_begin; i < row_end; ++i) {
+        const double* arow = a + i * acols;
+        double* crow = c + i * bcols + jb;
+        // Register block: each c vector is accumulated over the whole k
+        // panel in a register (the k-ascending order per element is the
+        // same as a memory-resident sweep, so blocking stays invisible
+        // in the bits). Four vectors in flight hide the add latency.
+        size_t j = 0;
+        for (; j + 16 <= width; j += 16) {
+          V c0 = V::Load(crow + j);
+          V c1 = V::Load(crow + j + 4);
+          V c2 = V::Load(crow + j + 8);
+          V c3 = V::Load(crow + j + 12);
+          for (size_t k = kb; k < kend; ++k) {
+            const V av = V::Broadcast(arow[k]);
+            const double* brow = bpanel + k * bcols + j;
+            c0 = V::MulAdd(av, V::Load(brow), c0);
+            c1 = V::MulAdd(av, V::Load(brow + 4), c1);
+            c2 = V::MulAdd(av, V::Load(brow + 8), c2);
+            c3 = V::MulAdd(av, V::Load(brow + 12), c3);
+          }
+          c0.Store(crow + j);
+          c1.Store(crow + j + 4);
+          c2.Store(crow + j + 8);
+          c3.Store(crow + j + 12);
+        }
+        for (; j + 4 <= width; j += 4) {
+          V c0 = V::Load(crow + j);
+          for (size_t k = kb; k < kend; ++k) {
+            c0 = V::MulAdd(V::Broadcast(arow[k]),
+                           V::Load(bpanel + k * bcols + j), c0);
+          }
+          c0.Store(crow + j);
+        }
+        for (; j < width; ++j) {
+          double acc = crow[j];
+          for (size_t k = kb; k < kend; ++k) {
+            acc = acc + (arow[k] * bpanel[k * bcols + j]);
+          }
+          crow[j] = acc;
+        }
+      }
+    }
+  }
+}
+
+// --- f32 kernels (8-lane model); the opt-in low-precision distance path.
+
+template <typename V8>
+float DotF(const float* a, const float* b, size_t n) {
+  V8 acc = V8::Zero();
+  const size_t main = n & ~static_cast<size_t>(7);
+  size_t i = 0;
+  for (; i < main; i += 8) {
+    acc = V8::MulAdd(V8::Load(a + i), V8::Load(b + i), acc);
+  }
+  if (i < n) {
+    float ta[8] = {0, 0, 0, 0, 0, 0, 0, 0}, tb[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    for (size_t j = 0; i + j < n; ++j) {
+      ta[j] = a[i + j];
+      tb[j] = b[i + j];
+    }
+    acc = V8::MulAdd(V8::Load(ta), V8::Load(tb), acc);
+  }
+  return acc.ReduceSum();
+}
+
+template <typename V8>
+float SquaredNormF(const float* x, size_t n) {
+  return DotF<V8>(x, x, n);
+}
+
+template <typename V8>
+float SquaredDistanceF(const float* a, const float* b, size_t n) {
+  V8 acc = V8::Zero();
+  const size_t main = n & ~static_cast<size_t>(7);
+  size_t i = 0;
+  for (; i < main; i += 8) {
+    const V8 d = V8::Load(a + i) - V8::Load(b + i);
+    acc = V8::MulAdd(d, d, acc);
+  }
+  if (i < n) {
+    float ta[8] = {0, 0, 0, 0, 0, 0, 0, 0}, tb[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    for (size_t j = 0; i + j < n; ++j) {
+      ta[j] = a[i + j];
+      tb[j] = b[i + j];
+    }
+    const V8 d = V8::Load(ta) - V8::Load(tb);
+    acc = V8::MulAdd(d, d, acc);
+  }
+  return acc.ReduceSum();
+}
+
+template <typename V8>
+int NearestSquaredF(const float* x, const float* centers, size_t k, size_t d) {
+  float best = 0.f;
+  int best_c = 0;
+  for (size_t c = 0; c < k; ++c) {
+    const float s = SquaredDistanceF<V8>(x, centers + c * d, d);
+    if (c == 0 || s < best) {
+      best = s;
+      best_c = static_cast<int>(c);
+    }
+  }
+  return best_c;
+}
+
+}  // namespace impl
+}  // namespace kernels
+}  // namespace multiclust
+
+#endif  // MULTICLUST_LINALG_KERNEL_IMPL_H_

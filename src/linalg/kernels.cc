@@ -1,0 +1,109 @@
+// Fast-path kernel instantiation. This TU is the only one compiled with
+// arch-specific flags (-mavx2 on x86_64 when MULTICLUST_SIMD is ON) and,
+// like kernels_ref.cc, with -ffp-contract=off so MulAdd keeps its two
+// roundings on every backend.
+
+#include "linalg/kernels.h"
+
+#include "linalg/kernel_impl.h"
+#include "linalg/simd.h"
+
+namespace multiclust {
+namespace kernels {
+
+using simd::Double4;
+using simd::Float8;
+
+SimdInfo Info() {
+  SimdInfo info;
+  info.backend = MULTICLUST_SIMD_BACKEND_NAME;
+#if defined(MULTICLUST_SIMD)
+  info.compiled_simd = true;
+#else
+  info.compiled_simd = false;
+#endif
+  info.double_lanes = Double4::kLanes;
+  info.float_lanes = Float8::kLanes;
+  return info;
+}
+
+std::string RuntimeIsa() {
+#if defined(__x86_64__) || defined(_M_X64)
+#if defined(__GNUC__) || defined(__clang__)
+  if (__builtin_cpu_supports("avx512f")) return "avx512f";
+  if (__builtin_cpu_supports("avx2")) return "avx2";
+  if (__builtin_cpu_supports("sse2")) return "sse2";
+#endif
+  return "unknown";
+#elif defined(__ARM_NEON)
+  return "neon";
+#else
+  return "unknown";
+#endif
+}
+
+double Dot(const double* a, const double* b, size_t n) {
+  return impl::Dot<Double4>(a, b, n);
+}
+double Sum(const double* x, size_t n) { return impl::Sum<Double4>(x, n); }
+double SquaredNorm(const double* x, size_t n) {
+  return impl::SquaredNorm<Double4>(x, n);
+}
+double SquaredDistance(const double* a, const double* b, size_t n) {
+  return impl::SquaredDistance<Double4>(a, b, n);
+}
+double QuadDiag(const double* x, const double* mean, const double* var,
+                size_t n) {
+  return impl::QuadDiag<Double4>(x, mean, var, n);
+}
+void Add(double* acc, const double* x, size_t n) {
+  impl::Add<Double4>(acc, x, n);
+}
+void Axpy(double alpha, const double* x, double* y, size_t n) {
+  impl::Axpy<Double4>(alpha, x, y, n);
+}
+void AxpyDiff(double alpha, const double* x, const double* m, double* y,
+              size_t n) {
+  impl::AxpyDiff<Double4>(alpha, x, m, y, n);
+}
+void AxpySqDiff(double alpha, const double* x, const double* m, double* y,
+                size_t n) {
+  impl::AxpySqDiff<Double4>(alpha, x, m, y, n);
+}
+void CenterRow(const double* row, double rm_i, const double* rm, double total,
+               double* out, size_t n) {
+  impl::CenterRow<Double4>(row, rm_i, rm, total, out, n);
+}
+void GaussianRow(const double* x, const double* rows, size_t count, size_t d,
+                 double gamma, double* out) {
+  impl::GaussianRow<Double4>(x, rows, count, d, gamma, out);
+}
+int NearestSquared(const double* x, const double* centers, size_t k,
+                   size_t d) {
+  return impl::NearestSquared<Double4>(x, centers, k, d);
+}
+int NearestNormForm(const double* x, const double* centers, size_t k, size_t d,
+                    double x_norm, const double* center_norms) {
+  return impl::NearestNormForm<Double4>(x, centers, k, d, x_norm,
+                                        center_norms);
+}
+void GemmRows(const double* a, size_t acols, const double* b, size_t bcols,
+              double* c, size_t row_begin, size_t row_end) {
+  impl::GemmRows<Double4>(a, acols, b, bcols, c, row_begin, row_end);
+}
+
+float DotF(const float* a, const float* b, size_t n) {
+  return impl::DotF<Float8>(a, b, n);
+}
+float SquaredNormF(const float* x, size_t n) {
+  return impl::SquaredNormF<Float8>(x, n);
+}
+float SquaredDistanceF(const float* a, const float* b, size_t n) {
+  return impl::SquaredDistanceF<Float8>(a, b, n);
+}
+int NearestSquaredF(const float* x, const float* centers, size_t k, size_t d) {
+  return impl::NearestSquaredF<Float8>(x, centers, k, d);
+}
+
+}  // namespace kernels
+}  // namespace multiclust

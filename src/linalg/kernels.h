@@ -1,0 +1,118 @@
+#ifndef MULTICLUST_LINALG_KERNELS_H_
+#define MULTICLUST_LINALG_KERNELS_H_
+
+/// Vectorized numeric kernels for the distance-dominated hot paths.
+///
+/// Two instantiations of the same templated bodies (kernel_impl.h):
+///   multiclust::kernels::*      fast path — whatever backend the build
+///                               selected (AVX2 / NEON / scalar emulation)
+///   multiclust::kernels::ref::* always the scalar-emulation backend,
+///                               compiled with vectorization disabled
+///
+/// The ref namespace is the in-process oracle for what a
+/// -DMULTICLUST_SIMD=OFF build computes: tests assert bitwise equality
+/// fast-vs-ref, and the micro benchmarks report ref-vs-fast as the
+/// scalar-vs-SIMD speedup. See simd.h for the lane-model/determinism
+/// contract that makes bitwise equality achievable.
+///
+/// All pointers are to contiguous, arbitrarily-aligned data (loads are
+/// unaligned); matrix arguments are row-major.
+
+#include <cstddef>
+#include <string>
+
+namespace multiclust {
+namespace kernels {
+
+/// Compile-time + runtime SIMD configuration, for bench envelopes and logs.
+struct SimdInfo {
+  std::string backend;   ///< "avx2" | "neon" | "scalar"
+  bool compiled_simd;    ///< MULTICLUST_SIMD was ON at build time
+  int double_lanes;      ///< always 4 (lane model, not hardware width)
+  int float_lanes;       ///< always 8
+};
+
+/// Backend the fast instantiation was compiled with.
+SimdInfo Info();
+
+/// Best vector ISA the *CPU* supports at runtime ("avx512f", "avx2",
+/// "sse2", "neon", or "unknown") — may exceed what the build uses.
+std::string RuntimeIsa();
+
+// --- f64 reductions (fixed 4-lane model; see simd.h). ---
+double Dot(const double* a, const double* b, size_t n);
+double Sum(const double* x, size_t n);
+double SquaredNorm(const double* x, size_t n);
+double SquaredDistance(const double* a, const double* b, size_t n);
+/// sum_j (x[j]-mean[j])^2 / var[j] (diagonal Gaussian quadratic form).
+double QuadDiag(const double* x, const double* mean, const double* var,
+                size_t n);
+
+// --- f64 elementwise (bit-identical to plain scalar loops). ---
+void Add(double* acc, const double* x, size_t n);          ///< acc += x
+void Axpy(double alpha, const double* x, double* y, size_t n);  ///< y += a*x
+/// y[j] += alpha * (x[j] - m[j])
+void AxpyDiff(double alpha, const double* x, const double* m, double* y,
+              size_t n);
+/// y[j] += alpha * (x[j] - m[j])^2
+void AxpySqDiff(double alpha, const double* x, const double* m, double* y,
+                size_t n);
+/// out[j] = ((row[j] - rm_i) - rm[j]) + total  (HSIC double-centering)
+void CenterRow(const double* row, double rm_i, const double* rm, double total,
+               double* out, size_t n);
+
+// --- fused / composite. ---
+/// out[j] = exp(-gamma * ||x - rows_j||^2), rows_j = rows + j*d.
+void GaussianRow(const double* x, const double* rows, size_t count, size_t d,
+                 double gamma, double* out);
+/// argmin_c ||x - centers_c||^2, ties -> lowest index.
+int NearestSquared(const double* x, const double* centers, size_t k, size_t d);
+/// argmin_c x_norm - 2*x.center_c + center_norms[c], ties -> lowest index.
+int NearestNormForm(const double* x, const double* centers, size_t k, size_t d,
+                    double x_norm, const double* center_norms);
+/// Cache-blocked row-major GEMM for rows [row_begin, row_end):
+/// c[i,:] = a[i,:] * b. c rows must be zeroed. a is (?,acols), b is
+/// (acols,bcols). Result is independent of the internal block sizes.
+void GemmRows(const double* a, size_t acols, const double* b, size_t bcols,
+              double* c, size_t row_begin, size_t row_end);
+
+// --- f32 kernels (fixed 8-lane model; opt-in distance path). ---
+float DotF(const float* a, const float* b, size_t n);
+float SquaredNormF(const float* x, size_t n);
+float SquaredDistanceF(const float* a, const float* b, size_t n);
+int NearestSquaredF(const float* x, const float* centers, size_t k, size_t d);
+
+/// Always-scalar reference instantiation of every kernel above
+/// (identical signatures, forced scalar backend, no autovectorization).
+namespace ref {
+double Dot(const double* a, const double* b, size_t n);
+double Sum(const double* x, size_t n);
+double SquaredNorm(const double* x, size_t n);
+double SquaredDistance(const double* a, const double* b, size_t n);
+double QuadDiag(const double* x, const double* mean, const double* var,
+                size_t n);
+void Add(double* acc, const double* x, size_t n);
+void Axpy(double alpha, const double* x, double* y, size_t n);
+void AxpyDiff(double alpha, const double* x, const double* m, double* y,
+              size_t n);
+void AxpySqDiff(double alpha, const double* x, const double* m, double* y,
+                size_t n);
+void CenterRow(const double* row, double rm_i, const double* rm, double total,
+               double* out, size_t n);
+void GaussianRow(const double* x, const double* rows, size_t count, size_t d,
+                 double gamma, double* out);
+int NearestSquared(const double* x, const double* centers, size_t k, size_t d);
+int NearestNormForm(const double* x, const double* centers, size_t k, size_t d,
+                    double x_norm, const double* center_norms);
+void GemmRows(const double* a, size_t acols, const double* b, size_t bcols,
+              double* c, size_t row_begin, size_t row_end);
+float DotF(const float* a, const float* b, size_t n);
+float SquaredNormF(const float* x, size_t n);
+float SquaredDistanceF(const float* x, const float* b, size_t n);
+int NearestSquaredF(const float* x, const float* centers, size_t k, size_t d);
+}  // namespace ref
+
+}  // namespace kernels
+}  // namespace multiclust
+
+#endif  // MULTICLUST_LINALG_KERNELS_H_

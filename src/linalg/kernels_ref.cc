@@ -1,0 +1,89 @@
+// Reference kernel instantiation: forced scalar lane emulation, compiled
+// with -ffp-contract=off and -fno-tree-vectorize. This is the in-process
+// stand-in for a -DMULTICLUST_SIMD=OFF build — tests assert bitwise
+// equality against it, and bench_micro_kernels measures speedups against
+// it as the scalar baseline.
+
+#define MULTICLUST_SIMD_FORCE_SCALAR 1
+
+#include "linalg/kernel_impl.h"
+#include "linalg/kernels.h"
+#include "linalg/simd.h"
+
+namespace multiclust {
+namespace kernels {
+namespace ref {
+
+using simd::Double4;
+using simd::Float8;
+
+#if !defined(MULTICLUST_SIMD_BACKEND_SCALAR)
+#error "ref TU must see the scalar backend"
+#endif
+
+double Dot(const double* a, const double* b, size_t n) {
+  return impl::Dot<Double4>(a, b, n);
+}
+double Sum(const double* x, size_t n) { return impl::Sum<Double4>(x, n); }
+double SquaredNorm(const double* x, size_t n) {
+  return impl::SquaredNorm<Double4>(x, n);
+}
+double SquaredDistance(const double* a, const double* b, size_t n) {
+  return impl::SquaredDistance<Double4>(a, b, n);
+}
+double QuadDiag(const double* x, const double* mean, const double* var,
+                size_t n) {
+  return impl::QuadDiag<Double4>(x, mean, var, n);
+}
+void Add(double* acc, const double* x, size_t n) {
+  impl::Add<Double4>(acc, x, n);
+}
+void Axpy(double alpha, const double* x, double* y, size_t n) {
+  impl::Axpy<Double4>(alpha, x, y, n);
+}
+void AxpyDiff(double alpha, const double* x, const double* m, double* y,
+              size_t n) {
+  impl::AxpyDiff<Double4>(alpha, x, m, y, n);
+}
+void AxpySqDiff(double alpha, const double* x, const double* m, double* y,
+                size_t n) {
+  impl::AxpySqDiff<Double4>(alpha, x, m, y, n);
+}
+void CenterRow(const double* row, double rm_i, const double* rm, double total,
+               double* out, size_t n) {
+  impl::CenterRow<Double4>(row, rm_i, rm, total, out, n);
+}
+void GaussianRow(const double* x, const double* rows, size_t count, size_t d,
+                 double gamma, double* out) {
+  impl::GaussianRow<Double4>(x, rows, count, d, gamma, out);
+}
+int NearestSquared(const double* x, const double* centers, size_t k,
+                   size_t d) {
+  return impl::NearestSquared<Double4>(x, centers, k, d);
+}
+int NearestNormForm(const double* x, const double* centers, size_t k, size_t d,
+                    double x_norm, const double* center_norms) {
+  return impl::NearestNormForm<Double4>(x, centers, k, d, x_norm,
+                                        center_norms);
+}
+void GemmRows(const double* a, size_t acols, const double* b, size_t bcols,
+              double* c, size_t row_begin, size_t row_end) {
+  impl::GemmRows<Double4>(a, acols, b, bcols, c, row_begin, row_end);
+}
+
+float DotF(const float* a, const float* b, size_t n) {
+  return impl::DotF<Float8>(a, b, n);
+}
+float SquaredNormF(const float* x, size_t n) {
+  return impl::SquaredNormF<Float8>(x, n);
+}
+float SquaredDistanceF(const float* a, const float* b, size_t n) {
+  return impl::SquaredDistanceF<Float8>(a, b, n);
+}
+int NearestSquaredF(const float* x, const float* centers, size_t k, size_t d) {
+  return impl::NearestSquaredF<Float8>(x, centers, k, d);
+}
+
+}  // namespace ref
+}  // namespace kernels
+}  // namespace multiclust

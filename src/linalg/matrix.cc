@@ -5,6 +5,7 @@
 
 #include "common/parallel.h"
 #include "common/trace.h"
+#include "linalg/kernels.h"
 
 namespace multiclust {
 
@@ -67,21 +68,15 @@ Matrix Matrix::Transpose() const {
 Matrix Matrix::operator*(const Matrix& other) const {
   if (cols_ != other.rows_) return Matrix();
   Matrix out(rows_, other.cols_);
-  // Each output row is produced by exactly one chunk, and its accumulation
-  // order is the serial one, so the product is bit-identical for any
-  // thread count. Grain targets ~32k flops per chunk.
+  // Each output row is produced by exactly one chunk, and the kernel keeps
+  // the inner-dimension accumulation order ascending per element, so the
+  // product is bit-identical for any thread count and any cache blocking.
+  // Grain targets ~32k flops per chunk.
   const size_t row_work = cols_ * other.cols_;
   const size_t grain = row_work == 0 ? rows_ : 32768 / row_work + 1;
   ParallelFor(0, rows_, grain, [&](size_t lo, size_t hi) {
-    for (size_t i = lo; i < hi; ++i) {
-      for (size_t k = 0; k < cols_; ++k) {
-        const double a = at(i, k);
-        if (a == 0.0) continue;
-        const double* brow = other.row_data(k);
-        double* orow = out.row_data(i);
-        for (size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
-      }
-    }
+    kernels::GemmRows(data_.data(), cols_, other.data_.data(), other.cols_,
+                      out.data_.data(), lo, hi);
   });
   return out;
 }
@@ -115,19 +110,15 @@ Result<Matrix> Matrix::Multiply(const Matrix& a, const Matrix& b) {
 
 std::vector<double> Matrix::Apply(const std::vector<double>& v) const {
   std::vector<double> out(rows_, 0.0);
+  const size_t n = cols_ < v.size() ? cols_ : v.size();
   for (size_t i = 0; i < rows_; ++i) {
-    const double* r = row_data(i);
-    double s = 0.0;
-    for (size_t j = 0; j < cols_ && j < v.size(); ++j) s += r[j] * v[j];
-    out[i] = s;
+    out[i] = kernels::Dot(row_data(i), v.data(), n);
   }
   return out;
 }
 
 double Matrix::FrobeniusNorm() const {
-  double s = 0.0;
-  for (double x : data_) s += x * x;
-  return std::sqrt(s);
+  return std::sqrt(kernels::SquaredNorm(data_.data(), data_.size()));
 }
 
 double Matrix::MaxAbsDiff(const Matrix& other) const {
@@ -159,27 +150,18 @@ Matrix Matrix::SelectRows(const std::vector<size_t>& rows) const {
 }
 
 double VectorNorm(const std::vector<double>& v) {
-  double s = 0.0;
-  for (double x : v) s += x * x;
-  return std::sqrt(s);
+  return std::sqrt(kernels::SquaredNorm(v.data(), v.size()));
 }
 
 double Dot(const std::vector<double>& a, const std::vector<double>& b) {
-  double s = 0.0;
   const size_t n = a.size() < b.size() ? a.size() : b.size();
-  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
-  return s;
+  return kernels::Dot(a.data(), b.data(), n);
 }
 
 double SquaredDistance(const std::vector<double>& a,
                        const std::vector<double>& b) {
-  double s = 0.0;
   const size_t n = a.size() < b.size() ? a.size() : b.size();
-  for (size_t i = 0; i < n; ++i) {
-    const double d = a[i] - b[i];
-    s += d * d;
-  }
-  return s;
+  return kernels::SquaredDistance(a.data(), b.data(), n);
 }
 
 double EuclideanDistance(const std::vector<double>& a,
@@ -217,7 +199,7 @@ namespace {
 
 // Elementwise vector sum used as the combine step of chunked reductions.
 std::vector<double> AddInto(std::vector<double> acc, std::vector<double> b) {
-  for (size_t i = 0; i < acc.size(); ++i) acc[i] += b[i];
+  kernels::Add(acc.data(), b.data(), acc.size());
   return acc;
 }
 
@@ -231,8 +213,7 @@ std::vector<double> RowMean(const Matrix& m) {
       [&](size_t lo, size_t hi) {
         std::vector<double> sum(m.cols(), 0.0);
         for (size_t i = lo; i < hi; ++i) {
-          const double* r = m.row_data(i);
-          for (size_t j = 0; j < m.cols(); ++j) sum[j] += r[j];
+          kernels::Add(sum.data(), m.row_data(i), m.cols());
         }
         return sum;
       },
@@ -259,9 +240,12 @@ Matrix Covariance(const Matrix& m) {
           size_t idx = 0;
           for (size_t a = 0; a < d; ++a) {
             const double da = r[a] - mean[a];
-            for (size_t b = a; b < d; ++b) {
-              sum[idx++] += da * (r[b] - mean[b]);
-            }
+            // sum[idx + t] += da * ((r+a)[t] - (mean+a)[t]) for the packed
+            // upper-triangle tail of row a — elementwise, so bit-identical
+            // to the seed's scalar loop.
+            kernels::AxpyDiff(da, r + a, mean.data() + a, sum.data() + idx,
+                              d - a);
+            idx += d - a;
           }
         }
         return sum;

@@ -2,6 +2,7 @@
 
 #include "common/parallel.h"
 #include "linalg/decomposition.h"
+#include "linalg/kernels.h"
 
 namespace multiclust {
 
@@ -11,12 +12,14 @@ std::vector<double> PcaModel::Project(const std::vector<double>& x,
   std::vector<double> centred(x.size());
   for (size_t i = 0; i < x.size() && i < mean.size(); ++i)
     centred[i] = x[i] - mean[i];
+  // Transpose once so each output coordinate is a contiguous dot product
+  // instead of a strided column walk over `components`.
+  const Matrix ct = components.Transpose();
+  const size_t n =
+      centred.size() < components.rows() ? centred.size() : components.rows();
   std::vector<double> out(p, 0.0);
   for (size_t j = 0; j < p; ++j) {
-    double s = 0.0;
-    for (size_t i = 0; i < centred.size(); ++i)
-      s += components.at(i, j) * centred[i];
-    out[j] = s;
+    out[j] = kernels::Dot(ct.row_data(j), centred.data(), n);
   }
   return out;
 }
@@ -25,6 +28,7 @@ Matrix PcaModel::ProjectRows(const Matrix& data, size_t p) const {
   if (p > components.cols()) p = components.cols();
   const size_t d = data.cols() < mean.size() ? data.cols() : mean.size();
   Matrix out(data.rows(), p);
+  const Matrix ct = components.Transpose();
   const size_t row_work = d * (p == 0 ? 1 : p);
   ParallelFor(0, data.rows(), 16384 / (row_work + 1) + 1,
               [&](size_t lo, size_t hi) {
@@ -33,9 +37,7 @@ Matrix PcaModel::ProjectRows(const Matrix& data, size_t p) const {
       const double* row = data.row_data(i);
       for (size_t c = 0; c < d; ++c) centred[c] = row[c] - mean[c];
       for (size_t j = 0; j < p; ++j) {
-        double s = 0.0;
-        for (size_t c = 0; c < d; ++c) s += components.at(c, j) * centred[c];
-        out.at(i, j) = s;
+        out.at(i, j) = kernels::Dot(ct.row_data(j), centred.data(), d);
       }
     }
   });

@@ -1,0 +1,297 @@
+#ifndef MULTICLUST_LINALG_SIMD_H_
+#define MULTICLUST_LINALG_SIMD_H_
+
+/// Portable fixed-width SIMD value types: `Double4` (4 x f64) and
+/// `Float8` (8 x f32).
+///
+/// Lane model / determinism contract
+/// ---------------------------------
+/// Every kernel in kernel_impl.h is written against a FIXED lane count (4
+/// doubles / 8 floats) regardless of what the hardware offers, and every
+/// reduction combines its lanes in one fixed scalar order. The backend is
+/// chosen at compile time:
+///
+///   MULTICLUST_SIMD + __AVX2__     -> AVX2 intrinsics
+///   MULTICLUST_SIMD + __ARM_NEON   -> NEON intrinsics (2 x 128-bit halves)
+///   otherwise                      -> scalar lane emulation (double v[4])
+///
+/// Because the lane count, the tail handling and the lane-combine order
+/// are identical across backends — and because `MulAdd` is always a
+/// separately-rounded multiply + add (never a fused FMA; the kernel TUs
+/// are compiled with -ffp-contract=off so the scalar backend cannot be
+/// contracted either) — a kernel produces bit-identical results whether
+/// the build is SIMD-on or SIMD-off. tests/simd_kernel_test.cc and
+/// determinism_test enforce this against the always-scalar `kernels::ref`
+/// instantiation.
+///
+/// A translation unit may define MULTICLUST_SIMD_FORCE_SCALAR before
+/// including this header to get the scalar backend regardless of the
+/// build configuration (kernels_ref.cc does exactly that).
+
+#include <cstddef>
+
+#if !defined(MULTICLUST_SIMD_FORCE_SCALAR) && defined(MULTICLUST_SIMD) && \
+    defined(__AVX2__)
+#define MULTICLUST_SIMD_BACKEND_AVX2 1
+#define MULTICLUST_SIMD_BACKEND_NAME "avx2"
+#include <immintrin.h>
+#elif !defined(MULTICLUST_SIMD_FORCE_SCALAR) && defined(MULTICLUST_SIMD) && \
+    defined(__ARM_NEON)
+#define MULTICLUST_SIMD_BACKEND_NEON 1
+#define MULTICLUST_SIMD_BACKEND_NAME "neon"
+#include <arm_neon.h>
+#else
+#define MULTICLUST_SIMD_BACKEND_SCALAR 1
+#define MULTICLUST_SIMD_BACKEND_NAME "scalar"
+#endif
+
+namespace multiclust {
+namespace simd {
+
+// Each backend lives in its own *inline* namespace. Call sites just say
+// simd::Double4, but the mangled type name differs per backend, so the
+// template instantiations in kernels.cc (intrinsics) and kernels_ref.cc
+// (forced scalar) get distinct symbols. Without this they would share one
+// comdat symbol and the linker would silently collapse the "fast" and
+// "ref" kernels onto whichever definition it saw first — an ODR violation
+// that makes the fast-vs-ref bit-identity oracle vacuous.
+
+#if defined(MULTICLUST_SIMD_BACKEND_AVX2)
+
+inline namespace backend_avx2 {
+
+struct Double4 {
+  __m256d v;
+  static constexpr int kLanes = 4;
+
+  static Double4 Zero() { return {_mm256_setzero_pd()}; }
+  static Double4 Broadcast(double x) { return {_mm256_set1_pd(x)}; }
+  static Double4 Load(const double* p) { return {_mm256_loadu_pd(p)}; }
+  void Store(double* p) const { _mm256_storeu_pd(p, v); }
+
+  Double4 operator+(Double4 o) const { return {_mm256_add_pd(v, o.v)}; }
+  Double4 operator-(Double4 o) const { return {_mm256_sub_pd(v, o.v)}; }
+  Double4 operator*(Double4 o) const { return {_mm256_mul_pd(v, o.v)}; }
+  Double4 operator/(Double4 o) const { return {_mm256_div_pd(v, o.v)}; }
+
+  /// acc + a * b with two roundings (mul then add; deliberately not FMA).
+  static Double4 MulAdd(Double4 a, Double4 b, Double4 acc) {
+    return {_mm256_add_pd(acc.v, _mm256_mul_pd(a.v, b.v))};
+  }
+
+  /// Lane sum in the fixed order (l0 + l1) + (l2 + l3).
+  double ReduceSum() const {
+    alignas(32) double lane[4];
+    _mm256_store_pd(lane, v);
+    return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+  }
+};
+
+struct Float8 {
+  __m256 v;
+  static constexpr int kLanes = 8;
+
+  static Float8 Zero() { return {_mm256_setzero_ps()}; }
+  static Float8 Broadcast(float x) { return {_mm256_set1_ps(x)}; }
+  static Float8 Load(const float* p) { return {_mm256_loadu_ps(p)}; }
+  void Store(float* p) const { _mm256_storeu_ps(p, v); }
+
+  Float8 operator+(Float8 o) const { return {_mm256_add_ps(v, o.v)}; }
+  Float8 operator-(Float8 o) const { return {_mm256_sub_ps(v, o.v)}; }
+  Float8 operator*(Float8 o) const { return {_mm256_mul_ps(v, o.v)}; }
+
+  static Float8 MulAdd(Float8 a, Float8 b, Float8 acc) {
+    return {_mm256_add_ps(acc.v, _mm256_mul_ps(a.v, b.v))};
+  }
+
+  /// Lane sum in the fixed order ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)).
+  float ReduceSum() const {
+    alignas(32) float lane[8];
+    _mm256_store_ps(lane, v);
+    return ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+           ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+  }
+};
+
+}  // inline namespace backend_avx2
+
+#elif defined(MULTICLUST_SIMD_BACKEND_NEON)
+
+inline namespace backend_neon {
+
+struct Double4 {
+  float64x2_t lo, hi;
+  static constexpr int kLanes = 4;
+
+  static Double4 Zero() { return {vdupq_n_f64(0.0), vdupq_n_f64(0.0)}; }
+  static Double4 Broadcast(double x) { return {vdupq_n_f64(x), vdupq_n_f64(x)}; }
+  static Double4 Load(const double* p) {
+    return {vld1q_f64(p), vld1q_f64(p + 2)};
+  }
+  void Store(double* p) const {
+    vst1q_f64(p, lo);
+    vst1q_f64(p + 2, hi);
+  }
+
+  Double4 operator+(Double4 o) const {
+    return {vaddq_f64(lo, o.lo), vaddq_f64(hi, o.hi)};
+  }
+  Double4 operator-(Double4 o) const {
+    return {vsubq_f64(lo, o.lo), vsubq_f64(hi, o.hi)};
+  }
+  Double4 operator*(Double4 o) const {
+    return {vmulq_f64(lo, o.lo), vmulq_f64(hi, o.hi)};
+  }
+  Double4 operator/(Double4 o) const {
+    return {vdivq_f64(lo, o.lo), vdivq_f64(hi, o.hi)};
+  }
+
+  static Double4 MulAdd(Double4 a, Double4 b, Double4 acc) {
+    // vaddq(vmulq) keeps two roundings; vfmaq would fuse and break the
+    // cross-backend bit-identity contract.
+    return {vaddq_f64(acc.lo, vmulq_f64(a.lo, b.lo)),
+            vaddq_f64(acc.hi, vmulq_f64(a.hi, b.hi))};
+  }
+
+  double ReduceSum() const {
+    return (vgetq_lane_f64(lo, 0) + vgetq_lane_f64(lo, 1)) +
+           (vgetq_lane_f64(hi, 0) + vgetq_lane_f64(hi, 1));
+  }
+};
+
+struct Float8 {
+  float32x4_t lo, hi;
+  static constexpr int kLanes = 8;
+
+  static Float8 Zero() { return {vdupq_n_f32(0.f), vdupq_n_f32(0.f)}; }
+  static Float8 Broadcast(float x) { return {vdupq_n_f32(x), vdupq_n_f32(x)}; }
+  static Float8 Load(const float* p) {
+    return {vld1q_f32(p), vld1q_f32(p + 4)};
+  }
+  void Store(float* p) const {
+    vst1q_f32(p, lo);
+    vst1q_f32(p + 4, hi);
+  }
+
+  Float8 operator+(Float8 o) const {
+    return {vaddq_f32(lo, o.lo), vaddq_f32(hi, o.hi)};
+  }
+  Float8 operator-(Float8 o) const {
+    return {vsubq_f32(lo, o.lo), vsubq_f32(hi, o.hi)};
+  }
+  Float8 operator*(Float8 o) const {
+    return {vmulq_f32(lo, o.lo), vmulq_f32(hi, o.hi)};
+  }
+
+  static Float8 MulAdd(Float8 a, Float8 b, Float8 acc) {
+    return {vaddq_f32(acc.lo, vmulq_f32(a.lo, b.lo)),
+            vaddq_f32(acc.hi, vmulq_f32(a.hi, b.hi))};
+  }
+
+  float ReduceSum() const {
+    return ((vgetq_lane_f32(lo, 0) + vgetq_lane_f32(lo, 1)) +
+            (vgetq_lane_f32(lo, 2) + vgetq_lane_f32(lo, 3))) +
+           ((vgetq_lane_f32(hi, 0) + vgetq_lane_f32(hi, 1)) +
+            (vgetq_lane_f32(hi, 2) + vgetq_lane_f32(hi, 3)));
+  }
+};
+
+}  // inline namespace backend_neon
+
+#else  // scalar lane emulation
+
+inline namespace backend_scalar {
+
+struct Double4 {
+  double v[4];
+  static constexpr int kLanes = 4;
+
+  static Double4 Zero() { return {{0.0, 0.0, 0.0, 0.0}}; }
+  static Double4 Broadcast(double x) { return {{x, x, x, x}}; }
+  static Double4 Load(const double* p) { return {{p[0], p[1], p[2], p[3]}}; }
+  void Store(double* p) const {
+    for (int i = 0; i < 4; ++i) p[i] = v[i];
+  }
+
+  Double4 operator+(Double4 o) const {
+    Double4 r;
+    for (int i = 0; i < 4; ++i) r.v[i] = v[i] + o.v[i];
+    return r;
+  }
+  Double4 operator-(Double4 o) const {
+    Double4 r;
+    for (int i = 0; i < 4; ++i) r.v[i] = v[i] - o.v[i];
+    return r;
+  }
+  Double4 operator*(Double4 o) const {
+    Double4 r;
+    for (int i = 0; i < 4; ++i) r.v[i] = v[i] * o.v[i];
+    return r;
+  }
+  Double4 operator/(Double4 o) const {
+    Double4 r;
+    for (int i = 0; i < 4; ++i) r.v[i] = v[i] / o.v[i];
+    return r;
+  }
+
+  static Double4 MulAdd(Double4 a, Double4 b, Double4 acc) {
+    Double4 r;
+    // Two roundings per lane; the kernel TUs build with -ffp-contract=off
+    // so this can never be contracted into an FMA.
+    for (int i = 0; i < 4; ++i) r.v[i] = acc.v[i] + (a.v[i] * b.v[i]);
+    return r;
+  }
+
+  double ReduceSum() const { return (v[0] + v[1]) + (v[2] + v[3]); }
+};
+
+struct Float8 {
+  float v[8];
+  static constexpr int kLanes = 8;
+
+  static Float8 Zero() {
+    return {{0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f, 0.f}};
+  }
+  static Float8 Broadcast(float x) { return {{x, x, x, x, x, x, x, x}}; }
+  static Float8 Load(const float* p) {
+    return {{p[0], p[1], p[2], p[3], p[4], p[5], p[6], p[7]}};
+  }
+  void Store(float* p) const {
+    for (int i = 0; i < 8; ++i) p[i] = v[i];
+  }
+
+  Float8 operator+(Float8 o) const {
+    Float8 r;
+    for (int i = 0; i < 8; ++i) r.v[i] = v[i] + o.v[i];
+    return r;
+  }
+  Float8 operator-(Float8 o) const {
+    Float8 r;
+    for (int i = 0; i < 8; ++i) r.v[i] = v[i] - o.v[i];
+    return r;
+  }
+  Float8 operator*(Float8 o) const {
+    Float8 r;
+    for (int i = 0; i < 8; ++i) r.v[i] = v[i] * o.v[i];
+    return r;
+  }
+
+  static Float8 MulAdd(Float8 a, Float8 b, Float8 acc) {
+    Float8 r;
+    for (int i = 0; i < 8; ++i) r.v[i] = acc.v[i] + (a.v[i] * b.v[i]);
+    return r;
+  }
+
+  float ReduceSum() const {
+    return ((v[0] + v[1]) + (v[2] + v[3])) + ((v[4] + v[5]) + (v[6] + v[7]));
+  }
+};
+
+}  // inline namespace backend_scalar
+
+#endif
+
+}  // namespace simd
+}  // namespace multiclust
+
+#endif  // MULTICLUST_LINALG_SIMD_H_

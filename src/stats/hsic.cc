@@ -6,6 +6,7 @@
 
 #include "common/parallel.h"
 #include "common/trace.h"
+#include "linalg/kernels.h"
 
 namespace multiclust {
 
@@ -21,12 +22,8 @@ double MedianSquaredDistance(const Matrix& data) {
     for (size_t i = lo; i < hi; ++i) {
       size_t idx = i * (n - 1) - i * (i - 1) / 2;
       for (size_t j = i + 1; j < n; ++j) {
-        double s = 0.0;
-        for (size_t k = 0; k < data.cols(); ++k) {
-          const double d = data.at(i, k) - data.at(j, k);
-          s += d * d;
-        }
-        dists[idx++] = s;
+        dists[idx++] = kernels::SquaredDistance(data.row_data(i),
+                                                data.row_data(j), data.cols());
       }
     }
   });
@@ -51,14 +48,11 @@ Matrix GaussianKernelMatrix(const Matrix& data, double gamma) {
   ParallelFor(0, n, 16, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
       k.at(i, i) = 1.0;
-      for (size_t j = i + 1; j < n; ++j) {
-        double s = 0.0;
-        for (size_t c = 0; c < data.cols(); ++c) {
-          const double d = data.at(i, c) - data.at(j, c);
-          s += d * d;
-        }
-        k.at(i, j) = std::exp(-gamma * s);
-      }
+      if (i + 1 >= n) continue;
+      // Fused exp-row kernel over the contiguous tail rows i+1..n-1:
+      // vectorized distances, scalar libm exp, no temporaries.
+      kernels::GaussianRow(data.row_data(i), data.row_data(i + 1), n - i - 1,
+                           data.cols(), gamma, &k.at(i, i + 1));
     }
   });
   ParallelFor(0, n, 64, [&](size_t lo, size_t hi) {
@@ -86,20 +80,16 @@ Result<double> Hsic(const Matrix& x, const Matrix& y, double gamma_x,
     std::vector<double> row_mean(n, 0.0);
     ParallelFor(0, n, 128, [&](size_t lo, size_t hi) {
       for (size_t i = lo; i < hi; ++i) {
-        double s = 0.0;
-        for (size_t j = 0; j < n; ++j) s += m.at(i, j);
-        row_mean[i] = s / static_cast<double>(n);
+        row_mean[i] = kernels::Sum(m.row_data(i), n) / static_cast<double>(n);
       }
     });
-    double total = 0.0;
-    for (size_t i = 0; i < n; ++i) total += row_mean[i];
-    total /= static_cast<double>(n);
+    const double total =
+        kernels::Sum(row_mean.data(), n) / static_cast<double>(n);
     Matrix c(n, n);
     ParallelFor(0, n, 128, [&](size_t lo, size_t hi) {
       for (size_t i = lo; i < hi; ++i) {
-        for (size_t j = 0; j < n; ++j) {
-          c.at(i, j) = m.at(i, j) - row_mean[i] - row_mean[j] + total;
-        }
+        kernels::CenterRow(m.row_data(i), row_mean[i], row_mean.data(), total,
+                           c.row_data(i), n);
       }
     });
     return c;
@@ -107,12 +97,15 @@ Result<double> Hsic(const Matrix& x, const Matrix& y, double gamma_x,
 
   const Matrix kc = centre(k);
   const Matrix lc = centre(l);
+  // Lc is symmetric (up to centring round-off), so the trace contracts
+  // row-against-row: sum_i <Kc_i, Lc_i> — contiguous dots instead of the
+  // strided column walk lc.at(j, i).
   const double trace = ParallelReduce(
       0, n, 256, 0.0,
       [&](size_t lo, size_t hi) {
         double s = 0.0;
         for (size_t i = lo; i < hi; ++i) {
-          for (size_t j = 0; j < n; ++j) s += kc.at(i, j) * lc.at(j, i);
+          s += kernels::Dot(kc.row_data(i), lc.row_data(i), n);
         }
         return s;
       },

@@ -13,21 +13,29 @@
 #include "common/rng.h"
 #include "common/trace.h"
 #include "linalg/decomposition.h"
+#include "linalg/kernels.h"
 
 namespace multiclust {
+
+double ProjectedSquaredDistance(const double* x, size_t xd,
+                                const std::vector<double>& centroid,
+                                const Matrix& basis) {
+  const size_t q = basis.cols();
+  const size_t rows = basis.rows() < xd ? basis.rows() : xd;
+  // proj = basis^T (x - c), accumulated row by row: each basis row is
+  // contiguous, so the update vectorizes over the q output coordinates
+  // (the column-strided dot in the naive form cannot).
+  std::vector<double> proj(q, 0.0);
+  for (size_t j = 0; j < rows; ++j) {
+    kernels::Axpy(x[j] - centroid[j], basis.row_data(j), proj.data(), q);
+  }
+  return kernels::SquaredNorm(proj.data(), q);
+}
 
 double ProjectedSquaredDistance(const std::vector<double>& x,
                                 const std::vector<double>& centroid,
                                 const Matrix& basis) {
-  double total = 0.0;
-  for (size_t c = 0; c < basis.cols(); ++c) {
-    double dot = 0.0;
-    for (size_t j = 0; j < basis.rows() && j < x.size(); ++j) {
-      dot += basis.at(j, c) * (x[j] - centroid[j]);
-    }
-    total += dot * dot;
-  }
-  return total;
+  return ProjectedSquaredDistance(x.data(), x.size(), centroid, basis);
 }
 
 namespace {
@@ -103,7 +111,8 @@ Result<double> MergeCost(const Matrix& data, const Group& a, const Group& b,
   const std::vector<double> centroid = CentroidOf(data, merged);
   double energy = 0.0;
   for (int m : merged) {
-    energy += ProjectedSquaredDistance(data.Row(m), centroid, basis);
+    energy += ProjectedSquaredDistance(data.row_data(m), data.cols(), centroid,
+                                       basis);
   }
   return energy / static_cast<double>(merged.size());
 }
@@ -212,12 +221,12 @@ Result<OrclusResult> RunOrclusOnce(const Matrix& data,
     // --- Assign: nearest centroid by projected distance. ---
     for (Group& g : groups) g.members.clear();
     for (size_t i = 0; i < n; ++i) {
-      const std::vector<double> x = data.Row(i);
+      const double* x = data.row_data(i);
       double best = std::numeric_limits<double>::infinity();
       size_t best_g = 0;
       for (size_t g = 0; g < groups.size(); ++g) {
-        const double dist =
-            ProjectedSquaredDistance(x, groups[g].centroid, groups[g].basis);
+        const double dist = ProjectedSquaredDistance(
+            x, data.cols(), groups[g].centroid, groups[g].basis);
         if (dist < best) {
           best = dist;
           best_g = g;
@@ -287,7 +296,8 @@ Result<OrclusResult> RunOrclusOnce(const Matrix& data,
       double e = 0.0;
       for (const Group& g : groups) {
         for (int m : g.members) {
-          e += ProjectedSquaredDistance(data.Row(m), g.centroid, g.basis);
+          e += ProjectedSquaredDistance(data.row_data(m), data.cols(),
+                                        g.centroid, g.basis);
         }
       }
       e /= static_cast<double>(n);
@@ -329,12 +339,12 @@ Result<OrclusResult> RunOrclusOnce(const Matrix& data,
     for (Group& g : groups) g.members.clear();
     bool changed = false;
     for (size_t i = 0; i < n; ++i) {
-      const std::vector<double> x = data.Row(i);
+      const double* x = data.row_data(i);
       double best = std::numeric_limits<double>::infinity();
       size_t best_g = 0;
       for (size_t g = 0; g < groups.size(); ++g) {
-        const double dist =
-            ProjectedSquaredDistance(x, groups[g].centroid, groups[g].basis);
+        const double dist = ProjectedSquaredDistance(
+            x, data.cols(), groups[g].centroid, groups[g].basis);
         if (dist < best) {
           best = dist;
           best_g = g;
@@ -361,7 +371,8 @@ Result<OrclusResult> RunOrclusOnce(const Matrix& data,
   double energy = 0.0;
   for (const Group& g : groups) {
     for (int m : g.members) {
-      energy += ProjectedSquaredDistance(data.Row(m), g.centroid, g.basis);
+      energy += ProjectedSquaredDistance(data.row_data(m), data.cols(),
+                                         g.centroid, g.basis);
     }
   }
   if (MC_FAULT_FIRES("orclus", FaultKind::kInjectNaN, 0)) {

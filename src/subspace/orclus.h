@@ -68,6 +68,12 @@ double ProjectedSquaredDistance(const std::vector<double>& x,
                                 const std::vector<double>& centroid,
                                 const Matrix& basis);
 
+/// Pointer form for hot paths (`x` has `xd` values); avoids the per-row
+/// vector copies of the assignment sweeps.
+double ProjectedSquaredDistance(const double* x, size_t xd,
+                                const std::vector<double>& centroid,
+                                const Matrix& basis);
+
 }  // namespace multiclust
 
 #endif  // MULTICLUST_SUBSPACE_ORCLUS_H_

@@ -9,6 +9,7 @@
 #include "cluster/dbscan.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "linalg/kernels.h"
 #include "linalg/matrix.h"
 #include "stats/hsic.h"
 #include "subspace/enclus.h"
@@ -426,6 +427,123 @@ TEST(ThreadInvarianceTest, KMeansConvergenceTrace) {
   for (const size_t threads : {2u, 4u}) {
     const RunDiagnostics parallel = WithThreads(threads, run);
     ExpectSameTrace(serial.trace, parallel.trace);
+  }
+}
+
+// --- SIMD backend invariance. -------------------------------------------
+//
+// The kernel layer promises bit-identical results whether it was compiled
+// with intrinsics (-DMULTICLUST_SIMD=ON) or with the portable scalar
+// backend: both share one fixed 4-lane/8-lane reduction order and never
+// fuse multiply-add. `kernels::ref` is the forced-scalar instantiation of
+// the same templates, so comparing fast vs ref *in process* pins exactly
+// what a separate SIMD-OFF build would produce. Every kernel call being
+// bit-identical makes whole algorithm trajectories (labels, objectives,
+// traces) identical by induction. EXPECT_EQ on doubles is intentional.
+
+TEST(SimdInvarianceTest, KMeansAssignmentMatchesScalarBackend) {
+  std::vector<ViewSpec> views(2);
+  views[0] = {3, 4, 10.0, 1.0, ""};
+  views[1] = {2, 3, 8.0, 1.0, ""};  // 7 columns total: exercises the tail
+  const Matrix data = MakeMultiView(500, views, 0, 41)->data();
+  KMeansOptions opts;
+  opts.k = 4;
+  opts.seed = 7;
+  const Clustering result = RunKMeans(data, opts).value();
+  const Matrix& centers = result.centroids;
+  const size_t d = data.cols();
+  const size_t k = centers.rows();
+  std::vector<double> cn(k), cn_ref(k);
+  for (size_t c = 0; c < k; ++c) {
+    cn[c] = kernels::SquaredNorm(centers.row_data(c), d);
+    cn_ref[c] = kernels::ref::SquaredNorm(centers.row_data(c), d);
+    ASSERT_EQ(cn[c], cn_ref[c]) << "center " << c;
+  }
+  const double* centers_flat = centers.row_data(0);
+  for (size_t i = 0; i < data.rows(); ++i) {
+    const double* row = data.row_data(i);
+    const double xn = kernels::SquaredNorm(row, d);
+    ASSERT_EQ(xn, kernels::ref::SquaredNorm(row, d)) << "point " << i;
+    const size_t fast =
+        kernels::NearestNormForm(row, centers_flat, k, d, xn, cn.data());
+    const size_t ref = kernels::ref::NearestNormForm(row, centers_flat, k, d,
+                                                     xn, cn_ref.data());
+    ASSERT_EQ(fast, ref) << "point " << i;
+    ASSERT_EQ(kernels::SquaredDistance(row, centers.row_data(fast), d),
+              kernels::ref::SquaredDistance(row, centers.row_data(fast), d))
+        << "point " << i;
+  }
+}
+
+TEST(SimdInvarianceTest, MatmulMatchesScalarBackend) {
+  // Matrix::operator* routes through the blocked fast GemmRows; the ref
+  // instantiation must reproduce it bit-for-bit at blocking-relevant sizes
+  // (crosses the 512-column and 64-k panel boundaries).
+  Rng rng(6);
+  Matrix a(37, 130), b(130, 600);
+  for (size_t i = 0; i < a.rows(); ++i)
+    for (size_t j = 0; j < a.cols(); ++j) a.at(i, j) = rng.Gaussian(0, 2);
+  for (size_t i = 0; i < b.rows(); ++i)
+    for (size_t j = 0; j < b.cols(); ++j) b.at(i, j) = rng.Gaussian(0, 2);
+  const Matrix fast = a * b;
+  Matrix ref(a.rows(), b.cols());  // zero-filled; GemmRows accumulates
+  kernels::ref::GemmRows(a.row_data(0), a.cols(), b.row_data(0), b.cols(),
+                         ref.row_data(0), 0, a.rows());
+  EXPECT_EQ(fast.MaxAbsDiff(ref), 0.0);
+}
+
+TEST(SimdInvarianceTest, GaussianKernelMatchesScalarBackend) {
+  const Matrix data = TestData(42);
+  const double gamma = 0.5;
+  const Matrix k = GaussianKernelMatrix(data, gamma);
+  const size_t n = data.rows();
+  std::vector<double> row(n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    kernels::ref::GaussianRow(data.row_data(i), data.row_data(i + 1),
+                              n - i - 1, data.cols(), gamma, row.data());
+    for (size_t j = i + 1; j < n; ++j) {
+      ASSERT_EQ(k.at(i, j), row[j - i - 1]) << "entry (" << i << "," << j
+                                            << ")";
+    }
+  }
+}
+
+// --- Float32 assignment path. -------------------------------------------
+
+TEST(DeterminismTest, KMeansFloat32) {
+  const Matrix data = TestData(43);
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.restarts = 3;
+  opts.seed = 99;
+  opts.assign_float32 = true;
+  const auto a = RunKMeans(data, opts).value();
+  const auto b = RunKMeans(data, opts).value();
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.quality, b.quality);
+  EXPECT_EQ(a.centroids.MaxAbsDiff(b.centroids), 0.0);
+}
+
+TEST(ThreadInvarianceTest, KMeansFloat32LabelsAndObjective) {
+  // The f32 assignment sweep and D^2 scans use the same fixed-boundary
+  // chunking as the f64 path; updates/objective stay f64. Labels and the
+  // objective must be bit-identical at any thread count.
+  std::vector<ViewSpec> views(2);
+  views[0] = {3, 4, 10.0, 1.0, ""};
+  views[1] = {3, 4, 10.0, 1.0, ""};
+  const Matrix data = MakeMultiView(3000, views, 0, 44)->data();
+  KMeansOptions opts;
+  opts.k = 4;
+  opts.restarts = 2;
+  opts.seed = 7;
+  opts.assign_float32 = true;
+  const auto run = [&] { return RunKMeans(data, opts).value(); };
+  const Clustering serial = WithThreads(1, run);
+  for (const size_t threads : {2u, 4u}) {
+    const Clustering parallel = WithThreads(threads, run);
+    EXPECT_EQ(serial.labels, parallel.labels) << "threads=" << threads;
+    EXPECT_EQ(serial.quality, parallel.quality) << "threads=" << threads;
+    EXPECT_EQ(serial.centroids.MaxAbsDiff(parallel.centroids), 0.0);
   }
 }
 

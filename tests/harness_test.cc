@@ -56,6 +56,58 @@ TEST(HarnessTest, DocumentValidatesAgainstSchema) {
   EXPECT_EQ(v.GetString("bench", ""), "bench_unit");
 }
 
+TEST(HarnessTest, DocumentCarriesHostContext) {
+  json::Value v = ParseDoc(MakeDocument(0.95, 12.5, true));
+  const json::Value* host = v.Find("host");
+  ASSERT_NE(host, nullptr);
+  ASSERT_TRUE(host->is_object());
+  EXPECT_GE(host->GetNumber("logical_cores", 0.0), 1.0);
+  EXPECT_GE(host->GetNumber("threads", 0.0), 1.0);
+  EXPECT_FALSE(host->GetString("isa", "").empty());
+  EXPECT_FALSE(host->GetString("simd_backend", "").empty());
+  EXPECT_EQ(host->GetNumber("double_lanes", 0.0), 4.0);
+  EXPECT_EQ(host->GetNumber("float_lanes", 0.0), 8.0);
+}
+
+TEST(HarnessTest, HostMismatchWarnsButNeverFails) {
+  // Rewrite the current document's host ISA: the diff must warn (timings
+  // are not comparable across machines) without reporting a regression.
+  std::string cur = MakeDocument(0.95, 12.5, true);
+  const std::string base = MakeDocument(0.95, 12.5, true);
+  json::Value v = ParseDoc(base);
+  const std::string isa = v.Find("host")->GetString("isa", "");
+  const std::string needle = "\"isa\":\"" + isa + "\"";
+  const size_t pos = cur.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  cur.replace(pos, needle.size(), "\"isa\":\"other-machine\"");
+  const DiffReport report = Diff(base, cur);
+  EXPECT_FALSE(report.failed()) << report.ToString();
+  bool warned = false;
+  for (const std::string& w : report.warnings) {
+    if (w.find("host mismatch") != std::string::npos) warned = true;
+  }
+  EXPECT_TRUE(warned) << report.ToString();
+}
+
+TEST(HarnessTest, DocumentWithoutHostStillValidates) {
+  // v1 documents (before the hardware-context envelope) have no 'host';
+  // they must stay valid and diffable, with only a warning.
+  std::string base = MakeDocument(0.95, 12.5, true);
+  json::Value v = ParseDoc(base);
+  ASSERT_NE(v.Find("host"), nullptr);
+  const size_t start = base.find("\"host\":");
+  ASSERT_NE(start, std::string::npos);
+  // The host object has no nested objects: cut through its closing '},'.
+  const size_t end = base.find("},", start);
+  ASSERT_NE(end, std::string::npos);
+  base.erase(start, end - start + 2);
+  json::Value stripped = ParseDoc(base);
+  EXPECT_EQ(stripped.Find("host"), nullptr);
+  EXPECT_TRUE(bench::ValidateBenchDocument(stripped).ok());
+  const DiffReport report = Diff(base, MakeDocument(0.95, 12.5, true));
+  EXPECT_FALSE(report.failed()) << report.ToString();
+}
+
 TEST(HarnessTest, ValidatorRejectsMangledDocuments) {
   // Wrong kind.
   EXPECT_FALSE(bench::ValidateBenchDocument(

@@ -1,0 +1,302 @@
+// Kernel-layer contract tests: every fast kernel must be bit-identical to
+// its kernels::ref counterpart (the stand-in for a -DMULTICLUST_SIMD=OFF
+// build) over odd lengths, unaligned offsets and extreme/denormal inputs,
+// and numerically faithful to a naive reference within reduction-order
+// tolerance. Also pins tie-breaking and the GemmRows blocking invariance.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/kernels.h"
+
+namespace multiclust {
+namespace {
+
+namespace k = multiclust::kernels;
+
+// Deterministic pseudo-random fill in [-1, 1].
+std::vector<double> RandVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.Uniform(-1.0, 1.0);
+  return v;
+}
+
+std::vector<float> RandVecF(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  return v;
+}
+
+// Lengths that exercise every tail residue and a few vectorized bodies.
+const size_t kLens[] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 13, 16, 17,
+                        31, 32, 33, 63, 64, 65, 70, 127, 128, 129};
+
+TEST(SimdKernelTest, ReductionsBitIdenticalToRef) {
+  for (size_t n : kLens) {
+    const auto a = RandVec(n, 7 + n);
+    const auto b = RandVec(n, 91 + n);
+    EXPECT_EQ(k::Dot(a.data(), b.data(), n), k::ref::Dot(a.data(), b.data(), n))
+        << "n=" << n;
+    EXPECT_EQ(k::Sum(a.data(), n), k::ref::Sum(a.data(), n)) << "n=" << n;
+    EXPECT_EQ(k::SquaredNorm(a.data(), n), k::ref::SquaredNorm(a.data(), n))
+        << "n=" << n;
+    EXPECT_EQ(k::SquaredDistance(a.data(), b.data(), n),
+              k::ref::SquaredDistance(a.data(), b.data(), n))
+        << "n=" << n;
+  }
+}
+
+TEST(SimdKernelTest, QuadDiagBitIdenticalAndTailSafe) {
+  for (size_t n : kLens) {
+    const auto x = RandVec(n, 3 + n);
+    const auto mean = RandVec(n, 5 + n);
+    auto var = RandVec(n, 11 + n);
+    for (auto& v : var) v = 0.5 + std::abs(v);  // positive variances
+    const double fast = k::QuadDiag(x.data(), mean.data(), var.data(), n);
+    const double ref = k::ref::QuadDiag(x.data(), mean.data(), var.data(), n);
+    EXPECT_EQ(fast, ref) << "n=" << n;
+    EXPECT_FALSE(std::isnan(fast)) << "n=" << n;  // tail must not produce 0/0
+  }
+}
+
+TEST(SimdKernelTest, ElementwiseBitIdenticalToRefAndScalarLoop) {
+  for (size_t n : kLens) {
+    const auto x = RandVec(n, 17 + n);
+    const auto m = RandVec(n, 19 + n);
+    const auto y0 = RandVec(n, 23 + n);
+    const double alpha = 0.37;
+
+    // Plain scalar loops — elementwise kernels promise bit-identity to
+    // these as well (they carry the seed semantics of Covariance etc.).
+    std::vector<double> want_axpy = y0, want_diff = y0, want_sq = y0,
+                        want_add = y0;
+    for (size_t i = 0; i < n; ++i) {
+      want_axpy[i] = want_axpy[i] + (alpha * x[i]);
+      want_diff[i] = want_diff[i] + (alpha * (x[i] - m[i]));
+      const double d = x[i] - m[i];
+      want_sq[i] = want_sq[i] + (alpha * (d * d));
+      want_add[i] = want_add[i] + x[i];
+    }
+
+    for (bool use_ref : {false, true}) {
+      std::vector<double> axpy = y0, diff = y0, sq = y0, add = y0;
+      if (use_ref) {
+        k::ref::Axpy(alpha, x.data(), axpy.data(), n);
+        k::ref::AxpyDiff(alpha, x.data(), m.data(), diff.data(), n);
+        k::ref::AxpySqDiff(alpha, x.data(), m.data(), sq.data(), n);
+        k::ref::Add(add.data(), x.data(), n);
+      } else {
+        k::Axpy(alpha, x.data(), axpy.data(), n);
+        k::AxpyDiff(alpha, x.data(), m.data(), diff.data(), n);
+        k::AxpySqDiff(alpha, x.data(), m.data(), sq.data(), n);
+        k::Add(add.data(), x.data(), n);
+      }
+      EXPECT_EQ(axpy, want_axpy) << "n=" << n << " ref=" << use_ref;
+      EXPECT_EQ(diff, want_diff) << "n=" << n << " ref=" << use_ref;
+      EXPECT_EQ(sq, want_sq) << "n=" << n << " ref=" << use_ref;
+      EXPECT_EQ(add, want_add) << "n=" << n << " ref=" << use_ref;
+    }
+  }
+}
+
+TEST(SimdKernelTest, CenterRowMatchesScalarExpression) {
+  for (size_t n : kLens) {
+    const auto row = RandVec(n, 29 + n);
+    const auto rm = RandVec(n, 31 + n);
+    const double rm_i = 0.123, total = -0.456;
+    std::vector<double> fast(n), ref(n), want(n);
+    for (size_t j = 0; j < n; ++j) want[j] = ((row[j] - rm_i) - rm[j]) + total;
+    k::CenterRow(row.data(), rm_i, rm.data(), total, fast.data(), n);
+    k::ref::CenterRow(row.data(), rm_i, rm.data(), total, ref.data(), n);
+    EXPECT_EQ(fast, want) << "n=" << n;
+    EXPECT_EQ(ref, want) << "n=" << n;
+  }
+}
+
+TEST(SimdKernelTest, UnalignedOffsetsBitIdentical) {
+  // Walk every possible misalignment of a 64-bit load within a 32-byte
+  // vector register by offsetting into a shared buffer.
+  const size_t n = 37;
+  const auto base = RandVec(n + 16, 41);
+  for (size_t off_a = 0; off_a < 5; ++off_a) {
+    for (size_t off_b = 0; off_b < 5; ++off_b) {
+      const double* a = base.data() + off_a;
+      const double* b = base.data() + 5 + off_b;
+      EXPECT_EQ(k::Dot(a, b, n), k::ref::Dot(a, b, n))
+          << off_a << "," << off_b;
+      EXPECT_EQ(k::SquaredDistance(a, b, n), k::ref::SquaredDistance(a, b, n))
+          << off_a << "," << off_b;
+    }
+  }
+}
+
+TEST(SimdKernelTest, DenormalAndExtremeInputs) {
+  // Denormals, near-overflow magnitudes, exact zeros and sign flips must
+  // flow through both instantiations identically (no FTZ/DAZ surprises —
+  // we never enable flush-to-zero).
+  const std::vector<double> specials = {
+      0.0,      -0.0,     5e-324,   -5e-324,  1e-308,  -1e-308,
+      1e154,    -1e154,   1e-200,   4.9e-324, 2.2e-308, 1.0,
+      -1.0,     0.5,      -0.5,     3.0,      7e150,   -7e150,
+      1e-310};
+  const size_t n = specials.size();
+  std::vector<double> rev(specials.rbegin(), specials.rend());
+  EXPECT_EQ(k::Dot(specials.data(), rev.data(), n),
+            k::ref::Dot(specials.data(), rev.data(), n));
+  EXPECT_EQ(k::Sum(specials.data(), n), k::ref::Sum(specials.data(), n));
+  EXPECT_EQ(k::SquaredDistance(specials.data(), rev.data(), n),
+            k::ref::SquaredDistance(specials.data(), rev.data(), n));
+  EXPECT_EQ(k::SquaredNorm(specials.data(), n),
+            k::ref::SquaredNorm(specials.data(), n));
+}
+
+TEST(SimdKernelTest, ReductionCloseToNaiveReference) {
+  // Fast == ref bitwise, but both use the 4-lane order; sanity-check the
+  // value against a naive left-to-right sum within reduction-order slack.
+  const size_t n = 1001;
+  const auto a = RandVec(n, 51);
+  const auto b = RandVec(n, 53);
+  double naive = 0.0;
+  for (size_t i = 0; i < n; ++i) naive += a[i] * b[i];
+  EXPECT_NEAR(k::Dot(a.data(), b.data(), n), naive, 1e-12 * n);
+  double naive_sq = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    naive_sq += d * d;
+  }
+  EXPECT_NEAR(k::SquaredDistance(a.data(), b.data(), n), naive_sq, 1e-12 * n);
+}
+
+TEST(SimdKernelTest, GaussianRowMatchesRefBitwise) {
+  const size_t d = 13, count = 9;
+  const auto x = RandVec(d, 61);
+  const auto rows = RandVec(count * d, 67);
+  std::vector<double> fast(count), ref(count);
+  k::GaussianRow(x.data(), rows.data(), count, d, 0.73, fast.data());
+  k::ref::GaussianRow(x.data(), rows.data(), count, d, 0.73, ref.data());
+  EXPECT_EQ(fast, ref);
+  for (size_t j = 0; j < count; ++j) {
+    EXPECT_NEAR(fast[j],
+                std::exp(-0.73 * k::ref::SquaredDistance(
+                                     x.data(), rows.data() + j * d, d)),
+                0.0);
+  }
+}
+
+TEST(SimdKernelTest, NearestKernelsAgreeWithRefAndBreakTiesLow) {
+  const size_t d = 7, kcount = 5;
+  const auto x = RandVec(d, 71);
+  auto centers = RandVec(kcount * d, 73);
+  // Duplicate center 1 into center 3: argmin must pick index 1.
+  std::copy(centers.begin() + 1 * d, centers.begin() + 2 * d,
+            centers.begin() + 3 * d);
+  const int fast = k::NearestSquared(x.data(), centers.data(), kcount, d);
+  const int ref = k::ref::NearestSquared(x.data(), centers.data(), kcount, d);
+  EXPECT_EQ(fast, ref);
+
+  std::vector<double> norms(kcount);
+  for (size_t c = 0; c < kcount; ++c) {
+    norms[c] = k::SquaredNorm(centers.data() + c * d, d);
+  }
+  const double xn = k::SquaredNorm(x.data(), d);
+  EXPECT_EQ(
+      k::NearestNormForm(x.data(), centers.data(), kcount, d, xn, norms.data()),
+      k::ref::NearestNormForm(x.data(), centers.data(), kcount, d, xn,
+                              norms.data()));
+
+  // Exact-tie construction: all-identical centers -> index 0 wins.
+  std::vector<double> same(kcount * d);
+  for (size_t c = 0; c < kcount; ++c) {
+    std::copy(x.begin(), x.end(), same.begin() + c * d);
+  }
+  EXPECT_EQ(k::NearestSquared(x.data(), same.data(), kcount, d), 0);
+  EXPECT_EQ(k::ref::NearestSquared(x.data(), same.data(), kcount, d), 0);
+}
+
+TEST(SimdKernelTest, GemmRowsMatchesRefAndNaive) {
+  // Odd shapes straddle the j-block (512) and k-block (64) boundaries.
+  struct Shape {
+    size_t m, k, n;
+  };
+  const Shape shapes[] = {{1, 1, 1},   {3, 5, 7},    {8, 64, 512},
+                          {5, 65, 513}, {2, 130, 9},  {7, 3, 1030}};
+  for (const auto& s : shapes) {
+    const auto a = RandVec(s.m * s.k, 81 + s.m);
+    const auto b = RandVec(s.k * s.n, 83 + s.n);
+    std::vector<double> fast(s.m * s.n, 0.0), ref(s.m * s.n, 0.0);
+    k::GemmRows(a.data(), s.k, b.data(), s.n, fast.data(), 0, s.m);
+    k::ref::GemmRows(a.data(), s.k, b.data(), s.n, ref.data(), 0, s.m);
+    EXPECT_EQ(fast, ref) << s.m << "x" << s.k << "x" << s.n;
+    for (size_t i = 0; i < s.m; ++i) {
+      for (size_t j = 0; j < s.n; ++j) {
+        double want = 0.0;
+        for (size_t kk = 0; kk < s.k; ++kk) {
+          want += a[i * s.k + kk] * b[kk * s.n + j];
+        }
+        EXPECT_NEAR(fast[i * s.n + j], want, 1e-10 * (1.0 + std::abs(want)))
+            << s.m << "x" << s.k << "x" << s.n << " @" << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, GemmRowsRowRangeOnlyTouchesRequestedRows) {
+  const size_t m = 6, kk = 10, n = 21;
+  const auto a = RandVec(m * kk, 97);
+  const auto b = RandVec(kk * n, 101);
+  std::vector<double> full(m * n, 0.0), part(m * n, 0.0);
+  k::GemmRows(a.data(), kk, b.data(), n, full.data(), 0, m);
+  k::GemmRows(a.data(), kk, b.data(), n, part.data(), 2, 5);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      const double want = (i >= 2 && i < 5) ? full[i * n + j] : 0.0;
+      EXPECT_EQ(part[i * n + j], want) << i << "," << j;
+    }
+  }
+}
+
+TEST(SimdKernelTest, Float32KernelsBitIdenticalToRef) {
+  for (size_t n : kLens) {
+    const auto a = RandVecF(n, 103 + n);
+    const auto b = RandVecF(n, 107 + n);
+    EXPECT_EQ(k::DotF(a.data(), b.data(), n),
+              k::ref::DotF(a.data(), b.data(), n))
+        << "n=" << n;
+    EXPECT_EQ(k::SquaredNormF(a.data(), n), k::ref::SquaredNormF(a.data(), n))
+        << "n=" << n;
+    EXPECT_EQ(k::SquaredDistanceF(a.data(), b.data(), n),
+              k::ref::SquaredDistanceF(a.data(), b.data(), n))
+        << "n=" << n;
+  }
+  const size_t d = 11, kcount = 4;
+  const auto x = RandVecF(d, 109);
+  const auto centers = RandVecF(kcount * d, 113);
+  EXPECT_EQ(k::NearestSquaredF(x.data(), centers.data(), kcount, d),
+            k::ref::NearestSquaredF(x.data(), centers.data(), kcount, d));
+}
+
+TEST(SimdKernelTest, InfoReportsLaneModelAndBackend) {
+  const k::SimdInfo info = k::Info();
+  EXPECT_EQ(info.double_lanes, 4);
+  EXPECT_EQ(info.float_lanes, 8);
+  EXPECT_TRUE(info.backend == "avx2" || info.backend == "neon" ||
+              info.backend == "scalar")
+      << info.backend;
+#if defined(MULTICLUST_SIMD)
+  EXPECT_TRUE(info.compiled_simd);
+#else
+  EXPECT_FALSE(info.compiled_simd);
+  EXPECT_EQ(info.backend, "scalar");
+#endif
+  EXPECT_FALSE(k::RuntimeIsa().empty());
+}
+
+}  // namespace
+}  // namespace multiclust
