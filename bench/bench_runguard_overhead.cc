@@ -29,6 +29,7 @@
 #include "cluster/gmm.h"
 #include "cluster/kmeans.h"
 #include "common/checkpoint.h"
+#include "common/fault.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "data/generators.h"
@@ -231,6 +232,55 @@ void BM_GmmCheckpointArmed(benchmark::State& state) {
 }
 BENCHMARK(BM_GmmCheckpointArmed);
 
+// Armed-but-idle fault injector: a spec armed against a site that never
+// matches, so every MC_FAULT_FIRES hook in the hot loop leaves the
+// one-atomic-load fast path and takes the registry mutex, but nothing
+// fires and the computed result is untouched. This is the worst case a
+// chaos campaign imposes on iterations its schedule does not target.
+void BM_KMeansFaultDisarmed(benchmark::State& state) {
+  const Matrix data = BenchData();
+  const KMeansOptions opts = KmOptions();
+  fault::Reset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunKMeans(data, opts));
+  }
+}
+BENCHMARK(BM_KMeansFaultDisarmed);
+
+void BM_KMeansFaultArmedIdle(benchmark::State& state) {
+  const Matrix data = BenchData();
+  const KMeansOptions opts = KmOptions();
+  fault::Reset();
+  fault::Arm({"no-such-site", FaultKind::kInjectNaN, 0, 0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunKMeans(data, opts));
+  }
+  fault::Reset();
+}
+BENCHMARK(BM_KMeansFaultArmedIdle);
+
+void BM_GmmFaultDisarmed(benchmark::State& state) {
+  const Matrix data = BenchData();
+  const GmmOptions opts = GmOptions();
+  fault::Reset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitGmm(data, opts));
+  }
+}
+BENCHMARK(BM_GmmFaultDisarmed);
+
+void BM_GmmFaultArmedIdle(benchmark::State& state) {
+  const Matrix data = BenchData();
+  const GmmOptions opts = GmOptions();
+  fault::Reset();
+  fault::Arm({"no-such-site", FaultKind::kInjectNaN, 0, 0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitGmm(data, opts));
+  }
+  fault::Reset();
+}
+BENCHMARK(BM_GmmFaultArmedIdle);
+
 double TimeUnitToMs(benchmark::TimeUnit unit) {
   switch (unit) {
     case benchmark::kNanosecond:
@@ -306,6 +356,10 @@ int main(int argc, char** argv) {
        "BM_KMeansCheckpointArmed_ms"},
       {"gmm_checkpoint_overhead_pct", "BM_GmmCheckpointDisarmed_ms",
        "BM_GmmCheckpointArmed_ms"},
+      {"kmeans_fault_idle_overhead_pct", "BM_KMeansFaultDisarmed_ms",
+       "BM_KMeansFaultArmedIdle_ms"},
+      {"gmm_fault_idle_overhead_pct", "BM_GmmFaultDisarmed_ms",
+       "BM_GmmFaultArmedIdle_ms"},
   };
   for (const Pair& p : pairs) {
     const double base = h.ScalarValue(p.base, 0.0);

@@ -238,6 +238,11 @@ Result<Clustering> RunCoala(const Matrix& data, const std::vector<int>& given,
     if (MC_FAULT_FIRES("coala", FaultKind::kInjectNaN, iter)) {
       d_qual = std::numeric_limits<double>::quiet_NaN();
     }
+    if (MC_FAULT_FIRES("coala", FaultKind::kAllocFail, iter)) {
+      return Status::ComputationError(
+          "COALA: injected allocation failure growing the merge distance "
+          "matrix at merge " + std::to_string(iter));
+    }
     // The Lance-Williams recurrence cannot produce NaN from finite
     // distances, so a NaN here means an injected fault or corrupted state.
     if (std::isnan(d_qual) || std::isnan(d_diss)) {

@@ -202,6 +202,11 @@ Result<RestartOutcome> RunRestart(const Matrix& data,
     if (MC_FAULT_FIRES("dec-kmeans", FaultKind::kInjectNaN, iter)) {
       cur = std::numeric_limits<double>::quiet_NaN();
     }
+    if (MC_FAULT_FIRES("dec-kmeans", FaultKind::kAllocFail, iter)) {
+      return Status::ComputationError(
+          "dec-kmeans: injected allocation failure growing the "
+          "representative matrices at iteration " + std::to_string(iter));
+    }
     history.push_back(cur);
     out.iterations = iter + 1;
     if (!std::isfinite(cur)) {

@@ -337,6 +337,11 @@ Result<GmmModel> FitGmmOnce(const Matrix& data, const GmmOptions& options,
     if (MC_FAULT_FIRES("gmm", FaultKind::kInjectNaN, iter)) {
       ll = std::numeric_limits<double>::quiet_NaN();
     }
+    if (MC_FAULT_FIRES("gmm", FaultKind::kAllocFail, iter)) {
+      return Status::ComputationError(
+          "GMM-EM: injected allocation failure growing the responsibility "
+          "matrix at iteration " + std::to_string(iter));
+    }
     model.iterations = iter + 1;
     if (!std::isfinite(ll)) {
       return Status::ComputationError(

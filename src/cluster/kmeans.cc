@@ -202,6 +202,11 @@ Result<LloydResult> RunLloyd(const Matrix& data, size_t k, size_t max_iters,
     if (MC_FAULT_FIRES("kmeans", FaultKind::kInjectNaN, iter)) {
       next.at(0, 0) = std::numeric_limits<double>::quiet_NaN();
     }
+    if (MC_FAULT_FIRES("kmeans", FaultKind::kAllocFail, iter)) {
+      return Status::ComputationError(
+          "k-means: injected allocation failure growing the centre matrix "
+          "at iteration " + std::to_string(iter));
+    }
     const double shift = next.MaxAbsDiff(r.centers);
     r.centers = std::move(next);
     r.iterations = iter + 1;

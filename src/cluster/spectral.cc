@@ -73,6 +73,11 @@ Result<Clustering> RunSpectral(const Matrix& data,
   if (MC_FAULT_FIRES("spectral", FaultKind::kInjectNaN, 0)) {
     embed.at(0, 0) = std::numeric_limits<double>::quiet_NaN();
   }
+  if (MC_FAULT_FIRES("spectral", FaultKind::kAllocFail, 0)) {
+    return Status::ComputationError(
+        "spectral: injected allocation failure growing the embedding "
+        "matrix");
+  }
   // A degenerate eigendecomposition must surface as a recoverable
   // computation error, not as poisoned labels out of k-means.
   if (!ValidateMatrix("spectral", embed).ok()) {

@@ -92,10 +92,19 @@ Status FsyncPath(const std::string& path, bool directory) {
   return Status::OK();
 }
 
+// The injection site for checkpoint I/O faults; the fault iteration is the
+// Checkpointer's 0-based write-attempt index (see FaultKind docs).
+constexpr char kIoFaultSite[] = "checkpoint";
+
 // write temp -> fsync -> rename -> fsync(dir): a crash at any point leaves
 // either the previous file set or the new complete file, never a torn one.
+// `io_step` feeds the "checkpoint" fault site: every injected I/O failure
+// surfaces as a clean kIoError except kIoTornWrite, which silently persists
+// only a prefix (the model of a filesystem without atomic rename) — the
+// caller's read-back verification is what catches that one.
 Status AtomicWriteFile(const std::string& dir, const std::string& name,
-                       const std::string& content) {
+                       const std::string& content,
+                       [[maybe_unused]] size_t io_step) {
   const std::string final_path = dir + "/" + name;
   const std::string tmp_path = final_path + ".tmp";
   const int fd =
@@ -104,9 +113,24 @@ Status AtomicWriteFile(const std::string& dir, const std::string& name,
     return Status::IoError("checkpoint: cannot create " + tmp_path + ": " +
                            std::strerror(errno));
   }
+  if (MC_FAULT_FIRES(kIoFaultSite, FaultKind::kIoWriteFail, io_step)) {
+    close(fd);
+    unlink(tmp_path.c_str());
+    return Status::IoError("checkpoint: write to " + tmp_path +
+                           " failed: injected write fault");
+  }
+  size_t to_write = content.size();
+  bool short_write = false;
+  if (MC_FAULT_FIRES(kIoFaultSite, FaultKind::kIoShortWrite, io_step)) {
+    // ENOSPC model: a prefix reaches the disk, then the write errors. The
+    // half-written temp file is deliberately left behind — recovery must
+    // ignore stray *.tmp files.
+    to_write = content.size() / 2;
+    short_write = true;
+  }
   size_t off = 0;
-  while (off < content.size()) {
-    const ssize_t n = write(fd, content.data() + off, content.size() - off);
+  while (off < to_write) {
+    const ssize_t n = write(fd, content.data() + off, to_write - off);
     if (n < 0) {
       if (errno == EINTR) continue;
       const std::string err = std::strerror(errno);
@@ -117,8 +141,25 @@ Status AtomicWriteFile(const std::string& dir, const std::string& name,
     }
     off += static_cast<size_t>(n);
   }
-  if (fsync(fd) != 0) {
-    const std::string err = std::strerror(errno);
+  if (short_write) {
+    close(fd);
+    return Status::IoError("checkpoint: write to " + tmp_path +
+                           " failed: injected short write (no space)");
+  }
+  if (MC_FAULT_FIRES(kIoFaultSite, FaultKind::kIoTornWrite, io_step)) {
+    // Silent tear: only a prefix persists, but every syscall "succeeds".
+    if (ftruncate(fd, static_cast<off_t>(content.size() / 2)) != 0) {
+      close(fd);
+      unlink(tmp_path.c_str());
+      return Status::IoError("checkpoint: injected torn write could not "
+                             "truncate " + tmp_path);
+    }
+  }
+  const bool fsync_fault =
+      MC_FAULT_FIRES(kIoFaultSite, FaultKind::kIoFsyncFail, io_step);
+  if (fsync(fd) != 0 || fsync_fault) {
+    const std::string err =
+        fsync_fault ? "injected fsync fault" : std::strerror(errno);
     close(fd);
     unlink(tmp_path.c_str());
     return Status::IoError("checkpoint: fsync " + tmp_path + " failed: " +
@@ -129,6 +170,11 @@ Status AtomicWriteFile(const std::string& dir, const std::string& name,
     return Status::IoError("checkpoint: close " + tmp_path + " failed: " +
                            std::strerror(errno));
   }
+  if (MC_FAULT_FIRES(kIoFaultSite, FaultKind::kIoRenameFail, io_step)) {
+    unlink(tmp_path.c_str());
+    return Status::IoError("checkpoint: rename to " + final_path +
+                           " failed: injected rename fault");
+  }
   if (rename(tmp_path.c_str(), final_path.c_str()) != 0) {
     const std::string err = std::strerror(errno);
     unlink(tmp_path.c_str());
@@ -138,7 +184,28 @@ Status AtomicWriteFile(const std::string& dir, const std::string& name,
   return FsyncPath(dir, /*directory=*/true);
 }
 
+// Creates `dir` and every missing ancestor (mkdir -p): checkpoint
+// directories like "runs/today/job3" must work out of the box.
 Status EnsureDir(const std::string& dir) {
+  if (dir.empty()) {
+    return Status::IoError("checkpoint: empty checkpoint directory");
+  }
+  if (mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
+  if (errno != ENOENT) {
+    return Status::IoError("checkpoint: cannot create directory " + dir +
+                           ": " + std::strerror(errno));
+  }
+  // A parent is missing: create each component left to right. Positions
+  // start past index 0 so an absolute path's leading '/' is not a
+  // component.
+  for (size_t pos = 1; pos < dir.size(); ++pos) {
+    if (dir[pos] != '/') continue;
+    const std::string prefix = dir.substr(0, pos);
+    if (mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IoError("checkpoint: cannot create directory " + prefix +
+                             ": " + std::strerror(errno));
+    }
+  }
   if (mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
   return Status::IoError("checkpoint: cannot create directory " + dir + ": " +
                          std::strerror(errno));
@@ -149,6 +216,44 @@ std::string HexU64(uint64_t v) {
   std::snprintf(buf, sizeof(buf), "0x%" PRIx64, v);
   return buf;
 }
+
+// Read-back verification toggle (see SetVerifyAfterWriteForTest). Always on
+// outside tests: it is the guard that keeps rotation from destroying the
+// last good snapshot when a write silently tore.
+bool g_verify_after_write = true;
+
+// Reads all of `path`; empty optional when unreadable.
+std::optional<std::string> SlurpFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+#if defined(MULTICLUST_FAULT_INJECTION)
+// kCheckpointCorrupt: deterministic post-write bit rot — the byte at `pos`
+// in the (already verified) final file gets a bit flipped. The caller aims
+// `pos` into the payload region: envelope bytes outside the validated
+// fields (e.g. the "sequence" key — sequence numbers come from the file
+// name) are not covered by any check, but every payload byte is under the
+// restore-time CRC, so a payload flip is always detected on load.
+void FlipByteInFile(const std::string& path, off_t pos) {
+  const int fd = open(path.c_str(), O_RDWR);
+  if (fd < 0) return;
+  const off_t size = lseek(fd, 0, SEEK_END);
+  if (size > 0) {
+    if (pos < 0 || pos >= size) pos = size / 2;
+    char byte = 0;
+    if (pread(fd, &byte, 1, pos) == 1) {
+      byte = static_cast<char>(byte ^ 0x04);
+      pwrite(fd, &byte, 1, pos);
+      fsync(fd);
+    }
+  }
+  close(fd);
+}
+#endif  // MULTICLUST_FAULT_INJECTION
 
 }  // namespace
 
@@ -366,16 +471,46 @@ Status Checkpointer::WriteSnapshot(
   doc.Raw(payload_text);
   doc.EndObject();
 
-  MC_RETURN_IF_ERROR(AtomicWriteFile(
-      dir_, CheckpointFileName(algorithm, sequence), std::move(doc).str()));
+  const std::string file_name = CheckpointFileName(algorithm, sequence);
+  const std::string doc_text = std::move(doc).str();
+  const size_t io_step = write_attempts_++;
+  MC_RETURN_IF_ERROR(AtomicWriteFile(dir_, file_name, doc_text, io_step));
+
+  // Read-back verification: a snapshot only counts (and rotation only
+  // runs) once the bytes on disk equal the bytes we meant to write. This
+  // is the guard against silent torn writes — without it, a torn new file
+  // would rotate out the last *good* snapshot and leave only garbage.
+  if (g_verify_after_write) {
+    const std::optional<std::string> on_disk =
+        SlurpFile(dir_ + "/" + file_name);
+    if (!on_disk.has_value() || *on_disk != doc_text) {
+      unlink((dir_ + "/" + file_name).c_str());
+      return Status::IoError(
+          "checkpoint: " + file_name +
+          " failed read-back verification (torn or corrupt write); removed");
+    }
+  }
   ++snapshots_written_;
   MC_METRIC_COUNT("checkpoint.snapshots", 1);
   have_last_save_ = true;
   last_save_ = std::chrono::steady_clock::now();
 
+#if defined(MULTICLUST_FAULT_INJECTION)
+  // Post-verification bit rot (models corruption that happens after a
+  // correct write): exercised against the restore-time CRC, never against
+  // the write path above.
+  if (MC_FAULT_FIRES(kIoFaultSite, FaultKind::kCheckpointCorrupt, io_step)) {
+    // Land the flip in the middle of the payload, where the CRC covers it.
+    const size_t marker = doc_text.find("\"payload\":");
+    const size_t body = marker == std::string::npos ? 0 : marker + 10;
+    FlipByteInFile(dir_ + "/" + file_name,
+                   static_cast<off_t>(body + (doc_text.size() - body) / 2));
+  }
+#endif
+
   // Rotation: keep the newest keep_last files of this slot.
   if (policy_.keep_last > 0) {
-    files.emplace_back(sequence, CheckpointFileName(algorithm, sequence));
+    files.emplace_back(sequence, file_name);
     while (files.size() > policy_.keep_last) {
       unlink((dir_ + "/" + files.front().second).c_str());
       files.erase(files.begin());
@@ -383,6 +518,16 @@ Status Checkpointer::WriteSnapshot(
   }
   return Status::OK();
 }
+
+namespace ckpt {
+
+bool SetVerifyAfterWriteForTest(bool enabled) {
+  const bool previous = g_verify_after_write;
+  g_verify_after_write = enabled;
+  return previous;
+}
+
+}  // namespace ckpt
 
 Status Checkpointer::AtPersistencePoint(
     const char* algorithm, uint64_t fingerprint, size_t step,

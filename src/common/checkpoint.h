@@ -193,6 +193,9 @@ class Checkpointer {
   bool have_last_save_ = false;
   std::chrono::steady_clock::time_point last_save_;
   size_t snapshots_written_ = 0;
+  /// 0-based write-attempt counter (successful or not): the iteration fed
+  /// to the "checkpoint" fault site for injected I/O failures.
+  size_t write_attempts_ = 0;
 };
 
 /// --- Payload building blocks shared by the algorithms' SnapshotState /
@@ -200,6 +203,14 @@ class Checkpointer {
 /// reject missing or mistyped fields with kComputationError so the caller
 /// can fall back to a cold start. ---
 namespace ckpt {
+
+/// Test-only: toggles the Checkpointer's read-back verification of every
+/// written snapshot (compare bytes on disk against the intended document;
+/// mismatch removes the file and reports kIoError before rotation runs).
+/// Always ON outside tests — disabling it reintroduces the bug where a
+/// silently torn write rotates out the last good snapshot. Returns the
+/// previous setting.
+bool SetVerifyAfterWriteForTest(bool enabled);
 
 /// 64-bit integers as hex strings ("0x1a2b") — JSON numbers are doubles
 /// and would silently round above 2^53.

@@ -7,7 +7,56 @@
 #include <mutex>
 #include <vector>
 
+#include "common/rng.h"
+
 namespace multiclust {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kInjectNaN:
+      return "inject_nan";
+    case FaultKind::kForceNonConvergence:
+      return "force_non_convergence";
+    case FaultKind::kExpireDeadline:
+      return "expire_deadline";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kIoWriteFail:
+      return "io_write_fail";
+    case FaultKind::kIoShortWrite:
+      return "io_short_write";
+    case FaultKind::kIoFsyncFail:
+      return "io_fsync_fail";
+    case FaultKind::kIoRenameFail:
+      return "io_rename_fail";
+    case FaultKind::kIoTornWrite:
+      return "io_torn_write";
+    case FaultKind::kCheckpointCorrupt:
+      return "checkpoint_corrupt";
+    case FaultKind::kAllocFail:
+      return "alloc_fail";
+  }
+  return "unknown";
+}
+
+bool ParseFaultKind(std::string_view name, FaultKind* out) {
+  constexpr FaultKind kAll[] = {
+      FaultKind::kInjectNaN,     FaultKind::kForceNonConvergence,
+      FaultKind::kExpireDeadline, FaultKind::kCrash,
+      FaultKind::kIoWriteFail,   FaultKind::kIoShortWrite,
+      FaultKind::kIoFsyncFail,   FaultKind::kIoRenameFail,
+      FaultKind::kIoTornWrite,   FaultKind::kCheckpointCorrupt,
+      FaultKind::kAllocFail,
+  };
+  for (FaultKind k : kAll) {
+    if (name == FaultKindName(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
 namespace fault {
 
 namespace {
@@ -15,6 +64,7 @@ namespace {
 struct ArmedFault {
   FaultSpec spec;
   size_t fires = 0;
+  uint64_t coin_state = 0;  ///< SplitMix64 position for probabilistic specs
 };
 
 std::mutex g_mutex;
@@ -30,7 +80,7 @@ std::vector<ArmedFault>& Registry() {
 
 void Arm(const FaultSpec& spec) {
   std::lock_guard<std::mutex> lock(g_mutex);
-  Registry().push_back({spec, 0});
+  Registry().push_back({spec, 0, spec.seed});
   g_armed.store(static_cast<int>(Registry().size()),
                 std::memory_order_release);
 }
@@ -51,6 +101,15 @@ bool ShouldFire(const char* site, FaultKind kind, size_t iteration) {
     if (iteration < f.spec.at_iteration) continue;
     if (f.spec.max_fires != 0 && f.fires >= f.spec.max_fires) continue;
     if (std::strcmp(f.spec.site.c_str(), site) != 0) continue;
+    if (f.spec.probability < 1.0) {
+      // One coin flip per eligible check, drawn from the spec's private
+      // SplitMix64 stream: the firing pattern is a pure function of
+      // (seed, eligible-check index), hence bit-reproducible per seed.
+      f.coin_state = SplitMix64(f.coin_state + 0x9E3779B97F4A7C15ULL);
+      const double draw =
+          static_cast<double>(f.coin_state >> 11) * 0x1.0p-53;
+      if (draw >= f.spec.probability) continue;
+    }
     ++f.fires;
     g_total_fires.fetch_add(1, std::memory_order_relaxed);
     return true;
@@ -59,6 +118,15 @@ bool ShouldFire(const char* site, FaultKind kind, size_t iteration) {
 }
 
 size_t TotalFires() { return g_total_fires.load(std::memory_order_relaxed); }
+
+size_t TotalFires(const char* site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  size_t total = 0;
+  for (const ArmedFault& f : Registry()) {
+    if (std::strcmp(f.spec.site.c_str(), site) == 0) total += f.fires;
+  }
+  return total;
+}
 
 }  // namespace fault
 }  // namespace multiclust

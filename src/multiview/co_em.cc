@@ -218,6 +218,11 @@ Result<CoEmResult> RunCoEm(const Matrix& view1, const Matrix& view2,
     if (MC_FAULT_FIRES("co-em", FaultKind::kInjectNaN, iter)) {
       ll = std::numeric_limits<double>::quiet_NaN();
     }
+    if (MC_FAULT_FIRES("co-em", FaultKind::kAllocFail, iter)) {
+      return Status::ComputationError(
+          "co-EM: injected allocation failure growing the responsibility "
+          "matrices at iteration " + std::to_string(iter));
+    }
     // -inf can legitimately appear on the first rounds (underflow of a far
     // component); only NaN marks a genuinely poisoned state.
     if (std::isnan(ll)) {

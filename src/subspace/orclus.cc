@@ -378,6 +378,11 @@ Result<OrclusResult> RunOrclusOnce(const Matrix& data,
   if (MC_FAULT_FIRES("orclus", FaultKind::kInjectNaN, 0)) {
     energy = std::numeric_limits<double>::quiet_NaN();
   }
+  if (MC_FAULT_FIRES("orclus", FaultKind::kAllocFail, 0)) {
+    return Status::ComputationError(
+        "ORCLUS: injected allocation failure growing the projected "
+        "cluster bases");
+  }
   if (!std::isfinite(energy)) {
     return Status::ComputationError("ORCLUS: non-finite projected energy");
   }

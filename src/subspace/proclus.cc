@@ -373,6 +373,11 @@ Result<ProclusResult> RunProclus(const Matrix& data,
     if (MC_FAULT_FIRES("proclus", FaultKind::kInjectNaN, iter)) {
       cost = std::numeric_limits<double>::quiet_NaN();
     }
+    if (MC_FAULT_FIRES("proclus", FaultKind::kAllocFail, iter)) {
+      return Status::ComputationError(
+          "PROCLUS: injected allocation failure growing the per-cluster "
+          "dimension sets at iteration " + std::to_string(iter));
+    }
     if (!std::isfinite(cost)) {
       return Status::ComputationError(
           "PROCLUS: non-finite segmental cost at iteration " +

@@ -5,7 +5,11 @@
 // skipping, and the discovery pipeline's strategy fallback chain.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/gmm.h"
@@ -266,6 +270,144 @@ TEST_F(FaultInjectionTest, PipelineWithoutFallbackSurfacesTheError) {
   auto r = DiscoverMultipleClusterings(BlobData(), opts);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kComputationError);
+}
+
+// ---- fault model v2 -------------------------------------------------------
+
+TEST_F(FaultInjectionTest, KindNamesRoundTripThroughParse) {
+  for (FaultKind kind :
+       {FaultKind::kInjectNaN, FaultKind::kForceNonConvergence,
+        FaultKind::kExpireDeadline, FaultKind::kCrash,
+        FaultKind::kIoWriteFail, FaultKind::kIoShortWrite,
+        FaultKind::kIoFsyncFail, FaultKind::kIoRenameFail,
+        FaultKind::kIoTornWrite, FaultKind::kCheckpointCorrupt,
+        FaultKind::kAllocFail}) {
+    FaultKind parsed;
+    ASSERT_TRUE(ParseFaultKind(FaultKindName(kind), &parsed))
+        << FaultKindName(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  FaultKind unused;
+  EXPECT_FALSE(ParseFaultKind("no_such_kind", &unused));
+}
+
+TEST_F(FaultInjectionTest, TotalFiresIsQueryablePerSite) {
+  fault::Arm({"alpha", FaultKind::kInjectNaN, 0, 0});
+  fault::Arm({"beta", FaultKind::kInjectNaN, 0, 0});
+  EXPECT_TRUE(fault::ShouldFire("alpha", FaultKind::kInjectNaN, 0));
+  EXPECT_TRUE(fault::ShouldFire("alpha", FaultKind::kInjectNaN, 1));
+  EXPECT_TRUE(fault::ShouldFire("beta", FaultKind::kInjectNaN, 0));
+  EXPECT_EQ(fault::TotalFires(), 3u);
+  EXPECT_EQ(fault::TotalFires("alpha"), 2u);
+  EXPECT_EQ(fault::TotalFires("beta"), 1u);
+  EXPECT_EQ(fault::TotalFires("gamma"), 0u);
+}
+
+TEST_F(FaultInjectionTest, ProbabilisticSpecFiresReproduciblyPerSeed) {
+  auto pattern = [](uint64_t seed) {
+    fault::Reset();
+    FaultSpec spec;
+    spec.site = "p";
+    spec.kind = FaultKind::kInjectNaN;
+    spec.probability = 0.5;
+    spec.seed = seed;
+    fault::Arm(spec);
+    std::vector<bool> fired;
+    for (size_t i = 0; i < 64; ++i) {
+      fired.push_back(fault::ShouldFire("p", FaultKind::kInjectNaN, i));
+    }
+    fault::Reset();
+    return fired;
+  };
+  const std::vector<bool> a = pattern(42);
+  EXPECT_EQ(a, pattern(42));  // bit-reproducible per seed
+  EXPECT_NE(a, pattern(43));  // and actually seed-dependent
+  // p = 0.5 over 64 flips: both outcomes occur (probability ~2^-64 not to).
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 64);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityZeroNeverFiresAndOneAlwaysFires) {
+  FaultSpec never;
+  never.site = "z";
+  never.kind = FaultKind::kInjectNaN;
+  never.probability = 0.0;
+  fault::Arm(never);
+  for (size_t i = 0; i < 32; ++i) {
+    EXPECT_FALSE(fault::ShouldFire("z", FaultKind::kInjectNaN, i));
+  }
+  fault::Reset();
+  FaultSpec always;
+  always.site = "z";
+  always.kind = FaultKind::kInjectNaN;
+  always.probability = 1.0;
+  fault::Arm(always);
+  for (size_t i = 0; i < 32; ++i) {
+    EXPECT_TRUE(fault::ShouldFire("z", FaultKind::kInjectNaN, i));
+  }
+}
+
+// The documented concurrency contract: arming from one thread while
+// another is inside its hook-check loop is safe, the new fault becomes
+// visible no later than the next check, and a max_fires=1 fault fires on
+// exactly one of many racing threads.
+TEST_F(FaultInjectionTest, ConcurrentArmAndCheckIsSafe) {
+  constexpr int kCheckers = 4;
+  constexpr int kChecksPerThread = 2000;
+  std::atomic<int> observed_fires{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kCheckers + 1);
+  for (int t = 0; t < kCheckers; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kChecksPerThread; ++i) {
+        if (fault::ShouldFire("race", FaultKind::kInjectNaN,
+                              static_cast<size_t>(i))) {
+          observed_fires.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    go.store(true, std::memory_order_release);
+    for (int i = 0; i < 50; ++i) {
+      FaultSpec spec;
+      spec.site = i == 25 ? "race" : "elsewhere";
+      spec.kind = FaultKind::kInjectNaN;
+      spec.max_fires = i == 25 ? 1 : 0;
+      fault::Arm(spec);
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  // The single-shot "race" fault fired at most once across all racing
+  // threads (0 is possible: the checkers may drain before the arm lands).
+  EXPECT_LE(observed_fires.load(), 1);
+  EXPECT_EQ(fault::TotalFires("race"),
+            static_cast<size_t>(observed_fires.load()));
+}
+
+TEST_F(FaultInjectionTest, InjectedAllocFailureDegradesToComputationError) {
+  KMeansOptions opts;
+  opts.k = 3;
+  opts.restarts = 1;
+  opts.seed = 5;
+  fault::Arm({"kmeans", FaultKind::kAllocFail, 1, 1});
+  auto r = RunKMeans(BlobData(), opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kComputationError);
+  EXPECT_NE(r.status().message().find("allocation"), std::string::npos);
+  // The pipeline's retry machinery treats it like any recoverable
+  // computation fault: a reseeded retry succeeds once the fault is spent.
+  fault::Reset();
+  fault::Arm({"dec-kmeans", FaultKind::kAllocFail, 0, 1});
+  DiscoveryOptions dopts;
+  dopts.strategy = DiscoveryStrategy::kDecorrelatedKMeans;
+  dopts.k = 2;
+  auto report = DiscoverMultipleClusterings(BlobData(), dopts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->solutions.size(), 0u);
 }
 
 #endif  // MULTICLUST_FAULT_INJECTION
