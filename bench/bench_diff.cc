@@ -15,14 +15,25 @@
 //   bench_diff --report BASELINE CURRENT
 //       Compares two discovery-report JSONs (discover_cli output) for
 //       bit-identical results, ignoring wall-clock fields (elapsed_ms,
-//       budget_remaining_ms, metrics, spans) at any nesting depth. Used
-//       by the CI kill/resume soak job to check that a crashed-and-resumed
-//       run reproduces the uninterrupted baseline exactly.
+//       budget_remaining_ms, metrics, spans, resource) at any nesting
+//       depth. Used by the CI kill/resume soak job to check that a
+//       crashed-and-resumed run reproduces the uninterrupted baseline
+//       exactly.
+//
+//   bench_diff --validate-progress FILE...
+//       Schema-validates `multiclust.progress` NDJSON streams written by
+//       `discover_cli --progress=...`; exits 1 on the first invalid one.
+//
+//   bench_diff --validate-openmetrics FILE...
+//       Structurally validates OpenMetrics expositions written by
+//       `discover_cli --metrics-out=...`; exits 1 on the first invalid one.
 //
 // The committed BENCH_baseline.json is a merged --quick suite; regenerate
 // it with the loop in EXPERIMENTS.md when results change intentionally.
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -72,15 +83,19 @@ int Usage() {
                "[--timing-floor-ms=M]\n"
                "       bench_diff --validate FILE...\n"
                "       bench_diff --merge -o OUT FILE...\n"
-               "       bench_diff --report BASELINE CURRENT\n");
+               "       bench_diff --report BASELINE CURRENT\n"
+               "       bench_diff --validate-progress FILE...\n"
+               "       bench_diff --validate-openmetrics FILE...\n");
   return 2;
 }
 
 // Keys whose values depend on wall-clock time or host load and therefore
-// cannot be bit-identical across a crash/resume pair.
+// cannot be bit-identical across a crash/resume pair. "resource" is the
+// schema-v2 ResourceProfile: all timing/RSS/fault counts, and the resumed
+// half of a crash/resume pair legitimately did less work.
 bool IsWallClockKey(const std::string& key) {
   return key == "elapsed_ms" || key == "budget_remaining_ms" ||
-         key == "metrics" || key == "spans";
+         key == "metrics" || key == "spans" || key == "resource";
 }
 
 /// Recursive equality over report values, skipping wall-clock keys.
@@ -189,6 +204,162 @@ int RunReportCompare(const std::vector<std::string>& files) {
   return 0;
 }
 
+// Schema check for one `multiclust.progress` NDJSON stream as written by
+// `discover_cli --progress=...`: every line parses as a JSON object with
+// the right kind/version, required stamps present and monotonic, and the
+// stream ends with exactly one terminal event.
+Status ValidateProgressStream(const std::string& text) {
+  size_t line_no = 0;
+  size_t events = 0;
+  double last_seq = -1.0;
+  double last_elapsed = -1.0;
+  bool saw_terminal = false;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    const std::string where = "line " + std::to_string(line_no);
+    if (saw_terminal) {
+      return Status::InvalidArgument(where + ": event after terminal event");
+    }
+    auto parsed = multiclust::json::Parse(line);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(where + ": " +
+                                     parsed.status().ToString());
+    }
+    if (!parsed->is_object()) {
+      return Status::InvalidArgument(where + ": not a JSON object");
+    }
+    if (parsed->GetString("kind", "") != "multiclust.progress") {
+      return Status::InvalidArgument(where +
+                                     ": kind != \"multiclust.progress\"");
+    }
+    const double version = parsed->GetNumber("schema_version", -1.0);
+    if (version != 1.0) {
+      return Status::InvalidArgument(where + ": unsupported schema_version");
+    }
+    const double seq = parsed->GetNumber("seq", -1.0);
+    if (seq <= last_seq) {
+      return Status::InvalidArgument(where + ": seq not increasing");
+    }
+    last_seq = seq;
+    const double elapsed = parsed->GetNumber("elapsed_ms", -1.0);
+    if (elapsed < 0.0 || elapsed + 1e-9 < last_elapsed) {
+      return Status::InvalidArgument(where +
+                                     ": elapsed_ms missing or decreasing");
+    }
+    last_elapsed = elapsed;
+    if (parsed->GetString("stage", "").empty()) {
+      return Status::InvalidArgument(where + ": missing stage");
+    }
+    const std::string phase = parsed->GetString("phase", "");
+    if (phase != "start" && phase != "iteration" && phase != "end" &&
+        phase != "complete" && phase != "error") {
+      return Status::InvalidArgument(where + ": unknown phase \"" + phase +
+                                     "\"");
+    }
+    if (parsed->GetBool("terminal", false)) saw_terminal = true;
+    ++events;
+  }
+  if (events == 0) return Status::InvalidArgument("empty progress stream");
+  if (!saw_terminal) {
+    return Status::InvalidArgument("stream does not end in a terminal event");
+  }
+  return Status::OK();
+}
+
+// Structural check for an OpenMetrics exposition as written by
+// `metrics::OpenMetricsText()`: `# TYPE`/`# EOF` comments, sample lines
+// with legal metric-name characters and parseable values, terminated by
+// `# EOF`.
+Status ValidateOpenMetrics(const std::string& text) {
+  size_t line_no = 0;
+  bool saw_eof = false;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    const std::string where = "line " + std::to_string(line_no);
+    if (saw_eof) {
+      return Status::InvalidArgument(where + ": content after # EOF");
+    }
+    if (line == "# EOF") {
+      saw_eof = true;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const size_t space = line.find(' ', 7);
+      if (space == std::string::npos) {
+        return Status::InvalidArgument(where + ": malformed # TYPE line");
+      }
+      const std::string type = line.substr(space + 1);
+      if (type != "counter" && type != "gauge" && type != "histogram" &&
+          type != "unknown") {
+        return Status::InvalidArgument(where + ": unknown metric type \"" +
+                                       type + "\"");
+      }
+      continue;
+    }
+    if (line[0] == '#') {
+      return Status::InvalidArgument(where + ": unexpected comment");
+    }
+    // Sample line: name[{labels}] value
+    size_t i = 0;
+    while (i < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[i])) != 0 ||
+            line[i] == '_' || line[i] == ':')) {
+      ++i;
+    }
+    if (i == 0) {
+      return Status::InvalidArgument(where + ": missing metric name");
+    }
+    if (i < line.size() && line[i] == '{') {
+      const size_t close = line.find('}', i);
+      if (close == std::string::npos) {
+        return Status::InvalidArgument(where + ": unterminated label set");
+      }
+      i = close + 1;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      return Status::InvalidArgument(where + ": missing value separator");
+    }
+    const std::string value = line.substr(i + 1);
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    if (value.empty() || end == value.c_str() || *end != '\0') {
+      return Status::InvalidArgument(where + ": unparseable value \"" +
+                                     value + "\"");
+    }
+  }
+  if (!saw_eof) {
+    return Status::InvalidArgument("exposition does not end with # EOF");
+  }
+  return Status::OK();
+}
+
+int RunValidateWith(const std::vector<std::string>& files,
+                    Status (*check)(const std::string&), const char* what) {
+  if (files.empty()) return Usage();
+  for (const std::string& path : files) {
+    auto content = ReadFile(path);
+    const Status st = content.ok() ? check(*content) : content.status();
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), st.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s: valid %s\n", path.c_str(), what);
+  }
+  return 0;
+}
+
 int RunValidate(const std::vector<std::string>& files) {
   if (files.empty()) return Usage();
   for (const std::string& path : files) {
@@ -276,6 +447,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> positional;
   std::string merge_out;
   bool validate = false, merge = false, report = false;
+  bool validate_progress = false, validate_openmetrics = false;
   DiffOptions options;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -285,6 +457,10 @@ int main(int argc, char** argv) {
       merge = true;
     } else if (std::strcmp(arg, "--report") == 0) {
       report = true;
+    } else if (std::strcmp(arg, "--validate-progress") == 0) {
+      validate_progress = true;
+    } else if (std::strcmp(arg, "--validate-openmetrics") == 0) {
+      validate_openmetrics = true;
     } else if (std::strcmp(arg, "-o") == 0 && i + 1 < argc) {
       merge_out = argv[++i];
     } else if (std::strncmp(arg, "--timing-band=", 14) == 0) {
@@ -301,10 +477,21 @@ int main(int argc, char** argv) {
       positional.push_back(arg);
     }
   }
-  if (validate + merge + report > 1) return Usage();
+  if (validate + merge + report + validate_progress + validate_openmetrics >
+      1) {
+    return Usage();
+  }
   if (validate) return RunValidate(positional);
   if (merge) return RunMerge(merge_out, positional);
   if (report) return RunReportCompare(positional);
+  if (validate_progress) {
+    return RunValidateWith(positional, ValidateProgressStream,
+                           "multiclust.progress stream");
+  }
+  if (validate_openmetrics) {
+    return RunValidateWith(positional, ValidateOpenMetrics,
+                           "OpenMetrics exposition");
+  }
   if (positional.size() != 2) return Usage();
   return RunCompare(positional[0], positional[1], options);
 }

@@ -17,11 +17,18 @@
 // disarmed side is a null checkpoint pointer — one pointer test per
 // iteration, the production default. Same < 2% bar.
 //
+// The TelemetryArmed/Disarmed pairs measure the live progress stream: an
+// NdjsonProgressSink swallowing events into /dev/null versus no sink. The
+// SamplerArmed/Disarmed pair measures the span sampler's tick thread
+// against an identical tracer-armed run. Same < 2% bar (see
+// EXPERIMENTS.md §T3).
+//
 // Harness flags (--json=PATH, --quick) are consumed before
 // benchmark::Initialize; the overhead ratios land in the JSON document as
 // timing scalars plus warn-severity checks against the 2% bar.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -31,6 +38,8 @@
 #include "common/checkpoint.h"
 #include "common/fault.h"
 #include "common/metrics.h"
+#include "common/profile.h"
+#include "common/telemetry.h"
 #include "common/trace.h"
 #include "data/generators.h"
 #include "harness.h"
@@ -177,6 +186,121 @@ void BM_GmmTracingArmed(benchmark::State& state) {
   trace::Reset();
 }
 BENCHMARK(BM_GmmTracingArmed);
+
+// Telemetry-plane pairs: identical tracer-armed workloads, once with no
+// progress sink (the production default — ProgressEnabled() is one relaxed
+// load per recorded iteration) and once with an NdjsonProgressSink
+// swallowing every event into /dev/null, so each recorded iteration pays
+// event construction, JSON serialization and a flushed write. Same < 2%
+// bar.
+void BM_KMeansTelemetryDisarmed(benchmark::State& state) {
+  const Matrix data = BenchData();
+  KMeansOptions opts = KmOptions();
+  RunDiagnostics diag;
+  opts.diagnostics = &diag;
+  trace::Enable();
+  for (auto _ : state) {
+    trace::Reset();
+    metrics::Reset();
+    diag = RunDiagnostics();
+    benchmark::DoNotOptimize(RunKMeans(data, opts));
+  }
+  trace::Disable();
+  trace::Reset();
+}
+BENCHMARK(BM_KMeansTelemetryDisarmed);
+
+void BM_KMeansTelemetryArmed(benchmark::State& state) {
+  const Matrix data = BenchData();
+  KMeansOptions opts = KmOptions();
+  RunDiagnostics diag;
+  opts.diagnostics = &diag;
+  trace::Enable();
+  telemetry::NdjsonProgressSink sink(std::fopen("/dev/null", "w"),
+                                     /*take_ownership=*/true);
+  telemetry::SetProgressSink(&sink);
+  for (auto _ : state) {
+    trace::Reset();
+    metrics::Reset();
+    diag = RunDiagnostics();
+    benchmark::DoNotOptimize(RunKMeans(data, opts));
+  }
+  telemetry::SetProgressSink(nullptr);
+  trace::Disable();
+  trace::Reset();
+}
+BENCHMARK(BM_KMeansTelemetryArmed);
+
+void BM_GmmTelemetryDisarmed(benchmark::State& state) {
+  const Matrix data = BenchData();
+  GmmOptions opts = GmOptions();
+  RunDiagnostics diag;
+  opts.diagnostics = &diag;
+  trace::Enable();
+  for (auto _ : state) {
+    trace::Reset();
+    metrics::Reset();
+    diag = RunDiagnostics();
+    benchmark::DoNotOptimize(FitGmm(data, opts));
+  }
+  trace::Disable();
+  trace::Reset();
+}
+BENCHMARK(BM_GmmTelemetryDisarmed);
+
+void BM_GmmTelemetryArmed(benchmark::State& state) {
+  const Matrix data = BenchData();
+  GmmOptions opts = GmOptions();
+  RunDiagnostics diag;
+  opts.diagnostics = &diag;
+  trace::Enable();
+  telemetry::NdjsonProgressSink sink(std::fopen("/dev/null", "w"),
+                                     /*take_ownership=*/true);
+  telemetry::SetProgressSink(&sink);
+  for (auto _ : state) {
+    trace::Reset();
+    metrics::Reset();
+    diag = RunDiagnostics();
+    benchmark::DoNotOptimize(FitGmm(data, opts));
+  }
+  telemetry::SetProgressSink(nullptr);
+  trace::Disable();
+  trace::Reset();
+}
+BENCHMARK(BM_GmmTelemetryArmed);
+
+// Sampler pair: tracer armed either way; the armed side additionally runs
+// the span sampler at its default 2 ms tick, so the workload pays the
+// span-stack bookkeeping contention plus the background thread's CPU share
+// (significant on a single-core host — the bar stays warn-severity).
+void BM_KMeansSamplerDisarmed(benchmark::State& state) {
+  const Matrix data = BenchData();
+  const KMeansOptions opts = KmOptions();
+  trace::Enable();
+  for (auto _ : state) {
+    trace::Reset();
+    benchmark::DoNotOptimize(RunKMeans(data, opts));
+  }
+  trace::Disable();
+  trace::Reset();
+}
+BENCHMARK(BM_KMeansSamplerDisarmed);
+
+void BM_KMeansSamplerArmed(benchmark::State& state) {
+  const Matrix data = BenchData();
+  const KMeansOptions opts = KmOptions();
+  trace::Enable();
+  const bool sampling = telemetry::StartSampler().ok();
+  for (auto _ : state) {
+    trace::Reset();
+    benchmark::DoNotOptimize(RunKMeans(data, opts));
+  }
+  if (sampling) telemetry::StopSampler();
+  telemetry::ResetSamples();
+  trace::Disable();
+  trace::Reset();
+}
+BENCHMARK(BM_KMeansSamplerArmed);
 
 // Armed-but-silent snapshot channel: both cadence triggers disabled, so
 // AtPersistencePoint evaluates the policy and returns without touching the
@@ -352,6 +476,12 @@ int main(int argc, char** argv) {
        "BM_KMeansTracingArmed_ms"},
       {"gmm_tracing_overhead_pct", "BM_GmmTracingDisarmed_ms",
        "BM_GmmTracingArmed_ms"},
+      {"kmeans_telemetry_overhead_pct", "BM_KMeansTelemetryDisarmed_ms",
+       "BM_KMeansTelemetryArmed_ms"},
+      {"gmm_telemetry_overhead_pct", "BM_GmmTelemetryDisarmed_ms",
+       "BM_GmmTelemetryArmed_ms"},
+      {"kmeans_sampler_overhead_pct", "BM_KMeansSamplerDisarmed_ms",
+       "BM_KMeansSamplerArmed_ms"},
       {"kmeans_checkpoint_overhead_pct", "BM_KMeansCheckpointDisarmed_ms",
        "BM_KMeansCheckpointArmed_ms"},
       {"gmm_checkpoint_overhead_pct", "BM_GmmCheckpointDisarmed_ms",

@@ -141,6 +141,17 @@ std::string Harness::DocumentJson() const {
     w.EndObject();
   }
 
+  // What this bench process cost, harness construction to here. Absent
+  // when telemetry compiles out; wall-clock-dependent, so bench_diff never
+  // compares it.
+  {
+    const telemetry::ResourceProfile resource = resource_scope_.Snapshot();
+    if (resource.captured) {
+      w.Key("resource");
+      AppendResourceProfile(resource, &w);
+    }
+  }
+
   w.Key("scalars");
   w.BeginArray();
   for (const ScalarResult& s : scalars_) {
@@ -324,6 +335,17 @@ Status ValidateBenchDocument(const json::Value& doc) {
   // stay valid) but must be an object when present.
   if (const json::Value* host = doc.Find("host")) {
     MC_RETURN_IF_ERROR(Expect(host->is_object(), "'host' must be an object"));
+  }
+  // 'resource' is optional (absent when telemetry compiles out) but must
+  // be an object of numbers when present.
+  if (const json::Value* resource = doc.Find("resource")) {
+    MC_RETURN_IF_ERROR(
+        Expect(resource->is_object(), "'resource' must be an object"));
+    for (const auto& member : resource->object_items()) {
+      MC_RETURN_IF_ERROR(Expect(member.second.is_number(),
+                                "resource field '" + member.first +
+                                    "' must be a number"));
+    }
   }
   for (const char* section : {"scalars", "series", "tables", "checks"}) {
     const json::Value* v = doc.Find(section);

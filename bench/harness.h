@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "common/profile.h"
 #include "common/status.h"
 
 namespace multiclust {
@@ -33,6 +34,13 @@ namespace bench {
 ///    "host":{"logical_cores":..,"threads":..,"isa":"avx512f",
 ///            "simd_backend":"avx2","simd_compiled":true,
 ///            "double_lanes":4,"float_lanes":8},   // optional (v1 docs)
+///    "resource":{"wall_ms":..,"user_cpu_ms":..,"system_cpu_ms":..,
+///                "peak_rss_kb":..,"minor_faults":..,"major_faults":..,
+///                "alloc_count":..,"alloc_bytes":..,"flops":..,
+///                "kernel_bytes":..},   // optional: ResourceProfile of the
+///                                      // bench process, harness lifetime;
+///                                      // absent when telemetry compiles out
+///                                      // (wall-clock — bench_diff ignores)
 ///    "scalars":[{"name":..,"value":..,"unit":..,"timing":..,
 ///                "tol_rel":..,"tol_abs":..}],
 ///    "series":[{"name":..,"x_name":..,"y_name":..,"unit":..,"timing":..,
@@ -177,6 +185,9 @@ class Harness {
   std::vector<std::unique_ptr<Series>> series_;
   std::vector<std::unique_ptr<Table>> tables_;
   std::vector<CheckResult> checks_;
+  // Resource accounting over the harness's lifetime — construction to
+  // DocumentJson — recorded in the optional "resource" envelope section.
+  telemetry::ResourceScope resource_scope_;
 };
 
 /// --- Document validation (the schema test; also bench_diff --validate).

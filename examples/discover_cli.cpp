@@ -23,6 +23,19 @@
 //                                             process death at persistence
 //                                             point N of site NAME, default
 //                                             "dec-kmeans"; exits 3)
+//     --progress=PATH|-                      (stream live NDJSON progress
+//                                             events to PATH, or to stdout
+//                                             with "-"; human output moves
+//                                             to stderr so the stream stays
+//                                             machine-parseable)
+//     --metrics-out=PATH                     (rewrite PATH with an
+//                                             OpenMetrics snapshot every
+//                                             500 ms and once at exit)
+//     --flamegraph=PATH                      (run the span sampler during
+//                                             the discovery call and write
+//                                             collapsed stacks to PATH for
+//                                             flamegraph.pl / speedscope;
+//                                             prints a self/total table)
 //
 // Ctrl-C (SIGINT) / SIGTERM cancel the run cooperatively: the algorithms
 // flush a final checkpoint (when armed) and the process exits 130 with a
@@ -36,6 +49,8 @@
 #include <string>
 
 #include "common/metrics.h"
+#include "common/profile.h"
+#include "common/telemetry.h"
 #include "common/trace.h"
 #include "multiclust.h"
 
@@ -48,6 +63,22 @@ namespace {
 CancelToken g_cancel;
 
 extern "C" void HandleSignal(int) { g_cancel.Cancel(); }
+
+// Human-facing output stream. Normally stdout; when --progress=- claims
+// stdout for the NDJSON event stream, every human line moves here (stderr)
+// so consumers can pipe the events without filtering.
+std::FILE* g_human = nullptr;
+
+// Tears down the process-wide telemetry hooks in the right order no matter
+// which exit path runs: the sink must be uninstalled before its owner
+// destroys it, and the background threads must be joined before exit.
+struct TelemetryTeardown {
+  ~TelemetryTeardown() {
+    telemetry::SetProgressSink(nullptr);
+    if (telemetry::SamplerRunning()) telemetry::StopSampler();
+    if (telemetry::MetricsExportRunning()) telemetry::StopMetricsExport();
+  }
+};
 
 bool ParseFlag(const std::string& arg, const std::string& name,
                std::string* value) {
@@ -73,11 +104,15 @@ int Fail(const Status& status) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_human = stdout;
   std::string input;
   std::string out;
   std::string label_column;
   std::string report_json;
   std::string checkpoint_dir;
+  std::string progress;
+  std::string metrics_out;
+  std::string flamegraph;
   std::string crash_site = "dec-kmeans";
   bool resume = false;
   bool crash_armed = false;
@@ -104,6 +139,12 @@ int main(int argc, char** argv) {
       report_json = value;
     } else if (ParseFlag(arg, "checkpoint-dir", &value)) {
       checkpoint_dir = value;
+    } else if (ParseFlag(arg, "progress", &value)) {
+      progress = value;
+    } else if (ParseFlag(arg, "metrics-out", &value)) {
+      metrics_out = value;
+    } else if (ParseFlag(arg, "flamegraph", &value)) {
+      flamegraph = value;
     } else if (arg == "--resume") {
       resume = true;
     } else if (ParseFlag(arg, "crash-at", &value)) {
@@ -124,6 +165,10 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // --progress=- claims stdout for the event stream; everything meant for
+  // a person moves to stderr.
+  if (progress == "-") g_human = stderr;
+
   if (strategy == "deckm") {
     options.strategy = DiscoveryStrategy::kDecorrelatedKMeans;
   } else if (strategy == "ortho") {
@@ -140,8 +185,9 @@ int main(int argc, char** argv) {
   // Load or self-generate.
   Dataset dataset;
   if (input.empty()) {
-    std::printf("(no input file: running the self-demo on the generated"
-                " customer scenario)\n");
+    std::fprintf(g_human,
+                 "(no input file: running the self-demo on the generated"
+                 " customer scenario)\n");
     auto demo = MakeCustomerScenario(300, options.seed);
     if (!demo.ok()) return Fail(demo.status());
     dataset = std::move(demo).value();
@@ -152,16 +198,61 @@ int main(int argc, char** argv) {
     if (!loaded.ok()) return Fail(loaded.status());
     dataset = std::move(loaded).value();
   }
-  std::printf("data: %zu objects x %zu attributes\n", dataset.num_objects(),
-              dataset.num_dims());
+  std::fprintf(g_human, "data: %zu objects x %zu attributes\n",
+               dataset.num_objects(), dataset.num_dims());
 
-  // Arm the observability layer for the run when a report was requested so
-  // the artifact carries the span summary and metrics snapshot (no-ops when
-  // compiled out).
-  if (!report_json.empty() && trace::kCompiledIn) {
+  // Arm the observability layer for the run when any artifact that feeds
+  // off it was requested: the report carries the span summary and metrics
+  // snapshot, the sampler attributes ticks to open spans, and the metrics
+  // exporter scrapes the registry (no-ops when compiled out).
+  const bool wants_telemetry = !report_json.empty() || !progress.empty() ||
+                               !metrics_out.empty() || !flamegraph.empty();
+  if (wants_telemetry && trace::kCompiledIn) {
     trace::Reset();
     metrics::Reset();
     trace::Enable();
+  }
+
+  // Live telemetry plane: progress stream, OpenMetrics export, sampler.
+  // The sink must outlive the teardown guard (declared after it, destroyed
+  // before it), which uninstalls the process-wide pointer first.
+  std::unique_ptr<telemetry::NdjsonProgressSink> progress_sink;
+  TelemetryTeardown teardown;
+  if (!progress.empty()) {
+    if (!telemetry::kTelemetryCompiledIn) {
+      std::fprintf(stderr,
+                   "warning: --progress ignored (telemetry compiled out: "
+                   "-DMULTICLUST_TRACING=OFF)\n");
+    } else if (progress == "-") {
+      progress_sink = std::make_unique<telemetry::NdjsonProgressSink>(stdout);
+    } else {
+      std::FILE* f = std::fopen(progress.c_str(), "w");
+      if (f == nullptr) {
+        return Fail(Status::IoError("cannot open --progress file '" +
+                                    progress + "'"));
+      }
+      progress_sink = std::make_unique<telemetry::NdjsonProgressSink>(
+          f, /*take_ownership=*/true);
+    }
+    if (progress_sink != nullptr) {
+      telemetry::SetProgressSink(progress_sink.get());
+    }
+  }
+  if (!metrics_out.empty()) {
+    telemetry::MetricsExportOptions mopts;
+    mopts.path = metrics_out;
+    Status st = telemetry::StartMetricsExport(mopts);
+    if (!st.ok()) {
+      std::fprintf(stderr, "warning: --metrics-out: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+  if (!flamegraph.empty()) {
+    Status st = telemetry::StartSampler();
+    if (!st.ok()) {
+      std::fprintf(stderr, "warning: --flamegraph: %s\n",
+                   st.ToString().c_str());
+    }
   }
 
   // Cooperative shutdown: SIGINT/SIGTERM trip the cancel token; the run
@@ -198,6 +289,29 @@ int main(int argc, char** argv) {
   }
 
   auto report = DiscoverMultipleClusterings(dataset.data(), options);
+
+  // The progress stream ends with exactly one terminal event, success or
+  // not, so a tailing consumer knows the run is over.
+  telemetry::EmitStage("run", report.ok() ? "complete" : "error",
+                       /*terminal=*/true);
+
+  if (telemetry::SamplerRunning()) {
+    telemetry::StopSampler();
+    std::FILE* f = std::fopen(flamegraph.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot open --flamegraph file '%s'\n",
+                   flamegraph.c_str());
+    } else {
+      const std::string collapsed = telemetry::CollapsedStacks();
+      std::fwrite(collapsed.data(), 1, collapsed.size(), f);
+      std::fclose(f);
+      std::fprintf(g_human,
+                   "wrote %zu samples of collapsed span stacks to %s\n",
+                   telemetry::SampleCount(), flamegraph.c_str());
+      std::fprintf(g_human, "%s", telemetry::SamplerTableString().c_str());
+    }
+  }
+
   if (checkpointer != nullptr) {
     for (const std::string& w : checkpointer->TakeWarnings()) {
       std::fprintf(stderr, "checkpoint: %s\n", w.c_str());
@@ -216,15 +330,21 @@ int main(int argc, char** argv) {
     return Fail(report.status());
   }
 
-  std::printf("strategy: %s, k = %zu, solutions found: %zu\n",
-              report->strategy_name.c_str(), report->chosen_k,
-              report->solutions.size());
-  std::printf("mean silhouette quality: %.3f\n",
-              report->objective.mean_quality);
-  std::printf("mean pairwise dissimilarity: %.3f (min %.3f)\n",
-              report->objective.mean_dissimilarity,
-              report->objective.min_dissimilarity);
-  std::printf("%s", report->solutions.Summary().c_str());
+  std::fprintf(g_human, "strategy: %s, k = %zu, solutions found: %zu\n",
+               report->strategy_name.c_str(), report->chosen_k,
+               report->solutions.size());
+  std::fprintf(g_human, "mean silhouette quality: %.3f\n",
+               report->objective.mean_quality);
+  std::fprintf(g_human, "mean pairwise dissimilarity: %.3f (min %.3f)\n",
+               report->objective.mean_dissimilarity,
+               report->objective.min_dissimilarity);
+  std::fprintf(g_human, "%s", report->solutions.Summary().c_str());
+  // Only when a telemetry surface was requested: the bare self-demo's
+  // stdout stays byte-stable across runs (plain `diff` is a documented
+  // determinism oracle), and wall-clock lines would break that.
+  if (wants_telemetry && report->resource.captured) {
+    std::fprintf(g_human, "%s", report->resource.ToString().c_str());
+  }
 
   if (!out.empty()) {
     Dataset annotated(dataset.data(), dataset.column_names());
@@ -235,15 +355,15 @@ int main(int argc, char** argv) {
     }
     Status st = WriteCsv(annotated, out);
     if (!st.ok()) return Fail(st);
-    std::printf("wrote %s with %zu solution columns\n", out.c_str(),
-                report->solutions.size());
+    std::fprintf(g_human, "wrote %s with %zu solution columns\n", out.c_str(),
+                 report->solutions.size());
   }
 
   if (!report_json.empty()) {
     Status st = WriteDiscoveryReport(report_json, *report);
     if (trace::kCompiledIn) trace::Disable();
     if (!st.ok()) return Fail(st);
-    std::printf("wrote run report to %s\n", report_json.c_str());
+    std::fprintf(g_human, "wrote run report to %s\n", report_json.c_str());
   }
   return 0;
 }

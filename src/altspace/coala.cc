@@ -118,6 +118,9 @@ Result<Clustering> RunCoala(const Matrix& data, const std::vector<int>& given,
   MULTICLUST_TRACE_SPAN("altspace.coala.run");
   BudgetTracker guard(options.budget, "coala");
   ConvergenceRecorder recorder(options.diagnostics, &guard);
+  // Agglomerative: one merge per outer iteration, from n singleton groups
+  // down to k.
+  recorder.SetExpectedIterations(n > options.k ? n - options.k : 0);
 
   // Average-link distances between current groups, maintained with the
   // Lance-Williams update. violations(i, j) counts cannot-link pairs between

@@ -1,5 +1,6 @@
 #include "altspace/dec_kmeans.h"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <limits>
@@ -411,6 +412,10 @@ Result<DecKMeansResult> RunDecorrelatedKMeans(
   MULTICLUST_TRACE_SPAN("altspace.dec_kmeans.run");
   BudgetTracker guard(options.budget, "dec-kmeans");
   ConvergenceRecorder recorder(options.diagnostics, &guard);
+  recorder.SetExpectedIterations(
+      options.budget.max_iterations != 0
+          ? std::min(options.max_iters, options.budget.max_iterations)
+          : options.max_iters);
   Checkpointer* ck = options.budget.checkpoint;
   const uint64_t fp = ck != nullptr ? DecFingerprint(data, options) : 0;
 

@@ -1,5 +1,6 @@
 #include "cluster/kmeans.h"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <limits>
@@ -8,6 +9,7 @@
 #include "common/checkpoint.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/profile.h"
 #include "common/rng.h"
 #include "common/trace.h"
 #include "linalg/kernels.h"
@@ -159,6 +161,10 @@ Result<LloydResult> RunLloyd(const Matrix& data, size_t k, size_t max_iters,
       // point, so the step is bit-identical for any thread count.
       const std::vector<float> centers_f32 = ToFloat32(r.centers);
       ParallelFor(0, n, 256, [&](size_t lo, size_t hi) {
+        // Telemetry FLOP tally per chunk (never per point): 3 flops per
+        // element of the k x d distance scan over hi - lo points.
+        telemetry::CountFlops(3 * (hi - lo) * k * d,
+                              (hi - lo) * d * sizeof(float));
         for (size_t i = lo; i < hi; ++i) {
           r.labels[i] = kernels::NearestSquaredF(
               data_f32->data() + i * d, centers_f32.data(), k, d);
@@ -172,6 +178,10 @@ Result<LloydResult> RunLloyd(const Matrix& data, size_t k, size_t max_iters,
       const std::vector<double> c_norms = RowSquaredNorms(r.centers);
       const double* centers_flat = r.centers.row_data(0);
       ParallelFor(0, n, 256, [&](size_t lo, size_t hi) {
+        // Telemetry FLOP tally per chunk (never per point): the norm-form
+        // scan is a k x d dot product (2 flops/element) per point.
+        telemetry::CountFlops(2 * (hi - lo) * k * d,
+                              (hi - lo) * d * sizeof(double));
         for (size_t i = lo; i < hi; ++i) {
           r.labels[i] =
               kernels::NearestNormForm(data.row_data(i), centers_flat, k, d,
@@ -359,6 +369,10 @@ Result<Clustering> RunKMeans(const Matrix& data,
   MULTICLUST_TRACE_SPAN("cluster.kmeans.run");
   BudgetTracker guard(options.budget, "kmeans");
   ConvergenceRecorder recorder(options.diagnostics, &guard);
+  recorder.SetExpectedIterations(
+      options.budget.max_iterations != 0
+          ? std::min(options.max_iters, options.budget.max_iterations)
+          : options.max_iters);
   Checkpointer* ck = options.budget.checkpoint;
   const uint64_t fp = ck != nullptr ? KMeansFingerprint(data, options) : 0;
 

@@ -5,6 +5,7 @@
 
 #include "cluster/kmeans.h"
 #include "common/parallel.h"
+#include "common/telemetry.h"
 #include "common/trace.h"
 #include "linalg/decomposition.h"
 #include "stats/hsic.h"
@@ -98,7 +99,11 @@ Result<Clustering> RunSpectral(const Matrix& data,
   km.budget.checkpoint = options.budget.checkpoint;
   km.diagnostics = options.diagnostics;
   MULTICLUST_TRACE_SPAN("cluster.spectral.kmeans");
+  // Progress events from the embedded k-means stream under its own stage
+  // name; bracket them so a consumer can attribute them to spectral.
+  telemetry::EmitStage("spectral", "start");
   MC_ASSIGN_OR_RETURN(Clustering c, RunKMeans(embed, km));
+  telemetry::EmitStage("spectral", "end");
   if (options.diagnostics != nullptr) {
     // The trace is the embedded k-means run; report it under this
     // algorithm's name.

@@ -3,8 +3,10 @@
 #if defined(MULTICLUST_TRACING)
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <functional>
+#include <limits>
 #include <mutex>
 #include <unordered_map>
 
@@ -70,10 +72,40 @@ uint64_t Histogram::total_count() const {
   return total;
 }
 
+double Histogram::Quantile(double q) const {
+  return HistogramQuantile(bounds_, bucket_counts(), q);
+}
+
 void Histogram::Reset() {
   for (size_t b = 0; b <= bounds_.size(); ++b) {
     counts_[b].store(0, std::memory_order_relaxed);
   }
+}
+
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<uint64_t>& counts, double q) {
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  if (bounds.empty() || counts.size() != bounds.size() + 1) return kNan;
+  uint64_t total = 0;
+  for (const uint64_t c : counts) total += c;
+  if (total == 0) return kNan;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    const double prev = cum;
+    cum += static_cast<double>(counts[b]);
+    if (counts[b] == 0) continue;  // an empty bucket cannot hold the rank
+    if (cum >= target) {
+      if (b == counts.size() - 1) return bounds.back();  // overflow clamps
+      const double lo = (b == 0) ? std::min(0.0, bounds[0]) : bounds[b - 1];
+      const double hi = bounds[b];
+      const double frac = std::clamp(
+          (target - prev) / static_cast<double>(counts[b]), 0.0, 1.0);
+      return lo + (hi - lo) * frac;
+    }
+  }
+  return bounds.back();
 }
 
 Counter& GetCounter(const std::string& name) {
@@ -220,6 +252,14 @@ std::string MetricsJson() {
         w.EndArray();
         w.Key("total");
         w.Uint(total);
+        if (total > 0 && !e.bounds.empty()) {
+          w.Key("p50");
+          w.Double(HistogramQuantile(e.bounds, e.bucket_counts, 0.50));
+          w.Key("p95");
+          w.Double(HistogramQuantile(e.bounds, e.bucket_counts, 0.95));
+          w.Key("p99");
+          w.Double(HistogramQuantile(e.bounds, e.bucket_counts, 0.99));
+        }
         break;
       }
     }
@@ -227,6 +267,131 @@ std::string MetricsJson() {
   }
   w.EndArray();
   return std::move(w).str();
+}
+
+namespace {
+
+// OpenMetrics metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Our dotted
+// `<module>.<algo>.<event>` names map to `multiclust_<module>_<algo>_...`.
+std::string OpenMetricsName(const std::string& name) {
+  std::string out = "multiclust_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendOpenMetricsDouble(double v, std::string* out) {
+  char buf[48];
+  if (std::isnan(v)) {
+    std::snprintf(buf, sizeof(buf), "NaN");
+  } else if (std::isinf(v)) {
+    std::snprintf(buf, sizeof(buf), v > 0 ? "+Inf" : "-Inf");
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+  }
+  *out += buf;
+}
+
+}  // namespace
+
+std::string OpenMetricsText() {
+  // Reuse MetricsJson's collection shape: gather name-sorted typed entries
+  // under the shard locks, then render.
+  struct Entry {
+    std::string name;
+    enum { kCounter, kGauge, kHistogram } kind;
+    uint64_t count = 0;
+    double gauge = 0.0;
+    std::vector<double> bounds;
+    std::vector<uint64_t> bucket_counts;
+  };
+  std::vector<Entry> entries;
+  Shard* shards = Shards();
+  for (size_t s = 0; s < kShards; ++s) {
+    std::lock_guard<std::mutex> lock(shards[s].mu);
+    for (const auto& [name, c] : shards[s].counters) {
+      Entry e;
+      e.name = name;
+      e.kind = Entry::kCounter;
+      e.count = c->value();
+      entries.push_back(std::move(e));
+    }
+    for (const auto& [name, g] : shards[s].gauges) {
+      Entry e;
+      e.name = name;
+      e.kind = Entry::kGauge;
+      e.gauge = g->value();
+      entries.push_back(std::move(e));
+    }
+    for (const auto& [name, h] : shards[s].histograms) {
+      Entry e;
+      e.name = name;
+      e.kind = Entry::kHistogram;
+      e.bounds = h->bounds();
+      e.bucket_counts = h->bucket_counts();
+      entries.push_back(std::move(e));
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.name < b.name; });
+
+  std::string out;
+  char buf[96];
+  for (const Entry& e : entries) {
+    const std::string name = OpenMetricsName(e.name);
+    switch (e.kind) {
+      case Entry::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        std::snprintf(buf, sizeof(buf), "_total %llu\n",
+                      static_cast<unsigned long long>(e.count));
+        out += name + buf;
+        break;
+      case Entry::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " ";
+        AppendOpenMetricsDouble(e.gauge, &out);
+        out += '\n';
+        break;
+      case Entry::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        uint64_t cum = 0;
+        for (size_t b = 0; b < e.bucket_counts.size(); ++b) {
+          cum += e.bucket_counts[b];
+          out += name + "_bucket{le=\"";
+          if (b < e.bounds.size()) {
+            AppendOpenMetricsDouble(e.bounds[b], &out);
+          } else {
+            out += "+Inf";
+          }
+          std::snprintf(buf, sizeof(buf), "\"} %llu\n",
+                        static_cast<unsigned long long>(cum));
+          out += buf;
+        }
+        std::snprintf(buf, sizeof(buf), "_count %llu\n",
+                      static_cast<unsigned long long>(cum));
+        out += name + buf;
+        if (cum > 0 && !e.bounds.empty()) {
+          const struct {
+            const char* suffix;
+            double q;
+          } kQuantiles[] = {{"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}};
+          for (const auto& [suffix, q] : kQuantiles) {
+            out += "# TYPE " + name + suffix + " gauge\n";
+            out += name + suffix + " ";
+            AppendOpenMetricsDouble(
+                HistogramQuantile(e.bounds, e.bucket_counts, q), &out);
+            out += '\n';
+          }
+        }
+        break;
+      }
+    }
+  }
+  out += "# EOF\n";
+  return out;
 }
 
 std::string SummaryString() {

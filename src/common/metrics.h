@@ -76,6 +76,8 @@ class Histogram {
   /// Bucket counts, length bounds().size() + 1 (last = overflow).
   std::vector<uint64_t> bucket_counts() const;
   uint64_t total_count() const;
+  /// HistogramQuantile() over the current bucket counts.
+  double Quantile(double q) const;
   void Reset();
 
  private:
@@ -106,9 +108,30 @@ std::string SummaryString();
 ///   [{"name":"cluster.kmeans.iterations","kind":"counter","value":42},
 ///    {"name":"...","kind":"gauge","value":1.5},
 ///    {"name":"...","kind":"histogram",
-///     "bounds":[1,10],"counts":[2,1,0],"total":3}]
-/// Embedded verbatim in the report artifact (common/report.h).
+///     "bounds":[1,10],"counts":[2,1,0],"total":3,
+///     "p50":5.5,"p95":9.55,"p99":9.91}]
+/// (p50/p95/p99 appear only for non-empty histograms.) Embedded verbatim
+/// in the report artifact (common/report.h).
 std::string MetricsJson();
+
+/// Estimated q-quantile (q in [0, 1]) of a fixed-bucket histogram with
+/// ascending inclusive upper `bounds` and `counts` of length
+/// bounds.size() + 1 (last = overflow), by linear interpolation inside the
+/// bucket holding rank q * total:
+///   - the first bucket interpolates from min(0, bounds[0]) to bounds[0];
+///   - the overflow bucket has no upper edge, so any quantile landing there
+///     clamps to bounds.back();
+///   - returns NaN for empty histograms, empty bounds, or mismatched sizes.
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<uint64_t>& counts, double q);
+
+/// The registry rendered as OpenMetrics text exposition (the Prometheus
+/// scrape format): `multiclust_`-prefixed sanitized names (`.` -> `_`),
+/// counters with the `_total` suffix, histograms as cumulative
+/// `_bucket{le="..."}` series plus `_count` and p50/p95/p99 gauges, ending
+/// with the required `# EOF` line. This is the wire format a `discoverd`
+/// scraper consumes (`discover_cli --metrics-out=PATH`).
+std::string OpenMetricsText();
 
 #else  // !MULTICLUST_TRACING — zero-cost stubs, no symbols in the library.
 
@@ -135,6 +158,7 @@ class Histogram {
   std::vector<double> bounds() const { return {}; }
   std::vector<uint64_t> bucket_counts() const { return {}; }
   uint64_t total_count() const { return 0; }
+  double Quantile(double) const { return 0.0; }
   void Reset() {}
 };
 
@@ -157,6 +181,11 @@ inline std::string SummaryString() {
   return "metrics: compiled out (-DMULTICLUST_TRACING=OFF)\n";
 }
 inline std::string MetricsJson() { return "[]"; }
+inline double HistogramQuantile(const std::vector<double>&,
+                                const std::vector<uint64_t>&, double) {
+  return 0.0;
+}
+inline std::string OpenMetricsText() { return "# EOF\n"; }
 
 #endif  // MULTICLUST_TRACING
 

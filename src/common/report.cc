@@ -1,6 +1,7 @@
 #include "common/report.h"
 
 #include <cstdio>
+#include <limits>
 
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -43,6 +44,32 @@ void AppendConvergenceTrace(const ConvergenceTrace& trace, bool with_points,
   w->EndObject();
 }
 
+void AppendResourceProfile(const telemetry::ResourceProfile& resource,
+                           json::Writer* w) {
+  w->BeginObject();
+  w->Key("wall_ms");
+  w->Double(resource.wall_ms);
+  w->Key("user_cpu_ms");
+  w->Double(resource.user_cpu_ms);
+  w->Key("system_cpu_ms");
+  w->Double(resource.system_cpu_ms);
+  w->Key("peak_rss_kb");
+  w->Uint(resource.peak_rss_kb);
+  w->Key("minor_faults");
+  w->Uint(resource.minor_faults);
+  w->Key("major_faults");
+  w->Uint(resource.major_faults);
+  w->Key("alloc_count");
+  w->Uint(resource.alloc_count);
+  w->Key("alloc_bytes");
+  w->Uint(resource.alloc_bytes);
+  w->Key("flops");
+  w->Uint(resource.flops);
+  w->Key("kernel_bytes");
+  w->Uint(resource.kernel_bytes);
+  w->EndObject();
+}
+
 void AppendRunDiagnostics(const RunDiagnostics& diagnostics, bool with_points,
                           json::Writer* w) {
   w->BeginObject();
@@ -66,6 +93,10 @@ void AppendRunDiagnostics(const RunDiagnostics& diagnostics, bool with_points,
   w->EndArray();
   w->Key("trace");
   AppendConvergenceTrace(diagnostics.trace, with_points, w);
+  if (diagnostics.resource.captured) {
+    w->Key("resource");
+    AppendResourceProfile(diagnostics.resource, w);
+  }
   w->EndObject();
 }
 
@@ -138,6 +169,10 @@ void AppendDiscoveryReport(const DiscoveryReport& report,
     AppendRunDiagnostics(attempt, options.include_trace_points, w);
   }
   w->EndArray();
+  if (report.resource.captured) {
+    w->Key("resource");
+    AppendResourceProfile(report.resource, w);
+  }
   w->EndObject();
 }
 
@@ -211,6 +246,156 @@ Status WriteDiscoveryReport(const std::string& path,
                             const DiscoveryReport& report,
                             const ReportJsonOptions& options) {
   return WriteStringToFile(path, DiscoveryReportJson(report, options));
+}
+
+namespace {
+
+StopReason StopReasonFromName(const std::string& name) {
+  if (name == "max-iterations") return StopReason::kMaxIterations;
+  if (name == "deadline") return StopReason::kDeadline;
+  if (name == "cancelled") return StopReason::kCancelled;
+  return StopReason::kConverged;
+}
+
+telemetry::ResourceProfile ParseResourceProfile(const json::Value& v) {
+  telemetry::ResourceProfile r;
+  r.captured = true;
+  r.wall_ms = v.GetNumber("wall_ms", 0.0);
+  r.user_cpu_ms = v.GetNumber("user_cpu_ms", 0.0);
+  r.system_cpu_ms = v.GetNumber("system_cpu_ms", 0.0);
+  r.peak_rss_kb = static_cast<uint64_t>(v.GetNumber("peak_rss_kb", 0.0));
+  r.minor_faults = static_cast<uint64_t>(v.GetNumber("minor_faults", 0.0));
+  r.major_faults = static_cast<uint64_t>(v.GetNumber("major_faults", 0.0));
+  r.alloc_count = static_cast<uint64_t>(v.GetNumber("alloc_count", 0.0));
+  r.alloc_bytes = static_cast<uint64_t>(v.GetNumber("alloc_bytes", 0.0));
+  r.flops = static_cast<uint64_t>(v.GetNumber("flops", 0.0));
+  r.kernel_bytes = static_cast<uint64_t>(v.GetNumber("kernel_bytes", 0.0));
+  return r;
+}
+
+RunDiagnostics ParseRunDiagnostics(const json::Value& v) {
+  RunDiagnostics d;
+  d.algorithm = v.GetString("algorithm", "");
+  d.iterations = static_cast<size_t>(v.GetNumber("iterations", 0.0));
+  d.converged = v.GetBool("converged", false);
+  d.stop_reason = StopReasonFromName(v.GetString("stop_reason", "converged"));
+  d.retries = static_cast<size_t>(v.GetNumber("retries", 0.0));
+  d.elapsed_ms = v.GetNumber("elapsed_ms", 0.0);
+  d.note = v.GetString("note", "");
+  if (const json::Value* warnings = v.Find("warnings");
+      warnings != nullptr && warnings->is_array()) {
+    for (const json::Value& warning : warnings->array_items()) {
+      if (warning.is_string()) d.warnings.push_back(warning.string_value());
+    }
+  }
+  if (const json::Value* trace = v.Find("trace");
+      trace != nullptr && trace->is_object()) {
+    d.trace.winning_restart =
+        static_cast<size_t>(trace->GetNumber("winning_restart", 0.0));
+    if (const json::Value* points = trace->Find("points");
+        points != nullptr && points->is_array()) {
+      for (const json::Value& pv : points->array_items()) {
+        ConvergencePoint p;
+        p.restart = static_cast<size_t>(pv.GetNumber("restart", 0.0));
+        p.iteration = static_cast<size_t>(pv.GetNumber("iteration", 0.0));
+        p.objective = pv.GetNumber("objective", 0.0);
+        p.delta = pv.GetNumber("delta", 0.0);
+        p.reseeds = static_cast<size_t>(pv.GetNumber("reseeds", 0.0));
+        p.budget_remaining_ms = pv.GetNumber("budget_remaining_ms", -1.0);
+        d.trace.points.push_back(p);
+      }
+    }
+  }
+  if (const json::Value* resource = v.Find("resource");
+      resource != nullptr && resource->is_object()) {
+    d.resource = ParseResourceProfile(*resource);  // v2 member; absent in v1
+  }
+  return d;
+}
+
+}  // namespace
+
+Result<DiscoveryReport> ReadDiscoveryReportJson(const std::string& text) {
+  auto parsed = json::Parse(text);
+  if (!parsed.ok()) return parsed.status();
+  const json::Value& doc = parsed.value();
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("report: document is not a JSON object");
+  }
+  const int version = static_cast<int>(doc.GetNumber("schema_version", 0.0));
+  if (version < 1 || version > kReportSchemaVersion) {
+    return Status::InvalidArgument(
+        "report: unsupported schema_version " + std::to_string(version) +
+        " (reader supports 1.." + std::to_string(kReportSchemaVersion) + ")");
+  }
+  if (doc.GetString("kind", "") != "multiclust.discovery_report") {
+    return Status::InvalidArgument("report: kind is not "
+                                   "'multiclust.discovery_report'");
+  }
+  const json::Value* rep = doc.Find("report");
+  if (rep == nullptr || !rep->is_object()) {
+    return Status::InvalidArgument("report: missing 'report' object");
+  }
+
+  DiscoveryReport out;
+  out.strategy_name = rep->GetString("strategy", "");
+  out.chosen_k = static_cast<size_t>(rep->GetNumber("chosen_k", 0.0));
+  out.degraded = rep->GetBool("degraded", false);
+  if (const json::Value* warnings = rep->Find("warnings");
+      warnings != nullptr && warnings->is_array()) {
+    for (const json::Value& warning : warnings->array_items()) {
+      if (warning.is_string()) out.warnings.push_back(warning.string_value());
+    }
+  }
+  if (const json::Value* objective = rep->Find("objective");
+      objective != nullptr && objective->is_object()) {
+    if (const json::Value* qualities = objective->Find("qualities");
+        qualities != nullptr && qualities->is_array()) {
+      for (const json::Value& q : qualities->array_items()) {
+        out.objective.qualities.push_back(q.NumberOr(0.0));
+      }
+    }
+    out.objective.mean_quality = objective->GetNumber("mean_quality", 0.0);
+    out.objective.mean_dissimilarity =
+        objective->GetNumber("mean_dissimilarity", 0.0);
+    out.objective.min_dissimilarity =
+        objective->GetNumber("min_dissimilarity", 0.0);
+    out.objective.combined = objective->GetNumber("combined", 0.0);
+  }
+  if (const json::Value* solutions = rep->Find("solutions");
+      solutions != nullptr && solutions->is_array()) {
+    for (const json::Value& sv : solutions->array_items()) {
+      Clustering c;
+      c.algorithm = sv.GetString("algorithm", "");
+      c.quality = sv.GetNumber(
+          "quality", std::numeric_limits<double>::quiet_NaN());
+      c.iterations = static_cast<size_t>(sv.GetNumber("iterations", 0.0));
+      c.converged = sv.GetBool("converged", true);
+      if (const json::Value* labels = sv.Find("labels");
+          labels != nullptr && labels->is_array()) {
+        c.labels.reserve(labels->size());
+        for (const json::Value& label : labels->array_items()) {
+          c.labels.push_back(static_cast<int>(label.NumberOr(0.0)));
+        }
+      }
+      const Status added = out.solutions.Add(std::move(c));
+      if (!added.ok()) {
+        return Status::InvalidArgument("report: inconsistent solutions — " +
+                                       added.ToString());
+      }
+    }
+  }
+  if (const json::Value* attempts = rep->Find("attempts");
+      attempts != nullptr && attempts->is_array()) {
+    for (const json::Value& av : attempts->array_items()) {
+      if (av.is_object()) out.attempts.push_back(ParseRunDiagnostics(av));
+    }
+  }
+  if (const json::Value* resource = rep->Find("resource");
+      resource != nullptr && resource->is_object()) {
+    out.resource = ParseResourceProfile(*resource);  // v2 member
+  }
+  return out;
 }
 
 }  // namespace multiclust

@@ -26,7 +26,14 @@ class SolutionSet;
 /// fields; renames/removals/semantic changes do. Documents written by an
 /// old library version stay parseable by design: the writer never reuses a
 /// field name with a different meaning within one version.
-inline constexpr int kReportSchemaVersion = 1;
+///
+/// Version history:
+///   v1 — PR 4: solutions / objective / attempts / metrics / spans.
+///   v2 — telemetry plane: optional "resource" (ResourceProfile) members on
+///        the report and on each attempt's diagnostics. v1 documents stay
+///        readable: ReadDiscoveryReportJson accepts both and leaves
+///        `resource.captured == false` when the member is absent.
+inline constexpr int kReportSchemaVersion = 2;
 
 /// Controls artifact size. The defaults archive everything; flip the
 /// include flags off for compact artifacts (e.g. labels for a million
@@ -55,8 +62,15 @@ void AppendConvergencePoint(const ConvergencePoint& point, json::Writer* w);
 void AppendConvergenceTrace(const ConvergenceTrace& trace, bool with_points,
                             json::Writer* w);
 
+/// {"wall_ms":..,"user_cpu_ms":..,"system_cpu_ms":..,"peak_rss_kb":..,
+///  "minor_faults":..,"major_faults":..,"alloc_count":..,"alloc_bytes":..,
+///  "flops":..,"kernel_bytes":..}
+void AppendResourceProfile(const telemetry::ResourceProfile& resource,
+                           json::Writer* w);
+
 /// {"algorithm":..,"iterations":..,"converged":..,"stop_reason":..,
-///  "retries":..,"elapsed_ms":..,"note":..,"trace":{...}}
+///  "retries":..,"elapsed_ms":..,"note":..,"trace":{...}} plus a
+/// "resource" member when diagnostics.resource.captured (schema v2).
 void AppendRunDiagnostics(const RunDiagnostics& diagnostics, bool with_points,
                           json::Writer* w);
 
@@ -77,10 +91,18 @@ void AppendDiscoveryReport(const DiscoveryReport& report,
 /// --- Standalone artifacts. ---
 
 /// One self-describing document:
-///   {"schema_version":1,"kind":"multiclust.discovery_report",
+///   {"schema_version":2,"kind":"multiclust.discovery_report",
 ///    "report":{...},"metrics":[...],"spans":[...]}
 std::string DiscoveryReportJson(const DiscoveryReport& report,
                                 const ReportJsonOptions& options = {});
+
+/// Parses a DiscoveryReportJson document back into a DiscoveryReport.
+/// Accepts schema versions 1 and 2: v1 documents (no "resource" members)
+/// parse with `resource.captured == false` everywhere. Centroid matrices
+/// and the metrics/spans snapshots are not part of the report struct and
+/// are not reconstructed; label vectors are recovered when the document
+/// was written with `include_labels`.
+Result<DiscoveryReport> ReadDiscoveryReportJson(const std::string& text);
 
 /// Writes DiscoveryReportJson(report, options) to `path`.
 Status WriteDiscoveryReport(const std::string& path,

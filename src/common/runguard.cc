@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "linalg/matrix.h"
 
 namespace multiclust {
@@ -76,6 +77,27 @@ void ConvergenceRecorder::Record(size_t restart, size_t iteration,
   p.reseeds = reseeds;
   p.budget_remaining_ms = guard_ != nullptr ? guard_->RemainingMs() : -1.0;
   diag_->trace.points.push_back(p);
+  if (telemetry::ProgressEnabled()) {
+    telemetry::ProgressEvent event;
+    event.stage = guard_ != nullptr ? guard_->site() : "run";
+    event.phase = "iteration";
+    event.restart = static_cast<int64_t>(restart);
+    event.iteration = static_cast<int64_t>(iteration);
+    event.objective = objective;
+    event.delta = delta;
+    if (p.budget_remaining_ms >= 0.0) {
+      event.budget_remaining_ms = p.budget_remaining_ms;
+    }
+    if (guard_ != nullptr && expected_iterations_ > iteration + 1) {
+      // ETA from iteration cadence: mean time per recorded point so far,
+      // extrapolated over this restart's remaining iterations.
+      const double cadence = guard_->ElapsedMs() /
+                             static_cast<double>(diag_->trace.points.size());
+      event.eta_ms =
+          cadence * static_cast<double>(expected_iterations_ - iteration - 1);
+    }
+    telemetry::EmitProgress(event);
+  }
 }
 
 void ConvergenceRecorder::Finish(const char* algorithm, size_t iterations,
@@ -92,6 +114,8 @@ void ConvergenceRecorder::Finish(const char* algorithm, size_t iterations,
     diag_->stop_reason = StopReason::kMaxIterations;
   }
   if (guard_ != nullptr) diag_->elapsed_ms = guard_->ElapsedMs();
+  diag_->resource = resource_scope_.Snapshot();
+  telemetry::EmitStage(algorithm, "end");
 }
 
 BudgetTracker::BudgetTracker(const RunBudget& budget, const char* site)

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/profile.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -138,6 +139,11 @@ struct RunDiagnostics {
   /// ("kmeans: ...") so composite runs (spectral→kmeans, mSC→views,
   /// meta→bases) stay attributable. Append via AddWarning.
   std::vector<std::string> warnings;
+  /// What the run cost (filled by ConvergenceRecorder::Finish; all-zero
+  /// with `captured == false` when profiling is compiled out). Wall-clock
+  /// dependent, so excluded from determinism comparisons like
+  /// `budget_remaining_ms`.
+  telemetry::ResourceProfile resource;
 
   std::string ToString() const;
 };
@@ -210,9 +216,18 @@ class ConvergenceRecorder {
   bool enabled() const { return diag_ != nullptr; }
 
   /// Appends one ConvergencePoint (budget_remaining_ms is read from the
-  /// guard at call time).
+  /// guard at call time) and, when a telemetry::ProgressSink is installed,
+  /// streams the point as a `multiclust.progress` "iteration" event with
+  /// an ETA extrapolated from the iteration cadence so far.
   void Record(size_t restart, size_t iteration, double objective,
               double delta, size_t reseeds);
+
+  /// Tells the progress stream how many outer iterations one restart runs
+  /// at most (the algorithm's max_iters after budget capping); 0 disables
+  /// the ETA estimate. Call once at algorithm entry.
+  void SetExpectedIterations(size_t iterations) {
+    expected_iterations_ = iterations;
+  }
 
   /// Notes which restart's result the algorithm returned.
   void SetWinner(size_t restart) {
@@ -221,12 +236,18 @@ class ConvergenceRecorder {
 
   /// Fills the scalar fields once the run is over. stop_reason is derived:
   /// converged wins, then whatever budget limit the guard tripped, then
-  /// the algorithm's own iteration cap.
+  /// the algorithm's own iteration cap. Also snapshots the run's
+  /// ResourceProfile (measured since recorder construction) and emits the
+  /// stage's "end" progress event.
   void Finish(const char* algorithm, size_t iterations, bool converged);
 
  private:
   RunDiagnostics* diag_;
   const BudgetTracker* guard_;
+  size_t expected_iterations_ = 0;
+  /// Resource window of the whole invocation (a no-op object when
+  /// profiling is compiled out).
+  telemetry::ResourceScope resource_scope_;
 };
 
 /// Rejects matrices containing NaN or Inf entries with

@@ -27,13 +27,28 @@ struct Event {
   uint32_t tid;   // small stable per-thread id (1-based, creation order)
 };
 
+// Maximum tracked span nesting per thread. Deeper nests still record
+// events and keep a correct depth count; only the sampler-visible stack
+// is truncated to the outermost kMaxSpanDepth frames.
+constexpr uint32_t kMaxSpanDepth = 64;
+
 // Per-thread event buffer. The owning thread appends; the exporter reads.
 // Both take `mu`, but the owner's lock is uncontended except during an
 // export, so the append fast path stays a futex-free lock/unlock pair.
+//
+// `stack`/`depth` are the thread's currently-open span names, maintained
+// lock-free by the owner (push in Span ctor, pop in dtor) and read by the
+// sampling profiler thread: the owner stores the name slot first, then
+// release-stores the new depth, so a reader that acquire-loads `depth`
+// sees every slot below it. A sample racing a pop may attribute to the
+// just-closed span — acceptable for a statistical profiler, and free of
+// data races because the slots are atomics.
 struct ThreadBuffer {
   std::mutex mu;
   uint32_t tid = 0;
   std::vector<Event> events;
+  std::atomic<const char*> stack[kMaxSpanDepth] = {};
+  std::atomic<uint32_t> depth{0};
 };
 
 struct Registry {
@@ -48,6 +63,12 @@ Registry& GetRegistry() {
 }
 
 std::atomic<bool> g_enabled{false};
+
+// Per-thread buffer capacity (completed spans). 0 = unlimited.
+std::atomic<size_t> g_max_events_per_thread{size_t{1} << 20};
+
+// Spans dropped at full buffers, across all threads since the last Reset().
+std::atomic<size_t> g_dropped_events{0};
 
 // Microseconds since the process-wide trace epoch (first call).
 double NowUs() {
@@ -131,6 +152,39 @@ void Reset() {
     std::lock_guard<std::mutex> lock(buffer->mu);
     buffer->events.clear();  // keeps capacity: reset-per-run stays cheap
   }
+  g_dropped_events.store(0, std::memory_order_relaxed);
+}
+
+size_t DroppedEvents() {
+  return g_dropped_events.load(std::memory_order_relaxed);
+}
+
+void SetMaxEventsPerThread(size_t max_events) {
+  g_max_events_per_thread.store(max_events, std::memory_order_relaxed);
+}
+
+std::vector<std::vector<const char*>> SnapshotOpenSpans() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    buffers = registry.buffers;
+  }
+  std::vector<std::vector<const char*>> stacks;
+  stacks.reserve(buffers.size());
+  for (const auto& buffer : buffers) {
+    const uint32_t depth =
+        std::min(buffer->depth.load(std::memory_order_acquire), kMaxSpanDepth);
+    std::vector<const char*> stack;
+    stack.reserve(depth);
+    for (uint32_t i = 0; i < depth; ++i) {
+      const char* name = buffer->stack[i].load(std::memory_order_relaxed);
+      if (name == nullptr) break;  // racing a pop: keep the settled prefix
+      stack.push_back(name);
+    }
+    stacks.push_back(std::move(stack));
+  }
+  return stacks;
 }
 
 size_t EventCount() {
@@ -181,12 +235,26 @@ std::string SummaryString() {
     out += line;
   }
   if (stats.empty()) out += "(no spans recorded)\n";
+  const size_t dropped = DroppedEvents();
+  if (dropped > 0) {
+    std::snprintf(line, sizeof(line),
+                  "trace.dropped_events: %zu (per-thread buffer full)\n",
+                  dropped);
+    out += line;
+  }
   return out;
 }
 
 std::string ChromeTraceJson() {
   const std::vector<Event> events = SnapshotEvents();
-  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"metadata\":{";
+  {
+    char meta[64];
+    std::snprintf(meta, sizeof(meta), "\"trace.dropped_events\":%zu",
+                  DroppedEvents());
+    out += meta;
+  }
+  out += "},\"traceEvents\":[";
   char buf[128];
   bool first = true;
   for (const Event& e : events) {
@@ -220,13 +288,31 @@ Span::Span(const char* name) : name_(name) {
   if (!g_enabled.load(std::memory_order_relaxed)) return;
   active_ = true;
   start_us_ = NowUs();
+  ThreadBuffer& buffer = LocalBuffer();
+  const uint32_t depth = buffer.depth.load(std::memory_order_relaxed);
+  if (depth < kMaxSpanDepth) {
+    buffer.stack[depth].store(name_, std::memory_order_relaxed);
+  }
+  buffer.depth.store(depth + 1, std::memory_order_release);
 }
 
 Span::~Span() {
   if (!active_) return;
   const double end_us = NowUs();
   ThreadBuffer& buffer = LocalBuffer();
+  const uint32_t depth = buffer.depth.load(std::memory_order_relaxed);
+  if (depth > 0) {
+    if (depth <= kMaxSpanDepth) {
+      buffer.stack[depth - 1].store(nullptr, std::memory_order_relaxed);
+    }
+    buffer.depth.store(depth - 1, std::memory_order_release);
+  }
+  const size_t cap = g_max_events_per_thread.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(buffer.mu);
+  if (cap != 0 && buffer.events.size() >= cap) {
+    g_dropped_events.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   buffer.events.push_back(
       {name_, start_us_, end_us - start_us_, buffer.tid});
 }

@@ -65,6 +65,25 @@ void Reset();
 /// Number of completed spans currently buffered, across all threads.
 size_t EventCount();
 
+/// Completed spans dropped because a per-thread buffer hit its capacity
+/// (SetMaxEventsPerThread). Dropped events are counted, never silently
+/// lost: the total is surfaced here, in SummaryString() and in the
+/// Chrome JSON "metadata" object ("trace.dropped_events"). Reset() zeroes
+/// it along with the buffers.
+size_t DroppedEvents();
+
+/// Caps each per-thread event buffer at `max_events` completed spans
+/// (default 1 << 20, ~32 MB/thread). 0 means unlimited. Spans recorded
+/// past the cap are dropped and counted in DroppedEvents().
+void SetMaxEventsPerThread(size_t max_events);
+
+/// The stack of currently-open span names of every registered thread
+/// (threads appear once they have opened a span; order is thread
+/// registration order). Entry i is innermost-last. Used by the sampling
+/// profiler (common/profile.h) to attribute timer samples; nesting deeper
+/// than an internal fixed depth is truncated to the outermost frames.
+std::vector<std::vector<const char*>> SnapshotOpenSpans();
+
 /// Per-span aggregates, sorted by span name (deterministic order).
 std::vector<SpanStats> Summary();
 
@@ -104,6 +123,11 @@ inline void Disable() {}
 inline constexpr bool Enabled() { return false; }
 inline void Reset() {}
 inline constexpr size_t EventCount() { return 0; }
+inline constexpr size_t DroppedEvents() { return 0; }
+inline void SetMaxEventsPerThread(size_t) {}
+inline std::vector<std::vector<const char*>> SnapshotOpenSpans() {
+  return {};
+}
 inline std::vector<SpanStats> Summary() { return {}; }
 inline std::string SummaryString() {
   return "trace: compiled out (-DMULTICLUST_TRACING=OFF)\n";

@@ -10,6 +10,7 @@
 #include "altspace/meta_clustering.h"
 #include "cluster/kmeans.h"
 #include "common/checkpoint.h"
+#include "common/telemetry.h"
 #include "common/trace.h"
 #include "metrics/clustering_quality.h"
 #include "orthogonal/ortho_projection.h"
@@ -378,6 +379,8 @@ Result<DiscoveryReport> DiscoverMultipleClusterings(
   MC_RETURN_IF_ERROR(ValidateMatrix("Discover", data));
   MULTICLUST_TRACE_SPAN("pipeline.run");
   BudgetTracker guard(options.budget, "pipeline");
+  telemetry::ResourceScope resource_scope;
+  telemetry::EmitStage("pipeline", "start");
   Checkpointer* ck = options.budget.checkpoint;
   const uint64_t fp = ck != nullptr ? PipelineFingerprint(data, options) : 0;
 
@@ -436,9 +439,11 @@ Result<DiscoveryReport> DiscoverMultipleClusterings(
     k = state.chosen_k;
   } else {
     if (k == 0) {
+      telemetry::EmitStage("pipeline.select_k", "start");
       MC_ASSIGN_OR_RETURN(k,
                           SelectKBySilhouette(data, options.max_k,
                                               options.seed));
+      telemetry::EmitStage("pipeline.select_k", "end");
     }
     // Stage boundary: model selection done, no attempts yet.
     state.chosen_k = k;
@@ -491,6 +496,7 @@ Result<DiscoveryReport> DiscoverMultipleClusterings(
     }
     RunDiagnostics diag;
     diag.algorithm = StrategyName(strategy);
+    telemetry::EmitStage(StrategyName(strategy), "start");
     const double started_ms = guard.ElapsedMs();
     Result<StrategyOutcome> run = RunWithRetry(
         options.retry, options.seed,
@@ -575,14 +581,20 @@ Result<DiscoveryReport> DiscoverMultipleClusterings(
 
   {
     MULTICLUST_TRACE_SPAN("pipeline.dedup");
+    telemetry::EmitStage("pipeline.dedup", "start");
     MC_RETURN_IF_ERROR(
         report.solutions.Deduplicate(options.min_dissimilarity).status());
+    telemetry::EmitStage("pipeline.dedup", "end");
   }
   MULTICLUST_TRACE_SPAN("pipeline.objective");
+  telemetry::EmitStage("pipeline.objective", "start");
   MC_ASSIGN_OR_RETURN(report.objective,
                       EvaluateObjective(data, report.solutions,
                                         SilhouetteQuality(),
                                         NmiDissimilarity(), 1.0));
+  telemetry::EmitStage("pipeline.objective", "end");
+  report.resource = resource_scope.Snapshot();
+  telemetry::EmitStage("pipeline", "end");
   return report;
 }
 

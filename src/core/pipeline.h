@@ -68,6 +68,12 @@ struct DiscoveryReport {
   /// budget-truncated (non-converged) run rather than the requested
   /// clean computation.
   bool degraded = false;
+  /// What the whole discovery call cost (all stages and attempts
+  /// together; per-attempt profiles live on `attempts[i].resource`).
+  /// `captured == false` when profiling is compiled out. Wall-clock
+  /// dependent — excluded from determinism comparisons and from the
+  /// pipeline checkpoint payload.
+  telemetry::ResourceProfile resource;
 };
 
 /// One-call entry point: "find me several genuinely different clusterings

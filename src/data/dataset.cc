@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/profile.h"
 #include "linalg/kernels.h"
 
 namespace multiclust {
@@ -37,6 +38,9 @@ Status Dataset::AddGroundTruth(const std::string& name,
   if (ground_truths_.find(name) == ground_truths_.end()) {
     truth_order_.push_back(name);
   }
+  // Label tables are the dataset's own storage growth (the data matrix
+  // counts itself at construction).
+  telemetry::CountAlloc(labels.size() * sizeof(int));
   ground_truths_[name] = std::move(labels);
   return Status::OK();
 }

@@ -5,6 +5,7 @@
 
 #include "linalg/kernels.h"
 
+#include "common/profile.h"
 #include "linalg/kernel_impl.h"
 #include "linalg/simd.h"
 
@@ -76,6 +77,10 @@ void CenterRow(const double* row, double rm_i, const double* rm, double total,
 }
 void GaussianRow(const double* x, const double* rows, size_t count, size_t d,
                  double gamma, double* out) {
+  // Telemetry FLOP tally at call granularity (one row against `count`
+  // rows): ~3 flops per element for the squared distance plus the exp.
+  telemetry::CountFlops(3 * count * d + count,
+                        (count * d + d + count) * sizeof(double));
   impl::GaussianRow<Double4>(x, rows, count, d, gamma, out);
 }
 int NearestSquared(const double* x, const double* centers, size_t k,
@@ -89,6 +94,13 @@ int NearestNormForm(const double* x, const double* centers, size_t k, size_t d,
 }
 void GemmRows(const double* a, size_t acols, const double* b, size_t bcols,
               double* c, size_t row_begin, size_t row_end) {
+  // Telemetry FLOP tally at call granularity (one row block per call —
+  // never inside the blocked inner loops): 2mnk flops, m(k + n) + kn
+  // doubles touched.
+  const size_t m = row_end - row_begin;
+  telemetry::CountFlops(2 * m * acols * bcols,
+                        (m * (acols + bcols) + acols * bcols) *
+                            sizeof(double));
   impl::GemmRows<Double4>(a, acols, b, bcols, c, row_begin, row_end);
 }
 

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/profile.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -20,9 +21,16 @@ class Matrix {
   /// Constructs an empty 0x0 matrix.
   Matrix() : rows_(0), cols_(0) {}
 
-  /// Constructs a rows x cols matrix filled with `fill`.
+  /// Constructs a rows x cols matrix filled with `fill`. This is the one
+  /// place matrix storage is allocated, so it feeds the telemetry
+  /// allocation tally (ResourceProfile::alloc_count/alloc_bytes); the hook
+  /// compiles out with the rest of the telemetry plane.
   Matrix(size_t rows, size_t cols, double fill = 0.0)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+    if (rows_ != 0 && cols_ != 0) {
+      telemetry::CountAlloc(rows_ * cols_ * sizeof(double));
+    }
+  }
 
   /// Builds a matrix from nested initializer-style row data. All rows must
   /// have equal length; an empty argument produces a 0x0 matrix.

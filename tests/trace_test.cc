@@ -5,6 +5,7 @@
 // diagnostics data, independent of the tracing switch.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -170,6 +171,116 @@ TEST(MetricsTest2, CounterGaugeHistogramBasics) {
   metrics::Reset();
   EXPECT_EQ(metrics::GetCounter("test.trace.counter").value(), 0u);
   EXPECT_EQ(h.total_count(), 0u);
+}
+
+TEST(TraceTest, DroppedEventsAreCountedAndSurfaced) {
+  if (!trace::kCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  TraceSession session;
+  trace::SetMaxEventsPerThread(4);
+  for (int i = 0; i < 10; ++i) {
+    MULTICLUST_TRACE_SPAN("test.drop");
+  }
+  // The first 4 land in the buffer, the remaining 6 are dropped but
+  // counted — silent loss would make a truncated trace look complete.
+  EXPECT_EQ(trace::EventCount(), 4u);
+  EXPECT_EQ(trace::DroppedEvents(), 6u);
+  const std::string summary = trace::SummaryString();
+  EXPECT_NE(summary.find("trace.dropped_events: 6"), std::string::npos)
+      << summary;
+  const std::string json = trace::ChromeTraceJson();
+  EXPECT_TRUE(test::IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"trace.dropped_events\":6"), std::string::npos)
+      << json;
+  // Reset clears the counter and restores the default cap.
+  trace::SetMaxEventsPerThread(size_t{1} << 20);
+  trace::Reset();
+  EXPECT_EQ(trace::DroppedEvents(), 0u);
+  {
+    MULTICLUST_TRACE_SPAN("test.drop.after_reset");
+  }
+  EXPECT_EQ(trace::EventCount(), 1u);
+  EXPECT_EQ(trace::DroppedEvents(), 0u);
+}
+
+TEST(MetricsTest2, HistogramQuantilePinsInterpolation) {
+  if (!metrics::kCompiledIn) GTEST_SKIP() << "metrics compiled out";
+  // Hand-checkable fixture: bounds [1, 10], counts [2 in (0,1], 6 in
+  // (1,10], 2 overflow], total 10.
+  const std::vector<double> bounds = {1.0, 10.0};
+  const std::vector<uint64_t> counts = {2, 6, 2};
+  // p50: target rank 5 lands in bucket 1 at position (5-2)/6 of (1,10]:
+  // 1 + 0.5*9 = 5.5.
+  EXPECT_DOUBLE_EQ(metrics::HistogramQuantile(bounds, counts, 0.5), 5.5);
+  // p10: rank 1 in bucket 0, interpolated from min(0, bounds[0]) = 0:
+  // 0 + (1/2)*1 = 0.5.
+  EXPECT_DOUBLE_EQ(metrics::HistogramQuantile(bounds, counts, 0.1), 0.5);
+  // p95: rank 9.5 falls in the overflow bucket, which clamps to the last
+  // finite bound.
+  EXPECT_DOUBLE_EQ(metrics::HistogramQuantile(bounds, counts, 0.95), 10.0);
+  // Extremes.
+  EXPECT_DOUBLE_EQ(metrics::HistogramQuantile(bounds, counts, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(metrics::HistogramQuantile(bounds, counts, 1.0), 10.0);
+  // Empty histogram and mismatched shapes have no quantiles.
+  EXPECT_TRUE(std::isnan(metrics::HistogramQuantile(bounds, {0, 0, 0}, 0.5)));
+  EXPECT_TRUE(std::isnan(metrics::HistogramQuantile(bounds, {1, 2}, 0.5)));
+
+  // The member form reads the live bucket counts.
+  metrics::Reset();
+  metrics::Histogram& h = metrics::GetHistogram("test.trace.quantile", bounds);
+  for (int i = 0; i < 2; ++i) h.Observe(0.5);
+  for (int i = 0; i < 6; ++i) h.Observe(5.0);
+  for (int i = 0; i < 2; ++i) h.Observe(100.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 5.5);
+  metrics::Reset();
+}
+
+TEST(MetricsTest2, MetricsJsonCarriesQuantiles) {
+  if (!metrics::kCompiledIn) GTEST_SKIP() << "metrics compiled out";
+  metrics::Reset();
+  const std::vector<double> bounds = {1.0, 10.0};
+  metrics::Histogram& h = metrics::GetHistogram("test.trace.jsonq", bounds);
+  for (int i = 0; i < 10; ++i) h.Observe(5.0);
+  const std::string json = metrics::MetricsJson();
+  EXPECT_TRUE(test::IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"p50\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\""), std::string::npos) << json;
+  metrics::Reset();
+}
+
+TEST(MetricsTest2, OpenMetricsTextWellFormed) {
+  if (!metrics::kCompiledIn) GTEST_SKIP() << "metrics compiled out";
+  metrics::Reset();
+  metrics::GetCounter("test.trace.om_counter").Add(7);
+  metrics::GetGauge("test.trace.om_gauge").Set(1.25);
+  const std::vector<double> bounds = {1.0, 10.0};
+  metrics::Histogram& h = metrics::GetHistogram("test.trace.om_histo", bounds);
+  for (int i = 0; i < 4; ++i) h.Observe(5.0);
+  const std::string text = metrics::OpenMetricsText();
+  // Exposition envelope: ends with the OpenMetrics terminator.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n") << text;
+  // Names are prefixed and sanitized ('.' is not a legal name char).
+  EXPECT_NE(text.find("# TYPE multiclust_test_trace_om_counter counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("multiclust_test_trace_om_counter_total 7"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("multiclust_test_trace_om_gauge 1.25"),
+            std::string::npos)
+      << text;
+  // Histograms expose cumulative buckets, a count, and quantile gauges.
+  EXPECT_NE(text.find("multiclust_test_trace_om_histo_bucket{le=\"+Inf\"} 4"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("multiclust_test_trace_om_histo_count 4"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("multiclust_test_trace_om_histo_p50"),
+            std::string::npos)
+      << text;
+  metrics::Reset();
 }
 
 TEST(MetricsTest2, CounterTotalsThreadInvariant) {
